@@ -1,0 +1,30 @@
+//! # dynscan-baseline
+//!
+//! The algorithms DynELM / DynStrClu are compared against in the paper's
+//! evaluation:
+//!
+//! * [`StaticScan`] — the original SCAN algorithm (Xu et al., KDD 2007):
+//!   compute every edge's exact similarity and extract the clustering from
+//!   scratch.  It is the *ground truth* the quality metrics (mis-labelled
+//!   rate, ARI, individual cluster quality) compare against.
+//!
+//! * [`ExactDynScan`] — a pSCAN-style exact dynamic baseline: it maintains
+//!   exact per-edge intersection counts under updates, so every update costs
+//!   O(d[u] + d[w]) hash probes (the Θ(n) worst case the paper's
+//!   introduction describes), and the labelling is always exactly valid.
+//!
+//! * [`IndexedDynScan`] — an hSCAN-style index baseline: on top of the exact
+//!   counts it keeps each vertex's neighbours ordered by similarity, which
+//!   lets it answer clustering queries for *any* (ε, μ) given on the fly at
+//!   the price of an extra O(log n) factor per affected edge on updates.
+//!
+//! All three reuse the `StrCluResult` extraction from `dynscan-core`, so
+//! quality comparisons are apples-to-apples.
+
+pub mod exact_dyn;
+pub mod indexed_dyn;
+pub mod static_scan;
+
+pub use exact_dyn::ExactDynScan;
+pub use indexed_dyn::IndexedDynScan;
+pub use static_scan::StaticScan;

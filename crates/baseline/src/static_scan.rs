@@ -1,0 +1,109 @@
+//! The static SCAN baseline (exact, from scratch).
+
+use dynscan_core::{extract_clustering, StrCluResult};
+use dynscan_graph::{DynGraph, MemoryFootprint, VertexId};
+use dynscan_sim::{exact_similarity, SimilarityMeasure};
+
+/// The original SCAN algorithm: label every edge by its exact structural
+/// similarity and extract the StrClu result.
+///
+/// Complexity is O(Σ_(u,v)∈E min(d[u], d[v]) + n + m) — the O(m^1.5)
+/// worst case the paper quotes.  In this workspace it serves as the exact
+/// ground truth for all quality experiments (Tables 2 and 3).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticScan {
+    /// Similarity threshold ε.
+    pub eps: f64,
+    /// Core threshold μ.
+    pub mu: usize,
+    /// Structural similarity measure.
+    pub measure: SimilarityMeasure,
+}
+
+impl StaticScan {
+    /// Create a static SCAN instance with the given parameters.
+    pub fn new(eps: f64, mu: usize, measure: SimilarityMeasure) -> Self {
+        StaticScan { eps, mu, measure }
+    }
+
+    /// Jaccard-similarity SCAN.
+    pub fn jaccard(eps: f64, mu: usize) -> Self {
+        Self::new(eps, mu, SimilarityMeasure::Jaccard)
+    }
+
+    /// Cosine-similarity SCAN.
+    pub fn cosine(eps: f64, mu: usize) -> Self {
+        Self::new(eps, mu, SimilarityMeasure::Cosine)
+    }
+
+    /// Whether the edge `(u, v)` is similar under this instance's exact
+    /// labelling.
+    pub fn is_similar(&self, graph: &DynGraph, u: VertexId, v: VertexId) -> bool {
+        exact_similarity(graph, u, v, self.measure) >= self.eps
+    }
+
+    /// Compute the exact StrClu clustering of `graph` from scratch.
+    pub fn cluster(&self, graph: &DynGraph) -> StrCluResult {
+        extract_clustering(graph, self.mu, |key| {
+            self.is_similar(graph, key.lo(), key.hi())
+        })
+    }
+
+    /// Approximate memory needed to run (the graph itself plus O(n) working
+    /// space); reported for Table-1 style comparisons.
+    pub fn working_memory_bytes(&self, graph: &DynGraph) -> usize {
+        graph.memory_bytes() + graph.num_vertices() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::{fixtures, VertexRole};
+
+    #[test]
+    fn matches_fixture_analysis() {
+        let g = fixtures::two_cliques_with_hub();
+        let scan = StaticScan::jaccard(0.29, 5);
+        let result = scan.cluster(&g);
+        assert_eq!(result.num_clusters(), 2);
+        assert_eq!(result.role(VertexId(12)), VertexRole::Hub);
+        assert_eq!(result.role(VertexId(13)), VertexRole::Noise);
+        assert_eq!(result.num_core(), 12);
+    }
+
+    #[test]
+    fn cosine_variant_runs() {
+        let g = fixtures::two_cliques_with_hub();
+        let scan = StaticScan::cosine(0.6, 5);
+        let result = scan.cluster(&g);
+        // Cosine with ε = 0.6 keeps the two cliques as clusters too.
+        assert_eq!(result.num_clusters(), 2);
+    }
+
+    #[test]
+    fn agrees_with_dynelm_exact_mode() {
+        let g = fixtures::two_cliques_with_hub();
+        let scan = StaticScan::jaccard(0.29, 5);
+        let static_result = scan.cluster(&g);
+
+        let mut elm = dynscan_core::DynElm::new(
+            fixtures::two_cliques_params().with_exact_labels(),
+        );
+        for e in g.edges() {
+            elm.insert_edge(e.lo(), e.hi()).unwrap();
+        }
+        let dynamic_result = elm.clustering();
+        assert_eq!(static_result.num_clusters(), dynamic_result.num_clusters());
+        for x in g.vertices() {
+            assert_eq!(static_result.role(x), dynamic_result.role(x), "role mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynGraph::new();
+        let result = StaticScan::jaccard(0.5, 3).cluster(&g);
+        assert_eq!(result.num_clusters(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the HDT connectivity structure vs. naive recomputation, the sampling /
+//! exact labelling strategies, and the substrate micro-costs (Table-1-style
+//! memory is covered by the experiment harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynscan_conn::{DynamicConnectivity, HdtConnectivity, NaiveConnectivity};
+use dynscan_core::{DynElm, Params};
+use dynscan_dt::DtRegistry;
+use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, VertexId};
+use dynscan_sim::{estimate_similarity, exact_similarity, SimilarityMeasure};
+use dynscan_workload::{chung_lu_power_law, erdos_renyi, UpdateStream, UpdateStreamConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Ablation: fully dynamic connectivity (HDT) vs. naive recomputation when
+/// a query follows every deletion — the access pattern of `G_core`
+/// maintenance plus cluster-group-by queries.
+fn bench_ablation_connectivity(c: &mut Criterion) {
+    let n = 800;
+    let edges = erdos_renyi(n, 2_400, 3);
+    let mut group = c.benchmark_group("ablation_connectivity");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("hdt", |b| {
+        b.iter(|| {
+            let mut conn = HdtConnectivity::new(n);
+            for &(u, v) in &edges {
+                conn.insert_edge(u, v);
+            }
+            let mut hits = 0usize;
+            for &(u, v) in edges.iter().step_by(3) {
+                conn.delete_edge(u, v);
+                if conn.connected(VertexId(0), v) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut conn = NaiveConnectivity::new(n);
+            for &(u, v) in &edges {
+                conn.insert_edge(u, v);
+            }
+            let mut hits = 0usize;
+            for &(u, v) in edges.iter().step_by(3) {
+                conn.delete_edge(u, v);
+                if conn.connected(VertexId(0), v) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: DynELM with sampled labels vs. exact labels (the ρ = 0 /
+/// exact-mode configuration used by the correctness tests).
+fn bench_ablation_labelling(c: &mut Criterion) {
+    let n = 800;
+    let edges = chung_lu_power_law(n, 2_500, 2.3, 5);
+    let updates: Vec<GraphUpdate> =
+        UpdateStream::new(&edges, UpdateStreamConfig::new(n).with_seed(5)).take_updates(3_500);
+    let mut group = c.benchmark_group("ablation_labelling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for (name, params) in [
+        ("sampled_rho_0.01", Params::jaccard(0.2, 5).with_rho(0.01)),
+        ("sampled_rho_0.5", Params::jaccard(0.2, 5).with_rho(0.5)),
+        (
+            "exact_labels",
+            Params::jaccard(0.2, 5).with_rho(0.01).with_exact_labels(),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut algo = DynElm::new(params.with_delta_star_for_n(n));
+                for &u in &updates {
+                    algo.apply(u).ok();
+                }
+                algo.stats().updates
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Micro-benchmark: the similarity estimator vs. the exact computation at
+/// growing degree (the crossover motivates the sampling strategy).
+fn bench_similarity_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_estimation");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    for degree in [64usize, 512] {
+        // Two overlapping stars sharing half their leaves.
+        let mut g = DynGraph::new();
+        let (a, b) = (VertexId(0), VertexId(1));
+        g.insert_edge(a, b).unwrap();
+        for i in 0..degree as u32 {
+            g.insert_edge(a, VertexId(2 + i)).unwrap();
+            if i % 2 == 0 {
+                g.insert_edge(b, VertexId(2 + i)).unwrap();
+            } else {
+                g.insert_edge(b, VertexId(2 + degree as u32 + i)).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("exact", degree), &g, |bench, g| {
+            bench.iter(|| exact_similarity(g, a, b, SimilarityMeasure::Jaccard))
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_400", degree), &g, |bench, g| {
+            let mut rng = SmallRng::seed_from_u64(degree as u64);
+            bench.iter(|| {
+                estimate_similarity(g, a, b, SimilarityMeasure::Jaccard, 0.2, 400, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Micro-benchmark: distributed-tracking registry throughput (the cost of
+/// an affecting update that does not trigger any relabelling).
+fn bench_dt_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dt_registry");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    for fan_out in [16usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(fan_out), &fan_out, |b, &fan| {
+            let mut reg = DtRegistry::new(fan + 1);
+            for i in 1..=fan as u32 {
+                reg.register(EdgeKey::new(VertexId(0), VertexId(i)), 1_000);
+            }
+            b.iter(|| {
+                reg.increment(VertexId(0));
+                reg.drain_ready(VertexId(0)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_connectivity,
+    bench_ablation_labelling,
+    bench_similarity_estimation,
+    bench_dt_registry
+);
+criterion_main!(benches);

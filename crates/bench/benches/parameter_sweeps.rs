@@ -1,0 +1,126 @@
+//! Criterion benchmarks behind Figures 9–12: parameter sweeps (ε, η, ρ,
+//! cosine similarity) and the cluster-group-by query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynscan_core::{DynElm, DynStrClu, Params, SimilarityMeasure, VertexId};
+use dynscan_graph::GraphUpdate;
+use dynscan_workload::{chung_lu_power_law, UpdateStream, UpdateStreamConfig};
+use std::time::Duration;
+
+const N: usize = 800;
+const M0: usize = 3_000;
+const EXTRA: usize = 2_000;
+
+fn stream(eta: f64) -> Vec<GraphUpdate> {
+    let edges = chung_lu_power_law(N, M0, 2.3, 11);
+    let config = UpdateStreamConfig::new(N).with_eta(eta).with_seed(17);
+    UpdateStream::new(&edges, config).take_updates(M0 + EXTRA)
+}
+
+fn replay_elm(params: Params, updates: &[GraphUpdate]) -> u64 {
+    let mut algo = DynElm::new(params);
+    for &u in updates {
+        algo.apply(u).ok();
+    }
+    algo.stats().updates
+}
+
+/// Figure 9: DynELM total cost vs. ε.
+fn bench_fig09_vary_eps(c: &mut Criterion) {
+    let updates = stream(0.0);
+    let mut group = c.benchmark_group("fig09_vary_eps");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for eps in [0.1, 0.2, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let params = Params::jaccard(eps, 5).with_rho(0.01).with_delta_star_for_n(N);
+            b.iter(|| replay_elm(params, &updates))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: DynELM total cost vs. the deletion ratio η.
+fn bench_fig10_vary_eta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_vary_eta");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for eta in [0.0, 0.1, 0.5] {
+        let updates = stream(eta);
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &updates, |b, updates| {
+            let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(N);
+            b.iter(|| replay_elm(params, updates))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11: DynELM under cosine similarity.
+fn bench_fig11_cosine(c: &mut Criterion) {
+    let updates = stream(0.0);
+    let mut group = c.benchmark_group("fig11_cosine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for (name, measure, eps) in [
+        ("jaccard", SimilarityMeasure::Jaccard, 0.2),
+        ("cosine", SimilarityMeasure::Cosine, 0.6),
+    ] {
+        group.bench_function(name, |b| {
+            let base = match measure {
+                SimilarityMeasure::Jaccard => Params::jaccard(eps, 5),
+                SimilarityMeasure::Cosine => Params::cosine(eps, 5),
+            };
+            let params = base.with_rho(0.01).with_delta_star_for_n(N);
+            b.iter(|| replay_elm(params, &updates))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12(a): DynELM total cost vs. ρ.
+fn bench_fig12a_vary_rho(c: &mut Criterion) {
+    let updates = stream(0.0);
+    let mut group = c.benchmark_group("fig12a_vary_rho");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for rho in [0.01, 0.1, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            let params = Params::jaccard(0.2, 5).with_rho(rho).with_delta_star_for_n(N);
+            b.iter(|| replay_elm(params, &updates))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12(b): cluster-group-by query time vs. |Q|.
+fn bench_fig12b_group_by(c: &mut Criterion) {
+    let updates = stream(0.0);
+    let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(N);
+    let mut algo = DynStrClu::new(params);
+    for &u in &updates {
+        algo.apply(u).ok();
+    }
+    let n = algo.graph().num_vertices();
+    let mut group = c.benchmark_group("fig12b_group_by");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    for q_size in [2usize, 8, 32, 128, 512] {
+        let query: Vec<VertexId> = (0..q_size)
+            .map(|i| VertexId::from((i * 2654435761usize) % n))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(q_size), &query, |b, query| {
+            b.iter(|| algo.cluster_group_by(query).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig09_vary_eps,
+    bench_fig10_vary_eta,
+    bench_fig11_cosine,
+    bench_fig12a_vary_rho,
+    bench_fig12b_group_by
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! experiments <table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12a|fig12b|all>
+//!             [--quick] [--out <dir>]
+//! ```
+//!
+//! See DESIGN.md for the mapping between subcommands and the paper's tables
+//! and figures.
+
+use dynscan_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "experiment-output".to_string());
+    let scale = if quick { Scale::quick() } else { Scale::default_scale() };
+    // The subcommand is the first positional argument (skipping flags and
+    // the value that follows `--out`).
+    let mut command = String::from("all");
+    let mut skip_next = false;
+    for arg in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg == "--out" {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        command = arg.clone();
+        break;
+    }
+
+    let report = match command.as_str() {
+        "table1" => experiments::table1(&scale),
+        "table2" => experiments::table2(&scale),
+        "table3" => experiments::table3(&scale),
+        "fig4" | "fig5" | "fig6" | "fig4-6" => experiments::fig4_5_6(&scale, &out_dir),
+        "fig7" => experiments::fig7(&scale),
+        "fig8" => experiments::fig8(&scale),
+        "fig9" => experiments::fig9(&scale),
+        "fig10" => experiments::fig10(&scale),
+        "fig11" => experiments::fig11(&scale),
+        "fig12a" => experiments::fig12a(&scale),
+        "fig12b" => experiments::fig12b(&scale),
+        "all" => experiments::run_all(&scale, &out_dir),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "expected one of: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12a fig12b all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{report}");
+}

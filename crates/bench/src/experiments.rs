@@ -1,0 +1,567 @@
+//! One entry point per table / figure of the paper's evaluation.
+//!
+//! Every function returns the formatted result (and the `experiments`
+//! binary prints it), so integration tests can assert on the shapes without
+//! re-parsing stdout.
+
+use crate::export;
+use crate::runner::{run_updates, RunOutcome};
+use crate::scale::Scale;
+use dynscan_baseline::{ExactDynScan, IndexedDynScan, StaticScan};
+use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params, SimilarityMeasure, VertexId};
+use dynscan_graph::GraphUpdate;
+use dynscan_metrics::{adjusted_rand_index, mislabelled_rate, top_k_quality};
+use dynscan_workload::{
+    all_datasets, representative_datasets, scaled, DatasetSpec, InsertionStrategy, UpdateStream,
+    UpdateStreamConfig,
+};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The paper's default parameters (Section 9.4): μ = 5, ρ = 0.01, δ* = 1/n.
+fn default_params(spec: &DatasetSpec, measure: SimilarityMeasure) -> Params {
+    let eps = match measure {
+        SimilarityMeasure::Jaccard => spec.eps_jaccard,
+        SimilarityMeasure::Cosine => spec.eps_cosine,
+    };
+    let base = match measure {
+        SimilarityMeasure::Jaccard => Params::jaccard(eps, 5),
+        SimilarityMeasure::Cosine => Params::cosine(eps, 5),
+    };
+    base.with_rho(0.01).with_delta_star_for_n(spec.num_vertices)
+}
+
+/// Build the update stream of one dataset: the m₀ original insertions
+/// followed by the generated updates.
+fn build_stream(
+    spec: &DatasetSpec,
+    scale: &Scale,
+    strategy: InsertionStrategy,
+    eta: f64,
+) -> Vec<GraphUpdate> {
+    let edges = spec.original_edges();
+    let config = UpdateStreamConfig::new(spec.num_vertices)
+        .with_strategy(strategy)
+        .with_eta(eta)
+        .with_seed(spec.seed ^ 0x5ca1e);
+    let mut stream = UpdateStream::new(&edges, config);
+    let total = edges.len() + scale.extra_updates(edges.len());
+    stream.take_updates(total)
+}
+
+fn spec_at(scale: &Scale, spec: DatasetSpec) -> DatasetSpec {
+    scaled(spec, scale.dataset_factor)
+}
+
+/// The four dynamic algorithms at the paper's default setting.
+fn competitor_set(params: Params) -> Vec<Box<dyn DynamicClustering>> {
+    vec![
+        Box::new(DynElm::new(params)),
+        Box::new(DynStrClu::new(params)),
+        Box::new(ExactDynScan::new(params.eps, params.mu, params.measure)),
+        Box::new(IndexedDynScan::new(params.eps, params.mu, params.measure)),
+    ]
+}
+
+fn fmt_duration(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+fn fmt_mib(bytes: usize) -> String {
+    format!("{:.1}MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn run_competitors(
+    spec: &DatasetSpec,
+    scale: &Scale,
+    updates: &[GraphUpdate],
+    measure: SimilarityMeasure,
+) -> Vec<RunOutcome> {
+    let params = default_params(spec, measure);
+    competitor_set(params)
+        .into_iter()
+        .map(|mut algo| run_updates(algo.as_mut(), updates, scale.checkpoints, scale.time_budget))
+        .collect()
+}
+
+// --------------------------------------------------------------------- //
+// Table 1: dataset meta information and memory footprint
+// --------------------------------------------------------------------- //
+
+/// Table 1: dataset sizes and peak memory of the four algorithms over the
+/// update sequence.
+pub fn table1(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Table 1 — dataset meta information and peak memory footprint (scaled stand-ins)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>9} {:>9} {:>9} | {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "|V|", "|E0|", "updates", "DynELM", "DynStrClu", "pSCAN-like", "hSCAN-like"
+    )
+    .unwrap();
+    for spec in all_datasets() {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        let outcomes = run_competitors(&spec, scale, &updates, SimilarityMeasure::Jaccard);
+        let mems: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                let mut s = fmt_mib(o.peak_memory);
+                if o.truncated {
+                    s.push('*');
+                }
+                s
+            })
+            .collect();
+        writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>9} | {:>12} {:>12} {:>12} {:>12}",
+            spec.short_name,
+            spec.num_vertices,
+            spec.num_edges,
+            updates.len(),
+            mems[0],
+            mems[1],
+            mems[2],
+            mems[3],
+        )
+        .unwrap();
+    }
+    writeln!(out, "(*) run cut off by the time budget; memory at cut-off.").unwrap();
+    out
+}
+
+// --------------------------------------------------------------------- //
+// Tables 2 and 3: approximate clustering quality
+// --------------------------------------------------------------------- //
+
+fn quality_table(scale: &Scale, measure: SimilarityMeasure, rhos: &[f64], title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {title}").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>6} {:>6} | {:>12} {:>10} | {:>23}",
+        "dataset", "eps", "rho", "%mislabelled", "ARI", "top-k quality (min/avg)"
+    )
+    .unwrap();
+    for spec in representative_datasets() {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        let eps = match measure {
+            SimilarityMeasure::Jaccard => spec.eps_jaccard,
+            SimilarityMeasure::Cosine => spec.eps_cosine,
+        };
+        for &rho in rhos {
+            let params = default_params(&spec, measure).with_rho(rho);
+            let mut algo = DynElm::new(params);
+            for &u in &updates {
+                algo.apply(u).ok();
+            }
+            let graph = algo.graph();
+            let approx = algo.clustering();
+            let exact = StaticScan::new(eps, params.mu, measure).cluster(graph);
+            let mis = mislabelled_rate(graph, eps, measure, |key| {
+                algo.label(key).is_some_and(|l| l.is_similar())
+            });
+            let ari = adjusted_rand_index(&approx, &exact);
+            let mut quality_cells = String::new();
+            for k in [1usize, 5, 20, 100] {
+                let row = top_k_quality(&approx, &exact, k);
+                write!(quality_cells, " k={k}:{:.3}/{:.3}", row.min, row.avg).unwrap();
+            }
+            writeln!(
+                out,
+                "{:<10} {:>6.2} {:>6.2} | {:>11.3}% {:>10.5} |{}",
+                spec.short_name,
+                eps,
+                rho,
+                100.0 * mis,
+                ari,
+                quality_cells
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Table 2: mis-labelled rate, ARI and individual cluster quality under
+/// Jaccard similarity, ρ ∈ {0.01, 0.5}.
+pub fn table2(scale: &Scale) -> String {
+    quality_table(
+        scale,
+        SimilarityMeasure::Jaccard,
+        &[0.01, 0.5],
+        "Table 2 — approximate clustering quality under Jaccard similarity",
+    )
+}
+
+/// Table 3: the same three quality measures under cosine similarity,
+/// ρ ∈ {0.01, 0.1}.
+pub fn table3(scale: &Scale) -> String {
+    quality_table(
+        scale,
+        SimilarityMeasure::Cosine,
+        &[0.01, 0.1],
+        "Table 3 — approximate clustering quality under cosine similarity",
+    )
+}
+
+// --------------------------------------------------------------------- //
+// Figures 4–6: cluster visualisation exports
+// --------------------------------------------------------------------- //
+
+/// Figures 4–6: export the top-20 clusters of the representative datasets
+/// (Jaccard and cosine) plus the ε-sweep on Google, as DOT files and
+/// intra/inter-density statistics (our substitute for the Gephi figures).
+pub fn fig4_5_6(scale: &Scale, output_dir: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figures 4–6 — top-20 cluster exports (DOT + density statistics)").unwrap();
+    std::fs::create_dir_all(output_dir).ok();
+    let mut jobs: Vec<(String, DatasetSpec, SimilarityMeasure, f64)> = Vec::new();
+    for spec in representative_datasets() {
+        let spec = spec_at(scale, spec);
+        jobs.push((
+            format!("fig4_{}_jaccard", spec.short_name.to_lowercase()),
+            spec,
+            SimilarityMeasure::Jaccard,
+            spec.eps_jaccard,
+        ));
+        jobs.push((
+            format!("fig6_{}_cosine", spec.short_name.to_lowercase()),
+            spec,
+            SimilarityMeasure::Cosine,
+            spec.eps_cosine,
+        ));
+    }
+    // Figure 5: Google under varying ε.
+    if let Some(google) = representative_datasets().into_iter().find(|d| d.short_name == "Google") {
+        let google = spec_at(scale, google);
+        for eps in [0.13, 0.135, 0.15, 0.2] {
+            jobs.push((
+                format!("fig5_google_eps{:.3}", eps),
+                google,
+                SimilarityMeasure::Jaccard,
+                eps,
+            ));
+        }
+    }
+    for (name, spec, measure, eps) in jobs {
+        let edges = spec.original_edges();
+        let (graph, _) = dynscan_graph::DynGraph::from_edges(edges.iter().copied());
+        let result = StaticScan::new(eps, 5, measure).cluster(&graph);
+        let stats = export::cluster_density_stats(&graph, &result, 20);
+        let path = format!("{output_dir}/{name}.dot");
+        let dot = export::top_clusters_dot(&graph, &result, 20);
+        std::fs::write(&path, dot).ok();
+        writeln!(
+            out,
+            "{:<28} clusters={:<4} top20-intra-density={:.4} inter-density={:.6} -> {}",
+            name, result.num_clusters(), stats.intra_density, stats.inter_density, path
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "Intra-cluster density exceeding the inter-cluster density by orders of magnitude is the\n\
+         property the paper reads off the Gephi visualisations."
+    )
+    .unwrap();
+    out
+}
+
+// --------------------------------------------------------------------- //
+// Figure 7: overall running time on all datasets
+// --------------------------------------------------------------------- //
+
+/// Figure 7: overall running time of the four algorithms on every dataset
+/// under the default setting.
+pub fn fig7(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figure 7 — overall running time (default setting, Jaccard)").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>9} | {:>12} {:>12} {:>14} {:>14} | {:>9}",
+        "dataset", "updates", "DynELM", "DynStrClu", "pSCAN-like", "hSCAN-like", "speed-up"
+    )
+    .unwrap();
+    for spec in all_datasets() {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        let outcomes = run_competitors(&spec, scale, &updates, SimilarityMeasure::Jaccard);
+        let cells: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                let mut s = fmt_duration(o.extrapolated_total);
+                if o.truncated {
+                    s.push('*');
+                }
+                s
+            })
+            .collect();
+        let speedup = outcomes[1].speedup_over(&outcomes[2]);
+        writeln!(
+            out,
+            "{:<12} {:>9} | {:>12} {:>12} {:>14} {:>14} | {:>8.1}x",
+            spec.short_name,
+            updates.len(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            speedup
+        )
+        .unwrap();
+    }
+    writeln!(out, "(*) extrapolated from a time-budget-truncated run, as the paper does for pSCAN/hSCAN.").unwrap();
+    writeln!(out, "speed-up = avg-update-time(pSCAN-like) / avg-update-time(DynStrClu).").unwrap();
+    out
+}
+
+// --------------------------------------------------------------------- //
+// Figure 8 / Figure 11: average update cost vs. timestamp
+// --------------------------------------------------------------------- //
+
+fn update_cost_figure(
+    scale: &Scale,
+    measure: SimilarityMeasure,
+    datasets: &[DatasetSpec],
+    title: &str,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {title}").unwrap();
+    for spec in datasets {
+        let spec = spec_at(scale, *spec);
+        for strategy in [
+            InsertionStrategy::RandomRandom,
+            InsertionStrategy::DegreeRandom,
+            InsertionStrategy::DegreeDegree,
+        ] {
+            let updates = build_stream(&spec, scale, strategy, 0.0);
+            let outcomes = run_competitors(&spec, scale, &updates, measure);
+            writeln!(out, "{} ({})", spec.short_name, strategy.short_name()).unwrap();
+            for outcome in &outcomes {
+                let series: Vec<String> = outcome
+                    .series
+                    .iter()
+                    .map(|(t, micros)| format!("{t}:{micros:.1}µs"))
+                    .collect();
+                writeln!(
+                    out,
+                    "  {:<12} avg={:>9.2}µs/update{}  series=[{}]",
+                    outcome.name,
+                    outcome.avg_update_micros,
+                    if outcome.truncated { " (truncated)" } else { "" },
+                    series.join(", ")
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Figure 8: average update cost vs. update timestamp for the RR / DR / DD
+/// insertion strategies under Jaccard similarity.
+pub fn fig8(scale: &Scale) -> String {
+    let datasets: Vec<DatasetSpec> = representative_datasets().into_iter().take(3).collect();
+    update_cost_figure(
+        scale,
+        SimilarityMeasure::Jaccard,
+        &datasets,
+        "Figure 8 — average update cost vs. timestamp (Jaccard; RR / DR / DD)",
+    )
+}
+
+/// Figure 11: average update cost vs. update timestamp under cosine
+/// similarity.
+pub fn fig11(scale: &Scale) -> String {
+    let datasets: Vec<DatasetSpec> = representative_datasets().into_iter().take(3).collect();
+    update_cost_figure(
+        scale,
+        SimilarityMeasure::Cosine,
+        &datasets,
+        "Figure 11 — average update cost vs. timestamp (cosine)",
+    )
+}
+
+// --------------------------------------------------------------------- //
+// Figures 9, 10, 12(a): parameter sweeps
+// --------------------------------------------------------------------- //
+
+/// Figure 9: overall running time vs. ε.
+pub fn fig9(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figure 9 — overall running time vs. ε (Jaccard, defaults μ=5, ρ=0.01)").unwrap();
+    for spec in representative_datasets().into_iter().take(3) {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        writeln!(out, "{}", spec.short_name).unwrap();
+        for eps in [0.1, 0.15, 0.2, 0.25, 0.3] {
+            let params = Params::jaccard(eps, 5)
+                .with_rho(0.01)
+                .with_delta_star_for_n(spec.num_vertices);
+            let mut cells = Vec::new();
+            for mut algo in competitor_set(params) {
+                let o = run_updates(algo.as_mut(), &updates, scale.checkpoints, scale.time_budget);
+                cells.push(format!(
+                    "{}={}{}",
+                    o.name,
+                    fmt_duration(o.extrapolated_total),
+                    if o.truncated { "*" } else { "" }
+                ));
+            }
+            writeln!(out, "  ε={eps:<5} {}", cells.join("  ")).unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 10: overall running time vs. the deletion ratio η.
+pub fn fig10(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figure 10 — overall running time vs. η (Jaccard, ε=0.2, μ=5, ρ=0.01)").unwrap();
+    for spec in representative_datasets().into_iter().take(3) {
+        let spec = spec_at(scale, spec);
+        writeln!(out, "{}", spec.short_name).unwrap();
+        for eta in [0.0, 0.01, 0.1, 0.2, 0.5] {
+            let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, eta);
+            let params = Params::jaccard(0.2, 5)
+                .with_rho(0.01)
+                .with_delta_star_for_n(spec.num_vertices);
+            let mut cells = Vec::new();
+            for mut algo in competitor_set(params) {
+                let o = run_updates(algo.as_mut(), &updates, scale.checkpoints, scale.time_budget);
+                cells.push(format!(
+                    "{}={}{}",
+                    o.name,
+                    fmt_duration(o.extrapolated_total),
+                    if o.truncated { "*" } else { "" }
+                ));
+            }
+            writeln!(out, "  η={eta:<5} {}", cells.join("  ")).unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 12(a): DynELM's overall running time vs. ρ.
+pub fn fig12a(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figure 12(a) — DynELM overall running time vs. ρ").unwrap();
+    for spec in representative_datasets() {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        let mut cells = Vec::new();
+        for rho in [0.01f64, 0.1, 0.5] {
+            let rho_cap = (1.0f64).min(1.0 / spec.eps_jaccard - 1.0);
+            let rho = rho.min(0.95 * rho_cap);
+            let params = default_params(&spec, SimilarityMeasure::Jaccard).with_rho(rho);
+            let mut algo = DynElm::new(params);
+            let o = run_updates(&mut algo, &updates, scale.checkpoints, scale.time_budget);
+            cells.push(format!(
+                "ρ={rho:.2}:{}{}",
+                fmt_duration(o.extrapolated_total),
+                if o.truncated { "*" } else { "" }
+            ));
+        }
+        writeln!(out, "{:<10} {}", spec.short_name, cells.join("  ")).unwrap();
+    }
+    out
+}
+
+// --------------------------------------------------------------------- //
+// Figure 12(b): cluster-group-by query time vs. |Q|
+// --------------------------------------------------------------------- //
+
+/// Figure 12(b): cluster-group-by query time of DynStrClu vs. the query
+/// size |Q|.
+pub fn fig12b(scale: &Scale) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Figure 12(b) — cluster-group-by query time vs. |Q| (DynStrClu)").unwrap();
+    for spec in representative_datasets() {
+        let spec = spec_at(scale, spec);
+        let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
+        let params = default_params(&spec, SimilarityMeasure::Jaccard);
+        let mut algo = DynStrClu::new(params);
+        for &u in &updates {
+            algo.apply(u).ok();
+        }
+        let n = algo.graph().num_vertices().max(1);
+        let mut cells = Vec::new();
+        for q_size in [2usize, 8, 32, 128, 512] {
+            let q_size = q_size.min(n);
+            // Deterministic pseudo-random query sets.
+            let repetitions = 50;
+            let start = Instant::now();
+            for rep in 0..repetitions {
+                let q: Vec<VertexId> = (0..q_size)
+                    .map(|i| VertexId::from(((i * 2654435761 + rep * 97) % n) as u32))
+                    .collect();
+                let groups = algo.cluster_group_by(&q);
+                std::hint::black_box(groups);
+            }
+            let micros = start.elapsed().as_secs_f64() * 1e6 / repetitions as f64;
+            cells.push(format!("|Q|={q_size}:{micros:.1}µs"));
+        }
+        writeln!(out, "{:<10} {}", spec.short_name, cells.join("  ")).unwrap();
+    }
+    writeln!(out, "Query time should grow roughly linearly with |Q| (Theorem 7.1).").unwrap();
+    out
+}
+
+/// Run every experiment and concatenate the reports (the `all` subcommand).
+pub fn run_all(scale: &Scale, output_dir: &str) -> String {
+    let mut out = String::new();
+    let started = Instant::now();
+    for (name, text) in [
+        ("table1", table1(scale)),
+        ("table2", table2(scale)),
+        ("table3", table3(scale)),
+        ("fig4-6", fig4_5_6(scale, output_dir)),
+        ("fig7", fig7(scale)),
+        ("fig8", fig8(scale)),
+        ("fig9", fig9(scale)),
+        ("fig10", fig10(scale)),
+        ("fig11", fig11(scale)),
+        ("fig12a", fig12a(scale)),
+        ("fig12b", fig12b(scale)),
+    ] {
+        writeln!(out, "\n================ {name} ================").unwrap();
+        out.push_str(&text);
+    }
+    writeln!(
+        out,
+        "\nTotal harness time: {:.1}s",
+        started.elapsed().as_secs_f64()
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_table_runs_at_quick_scale() {
+        let mut scale = Scale::quick();
+        scale.dataset_factor = 32;
+        let report = table2(&scale);
+        assert!(report.contains("Slashdot"));
+        assert!(report.contains("ARI"));
+    }
+
+    #[test]
+    fn group_by_figure_runs_at_quick_scale() {
+        let mut scale = Scale::quick();
+        scale.dataset_factor = 32;
+        let report = fig12b(&scale);
+        assert!(report.contains("|Q|=2"));
+        assert!(report.contains("|Q|=512"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cluster visualisation exports (the substitute for the paper's Gephi
+//! figures, Figures 4–6).
+
+use dynscan_core::StrCluResult;
+use dynscan_graph::DynGraph;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Density statistics of the top-k clusters: the paper's visual claim is
+/// that intra-cluster edges are much denser than inter-cluster edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DensityStats {
+    /// Number of clusters considered (≤ k).
+    pub clusters: usize,
+    /// Vertices covered by the considered clusters.
+    pub covered_vertices: usize,
+    /// Edge density inside the considered clusters
+    /// (intra edges / intra vertex pairs).
+    pub intra_density: f64,
+    /// Edge density between different considered clusters.
+    pub inter_density: f64,
+}
+
+/// Compute intra- vs. inter-cluster edge density for the `k` largest
+/// clusters (hubs count for their first cluster, as in the paper's
+/// visualisations).
+pub fn cluster_density_stats(graph: &DynGraph, result: &StrCluResult, k: usize) -> DensityStats {
+    let top: Vec<usize> = result.clusters_by_size().into_iter().take(k).collect();
+    // Map each covered vertex to the first top cluster containing it.
+    let mut assignment: HashMap<u32, usize> = HashMap::new();
+    for (rank, &cluster) in top.iter().enumerate() {
+        for &v in result.cluster(cluster) {
+            assignment.entry(v.raw()).or_insert(rank);
+        }
+    }
+    let covered = assignment.len();
+    let mut cluster_sizes = vec![0usize; top.len()];
+    for &rank in assignment.values() {
+        cluster_sizes[rank] += 1;
+    }
+    let mut intra_edges = 0usize;
+    let mut inter_edges = 0usize;
+    for edge in graph.edges() {
+        match (
+            assignment.get(&edge.lo().raw()),
+            assignment.get(&edge.hi().raw()),
+        ) {
+            (Some(a), Some(b)) if a == b => intra_edges += 1,
+            (Some(_), Some(_)) => inter_edges += 1,
+            _ => {}
+        }
+    }
+    let intra_pairs: f64 = cluster_sizes
+        .iter()
+        .map(|&s| s as f64 * (s as f64 - 1.0) / 2.0)
+        .sum();
+    let total_pairs = covered as f64 * (covered as f64 - 1.0) / 2.0;
+    let inter_pairs = (total_pairs - intra_pairs).max(1.0);
+    DensityStats {
+        clusters: top.len(),
+        covered_vertices: covered,
+        intra_density: if intra_pairs > 0.0 {
+            intra_edges as f64 / intra_pairs
+        } else {
+            0.0
+        },
+        inter_density: inter_edges as f64 / inter_pairs,
+    }
+}
+
+/// Render the top-k clusters as a Graphviz DOT document: one colour per
+/// cluster, noise omitted — the same content as the paper's Gephi figures.
+pub fn top_clusters_dot(graph: &DynGraph, result: &StrCluResult, k: usize) -> String {
+    const PALETTE: [&str; 10] = [
+        "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6", "#bcf60c",
+        "#fabebe", "#008080",
+    ];
+    let top: Vec<usize> = result.clusters_by_size().into_iter().take(k).collect();
+    let mut assignment: HashMap<u32, usize> = HashMap::new();
+    for (rank, &cluster) in top.iter().enumerate() {
+        for &v in result.cluster(cluster) {
+            assignment.entry(v.raw()).or_insert(rank);
+        }
+    }
+    let mut dot = String::from("graph clusters {\n  node [shape=point];\n");
+    for (&v, &rank) in &assignment {
+        writeln!(
+            dot,
+            "  v{v} [color=\"{}\"];",
+            PALETTE[rank % PALETTE.len()]
+        )
+        .unwrap();
+    }
+    for edge in graph.edges() {
+        let (a, b) = (edge.lo().raw(), edge.hi().raw());
+        if assignment.contains_key(&a) && assignment.contains_key(&b) {
+            writeln!(dot, "  v{a} -- v{b};").unwrap();
+        }
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_baseline::StaticScan;
+    use dynscan_core::fixtures;
+
+    #[test]
+    fn fixture_is_denser_inside_clusters() {
+        let g = fixtures::two_cliques_with_hub();
+        let result = StaticScan::jaccard(0.29, 5).cluster(&g);
+        let stats = cluster_density_stats(&g, &result, 20);
+        assert_eq!(stats.clusters, 2);
+        assert!(stats.covered_vertices >= 13);
+        assert!(
+            stats.intra_density > 5.0 * stats.inter_density,
+            "intra {} should dominate inter {}",
+            stats.intra_density,
+            stats.inter_density
+        );
+    }
+
+    #[test]
+    fn dot_export_mentions_clustered_vertices_only() {
+        let g = fixtures::two_cliques_with_hub();
+        let result = StaticScan::jaccard(0.29, 5).cluster(&g);
+        let dot = top_clusters_dot(&g, &result, 20);
+        assert!(dot.starts_with("graph clusters {"));
+        assert!(dot.contains("v0 "));
+        assert!(!dot.contains("v13 ["), "noise vertex 13 must not appear as a node");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynscan-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 9), plus Criterion micro-benchmarks and the
+//! ablation benches listed in DESIGN.md.
+//!
+//! The harness is exposed both as a library (so the Criterion benches and
+//! the integration tests can reuse the runners) and as the `experiments`
+//! binary:
+//!
+//! ```text
+//! cargo run -p dynscan-bench --release --bin experiments -- table1
+//! cargo run -p dynscan-bench --release --bin experiments -- fig8 --quick
+//! cargo run -p dynscan-bench --release --bin experiments -- all --quick
+//! ```
+//!
+//! Absolute numbers differ from the paper (the datasets are scaled-down
+//! synthetic stand-ins and the machine is a laptop, not a 1 TB Xeon box);
+//! the harness is built to reproduce the *shape* of every result: which
+//! algorithm wins, by how many orders of magnitude, and how the curves move
+//! with ε, η, ρ and |Q|.
+
+pub mod experiments;
+pub mod export;
+pub mod runner;
+pub mod scale;
+
+pub use runner::{run_updates, RunOutcome};
+pub use scale::Scale;

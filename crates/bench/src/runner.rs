@@ -1,0 +1,130 @@
+//! Timed execution of update streams against a clustering algorithm.
+
+use dynscan_core::DynamicClustering;
+use dynscan_graph::GraphUpdate;
+use dynscan_metrics::PeakTracker;
+use std::time::{Duration, Instant};
+
+/// The outcome of replaying (part of) an update stream against one
+/// algorithm.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Updates applied within the time budget.
+    pub updates_applied: usize,
+    /// Updates that were requested.
+    pub updates_requested: usize,
+    /// Wall-clock time spent applying updates.
+    pub elapsed: Duration,
+    /// Average time per applied update, in microseconds.
+    pub avg_update_micros: f64,
+    /// Total time extrapolated to the full requested stream (equal to
+    /// `elapsed` when nothing was cut off).
+    pub extrapolated_total: Duration,
+    /// Whether the run was cut off by the time budget.
+    pub truncated: bool,
+    /// Peak memory footprint observed at the checkpoints, in bytes.
+    pub peak_memory: usize,
+    /// `(updates so far, running average µs/update)` at each checkpoint —
+    /// the series plotted by the "cost vs. timestamp" figures.
+    pub series: Vec<(usize, f64)>,
+}
+
+impl RunOutcome {
+    /// Pretty ratio of this run's average update cost to another's.
+    pub fn speedup_over(&self, other: &RunOutcome) -> f64 {
+        if self.avg_update_micros <= 0.0 {
+            return f64::INFINITY;
+        }
+        other.avg_update_micros / self.avg_update_micros
+    }
+}
+
+/// Apply `updates` to `algo`, measuring wall-clock time, recording
+/// `checkpoints` intermediate averages and stopping early once
+/// `time_budget` is exceeded (the cut-off is checked between checkpoints so
+/// the timed region stays free of clock reads).
+pub fn run_updates<A: DynamicClustering + ?Sized>(
+    algo: &mut A,
+    updates: &[GraphUpdate],
+    checkpoints: usize,
+    time_budget: Duration,
+) -> RunOutcome {
+    let requested = updates.len();
+    let chunk = (requested / checkpoints.max(1)).max(1);
+    let mut peak = PeakTracker::new();
+    let mut series = Vec::with_capacity(checkpoints + 1);
+    let mut applied = 0usize;
+    let mut elapsed = Duration::ZERO;
+    let mut truncated = false;
+    for batch in updates.chunks(chunk) {
+        let start = Instant::now();
+        for &update in batch {
+            algo.apply_update(update);
+        }
+        elapsed += start.elapsed();
+        applied += batch.len();
+        peak.record(algo.memory_bytes());
+        series.push((applied, elapsed.as_secs_f64() * 1e6 / applied as f64));
+        if elapsed > time_budget {
+            truncated = applied < requested;
+            break;
+        }
+    }
+    let avg_update_micros = if applied == 0 {
+        0.0
+    } else {
+        elapsed.as_secs_f64() * 1e6 / applied as f64
+    };
+    let extrapolated_total = if applied == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(elapsed.as_secs_f64() * requested as f64 / applied as f64)
+    };
+    RunOutcome {
+        name: algo.algorithm_name(),
+        updates_applied: applied,
+        updates_requested: requested,
+        elapsed,
+        avg_update_micros,
+        extrapolated_total,
+        truncated,
+        peak_memory: peak.peak(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::{DynStrClu, Params};
+    use dynscan_workload::{erdos_renyi, UpdateStream, UpdateStreamConfig};
+
+    #[test]
+    fn runner_applies_all_updates_within_budget() {
+        let initial = erdos_renyi(200, 600, 3);
+        let mut stream = UpdateStream::new(&initial, UpdateStreamConfig::new(200).with_eta(0.1));
+        let updates = stream.take_updates(1200);
+        let mut algo = DynStrClu::new(Params::jaccard(0.3, 4).with_rho(0.1));
+        let outcome = run_updates(&mut algo, &updates, 5, Duration::from_secs(60));
+        assert_eq!(outcome.updates_applied, updates.len());
+        assert!(!outcome.truncated);
+        assert!(outcome.avg_update_micros > 0.0);
+        assert!(outcome.peak_memory > 0);
+        assert_eq!(outcome.series.len(), 5);
+        assert!(outcome.extrapolated_total >= outcome.elapsed);
+    }
+
+    #[test]
+    fn runner_truncates_on_tiny_budget() {
+        let initial = erdos_renyi(300, 2000, 4);
+        let mut stream = UpdateStream::new(&initial, UpdateStreamConfig::new(300));
+        let updates = stream.take_updates(4000);
+        let mut algo = DynStrClu::new(Params::jaccard(0.3, 4).with_rho(0.1));
+        let outcome = run_updates(&mut algo, &updates, 100, Duration::from_nanos(1));
+        assert!(outcome.truncated);
+        assert!(outcome.updates_applied < updates.len());
+        assert!(outcome.extrapolated_total >= outcome.elapsed);
+    }
+}

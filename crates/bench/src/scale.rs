@@ -1,0 +1,76 @@
+//! Experiment scaling knobs.
+
+use std::time::Duration;
+
+/// How large the experiments run.
+///
+/// The paper's update sequences contain up to 1.3 billion updates; the
+/// harness scales everything down so that a full pass finishes on a laptop,
+/// while keeping the relative comparisons intact.  Two presets exist:
+///
+/// * [`Scale::default_scale`] — the sizes recorded in EXPERIMENTS.md;
+/// * [`Scale::quick`] — a smoke-test scale used by `--quick`, CI and the
+///   integration tests.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Divide every dataset's vertex/edge counts by this factor.
+    pub dataset_factor: usize,
+    /// Number of generated updates after the initial m₀ insertions,
+    /// expressed as a multiple of m₀ (the paper uses 9).
+    pub extra_updates_factor: f64,
+    /// Wall-clock budget per (algorithm, dataset) run; slow baselines are
+    /// cut off after this much time and their totals extrapolated, exactly
+    /// like the paper extrapolates pSCAN / hSCAN on the large datasets.
+    pub time_budget: Duration,
+    /// Number of checkpoints recorded for the "cost vs. timestamp" figures.
+    pub checkpoints: usize,
+}
+
+impl Scale {
+    /// The scale used for the numbers recorded in EXPERIMENTS.md.
+    pub fn default_scale() -> Self {
+        Scale {
+            dataset_factor: 4,
+            extra_updates_factor: 0.5,
+            time_budget: Duration::from_secs(3),
+            checkpoints: 10,
+        }
+    }
+
+    /// A much smaller scale for smoke tests.
+    pub fn quick() -> Self {
+        Scale {
+            dataset_factor: 8,
+            extra_updates_factor: 1.0,
+            time_budget: Duration::from_secs(2),
+            checkpoints: 5,
+        }
+    }
+
+    /// The number of generated updates for a dataset with `m0` original
+    /// edges.
+    pub fn extra_updates(&self, m0: usize) -> usize {
+        (m0 as f64 * self.extra_updates_factor) as usize
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let d = Scale::default_scale();
+        let q = Scale::quick();
+        assert!(q.dataset_factor > d.dataset_factor);
+        assert!(q.time_budget <= d.time_budget);
+        assert_eq!(d.extra_updates(100), (100.0 * d.extra_updates_factor) as usize);
+        assert_eq!(q.extra_updates(100), (100.0 * q.extra_updates_factor) as usize);
+    }
+}

@@ -1,0 +1,850 @@
+//! Euler tour trees over randomized treaps.
+//!
+//! An Euler tour forest represents each tree of a forest as the Euler tour
+//! of that tree, stored in a balanced binary search tree keyed by tour
+//! position.  We use treaps (heap-ordered by random priority) with parent
+//! pointers, which give expected O(log n) splits, merges and position
+//! queries.
+//!
+//! Tour representation: every vertex has one *vertex node*; every tree edge
+//! `{u, v}` has two *arc nodes* `u→v` and `v→u`.  The tour of a tree rooted
+//! at `r` is `vert(r), [arc(r,c), tour(c), arc(c,r)]` for each child `c`.
+//! Re-rooting is a cyclic rotation of the sequence; linking concatenates
+//! two tours with the two new arc nodes; cutting splits out the sub-tour
+//! enclosed by the two arc nodes.
+//!
+//! The nodes carry the augmentation the HDT connectivity structure needs:
+//!
+//! * a count of vertex nodes per subtree (component sizes),
+//! * an OR-flag over vertex nodes ("this vertex has non-tree edges at this
+//!   level"), and
+//! * an OR-flag over arc nodes ("this tree edge has exactly this level"),
+//!
+//! so that a flagged vertex or flagged tree edge inside a component can be
+//! located in O(log n).
+
+use dynscan_graph::{EdgeKey, MemoryFootprint, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Payload {
+    /// The unique node of a vertex.
+    Vertex(VertexId),
+    /// A directed arc of a tree edge (`from → to`).
+    Arc { from: VertexId, to: VertexId },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    priority: u64,
+    parent: u32,
+    left: u32,
+    right: u32,
+    payload: Payload,
+    /// Number of nodes in this subtree (including self).
+    subtree_size: u32,
+    /// Number of vertex nodes in this subtree.
+    vertex_count: u32,
+    /// Flag on this node itself (meaning depends on the payload kind).
+    self_flag: bool,
+    /// OR of `self_flag` over vertex nodes in this subtree.
+    sub_vertex_flag: bool,
+    /// OR of `self_flag` over arc nodes in this subtree.
+    sub_arc_flag: bool,
+}
+
+/// An Euler tour forest: a dynamic forest supporting `link`, `cut`,
+/// `connected`, component sizes and flag-guided searches.
+///
+/// The caller is responsible for only linking vertices in *different* trees
+/// and only cutting existing tree edges; violations panic in debug builds.
+#[derive(Clone, Debug)]
+pub struct EulerTourForest {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    vertex_node: Vec<u32>,
+    arc_nodes: HashMap<EdgeKey, (u32, u32)>,
+    rng: SmallRng,
+}
+
+impl Default for EulerTourForest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EulerTourForest {
+    /// Create an empty forest with no vertices.
+    pub fn new() -> Self {
+        EulerTourForest {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            vertex_node: Vec::new(),
+            arc_nodes: HashMap::new(),
+            rng: SmallRng::seed_from_u64(0x5eed_e77),
+        }
+    }
+
+    /// Create an empty forest with a deterministic priority seed (useful for
+    /// reproducible benchmarks).
+    pub fn with_seed(seed: u64) -> Self {
+        EulerTourForest {
+            rng: SmallRng::seed_from_u64(seed),
+            ..Self::new()
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Node arena helpers
+    // ----------------------------------------------------------------- //
+
+    fn alloc(&mut self, payload: Payload) -> u32 {
+        let node = Node {
+            priority: self.rng.gen(),
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            payload,
+            subtree_size: 1,
+            vertex_count: matches!(payload, Payload::Vertex(_)) as u32,
+            self_flag: false,
+            sub_vertex_flag: false,
+            sub_arc_flag: false,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    #[inline]
+    fn size(&self, idx: u32) -> u32 {
+        if idx == NONE {
+            0
+        } else {
+            self.nodes[idx as usize].subtree_size
+        }
+    }
+
+    #[inline]
+    fn vcount(&self, idx: u32) -> u32 {
+        if idx == NONE {
+            0
+        } else {
+            self.nodes[idx as usize].vertex_count
+        }
+    }
+
+    #[inline]
+    fn sub_vflag(&self, idx: u32) -> bool {
+        idx != NONE && self.nodes[idx as usize].sub_vertex_flag
+    }
+
+    #[inline]
+    fn sub_aflag(&self, idx: u32) -> bool {
+        idx != NONE && self.nodes[idx as usize].sub_arc_flag
+    }
+
+    fn update(&mut self, idx: u32) {
+        let (left, right) = {
+            let n = &self.nodes[idx as usize];
+            (n.left, n.right)
+        };
+        let size = 1 + self.size(left) + self.size(right);
+        let n_ref = &self.nodes[idx as usize];
+        let is_vertex = matches!(n_ref.payload, Payload::Vertex(_));
+        let self_flag = n_ref.self_flag;
+        let vcount = is_vertex as u32 + self.vcount(left) + self.vcount(right);
+        let sub_v = (is_vertex && self_flag) || self.sub_vflag(left) || self.sub_vflag(right);
+        let sub_a = (!is_vertex && self_flag) || self.sub_aflag(left) || self.sub_aflag(right);
+        let n = &mut self.nodes[idx as usize];
+        n.subtree_size = size;
+        n.vertex_count = vcount;
+        n.sub_vertex_flag = sub_v;
+        n.sub_arc_flag = sub_a;
+    }
+
+    fn update_to_root(&mut self, mut idx: u32) {
+        while idx != NONE {
+            self.update(idx);
+            idx = self.nodes[idx as usize].parent;
+        }
+    }
+
+    fn root_of(&self, mut idx: u32) -> u32 {
+        while self.nodes[idx as usize].parent != NONE {
+            idx = self.nodes[idx as usize].parent;
+        }
+        idx
+    }
+
+    /// 0-based position of `idx` within its tour sequence.
+    fn index_of(&self, idx: u32) -> usize {
+        let mut pos = self.size(self.nodes[idx as usize].left) as usize;
+        let mut cur = idx;
+        let mut parent = self.nodes[cur as usize].parent;
+        while parent != NONE {
+            if self.nodes[parent as usize].right == cur {
+                pos += 1 + self.size(self.nodes[parent as usize].left) as usize;
+            }
+            cur = parent;
+            parent = self.nodes[cur as usize].parent;
+        }
+        pos
+    }
+
+    /// Merge two treaps (sequences `a` then `b`); returns the new root.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        if self.nodes[a as usize].priority >= self.nodes[b as usize].priority {
+            let a_right = self.nodes[a as usize].right;
+            let merged = self.merge(a_right, b);
+            self.nodes[a as usize].right = merged;
+            self.nodes[merged as usize].parent = a;
+            self.update(a);
+            a
+        } else {
+            let b_left = self.nodes[b as usize].left;
+            let merged = self.merge(a, b_left);
+            self.nodes[b as usize].left = merged;
+            self.nodes[merged as usize].parent = b;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Split the first `k` nodes of the treap rooted at `root` into the
+    /// left part; returns `(left, right)` roots.
+    fn split(&mut self, root: u32, k: usize) -> (u32, u32) {
+        if root == NONE {
+            return (NONE, NONE);
+        }
+        let left = self.nodes[root as usize].left;
+        let left_size = self.size(left) as usize;
+        if k <= left_size {
+            // Split inside the left subtree.
+            self.detach_left(root);
+            let (a, b) = self.split(left, k);
+            self.attach_left(root, b);
+            self.update(root);
+            self.nodes[root as usize].parent = NONE;
+            if a != NONE {
+                self.nodes[a as usize].parent = NONE;
+            }
+            (a, root)
+        } else {
+            let right = self.nodes[root as usize].right;
+            self.detach_right(root);
+            let (a, b) = self.split(right, k - left_size - 1);
+            self.attach_right(root, a);
+            self.update(root);
+            self.nodes[root as usize].parent = NONE;
+            if b != NONE {
+                self.nodes[b as usize].parent = NONE;
+            }
+            (root, b)
+        }
+    }
+
+    fn detach_left(&mut self, idx: u32) {
+        let l = self.nodes[idx as usize].left;
+        if l != NONE {
+            self.nodes[l as usize].parent = NONE;
+        }
+        self.nodes[idx as usize].left = NONE;
+    }
+
+    fn detach_right(&mut self, idx: u32) {
+        let r = self.nodes[idx as usize].right;
+        if r != NONE {
+            self.nodes[r as usize].parent = NONE;
+        }
+        self.nodes[idx as usize].right = NONE;
+    }
+
+    fn attach_left(&mut self, idx: u32, child: u32) {
+        self.nodes[idx as usize].left = child;
+        if child != NONE {
+            self.nodes[child as usize].parent = idx;
+        }
+    }
+
+    fn attach_right(&mut self, idx: u32, child: u32) {
+        self.nodes[idx as usize].right = child;
+        if child != NONE {
+            self.nodes[child as usize].parent = idx;
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Vertex bookkeeping
+    // ----------------------------------------------------------------- //
+
+    /// Whether vertex `v` already has a node in the forest.
+    pub fn has_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.vertex_node.len() && self.vertex_node[v.index()] != NONE
+    }
+
+    /// Ensure vertex `v` has a (singleton) node.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v.index() >= self.vertex_node.len() {
+            self.vertex_node.resize(v.index() + 1, NONE);
+        }
+        if self.vertex_node[v.index()] == NONE {
+            let idx = self.alloc(Payload::Vertex(v));
+            self.vertex_node[v.index()] = idx;
+        }
+    }
+
+    fn vnode(&self, v: VertexId) -> Option<u32> {
+        self.vertex_node
+            .get(v.index())
+            .copied()
+            .filter(|&i| i != NONE)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Forest operations
+    // ----------------------------------------------------------------- //
+
+    /// Whether `u` and `v` are in the same tree.  Vertices without a node
+    /// are singletons.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        match (self.vnode(u), self.vnode(v)) {
+            (Some(a), Some(b)) => self.root_of(a) == self.root_of(b),
+            _ => false,
+        }
+    }
+
+    /// Whether the tree edge `(u, v)` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.arc_nodes.contains_key(&EdgeKey::new(u, v))
+    }
+
+    /// Number of tree edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.arc_nodes.len()
+    }
+
+    /// Number of vertex nodes in the tree containing `v` (1 for vertices
+    /// that have never been touched).
+    pub fn tree_vertex_count(&self, v: VertexId) -> usize {
+        match self.vnode(v) {
+            None => 1,
+            Some(idx) => self.nodes[self.root_of(idx) as usize].vertex_count as usize,
+        }
+    }
+
+    /// An identifier of the tree containing `v`, stable until the next
+    /// `link`/`cut` on the forest.  Distinct trees get distinct identifiers.
+    pub fn tree_id(&self, v: VertexId) -> u64 {
+        match self.vnode(v) {
+            // Vertices never materialised cannot collide with arena indices.
+            None => (1u64 << 40) | u64::from(v.raw()),
+            Some(idx) => u64::from(self.root_of(idx)),
+        }
+    }
+
+    /// Re-root the tour of `v`'s tree at `v` and return the treap root.
+    fn reroot(&mut self, v: VertexId) -> u32 {
+        let node = self.vnode(v).expect("reroot: vertex must exist");
+        let root = self.root_of(node);
+        let pos = self.index_of(node);
+        if pos == 0 {
+            return root;
+        }
+        let (a, b) = self.split(root, pos);
+        self.merge(b, a)
+    }
+
+    /// Link trees containing `u` and `v` with a new tree edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge already exists or the endpoints are already
+    /// connected.
+    pub fn link(&mut self, u: VertexId, v: VertexId) {
+        let key = EdgeKey::new(u, v);
+        assert!(
+            !self.arc_nodes.contains_key(&key),
+            "link: tree edge {key:?} already exists"
+        );
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        debug_assert!(!self.connected(u, v), "link: {u} and {v} already connected");
+        let ru = self.reroot(u);
+        let rv = self.reroot(v);
+        let arc_uv = self.alloc(Payload::Arc { from: u, to: v });
+        let arc_vu = self.alloc(Payload::Arc { from: v, to: u });
+        // Record arcs in canonical order (lo → hi first).
+        if u == key.lo() {
+            self.arc_nodes.insert(key, (arc_uv, arc_vu));
+        } else {
+            self.arc_nodes.insert(key, (arc_vu, arc_uv));
+        }
+        let t = self.merge(ru, arc_uv);
+        let t = self.merge(t, rv);
+        self.merge(t, arc_vu);
+    }
+
+    /// Cut the tree edge `(u, v)`, splitting its tree in two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(u, v)` is not a tree edge.
+    pub fn cut(&mut self, u: VertexId, v: VertexId) {
+        let key = EdgeKey::new(u, v);
+        let (arc_a, arc_b) = self
+            .arc_nodes
+            .remove(&key)
+            .unwrap_or_else(|| panic!("cut: {key:?} is not a tree edge"));
+        let root = self.root_of(arc_a);
+        debug_assert_eq!(root, self.root_of(arc_b), "arcs of one edge share a tree");
+        let (pos_a, pos_b) = (self.index_of(arc_a), self.index_of(arc_b));
+        let (first, second, pos1, pos2) = if pos_a < pos_b {
+            (arc_a, arc_b, pos_a, pos_b)
+        } else {
+            (arc_b, arc_a, pos_b, pos_a)
+        };
+        // Sequence = X  [first]  M  [second]  Z, with |X| = pos1 and
+        // |M| = pos2 - pos1 - 1.  M is the tour of the detached subtree;
+        // X ++ Z is the tour of the remaining tree.
+        let (x, rest) = self.split(root, pos1);
+        let (first_tree, rest) = self.split(rest, 1);
+        debug_assert_eq!(first_tree, first);
+        let (_middle, rest) = self.split(rest, pos2 - pos1 - 1);
+        let (second_tree, z) = self.split(rest, 1);
+        debug_assert_eq!(second_tree, second);
+        self.merge(x, z);
+        self.release(first);
+        self.release(second);
+    }
+
+    // ----------------------------------------------------------------- //
+    // Flags and augmented searches (used by the HDT level structure)
+    // ----------------------------------------------------------------- //
+
+    /// Set the vertex flag of `v` (e.g. "v has non-tree edges at this
+    /// level").  The vertex node is created if missing.
+    pub fn set_vertex_flag(&mut self, v: VertexId, flag: bool) {
+        self.ensure_vertex(v);
+        let idx = self.vertex_node[v.index()];
+        if self.nodes[idx as usize].self_flag != flag {
+            self.nodes[idx as usize].self_flag = flag;
+            self.update_to_root(idx);
+        }
+    }
+
+    /// Current vertex flag of `v`.
+    pub fn vertex_flag(&self, v: VertexId) -> bool {
+        self.vnode(v)
+            .map(|i| self.nodes[i as usize].self_flag)
+            .unwrap_or(false)
+    }
+
+    /// Set the arc flag of the tree edge `(u, v)` (e.g. "this tree edge has
+    /// exactly this level").  The flag is stored on the canonical arc only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(u, v)` is not a tree edge.
+    pub fn set_arc_flag(&mut self, u: VertexId, v: VertexId, flag: bool) {
+        let key = EdgeKey::new(u, v);
+        let (canonical, _) = *self
+            .arc_nodes
+            .get(&key)
+            .unwrap_or_else(|| panic!("set_arc_flag: {key:?} is not a tree edge"));
+        if self.nodes[canonical as usize].self_flag != flag {
+            self.nodes[canonical as usize].self_flag = flag;
+            self.update_to_root(canonical);
+        }
+    }
+
+    /// Find any flagged vertex in the tree containing `v`.
+    pub fn find_flagged_vertex(&self, v: VertexId) -> Option<VertexId> {
+        let root = self.vnode(v).map(|i| self.root_of(i))?;
+        self.descend_vertex_flag(root)
+    }
+
+    fn descend_vertex_flag(&self, mut idx: u32) -> Option<VertexId> {
+        if !self.sub_vflag(idx) {
+            return None;
+        }
+        loop {
+            let n = &self.nodes[idx as usize];
+            if self.sub_vflag(n.left) {
+                idx = n.left;
+                continue;
+            }
+            if n.self_flag {
+                if let Payload::Vertex(v) = n.payload {
+                    return Some(v);
+                }
+            }
+            if self.sub_vflag(n.right) {
+                idx = n.right;
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Find any flagged tree edge in the tree containing `v`.
+    pub fn find_flagged_arc(&self, v: VertexId) -> Option<(VertexId, VertexId)> {
+        let root = self.vnode(v).map(|i| self.root_of(i))?;
+        self.descend_arc_flag(root)
+    }
+
+    fn descend_arc_flag(&self, mut idx: u32) -> Option<(VertexId, VertexId)> {
+        if !self.sub_aflag(idx) {
+            return None;
+        }
+        loop {
+            let n = &self.nodes[idx as usize];
+            if self.sub_aflag(n.left) {
+                idx = n.left;
+                continue;
+            }
+            if n.self_flag {
+                if let Payload::Arc { from, to } = n.payload {
+                    return Some((from, to));
+                }
+            }
+            if self.sub_aflag(n.right) {
+                idx = n.right;
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Collect every vertex of the tree containing `v` (test / debug helper;
+    /// O(size of tree)).
+    pub fn tree_vertices(&self, v: VertexId) -> Vec<VertexId> {
+        let Some(node) = self.vnode(v) else {
+            return vec![v];
+        };
+        let root = self.root_of(node);
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            if idx == NONE {
+                continue;
+            }
+            let n = &self.nodes[idx as usize];
+            if let Payload::Vertex(x) = n.payload {
+                out.push(x);
+            }
+            stack.push(n.left);
+            stack.push(n.right);
+        }
+        out
+    }
+
+    /// Internal consistency check used by tests: augmentation values match a
+    /// bottom-up recomputation.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let i = i as u32;
+            if self.free.contains(&i) {
+                continue;
+            }
+            let expect_size = 1 + self.size(n.left) + self.size(n.right);
+            let is_vertex = matches!(n.payload, Payload::Vertex(_));
+            let expect_vcount = is_vertex as u32 + self.vcount(n.left) + self.vcount(n.right);
+            if n.subtree_size != expect_size || n.vertex_count != expect_vcount {
+                return false;
+            }
+            // Heap order on priorities.
+            for child in [n.left, n.right] {
+                if child != NONE {
+                    if self.nodes[child as usize].parent != i {
+                        return false;
+                    }
+                    if self.nodes[child as usize].priority > n.priority {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl MemoryFootprint for EulerTourForest {
+    fn memory_bytes(&self) -> usize {
+        dynscan_graph::footprint::vec_bytes(&self.nodes)
+            + dynscan_graph::footprint::vec_bytes(&self.free)
+            + dynscan_graph::footprint::vec_bytes(&self.vertex_node)
+            + dynscan_graph::footprint::hashmap_bytes(&self.arc_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn singletons_are_disconnected() {
+        let mut f = EulerTourForest::new();
+        f.ensure_vertex(v(0));
+        f.ensure_vertex(v(1));
+        assert!(!f.connected(v(0), v(1)));
+        assert!(f.connected(v(0), v(0)));
+        assert_eq!(f.tree_vertex_count(v(0)), 1);
+        assert_ne!(f.tree_id(v(0)), f.tree_id(v(1)));
+    }
+
+    #[test]
+    fn link_then_cut_roundtrip() {
+        let mut f = EulerTourForest::new();
+        f.link(v(0), v(1));
+        assert!(f.connected(v(0), v(1)));
+        assert_eq!(f.tree_vertex_count(v(0)), 2);
+        assert_eq!(f.tree_id(v(0)), f.tree_id(v(1)));
+        assert!(f.check_invariants());
+
+        f.cut(v(0), v(1));
+        assert!(!f.connected(v(0), v(1)));
+        assert_eq!(f.tree_vertex_count(v(0)), 1);
+        assert!(f.check_invariants());
+    }
+
+    #[test]
+    fn path_connectivity_and_sizes() {
+        let mut f = EulerTourForest::new();
+        for i in 0..9 {
+            f.link(v(i), v(i + 1));
+        }
+        assert!(f.connected(v(0), v(9)));
+        assert_eq!(f.tree_vertex_count(v(4)), 10);
+        assert!(f.check_invariants());
+
+        // Cut the middle edge: two components of size 5.
+        f.cut(v(4), v(5));
+        assert!(!f.connected(v(0), v(9)));
+        assert!(f.connected(v(0), v(4)));
+        assert!(f.connected(v(5), v(9)));
+        assert_eq!(f.tree_vertex_count(v(0)), 5);
+        assert_eq!(f.tree_vertex_count(v(9)), 5);
+        assert!(f.check_invariants());
+    }
+
+    #[test]
+    fn star_tree_cuts() {
+        let mut f = EulerTourForest::new();
+        for i in 1..=8 {
+            f.link(v(0), v(i));
+        }
+        assert_eq!(f.tree_vertex_count(v(0)), 9);
+        f.cut(v(0), v(3));
+        assert!(!f.connected(v(0), v(3)));
+        assert_eq!(f.tree_vertex_count(v(3)), 1);
+        assert_eq!(f.tree_vertex_count(v(0)), 8);
+        // Remaining spokes are still attached.
+        for i in [1, 2, 4, 5, 6, 7, 8] {
+            assert!(f.connected(v(0), v(i)));
+        }
+        assert!(f.check_invariants());
+    }
+
+    #[test]
+    fn relink_after_cut_between_different_trees() {
+        let mut f = EulerTourForest::new();
+        f.link(v(0), v(1));
+        f.link(v(1), v(2));
+        f.link(v(3), v(4));
+        assert!(!f.connected(v(2), v(4)));
+        f.link(v(2), v(3));
+        assert!(f.connected(v(0), v(4)));
+        f.cut(v(1), v(2));
+        assert!(f.connected(v(2), v(4)));
+        assert!(!f.connected(v(0), v(2)));
+        assert!(f.connected(v(0), v(1)));
+        assert!(f.check_invariants());
+    }
+
+    #[test]
+    fn vertex_flags_are_searchable() {
+        let mut f = EulerTourForest::new();
+        for i in 0..7 {
+            f.link(v(i), v(i + 1));
+        }
+        assert_eq!(f.find_flagged_vertex(v(0)), None);
+        f.set_vertex_flag(v(5), true);
+        assert_eq!(f.find_flagged_vertex(v(0)), Some(v(5)));
+        assert!(f.vertex_flag(v(5)));
+        f.set_vertex_flag(v(2), true);
+        let found = f.find_flagged_vertex(v(7)).unwrap();
+        assert!(found == v(5) || found == v(2));
+        f.set_vertex_flag(v(5), false);
+        f.set_vertex_flag(v(2), false);
+        assert_eq!(f.find_flagged_vertex(v(0)), None);
+    }
+
+    #[test]
+    fn flags_do_not_leak_across_trees() {
+        let mut f = EulerTourForest::new();
+        f.link(v(0), v(1));
+        f.link(v(2), v(3));
+        f.set_vertex_flag(v(3), true);
+        assert_eq!(f.find_flagged_vertex(v(0)), None);
+        assert_eq!(f.find_flagged_vertex(v(2)), Some(v(3)));
+    }
+
+    #[test]
+    fn arc_flags_are_searchable_and_survive_restructuring() {
+        let mut f = EulerTourForest::new();
+        for i in 0..5 {
+            f.link(v(i), v(i + 1));
+        }
+        f.set_arc_flag(v(2), v(3), true);
+        assert_eq!(f.find_flagged_arc(v(0)).map(EdgeKey::from).map(|e| e.endpoints()),
+                   Some((v(2), v(3))));
+        // Linking another tree to this one must keep the flag findable.
+        f.link(v(5), v(7));
+        let found = f.find_flagged_arc(v(7)).unwrap();
+        assert_eq!(EdgeKey::new(found.0, found.1), EdgeKey::new(v(2), v(3)));
+        f.set_arc_flag(v(2), v(3), false);
+        assert_eq!(f.find_flagged_arc(v(0)), None);
+    }
+
+    #[test]
+    fn tree_vertices_enumerates_component() {
+        let mut f = EulerTourForest::new();
+        f.link(v(0), v(1));
+        f.link(v(1), v(2));
+        f.link(v(5), v(6));
+        let a: HashSet<_> = f.tree_vertices(v(0)).into_iter().collect();
+        assert_eq!(a, [v(0), v(1), v(2)].into_iter().collect());
+        let b: HashSet<_> = f.tree_vertices(v(6)).into_iter().collect();
+        assert_eq!(b, [v(5), v(6)].into_iter().collect());
+        assert_eq!(f.tree_vertices(v(9)), vec![v(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree edge")]
+    fn cutting_missing_edge_panics() {
+        let mut f = EulerTourForest::new();
+        f.link(v(0), v(1));
+        f.cut(v(1), v(2));
+    }
+
+    /// Reference forest for the property test: a map of tree edges plus
+    /// BFS-based connectivity.
+    #[derive(Default)]
+    struct RefForest {
+        edges: HashSet<(u32, u32)>,
+    }
+
+    impl RefForest {
+        fn connected(&self, a: u32, b: u32) -> bool {
+            if a == b {
+                return true;
+            }
+            let mut seen = HashSet::new();
+            let mut stack = vec![a];
+            seen.insert(a);
+            while let Some(x) = stack.pop() {
+                for &(p, q) in &self.edges {
+                    let other = if p == x {
+                        q
+                    } else if q == x {
+                        p
+                    } else {
+                        continue;
+                    };
+                    if seen.insert(other) {
+                        if other == b {
+                            return true;
+                        }
+                        stack.push(other);
+                    }
+                }
+            }
+            false
+        }
+
+        fn component_size(&self, a: u32) -> usize {
+            let mut seen = HashSet::new();
+            let mut stack = vec![a];
+            seen.insert(a);
+            while let Some(x) = stack.pop() {
+                for &(p, q) in &self.edges {
+                    let other = if p == x {
+                        q
+                    } else if q == x {
+                        p
+                    } else {
+                        continue;
+                    };
+                    if seen.insert(other) {
+                        stack.push(other);
+                    }
+                }
+            }
+            seen.len()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random interleavings of links (only when disconnected) and cuts
+        /// (only of existing tree edges) agree with BFS connectivity.
+        #[test]
+        fn matches_reference_forest(ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 1..250)) {
+            let mut f = EulerTourForest::new();
+            let mut reference = RefForest::default();
+            for i in 0u32..12 {
+                f.ensure_vertex(v(i));
+            }
+            for (want_link, a, b) in ops {
+                if a == b { continue; }
+                let key = (a.min(b), a.max(b));
+                if want_link {
+                    if !reference.connected(a, b) {
+                        f.link(v(a), v(b));
+                        reference.edges.insert(key);
+                    }
+                } else if reference.edges.contains(&key) {
+                    f.cut(v(a), v(b));
+                    reference.edges.remove(&key);
+                }
+            }
+            prop_assert!(f.check_invariants());
+            for a in 0u32..12 {
+                prop_assert_eq!(f.tree_vertex_count(v(a)), reference.component_size(a));
+                for b in (a + 1)..12 {
+                    prop_assert_eq!(f.connected(v(a), v(b)), reference.connected(a, b),
+                        "connectivity mismatch for ({}, {})", a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # dynscan-conn
+//!
+//! Fully dynamic connectivity, the substrate behind the paper's
+//! `CC-Str(G_core)` module (Fact 2): a data structure over the sim-core
+//! graph supporting edge insertion and deletion in O(log² n) amortized time
+//! and `FindCcID` in O(log n) worst-case time.
+//!
+//! Three implementations are provided:
+//!
+//! * [`HdtConnectivity`] — the Holm–de Lichtenberg–Thorup structure
+//!   (Euler-tour trees over randomized treaps, a level hierarchy of spanning
+//!   forests, and non-tree adjacency lists per level).  This is the
+//!   structure the paper's Fact 2 cites and the one `DynStrClu` uses.
+//! * [`NaiveConnectivity`] — recomputes components with a union-find scan
+//!   when queried after a deletion; correct but O(n + m) per recomputation.
+//!   Used for cross-validation and as an ablation baseline.
+//! * [`UnionFind`] — classic disjoint-set union for purely incremental
+//!   settings (static SCAN result extraction).
+//!
+//! All dynamic implementations expose the same [`DynamicConnectivity`]
+//! trait so the clustering layer can swap them.
+
+pub mod ett;
+pub mod hdt;
+pub mod naive;
+pub mod union_find;
+
+pub use ett::EulerTourForest;
+pub use hdt::HdtConnectivity;
+pub use naive::NaiveConnectivity;
+pub use union_find::UnionFind;
+
+use dynscan_graph::VertexId;
+
+/// Identifier of a connected component.
+///
+/// Identifiers are stable between two consecutive updates (so every query
+/// issued at a fixed version of the structure sees consistent ids) but are
+/// *not* guaranteed stable across updates — exactly the guarantee the
+/// cluster-group-by query needs.
+pub type ComponentId = u64;
+
+/// A fully dynamic connectivity structure over a growable vertex set.
+pub trait DynamicConnectivity {
+    /// Number of vertices the structure covers (`0..n`).
+    fn num_vertices(&self) -> usize;
+
+    /// Grow the vertex id space to at least `n` vertices.
+    fn ensure_vertices(&mut self, n: usize);
+
+    /// Insert the edge `(u, v)`.  Inserting an existing edge is a no-op and
+    /// returns `false`.
+    fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool;
+
+    /// Delete the edge `(u, v)`.  Deleting a missing edge is a no-op and
+    /// returns `false`.
+    fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool;
+
+    /// Whether `u` and `v` are currently in the same connected component.
+    fn connected(&mut self, u: VertexId, v: VertexId) -> bool;
+
+    /// The identifier of `u`'s connected component.
+    fn component_id(&mut self, u: VertexId) -> ComponentId;
+
+    /// Number of edges currently stored.
+    fn num_edges(&self) -> usize;
+}

@@ -1,0 +1,179 @@
+//! Naive dynamic connectivity: recompute components lazily with union-find.
+//!
+//! Correct but slow (O(n + m) whenever a query follows a deletion); used as
+//! the ground truth in tests and as the ablation baseline that motivates
+//! the HDT structure.
+
+use crate::union_find::UnionFind;
+use crate::{ComponentId, DynamicConnectivity};
+use dynscan_graph::{DynGraph, MemoryFootprint, VertexId};
+
+/// Recompute-on-demand connectivity.
+///
+/// Insertions are applied to the cached union-find immediately (that is
+/// sound: merging never invalidates existing unions).  Deletions mark the
+/// cache dirty; the next query rebuilds the union-find from the surviving
+/// edges.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveConnectivity {
+    graph: DynGraph,
+    cache: UnionFind,
+    dirty: bool,
+}
+
+impl NaiveConnectivity {
+    /// Create a structure over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        NaiveConnectivity {
+            graph: DynGraph::with_vertices(n),
+            cache: UnionFind::new(n),
+            dirty: false,
+        }
+    }
+
+    fn rebuild(&mut self) {
+        let n = self.graph.num_vertices();
+        let mut uf = UnionFind::new(n);
+        for edge in self.graph.edges() {
+            uf.union(edge.lo().index(), edge.hi().index());
+        }
+        self.cache = uf;
+        self.dirty = false;
+    }
+
+    fn refresh(&mut self) {
+        if self.dirty {
+            self.rebuild();
+        }
+        self.cache.ensure(self.graph.num_vertices());
+    }
+
+    /// Size of `u`'s component (recomputing if necessary).
+    pub fn component_size(&mut self, u: VertexId) -> usize {
+        self.refresh();
+        if u.index() >= self.cache.len() {
+            return 1;
+        }
+        self.cache.set_size(u.index())
+    }
+}
+
+impl DynamicConnectivity for NaiveConnectivity {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn ensure_vertices(&mut self, n: usize) {
+        if n > 0 {
+            self.graph.ensure_vertex(VertexId::from(n - 1));
+            self.cache.ensure(n);
+        }
+    }
+
+    fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.graph.insert_edge(u, v).is_err() {
+            return false;
+        }
+        self.cache.ensure(self.graph.num_vertices());
+        self.cache.union(u.index(), v.index());
+        true
+    }
+
+    fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.graph.delete_edge(u, v).is_err() {
+            return false;
+        }
+        self.dirty = true;
+        true
+    }
+
+    fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        self.refresh();
+        let n = self.cache.len();
+        if u.index() >= n || v.index() >= n {
+            return false;
+        }
+        self.cache.same(u.index(), v.index())
+    }
+
+    fn component_id(&mut self, u: VertexId) -> ComponentId {
+        self.refresh();
+        if u.index() >= self.cache.len() {
+            return u.raw() as ComponentId;
+        }
+        self.cache.find(u.index()) as ComponentId
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+impl MemoryFootprint for NaiveConnectivity {
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.cache.memory_bytes() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn basic_insert_delete_query() {
+        let mut c = NaiveConnectivity::new(4);
+        assert!(!c.connected(v(0), v(1)));
+        assert!(c.insert_edge(v(0), v(1)));
+        assert!(c.insert_edge(v(1), v(2)));
+        assert!(c.connected(v(0), v(2)));
+        assert_eq!(c.component_size(v(0)), 3);
+        assert!(c.delete_edge(v(1), v(2)));
+        assert!(!c.connected(v(0), v(2)));
+        assert!(c.connected(v(0), v(1)));
+        assert_eq!(c.component_size(v(2)), 1);
+    }
+
+    #[test]
+    fn duplicate_operations_are_noops() {
+        let mut c = NaiveConnectivity::new(3);
+        assert!(c.insert_edge(v(0), v(1)));
+        assert!(!c.insert_edge(v(0), v(1)));
+        assert!(c.delete_edge(v(0), v(1)));
+        assert!(!c.delete_edge(v(0), v(1)));
+    }
+
+    #[test]
+    fn component_ids_are_consistent() {
+        let mut c = NaiveConnectivity::new(5);
+        c.insert_edge(v(0), v(1));
+        c.insert_edge(v(2), v(3));
+        assert_eq!(c.component_id(v(0)), c.component_id(v(1)));
+        assert_ne!(c.component_id(v(0)), c.component_id(v(2)));
+        assert_ne!(c.component_id(v(4)), c.component_id(v(0)));
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut c = NaiveConnectivity::new(0);
+        assert!(c.insert_edge(v(7), v(9)));
+        assert!(c.connected(v(7), v(9)));
+        assert!(!c.connected(v(7), v(8)));
+    }
+
+    #[test]
+    fn cycle_deletion_keeps_connectivity() {
+        let mut c = NaiveConnectivity::new(4);
+        for i in 0..4u32 {
+            c.insert_edge(v(i), v((i + 1) % 4));
+        }
+        c.delete_edge(v(0), v(1));
+        assert!(c.connected(v(0), v(1)), "cycle keeps them connected");
+    }
+}

@@ -1,0 +1,176 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+
+use dynscan_graph::{MemoryFootprint, VertexId};
+
+/// Classic union-find over a dense vertex range.
+///
+/// Used for the O(n + m) static component computations: the connected
+/// components of the sim-core graph during StrClu-result extraction and the
+/// ground-truth component computation in tests.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create a union-find over `n` singleton elements.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Grow to at least `n` elements (new elements are singletons).
+    pub fn ensure(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+            self.size.push(1);
+            self.components += 1;
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        debug_assert!(x < self.parent.len());
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x as usize
+    }
+
+    /// Representative without mutation (no path compression); useful when
+    /// only a shared reference is available.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`.  Returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `a`.
+    pub fn set_size(&mut self, a: usize) -> usize {
+        let r = self.find(a);
+        self.size[r] as usize
+    }
+
+    /// Union convenience taking vertex ids.
+    pub fn union_vertices(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.union(a.index(), b.index())
+    }
+
+    /// Find convenience taking a vertex id.
+    pub fn find_vertex(&mut self, a: VertexId) -> usize {
+        self.find(a.index())
+    }
+}
+
+impl MemoryFootprint for UnionFind {
+    fn memory_bytes(&self) -> usize {
+        dynscan_graph::footprint::vec_bytes(&self.parent)
+            + dynscan_graph::footprint::vec_bytes(&self.size)
+            + std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(!uf.same(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.num_components(), 4);
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.num_components(), 2);
+        assert!(uf.same(1, 2));
+        assert!(!uf.same(1, 4));
+        assert_eq!(uf.set_size(0), 4);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn ensure_grows_with_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        uf.ensure(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.same(0, 4));
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        for i in 0..8 {
+            assert_eq!(uf.find_const(i), {
+                let mut clone = uf.clone();
+                clone.find(i)
+            });
+        }
+    }
+
+    #[test]
+    fn chain_components() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.same(0, 99));
+        assert_eq!(uf.set_size(50), 100);
+    }
+}

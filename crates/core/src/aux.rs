@@ -1,0 +1,164 @@
+//! Per-vertex auxiliary information (the paper's `vAuxInfo` module).
+
+use dynscan_graph::{MemoryFootprint, VertexId};
+use std::collections::HashSet;
+
+/// Auxiliary information DynStrClu maintains for one vertex:
+///
+/// * `SimCnt` — the number of similar neighbours;
+/// * the core flag (`SimCnt ≥ μ`);
+/// * the set of similar neighbours (needed to find the O(μ) persistently
+///   similar edges when the core status flips);
+/// * the set of *similar core neighbours* (the neighbour categories of the
+///   paper collapsed to what the cluster-group-by query needs: a non-core
+///   vertex belongs exactly to the clusters of its similar core
+///   neighbours, of which it has at most μ − 1).
+#[derive(Clone, Debug, Default)]
+pub struct VertexAux {
+    sim_count: u32,
+    is_core: bool,
+    similar_neighbours: HashSet<VertexId>,
+    similar_core_neighbours: HashSet<VertexId>,
+}
+
+impl VertexAux {
+    /// Number of similar neighbours (`SimCnt`).
+    pub fn sim_count(&self) -> usize {
+        self.sim_count as usize
+    }
+
+    /// Whether the vertex is currently a core vertex.
+    pub fn is_core(&self) -> bool {
+        self.is_core
+    }
+
+    /// The similar neighbours.
+    pub fn similar_neighbours(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.similar_neighbours.iter().copied()
+    }
+
+    /// The similar neighbours that are currently core vertices.
+    pub fn similar_core_neighbours(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.similar_core_neighbours.iter().copied()
+    }
+
+    /// Whether `x` is a similar neighbour.
+    pub fn is_similar_neighbour(&self, x: VertexId) -> bool {
+        self.similar_neighbours.contains(&x)
+    }
+
+    /// Record that the edge towards `x` became similar.
+    /// Returns `true` if this was a change.
+    pub(crate) fn add_similar(&mut self, x: VertexId) -> bool {
+        if self.similar_neighbours.insert(x) {
+            self.sim_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record that the edge towards `x` stopped being similar (flip or
+    /// deletion).  Returns `true` if this was a change.
+    pub(crate) fn remove_similar(&mut self, x: VertexId) -> bool {
+        if self.similar_neighbours.remove(&x) {
+            self.sim_count -= 1;
+            self.similar_core_neighbours.remove(&x);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-evaluate the core flag against `mu`.  Returns `Some(new_status)`
+    /// if the status flipped.
+    pub(crate) fn refresh_core(&mut self, mu: usize) -> Option<bool> {
+        let should = self.sim_count as usize >= mu;
+        if should != self.is_core {
+            self.is_core = should;
+            Some(should)
+        } else {
+            None
+        }
+    }
+
+    /// Record that the similar neighbour `x` is (or is not) currently core.
+    pub(crate) fn set_neighbour_core(&mut self, x: VertexId, core: bool) {
+        debug_assert!(
+            !core || self.similar_neighbours.contains(&x),
+            "only similar neighbours can be similar core neighbours"
+        );
+        if core {
+            self.similar_core_neighbours.insert(x);
+        } else {
+            self.similar_core_neighbours.remove(&x);
+        }
+    }
+}
+
+impl MemoryFootprint for VertexAux {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + dynscan_graph::footprint::hashset_bytes(&self.similar_neighbours)
+            + dynscan_graph::footprint::hashset_bytes(&self.similar_core_neighbours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn sim_count_follows_similar_set() {
+        let mut aux = VertexAux::default();
+        assert_eq!(aux.sim_count(), 0);
+        assert!(aux.add_similar(v(1)));
+        assert!(aux.add_similar(v(2)));
+        assert!(!aux.add_similar(v(1)), "duplicate add is a no-op");
+        assert_eq!(aux.sim_count(), 2);
+        assert!(aux.remove_similar(v(1)));
+        assert!(!aux.remove_similar(v(1)));
+        assert_eq!(aux.sim_count(), 1);
+        assert!(aux.is_similar_neighbour(v(2)));
+        assert!(!aux.is_similar_neighbour(v(1)));
+    }
+
+    #[test]
+    fn core_flips_at_mu() {
+        let mut aux = VertexAux::default();
+        aux.add_similar(v(1));
+        aux.add_similar(v(2));
+        assert_eq!(aux.refresh_core(3), None);
+        assert!(!aux.is_core());
+        aux.add_similar(v(3));
+        assert_eq!(aux.refresh_core(3), Some(true));
+        assert!(aux.is_core());
+        assert_eq!(aux.refresh_core(3), None, "no flip without change");
+        aux.remove_similar(v(3));
+        assert_eq!(aux.refresh_core(3), Some(false));
+    }
+
+    #[test]
+    fn removing_similar_also_clears_core_neighbour() {
+        let mut aux = VertexAux::default();
+        aux.add_similar(v(1));
+        aux.set_neighbour_core(v(1), true);
+        assert_eq!(aux.similar_core_neighbours().count(), 1);
+        aux.remove_similar(v(1));
+        assert_eq!(aux.similar_core_neighbours().count(), 0);
+    }
+
+    #[test]
+    fn set_neighbour_core_toggles() {
+        let mut aux = VertexAux::default();
+        aux.add_similar(v(4));
+        aux.set_neighbour_core(v(4), true);
+        assert!(aux.similar_core_neighbours().any(|x| x == v(4)));
+        aux.set_neighbour_core(v(4), false);
+        assert!(!aux.similar_core_neighbours().any(|x| x == v(4)));
+    }
+}

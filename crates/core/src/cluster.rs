@@ -1,0 +1,439 @@
+//! StrClu result extraction (Fact 1) and the result representation.
+
+use dynscan_conn::UnionFind;
+use dynscan_graph::{DynGraph, EdgeKey, VertexId};
+use std::collections::HashMap;
+
+/// The role a vertex plays in a structural clustering (Section 1 / 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VertexRole {
+    /// A core vertex: at least μ similar neighbours.  Belongs to exactly one
+    /// cluster.
+    Core,
+    /// A non-core vertex that belongs to exactly one cluster.
+    Member,
+    /// A non-core vertex that belongs to two or more clusters, bridging them.
+    Hub,
+    /// A vertex that belongs to no cluster (an outlier).
+    Noise,
+}
+
+/// The StrClu clustering result `C(L(G), μ)`: the set of all StrClu
+/// clusters, plus per-vertex role and membership information.
+///
+/// Clusters are identified by dense indices `0..num_clusters()`.
+#[derive(Clone, Debug, Default)]
+pub struct StrCluResult {
+    clusters: Vec<Vec<VertexId>>,
+    /// Cluster indices each vertex belongs to (sorted, deduplicated).
+    membership: Vec<Vec<u32>>,
+    roles: Vec<VertexRole>,
+    /// The paper's ARI convention: a core vertex maps to its own cluster; a
+    /// non-core vertex maps to the cluster of its smallest-id similar core
+    /// neighbour; noise maps to `None`.
+    primary: Vec<Option<u32>>,
+    num_core: usize,
+}
+
+impl StrCluResult {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of vertices covered by the result (the graph's vertex count at
+    /// extraction time).
+    pub fn num_vertices(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of core vertices.
+    pub fn num_core(&self) -> usize {
+        self.num_core
+    }
+
+    /// The members of cluster `i` (sorted by vertex id).
+    pub fn cluster(&self, i: usize) -> &[VertexId] {
+        &self.clusters[i]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<VertexId>] {
+        &self.clusters
+    }
+
+    /// The role of vertex `v`.
+    pub fn role(&self, v: VertexId) -> VertexRole {
+        self.roles.get(v.index()).copied().unwrap_or(VertexRole::Noise)
+    }
+
+    /// The clusters `v` belongs to (possibly empty, possibly several for a
+    /// hub).
+    pub fn clusters_of(&self, v: VertexId) -> &[u32] {
+        self.membership
+            .get(v.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The paper's single-assignment convention used for ARI: core vertices
+    /// map to their cluster, non-core vertices to the cluster of their
+    /// smallest-id similar core neighbour, noise to `None`.
+    pub fn primary_assignment(&self, v: VertexId) -> Option<u32> {
+        self.primary.get(v.index()).copied().flatten()
+    }
+
+    /// Iterator over `(vertex, role)` pairs.
+    pub fn roles(&self) -> impl Iterator<Item = (VertexId, VertexRole)> + '_ {
+        self.roles
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (VertexId::from(i), r))
+    }
+
+    /// Number of noise vertices.
+    pub fn num_noise(&self) -> usize {
+        self.roles.iter().filter(|r| **r == VertexRole::Noise).count()
+    }
+
+    /// Number of hub vertices.
+    pub fn num_hubs(&self) -> usize {
+        self.roles.iter().filter(|r| **r == VertexRole::Hub).count()
+    }
+
+    /// Cluster indices ordered by decreasing size (the paper's "top-k
+    /// clusters" convention used throughout Section 9).
+    pub fn clusters_by_size(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.clusters.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.clusters[i].len()));
+        order
+    }
+}
+
+/// Extract the StrClu clustering in O(n + m) from a graph and an edge
+/// labelling (Fact 1).
+///
+/// `is_similar` is consulted once per edge; for the dynamic algorithms it is
+/// a lookup in the maintained labelling, for the static baseline it is an
+/// exact similarity comparison.
+pub fn extract_clustering<F>(graph: &DynGraph, mu: usize, mut is_similar: F) -> StrCluResult
+where
+    F: FnMut(EdgeKey) -> bool,
+{
+    let n = graph.num_vertices();
+    // Pass 1: similar-neighbour counts → core flags.
+    let mut sim_count = vec![0u32; n];
+    let mut similar_edges: Vec<EdgeKey> = Vec::new();
+    for edge in graph.edges() {
+        if is_similar(edge) {
+            sim_count[edge.lo().index()] += 1;
+            sim_count[edge.hi().index()] += 1;
+            similar_edges.push(edge);
+        }
+    }
+    let core: Vec<bool> = sim_count.iter().map(|&c| c as usize >= mu).collect();
+    let num_core = core.iter().filter(|&&c| c).count();
+
+    // Pass 2: connected components of the sim-core graph.
+    let mut uf = UnionFind::new(n);
+    for edge in &similar_edges {
+        let (a, b) = edge.endpoints();
+        if core[a.index()] && core[b.index()] {
+            uf.union(a.index(), b.index());
+        }
+    }
+
+    // Pass 3: assign cluster ids to components that contain a core vertex.
+    let mut cluster_of_root: HashMap<usize, u32> = HashMap::new();
+    let mut clusters: Vec<Vec<VertexId>> = Vec::new();
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if core[v] {
+            let root = uf.find(v);
+            let next_id = clusters.len() as u32;
+            let id = *cluster_of_root.entry(root).or_insert_with(|| {
+                clusters.push(Vec::new());
+                next_id
+            });
+            clusters[id as usize].push(VertexId::from(v));
+            membership[v].push(id);
+        }
+    }
+
+    // Pass 4: attach non-core vertices to the clusters of their similar core
+    // neighbours, and record the smallest-core-neighbour primary assignment.
+    let mut primary: Vec<Option<u32>> = vec![None; n];
+    let mut smallest_core_neighbour: Vec<Option<VertexId>> = vec![None; n];
+    for v in 0..n {
+        if core[v] {
+            primary[v] = Some(membership[v][0]);
+        }
+    }
+    for edge in &similar_edges {
+        let (a, b) = edge.endpoints();
+        for (x, y) in [(a, b), (b, a)] {
+            // y is a similar neighbour of x; if y is core and x is not, x
+            // joins y's cluster.
+            if core[y.index()] && !core[x.index()] {
+                let cluster = membership[y.index()][0];
+                if !membership[x.index()].contains(&cluster) {
+                    membership[x.index()].push(cluster);
+                    clusters[cluster as usize].push(x);
+                }
+                let smaller = match smallest_core_neighbour[x.index()] {
+                    None => true,
+                    Some(current) => y < current,
+                };
+                if smaller {
+                    smallest_core_neighbour[x.index()] = Some(y);
+                    primary[x.index()] = Some(cluster);
+                }
+            }
+        }
+    }
+
+    // Pass 5: roles.
+    let mut roles = vec![VertexRole::Noise; n];
+    for v in 0..n {
+        roles[v] = if core[v] {
+            VertexRole::Core
+        } else {
+            match membership[v].len() {
+                0 => VertexRole::Noise,
+                1 => VertexRole::Member,
+                _ => VertexRole::Hub,
+            }
+        };
+        membership[v].sort_unstable();
+    }
+    for cluster in &mut clusters {
+        cluster.sort_unstable();
+    }
+
+    StrCluResult {
+        clusters,
+        membership,
+        roles,
+        primary,
+        num_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::two_cliques_with_hub;
+    use dynscan_sim::{exact_similarity, SimilarityMeasure};
+    use proptest::prelude::*;
+    use std::collections::{BTreeSet, HashSet};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn jaccard_labelling(graph: &DynGraph, eps: f64) -> impl FnMut(EdgeKey) -> bool + '_ {
+        move |e: EdgeKey| {
+            exact_similarity(graph, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= eps
+        }
+    }
+
+    /// A deliberately simple reference implementation of Fact 1, used to
+    /// validate [`extract_clustering`] on arbitrary graphs: label edges,
+    /// find cores, BFS over sim-core edges, attach similar neighbours.
+    fn brute_force(graph: &DynGraph, mu: usize, eps: f64) -> Vec<BTreeSet<u32>> {
+        let n = graph.num_vertices();
+        let similar = |a: VertexId, b: VertexId| {
+            exact_similarity(graph, a, b, SimilarityMeasure::Jaccard) >= eps
+        };
+        let mut core = vec![false; n];
+        for x in 0..n as u32 {
+            let count = graph
+                .neighbours_iter(v(x))
+                .filter(|&y| similar(v(x), y))
+                .count();
+            core[x as usize] = count >= mu;
+        }
+        let mut seen = vec![false; n];
+        let mut clusters = Vec::new();
+        for start in 0..n as u32 {
+            if !core[start as usize] || seen[start as usize] {
+                continue;
+            }
+            // BFS over sim-core edges.
+            let mut component = vec![start];
+            seen[start as usize] = true;
+            let mut queue = vec![start];
+            while let Some(x) = queue.pop() {
+                for y in graph.neighbours_iter(v(x)) {
+                    if core[y.index()] && !seen[y.index()] && similar(v(x), y) {
+                        seen[y.index()] = true;
+                        component.push(y.raw());
+                        queue.push(y.raw());
+                    }
+                }
+            }
+            // Cluster = component cores plus all their similar neighbours.
+            let mut cluster: BTreeSet<u32> = component.iter().copied().collect();
+            for &x in &component {
+                for y in graph.neighbours_iter(v(x)) {
+                    if similar(v(x), y) {
+                        cluster.insert(y.raw());
+                    }
+                }
+            }
+            clusters.push(cluster);
+        }
+        clusters
+    }
+
+    #[test]
+    fn empty_graph_has_no_clusters() {
+        let g = DynGraph::with_vertices(4);
+        let result = extract_clustering(&g, 2, |_| true);
+        assert_eq!(result.num_clusters(), 0);
+        assert_eq!(result.num_core(), 0);
+        assert_eq!(result.num_noise(), 4);
+        assert_eq!(result.role(v(0)), VertexRole::Noise);
+        assert_eq!(result.clusters_of(v(0)), &[] as &[u32]);
+        assert_eq!(result.primary_assignment(v(0)), None);
+    }
+
+    #[test]
+    fn clique_forms_single_cluster() {
+        let mut g = DynGraph::with_vertices(5);
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                g.insert_edge(v(a), v(b)).unwrap();
+            }
+        }
+        let result = extract_clustering(&g, 3, |_| true);
+        assert_eq!(result.num_clusters(), 1);
+        assert_eq!(result.cluster(0).len(), 5);
+        assert_eq!(result.num_core(), 5);
+        for i in 0..5 {
+            assert_eq!(result.role(v(i)), VertexRole::Core);
+            assert_eq!(result.primary_assignment(v(i)), Some(0));
+        }
+    }
+
+    #[test]
+    fn mu_larger_than_degree_means_all_noise() {
+        let mut g = DynGraph::with_vertices(4);
+        g.insert_edge(v(0), v(1)).unwrap();
+        g.insert_edge(v(1), v(2)).unwrap();
+        let result = extract_clustering(&g, 10, |_| true);
+        assert_eq!(result.num_clusters(), 0);
+        assert_eq!(result.num_noise(), 4);
+    }
+
+    #[test]
+    fn two_cliques_with_hub_clusters_as_designed() {
+        // See `fixtures::two_cliques_with_hub` for the analytical derivation.
+        let g = two_cliques_with_hub();
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+
+        assert_eq!(result.num_clusters(), 2, "clusters: {:?}", result.clusters());
+        let sizes: Vec<usize> = result.clusters().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![7, 7]);
+
+        // Clique members are core.
+        for x in 0..12u32 {
+            assert_eq!(result.role(v(x)), VertexRole::Core, "vertex {x} should be core");
+        }
+        // Vertex 12 bridges both clusters.
+        assert_eq!(result.role(v(12)), VertexRole::Hub);
+        assert_eq!(result.clusters_of(v(12)).len(), 2);
+        // Vertex 13 is noise.
+        assert_eq!(result.role(v(13)), VertexRole::Noise);
+        assert_eq!(result.primary_assignment(v(13)), None);
+        // The hub's primary assignment follows its smallest core neighbour
+        // (vertex 0), i.e. cluster A.
+        assert_eq!(result.primary_assignment(v(12)), result.primary_assignment(v(0)));
+        assert_eq!(result.num_core(), 12);
+        assert_eq!(result.num_hubs(), 1);
+        assert_eq!(result.num_noise(), 1);
+    }
+
+    #[test]
+    fn deleting_an_intra_clique_edge_demotes_two_cores() {
+        let mut g = two_cliques_with_hub();
+        g.delete_edge(v(4), v(5)).unwrap();
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+        assert_eq!(result.role(v(4)), VertexRole::Member);
+        assert_eq!(result.role(v(5)), VertexRole::Member);
+        // Cluster A still contains them as non-core members.
+        assert_eq!(result.num_clusters(), 2);
+        let a = result.clusters_of(v(0))[0];
+        assert!(result.cluster(a as usize).contains(&v(4)));
+        assert!(result.cluster(a as usize).contains(&v(5)));
+    }
+
+    #[test]
+    fn clusters_by_size_is_descending() {
+        let g = two_cliques_with_hub();
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+        let order = result.clusters_by_size();
+        for w in order.windows(2) {
+            assert!(result.cluster(w[0]).len() >= result.cluster(w[1]).len());
+        }
+    }
+
+    #[test]
+    fn membership_is_sorted_and_deduplicated() {
+        let g = two_cliques_with_hub();
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+        for x in 0..g.num_vertices() as u32 {
+            let m = result.clusters_of(v(x));
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "membership of {x} not sorted/deduped");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixture() {
+        let g = two_cliques_with_hub();
+        let expected = brute_force(&g, 5, 0.29);
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+        let actual: HashSet<BTreeSet<u32>> = result
+            .clusters()
+            .iter()
+            .map(|c| c.iter().map(|x| x.raw()).collect())
+            .collect();
+        assert_eq!(actual, expected.into_iter().collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// On random graphs the O(n + m) extraction produces exactly the
+        /// same set of clusters as the brute-force reference, for a spread
+        /// of (ε, μ) settings.
+        #[test]
+        fn matches_brute_force_on_random_graphs(
+            edges in prop::collection::hash_set((0u32..18, 0u32..18), 1..120),
+            mu in 2usize..5,
+            eps_permille in 100u32..700,
+        ) {
+            let eps = eps_permille as f64 / 1000.0;
+            let edges: Vec<_> = edges.into_iter().filter(|(a, b)| a != b)
+                .map(|(a, b)| (v(a), v(b))).collect();
+            let (g, _) = DynGraph::from_edges(edges);
+            let expected: HashSet<BTreeSet<u32>> =
+                brute_force(&g, mu, eps).into_iter().collect();
+            let result = extract_clustering(&g, mu, jaccard_labelling(&g, eps));
+            let actual: HashSet<BTreeSet<u32>> = result
+                .clusters()
+                .iter()
+                .map(|c| c.iter().map(|x| x.raw()).collect())
+                .collect();
+            prop_assert_eq!(actual, expected);
+            // Role bookkeeping is consistent with membership counts.
+            for x in 0..g.num_vertices() as u32 {
+                match result.role(v(x)) {
+                    VertexRole::Core => prop_assert!(!result.clusters_of(v(x)).is_empty()),
+                    VertexRole::Member => prop_assert_eq!(result.clusters_of(v(x)).len(), 1),
+                    VertexRole::Hub => prop_assert!(result.clusters_of(v(x)).len() >= 2),
+                    VertexRole::Noise => prop_assert!(result.clusters_of(v(x)).is_empty()),
+                }
+            }
+        }
+    }
+}

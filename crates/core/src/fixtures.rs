@@ -1,0 +1,104 @@
+//! Small hand-analysable example graphs.
+//!
+//! These fixtures are used by the unit and integration tests, by the
+//! examples, and by the documentation.  Their clustering structure under
+//! specific parameters is worked out analytically in the doc comments, so
+//! tests can assert exact outcomes.
+
+use dynscan_graph::{DynGraph, VertexId};
+
+/// Two 6-cliques `A = {0..5}` and `B = {6..11}`, a prospective *hub*
+/// vertex `12` adjacent to `0, 1, 6, 7`, and a pendant *noise* vertex `13`
+/// adjacent to `0`.
+///
+/// Under **Jaccard** similarity with `ε = 0.29` and `μ = 5`:
+///
+/// * every clique vertex is core (5–6 similar neighbours each);
+/// * vertex 12 is similar to its four neighbours (σ = 0.3–0.33) but has only
+///   four similar neighbours, so it is a non-core **hub** belonging to both
+///   clusters;
+/// * vertex 13 has similarity 0.25 to vertex 0, below ε, so it is **noise**;
+/// * the result has exactly two clusters,
+///   `A ∪ {12}` and `B ∪ {12}`, of seven vertices each.
+///
+/// Deleting the edge `(4, 5)` demotes vertices 4 and 5 to non-core members
+/// (they drop to four similar neighbours), which the dynamic tests use to
+/// exercise core-status flips.
+pub fn two_cliques_with_hub() -> DynGraph {
+    let mut g = DynGraph::with_vertices(14);
+    let v = VertexId::new;
+    for a in 0..6u32 {
+        for b in (a + 1)..6 {
+            g.insert_edge(v(a), v(b)).unwrap();
+        }
+    }
+    for a in 6..12u32 {
+        for b in (a + 1)..12 {
+            g.insert_edge(v(a), v(b)).unwrap();
+        }
+    }
+    for target in [0u32, 1, 6, 7] {
+        g.insert_edge(v(12), v(target)).unwrap();
+    }
+    g.insert_edge(v(13), v(0)).unwrap();
+    g
+}
+
+/// The default parameters under which [`two_cliques_with_hub`] has the
+/// clustering documented there: Jaccard, ε = 0.29, μ = 5.
+pub fn two_cliques_params() -> crate::Params {
+    crate::Params::jaccard(0.29, 5)
+}
+
+/// A small graph in the spirit of the paper's Figure 1: a dense cluster
+/// around `{0, 1, 2, 3}`, a second dense cluster `{8, 9, 10, 11}`, a shared
+/// non-core neighbour `7` bridging them, and low-similarity pendants.
+///
+/// It is *not* a vertex-for-vertex copy of the figure (the figure's exact
+/// edge set is not fully specified in the text); it reproduces the
+/// phenomena the figure illustrates — core/non-core vertices, a hub, noise,
+/// and label flips caused by a single deletion.
+pub fn figure1_like() -> DynGraph {
+    let v = VertexId::new;
+    let edges: &[(u32, u32)] = &[
+        // Dense cluster 1: a 4-clique {0,1,2,3} with pendant 4, 5 on 0.
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (0, 4),
+        (0, 5),
+        // Bridge vertex 7, adjacent to both dense groups.
+        (1, 7),
+        (7, 8),
+        (7, 9),
+        // Dense cluster 2: a 4-clique {8,9,10,11} with pendant 12 on 8.
+        (8, 9),
+        (8, 10),
+        (8, 11),
+        (9, 10),
+        (9, 11),
+        (10, 11),
+        (8, 12),
+        // A low-degree chain hanging off cluster 2.
+        (12, 13),
+    ];
+    DynGraph::from_edges(edges.iter().map(|&(a, b)| (v(a), v(b)))).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_sizes() {
+        let g = two_cliques_with_hub();
+        assert_eq!(g.num_vertices(), 14);
+        assert_eq!(g.num_edges(), 2 * 15 + 4 + 1);
+        let f = figure1_like();
+        assert_eq!(f.num_edges(), 19);
+        assert!(f.num_vertices() >= 14);
+    }
+}

@@ -1,0 +1,64 @@
+//! # dynscan-core
+//!
+//! The paper's primary contribution: **DynELM** and **DynStrClu**, dynamic
+//! structural clustering of a graph subject to edge insertions and
+//! deletions.
+//!
+//! * [`DynElm`] maintains a valid ρ-approximate edge labelling under
+//!   updates in O(log² n + log n · log(M/δ*)) amortized time per update
+//!   (Theorem 6.1), by combining the sampling-based (Δ, δ)-labelling
+//!   strategy (`dynscan-sim`) with per-edge distributed-tracking instances
+//!   organised in per-vertex heaps (`dynscan-dt`).  From the maintained
+//!   labelling the full clustering can be extracted in O(n + m) time.
+//!
+//! * [`DynStrClu`] layers the vertex auxiliary information (similar-
+//!   neighbour counts, core flags, similar-core neighbour sets) and a fully
+//!   dynamic connectivity structure over the sim-core graph
+//!   (`dynscan-conn`) on top of DynELM, preserving all of its guarantees
+//!   and additionally answering **cluster-group-by queries** in
+//!   O(|Q| · log n) time (Theorem 7.1).
+//!
+//! * [`StrCluResult`] / [`extract_clustering`] implement the O(n + m)
+//!   StrClu-result extraction of Fact 1, shared by the dynamic algorithms
+//!   and the baselines.
+//!
+//! Both algorithms work under Jaccard and cosine similarity
+//! ([`SimilarityMeasure`]), mirroring Sections 2–7 and 8 of the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dynscan_core::{DynStrClu, Params};
+//! use dynscan_graph::VertexId;
+//!
+//! let params = Params::jaccard(0.5, 2).with_rho(0.05);
+//! let mut algo = DynStrClu::new(params);
+//! // Build a small triangle plus a pendant vertex.
+//! for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     algo.insert_edge(VertexId(a), VertexId(b)).unwrap();
+//! }
+//! let clustering = algo.clustering();
+//! assert!(clustering.num_clusters() >= 1);
+//! // Group-by query over a subset of vertices.
+//! let groups = algo.cluster_group_by(&[VertexId(0), VertexId(3)]);
+//! assert!(!groups.is_empty());
+//! ```
+
+pub mod aux;
+pub mod cluster;
+pub mod elm;
+pub mod fixtures;
+pub mod params;
+pub mod strclu;
+pub mod traits;
+
+pub use aux::VertexAux;
+pub use cluster::{extract_clustering, StrCluResult, VertexRole};
+pub use elm::{DynElm, ElmStats, FlippedEdge};
+pub use params::Params;
+pub use strclu::DynStrClu;
+pub use traits::DynamicClustering;
+
+// Re-export the vocabulary types users need alongside the algorithms.
+pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, VertexId};
+pub use dynscan_sim::{EdgeLabel, SimilarityMeasure};

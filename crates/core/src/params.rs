@@ -1,0 +1,186 @@
+//! Algorithm parameters.
+
+use dynscan_sim::SimilarityMeasure;
+
+/// Parameters of the dynamic structural clustering algorithms.
+///
+/// * `eps` — similarity threshold ε ∈ (0, 1].
+/// * `mu` — core threshold μ ≥ 1 (minimum number of similar neighbours a
+///   core vertex must have).
+/// * `rho` — approximation parameter ρ ∈ [0, min(1, 1/ε − 1)); ρ = 0 is
+///   allowed only together with [`Params::with_exact_labels`].
+/// * `delta_star` — overall failure probability δ* of the maintained
+///   labelling over the entire (unbounded) update sequence.
+/// * `measure` — Jaccard or cosine structural similarity.
+/// * `exact_labels` — compute similarities exactly instead of sampling
+///   (used by correctness tests and the exact-labelling ablation).
+/// * `seed` — seed for all randomness (sampling, treap priorities), so runs
+///   are reproducible.
+///
+/// The defaults mirror the paper's default setting: ε = 0.2, μ = 5,
+/// ρ = 0.01, δ* = 1/n is approximated by a fixed 10⁻⁶ (the paper sets
+/// δ* = 1/n; a constant of that magnitude keeps the API independent of the
+/// final graph size, and callers can override it).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// Similarity threshold ε.
+    pub eps: f64,
+    /// Core threshold μ.
+    pub mu: usize,
+    /// Approximation parameter ρ.
+    pub rho: f64,
+    /// Overall failure probability δ*.
+    pub delta_star: f64,
+    /// Structural similarity measure.
+    pub measure: SimilarityMeasure,
+    /// Compute similarities exactly instead of sampling.
+    pub exact_labels: bool,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            eps: 0.2,
+            mu: 5,
+            rho: 0.01,
+            delta_star: 1e-6,
+            measure: SimilarityMeasure::Jaccard,
+            exact_labels: false,
+            seed: 0xdeca_f,
+        }
+    }
+}
+
+impl Params {
+    /// Jaccard-similarity parameters with the given ε and μ (other fields
+    /// take their defaults).
+    pub fn jaccard(eps: f64, mu: usize) -> Self {
+        Params {
+            eps,
+            mu,
+            measure: SimilarityMeasure::Jaccard,
+            ..Params::default()
+        }
+    }
+
+    /// Cosine-similarity parameters with the given ε and μ.
+    pub fn cosine(eps: f64, mu: usize) -> Self {
+        Params {
+            eps,
+            mu,
+            measure: SimilarityMeasure::Cosine,
+            ..Params::default()
+        }
+    }
+
+    /// Override the approximation parameter ρ.
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Override the failure probability δ*.
+    pub fn with_delta_star(mut self, delta_star: f64) -> Self {
+        self.delta_star = delta_star;
+        self
+    }
+
+    /// Set δ* = 1/n for an expected graph size `n` (the paper's default,
+    /// Corollary 6.2).
+    pub fn with_delta_star_for_n(mut self, n: usize) -> Self {
+        self.delta_star = 1.0 / (n.max(2) as f64);
+        self
+    }
+
+    /// Use exact similarity computation when labelling edges.
+    pub fn with_exact_labels(mut self) -> Self {
+        self.exact_labels = true;
+        self
+    }
+
+    /// Override the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the parameter combination, panicking with a description of
+    /// the violated constraint (mirrors the constraints of Sections 2.3/6).
+    pub fn validate(&self) {
+        assert!(
+            self.eps > 0.0 && self.eps <= 1.0,
+            "ε must be in (0, 1], got {}",
+            self.eps
+        );
+        assert!(self.mu >= 1, "μ must be at least 1");
+        let rho_cap = 1.0f64.min(1.0 / self.eps - 1.0);
+        assert!(
+            self.rho >= 0.0 && (self.rho < rho_cap || (self.rho == 0.0 && self.exact_labels)),
+            "ρ = {} outside [0, min(1, 1/ε − 1)) = [0, {rho_cap})",
+            self.rho
+        );
+        assert!(
+            self.rho > 0.0 || self.exact_labels,
+            "ρ = 0 requires exact labelling mode"
+        );
+        assert!(
+            self.delta_star > 0.0 && self.delta_star < 1.0,
+            "δ* must be in (0, 1), got {}",
+            self.delta_star
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let p = Params::default();
+        assert_eq!(p.eps, 0.2);
+        assert_eq!(p.mu, 5);
+        assert_eq!(p.rho, 0.01);
+        assert_eq!(p.measure, SimilarityMeasure::Jaccard);
+        p.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = Params::cosine(0.6, 5)
+            .with_rho(0.1)
+            .with_delta_star_for_n(1000)
+            .with_seed(7);
+        assert_eq!(p.measure, SimilarityMeasure::Cosine);
+        assert_eq!(p.eps, 0.6);
+        assert_eq!(p.rho, 0.1);
+        assert!((p.delta_star - 0.001).abs() < 1e-12);
+        assert_eq!(p.seed, 7);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be in (0, 1]")]
+    fn invalid_eps_rejected() {
+        Params::jaccard(0.0, 5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_rho_rejected() {
+        Params::jaccard(0.9, 5).with_rho(0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires exact labelling")]
+    fn zero_rho_without_exact_mode_rejected() {
+        Params::jaccard(0.2, 5).with_rho(0.0).validate();
+    }
+
+    #[test]
+    fn zero_rho_with_exact_mode_is_fine() {
+        Params::jaccard(0.2, 5).with_rho(0.0).with_exact_labels().validate();
+    }
+}

@@ -1,0 +1,118 @@
+//! The common interface the experiment harness drives algorithms through.
+
+use crate::cluster::StrCluResult;
+use crate::elm::{DynElm, ElmStats};
+use crate::strclu::DynStrClu;
+use dynscan_graph::{GraphUpdate, MemoryFootprint};
+
+/// A dynamic structural clustering algorithm: something that consumes a
+/// stream of edge insertions/deletions and can produce the StrClu result on
+/// request.
+///
+/// Implemented by [`DynElm`], [`DynStrClu`] and the baselines in
+/// `dynscan-baseline`, so the experiment harness (Figures 7–11 of the
+/// paper) can run them interchangeably.
+pub trait DynamicClustering {
+    /// A short human-readable name (used in experiment output).
+    fn algorithm_name(&self) -> &'static str;
+
+    /// Apply one update.  Invalid updates (duplicate insertions, deletions
+    /// of missing edges) are ignored and reported as `false`.
+    fn apply_update(&mut self, update: GraphUpdate) -> bool;
+
+    /// Extract the current clustering (O(n + m)).
+    fn current_clustering(&self) -> StrCluResult;
+
+    /// Approximate memory footprint in bytes (Table 1).
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of updates successfully applied.
+    fn updates_applied(&self) -> u64;
+
+    /// Optional labelling work counters (only the DynELM-based algorithms
+    /// have them).
+    fn elm_stats(&self) -> Option<ElmStats> {
+        None
+    }
+}
+
+impl DynamicClustering for DynElm {
+    fn algorithm_name(&self) -> &'static str {
+        "DynELM"
+    }
+
+    fn apply_update(&mut self, update: GraphUpdate) -> bool {
+        self.apply(update).is_ok()
+    }
+
+    fn current_clustering(&self) -> StrCluResult {
+        self.clustering()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        MemoryFootprint::memory_bytes(self)
+    }
+
+    fn updates_applied(&self) -> u64 {
+        self.stats().updates
+    }
+
+    fn elm_stats(&self) -> Option<ElmStats> {
+        Some(self.stats())
+    }
+}
+
+impl DynamicClustering for DynStrClu {
+    fn algorithm_name(&self) -> &'static str {
+        "DynStrClu"
+    }
+
+    fn apply_update(&mut self, update: GraphUpdate) -> bool {
+        self.apply(update).is_ok()
+    }
+
+    fn current_clustering(&self) -> StrCluResult {
+        self.clustering()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        MemoryFootprint::memory_bytes(self)
+    }
+
+    fn updates_applied(&self) -> u64 {
+        self.stats().updates
+    }
+
+    fn elm_stats(&self) -> Option<ElmStats> {
+        Some(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{two_cliques_params, two_cliques_with_hub};
+    use dynscan_graph::VertexId;
+
+    #[test]
+    fn trait_objects_are_interchangeable() {
+        let params = two_cliques_params().with_exact_labels();
+        let mut algos: Vec<Box<dyn DynamicClustering>> = vec![
+            Box::new(DynElm::new(params)),
+            Box::new(DynStrClu::new(params)),
+        ];
+        let g = two_cliques_with_hub();
+        for algo in &mut algos {
+            for e in g.edges() {
+                assert!(algo.apply_update(GraphUpdate::Insert(e.lo(), e.hi())));
+            }
+            // A duplicate insertion is rejected but not fatal.
+            assert!(!algo.apply_update(GraphUpdate::Insert(VertexId(0), VertexId(1))));
+            let result = algo.current_clustering();
+            assert_eq!(result.num_clusters(), 2, "{}", algo.algorithm_name());
+            assert!(algo.memory_bytes() > 0);
+            assert_eq!(algo.updates_applied() as usize, g.num_edges());
+            assert!(algo.elm_stats().is_some());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The per-edge DT coordinator.
+
+use crate::{PARTICIPANTS, SIMPLE_MODE_THRESHOLD};
+
+/// What the coordinator decided after receiving a participant's signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalOutcome {
+    /// The current round continues; the signalling participant should
+    /// advance its checkpoint by the current slack.
+    ContinueRound { slack: u64 },
+    /// The round ended and a new one started with the given slack; **both**
+    /// participants must reset their round-start values and checkpoints.
+    NewRound { slack: u64 },
+    /// The tracked condition `Σ cᵢ = τ` matured; the instance is finished.
+    Mature,
+}
+
+/// Coordinator state of one DT instance (one per tracked edge).
+///
+/// The coordinator is "simulated in main memory" exactly as the paper
+/// describes: it never sees individual counter increments, only the signals
+/// participants send when they hit a checkpoint, plus the exact per-round
+/// counts collected when a round ends.  The number of exchanged messages is
+/// tracked so that the O(h · log(τ/h)) communication bound can be observed.
+#[derive(Clone, Copy, Debug)]
+pub struct Coordinator {
+    /// Remaining threshold for the current round (`τ` initially, `τ'` after
+    /// each round reset).
+    remaining: u64,
+    /// Slack `λ` handed to the participants for the current round
+    /// (1 in simple mode).
+    slack: u64,
+    /// Whether the current round runs the straightforward algorithm.
+    simple: bool,
+    /// Signals received in the current round.
+    signals: u64,
+    /// Increments acknowledged in simple mode.
+    counted: u64,
+    /// Total messages exchanged with participants over the instance's life.
+    messages: u64,
+}
+
+impl Coordinator {
+    /// Start an instance with tracking threshold `tau ≥ 1`.
+    pub fn new(tau: u64) -> Self {
+        assert!(tau >= 1, "tracking threshold must be at least 1");
+        let simple = tau <= SIMPLE_MODE_THRESHOLD;
+        let slack = if simple { 1 } else { tau / (2 * PARTICIPANTS) };
+        Coordinator {
+            remaining: tau,
+            slack,
+            simple,
+            signals: 0,
+            counted: 0,
+            // Handing the slack to each participant costs h messages.
+            messages: PARTICIPANTS,
+        }
+    }
+
+    /// Slack of the current round.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
+    /// Whether the current round runs the straightforward algorithm.
+    pub fn is_simple(&self) -> bool {
+        self.simple
+    }
+
+    /// Remaining threshold of the current round.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Total messages exchanged so far (slack broadcasts, signals, counter
+    /// collections).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// A participant signals that it reached its checkpoint.
+    ///
+    /// `round_counts` must yield, **when the coordinator asks for them**
+    /// (i.e. when the round ends), the exact per-participant counts of the
+    /// current round.  Passing a closure keeps the registry from computing
+    /// the counts on every signal.
+    pub fn on_signal<F>(&mut self, round_counts: F) -> SignalOutcome
+    where
+        F: FnOnce() -> [u64; PARTICIPANTS as usize],
+    {
+        self.messages += 1; // the signal itself
+        if self.simple {
+            // Straightforward algorithm: every increment is reported.
+            self.counted += 1;
+            if self.counted >= self.remaining {
+                return SignalOutcome::Mature;
+            }
+            return SignalOutcome::ContinueRound { slack: 1 };
+        }
+        self.signals += 1;
+        if self.signals < PARTICIPANTS {
+            return SignalOutcome::ContinueRound { slack: self.slack };
+        }
+        // h-th signal: end of round.  Collect exact counters (h messages).
+        self.messages += PARTICIPANTS;
+        let counts = round_counts();
+        let consumed: u64 = counts.iter().sum();
+        let new_tau = self.remaining.saturating_sub(consumed);
+        if new_tau == 0 {
+            return SignalOutcome::Mature;
+        }
+        self.remaining = new_tau;
+        self.signals = 0;
+        self.counted = 0;
+        self.simple = new_tau <= SIMPLE_MODE_THRESHOLD;
+        self.slack = if self.simple {
+            1
+        } else {
+            new_tau / (2 * PARTICIPANTS)
+        };
+        // Handing out the new slack costs h messages.
+        self.messages += PARTICIPANTS;
+        SignalOutcome::NewRound { slack: self.slack }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_threshold_uses_simple_mode() {
+        let c = Coordinator::new(3);
+        assert!(c.is_simple());
+        assert_eq!(c.slack(), 1);
+    }
+
+    #[test]
+    fn large_threshold_uses_slack_mode() {
+        let c = Coordinator::new(100);
+        assert!(!c.is_simple());
+        assert_eq!(c.slack(), 25);
+    }
+
+    #[test]
+    fn simple_mode_matures_exactly_at_threshold() {
+        let mut c = Coordinator::new(3);
+        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
+        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
+        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::Mature);
+    }
+
+    #[test]
+    fn slack_mode_round_ends_on_second_signal() {
+        let mut c = Coordinator::new(100);
+        // First signal: round continues.
+        assert_eq!(
+            c.on_signal(|| unreachable!("counts are only needed at round end")),
+            SignalOutcome::ContinueRound { slack: 25 }
+        );
+        // Second signal: round ends; counts say 50 updates were consumed.
+        match c.on_signal(|| [25, 25]) {
+            SignalOutcome::NewRound { slack } => {
+                assert_eq!(c.remaining(), 50);
+                assert_eq!(slack, 12);
+            }
+            other => panic!("expected a new round, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_shrinks_to_simple_mode_then_matures() {
+        let mut c = Coordinator::new(20);
+        assert_eq!(c.slack(), 5);
+        // Round 1: two signals, 11 consumed in total.
+        c.on_signal(|| unreachable!());
+        match c.on_signal(|| [5, 6]) {
+            SignalOutcome::NewRound { slack } => {
+                // 20 - 11 = 9 > 8, still slack mode with λ = 2.
+                assert_eq!(c.remaining(), 9);
+                assert_eq!(slack, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round 2: two signals, 5 consumed; 4 remain → simple mode.
+        c.on_signal(|| unreachable!());
+        match c.on_signal(|| [2, 3]) {
+            SignalOutcome::NewRound { slack } => {
+                assert_eq!(c.remaining(), 4);
+                assert!(c.is_simple());
+                assert_eq!(slack, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Simple mode: 4 more increments mature it.
+        for _ in 0..3 {
+            assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
+        }
+        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::Mature);
+    }
+
+    #[test]
+    fn message_count_is_logarithmic() {
+        // With τ = 1_000_000 the straightforward algorithm would send 10^6
+        // messages; the protocol must stay within O(h log(τ/h)).
+        let mut c = Coordinator::new(1_000_000);
+        let mut remaining = 1_000_000u64;
+        let mut matured = false;
+        // Simulate: in every round both participants consume exactly one
+        // slack each (worst-case earliest round end).
+        for _ in 0..200 {
+            if c.is_simple() {
+                for _ in 0..remaining {
+                    if c.on_signal(|| [0, 0]) == SignalOutcome::Mature {
+                        matured = true;
+                        break;
+                    }
+                }
+                break;
+            }
+            let slack = c.slack();
+            c.on_signal(|| unreachable!());
+            match c.on_signal(|| [slack, slack]) {
+                SignalOutcome::NewRound { .. } => remaining -= 2 * slack,
+                SignalOutcome::Mature => {
+                    matured = true;
+                    break;
+                }
+                SignalOutcome::ContinueRound { .. } => unreachable!(),
+            }
+        }
+        assert!(matured);
+        // log2(10^6) ≈ 20 rounds, a handful of messages each.
+        assert!(
+            c.messages() < 400,
+            "message count {} should be logarithmic in τ",
+            c.messages()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_is_rejected() {
+        let _ = Coordinator::new(0);
+    }
+}

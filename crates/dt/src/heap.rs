@@ -1,0 +1,204 @@
+//! Per-vertex checkpoint heaps (`DtHeap(u)` in the paper).
+
+use dynscan_graph::{MemoryFootprint, VertexId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The participant-side state of one DT instance, held by one endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParticipantEntry {
+    /// `s_u(v)`: value of the shared counter when the current round started.
+    pub round_start: u64,
+    /// `ĉ_u(u, v)`: absolute shared-counter value at which this participant
+    /// must signal the coordinator next.
+    pub checkpoint: u64,
+}
+
+/// The per-vertex structure organising all DT participants of edges
+/// incident on one vertex, keyed by their shifted checkpoints.
+///
+/// Implemented as an ordered set of `(checkpoint, neighbour)` pairs plus a
+/// per-neighbour lookup table, giving O(log d) insert / remove / re-key and
+/// O(log d) access to the smallest checkpoint — the operations the DynELM
+/// update procedure needs.
+#[derive(Clone, Debug, Default)]
+pub struct DtHeap {
+    queue: BTreeSet<(u64, VertexId)>,
+    entries: HashMap<VertexId, ParticipantEntry>,
+}
+
+impl DtHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of participants stored (== number of tracked incident edges).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The participant entry for the edge towards `neighbour`, if tracked.
+    pub fn get(&self, neighbour: VertexId) -> Option<ParticipantEntry> {
+        self.entries.get(&neighbour).copied()
+    }
+
+    /// Insert a participant for the edge towards `neighbour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry for `neighbour` already exists.
+    pub fn insert(&mut self, neighbour: VertexId, entry: ParticipantEntry) {
+        let previous = self.entries.insert(neighbour, entry);
+        assert!(
+            previous.is_none(),
+            "DtHeap already tracks an entry for neighbour {neighbour}"
+        );
+        self.queue.insert((entry.checkpoint, neighbour));
+    }
+
+    /// Remove the participant for the edge towards `neighbour`.
+    /// Returns the removed entry, or `None` if it was not tracked.
+    pub fn remove(&mut self, neighbour: VertexId) -> Option<ParticipantEntry> {
+        let entry = self.entries.remove(&neighbour)?;
+        self.queue.remove(&(entry.checkpoint, neighbour));
+        Some(entry)
+    }
+
+    /// Replace the entry for `neighbour` (used when a round ends or the
+    /// checkpoint advances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbour` is not currently tracked.
+    pub fn reset(&mut self, neighbour: VertexId, entry: ParticipantEntry) {
+        let old = self
+            .entries
+            .insert(neighbour, entry)
+            .unwrap_or_else(|| panic!("DtHeap has no entry for neighbour {neighbour}"));
+        self.queue.remove(&(old.checkpoint, neighbour));
+        self.queue.insert((entry.checkpoint, neighbour));
+    }
+
+    /// The smallest checkpoint currently stored.
+    pub fn min_checkpoint(&self) -> Option<u64> {
+        self.queue.iter().next().map(|&(c, _)| c)
+    }
+
+    /// Pop one *checkpoint-ready* entry: an entry whose checkpoint is at most
+    /// `shared_counter`.  The entry is removed from the heap; the caller
+    /// decides whether to re-insert it (round continues / new round) or drop
+    /// it for good (maturity).
+    pub fn pop_ready(&mut self, shared_counter: u64) -> Option<(VertexId, ParticipantEntry)> {
+        let &(checkpoint, neighbour) = self.queue.iter().next()?;
+        if checkpoint > shared_counter {
+            return None;
+        }
+        self.queue.remove(&(checkpoint, neighbour));
+        let entry = self
+            .entries
+            .remove(&neighbour)
+            .expect("queue and entry table are kept in sync");
+        Some((neighbour, entry))
+    }
+
+    /// Iterate over all tracked neighbours (unspecified order).
+    pub fn neighbours(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+impl MemoryFootprint for DtHeap {
+    fn memory_bytes(&self) -> usize {
+        // BTreeSet entries cost roughly their payload plus node overhead.
+        self.queue.len() * (std::mem::size_of::<(u64, VertexId)>() + 16)
+            + dynscan_graph::footprint::hashmap_bytes(&self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn entry(round_start: u64, checkpoint: u64) -> ParticipantEntry {
+        ParticipantEntry {
+            round_start,
+            checkpoint,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut h = DtHeap::new();
+        assert!(h.is_empty());
+        h.insert(v(1), entry(0, 5));
+        h.insert(v(2), entry(0, 3));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(v(1)), Some(entry(0, 5)));
+        assert_eq!(h.min_checkpoint(), Some(3));
+        assert_eq!(h.remove(v(2)), Some(entry(0, 3)));
+        assert_eq!(h.remove(v(2)), None);
+        assert_eq!(h.min_checkpoint(), Some(5));
+    }
+
+    #[test]
+    fn pop_ready_respects_counter() {
+        let mut h = DtHeap::new();
+        h.insert(v(1), entry(0, 4));
+        h.insert(v(2), entry(0, 6));
+        h.insert(v(3), entry(0, 4));
+        assert_eq!(h.pop_ready(3), None, "nothing ready below the checkpoints");
+        let first = h.pop_ready(4).expect("one entry ready at 4");
+        assert!(first.0 == v(1) || first.0 == v(3));
+        let second = h.pop_ready(4).expect("second entry ready at 4");
+        assert_ne!(first.0, second.0);
+        assert_eq!(h.pop_ready(4), None);
+        assert_eq!(h.pop_ready(6).map(|(n, _)| n), Some(v(2)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reset_rekeys_entry() {
+        let mut h = DtHeap::new();
+        h.insert(v(1), entry(0, 2));
+        h.insert(v(2), entry(0, 9));
+        h.reset(v(1), entry(5, 12));
+        assert_eq!(h.min_checkpoint(), Some(9));
+        assert_eq!(h.get(v(1)), Some(entry(5, 12)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already tracks")]
+    fn duplicate_insert_panics() {
+        let mut h = DtHeap::new();
+        h.insert(v(1), entry(0, 2));
+        h.insert(v(1), entry(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry")]
+    fn reset_of_missing_entry_panics() {
+        let mut h = DtHeap::new();
+        h.reset(v(1), entry(0, 2));
+    }
+
+    #[test]
+    fn neighbours_iteration() {
+        let mut h = DtHeap::new();
+        for i in 0..5 {
+            h.insert(v(i), entry(0, i as u64 + 1));
+        }
+        let mut ns: Vec<u32> = h.neighbours().map(|x| x.raw()).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0, 1, 2, 3, 4]);
+    }
+}

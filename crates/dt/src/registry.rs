@@ -1,0 +1,342 @@
+//! The registry tying shared counters, per-vertex heaps and per-edge
+//! coordinators together.
+
+use crate::coordinator::{Coordinator, SignalOutcome};
+use crate::heap::{DtHeap, ParticipantEntry};
+use dynscan_graph::{EdgeKey, MemoryFootprint, VertexId};
+use std::collections::HashMap;
+
+/// All DT state of a graph: one shared counter and one [`DtHeap`] per
+/// vertex, one [`Coordinator`] per tracked edge.
+///
+/// The clustering layer drives it with three calls per graph update
+/// `(u, w)`:
+///
+/// 1. [`DtRegistry::increment`] on `u` and on `w` (the affecting update),
+/// 2. [`DtRegistry::register`] / [`DtRegistry::deregister`] for the edge
+///    `(u, w)` itself (fresh label on insertion, drop on deletion),
+/// 3. [`DtRegistry::drain_ready`] on `u` and on `w`, which walks the
+///    checkpoint-ready heap entries, simulates the DT signals, and returns
+///    the edges whose instances matured — exactly the edges that must be
+///    relabelled.
+#[derive(Clone, Debug, Default)]
+pub struct DtRegistry {
+    counters: Vec<u64>,
+    heaps: Vec<DtHeap>,
+    coordinators: HashMap<EdgeKey, Coordinator>,
+}
+
+impl DtRegistry {
+    /// Create a registry over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DtRegistry {
+            counters: vec![0; n],
+            heaps: (0..n).map(|_| DtHeap::new()).collect(),
+            coordinators: HashMap::new(),
+        }
+    }
+
+    /// Grow the vertex space to at least `n`.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if self.counters.len() < n {
+            self.counters.resize(n, 0);
+            self.heaps.resize_with(n, DtHeap::new);
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The shared counter `s_v`.
+    pub fn shared_counter(&self, v: VertexId) -> u64 {
+        self.counters.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether the edge has an active DT instance.
+    pub fn is_tracked(&self, key: EdgeKey) -> bool {
+        self.coordinators.contains_key(&key)
+    }
+
+    /// Number of active DT instances.
+    pub fn num_tracked(&self) -> usize {
+        self.coordinators.len()
+    }
+
+    /// Messages exchanged so far by the instance tracking `key`.
+    pub fn messages(&self, key: EdgeKey) -> Option<u64> {
+        self.coordinators.get(&key).map(|c| c.messages())
+    }
+
+    /// Start tracking `key` with threshold `tau ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is already tracked.
+    pub fn register(&mut self, key: EdgeKey, tau: u64) {
+        assert!(
+            !self.coordinators.contains_key(&key),
+            "edge {key:?} is already tracked"
+        );
+        let (u, v) = key.endpoints();
+        self.ensure_vertices(u.index().max(v.index()) + 1);
+        let coordinator = Coordinator::new(tau);
+        let slack = coordinator.slack();
+        for (me, other) in [(u, v), (v, u)] {
+            let s = self.counters[me.index()];
+            self.heaps[me.index()].insert(
+                other,
+                ParticipantEntry {
+                    round_start: s,
+                    checkpoint: s + slack,
+                },
+            );
+        }
+        self.coordinators.insert(key, coordinator);
+    }
+
+    /// Stop tracking `key` (e.g. because the edge was deleted).  Returns
+    /// `true` if it was tracked.
+    pub fn deregister(&mut self, key: EdgeKey) -> bool {
+        if self.coordinators.remove(&key).is_none() {
+            return false;
+        }
+        let (u, v) = key.endpoints();
+        self.heaps[u.index()].remove(v);
+        self.heaps[v.index()].remove(u);
+        true
+    }
+
+    /// Record one affecting update incident on `v` (increments `s_v`).
+    pub fn increment(&mut self, v: VertexId) {
+        self.ensure_vertices(v.index() + 1);
+        self.counters[v.index()] += 1;
+    }
+
+    /// Process every checkpoint-ready entry in `DtHeap(v)`, simulating the
+    /// DT signals.  Returns the edges whose instances matured; those
+    /// instances are removed and the caller is expected to relabel the edges
+    /// and [`DtRegistry::register`] them again with fresh thresholds.
+    pub fn drain_ready(&mut self, v: VertexId) -> Vec<EdgeKey> {
+        let mut matured = Vec::new();
+        if v.index() >= self.heaps.len() {
+            return matured;
+        }
+        loop {
+            let s_v = self.counters[v.index()];
+            let Some((nb, entry)) = self.heaps[v.index()].pop_ready(s_v) else {
+                break;
+            };
+            let key = EdgeKey::new(v, nb);
+            let other_entry = self.heaps[nb.index()]
+                .get(v)
+                .expect("participant entries are kept symmetric");
+            let s_nb = self.counters[nb.index()];
+            let outcome = self
+                .coordinators
+                .get_mut(&key)
+                .expect("tracked edge has a coordinator")
+                .on_signal(|| [s_v - entry.round_start, s_nb - other_entry.round_start]);
+            match outcome {
+                SignalOutcome::ContinueRound { slack } => {
+                    // Same round: only this participant's checkpoint moves.
+                    self.heaps[v.index()].insert(
+                        nb,
+                        ParticipantEntry {
+                            round_start: entry.round_start,
+                            checkpoint: entry.checkpoint + slack,
+                        },
+                    );
+                }
+                SignalOutcome::NewRound { slack } => {
+                    // Both participants restart from their current counters.
+                    self.heaps[v.index()].insert(
+                        nb,
+                        ParticipantEntry {
+                            round_start: s_v,
+                            checkpoint: s_v + slack,
+                        },
+                    );
+                    self.heaps[nb.index()].reset(
+                        v,
+                        ParticipantEntry {
+                            round_start: s_nb,
+                            checkpoint: s_nb + slack,
+                        },
+                    );
+                }
+                SignalOutcome::Mature => {
+                    self.heaps[nb.index()].remove(v);
+                    self.coordinators.remove(&key);
+                    matured.push(key);
+                }
+            }
+        }
+        matured
+    }
+}
+
+impl MemoryFootprint for DtRegistry {
+    fn memory_bytes(&self) -> usize {
+        dynscan_graph::footprint::vec_bytes(&self.counters)
+            + self.heaps.iter().map(MemoryFootprint::memory_bytes).sum::<usize>()
+            + dynscan_graph::footprint::hashmap_bytes(&self.coordinators)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn key(a: u32, b: u32) -> EdgeKey {
+        EdgeKey::new(v(a), v(b))
+    }
+
+    /// Drive a single instance: apply `updates` affecting updates, split
+    /// between the two endpoints according to `pattern`, and return the
+    /// 1-based index of the update at which the instance matured.
+    fn maturity_index(tau: u64, pattern: impl Iterator<Item = bool>) -> Option<usize> {
+        let mut reg = DtRegistry::new(2);
+        reg.register(key(0, 1), tau);
+        for (i, on_first) in pattern.enumerate() {
+            let side = if on_first { v(0) } else { v(1) };
+            reg.increment(side);
+            let matured = reg.drain_ready(side);
+            if matured.contains(&key(0, 1)) {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn matures_exactly_at_threshold_simple_mode() {
+        for tau in 1..=8u64 {
+            let idx = maturity_index(tau, (0..100).map(|i| i % 2 == 0));
+            assert_eq!(idx, Some(tau as usize), "τ = {tau}");
+        }
+    }
+
+    #[test]
+    fn matures_exactly_at_threshold_slack_mode() {
+        for tau in [9u64, 17, 64, 100, 257] {
+            // All updates on one side.
+            assert_eq!(
+                maturity_index(tau, std::iter::repeat(true).take(1000)),
+                Some(tau as usize),
+                "one-sided, τ = {tau}"
+            );
+            // Alternating sides.
+            assert_eq!(
+                maturity_index(tau, (0..1000).map(|i| i % 2 == 0)),
+                Some(tau as usize),
+                "alternating, τ = {tau}"
+            );
+            // Skewed 3:1 split.
+            assert_eq!(
+                maturity_index(tau, (0..1000).map(|i| i % 4 != 0)),
+                Some(tau as usize),
+                "skewed, τ = {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_count_stays_logarithmic() {
+        let tau = 100_000u64;
+        let mut reg = DtRegistry::new(2);
+        reg.register(key(0, 1), tau);
+        let mut matured_at = None;
+        for i in 0..tau {
+            let side = if i % 3 == 0 { v(0) } else { v(1) };
+            reg.increment(side);
+            if !reg.drain_ready(side).is_empty() {
+                matured_at = Some(i + 1);
+                break;
+            }
+            if let Some(m) = reg.messages(key(0, 1)) {
+                assert!(m < 500, "messages {m} should stay O(log τ)");
+            }
+        }
+        assert_eq!(matured_at, Some(tau));
+    }
+
+    #[test]
+    fn deregister_removes_both_sides() {
+        let mut reg = DtRegistry::new(3);
+        reg.register(key(0, 1), 10);
+        reg.register(key(0, 2), 10);
+        assert_eq!(reg.num_tracked(), 2);
+        assert!(reg.deregister(key(0, 1)));
+        assert!(!reg.deregister(key(0, 1)));
+        assert_eq!(reg.num_tracked(), 1);
+        // The remaining instance still matures correctly.
+        for _ in 0..9 {
+            reg.increment(v(0));
+            assert!(reg.drain_ready(v(0)).is_empty());
+        }
+        reg.increment(v(2));
+        assert_eq!(reg.drain_ready(v(2)), vec![key(0, 2)]);
+    }
+
+    #[test]
+    fn instances_sharing_a_vertex_are_independent() {
+        let mut reg = DtRegistry::new(4);
+        reg.register(key(0, 1), 3);
+        reg.register(key(0, 2), 5);
+        reg.register(key(0, 3), 100);
+        let mut matured = Vec::new();
+        for i in 0..10u64 {
+            reg.increment(v(0));
+            for e in reg.drain_ready(v(0)) {
+                matured.push((i + 1, e));
+            }
+        }
+        assert_eq!(matured, vec![(3, key(0, 1)), (5, key(0, 2))]);
+        assert!(reg.is_tracked(key(0, 3)));
+    }
+
+    #[test]
+    fn re_registration_after_maturity_restarts_tracking() {
+        let mut reg = DtRegistry::new(2);
+        reg.register(key(0, 1), 2);
+        reg.increment(v(0));
+        assert!(reg.drain_ready(v(0)).is_empty());
+        reg.increment(v(1));
+        assert_eq!(reg.drain_ready(v(1)), vec![key(0, 1)]);
+        assert!(!reg.is_tracked(key(0, 1)));
+        // Restart with a new threshold.
+        reg.register(key(0, 1), 3);
+        reg.increment(v(0));
+        reg.increment(v(0));
+        assert!(reg.drain_ready(v(0)).is_empty());
+        reg.increment(v(1));
+        assert_eq!(reg.drain_ready(v(1)), vec![key(0, 1)]);
+    }
+
+    #[test]
+    fn drain_without_increment_is_empty() {
+        let mut reg = DtRegistry::new(2);
+        reg.register(key(0, 1), 4);
+        assert!(reg.drain_ready(v(0)).is_empty());
+        assert!(reg.drain_ready(v(1)).is_empty());
+        assert!(reg.drain_ready(v(5)).is_empty(), "unknown vertex is fine");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Whatever the split of affecting updates between the two
+        /// endpoints, maturity is reported exactly at the τ-th update.
+        #[test]
+        fn maturity_is_exact(tau in 1u64..400, pattern in prop::collection::vec(any::<bool>(), 400)) {
+            let idx = maturity_index(tau, pattern.into_iter());
+            prop_assert_eq!(idx, Some(tau as usize));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Immutable compressed-sparse-row snapshots.
+
+use crate::dynamic_graph::DynGraph;
+use crate::footprint::{vec_bytes, MemoryFootprint};
+use crate::vertex::VertexId;
+
+/// An immutable CSR (compressed sparse row) snapshot of a graph.
+///
+/// The paper's Fact 1 says the StrClu result can be extracted in O(n + m)
+/// time from the edge labelling; that extraction, as well as the static SCAN
+/// baseline, walks the whole graph once.  A CSR layout makes those passes
+/// cache-friendly and allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Snapshot a [`DynGraph`] into CSR form.  O(n + m).
+    pub fn from_dyn(graph: &DynGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(2 * graph.num_edges());
+        for u in graph.vertices() {
+            let mut neigh: Vec<VertexId> = graph.neighbours_iter(u).collect();
+            neigh.sort_unstable();
+            targets.extend_from_slice(&neigh);
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Build directly from an edge list over `n` vertices.  Duplicate edges
+    /// and self-loops must already have been removed.
+    pub fn from_edge_list(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![VertexId(0); 2 * edges.len()];
+        for &(u, v) in edges {
+            targets[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        for u in 0..n {
+            targets[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            0
+        } else {
+            self.offsets[i + 1] - self.offsets[i]
+        }
+    }
+
+    /// Neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            &[]
+        } else {
+            &self.targets[self.offsets[i]..self.offsets[i + 1]]
+        }
+    }
+
+    /// Whether `(u, v)` is an edge (binary search, O(log d)).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbours(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Exact size of `N[u] ∩ N[v]` (closed neighbourhoods) via a sorted
+    /// merge, in O(d[u] + d[v]).
+    pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
+        let nu = self.neighbours(u);
+        let nv = self.neighbours(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut count = 0usize;
+        // Merge the open neighbourhoods.
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        // Account for u ∈ N[u]: is u ∈ N[v]?  (u == v impossible for edges,
+        // but handle it for completeness.)
+        if u == v {
+            return self.degree(u) + 1;
+        }
+        if nv.binary_search(&u).is_ok() {
+            count += 1;
+        }
+        if nu.binary_search(&v).is_ok() {
+            count += 1;
+        }
+        count
+    }
+}
+
+impl MemoryFootprint for CsrGraph {
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.offsets) + vec_bytes(&self.targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn sample_graph() -> DynGraph {
+        let (g, _) = DynGraph::from_edges(vec![
+            (v(0), v(1)),
+            (v(1), v(2)),
+            (v(0), v(2)),
+            (v(2), v(3)),
+            (v(3), v(4)),
+        ]);
+        g
+    }
+
+    #[test]
+    fn snapshot_matches_dynamic_graph() {
+        let g = sample_graph();
+        let csr = CsrGraph::from_dyn(&g);
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            assert_eq!(csr.degree(u), g.degree(u));
+            for w in g.vertices() {
+                if u != w {
+                    assert_eq!(csr.has_edge(u, w), g.has_edge(u, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_edge_list_matches_from_dyn() {
+        let edges = vec![(v(0), v(1)), (v(1), v(2)), (v(0), v(2)), (v(2), v(3))];
+        let (g, _) = DynGraph::from_edges(edges.clone());
+        let a = CsrGraph::from_dyn(&g);
+        let b = CsrGraph::from_edge_list(4, &edges);
+        for u in 0..4u32 {
+            assert_eq!(a.neighbours(v(u)), b.neighbours(v(u)));
+        }
+    }
+
+    #[test]
+    fn neighbours_are_sorted() {
+        let csr = CsrGraph::from_dyn(&sample_graph());
+        for u in csr.vertices() {
+            let n = csr.neighbours(u);
+            assert!(n.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn intersection_matches_dyn_graph() {
+        let g = sample_graph();
+        let csr = CsrGraph::from_dyn(&g);
+        for u in g.vertices() {
+            for w in g.vertices() {
+                if u < w {
+                    assert_eq!(
+                        csr.closed_intersection_size(u, w),
+                        g.closed_intersection_size(u, w),
+                        "intersection mismatch for ({u}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_vertex_has_no_neighbours() {
+        let csr = CsrGraph::from_dyn(&sample_graph());
+        assert_eq!(csr.degree(v(99)), 0);
+        assert!(csr.neighbours(v(99)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn csr_roundtrip_random_graphs(
+            edges in prop::collection::hash_set((0u32..30, 0u32..30), 0..200)
+        ) {
+            let edges: Vec<(VertexId, VertexId)> = edges
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (v(a.min(b)), v(a.max(b))))
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            let (g, _) = DynGraph::from_edges(edges.iter().copied());
+            let csr = CsrGraph::from_dyn(&g);
+            prop_assert_eq!(csr.num_edges(), g.num_edges());
+            for u in g.vertices() {
+                prop_assert_eq!(csr.degree(u), g.degree(u));
+                let a: HashSet<VertexId> = csr.neighbours(u).iter().copied().collect();
+                let b: HashSet<VertexId> = g.neighbours_iter(u).collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The dynamic undirected simple graph.
+
+use crate::edge::EdgeKey;
+use crate::error::GraphError;
+use crate::footprint::MemoryFootprint;
+use crate::indexed_set::IndexedSet;
+use crate::vertex::VertexId;
+use rand::Rng;
+
+/// An undirected simple graph under edge insertions and deletions.
+///
+/// This is the substrate every algorithm in the workspace runs on:
+///
+/// * adjacency is stored per vertex in an [`IndexedSet`], giving O(1)
+///   `has_edge`, O(1) insert/delete and O(1) uniform neighbour sampling;
+/// * the vertex set is the dense range `0..num_vertices()` and grows
+///   automatically when an edge mentions a new id (matching the paper's
+///   relabelled SNAP datasets);
+/// * degrees, edge counts and closed-neighbourhood (`N[v] = neighbours ∪ {v}`)
+///   membership checks are O(1).
+///
+/// The structure deliberately stores no similarity or clustering state; that
+/// lives in the algorithm crates layered on top.
+#[derive(Clone, Debug, Default)]
+pub struct DynGraph {
+    adjacency: Vec<IndexedSet>,
+    num_edges: usize,
+}
+
+impl DynGraph {
+    /// Create an empty graph with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty graph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DynGraph {
+            adjacency: (0..n).map(|_| IndexedSet::new()).collect(),
+            num_edges: 0,
+        }
+    }
+
+    /// Build a graph from an edge list, ignoring duplicates and self-loops
+    /// (the paper's pre-processing).  Returns the graph and the number of
+    /// edges actually inserted.
+    pub fn from_edges<I>(edges: I) -> (Self, usize)
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut g = DynGraph::new();
+        let mut inserted = 0;
+        for (u, v) in edges {
+            if u != v && g.insert_edge(u, v).is_ok() {
+                inserted += 1;
+            }
+        }
+        (g, inserted)
+    }
+
+    /// Current number of vertices (dense id space `0..n`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Current number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.adjacency.len() as u32).map(VertexId)
+    }
+
+    /// Ensure the vertex id space covers `v`.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v.index() >= self.adjacency.len() {
+            self.adjacency.resize_with(v.index() + 1, IndexedSet::new);
+        }
+    }
+
+    /// Degree of `v` (number of neighbours, excluding `v` itself).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency.get(v.index()).map_or(0, IndexedSet::len)
+    }
+
+    /// Size of the closed neighbourhood `|N[v]| = degree(v) + 1`.
+    #[inline]
+    pub fn closed_degree(&self, v: VertexId) -> usize {
+        self.degree(v) + 1
+    }
+
+    /// Whether the edge `(u, v)` is present.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .is_some_and(|adj| adj.contains(v))
+    }
+
+    /// Whether `w` belongs to the *closed* neighbourhood `N[v]`, i.e.
+    /// `w == v` or `(w, v)` is an edge.  This is the membership test used by
+    /// the structural-similarity definitions.
+    #[inline]
+    pub fn in_closed_neighbourhood(&self, w: VertexId, v: VertexId) -> bool {
+        w == v || self.has_edge(w, v)
+    }
+
+    /// The open neighbourhood of `v` as an [`IndexedSet`] view.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &IndexedSet {
+        static EMPTY: once_empty::Empty = once_empty::Empty;
+        self.adjacency.get(v.index()).unwrap_or(EMPTY.get())
+    }
+
+    /// Iterate over the open neighbourhood of `v`.
+    pub fn neighbours_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.neighbours(v).iter()
+    }
+
+    /// Draw a uniform member of the *closed* neighbourhood `N[v]`
+    /// (so `v` itself is drawn with probability `1 / (degree(v) + 1)`).
+    pub fn sample_closed_neighbourhood<R: Rng + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> VertexId {
+        let d = self.degree(v);
+        let i = rng.gen_range(0..=d);
+        if i == d {
+            v
+        } else {
+            self.adjacency[v.index()]
+                .get(i)
+                .expect("index within degree")
+        }
+    }
+
+    /// Insert the edge `(u, v)`.
+    ///
+    /// Grows the vertex set if needed.  Returns an error (and changes
+    /// nothing) if the edge already exists or is a self-loop.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { v });
+        }
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        if self.adjacency[u.index()].contains(v) {
+            return Err(GraphError::EdgeExists { u, v });
+        }
+        self.adjacency[u.index()].insert(v);
+        self.adjacency[v.index()].insert(u);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Delete the edge `(u, v)`.
+    ///
+    /// Returns an error (and changes nothing) if the edge does not exist.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { v });
+        }
+        if !self.has_edge(u, v) {
+            return Err(GraphError::EdgeMissing { u, v });
+        }
+        self.adjacency[u.index()].remove(v);
+        self.adjacency[v.index()].remove(u);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    /// Iterate over every edge exactly once, as canonical [`EdgeKey`]s.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, adj)| {
+            let u = VertexId(u as u32);
+            adj.iter()
+                .filter(move |&v| u < v)
+                .map(move |v| EdgeKey::new(u, v))
+        })
+    }
+
+    /// The exact size of the intersection of the closed neighbourhoods of
+    /// `u` and `v`, i.e. `a = |N[u] ∩ N[v]|` in the paper's notation.
+    ///
+    /// Runs in O(min(d[u], d[v])) by scanning the smaller neighbourhood and
+    /// probing the larger one.
+    pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
+        let (small, large) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let mut count = 0usize;
+        // Members of N[small] that are also in N[large]:
+        for w in self.neighbours_iter(small) {
+            if self.in_closed_neighbourhood(w, large) {
+                count += 1;
+            }
+        }
+        // `small` itself is in N[small]; is it in N[large]?
+        if self.in_closed_neighbourhood(small, large) {
+            count += 1;
+        }
+        count
+    }
+
+    /// The exact size of the union of the closed neighbourhoods,
+    /// `b = |N[u] ∪ N[v]| = |N[u]| + |N[v]| - a`.
+    pub fn closed_union_size(&self, u: VertexId, v: VertexId) -> usize {
+        self.closed_degree(u) + self.closed_degree(v) - self.closed_intersection_size(u, v)
+    }
+}
+
+impl MemoryFootprint for DynGraph {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .adjacency
+                .iter()
+                .map(MemoryFootprint::memory_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// A tiny helper module that provides a `'static` empty [`IndexedSet`] so
+/// `neighbours()` can return a reference even for out-of-range vertices.
+mod once_empty {
+    use crate::indexed_set::IndexedSet;
+    use std::sync::OnceLock;
+
+    pub(super) struct Empty;
+
+    static EMPTY_SET: OnceLock<IndexedSet> = OnceLock::new();
+
+    impl Empty {
+        pub(super) fn get(&self) -> &'static IndexedSet {
+            EMPTY_SET.get_or_init(IndexedSet::new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// The small example graph of the paper's Figure 1(a) restricted to the
+    /// cluster around u, w: enough structure for sanity checks.
+    fn triangle_plus_tail() -> DynGraph {
+        let (g, m) = DynGraph::from_edges(vec![
+            (v(0), v(1)),
+            (v(1), v(2)),
+            (v(0), v(2)),
+            (v(2), v(3)),
+        ]);
+        assert_eq!(m, 4);
+        g
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let mut g = DynGraph::new();
+        assert_eq!(g.num_vertices(), 0);
+        g.insert_edge(v(0), v(5)).unwrap();
+        assert_eq!(g.num_vertices(), 6, "vertex space grows to max id + 1");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(v(0), v(5)));
+        assert!(g.has_edge(v(5), v(0)), "undirected");
+        assert_eq!(g.degree(v(0)), 1);
+        assert_eq!(g.degree(v(5)), 1);
+        assert_eq!(g.degree(v(3)), 0);
+
+        g.delete_edge(v(5), v(0)).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(v(0), v(5)));
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_errors() {
+        let mut g = DynGraph::new();
+        g.insert_edge(v(1), v(2)).unwrap();
+        assert_eq!(
+            g.insert_edge(v(2), v(1)),
+            Err(GraphError::EdgeExists { u: v(2), v: v(1) })
+        );
+        assert_eq!(
+            g.delete_edge(v(1), v(3)),
+            Err(GraphError::EdgeMissing { u: v(1), v: v(3) })
+        );
+        assert_eq!(g.insert_edge(v(4), v(4)), Err(GraphError::SelfLoop { v: v(4) }));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn closed_neighbourhood_membership() {
+        let g = triangle_plus_tail();
+        assert!(g.in_closed_neighbourhood(v(0), v(0)), "v ∈ N[v]");
+        assert!(g.in_closed_neighbourhood(v(1), v(0)));
+        assert!(!g.in_closed_neighbourhood(v(3), v(0)));
+        assert_eq!(g.closed_degree(v(2)), 4);
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let g = triangle_plus_tail();
+        // N[0] = {0,1,2}, N[1] = {0,1,2}: intersection 3, union 3.
+        assert_eq!(g.closed_intersection_size(v(0), v(1)), 3);
+        assert_eq!(g.closed_union_size(v(0), v(1)), 3);
+        // N[2] = {0,1,2,3}, N[3] = {2,3}: intersection {2,3} = 2, union 4.
+        assert_eq!(g.closed_intersection_size(v(2), v(3)), 2);
+        assert_eq!(g.closed_union_size(v(2), v(3)), 4);
+        // Symmetric.
+        assert_eq!(
+            g.closed_intersection_size(v(3), v(2)),
+            g.closed_intersection_size(v(2), v(3))
+        );
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: HashSet<EdgeKey> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&EdgeKey::new(v(0), v(1))));
+        assert!(edges.contains(&EdgeKey::new(v(2), v(3))));
+    }
+
+    #[test]
+    fn closed_neighbourhood_sampling_hits_every_member() {
+        let g = triangle_plus_tail();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let x = g.sample_closed_neighbourhood(v(2), &mut rng);
+            assert!(g.in_closed_neighbourhood(x, v(2)));
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 4, "all of N[2] = {{0,1,2,3}} should be sampled");
+    }
+
+    #[test]
+    fn from_edges_skips_duplicates_and_self_loops() {
+        let (g, inserted) = DynGraph::from_edges(vec![
+            (v(0), v(1)),
+            (v(1), v(0)),
+            (v(2), v(2)),
+            (v(1), v(2)),
+        ]);
+        assert_eq!(inserted, 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn neighbours_of_unknown_vertex_is_empty() {
+        let g = DynGraph::new();
+        assert_eq!(g.neighbours(v(99)).len(), 0);
+        assert_eq!(g.degree(v(99)), 0);
+    }
+
+    #[test]
+    fn footprint_grows_with_graph() {
+        let small = triangle_plus_tail();
+        let (big, _) = DynGraph::from_edges((0..500u32).map(|i| (v(i), v(i + 1))));
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    proptest! {
+        /// Insertions and deletions agree with a reference edge set, and the
+        /// derived quantities (degree, edge count) stay consistent.
+        #[test]
+        fn matches_reference_edge_set(
+            ops in prop::collection::vec((any::<bool>(), 0u32..20, 0u32..20), 0..300)
+        ) {
+            let mut g = DynGraph::new();
+            let mut reference: HashSet<(u32, u32)> = HashSet::new();
+            for (is_insert, a, b) in ops {
+                if a == b { continue; }
+                let key = (a.min(b), a.max(b));
+                if is_insert {
+                    let ok = g.insert_edge(v(a), v(b)).is_ok();
+                    prop_assert_eq!(ok, reference.insert(key));
+                } else {
+                    let ok = g.delete_edge(v(a), v(b)).is_ok();
+                    prop_assert_eq!(ok, reference.remove(&key));
+                }
+                prop_assert_eq!(g.num_edges(), reference.len());
+            }
+            // Degrees match the reference.
+            for x in 0u32..20 {
+                let expected = reference.iter().filter(|(a, b)| *a == x || *b == x).count();
+                prop_assert_eq!(g.degree(v(x)), expected);
+            }
+            // Exact intersection sizes match a brute-force computation.
+            for u in 0u32..6 {
+                for w in (u + 1)..6 {
+                    let nu: HashSet<u32> = g.neighbours_iter(v(u)).map(|x| x.raw())
+                        .chain(std::iter::once(u)).collect();
+                    let nw: HashSet<u32> = g.neighbours_iter(v(w)).map(|x| x.raw())
+                        .chain(std::iter::once(w)).collect();
+                    prop_assert_eq!(
+                        g.closed_intersection_size(v(u), v(w)),
+                        nu.intersection(&nw).count()
+                    );
+                    prop_assert_eq!(g.closed_union_size(v(u), v(w)), nu.union(&nw).count());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Unordered edge keys.
+
+use crate::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An undirected edge, stored as an ordered pair `(min, max)` so that
+/// `(u, v)` and `(v, u)` compare and hash identically.
+///
+/// The algorithms in this workspace key per-edge state — labels, exact
+/// `(a, b)` counters, distributed-tracking coordinators — by `EdgeKey`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeKey {
+    lo: VertexId,
+    hi: VertexId,
+}
+
+impl EdgeKey {
+    /// Build the canonical key for the edge between `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; the graphs in this workspace are simple
+    /// (self-loops are removed during pre-processing, as in the paper).
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        assert!(u != v, "self-loop edge ({u}, {v}) is not allowed");
+        if u < v {
+            EdgeKey { lo: u, hi: v }
+        } else {
+            EdgeKey { lo: v, hi: u }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn lo(&self) -> VertexId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn hi(&self) -> VertexId {
+        self.hi
+    }
+
+    /// Both endpoints as a `(lo, hi)` tuple.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.lo, self.hi)
+    }
+
+    /// Given one endpoint, return the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, v: VertexId) -> VertexId {
+        if v == self.lo {
+            self.hi
+        } else if v == self.hi {
+            self.lo
+        } else {
+            panic!("{v} is not an endpoint of edge {self:?}")
+        }
+    }
+
+    /// Whether `v` is one of the endpoints.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v == self.lo || v == self.hi
+    }
+}
+
+impl From<(VertexId, VertexId)> for EdgeKey {
+    #[inline]
+    fn from((u, v): (VertexId, VertexId)) -> Self {
+        EdgeKey::new(u, v)
+    }
+}
+
+impl From<(u32, u32)> for EdgeKey {
+    #[inline]
+    fn from((u, v): (u32, u32)) -> Self {
+        EdgeKey::new(VertexId(u), VertexId(v))
+    }
+}
+
+impl fmt::Debug for EdgeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        let a = EdgeKey::new(VertexId(5), VertexId(2));
+        let b = EdgeKey::new(VertexId(2), VertexId(5));
+        assert_eq!(a, b);
+        assert_eq!(a.lo(), VertexId(2));
+        assert_eq!(a.hi(), VertexId(5));
+        assert_eq!(a.endpoints(), (VertexId(2), VertexId(5)));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = EdgeKey::from((3u32, 9u32));
+        assert_eq!(e.other(VertexId(3)), VertexId(9));
+        assert_eq!(e.other(VertexId(9)), VertexId(3));
+        assert!(e.contains(VertexId(3)));
+        assert!(!e.contains(VertexId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = EdgeKey::new(VertexId(1), VertexId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let e = EdgeKey::from((1u32, 2u32));
+        let _ = e.other(VertexId(7));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for graph mutations.
+
+use crate::vertex::VertexId;
+use std::fmt;
+
+/// Errors produced by mutating operations on [`crate::DynGraph`].
+///
+/// The dynamic-clustering algorithms treat these as recoverable: a duplicate
+/// insertion or a deletion of a missing edge simply leaves the structures
+/// unchanged, and the caller decides whether to ignore or surface it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// The edge being inserted is already present.
+    EdgeExists { u: VertexId, v: VertexId },
+    /// The edge being deleted is not present.
+    EdgeMissing { u: VertexId, v: VertexId },
+    /// A self-loop was supplied; the graphs are simple.
+    SelfLoop { v: VertexId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EdgeExists { u, v } => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::EdgeMissing { u, v } => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::SelfLoop { v } => write!(f, "self-loop on vertex {v} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::EdgeExists {
+            u: VertexId(1),
+            v: VertexId(2),
+        };
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::EdgeMissing {
+            u: VertexId(1),
+            v: VertexId(2),
+        };
+        assert!(e.to_string().contains("does not exist"));
+        let e = GraphError::SelfLoop { v: VertexId(7) };
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

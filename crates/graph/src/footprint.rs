@@ -1,0 +1,126 @@
+//! Approximate heap-memory accounting.
+//!
+//! The paper's Table 1 reports the peak memory footprint of each algorithm
+//! over the whole update sequence.  Rust gives no portable way to measure
+//! the resident size attributable to a single data structure, so every
+//! structure in this workspace implements [`MemoryFootprint`] and reports a
+//! structural estimate: the bytes of its own fields plus the capacity of its
+//! heap allocations.  The estimates are intentionally conservative (they use
+//! capacities, not lengths) because that is what drives real peak usage.
+
+/// Structural estimate of heap + inline memory used by a value, in bytes.
+pub trait MemoryFootprint {
+    /// Approximate number of bytes used by `self`, including owned heap
+    /// allocations but excluding shared data behind `Rc`/`Arc`.
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Vec<T> {
+    fn memory_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Self>();
+        let slack = (self.capacity() - self.len()) * std::mem::size_of::<T>();
+        inline + slack + self.iter().map(MemoryFootprint::memory_bytes).sum::<usize>()
+    }
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Option<T> {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .as_ref()
+                .map(|x| x.memory_bytes().saturating_sub(std::mem::size_of::<T>()))
+                .unwrap_or(0)
+    }
+}
+
+macro_rules! impl_footprint_for_copy {
+    ($($t:ty),* $(,)?) => {
+        $(impl MemoryFootprint for $t {
+            fn memory_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_footprint_for_copy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+/// Convenience: bytes used by a `Vec` of plain `Copy` elements, counting
+/// capacity rather than length.
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    std::mem::size_of::<Vec<T>>() + v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Convenience: rough bytes used by a `HashMap`, counting capacity.
+///
+/// `std::collections::HashMap` (hashbrown) stores one byte of control data
+/// plus the key/value pair per bucket; we fold the constant overhead in.
+pub fn hashmap_bytes<K, V, S>(m: &std::collections::HashMap<K, V, S>) -> usize {
+    std::mem::size_of::<std::collections::HashMap<K, V, S>>()
+        + m.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
+/// Convenience: rough bytes used by a `HashSet`, counting capacity.
+pub fn hashset_bytes<K, S>(s: &std::collections::HashSet<K, S>) -> usize {
+    std::mem::size_of::<std::collections::HashSet<K, S>>()
+        + s.capacity() * (std::mem::size_of::<K>() + 1)
+}
+
+/// Convenience: rough bytes used by a `BTreeMap` (11/12 node occupancy
+/// assumed, pointer overhead folded into a per-entry constant).
+pub fn btreemap_bytes<K, V>(m: &std::collections::BTreeMap<K, V>) -> usize {
+    std::mem::size_of::<std::collections::BTreeMap<K, V>>()
+        + m.len() * (std::mem::size_of::<(K, V)>() + 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap, HashSet};
+
+    #[test]
+    fn primitive_footprints() {
+        assert_eq!(5u32.memory_bytes(), 4);
+        assert_eq!(5u64.memory_bytes(), 8);
+        assert_eq!(true.memory_bytes(), 1);
+    }
+
+    #[test]
+    fn vec_footprint_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert!(vec_bytes(&v) >= 100 * 8);
+        // The trait impl also counts capacity slack.
+        assert!(v.memory_bytes() >= 100 * 8);
+    }
+
+    #[test]
+    fn map_footprints_scale_with_capacity() {
+        let mut m: HashMap<u32, u64> = HashMap::new();
+        let empty = hashmap_bytes(&m);
+        for i in 0..1000 {
+            m.insert(i, i as u64);
+        }
+        assert!(hashmap_bytes(&m) > empty + 1000 * 12);
+
+        let mut s: HashSet<u32> = HashSet::new();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert!(hashset_bytes(&s) > 1000 * 4);
+
+        let mut b: BTreeMap<u32, u32> = BTreeMap::new();
+        for i in 0..100 {
+            b.insert(i, i);
+        }
+        assert!(btreemap_bytes(&b) > 100 * 8);
+    }
+
+    #[test]
+    fn option_footprint() {
+        let some: Option<u64> = Some(3);
+        let none: Option<u64> = None;
+        assert!(some.memory_bytes() >= 8);
+        assert!(none.memory_bytes() >= 8);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dynscan-graph
+//!
+//! Dynamic graph substrate for the DynSCAN family of algorithms (the Rust
+//! reproduction of *Dynamic Structural Clustering on Graphs*, SIGMOD 2021).
+//!
+//! The crate provides:
+//!
+//! * [`VertexId`] / [`EdgeKey`] — lightweight identifiers; an edge key is an
+//!   unordered pair so `(u, v)` and `(v, u)` address the same edge.
+//! * [`IndexedSet`] — a set with O(1) insert / remove / contains **and**
+//!   O(1) uniform random sampling.  Uniform neighbourhood sampling is the
+//!   primitive the paper's (Δ, δ)-similarity estimator is built on
+//!   (Section 4 of the paper), so the adjacency structure exposes it
+//!   directly rather than forcing callers to copy neighbour lists.
+//! * [`DynGraph`] — an undirected simple graph under edge insertions and
+//!   deletions, with closed-neighbourhood membership tests and degree
+//!   queries in O(1).
+//! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot used by the
+//!   O(n + m) clustering-result extraction and the static SCAN baseline.
+//! * [`GraphError`] — error type shared by the mutating operations.
+//!
+//! All structures report an approximate heap footprint through
+//! [`MemoryFootprint`], which the Table-1 experiment of the paper
+//! (peak memory over the update sequence) relies on.
+
+pub mod csr;
+pub mod dynamic_graph;
+pub mod edge;
+pub mod error;
+pub mod footprint;
+pub mod indexed_set;
+pub mod update;
+pub mod vertex;
+
+pub use csr::CsrGraph;
+pub use dynamic_graph::DynGraph;
+pub use edge::EdgeKey;
+pub use error::GraphError;
+pub use footprint::MemoryFootprint;
+pub use indexed_set::IndexedSet;
+pub use update::GraphUpdate;
+pub use vertex::VertexId;

@@ -1,0 +1,67 @@
+//! Graph update events (edge insertions and deletions).
+
+use crate::edge::EdgeKey;
+use crate::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A single update of the dynamic graph: the paper's model is a stream of
+/// edge insertions and deletions (Section 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphUpdate {
+    /// Insert the edge between the two vertices.
+    Insert(VertexId, VertexId),
+    /// Delete the edge between the two vertices.
+    Delete(VertexId, VertexId),
+}
+
+impl GraphUpdate {
+    /// The two endpoints of the updated edge.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            GraphUpdate::Insert(u, v) | GraphUpdate::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// The canonical edge key of the updated edge.
+    pub fn edge(&self) -> EdgeKey {
+        let (u, v) = self.endpoints();
+        EdgeKey::new(u, v)
+    }
+
+    /// Whether this update is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, GraphUpdate::Insert(..))
+    }
+
+    /// Whether this update is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, GraphUpdate::Delete(..))
+    }
+}
+
+impl std::fmt::Display for GraphUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphUpdate::Insert(u, v) => write!(f, "+({u}, {v})"),
+            GraphUpdate::Delete(u, v) => write!(f, "-({u}, {v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let ins = GraphUpdate::Insert(VertexId(3), VertexId(1));
+        assert!(ins.is_insert());
+        assert!(!ins.is_delete());
+        assert_eq!(ins.endpoints(), (VertexId(3), VertexId(1)));
+        assert_eq!(ins.edge(), EdgeKey::new(VertexId(1), VertexId(3)));
+        let del = GraphUpdate::Delete(VertexId(2), VertexId(4));
+        assert!(del.is_delete());
+        assert_eq!(del.to_string(), "-(2, 4)");
+        assert_eq!(ins.to_string(), "+(3, 1)");
+    }
+}

@@ -1,0 +1,94 @@
+//! Vertex identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// Vertices are dense small integers (`0..n`), matching the paper's
+/// pre-processing step that relabels vertex identifiers to `{1, ..., n}`
+/// (we use zero-based ids).  The newtype keeps vertex ids from being mixed
+/// up with counts, indices into unrelated arrays, and similar `usize`s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Construct a vertex id from a raw index.
+    #[inline]
+    pub fn new(raw: u32) -> Self {
+        VertexId(raw)
+    }
+
+    /// The raw index of this vertex, usable to index dense per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(raw: usize) -> Self {
+        debug_assert!(raw <= u32::MAX as usize, "vertex id out of range");
+        VertexId(raw as u32)
+    }
+}
+
+impl From<VertexId> for usize {
+    #[inline]
+    fn from(v: VertexId) -> usize {
+        v.index()
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let v = VertexId::new(17);
+        assert_eq!(v.raw(), 17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(VertexId::from(17u32), v);
+        assert_eq!(VertexId::from(17usize), v);
+        assert_eq!(usize::from(v), 17);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(VertexId(100) > VertexId(99));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", VertexId(3)), "3");
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+    }
+}

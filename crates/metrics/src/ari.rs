@@ -1,0 +1,128 @@
+//! Adjusted Rand Index between two StrClu results.
+
+use dynscan_core::StrCluResult;
+use dynscan_graph::VertexId;
+use std::collections::HashMap;
+
+/// Adjusted Rand Index between two cluster assignments given as per-item
+/// cluster labels.  Items are the indices of the slices; both slices must
+/// have the same length.  The value is 1 for identical partitions, ≈ 0 for
+/// independent ones (it can be slightly negative).
+pub fn ari_from_labels(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "label slices must align");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let mut contingency: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut row: HashMap<u32, u64> = HashMap::new();
+    let mut col: HashMap<u32, u64> = HashMap::new();
+    for i in 0..n {
+        *contingency.entry((a[i], b[i])).or_insert(0) += 1;
+        *row.entry(a[i]).or_insert(0) += 1;
+        *col.entry(b[i]).or_insert(0) += 1;
+    }
+    let index: f64 = contingency.values().map(|&c| choose2(c)).sum();
+    let sum_row: f64 = row.values().map(|&c| choose2(c)).sum();
+    let sum_col: f64 = col.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_row * sum_col / total;
+    let max_index = 0.5 * (sum_row + sum_col);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are trivial (all singletons or one block):
+        // identical partitions get 1, anything else 0.
+        return if index == max_index { 1.0 } else { 0.0 };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// ARI between two StrClu results following the paper's convention
+/// (Section 9.2): every vertex is assigned to a single cluster through
+/// [`StrCluResult::primary_assignment`] (core vertices to their own
+/// cluster, non-core vertices to the cluster of their smallest-id similar
+/// core neighbour); vertices that are noise in *either* result are
+/// ignored.
+pub fn adjusted_rand_index(approx: &StrCluResult, exact: &StrCluResult) -> f64 {
+    let n = approx.num_vertices().max(exact.num_vertices());
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for i in 0..n {
+        let v = VertexId::from(i);
+        match (approx.primary_assignment(v), exact.primary_assignment(v)) {
+            (Some(x), Some(y)) => {
+                a.push(x);
+                b.push(y);
+            }
+            _ => {}
+        }
+    }
+    if a.is_empty() {
+        return 1.0;
+    }
+    ari_from_labels(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::{extract_clustering, fixtures};
+    use dynscan_sim::{exact_similarity, SimilarityMeasure};
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((ari_from_labels(&a, &a) - 1.0).abs() < 1e-12);
+        // Renaming cluster ids does not matter.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((ari_from_labels(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreeing_partitions_score_below_one() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 0, 1];
+        let score = ari_from_labels(&a, &b);
+        assert!(score < 0.5, "score {score}");
+    }
+
+    #[test]
+    fn single_swap_scores_high_but_below_one() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut b = a.clone();
+        b[0] = 1;
+        let score = ari_from_labels(&a, &b);
+        assert!(score > 0.4 && score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let a = vec![0, 0, 0];
+        assert!((ari_from_labels(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![0, 1, 2];
+        assert!((ari_from_labels(&b, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strclu_results_identical_give_one() {
+        let g = fixtures::two_cliques_with_hub();
+        let label = |eps: f64| {
+            extract_clustering(&g, 5, |e| {
+                exact_similarity(&g, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= eps
+            })
+        };
+        let a = label(0.29);
+        let b = label(0.29);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        // A slightly different ε changes little on this fixture.
+        let c = label(0.32);
+        let score = adjusted_rand_index(&a, &c);
+        assert!(score > 0.8, "score {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        ari_from_labels(&[0, 1], &[0]);
+    }
+}

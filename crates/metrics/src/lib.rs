@@ -1,0 +1,24 @@
+//! # dynscan-metrics
+//!
+//! The clustering-quality measurements of the paper's Section 9.2:
+//!
+//! * [`mislabel::mislabelled_rate`] — fraction of edges whose approximate
+//!   label differs from the exact (ε-threshold) label;
+//! * [`ari::adjusted_rand_index`] — overall clustering quality between the
+//!   approximate and the exact StrClu results, using the paper's
+//!   convention (non-core vertices assigned to the cluster of their
+//!   smallest-id similar core neighbour, noise ignored);
+//! * [`quality::individual_cluster_quality`] — per-cluster quality of the
+//!   top-k approximate clusters against their exact counterparts;
+//! * [`peak::PeakTracker`] — peak-memory tracking over an update sequence
+//!   (Table 1).
+
+pub mod ari;
+pub mod mislabel;
+pub mod peak;
+pub mod quality;
+
+pub use ari::adjusted_rand_index;
+pub use mislabel::mislabelled_rate;
+pub use peak::PeakTracker;
+pub use quality::{individual_cluster_quality, top_k_quality, TopKQuality};

@@ -1,0 +1,83 @@
+//! Mis-labelled rate: how far an approximate edge labelling is from the
+//! exact one.
+
+use dynscan_graph::{DynGraph, EdgeKey};
+use dynscan_sim::{exact_similarity, SimilarityMeasure};
+
+/// Fraction of edges whose label under `approx_is_similar` differs from the
+/// exact labelling `σ(u, v) ≥ ε` (Section 9.2, "Mis-Labelled Rate").
+/// Returns 0 for an empty graph.
+pub fn mislabelled_rate<F>(
+    graph: &DynGraph,
+    eps: f64,
+    measure: SimilarityMeasure,
+    mut approx_is_similar: F,
+) -> f64
+where
+    F: FnMut(EdgeKey) -> bool,
+{
+    let mut total = 0usize;
+    let mut wrong = 0usize;
+    for edge in graph.edges() {
+        total += 1;
+        let exact = exact_similarity(graph, edge.lo(), edge.hi(), measure) >= eps;
+        if exact != approx_is_similar(edge) {
+            wrong += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        wrong as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::fixtures;
+    use dynscan_graph::VertexId;
+
+    #[test]
+    fn exact_labelling_has_zero_rate() {
+        let g = fixtures::two_cliques_with_hub();
+        let rate = mislabelled_rate(&g, 0.29, SimilarityMeasure::Jaccard, |e| {
+            exact_similarity(&g, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= 0.29
+        });
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn everything_wrong_has_rate_one() {
+        let g = fixtures::two_cliques_with_hub();
+        let rate = mislabelled_rate(&g, 0.29, SimilarityMeasure::Jaccard, |e| {
+            exact_similarity(&g, e.lo(), e.hi(), SimilarityMeasure::Jaccard) < 0.29
+        });
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn single_flip_counts_once() {
+        let g = fixtures::two_cliques_with_hub();
+        let flipped = dynscan_graph::EdgeKey::new(VertexId(0), VertexId(1));
+        let rate = mislabelled_rate(&g, 0.29, SimilarityMeasure::Jaccard, |e| {
+            let exact = exact_similarity(&g, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= 0.29;
+            if e == flipped {
+                !exact
+            } else {
+                exact
+            }
+        });
+        let m = g.num_edges() as f64;
+        assert!((rate - 1.0 / m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_rate_is_zero() {
+        let g = DynGraph::new();
+        assert_eq!(
+            mislabelled_rate(&g, 0.5, SimilarityMeasure::Jaccard, |_| true),
+            0.0
+        );
+    }
+}

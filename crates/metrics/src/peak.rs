@@ -1,0 +1,63 @@
+//! Peak-value tracking (memory footprints over an update sequence).
+
+/// Tracks the peak of a sampled quantity, e.g. the memory footprint of an
+/// algorithm sampled every few thousand updates — the number reported in
+/// the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeakTracker {
+    peak: usize,
+    last: usize,
+    samples: usize,
+}
+
+impl PeakTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: usize) {
+        self.last = value;
+        self.peak = self.peak.max(value);
+        self.samples += 1;
+    }
+
+    /// The peak value observed so far (0 if nothing was recorded).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> usize {
+        self.last
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The peak in mebibytes, convenient for reporting.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_maximum() {
+        let mut t = PeakTracker::new();
+        assert_eq!(t.peak(), 0);
+        t.record(10);
+        t.record(50);
+        t.record(30);
+        assert_eq!(t.peak(), 50);
+        assert_eq!(t.last(), 30);
+        assert_eq!(t.samples(), 3);
+        assert!(t.peak_mib() > 0.0);
+    }
+}

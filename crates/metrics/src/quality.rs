@@ -1,0 +1,194 @@
+//! Individual cluster quality (Section 9.2).
+
+use dynscan_core::{StrCluResult, VertexRole};
+use std::collections::{HashMap, HashSet};
+
+/// The quality of one approximate cluster `C`: let `S ⊆ C` be the vertices
+/// of `C` that are core under the *exact* clustering, let `C*` be the exact
+/// clusters containing at least one vertex of `S`, and report the largest
+/// Jaccard similarity `max_{C' ∈ C*} |C ∩ C'| / |C ∪ C'|`.  Returns 0 when
+/// no vertex of `C` is an exact core (the approximate cluster has no exact
+/// counterpart), matching the paper's treatment of that corner case.
+pub fn individual_cluster_quality(
+    approx: &StrCluResult,
+    approx_cluster: usize,
+    exact: &StrCluResult,
+) -> f64 {
+    let cluster: HashSet<_> = approx.cluster(approx_cluster).iter().copied().collect();
+    let mut candidate_clusters: HashSet<u32> = HashSet::new();
+    for &v in &cluster {
+        if exact.role(v) == VertexRole::Core {
+            for &c in exact.clusters_of(v) {
+                candidate_clusters.insert(c);
+            }
+        }
+    }
+    let mut best = 0.0f64;
+    for c in candidate_clusters {
+        let other: HashSet<_> = exact.cluster(c as usize).iter().copied().collect();
+        let inter = cluster.intersection(&other).count() as f64;
+        let union = cluster.union(&other).count() as f64;
+        if union > 0.0 {
+            best = best.max(inter / union);
+        }
+    }
+    best
+}
+
+/// Minimum and average individual cluster quality among the top-k largest
+/// approximate clusters (one row of the paper's Tables 2 and 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopKQuality {
+    /// The k this row describes.
+    pub k: usize,
+    /// Number of clusters actually available (may be smaller than k).
+    pub clusters_considered: usize,
+    /// Minimum quality among the considered clusters.
+    pub min: f64,
+    /// Average quality among the considered clusters.
+    pub avg: f64,
+}
+
+/// Compute the min / average individual cluster quality of the top-`k`
+/// largest approximate clusters against the exact result.
+pub fn top_k_quality(approx: &StrCluResult, exact: &StrCluResult, k: usize) -> TopKQuality {
+    let order = approx.clusters_by_size();
+    let considered: Vec<usize> = order.into_iter().take(k).collect();
+    if considered.is_empty() {
+        return TopKQuality {
+            k,
+            clusters_considered: 0,
+            min: 1.0,
+            avg: 1.0,
+        };
+    }
+    // Cache exact-cluster sets once (cheap relative to recomputation).
+    let qualities: Vec<f64> = considered
+        .iter()
+        .map(|&c| individual_cluster_quality(approx, c, exact))
+        .collect();
+    let min = qualities.iter().copied().fold(f64::INFINITY, f64::min);
+    let avg = qualities.iter().sum::<f64>() / qualities.len() as f64;
+    TopKQuality {
+        k,
+        clusters_considered: considered.len(),
+        min,
+        avg,
+    }
+}
+
+/// Normalised mutual information between two hard assignments (items
+/// assigned `None` are ignored).  Used as an additional sanity measure for
+/// the planted-partition quality experiments.
+pub fn normalised_mutual_information(a: &[Option<u32>], b: &[Option<u32>]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let pairs: Vec<(u32, u32)> = a
+        .iter()
+        .zip(b.iter())
+        .filter_map(|(x, y)| Some((((*x)?), ((*y)?))))
+        .collect();
+    let n = pairs.len() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let mut joint: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut pa: HashMap<u32, f64> = HashMap::new();
+    let mut pb: HashMap<u32, f64> = HashMap::new();
+    for &(x, y) in &pairs {
+        *joint.entry((x, y)).or_insert(0.0) += 1.0;
+        *pa.entry(x).or_insert(0.0) += 1.0;
+        *pb.entry(y).or_insert(0.0) += 1.0;
+    }
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &joint {
+        let pxy = c / n;
+        let px = pa[&x] / n;
+        let py = pb[&y] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    let entropy = |p: &HashMap<u32, f64>| -> f64 {
+        p.values().map(|&c| {
+            let q = c / n;
+            -q * q.ln()
+        }).sum()
+    };
+    let (ha, hb) = (entropy(&pa), entropy(&pb));
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let denom = (ha * hb).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::{extract_clustering, fixtures};
+    use dynscan_graph::DynGraph;
+    use dynscan_sim::{exact_similarity, SimilarityMeasure};
+
+    fn clustering(g: &DynGraph, eps: f64, mu: usize) -> StrCluResult {
+        extract_clustering(g, mu, |e| {
+            exact_similarity(g, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= eps
+        })
+    }
+
+    #[test]
+    fn identical_clusterings_have_quality_one() {
+        let g = fixtures::two_cliques_with_hub();
+        let a = clustering(&g, 0.29, 5);
+        let b = clustering(&g, 0.29, 5);
+        for c in 0..a.num_clusters() {
+            assert!((individual_cluster_quality(&a, c, &b) - 1.0).abs() < 1e-12);
+        }
+        let row = top_k_quality(&a, &b, 20);
+        assert_eq!(row.clusters_considered, 2);
+        assert!((row.min - 1.0).abs() < 1e-12);
+        assert!((row.avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_clustering_scores_below_one() {
+        let g = fixtures::two_cliques_with_hub();
+        let exact = clustering(&g, 0.29, 5);
+        // A much stricter threshold splits / shrinks the clusters.
+        let approx = clustering(&g, 0.8, 5);
+        let row = top_k_quality(&approx, &exact, 20);
+        if approx.num_clusters() > 0 {
+            assert!(row.avg < 1.0);
+        }
+    }
+
+    #[test]
+    fn cluster_without_exact_cores_scores_zero() {
+        let g = fixtures::two_cliques_with_hub();
+        let approx = clustering(&g, 0.29, 5);
+        // Pretend the exact clustering is computed with an impossible μ, so
+        // nothing is core.
+        let exact = clustering(&g, 0.29, 100);
+        assert_eq!(individual_cluster_quality(&approx, 0, &exact), 0.0);
+    }
+
+    #[test]
+    fn empty_approximate_result_row() {
+        let g = DynGraph::with_vertices(4);
+        let empty = clustering(&g, 0.5, 2);
+        let row = top_k_quality(&empty, &empty, 10);
+        assert_eq!(row.clusters_considered, 0);
+        assert_eq!(row.min, 1.0);
+    }
+
+    #[test]
+    fn nmi_basic_properties() {
+        let a = vec![Some(0), Some(0), Some(1), Some(1), None];
+        assert!((normalised_mutual_information(&a, &a) - 1.0).abs() < 1e-9);
+        let b = vec![Some(1), Some(1), Some(0), Some(0), None];
+        assert!((normalised_mutual_information(&a, &b) - 1.0).abs() < 1e-9, "relabelling is free");
+        let c = vec![Some(0), Some(1), Some(0), Some(1), None];
+        assert!(normalised_mutual_information(&a, &c) < 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Update affordability and DT tracking thresholds.
+//!
+//! Lemmas 5.1/5.2 (Jaccard) and 8.4/8.5 (cosine) show that an edge labelled
+//! by the (½ρε, δ)-strategy keeps a valid ρ-approximate label for at least
+//! `k` further affecting updates, where `k` depends only on the endpoint
+//! degrees at labelling time.  The tracking threshold handed to the per-edge
+//! DT instance is `k + 1`: the instance matures exactly when the label may
+//! have become stale and must be recomputed.
+
+use crate::SimilarityMeasure;
+
+/// Degree-ratio constant of the cosine case split (Sections 8.2–8.3): edges
+/// with `|N_min| ≥ 0.81 ε² |N_max|` fall in the "balanced" case.
+pub const COSINE_BALANCED_RATIO: f64 = 0.81;
+
+/// The tracking threshold `τ(u, v)` for an edge whose endpoints currently
+/// have closed-neighbourhood sizes `n_u = d[u] + 1` and `n_v = d[v] + 1`.
+///
+/// * Jaccard (Eq. 2):             `τ = ⌊½ρε · d_max⌋ + 1`
+/// * cosine, balanced (Eq. 7):    `τ = ⌊0.45 ρε² · n_max⌋ + 1`
+/// * cosine, unbalanced (Eq. 8):  `τ = ⌊0.19 ε² · n_max⌋ + 1`
+///
+/// For Jaccard the open degrees `d = n − 1` are used, exactly as in the
+/// paper; using the smaller quantity keeps the affordability bound
+/// conservative.  The result is always at least 1, so even degree-0
+/// endpoints are tracked (their labels are re-examined on every affecting
+/// update, which is the correct degenerate behaviour).
+pub fn tracking_threshold(
+    measure: SimilarityMeasure,
+    eps: f64,
+    rho: f64,
+    degree_u: usize,
+    degree_v: usize,
+) -> u64 {
+    debug_assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+    debug_assert!(rho >= 0.0, "ρ must be non-negative");
+    match measure {
+        SimilarityMeasure::Jaccard => {
+            let d_max = degree_u.max(degree_v) as f64;
+            (0.5 * rho * eps * d_max).floor() as u64 + 1
+        }
+        SimilarityMeasure::Cosine => {
+            let n_max = (degree_u.max(degree_v) + 1) as f64;
+            let n_min = (degree_u.min(degree_v) + 1) as f64;
+            if n_min >= COSINE_BALANCED_RATIO * eps * eps * n_max {
+                (0.45 * rho * eps * eps * n_max).floor() as u64 + 1
+            } else {
+                (0.19 * eps * eps * n_max).floor() as u64 + 1
+            }
+        }
+    }
+}
+
+/// The update affordability `k = τ − 1`: how many affecting updates the
+/// current label can absorb before it might become invalid.
+pub fn update_affordability(
+    measure: SimilarityMeasure,
+    eps: f64,
+    rho: f64,
+    degree_u: usize,
+    degree_v: usize,
+) -> u64 {
+    tracking_threshold(measure, eps, rho, degree_u, degree_v) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_threshold_formula() {
+        // ½ρε·d_max = 0.5·0.01·0.2·1000 = 1.0 → τ = 2.
+        assert_eq!(
+            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.01, 1000, 10),
+            2
+        );
+        // Small degrees: the floor is 0 and τ = 1 (relabel on every update).
+        assert_eq!(
+            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.01, 3, 2),
+            1
+        );
+        // Larger ρ affords more updates.
+        assert!(
+            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.5, 1000, 10)
+                > tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.01, 1000, 10)
+        );
+    }
+
+    #[test]
+    fn jaccard_threshold_uses_max_degree_symmetrically() {
+        let a = tracking_threshold(SimilarityMeasure::Jaccard, 0.3, 0.1, 500, 20);
+        let b = tracking_threshold(SimilarityMeasure::Jaccard, 0.3, 0.1, 20, 500);
+        assert_eq!(a, b);
+        assert_eq!(a, (0.5 * 0.1 * 0.3 * 500.0) as u64 + 1);
+    }
+
+    #[test]
+    fn cosine_balanced_vs_unbalanced() {
+        let eps = 0.6;
+        // Balanced: n_min = 801 ≥ 0.81·0.36·1001 ≈ 292.
+        let balanced = tracking_threshold(SimilarityMeasure::Cosine, eps, 0.1, 1000, 800);
+        assert_eq!(balanced, (0.45 * 0.1 * eps * eps * 1001.0) as u64 + 1);
+        // Unbalanced: n_min = 11 < 292 → the ε-only formula applies.
+        let unbalanced = tracking_threshold(SimilarityMeasure::Cosine, eps, 0.1, 1000, 10);
+        assert_eq!(unbalanced, (0.19 * eps * eps * 1001.0) as u64 + 1);
+        // The unbalanced threshold does not depend on ρ.
+        assert_eq!(
+            unbalanced,
+            tracking_threshold(SimilarityMeasure::Cosine, eps, 0.5, 1000, 10)
+        );
+    }
+
+    #[test]
+    fn thresholds_are_at_least_one() {
+        for m in [SimilarityMeasure::Jaccard, SimilarityMeasure::Cosine] {
+            for (du, dv) in [(0usize, 0usize), (1, 0), (2, 3), (10, 1)] {
+                assert!(tracking_threshold(m, 0.2, 0.01, du, dv) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn affordability_is_threshold_minus_one() {
+        assert_eq!(
+            update_affordability(SimilarityMeasure::Jaccard, 0.2, 0.5, 400, 10) + 1,
+            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.5, 400, 10)
+        );
+    }
+
+    #[test]
+    fn thresholds_grow_with_degree() {
+        let mut last = 0;
+        for d in [10usize, 100, 1000, 10_000] {
+            let t = tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.1, d, d);
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(last > 1);
+    }
+}

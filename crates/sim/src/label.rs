@@ -1,0 +1,69 @@
+//! Edge labels.
+
+/// The label of an edge in a structural-clustering edge labelling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// The endpoints' neighbourhood similarity is (believed to be) ≥ ε.
+    Similar,
+    /// The endpoints' neighbourhood similarity is (believed to be) < ε.
+    Dissimilar,
+}
+
+impl EdgeLabel {
+    /// Label an edge from a similarity value and threshold
+    /// (`similar ⇔ σ ≥ ε`, Definition 2.1 / 4.2 of the paper).
+    #[inline]
+    pub fn from_similarity(sigma: f64, eps: f64) -> Self {
+        if sigma >= eps {
+            EdgeLabel::Similar
+        } else {
+            EdgeLabel::Dissimilar
+        }
+    }
+
+    /// Whether this label is [`EdgeLabel::Similar`].
+    #[inline]
+    pub fn is_similar(self) -> bool {
+        matches!(self, EdgeLabel::Similar)
+    }
+
+    /// The opposite label.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            EdgeLabel::Similar => EdgeLabel::Dissimilar,
+            EdgeLabel::Dissimilar => EdgeLabel::Similar,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EdgeLabel::Similar => "similar",
+            EdgeLabel::Dissimilar => "dissimilar",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_inclusive() {
+        assert_eq!(EdgeLabel::from_similarity(0.5, 0.5), EdgeLabel::Similar);
+        assert_eq!(EdgeLabel::from_similarity(0.499, 0.5), EdgeLabel::Dissimilar);
+        assert_eq!(EdgeLabel::from_similarity(1.0, 0.2), EdgeLabel::Similar);
+        assert_eq!(EdgeLabel::from_similarity(0.0, 0.2), EdgeLabel::Dissimilar);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(EdgeLabel::Similar.is_similar());
+        assert!(!EdgeLabel::Dissimilar.is_similar());
+        assert_eq!(EdgeLabel::Similar.flipped(), EdgeLabel::Dissimilar);
+        assert_eq!(EdgeLabel::Dissimilar.flipped(), EdgeLabel::Similar);
+        assert_eq!(EdgeLabel::Similar.to_string(), "similar");
+    }
+}

@@ -1,0 +1,61 @@
+//! # dynscan-sim
+//!
+//! Structural similarity between vertex neighbourhoods, under both measures
+//! used in the paper:
+//!
+//! * **Jaccard** similarity  `σ(u,v)  = |N[u] ∩ N[v]| / |N[u] ∪ N[v]|`
+//! * **cosine** similarity   `σc(u,v) = |N[u] ∩ N[v]| / √(d[u]·d[v])`
+//!
+//! where `N[·]` are closed neighbourhoods and `d[·]` degrees.
+//!
+//! The crate provides:
+//!
+//! * [`exact`] — exact similarity computation (O(min-degree) per edge),
+//!   used by the baselines and the quality metrics;
+//! * [`estimator`] — the biased sampling estimator of Section 4 / 8.1,
+//!   which estimates the similarity of an edge in O(L) neighbourhood
+//!   samples without maintaining any sketch;
+//! * [`strategy`] — the (Δ, δ)-labelling strategy with Δ = ρε/2 and the
+//!   δ-schedule `δ_i = δ*/(i(i+1))` that makes *all* labelling decisions of
+//!   an unbounded update sequence simultaneously correct with probability
+//!   ≥ 1 − δ* (Section 6.1);
+//! * [`affordability`] — the update-affordability / tracking-threshold
+//!   formulas of Sections 5.1, 8.2 and 8.3 that feed the distributed
+//!   tracking instances.
+
+pub mod affordability;
+pub mod estimator;
+pub mod exact;
+pub mod label;
+pub mod strategy;
+
+pub use affordability::tracking_threshold;
+pub use estimator::{estimate_similarity, intersection_fraction_estimate, sample_size};
+pub use exact::exact_similarity;
+pub use label::EdgeLabel;
+pub use strategy::LabellingStrategy;
+
+/// Which structural similarity the algorithms run under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimilarityMeasure {
+    /// Jaccard similarity of the closed neighbourhoods (paper Sections 2–7).
+    Jaccard,
+    /// Cosine similarity of the closed neighbourhoods (paper Section 8).
+    Cosine,
+}
+
+impl SimilarityMeasure {
+    /// Human-readable name (used by the experiment harness output).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityMeasure::Jaccard => "jaccard",
+            SimilarityMeasure::Cosine => "cosine",
+        }
+    }
+}
+
+impl std::fmt::Display for SimilarityMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

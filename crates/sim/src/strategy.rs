@@ -1,0 +1,311 @@
+//! The (Δ, δ)-labelling strategy with the per-invocation δ schedule.
+//!
+//! DynELM labels edges with the (½ρε, δᵢ)-strategy, where the `i`-th
+//! invocation uses `δᵢ = δ*/(i·(i+1))`.  The δᵢ telescope to at most δ*, so
+//! by a union bound *every* label ever produced is ρ-approximately valid
+//! with probability at least 1 − δ* — regardless of how long the update
+//! sequence runs (Section 6.1, third bullet of Theorem 6.1).
+
+use crate::affordability::tracking_threshold;
+use crate::estimator::{estimate_similarity, sample_size};
+use crate::exact::exact_similarity;
+use crate::label::EdgeLabel;
+use crate::SimilarityMeasure;
+use dynscan_graph::{DynGraph, VertexId};
+use rand::Rng;
+
+/// Stateful labelling strategy shared by all edges of one DynELM instance.
+#[derive(Clone, Debug)]
+pub struct LabellingStrategy {
+    measure: SimilarityMeasure,
+    eps: f64,
+    rho: f64,
+    delta_star: f64,
+    /// Number of strategy invocations so far (the `i` of the δ schedule).
+    invocations: u64,
+    /// Total similarity samples drawn (diagnostic; drives the cost model).
+    samples_drawn: u64,
+    /// When set, similarities are computed exactly instead of sampled.
+    /// Used by the correctness tests and the `ablation_exact_label` bench.
+    exact_mode: bool,
+}
+
+impl LabellingStrategy {
+    /// Create a strategy for similarity threshold `eps`, approximation
+    /// parameter `rho` and overall failure probability `delta_star`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are outside the ranges the paper requires:
+    /// `ε ∈ (0, 1]`, `ρ ∈ [0, min(1, 1/ε − 1))` (with `ρ = 0` only allowed in
+    /// exact mode), `δ* ∈ (0, 1)`.
+    pub fn new(measure: SimilarityMeasure, eps: f64, rho: f64, delta_star: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1], got {eps}");
+        let rho_cap = (1.0f64).min(1.0 / eps - 1.0);
+        assert!(
+            rho >= 0.0 && rho < rho_cap.max(f64::EPSILON),
+            "ρ must be in [0, min(1, 1/ε − 1)) = [0, {rho_cap}), got {rho}"
+        );
+        assert!(
+            delta_star > 0.0 && delta_star < 1.0,
+            "δ* must be in (0, 1), got {delta_star}"
+        );
+        LabellingStrategy {
+            measure,
+            eps,
+            rho,
+            delta_star,
+            invocations: 0,
+            samples_drawn: 0,
+            exact_mode: false,
+        }
+    }
+
+    /// Switch to exact-similarity labelling (no sampling).  The resulting
+    /// labelling is a valid (non-approximate) edge labelling; DT thresholds
+    /// are still derived from ρ, so ρ > 0 keeps updates cheap while the
+    /// labels themselves are exact at labelling time.
+    pub fn with_exact_labels(mut self) -> Self {
+        self.exact_mode = true;
+        self
+    }
+
+    /// The similarity measure in use.
+    pub fn measure(&self) -> SimilarityMeasure {
+        self.measure
+    }
+
+    /// The similarity threshold ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The approximation parameter ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The overall failure probability δ*.
+    pub fn delta_star(&self) -> f64 {
+        self.delta_star
+    }
+
+    /// Whether exact-similarity labelling is enabled.
+    pub fn is_exact(&self) -> bool {
+        self.exact_mode
+    }
+
+    /// Number of strategy invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Total similarity samples drawn so far.
+    pub fn samples_drawn(&self) -> u64 {
+        self.samples_drawn
+    }
+
+    /// The accuracy target Δ = ½ρε of the sampling estimator.
+    pub fn delta_cap(&self) -> f64 {
+        0.5 * self.rho * self.eps
+    }
+
+    /// The failure probability δᵢ that the *next* invocation will use.
+    pub fn next_delta(&self) -> f64 {
+        let i = (self.invocations + 1) as f64;
+        self.delta_star / (i * (i + 1.0))
+    }
+
+    /// Number of samples the next invocation would draw.
+    pub fn next_sample_size(&self) -> usize {
+        if self.exact_mode || self.rho == 0.0 {
+            0
+        } else {
+            sample_size(self.measure, self.eps, self.delta_cap(), self.next_delta())
+        }
+    }
+
+    /// Label the edge `(u, v)` with the (½ρε, δᵢ)-strategy and also return
+    /// the estimated (or exact) similarity used for the decision.
+    ///
+    /// When the prescribed sample size `Lᵢ` is at least as large as the
+    /// smaller neighbourhood, sampling cannot be cheaper than the exact
+    /// O(min-degree) computation, so the similarity is computed exactly
+    /// instead.  The exact value trivially satisfies the (Δ, δ) accuracy
+    /// requirement, so every guarantee of the strategy is preserved; this
+    /// is the standard engineering refinement for low-degree edges.
+    pub fn label_with_value<R: Rng + ?Sized>(
+        &mut self,
+        graph: &DynGraph,
+        u: VertexId,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (EdgeLabel, f64) {
+        self.invocations += 1;
+        let sigma = if self.exact_mode || self.rho == 0.0 {
+            exact_similarity(graph, u, v, self.measure)
+        } else {
+            let i = self.invocations as f64;
+            let delta_i = self.delta_star / (i * (i + 1.0));
+            let samples = sample_size(self.measure, self.eps, self.delta_cap(), delta_i);
+            let exact_cost = graph.closed_degree(u).min(graph.closed_degree(v));
+            if samples >= exact_cost {
+                exact_similarity(graph, u, v, self.measure)
+            } else {
+                self.samples_drawn += samples as u64;
+                estimate_similarity(graph, u, v, self.measure, self.eps, samples, rng)
+            }
+        };
+        (EdgeLabel::from_similarity(sigma, self.eps), sigma)
+    }
+
+    /// Label the edge `(u, v)` (see [`Self::label_with_value`]).
+    pub fn label<R: Rng + ?Sized>(
+        &mut self,
+        graph: &DynGraph,
+        u: VertexId,
+        v: VertexId,
+        rng: &mut R,
+    ) -> EdgeLabel {
+        self.label_with_value(graph, u, v, rng).0
+    }
+
+    /// The DT tracking threshold for `(u, v)` at its current degrees.
+    pub fn threshold(&self, graph: &DynGraph, u: VertexId, v: VertexId) -> u64 {
+        tracking_threshold(
+            self.measure,
+            self.eps,
+            self.rho,
+            graph.degree(u),
+            graph.degree(v),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn clique_pair() -> DynGraph {
+        let mut g = DynGraph::with_vertices(10);
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                g.insert_edge(v(a), v(b)).unwrap();
+            }
+        }
+        for a in 5..10u32 {
+            for b in (a + 1)..10 {
+                g.insert_edge(v(a), v(b)).unwrap();
+            }
+        }
+        g.insert_edge(v(4), v(5)).unwrap();
+        g
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let ok = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 0.01, 0.01);
+        assert_eq!(ok.eps(), 0.2);
+        assert!(std::panic::catch_unwind(|| {
+            LabellingStrategy::new(SimilarityMeasure::Jaccard, 1.5, 0.01, 0.01)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 1.5, 0.01)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 0.01, 0.0)
+        })
+        .is_err());
+        // ρ must respect the 1/ε − 1 cap: ε = 0.9 allows ρ < 1/0.9 − 1 ≈ 0.111.
+        assert!(std::panic::catch_unwind(|| {
+            LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.9, 0.2, 0.01)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn delta_schedule_telescopes_below_delta_star() {
+        let strategy = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 0.1, 0.05);
+        let mut total = 0.0;
+        for i in 1..=10_000u64 {
+            let i = i as f64;
+            total += strategy.delta_star() / (i * (i + 1.0));
+        }
+        assert!(total <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn sample_size_grows_with_invocations() {
+        let mut s = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 0.1, 0.01);
+        let g = clique_pair();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = s.next_sample_size();
+        s.label(&g, v(0), v(1), &mut rng);
+        let second = s.next_sample_size();
+        assert!(second >= first, "later invocations use smaller δᵢ, hence more samples");
+        assert_eq!(s.invocations(), 1);
+        // On this tiny graph the exact shortcut applies, so no samples were
+        // actually drawn even though the schedule advanced.
+        assert_eq!(s.samples_drawn(), 0);
+    }
+
+    #[test]
+    fn exact_mode_labels_match_ground_truth() {
+        let g = clique_pair();
+        let mut s = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.5, 0.01, 0.01)
+            .with_exact_labels();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for e in g.edges().collect::<Vec<_>>() {
+            let (a, b) = e.endpoints();
+            let (label, sigma) = s.label_with_value(&g, a, b, &mut rng);
+            let exact = exact_similarity(&g, a, b, SimilarityMeasure::Jaccard);
+            assert_eq!(sigma, exact);
+            assert_eq!(label, EdgeLabel::from_similarity(exact, 0.5));
+        }
+        assert_eq!(s.samples_drawn(), 0, "exact mode draws no samples");
+    }
+
+    #[test]
+    fn sampled_labels_respect_rho_approximation() {
+        // Every clique-internal edge has Jaccard well above (1 + ρ)ε and the
+        // bridge-adjacent edges well below (1 − ρ)ε for ε = 0.55, so with
+        // overwhelming probability the sampled labels agree with the exact
+        // labels; a handful of deterministic seeds keeps the test stable.
+        let g = clique_pair();
+        let eps = 0.55;
+        let rho = 0.1;
+        for seed in 0..5u64 {
+            let mut s = LabellingStrategy::new(SimilarityMeasure::Jaccard, eps, rho, 0.001);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for e in g.edges().collect::<Vec<_>>() {
+                let (a, b) = e.endpoints();
+                let exact = exact_similarity(&g, a, b, SimilarityMeasure::Jaccard);
+                let label = s.label(&g, a, b, &mut rng);
+                if exact >= (1.0 + rho) * eps {
+                    assert_eq!(label, EdgeLabel::Similar, "edge {e:?} σ = {exact}");
+                } else if exact < (1.0 - rho) * eps {
+                    assert_eq!(label, EdgeLabel::Dissimilar, "edge {e:?} σ = {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_uses_current_degrees() {
+        let g = clique_pair();
+        let s = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.2, 0.5, 0.01);
+        let t = s.threshold(&g, v(4), v(5));
+        assert_eq!(
+            t,
+            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.5, g.degree(v(4)), g.degree(v(5)))
+        );
+    }
+}

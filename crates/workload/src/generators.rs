@@ -1,0 +1,259 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on 15 SNAP datasets; those are not redistributable
+//! inside this repository, so the experiments run on synthetic graphs with
+//! matching shapes (see DESIGN.md for the substitution argument):
+//!
+//! * [`chung_lu_power_law`] reproduces the heavy-tailed degree
+//!   distributions of the web/social graphs (Slashdot, Notre, Google, …);
+//! * [`planted_partition`] produces graphs with ground-truth communities,
+//!   used by the clustering-quality experiments;
+//! * [`erdos_renyi`] and [`barabasi_albert`] round out the shapes used by
+//!   the micro-benchmarks.
+//!
+//! All generators are deterministic in their seed and return simple edge
+//! lists (no self-loops, no duplicates) with vertices `0..n`.
+
+use dynscan_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+type EdgeList = Vec<(VertexId, VertexId)>;
+
+fn push_unique(
+    edges: &mut EdgeList,
+    seen: &mut HashSet<(u32, u32)>,
+    a: u32,
+    b: u32,
+) -> bool {
+    if a == b {
+        return false;
+    }
+    let key = (a.min(b), a.max(b));
+    if seen.insert(key) {
+        edges.push((VertexId(key.0), VertexId(key.1)));
+        true
+    } else {
+        false
+    }
+}
+
+/// Erdős–Rényi G(n, m): `m` distinct edges drawn uniformly at random.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let mut seen = HashSet::with_capacity(m * 2);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        push_unique(&mut edges, &mut seen, a, b);
+    }
+    edges
+}
+
+/// Chung–Lu power-law graph: vertex `i` gets weight `(i + 1)^(−1/(γ−1))`
+/// and edges pick endpoints with probability proportional to the weights
+/// until `m` distinct edges exist.  The degree distribution follows a power
+/// law with exponent ≈ γ, mimicking the SNAP web/social graphs.
+pub fn chung_lu_power_law(n: usize, m: usize, gamma: f64, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Cumulative weights for weighted endpoint sampling via binary search.
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let sample = |rng: &mut SmallRng| -> u32 {
+        let x = rng.gen_range(0.0..total);
+        cumulative.partition_point(|&c| c < x) as u32
+    };
+    let mut edges = Vec::with_capacity(m);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 100 * m + 10_000 {
+        attempts += 1;
+        let a = sample(&mut rng).min(n as u32 - 1);
+        let b = sample(&mut rng).min(n as u32 - 1);
+        push_unique(&mut edges, &mut seen, a, b);
+    }
+    // Dense corner cases (tiny n): fill deterministically so callers get m.
+    'fill: for a in 0..n as u32 {
+        if edges.len() >= m {
+            break 'fill;
+        }
+        for b in (a + 1)..n as u32 {
+            if edges.len() >= m {
+                break 'fill;
+            }
+            push_unique(&mut edges, &mut seen, a, b);
+        }
+    }
+    edges
+}
+
+/// Planted-partition (stochastic block model) graph: `communities` equal
+/// blocks, intra-block edges with probability `p_in`, inter-block edges
+/// with probability `p_out`.  Quadratic in `n`; intended for the
+/// quality-experiment scales (up to a few thousand vertices).
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> EdgeList {
+    assert!(communities >= 1 && communities <= n);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let block = |v: usize| v % communities;
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = if block(a) == block(b) { p_in } else { p_out };
+            if rng.gen_range(0.0..1.0) < p {
+                edges.push((VertexId(a as u32), VertexId(b as u32)));
+            }
+        }
+    }
+    edges
+}
+
+/// Community assignment used by [`planted_partition`] (vertex → block id),
+/// exposed so quality experiments can compare against the ground truth.
+pub fn planted_partition_ground_truth(n: usize, communities: usize) -> Vec<u32> {
+    (0..n).map(|v| (v % communities) as u32).collect()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per_vertex` existing vertices chosen proportionally to their degree.
+pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2 && m_per_vertex >= 1);
+    let m0 = (m_per_vertex + 1).min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let mut seen = HashSet::new();
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    // Seed clique over the first m0 vertices.
+    for a in 0..m0 as u32 {
+        for b in (a + 1)..m0 as u32 {
+            if push_unique(&mut edges, &mut seen, a, b) {
+                endpoints.push(a);
+                endpoints.push(b);
+            }
+        }
+    }
+    for v in m0..n {
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m_per_vertex && guard < 100 * m_per_vertex + 100 {
+            guard += 1;
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if push_unique(&mut edges, &mut seen, v as u32, target) {
+                endpoints.push(v as u32);
+                endpoints.push(target);
+                attached += 1;
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_graph::DynGraph;
+
+    fn degrees(edges: &[(VertexId, VertexId)]) -> Vec<usize> {
+        let (g, _) = DynGraph::from_edges(edges.iter().copied());
+        g.vertices().map(|v| g.degree(v)).collect()
+    }
+
+    #[test]
+    fn erdos_renyi_has_requested_size() {
+        let edges = erdos_renyi(100, 300, 1);
+        assert_eq!(edges.len(), 300);
+        let (g, inserted) = DynGraph::from_edges(edges.iter().copied());
+        assert_eq!(inserted, 300, "no duplicates or self-loops");
+        assert!(g.num_vertices() <= 100);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_complete_graph() {
+        let edges = erdos_renyi(5, 1000, 2);
+        assert_eq!(edges.len(), 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        assert_eq!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+        assert_ne!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+        assert_eq!(
+            chung_lu_power_law(100, 300, 2.5, 3),
+            chung_lu_power_law(100, 300, 2.5, 3)
+        );
+        assert_eq!(
+            planted_partition(40, 4, 0.5, 0.01, 11),
+            planted_partition(40, 4, 0.5, 0.01, 11)
+        );
+        assert_eq!(barabasi_albert(60, 3, 5), barabasi_albert(60, 3, 5));
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let edges = chung_lu_power_law(2000, 8000, 2.2, 42);
+        assert_eq!(edges.len(), 8000);
+        let d = degrees(&edges);
+        let max = *d.iter().max().unwrap();
+        let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "power-law graph should have hubs: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn planted_partition_is_denser_inside_blocks() {
+        let n = 120;
+        let k = 4;
+        let edges = planted_partition(n, k, 0.4, 0.02, 9);
+        let truth = planted_partition_ground_truth(n, k);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (a, b) in &edges {
+            if truth[a.index()] == truth[b.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // Expected intra ≈ 0.4 · k · (n/k choose 2) ≈ 696, inter ≈ 0.02 · …
+        assert!(intra > inter, "intra {intra} should dominate inter {inter}");
+        assert!(intra > 400 && intra < 1100);
+    }
+
+    #[test]
+    fn barabasi_albert_attaches_to_hubs() {
+        let edges = barabasi_albert(500, 3, 77);
+        let d = degrees(&edges);
+        assert!(*d.iter().max().unwrap() > 20, "BA graphs grow hubs");
+        // Every non-seed vertex has degree at least m_per_vertex.
+        assert!(d.iter().filter(|&&x| x >= 3).count() > 480);
+    }
+
+    #[test]
+    fn ground_truth_covers_all_vertices() {
+        let t = planted_partition_ground_truth(10, 3);
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().all(|&b| b < 3));
+    }
+}

@@ -1,0 +1,27 @@
+//! # dynscan-workload
+//!
+//! Workload machinery for the evaluation (Section 9 of the paper):
+//!
+//! * [`generators`] — seeded synthetic graph generators standing in for the
+//!   SNAP datasets (Chung–Lu power-law graphs, planted-partition / SBM
+//!   graphs with ground-truth communities, Erdős–Rényi graphs and a
+//!   preferential-attachment generator);
+//! * [`updates`] — the update-stream simulator with the paper's three
+//!   insertion strategies (RR, DR, DD) and the deletion-frequency ratio η;
+//! * [`datasets`] — a registry of scaled-down dataset specifications that
+//!   mirror the 15 SNAP graphs of Table 1 (names, relative sizes, default
+//!   ε values), so the experiment harness can iterate "all datasets" the
+//!   same way the paper does.
+//!
+//! Everything is deterministic given a seed, so experiments are
+//! reproducible.
+
+pub mod datasets;
+pub mod generators;
+pub mod updates;
+
+pub use datasets::{
+    all_datasets, dataset_by_name, representative_datasets, scaled, DatasetKind, DatasetSpec,
+};
+pub use generators::{barabasi_albert, chung_lu_power_law, erdos_renyi, planted_partition};
+pub use updates::{InsertionStrategy, UpdateStream, UpdateStreamConfig};

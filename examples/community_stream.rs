@@ -1,0 +1,67 @@
+//! Community detection on a streaming social network.
+//!
+//! A planted-partition graph (ground-truth communities) is streamed as edge
+//! insertions and deletions; DynStrClu maintains the structural clustering,
+//! and every few thousand updates the example reports how well the
+//! maintained clusters track the planted communities (one of the paper's
+//! motivating applications, Section 1).
+//!
+//! ```text
+//! cargo run -p dynscan-bench --release --example community_stream
+//! ```
+
+use dynscan_core::{DynStrClu, Params, VertexId};
+use dynscan_metrics::quality::normalised_mutual_information;
+use dynscan_workload::{
+    generators::planted_partition_ground_truth, planted_partition, UpdateStream,
+    UpdateStreamConfig,
+};
+
+fn main() {
+    let n = 1_000;
+    let communities = 10;
+    let edges = planted_partition(n, communities, 0.35, 0.002, 7);
+    let truth = planted_partition_ground_truth(n, communities);
+    println!(
+        "planted-partition graph: {n} vertices, {} edges, {communities} communities",
+        edges.len()
+    );
+
+    let params = Params::jaccard(0.3, 4)
+        .with_rho(0.05)
+        .with_delta_star_for_n(n)
+        .with_seed(11);
+    let mut algo = DynStrClu::new(params);
+
+    let config = UpdateStreamConfig::new(n).with_eta(0.1).with_seed(23);
+    let mut stream = UpdateStream::new(&edges, config);
+    let total = edges.len() * 2;
+    let report_every = total / 5;
+
+    let mut applied = 0usize;
+    while applied < total {
+        let Some(update) = stream.next_update() else { break };
+        algo.apply(update).ok();
+        applied += 1;
+        if applied % report_every == 0 {
+            let clustering = algo.clustering();
+            let assignment: Vec<Option<u32>> = (0..n)
+                .map(|v| clustering.primary_assignment(VertexId(v as u32)))
+                .collect();
+            let reference: Vec<Option<u32>> = truth.iter().map(|&b| Some(b)).collect();
+            let nmi = normalised_mutual_information(&assignment, &reference);
+            println!(
+                "after {applied:>6} updates: {:>3} clusters, {:>4} cores, {:>4} noise, NMI vs planted = {nmi:.3}",
+                clustering.num_clusters(),
+                clustering.num_core(),
+                clustering.num_noise(),
+            );
+        }
+    }
+
+    // A focused cluster-group-by query: which of a handful of "users of
+    // interest" end up in the same community?
+    let watchlist: Vec<VertexId> = (0..20).map(|i| VertexId(i * 37 % n as u32)).collect();
+    let groups = algo.cluster_group_by(&watchlist);
+    println!("cluster-group-by over a {}-vertex watchlist → {} groups", watchlist.len(), groups.len());
+}

@@ -1,0 +1,75 @@
+//! Side-by-side comparison of DynStrClu against the exact dynamic
+//! baselines on one update stream: per-update cost, memory, and agreement
+//! of the resulting clusterings — a miniature of the paper's Figure 7.
+//!
+//! ```text
+//! cargo run -p dynscan-bench --release --example compare_baselines
+//! ```
+
+use dynscan_baseline::{ExactDynScan, IndexedDynScan, StaticScan};
+use dynscan_bench::{run_updates, Scale};
+use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params};
+use dynscan_metrics::adjusted_rand_index;
+use dynscan_workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
+
+fn main() {
+    let n = 3_000;
+    let m0 = 15_000;
+    let edges = chung_lu_power_law(n, m0, 2.3, 21);
+    let config = UpdateStreamConfig::new(n)
+        .with_strategy(InsertionStrategy::DegreeDegree)
+        .with_eta(0.1)
+        .with_seed(33);
+    let updates = UpdateStream::new(&edges, config).take_updates(2 * m0);
+    println!(
+        "power-law graph: {n} vertices, {m0} original edges, {} updates (DD insertions, η = 0.1)",
+        updates.len()
+    );
+
+    let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(n);
+    let scale = Scale::default_scale();
+
+    let mut algorithms: Vec<Box<dyn DynamicClustering>> = vec![
+        Box::new(DynElm::new(params)),
+        Box::new(DynStrClu::new(params)),
+        Box::new(ExactDynScan::jaccard(0.2, 5)),
+        Box::new(IndexedDynScan::jaccard(0.2, 5)),
+    ];
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "algorithm", "avg µs/update", "total", "peak memory"
+    );
+    let mut finals = Vec::new();
+    for algo in &mut algorithms {
+        let outcome = run_updates(algo.as_mut(), &updates, 10, scale.time_budget);
+        println!(
+            "{:<12} {:>14.2} {:>11.2}s{} {:>9.1}MiB",
+            outcome.name,
+            outcome.avg_update_micros,
+            outcome.extrapolated_total.as_secs_f64(),
+            if outcome.truncated { "*" } else { " " },
+            outcome.peak_memory as f64 / (1024.0 * 1024.0)
+        );
+        finals.push((outcome.name, algo.current_clustering(), outcome.truncated));
+    }
+
+    // Quality check: the approximate clustering agrees with the exact one.
+    if let (Some((_, dyn_result, false)), Some((_, exact_result, false))) = (
+        finals.iter().find(|(name, _, _)| *name == "DynStrClu"),
+        finals.iter().find(|(name, _, _)| *name == "pSCAN-like"),
+    ) {
+        let ari = adjusted_rand_index(dyn_result, exact_result);
+        println!("ARI between DynStrClu's and the exact clustering: {ari:.4}");
+    }
+
+    // And against a from-scratch static SCAN on the final graph of the
+    // DynStrClu run (only valid when nothing was truncated).
+    let mut reference = DynStrClu::new(params);
+    for &u in &updates {
+        reference.apply(u).ok();
+    }
+    let static_result = StaticScan::jaccard(0.2, 5).cluster(reference.graph());
+    let ari = adjusted_rand_index(&reference.clustering(), &static_result);
+    println!("ARI between DynStrClu and static SCAN on the final graph: {ari:.4}");
+}

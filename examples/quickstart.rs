@@ -1,0 +1,61 @@
+//! Quickstart: maintain a structural clustering of a small social graph
+//! under edge insertions and deletions, and inspect roles and clusters.
+//!
+//! ```text
+//! cargo run -p dynscan-bench --release --example quickstart
+//! ```
+
+use dynscan_core::{DynStrClu, Params, VertexId, VertexRole};
+
+fn main() {
+    // ε = 0.29, μ = 5: a vertex needs five neighbours with sufficiently
+    // overlapping neighbourhoods to become a cluster core.
+    let params = Params::jaccard(0.29, 5).with_rho(0.05).with_seed(42);
+    let mut algo = DynStrClu::new(params);
+
+    // Two friend groups (6-cliques) ...
+    for base in [0u32, 6] {
+        for a in base..base + 6 {
+            for b in (a + 1)..base + 6 {
+                algo.insert_edge(VertexId(a), VertexId(b)).unwrap();
+            }
+        }
+    }
+    // ... one person who knows two people in each group ...
+    for friend in [0u32, 1, 6, 7] {
+        algo.insert_edge(VertexId(12), VertexId(friend)).unwrap();
+    }
+    // ... and one loosely attached newcomer.
+    algo.insert_edge(VertexId(13), VertexId(0)).unwrap();
+
+    let clustering = algo.clustering();
+    println!("clusters: {}", clustering.num_clusters());
+    for (i, cluster) in clustering.clusters().iter().enumerate() {
+        let members: Vec<u32> = cluster.iter().map(|v| v.raw()).collect();
+        println!("  cluster {i}: {members:?}");
+    }
+    for v in 0..14u32 {
+        let role = clustering.role(VertexId(v));
+        if role != VertexRole::Core {
+            println!("  vertex {v}: {role:?}");
+        }
+    }
+
+    // The graph changes: two friendships inside the first group break up.
+    algo.delete_edge(VertexId(4), VertexId(5)).unwrap();
+    algo.delete_edge(VertexId(3), VertexId(5)).unwrap();
+    let after = algo.clustering();
+    println!(
+        "after two deletions: vertex 5 is now {:?} (was Core)",
+        after.role(VertexId(5))
+    );
+
+    // Cluster-group-by query: which of these people cluster together?
+    let query = [VertexId(0), VertexId(6), VertexId(12), VertexId(13)];
+    let groups = algo.cluster_group_by(&query);
+    println!("group-by over {query:?}:");
+    for group in groups {
+        let members: Vec<u32> = group.iter().map(|v| v.raw()).collect();
+        println!("  group: {members:?}");
+    }
+}

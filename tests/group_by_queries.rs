@@ -1,0 +1,104 @@
+//! Integration test for cluster-group-by queries (Definition 3.2 /
+//! Theorem 7.1): answers must agree with the full clustering for any query
+//! set, including hubs, noise and unknown vertices, at every point of an
+//! update stream.
+
+use dynscan_core::{DynStrClu, Params, StrCluResult, VertexId, VertexRole};
+use dynscan_workload::{planted_partition, UpdateStream, UpdateStreamConfig};
+use std::collections::{BTreeSet, HashMap};
+
+/// Reference implementation: group `q` by the clusters of the full result.
+fn reference_group_by(result: &StrCluResult, q: &[VertexId]) -> BTreeSet<BTreeSet<u32>> {
+    let mut groups: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+    for &v in q {
+        for &cluster in result.clusters_of(v) {
+            groups.entry(cluster).or_default().insert(v.raw());
+        }
+    }
+    groups.into_values().collect()
+}
+
+fn as_sets(groups: &[Vec<VertexId>]) -> BTreeSet<BTreeSet<u32>> {
+    groups
+        .iter()
+        .map(|g| g.iter().map(|v| v.raw()).collect())
+        .collect()
+}
+
+#[test]
+fn group_by_matches_full_clustering_throughout_a_stream() {
+    let n = 300;
+    let edges = planted_partition(n, 6, 0.3, 0.01, 37);
+    let params = Params::jaccard(0.3, 4)
+        .with_rho(0.05)
+        .with_delta_star_for_n(n)
+        .with_seed(7);
+    let mut algo = DynStrClu::new(params);
+    let config = UpdateStreamConfig::new(n).with_eta(0.2).with_seed(53);
+    let mut stream = UpdateStream::new(&edges, config);
+
+    let total = edges.len() * 2;
+    let mut applied = 0;
+    while applied < total {
+        let Some(update) = stream.next_update() else { break };
+        algo.apply(update).ok();
+        applied += 1;
+        if applied % (total / 4) == 0 {
+            let result = algo.clustering();
+            // Query sets of several sizes, built deterministically.
+            for (size, stride) in [(5usize, 61usize), (25, 13), (100, 7)] {
+                let q: Vec<VertexId> = (0..size)
+                    .map(|i| VertexId(((i * stride) % n) as u32))
+                    .collect();
+                let groups = algo.cluster_group_by(&q);
+                assert_eq!(
+                    as_sets(&groups),
+                    reference_group_by(&result, &q),
+                    "group-by mismatch after {applied} updates for |Q| = {size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn group_by_handles_noise_hubs_and_duplicates() {
+    let n = 200;
+    let edges = planted_partition(n, 4, 0.35, 0.015, 71);
+    let params = Params::jaccard(0.3, 4)
+        .with_rho(0.05)
+        .with_delta_star_for_n(n)
+        .with_seed(9);
+    let mut algo = DynStrClu::new(params);
+    let mut stream = UpdateStream::new(&edges, UpdateStreamConfig::new(n).with_seed(4));
+    for update in stream.by_ref().take(edges.len()) {
+        algo.apply(update).ok();
+    }
+    let result = algo.clustering();
+
+    // Pick one vertex of each role, if available.
+    let mut representatives: Vec<VertexId> = Vec::new();
+    for wanted in [VertexRole::Core, VertexRole::Member, VertexRole::Hub, VertexRole::Noise] {
+        if let Some((v, _)) = result.roles().find(|&(_, r)| r == wanted) {
+            representatives.push(v);
+        }
+    }
+    assert!(!representatives.is_empty());
+    // Duplicates in the query must not duplicate group members; unknown
+    // vertices must be ignored.
+    let mut q = representatives.clone();
+    q.extend_from_slice(&representatives);
+    q.push(VertexId(10_000));
+    let groups = algo.cluster_group_by(&q);
+    assert_eq!(as_sets(&groups), reference_group_by(&result, &representatives));
+
+    // Querying the full vertex set reproduces the complete clustering.
+    let everyone: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+    let groups = algo.cluster_group_by(&everyone);
+    let expected: BTreeSet<BTreeSet<u32>> = result
+        .clusters()
+        .iter()
+        .map(|c| c.iter().map(|v| v.raw()).collect())
+        .collect();
+    assert_eq!(as_sets(&groups), expected);
+}
