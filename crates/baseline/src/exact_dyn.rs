@@ -1,6 +1,6 @@
 //! pSCAN-style exact dynamic baseline.
 
-use dynscan_core::{extract_clustering, DynamicClustering, StrCluResult};
+use dynscan_core::{extract_clustering, BatchUpdate, DynamicClustering, FlippedEdge, StrCluResult};
 use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, MemoryFootprint, VertexId};
 use dynscan_sim::{EdgeLabel, SimilarityMeasure};
 use std::collections::HashMap;
@@ -86,12 +86,14 @@ impl ExactDynScan {
 
     fn relabel(&mut self, key: EdgeKey) {
         let sigma = self.similarity(key).expect("edge has a maintained count");
-        self.labels.insert(key, EdgeLabel::from_similarity(sigma, self.eps));
+        self.labels
+            .insert(key, EdgeLabel::from_similarity(sigma, self.eps));
     }
 
-    /// Insert an edge; returns the affected edges (the new one plus every
-    /// edge incident on either endpoint) or `None` if the edge existed.
-    pub fn insert_edge(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
+    /// Adjust the exact intersection counts for the insertion of `(u, w)`
+    /// and return the affected edges, without relabelling them yet (the
+    /// batch path defers relabelling to the end of the batch).
+    fn insert_counts(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
         if u == w || self.graph.has_edge(u, w) {
             return None;
         }
@@ -122,15 +124,12 @@ impl ExactDynScan {
                 affected.push(key);
             }
         }
-        for &key in &affected {
-            self.relabel(key);
-        }
         Some(affected)
     }
 
-    /// Delete an edge; returns the affected edges (every surviving edge
-    /// incident on either endpoint) or `None` if the edge was missing.
-    pub fn delete_edge(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
+    /// Adjust the exact intersection counts for the deletion of `(u, w)`
+    /// and return the affected (surviving) edges, without relabelling.
+    fn delete_counts(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
         if u == w || !self.graph.has_edge(u, w) {
             return None;
         }
@@ -151,10 +150,118 @@ impl ExactDynScan {
                 affected.push(edge);
             }
         }
+        Some(affected)
+    }
+
+    /// Insert an edge; returns the affected edges (the new one plus every
+    /// edge incident on either endpoint) or `None` if the edge existed.
+    pub fn insert_edge(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
+        let affected = self.insert_counts(u, w)?;
+        for &key in &affected {
+            self.relabel(key);
+        }
+        Some(affected)
+    }
+
+    /// Delete an edge; returns the affected edges (every surviving edge
+    /// incident on either endpoint) or `None` if the edge was missing.
+    pub fn delete_edge(&mut self, u: VertexId, w: VertexId) -> Option<Vec<EdgeKey>> {
+        let affected = self.delete_counts(u, w)?;
         for &edge in &affected {
             self.relabel(edge);
         }
         Some(affected)
+    }
+
+    /// Batch path shared with [`crate::IndexedDynScan`]: apply every
+    /// update's count adjustments in stream order, then relabel the
+    /// **deduplicated** affected set once against the final counts.
+    ///
+    /// Because the maintained counts are exact at all times and a label is
+    /// a pure function of the final counts and degrees, the post-batch
+    /// state is identical to one-at-a-time processing for *any* batch —
+    /// batching here removes the per-update relabelling of hot edges, which
+    /// is the baseline's analogue of the sampling-dedup win in DynELM.
+    ///
+    /// The count-maintenance phase leaves labels of surviving edges
+    /// untouched, so an affected edge's pre-batch label can be read at
+    /// relabel time instead of being logged per touch; only deletions need
+    /// a pre-batch snapshot.  The affected log is deduplicated with one
+    /// sort instead of per-touch set operations — on bursty traffic this
+    /// bookkeeping is far cheaper than the per-update relabels it replaces.
+    ///
+    /// Returns the coalesced net flips (sorted by key), the deduplicated
+    /// affected edges still alive (sorted), and the edges removed net over
+    /// the batch (sorted).
+    pub(crate) fn apply_batch_tracked(
+        &mut self,
+        updates: &[GraphUpdate],
+    ) -> (Vec<FlippedEdge>, Vec<EdgeKey>, Vec<EdgeKey>) {
+        // Chronological log of affected edges (deduped by one sort below).
+        let mut affected_log: Vec<EdgeKey> = Vec::with_capacity(4 * updates.len());
+        // Pre-batch label of every edge the batch deleted at some point
+        // (`None` for edges that were only inserted in-batch).
+        let mut deleted_pre: HashMap<EdgeKey, Option<EdgeLabel>> = HashMap::new();
+        for &update in updates {
+            let (u, w) = update.endpoints();
+            match update {
+                GraphUpdate::Insert(..) => {
+                    if let Some(affected) = self.insert_counts(u, w) {
+                        affected_log.extend(affected);
+                    }
+                }
+                GraphUpdate::Delete(..) => {
+                    if self.graph.has_edge(u, w) {
+                        let key = EdgeKey::new(u, w);
+                        deleted_pre
+                            .entry(key)
+                            .or_insert_with(|| self.labels.get(&key).copied());
+                        let affected = self.delete_counts(u, w).expect("existence checked above");
+                        affected_log.extend(affected);
+                    }
+                }
+            }
+        }
+        affected_log.sort_unstable();
+        affected_log.dedup();
+        // Deduplicated relabel pass over the final exact counts; edges that
+        // ended the batch deleted have no count and are skipped.
+        let mut flipped: Vec<FlippedEdge> = Vec::new();
+        let mut affected_alive: Vec<EdgeKey> = Vec::with_capacity(affected_log.len());
+        for &key in &affected_log {
+            let Some(sigma) = self.similarity(key) else {
+                continue;
+            };
+            affected_alive.push(key);
+            let after = EdgeLabel::from_similarity(sigma, self.eps);
+            let old_in_map = self.labels.insert(key, after);
+            // For an edge deleted and re-inserted in-batch the map entry
+            // was cleared; its true pre-batch label sits in `deleted_pre`.
+            let pre = match deleted_pre.get(&key) {
+                Some(&snapshot) => snapshot,
+                None => old_in_map,
+            };
+            match pre {
+                Some(before) if before != after => flipped.push((key, after)),
+                None if after.is_similar() => flipped.push((key, after)),
+                _ => {}
+            }
+        }
+        // Edges that ended the batch deleted: flip to dissimilar if they
+        // entered the batch similar.
+        let mut removed: Vec<EdgeKey> = Vec::new();
+        for (&key, &pre) in &deleted_pre {
+            if self.intersections.contains_key(&key) {
+                continue; // re-inserted, handled above
+            }
+            removed.push(key);
+            if pre.is_some_and(|label| label.is_similar()) {
+                flipped.push((key, EdgeLabel::Dissimilar));
+            }
+        }
+        removed.sort_unstable();
+        flipped.sort_unstable_by_key(|&(key, _)| key);
+        (flipped, affected_alive, removed)
     }
 
     /// Extract the (exact) clustering in O(n + m).
@@ -162,6 +269,12 @@ impl ExactDynScan {
         extract_clustering(&self.graph, self.mu, |key| {
             self.labels.get(&key).is_some_and(|l| l.is_similar())
         })
+    }
+}
+
+impl BatchUpdate for ExactDynScan {
+    fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        self.apply_batch_tracked(updates).0
     }
 }
 
@@ -271,7 +384,11 @@ mod tests {
         for i in 1..=50u32 {
             algo.insert_edge(v(0), v(i));
         }
-        assert!(algo.probes() as usize > 50 * 20, "probes: {}", algo.probes());
+        assert!(
+            algo.probes() as usize > 50 * 20,
+            "probes: {}",
+            algo.probes()
+        );
     }
 
     proptest! {

@@ -1,7 +1,7 @@
 //! hSCAN-style index-based dynamic baseline.
 
 use crate::exact_dyn::ExactDynScan;
-use dynscan_core::{extract_clustering, DynamicClustering, StrCluResult};
+use dynscan_core::{extract_clustering, BatchUpdate, DynamicClustering, FlippedEdge, StrCluResult};
 use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, VertexId};
 use dynscan_sim::SimilarityMeasure;
 use std::collections::{BTreeSet, HashMap};
@@ -121,6 +121,45 @@ impl IndexedDynScan {
         }
     }
 
+    /// Apply a batch of updates: the inner exact counts are maintained in
+    /// stream order, the deduplicated affected set is relabelled once, and
+    /// the similarity-ordered neighbour index is refreshed **once per
+    /// affected edge** instead of once per update touching it.  The final
+    /// state is identical to one-at-a-time processing (the index is a pure
+    /// function of the exact counts).
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        let (flipped, affected, removed) = self.inner.apply_batch_tracked(updates);
+        for &key in &removed {
+            if let Some(old) = self.current.remove(&key) {
+                let (a, b) = key.endpoints();
+                self.order[a.index()].remove(&(old, b));
+                self.order[b.index()].remove(&(old, a));
+            }
+        }
+        for &key in &affected {
+            let (a, b) = key.endpoints();
+            self.ensure_vertex(a);
+            self.ensure_vertex(b);
+            let sigma = self
+                .inner
+                .similarity(key)
+                .expect("affected edge exists with a maintained similarity");
+            let new_q = quantise(sigma);
+            if let Some(old) = self.current.insert(key, new_q) {
+                if old != new_q {
+                    self.order[a.index()].remove(&(old, b));
+                    self.order[b.index()].remove(&(old, a));
+                    self.order[a.index()].insert((new_q, b));
+                    self.order[b.index()].insert((new_q, a));
+                }
+            } else {
+                self.order[a.index()].insert((new_q, b));
+                self.order[b.index()].insert((new_q, a));
+            }
+        }
+        flipped
+    }
+
     /// Number of similar neighbours of `v` for a threshold `eps` given at
     /// query time, in O(log n + answer) using the ordered index.
     pub fn similar_degree(&self, v: VertexId, eps: f64) -> usize {
@@ -136,6 +175,12 @@ impl IndexedDynScan {
         extract_clustering(self.graph(), mu, |key| {
             self.current.get(&key).is_some_and(|&s| s >= q)
         })
+    }
+}
+
+impl BatchUpdate for IndexedDynScan {
+    fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        IndexedDynScan::apply_batch(self, updates)
     }
 }
 
@@ -214,7 +259,11 @@ mod tests {
                 "mismatch at ε = {eps}, μ = {mu}"
             );
             for x in algo.graph().vertices() {
-                assert_eq!(expected.role(x), actual.role(x), "role at {x}, ε = {eps}, μ = {mu}");
+                assert_eq!(
+                    expected.role(x),
+                    actual.role(x),
+                    "role at {x}, ε = {eps}, μ = {mu}"
+                );
             }
         }
     }

@@ -87,16 +87,18 @@ mod tests {
         let scan = StaticScan::jaccard(0.29, 5);
         let static_result = scan.cluster(&g);
 
-        let mut elm = dynscan_core::DynElm::new(
-            fixtures::two_cliques_params().with_exact_labels(),
-        );
+        let mut elm = dynscan_core::DynElm::new(fixtures::two_cliques_params().with_exact_labels());
         for e in g.edges() {
             elm.insert_edge(e.lo(), e.hi()).unwrap();
         }
         let dynamic_result = elm.clustering();
         assert_eq!(static_result.num_clusters(), dynamic_result.num_clusters());
         for x in g.vertices() {
-            assert_eq!(static_result.role(x), dynamic_result.role(x), "role mismatch at {x}");
+            assert_eq!(
+                static_result.role(x),
+                dynamic_result.role(x),
+                "role mismatch at {x}"
+            );
         }
     }
 

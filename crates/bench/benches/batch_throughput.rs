@@ -1,0 +1,45 @@
+//! The batch update engine's throughput benchmark: replay one bursty
+//! stream per-update and batched, verify byte-identity of the clusterings,
+//! print the comparison table and export `BENCH_batch.json` at the
+//! workspace root.
+//!
+//! ```text
+//! cargo bench -p dynscan-bench --bench batch_throughput
+//! ```
+
+use dynscan_bench::{rows_to_json, rows_to_table, run_batch_throughput, BatchBenchConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        BatchBenchConfig::quick()
+    } else {
+        BatchBenchConfig::default_scale()
+    };
+    eprintln!(
+        "batch_throughput: n = {}, m0 = {}, {} bursts (default batch {} updates)",
+        config.num_vertices, config.initial_edges, config.batches, config.batch_size
+    );
+    let rows = run_batch_throughput(&config);
+    print!("{}", rows_to_table(&rows));
+
+    // The exact-ρ0 configurations must be byte-identical by construction;
+    // fail loudly if the engine ever breaks that.
+    for row in &rows {
+        if row.mode == "exact-rho0" || row.mode == "exact" {
+            assert!(
+                row.identical_clustering,
+                "{} ({}) batched clustering diverged from sequential",
+                row.algorithm, row.mode
+            );
+        }
+    }
+
+    let json = rows_to_json(&config, &rows);
+    let out_path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_batch.json");
+    std::fs::write(&out_path, json).expect("write BENCH_batch.json");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -33,7 +33,9 @@ fn bench_fig09_vary_eps(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for eps in [0.1, 0.2, 0.3] {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
-            let params = Params::jaccard(eps, 5).with_rho(0.01).with_delta_star_for_n(N);
+            let params = Params::jaccard(eps, 5)
+                .with_rho(0.01)
+                .with_delta_star_for_n(N);
             b.iter(|| replay_elm(params, &updates))
         });
     }
@@ -48,7 +50,9 @@ fn bench_fig10_vary_eta(c: &mut Criterion) {
     for eta in [0.0, 0.1, 0.5] {
         let updates = stream(eta);
         group.bench_with_input(BenchmarkId::from_parameter(eta), &updates, |b, updates| {
-            let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(N);
+            let params = Params::jaccard(0.2, 5)
+                .with_rho(0.01)
+                .with_delta_star_for_n(N);
             b.iter(|| replay_elm(params, updates))
         });
     }
@@ -85,7 +89,9 @@ fn bench_fig12a_vary_rho(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for rho in [0.01, 0.1, 0.5] {
         group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
-            let params = Params::jaccard(0.2, 5).with_rho(rho).with_delta_star_for_n(N);
+            let params = Params::jaccard(0.2, 5)
+                .with_rho(rho)
+                .with_delta_star_for_n(N);
             b.iter(|| replay_elm(params, &updates))
         });
     }
@@ -95,7 +101,9 @@ fn bench_fig12a_vary_rho(c: &mut Criterion) {
 /// Figure 12(b): cluster-group-by query time vs. |Q|.
 fn bench_fig12b_group_by(c: &mut Criterion) {
     let updates = stream(0.0);
-    let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(N);
+    let params = Params::jaccard(0.2, 5)
+        .with_rho(0.01)
+        .with_delta_star_for_n(N);
     let mut algo = DynStrClu::new(params);
     for &u in &updates {
         algo.apply(u).ok();

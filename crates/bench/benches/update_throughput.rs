@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynscan_baseline::{ExactDynScan, IndexedDynScan};
 use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params};
 use dynscan_graph::GraphUpdate;
-use dynscan_workload::{
-    chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig,
-};
+use dynscan_workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
 use std::time::Duration;
 
 const N: usize = 800;
@@ -24,7 +22,9 @@ fn stream(strategy: InsertionStrategy) -> Vec<GraphUpdate> {
 }
 
 fn params() -> Params {
-    Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(N)
+    Params::jaccard(0.2, 5)
+        .with_rho(0.01)
+        .with_delta_star_for_n(N)
 }
 
 fn replay(algo: &mut dyn DynamicClustering, updates: &[GraphUpdate]) {

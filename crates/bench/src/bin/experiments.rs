@@ -19,7 +19,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "experiment-output".to_string());
-    let scale = if quick { Scale::quick() } else { Scale::default_scale() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::default_scale()
+    };
     // The subcommand is the first positional argument (skipping flags and
     // the value that follows `--out`).
     let mut command = String::from("all");

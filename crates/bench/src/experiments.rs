@@ -131,7 +131,11 @@ pub fn table1(scale: &Scale) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(*) run cut off by the time budget; memory at cut-off.").unwrap();
+    writeln!(
+        out,
+        "(*) run cut off by the time budget; memory at cut-off."
+    )
+    .unwrap();
     out
 }
 
@@ -220,7 +224,11 @@ pub fn table3(scale: &Scale) -> String {
 /// intra/inter-density statistics (our substitute for the Gephi figures).
 pub fn fig4_5_6(scale: &Scale, output_dir: &str) -> String {
     let mut out = String::new();
-    writeln!(out, "# Figures 4–6 — top-20 cluster exports (DOT + density statistics)").unwrap();
+    writeln!(
+        out,
+        "# Figures 4–6 — top-20 cluster exports (DOT + density statistics)"
+    )
+    .unwrap();
     std::fs::create_dir_all(output_dir).ok();
     let mut jobs: Vec<(String, DatasetSpec, SimilarityMeasure, f64)> = Vec::new();
     for spec in representative_datasets() {
@@ -239,7 +247,10 @@ pub fn fig4_5_6(scale: &Scale, output_dir: &str) -> String {
         ));
     }
     // Figure 5: Google under varying ε.
-    if let Some(google) = representative_datasets().into_iter().find(|d| d.short_name == "Google") {
+    if let Some(google) = representative_datasets()
+        .into_iter()
+        .find(|d| d.short_name == "Google")
+    {
         let google = spec_at(scale, google);
         for eps in [0.13, 0.135, 0.15, 0.2] {
             jobs.push((
@@ -261,7 +272,11 @@ pub fn fig4_5_6(scale: &Scale, output_dir: &str) -> String {
         writeln!(
             out,
             "{:<28} clusters={:<4} top20-intra-density={:.4} inter-density={:.6} -> {}",
-            name, result.num_clusters(), stats.intra_density, stats.inter_density, path
+            name,
+            result.num_clusters(),
+            stats.intra_density,
+            stats.inter_density,
+            path
         )
         .unwrap();
     }
@@ -282,7 +297,11 @@ pub fn fig4_5_6(scale: &Scale, output_dir: &str) -> String {
 /// under the default setting.
 pub fn fig7(scale: &Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "# Figure 7 — overall running time (default setting, Jaccard)").unwrap();
+    writeln!(
+        out,
+        "# Figure 7 — overall running time (default setting, Jaccard)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>9} | {:>12} {:>12} {:>14} {:>14} | {:>9}",
@@ -317,8 +336,16 @@ pub fn fig7(scale: &Scale) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(*) extrapolated from a time-budget-truncated run, as the paper does for pSCAN/hSCAN.").unwrap();
-    writeln!(out, "speed-up = avg-update-time(pSCAN-like) / avg-update-time(DynStrClu).").unwrap();
+    writeln!(
+        out,
+        "(*) extrapolated from a time-budget-truncated run, as the paper does for pSCAN/hSCAN."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "speed-up = avg-update-time(pSCAN-like) / avg-update-time(DynStrClu)."
+    )
+    .unwrap();
     out
 }
 
@@ -355,7 +382,11 @@ fn update_cost_figure(
                     "  {:<12} avg={:>9.2}µs/update{}  series=[{}]",
                     outcome.name,
                     outcome.avg_update_micros,
-                    if outcome.truncated { " (truncated)" } else { "" },
+                    if outcome.truncated {
+                        " (truncated)"
+                    } else {
+                        ""
+                    },
                     series.join(", ")
                 )
                 .unwrap();
@@ -396,7 +427,11 @@ pub fn fig11(scale: &Scale) -> String {
 /// Figure 9: overall running time vs. ε.
 pub fn fig9(scale: &Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "# Figure 9 — overall running time vs. ε (Jaccard, defaults μ=5, ρ=0.01)").unwrap();
+    writeln!(
+        out,
+        "# Figure 9 — overall running time vs. ε (Jaccard, defaults μ=5, ρ=0.01)"
+    )
+    .unwrap();
     for spec in representative_datasets().into_iter().take(3) {
         let spec = spec_at(scale, spec);
         let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
@@ -407,7 +442,12 @@ pub fn fig9(scale: &Scale) -> String {
                 .with_delta_star_for_n(spec.num_vertices);
             let mut cells = Vec::new();
             for mut algo in competitor_set(params) {
-                let o = run_updates(algo.as_mut(), &updates, scale.checkpoints, scale.time_budget);
+                let o = run_updates(
+                    algo.as_mut(),
+                    &updates,
+                    scale.checkpoints,
+                    scale.time_budget,
+                );
                 cells.push(format!(
                     "{}={}{}",
                     o.name,
@@ -424,7 +464,11 @@ pub fn fig9(scale: &Scale) -> String {
 /// Figure 10: overall running time vs. the deletion ratio η.
 pub fn fig10(scale: &Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "# Figure 10 — overall running time vs. η (Jaccard, ε=0.2, μ=5, ρ=0.01)").unwrap();
+    writeln!(
+        out,
+        "# Figure 10 — overall running time vs. η (Jaccard, ε=0.2, μ=5, ρ=0.01)"
+    )
+    .unwrap();
     for spec in representative_datasets().into_iter().take(3) {
         let spec = spec_at(scale, spec);
         writeln!(out, "{}", spec.short_name).unwrap();
@@ -435,7 +479,12 @@ pub fn fig10(scale: &Scale) -> String {
                 .with_delta_star_for_n(spec.num_vertices);
             let mut cells = Vec::new();
             for mut algo in competitor_set(params) {
-                let o = run_updates(algo.as_mut(), &updates, scale.checkpoints, scale.time_budget);
+                let o = run_updates(
+                    algo.as_mut(),
+                    &updates,
+                    scale.checkpoints,
+                    scale.time_budget,
+                );
                 cells.push(format!(
                     "{}={}{}",
                     o.name,
@@ -482,7 +531,11 @@ pub fn fig12a(scale: &Scale) -> String {
 /// size |Q|.
 pub fn fig12b(scale: &Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "# Figure 12(b) — cluster-group-by query time vs. |Q| (DynStrClu)").unwrap();
+    writeln!(
+        out,
+        "# Figure 12(b) — cluster-group-by query time vs. |Q| (DynStrClu)"
+    )
+    .unwrap();
     for spec in representative_datasets() {
         let spec = spec_at(scale, spec);
         let updates = build_stream(&spec, scale, InsertionStrategy::RandomRandom, 0.0);
@@ -510,7 +563,11 @@ pub fn fig12b(scale: &Scale) -> String {
         }
         writeln!(out, "{:<10} {}", spec.short_name, cells.join("  ")).unwrap();
     }
-    writeln!(out, "Query time should grow roughly linearly with |Q| (Theorem 7.1).").unwrap();
+    writeln!(
+        out,
+        "Query time should grow roughly linearly with |Q| (Theorem 7.1)."
+    )
+    .unwrap();
     out
 }
 

@@ -84,12 +84,7 @@ pub fn top_clusters_dot(graph: &DynGraph, result: &StrCluResult, k: usize) -> St
     }
     let mut dot = String::from("graph clusters {\n  node [shape=point];\n");
     for (&v, &rank) in &assignment {
-        writeln!(
-            dot,
-            "  v{v} [color=\"{}\"];",
-            PALETTE[rank % PALETTE.len()]
-        )
-        .unwrap();
+        writeln!(dot, "  v{v} [color=\"{}\"];", PALETTE[rank % PALETTE.len()]).unwrap();
     }
     for edge in graph.edges() {
         let (a, b) = (edge.lo().raw(), edge.hi().raw());
@@ -129,7 +124,10 @@ mod tests {
         let dot = top_clusters_dot(&g, &result, 20);
         assert!(dot.starts_with("graph clusters {"));
         assert!(dot.contains("v0 "));
-        assert!(!dot.contains("v13 ["), "noise vertex 13 must not appear as a node");
+        assert!(
+            !dot.contains("v13 ["),
+            "noise vertex 13 must not appear as a node"
+        );
         assert!(dot.trim_end().ends_with('}'));
     }
 }

@@ -20,10 +20,15 @@
 //! algorithm wins, by how many orders of magnitude, and how the curves move
 //! with ε, η, ρ and |Q|.
 
+pub mod batch;
 pub mod experiments;
 pub mod export;
 pub mod runner;
 pub mod scale;
 
+pub use batch::{
+    clustering_fingerprint, rows_to_json, rows_to_table, run_batch_throughput, BatchBenchConfig,
+    BatchBenchRow,
+};
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;

@@ -70,7 +70,13 @@ mod tests {
         let q = Scale::quick();
         assert!(q.dataset_factor > d.dataset_factor);
         assert!(q.time_budget <= d.time_budget);
-        assert_eq!(d.extra_updates(100), (100.0 * d.extra_updates_factor) as usize);
-        assert_eq!(q.extra_updates(100), (100.0 * q.extra_updates_factor) as usize);
+        assert_eq!(
+            d.extra_updates(100),
+            (100.0 * d.extra_updates_factor) as usize
+        );
+        assert_eq!(
+            q.extra_updates(100),
+            (100.0 * q.extra_updates_factor) as usize
+        );
     }
 }

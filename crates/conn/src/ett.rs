@@ -85,7 +85,7 @@ impl EulerTourForest {
             free: Vec::new(),
             vertex_node: Vec::new(),
             arc_nodes: HashMap::new(),
-            rng: SmallRng::seed_from_u64(0x5eed_e77),
+            rng: SmallRng::seed_from_u64(0x05ee_de77),
         }
     }
 
@@ -725,8 +725,12 @@ mod tests {
             f.link(v(i), v(i + 1));
         }
         f.set_arc_flag(v(2), v(3), true);
-        assert_eq!(f.find_flagged_arc(v(0)).map(EdgeKey::from).map(|e| e.endpoints()),
-                   Some((v(2), v(3))));
+        assert_eq!(
+            f.find_flagged_arc(v(0))
+                .map(EdgeKey::from)
+                .map(|e| e.endpoints()),
+            Some((v(2), v(3)))
+        );
         // Linking another tree to this one must keep the flag findable.
         f.link(v(5), v(7));
         let found = f.find_flagged_arc(v(7)).unwrap();

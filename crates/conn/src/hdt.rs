@@ -147,13 +147,13 @@ impl HdtConnectivity {
 
             // Step 1: push every level-i tree edge of the small component up
             // to level i + 1 (they stay tree edges, now also in F_{i+1}).
-            loop {
-                let Some((x, y)) = self.levels[i].forest.find_flagged_arc(small) else {
-                    break;
-                };
+            while let Some((x, y)) = self.levels[i].forest.find_flagged_arc(small) {
                 let key = EdgeKey::new(x, y);
                 self.levels[i].forest.set_arc_flag(x, y, false);
-                let info = self.edges.get_mut(&key).expect("tree edge must be registered");
+                let info = self
+                    .edges
+                    .get_mut(&key)
+                    .expect("tree edge must be registered");
                 debug_assert!(info.is_tree && info.level == i);
                 info.level = i + 1;
                 self.levels[i + 1].forest.link(x, y);
@@ -164,14 +164,8 @@ impl HdtConnectivity {
             // component.  Each candidate either reconnects the split (done)
             // or is promoted to level i + 1 (paying for itself).
             let mut replacement: Option<EdgeKey> = None;
-            'scan: loop {
-                let Some(x) = self.levels[i].forest.find_flagged_vertex(small) else {
-                    break;
-                };
-                loop {
-                    let Some(&y) = self.levels[i].nontree[x.index()].iter().next() else {
-                        break;
-                    };
+            'scan: while let Some(x) = self.levels[i].forest.find_flagged_vertex(small) {
+                while let Some(&y) = self.levels[i].nontree[x.index()].iter().next() {
                     self.levels[i].remove_nontree(x, y);
                     if self.levels[i].forest.connected(y, large) {
                         replacement = Some(EdgeKey::new(x, y));
@@ -189,7 +183,10 @@ impl HdtConnectivity {
 
             if let Some(key) = replacement {
                 let (a, b) = key.endpoints();
-                let info = self.edges.get_mut(&key).expect("replacement edge registered");
+                let info = self
+                    .edges
+                    .get_mut(&key)
+                    .expect("replacement edge registered");
                 info.is_tree = true;
                 info.level = i;
                 // The replacement joins every forest F_0 … F_i, reconnecting
@@ -230,11 +227,23 @@ impl DynamicConnectivity for HdtConnectivity {
         level0.forest.ensure_vertex(v);
         if level0.forest.connected(u, v) {
             level0.add_nontree(u, v);
-            self.edges.insert(key, EdgeInfo { level: 0, is_tree: false });
+            self.edges.insert(
+                key,
+                EdgeInfo {
+                    level: 0,
+                    is_tree: false,
+                },
+            );
         } else {
             level0.forest.link(u, v);
             level0.forest.set_arc_flag(u, v, true);
-            self.edges.insert(key, EdgeInfo { level: 0, is_tree: true });
+            self.edges.insert(
+                key,
+                EdgeInfo {
+                    level: 0,
+                    is_tree: true,
+                },
+            );
         }
         true
     }
@@ -318,7 +327,10 @@ mod tests {
         assert!(c.delete_edge(v(0), v(1)));
         for i in 0..5u32 {
             for j in 0..5u32 {
-                assert!(c.connected(v(i), v(j)), "cycle minus one edge stays connected");
+                assert!(
+                    c.connected(v(i), v(j)),
+                    "cycle minus one edge stays connected"
+                );
             }
         }
         // Deleting a second edge splits it.

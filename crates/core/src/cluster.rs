@@ -64,7 +64,10 @@ impl StrCluResult {
 
     /// The role of vertex `v`.
     pub fn role(&self, v: VertexId) -> VertexRole {
-        self.roles.get(v.index()).copied().unwrap_or(VertexRole::Noise)
+        self.roles
+            .get(v.index())
+            .copied()
+            .unwrap_or(VertexRole::Noise)
     }
 
     /// The clusters `v` belongs to (possibly empty, possibly several for a
@@ -93,7 +96,10 @@ impl StrCluResult {
 
     /// Number of noise vertices.
     pub fn num_noise(&self) -> usize {
-        self.roles.iter().filter(|r| **r == VertexRole::Noise).count()
+        self.roles
+            .iter()
+            .filter(|r| **r == VertexRole::Noise)
+            .count()
     }
 
     /// Number of hub vertices.
@@ -232,9 +238,7 @@ mod tests {
     }
 
     fn jaccard_labelling(graph: &DynGraph, eps: f64) -> impl FnMut(EdgeKey) -> bool + '_ {
-        move |e: EdgeKey| {
-            exact_similarity(graph, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= eps
-        }
+        move |e: EdgeKey| exact_similarity(graph, e.lo(), e.hi(), SimilarityMeasure::Jaccard) >= eps
     }
 
     /// A deliberately simple reference implementation of Fact 1, used to
@@ -332,13 +336,22 @@ mod tests {
         let g = two_cliques_with_hub();
         let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
 
-        assert_eq!(result.num_clusters(), 2, "clusters: {:?}", result.clusters());
+        assert_eq!(
+            result.num_clusters(),
+            2,
+            "clusters: {:?}",
+            result.clusters()
+        );
         let sizes: Vec<usize> = result.clusters().iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![7, 7]);
 
         // Clique members are core.
         for x in 0..12u32 {
-            assert_eq!(result.role(v(x)), VertexRole::Core, "vertex {x} should be core");
+            assert_eq!(
+                result.role(v(x)),
+                VertexRole::Core,
+                "vertex {x} should be core"
+            );
         }
         // Vertex 12 bridges both clusters.
         assert_eq!(result.role(v(12)), VertexRole::Hub);
@@ -348,7 +361,10 @@ mod tests {
         assert_eq!(result.primary_assignment(v(13)), None);
         // The hub's primary assignment follows its smallest core neighbour
         // (vertex 0), i.e. cluster A.
-        assert_eq!(result.primary_assignment(v(12)), result.primary_assignment(v(0)));
+        assert_eq!(
+            result.primary_assignment(v(12)),
+            result.primary_assignment(v(0))
+        );
         assert_eq!(result.num_core(), 12);
         assert_eq!(result.num_hubs(), 1);
         assert_eq!(result.num_noise(), 1);
@@ -384,7 +400,10 @@ mod tests {
         let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
         for x in 0..g.num_vertices() as u32 {
             let m = result.clusters_of(v(x));
-            assert!(m.windows(2).all(|w| w[0] < w[1]), "membership of {x} not sorted/deduped");
+            assert!(
+                m.windows(2).all(|w| w[0] < w[1]),
+                "membership of {x} not sorted/deduped"
+            );
         }
     }
 

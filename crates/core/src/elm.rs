@@ -1,12 +1,59 @@
-//! DynELM: dynamic edge-labelling maintenance (Section 6 of the paper).
+//! DynELM: dynamic edge-labelling maintenance (Section 6 of the paper),
+//! plus the batch update engine.
+//!
+//! # Batch semantics
+//!
+//! [`DynElm::apply_batch`] processes a burst of updates as one unit:
+//!
+//! 1. **Topology first** — all insertions/deletions are applied to the
+//!    graph in stream order; every update increments the DT counters of its
+//!    endpoints, deletions tear down their label and DT instance.
+//! 2. **Deduplicated drain** — the DT maturities pending at the batch's
+//!    touched vertices are drained **once per endpoint across the whole
+//!    batch** ([`dynscan_dt::DtRegistry::drain_ready_batch`]), so an edge
+//!    incident to a busy vertex is re-estimated once per batch instead of
+//!    once per update.
+//! 3. **Parallel re-estimation** — the deduplicated affected set (matured
+//!    edges ∪ surviving new edges) is relabelled in parallel with rayon
+//!    against the post-batch topology.  Every invocation uses a
+//!    deterministic per-edge random stream
+//!    (`seed ⊕ batch-epoch ⊕ edge ⊕ invocation`, see
+//!    [`dynscan_sim::EdgeRng`]) and the per-edge δ schedule
+//!    `δₖ = δ*/(k(k+1))`, so the result is bit-identical regardless of
+//!    thread scheduling or batch partitioning of the relabel work.
+//! 4. **Coalesced flips** — the returned [`FlippedEdge`] set is the *net*
+//!    label change of the batch relative to the pre-batch labelling
+//!    (an edge that flips twice inside a batch cancels out), ready to be
+//!    fed to vAuxInfo and `G_core` maintenance exactly once.
+//!
+//! Every label produced this way is computed against the post-batch graph
+//! with the full (½ρε, δₖ)-strategy accuracy and every affected edge's DT
+//! instance restarts with a threshold for its post-batch degrees, so the
+//! maintained labelling is ρ-approximately valid after the batch.  Note
+//! that the per-edge δ schedule telescopes to δ* **per edge** rather than
+//! over all invocations as the paper's global schedule does, so the
+//! whole-run failure probability is bounded by (#distinct edges) · δ*
+//! instead of δ* — callers needing the paper's global bound should divide
+//! δ* by an edge-count estimate (see
+//! [`LabellingStrategy::label_deterministic`]).  Relabelling *when* inside
+//! the batch window an edge is examined is where batching differs from
+//! one-at-a-time processing: a sampled-mode edge that matures mid-batch is
+//! re-examined against the final topology rather than an intermediate one
+//! (both are valid labellings; with exact labels and ρ = 0 the two
+//! executions are state-identical — see the `batch_equivalence`
+//! integration tests).
+//!
+//! The single-update API ([`DynElm::insert_edge`] / [`DynElm::delete_edge`])
+//! routes through the same engine with a singleton batch, so there is one
+//! code path and "sequential" is by construction the batch-size-1 special
+//! case.
 
 use crate::cluster::{extract_clustering, StrCluResult};
 use crate::params::Params;
 use dynscan_dt::DtRegistry;
 use dynscan_graph::{DynGraph, EdgeKey, GraphError, GraphUpdate, MemoryFootprint, VertexId};
-use dynscan_sim::{EdgeLabel, LabellingStrategy};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use dynscan_sim::{EdgeLabel, LabelOutcome, LabellingStrategy};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// An edge whose label flipped while processing one update, together with
@@ -28,10 +75,44 @@ pub struct ElmStats {
     pub labellings: u64,
     /// Relabellings triggered by DT maturity.
     pub dt_maturities: u64,
-    /// Label flips observed.
+    /// Net label flips observed (coalesced per batch).
     pub label_flips: u64,
     /// Similarity samples drawn.
     pub samples_drawn: u64,
+    /// Batches processed (single updates count as batches of size 1).
+    pub batches: u64,
+}
+
+/// Below this many relabel jobs the batch engine re-estimates inline: the
+/// fan-out cost of the (vendored, spawn-per-call) thread pool only pays for
+/// itself on decently sized batches, and single-update applications must
+/// never pay it.
+const PARALLEL_RELABEL_CUTOFF: usize = 128;
+
+/// Reusable buffers of the batch pipeline, kept on the instance so steady
+/// state batches — including the batch-size-1 single-update path —
+/// allocate almost nothing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Endpoints touched by the current batch (sorted + deduped in place).
+    touched: Vec<VertexId>,
+    /// Relabel jobs: affected edge and its per-edge invocation number.
+    jobs: Vec<(EdgeKey, u64)>,
+    /// `(edge, label at first touch)` log; first occurrence per key is the
+    /// edge's pre-batch label.
+    pre_labels: Vec<(EdgeKey, Option<EdgeLabel>)>,
+    /// Edges inserted by the batch and still alive (delete cancels).
+    new_edges: Vec<EdgeKey>,
+}
+
+impl MemoryFootprint for BatchScratch {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.touched.capacity() * std::mem::size_of::<VertexId>()
+            + self.jobs.capacity() * std::mem::size_of::<(EdgeKey, u64)>()
+            + self.pre_labels.capacity() * std::mem::size_of::<(EdgeKey, Option<EdgeLabel>)>()
+            + self.new_edges.capacity() * std::mem::size_of::<EdgeKey>()
+    }
 }
 
 /// Dynamic Edge-Labelling Maintenance.
@@ -55,7 +136,15 @@ pub struct DynElm {
     labels: HashMap<EdgeKey, EdgeLabel>,
     dt: DtRegistry,
     strategy: LabellingStrategy,
-    rng: SmallRng,
+    /// Invocation count per **live** edge: drives the per-edge δ schedule
+    /// and, together with the batch epoch mixed into the stream seed,
+    /// the deterministic random stream of each re-estimation.  Entries are
+    /// dropped on deletion — stream reuse across a delete/re-insert is
+    /// prevented by the epoch, not by keeping tombstones, so memory is
+    /// bounded by the *current* edge count rather than every edge ever
+    /// seen.
+    relabel_counts: HashMap<EdgeKey, u64>,
+    scratch: BatchScratch,
     stats: ElmStats,
 }
 
@@ -63,12 +152,8 @@ impl DynElm {
     /// Create an empty DynELM instance with the given parameters.
     pub fn new(params: Params) -> Self {
         params.validate();
-        let mut strategy = LabellingStrategy::new(
-            params.measure,
-            params.eps,
-            params.rho,
-            params.delta_star,
-        );
+        let mut strategy =
+            LabellingStrategy::new(params.measure, params.eps, params.rho, params.delta_star);
         if params.exact_labels {
             strategy = strategy.with_exact_labels();
         }
@@ -78,7 +163,8 @@ impl DynElm {
             labels: HashMap::new(),
             dt: DtRegistry::new(0),
             strategy,
-            rng: SmallRng::seed_from_u64(params.seed),
+            relabel_counts: HashMap::new(),
+            scratch: BatchScratch::default(),
             stats: ElmStats::default(),
         }
     }
@@ -123,34 +209,6 @@ impl DynElm {
         }
     }
 
-    /// Label (or relabel) an edge with the (½ρε, δᵢ)-strategy.
-    fn run_strategy(&mut self, u: VertexId, v: VertexId) -> EdgeLabel {
-        self.stats.labellings += 1;
-        self.strategy.label(&self.graph, u, v, &mut self.rng)
-    }
-
-    /// Process the DT maturities pending at vertex `x` and collect label
-    /// flips into `flipped`.
-    fn process_maturities(&mut self, x: VertexId, flipped: &mut Vec<FlippedEdge>) {
-        for key in self.dt.drain_ready(x) {
-            self.stats.dt_maturities += 1;
-            let (a, b) = key.endpoints();
-            let new_label = self.run_strategy(a, b);
-            let old_label = self
-                .labels
-                .insert(key, new_label)
-                .expect("matured edge must be labelled");
-            if old_label != new_label {
-                self.stats.label_flips += 1;
-                flipped.push((key, new_label));
-            }
-            // Restart the DT instance with a threshold for the current
-            // degrees.
-            let tau = self.strategy.threshold(&self.graph, a, b);
-            self.dt.register(key, tau);
-        }
-    }
-
     /// Apply a single update.
     pub fn apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, GraphError> {
         match update {
@@ -161,68 +219,182 @@ impl DynElm {
 
     /// Insert the edge `(u, w)`, returning the set of edges whose labels
     /// flipped (including `(u, w)` itself if it is labelled similar).
-    pub fn insert_edge(&mut self, u: VertexId, w: VertexId) -> Result<Vec<FlippedEdge>, GraphError> {
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        w: VertexId,
+    ) -> Result<Vec<FlippedEdge>, GraphError> {
         if u == w {
             return Err(GraphError::SelfLoop { v: u });
         }
         if self.graph.has_edge(u, w) {
             return Err(GraphError::EdgeExists { u, v: w });
         }
-        let mut flipped = Vec::new();
-        // Step 1: the update is an affecting update for every edge incident
-        // on u or w.
-        self.dt.increment(u);
-        self.dt.increment(w);
-        // Step 2 (insertion case): add the edge, label it, start its DT.
-        self.graph
-            .insert_edge(u, w)
-            .expect("existence checked above");
-        self.stats.updates += 1;
-        let key = EdgeKey::new(u, w);
-        let label = self.run_strategy(u, w);
-        self.labels.insert(key, label);
-        if label.is_similar() {
-            self.stats.label_flips += 1;
-            flipped.push((key, label));
-        }
-        let tau = self.strategy.threshold(&self.graph, u, w);
-        self.dt.register(key, tau);
-        // Steps 3 & 4: drain checkpoint-ready DT entries on both endpoints.
-        self.process_maturities(u, &mut flipped);
-        self.process_maturities(w, &mut flipped);
-        Ok(flipped)
+        Ok(self.apply_batch(&[GraphUpdate::Insert(u, w)]))
     }
 
     /// Delete the edge `(u, w)`, returning the set of edges whose labels
     /// flipped (the deleted edge itself is reported as flipping to
     /// dissimilar if it was similar).
-    pub fn delete_edge(&mut self, u: VertexId, w: VertexId) -> Result<Vec<FlippedEdge>, GraphError> {
+    pub fn delete_edge(
+        &mut self,
+        u: VertexId,
+        w: VertexId,
+    ) -> Result<Vec<FlippedEdge>, GraphError> {
         if u == w {
             return Err(GraphError::SelfLoop { v: u });
         }
         if !self.graph.has_edge(u, w) {
             return Err(GraphError::EdgeMissing { u, v: w });
         }
-        let mut flipped = Vec::new();
-        // Step 1.
-        self.dt.increment(u);
-        self.dt.increment(w);
-        // Step 2 (deletion case).
-        let key = EdgeKey::new(u, w);
-        let old_label = self.labels.remove(&key).expect("existing edge is labelled");
-        if old_label.is_similar() {
-            self.stats.label_flips += 1;
-            flipped.push((key, EdgeLabel::Dissimilar));
+        Ok(self.apply_batch(&[GraphUpdate::Delete(u, w)]))
+    }
+
+    /// Apply a whole batch of updates, returning the **net** flipped-edge
+    /// set of the batch (see the module docs for the batch semantics).
+    ///
+    /// Invalid updates within the batch — duplicate insertions, deletions
+    /// of absent edges, self-loops — are skipped, matching how
+    /// [`crate::DynamicClustering::apply_update`] treats them.  The flip
+    /// set is sorted by edge key and coalesced: an edge whose label ends
+    /// the batch where it started does not appear.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        self.stats.batches += 1;
+        // Chronological `(edge, label at touch)` log; the first entry per
+        // key is the edge's pre-batch label (flat vector instead of a map —
+        // the single-update path runs through here too and must stay lean).
+        let mut pre_labels = std::mem::take(&mut self.scratch.pre_labels);
+        pre_labels.clear();
+        // Surviving edges inserted by this batch (an insert followed by a
+        // delete cancels out; deletes are rare enough within a batch that a
+        // linear scan beats a set).
+        let mut new_edges = std::mem::take(&mut self.scratch.new_edges);
+        new_edges.clear();
+        let mut touched = std::mem::take(&mut self.scratch.touched);
+        touched.clear();
+
+        // Phase 1 — topology and DT counters, in stream order.
+        for &update in updates {
+            let (u, w) = update.endpoints();
+            if u == w {
+                continue;
+            }
+            let is_insert = update.is_insert();
+            if is_insert == self.graph.has_edge(u, w) {
+                // Duplicate insertion or deletion of an absent edge.
+                continue;
+            }
+            self.dt.increment(u);
+            self.dt.increment(w);
+            let key = EdgeKey::new(u, w);
+            pre_labels.push((key, self.labels.get(&key).copied()));
+            if is_insert {
+                self.graph.insert_edge(u, w).expect("existence checked");
+                new_edges.push(key);
+            } else {
+                self.graph.delete_edge(u, w).expect("existence checked");
+                self.labels.remove(&key);
+                // Keep the invocation map bounded by live edges; the batch
+                // epoch in the stream seed prevents a re-inserted edge from
+                // ever reusing a random stream.
+                self.relabel_counts.remove(&key);
+                // New edges are only DT-registered at the end of the batch,
+                // so deregister is a no-op for a cancelled in-batch insert.
+                self.dt.deregister(key);
+                if let Some(pos) = new_edges.iter().position(|&k| k == key) {
+                    new_edges.swap_remove(pos);
+                }
+            }
+            self.stats.updates += 1;
+            touched.push(u);
+            touched.push(w);
         }
-        self.graph
-            .delete_edge(u, w)
-            .expect("existence checked above");
-        self.stats.updates += 1;
-        self.dt.deregister(key);
-        // Steps 3 & 4.
-        self.process_maturities(u, &mut flipped);
-        self.process_maturities(w, &mut flipped);
-        Ok(flipped)
+
+        // Phase 2 — deduplicated cross-batch drain: each touched endpoint
+        // is drained once, however many updates hit it.
+        let matured = self.dt.drain_ready_batch(touched.iter().copied());
+        self.stats.dt_maturities += matured.len() as u64;
+        let mut jobs = std::mem::take(&mut self.scratch.jobs);
+        jobs.clear();
+        let mut affected = matured;
+        affected.extend(new_edges.iter().copied());
+        affected.sort_unstable();
+        for &key in &affected {
+            pre_labels.push((key, self.labels.get(&key).copied()));
+            let k = self
+                .relabel_counts
+                .entry(key)
+                .and_modify(|c| *c += 1)
+                .or_insert(1);
+            jobs.push((key, *k));
+        }
+
+        // Phase 3 — re-estimate the deduplicated affected set in parallel.
+        // Each job's result is a pure function of (seed, batch epoch, edge,
+        // invocation, post-batch graph), so the outcome vector is
+        // deterministic no matter how rayon schedules the work — and
+        // identical to the sequential fallback used for small jobs, where
+        // thread fan-out would cost more than the re-estimation itself.
+        // Mixing the batch epoch into the stream seed is what lets
+        // `relabel_counts` forget deleted edges without ever reusing a
+        // stream: an edge is relabelled at most once per batch, so
+        // (epoch, edge) alone already never repeats.
+        let graph = &self.graph;
+        let strategy = &self.strategy;
+        let seed = self.params.seed ^ self.stats.batches.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let run_job = |&(key, invocation): &(EdgeKey, u64)| {
+            strategy.label_deterministic(graph, key, invocation, seed)
+        };
+        let outcomes: Vec<LabelOutcome> =
+            if updates.len() > 1 && jobs.len() >= PARALLEL_RELABEL_CUTOFF {
+                jobs.par_iter().map(run_job).collect()
+            } else {
+                jobs.iter().map(run_job).collect()
+            };
+
+        // Phase 4 — commit labels, restart DT instances at post-batch
+        // degrees, fold the work counters back in.
+        let mut samples = 0u64;
+        for (&(key, _), outcome) in jobs.iter().zip(&outcomes) {
+            samples += outcome.samples_drawn;
+            self.labels.insert(key, outcome.label);
+            let (a, b) = key.endpoints();
+            let tau = self.strategy.threshold(&self.graph, a, b);
+            self.dt.register(key, tau);
+        }
+        self.stats.labellings += jobs.len() as u64;
+        self.strategy.record_invocations(jobs.len() as u64, samples);
+        self.scratch.jobs = jobs;
+        self.scratch.touched = touched;
+        self.scratch.new_edges = new_edges;
+
+        // Phase 5 — coalesce the batch's net label flips.  The log was
+        // appended chronologically, so after a stable sort the first entry
+        // per key holds the pre-batch label.
+        pre_labels.sort_by_key(|&(key, _)| key);
+        let mut flipped: Vec<FlippedEdge> = Vec::new();
+        let mut i = 0;
+        while i < pre_labels.len() {
+            let (key, pre) = pre_labels[i];
+            while i < pre_labels.len() && pre_labels[i].0 == key {
+                i += 1;
+            }
+            let now = self.labels.get(&key).copied();
+            match (pre, now) {
+                (Some(before), Some(after)) if before != after => flipped.push((key, after)),
+                // A similar edge that ended the batch deleted flips to
+                // dissimilar for downstream maintenance.
+                (Some(before), None) if before.is_similar() => {
+                    flipped.push((key, EdgeLabel::Dissimilar))
+                }
+                // A brand-new edge is a flip only if it arrives similar.
+                (None, Some(after)) if after.is_similar() => flipped.push((key, after)),
+                _ => {}
+            }
+        }
+        self.scratch.pre_labels = pre_labels;
+        self.stats.label_flips += flipped.len() as u64;
+        flipped
     }
 
     /// Extract the StrClu clustering from the maintained labelling in
@@ -239,8 +411,9 @@ impl MemoryFootprint for DynElm {
         self.graph.memory_bytes()
             + dynscan_graph::footprint::hashmap_bytes(&self.labels)
             + self.dt.memory_bytes()
+            + dynscan_graph::footprint::hashmap_bytes(&self.relabel_counts)
+            + self.scratch.memory_bytes()
             + std::mem::size_of::<LabellingStrategy>()
-            + std::mem::size_of::<SmallRng>()
             + std::mem::size_of::<ElmStats>()
     }
 }
@@ -427,7 +600,8 @@ mod tests {
         let params = Params::cosine(0.6, 5).with_rho(0.1).with_exact_labels();
         let elm = build_exact(&g, params);
         for (key, label) in elm.labels() {
-            let sigma = exact_similarity(elm.graph(), key.lo(), key.hi(), SimilarityMeasure::Cosine);
+            let sigma =
+                exact_similarity(elm.graph(), key.lo(), key.hi(), SimilarityMeasure::Cosine);
             if sigma >= (1.0 + 0.1) * 0.6 {
                 assert!(label.is_similar());
             }

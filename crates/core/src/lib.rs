@@ -22,6 +22,15 @@
 //!   StrClu-result extraction of Fact 1, shared by the dynamic algorithms
 //!   and the baselines.
 //!
+//! * [`BatchUpdate`] is the batch update engine's API: `apply_batch` takes
+//!   a whole burst of updates, applies the topology in stream order, drains
+//!   DT maturities **once per endpoint across the batch**, re-estimates the
+//!   deduplicated affected-edge set **in parallel** with deterministic
+//!   per-edge random streams, and feeds the coalesced net flip set to
+//!   vAuxInfo / `G_core` maintenance once.  Single updates are the
+//!   batch-size-1 special case of the same engine (see [`elm`] for the
+//!   precise semantics).
+//!
 //! Both algorithms work under Jaccard and cosine similarity
 //! ([`SimilarityMeasure`]), mirroring Sections 2–7 and 8 of the paper.
 //!
@@ -57,7 +66,7 @@ pub use cluster::{extract_clustering, StrCluResult, VertexRole};
 pub use elm::{DynElm, ElmStats, FlippedEdge};
 pub use params::Params;
 pub use strclu::DynStrClu;
-pub use traits::DynamicClustering;
+pub use traits::{BatchUpdate, DynamicClustering};
 
 // Re-export the vocabulary types users need alongside the algorithms.
 pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, VertexId};

@@ -48,7 +48,7 @@ impl Default for Params {
             delta_star: 1e-6,
             measure: SimilarityMeasure::Jaccard,
             exact_labels: false,
-            seed: 0xdeca_f,
+            seed: 0x000d_ecaf,
         }
     }
 }
@@ -181,6 +181,9 @@ mod tests {
 
     #[test]
     fn zero_rho_with_exact_mode_is_fine() {
-        Params::jaccard(0.2, 5).with_rho(0.0).with_exact_labels().validate();
+        Params::jaccard(0.2, 5)
+            .with_rho(0.0)
+            .with_exact_labels()
+            .validate();
     }
 }

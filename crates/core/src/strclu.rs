@@ -152,8 +152,7 @@ impl DynStrClu {
         }
         for &x in &core_flips {
             let x_core = self.aux[x.index()].is_core();
-            let neighbours: Vec<VertexId> =
-                self.aux[x.index()].similar_neighbours().collect();
+            let neighbours: Vec<VertexId> = self.aux[x.index()].similar_neighbours().collect();
             for y in neighbours {
                 self.ensure_aux(y);
                 self.aux[y.index()].set_neighbour_core(x, x_core);
@@ -189,7 +188,11 @@ impl DynStrClu {
     }
 
     /// Insert the edge `(u, w)` and maintain all three modules.
-    pub fn insert_edge(&mut self, u: VertexId, w: VertexId) -> Result<Vec<FlippedEdge>, GraphError> {
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        w: VertexId,
+    ) -> Result<Vec<FlippedEdge>, GraphError> {
         let flipped = self.elm.insert_edge(u, w)?;
         self.ensure_aux(u);
         self.ensure_aux(w);
@@ -198,10 +201,32 @@ impl DynStrClu {
     }
 
     /// Delete the edge `(u, w)` and maintain all three modules.
-    pub fn delete_edge(&mut self, u: VertexId, w: VertexId) -> Result<Vec<FlippedEdge>, GraphError> {
+    pub fn delete_edge(
+        &mut self,
+        u: VertexId,
+        w: VertexId,
+    ) -> Result<Vec<FlippedEdge>, GraphError> {
         let flipped = self.elm.delete_edge(u, w)?;
         self.apply_flips(&flipped);
         Ok(flipped)
+    }
+
+    /// Apply a whole batch of updates through the batch update engine and
+    /// maintain vAuxInfo and `G_core` from the coalesced net flip set
+    /// **once** (instead of once per update).
+    ///
+    /// Semantics are inherited from [`DynElm::apply_batch`]: topology in
+    /// stream order, deduplicated DT drain, parallel deterministic
+    /// re-estimation against the post-batch graph, net flips returned.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        let flipped = self.elm.apply_batch(updates);
+        // Valid inserts can only mention vertices the graph now covers.
+        let n = self.elm.graph().num_vertices();
+        if n > 0 {
+            self.ensure_aux(VertexId((n - 1) as u32));
+        }
+        self.apply_flips(&flipped);
+        flipped
     }
 
     /// Answer a cluster-group-by query (Definition 3.2): group the vertices
@@ -220,8 +245,7 @@ impl DynStrClu {
             if self.aux[u.index()].is_core() {
                 pairs.push((self.core_graph.component_id(u), u));
             } else {
-                let cores: Vec<VertexId> =
-                    self.aux[u.index()].similar_core_neighbours().collect();
+                let cores: Vec<VertexId> = self.aux[u.index()].similar_core_neighbours().collect();
                 for x in cores {
                     pairs.push((self.core_graph.component_id(x), u));
                 }
@@ -250,7 +274,11 @@ impl DynStrClu {
 impl MemoryFootprint for DynStrClu {
     fn memory_bytes(&self) -> usize {
         self.elm.memory_bytes()
-            + self.aux.iter().map(MemoryFootprint::memory_bytes).sum::<usize>()
+            + self
+                .aux
+                .iter()
+                .map(MemoryFootprint::memory_bytes)
+                .sum::<usize>()
             + self.core_graph.memory_bytes()
     }
 }
@@ -319,7 +347,10 @@ mod tests {
         let mut algo = build_exact(&g, two_cliques_params());
         assert!(algo.is_core(v(4)) && algo.is_core(v(5)));
         algo.delete_edge(v(4), v(5)).unwrap();
-        assert!(!algo.is_core(v(4)), "vertex 4 drops below μ similar neighbours");
+        assert!(
+            !algo.is_core(v(4)),
+            "vertex 4 drops below μ similar neighbours"
+        );
         assert!(!algo.is_core(v(5)));
         assert_consistent_with_extraction(&algo);
         // Re-inserting restores the original state.

@@ -1,7 +1,9 @@
-//! The common interface the experiment harness drives algorithms through.
+//! The common interfaces the experiment harness drives algorithms through:
+//! [`DynamicClustering`] for one-update-at-a-time processing and
+//! [`BatchUpdate`] for whole-batch processing.
 
 use crate::cluster::StrCluResult;
-use crate::elm::{DynElm, ElmStats};
+use crate::elm::{DynElm, ElmStats, FlippedEdge};
 use crate::strclu::DynStrClu;
 use dynscan_graph::{GraphUpdate, MemoryFootprint};
 
@@ -34,6 +36,27 @@ pub trait DynamicClustering {
     fn elm_stats(&self) -> Option<ElmStats> {
         None
     }
+}
+
+/// A dynamic clustering algorithm that can consume updates in batches.
+///
+/// `apply_batch` must leave the structure in a state *valid for the
+/// post-batch graph* — identical topology to one-at-a-time application,
+/// every label within the algorithm's approximation guarantee — while
+/// being free to deduplicate and reorder the similarity re-estimation work
+/// inside the batch window.  The returned [`FlippedEdge`] set is the
+/// **net** label change of the batch (coalesced, sorted by edge key);
+/// invalid updates inside the batch are skipped, mirroring
+/// [`DynamicClustering::apply_update`].
+///
+/// Implemented by [`DynElm`] and [`DynStrClu`] (deduplicated DT drain plus
+/// parallel deterministic re-estimation) and by the two exact dynamic
+/// baselines in `dynscan-baseline` (deduplicated relabelling over exact
+/// counts), so the batch-throughput experiments can drive all four
+/// interchangeably.
+pub trait BatchUpdate: DynamicClustering {
+    /// Apply a batch of updates; returns the coalesced net flip set.
+    fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge>;
 }
 
 impl DynamicClustering for DynElm {
@@ -85,6 +108,18 @@ impl DynamicClustering for DynStrClu {
 
     fn elm_stats(&self) -> Option<ElmStats> {
         Some(self.stats())
+    }
+}
+
+impl BatchUpdate for DynElm {
+    fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        DynElm::apply_batch(self, updates)
+    }
+}
+
+impl BatchUpdate for DynStrClu {
+    fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        DynStrClu::apply_batch(self, updates)
     }
 }
 

@@ -145,8 +145,14 @@ mod tests {
     #[test]
     fn simple_mode_matures_exactly_at_threshold() {
         let mut c = Coordinator::new(3);
-        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
-        assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
+        assert_eq!(
+            c.on_signal(|| [0, 0]),
+            SignalOutcome::ContinueRound { slack: 1 }
+        );
+        assert_eq!(
+            c.on_signal(|| [0, 0]),
+            SignalOutcome::ContinueRound { slack: 1 }
+        );
         assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::Mature);
     }
 
@@ -194,7 +200,10 @@ mod tests {
         }
         // Simple mode: 4 more increments mature it.
         for _ in 0..3 {
-            assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::ContinueRound { slack: 1 });
+            assert_eq!(
+                c.on_signal(|| [0, 0]),
+                SignalOutcome::ContinueRound { slack: 1 }
+            );
         }
         assert_eq!(c.on_signal(|| [0, 0]), SignalOutcome::Mature);
     }

@@ -175,12 +175,51 @@ impl DtRegistry {
         }
         matured
     }
+
+    /// Batch drain: process the checkpoint-ready entries of **every** given
+    /// vertex, visiting each distinct vertex once, and return the deduped
+    /// set of matured edges.
+    ///
+    /// This is the cross-batch drain of the batch update engine: instead of
+    /// draining both endpoints after every single update (which re-examines
+    /// an edge incident to a busy vertex once per update), the engine
+    /// defers all drains to the end of the batch and calls this once with
+    /// all touched vertices.  Correctness relies on the coordinator
+    /// protocol being driven purely by the shared counters: an instance
+    /// matures during a deferred drain if and only if the accumulated
+    /// affecting updates crossed its threshold, exactly as it would have
+    /// under per-update drains (the simple-mode coordinator replays one
+    /// signal per pending increment inside the drain loop).
+    ///
+    /// The result is sorted by edge key, so downstream processing is
+    /// deterministic regardless of the caller's vertex order.
+    pub fn drain_ready_batch<I>(&mut self, vertices: I) -> Vec<EdgeKey>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let mut seen: Vec<VertexId> = vertices.into_iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let mut matured = Vec::new();
+        for v in seen {
+            matured.extend(self.drain_ready(v));
+        }
+        // Maturity removes the coordinator, so an edge can only be
+        // reported by the drain of one endpoint; dedup is defensive.
+        matured.sort_unstable();
+        matured.dedup();
+        matured
+    }
 }
 
 impl MemoryFootprint for DtRegistry {
     fn memory_bytes(&self) -> usize {
         dynscan_graph::footprint::vec_bytes(&self.counters)
-            + self.heaps.iter().map(MemoryFootprint::memory_bytes).sum::<usize>()
+            + self
+                .heaps
+                .iter()
+                .map(MemoryFootprint::memory_bytes)
+                .sum::<usize>()
             + dynscan_graph::footprint::hashmap_bytes(&self.coordinators)
     }
 }
@@ -228,7 +267,7 @@ mod tests {
         for tau in [9u64, 17, 64, 100, 257] {
             // All updates on one side.
             assert_eq!(
-                maturity_index(tau, std::iter::repeat(true).take(1000)),
+                maturity_index(tau, std::iter::repeat_n(true, 1000)),
                 Some(tau as usize),
                 "one-sided, τ = {tau}"
             );
@@ -329,6 +368,58 @@ mod tests {
         assert!(reg.drain_ready(v(5)).is_empty(), "unknown vertex is fine");
     }
 
+    #[test]
+    fn deferred_batch_drain_detects_maturity() {
+        // Increment without draining (as the batch engine does), then drain
+        // everything once: instances whose thresholds were crossed mature,
+        // the others keep running.
+        let mut reg = DtRegistry::new(4);
+        reg.register(key(0, 1), 3);
+        reg.register(key(0, 2), 5);
+        reg.register(key(0, 3), 50);
+        for _ in 0..2 {
+            reg.increment(v(0));
+        }
+        reg.increment(v(1));
+        reg.increment(v(2));
+        reg.increment(v(2));
+        reg.increment(v(2));
+        // (0,1): 2 + 1 = 3 ≥ 3 matured; (0,2): 2 + 3 = 5 ≥ 5 matured;
+        // (0,3): 2 < 50 keeps running.
+        let matured = reg.drain_ready_batch([v(0), v(1), v(2), v(2), v(3), v(9)]);
+        assert_eq!(matured, vec![key(0, 1), key(0, 2)]);
+        assert!(reg.is_tracked(key(0, 3)));
+        assert!(!reg.is_tracked(key(0, 1)));
+        // A second batch drain with no new increments finds nothing.
+        assert!(reg.drain_ready_batch([v(0), v(1), v(2), v(3)]).is_empty());
+    }
+
+    #[test]
+    fn deferred_drain_matches_eager_drain_on_maturity_set() {
+        // The same increment sequence, drained eagerly vs. once at the end,
+        // matures the same set of edges.
+        let build = || {
+            let mut reg = DtRegistry::new(3);
+            reg.register(key(0, 1), 4);
+            reg.register(key(1, 2), 7);
+            reg
+        };
+        let updates = [v(0), v(1), v(1), v(2), v(0), v(1), v(2), v(2), v(1)];
+        let mut eager = build();
+        let mut eager_matured = Vec::new();
+        for &x in &updates {
+            eager.increment(x);
+            eager_matured.extend(eager.drain_ready(x));
+        }
+        let mut deferred = build();
+        for &x in &updates {
+            deferred.increment(x);
+        }
+        let deferred_matured = deferred.drain_ready_batch(updates);
+        eager_matured.sort_unstable();
+        assert_eq!(eager_matured, deferred_matured);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         /// Whatever the split of affecting updates between the two
@@ -337,6 +428,23 @@ mod tests {
         fn maturity_is_exact(tau in 1u64..400, pattern in prop::collection::vec(any::<bool>(), 400)) {
             let idx = maturity_index(tau, pattern.into_iter());
             prop_assert_eq!(idx, Some(tau as usize));
+        }
+
+        /// Deferred batch drains mature an instance iff the accumulated
+        /// updates crossed the threshold, for any split and any τ.
+        #[test]
+        fn batch_drain_thresholds_are_exact(
+            tau in 1u64..300,
+            pattern in prop::collection::vec(any::<bool>(), 0..300),
+        ) {
+            let total = pattern.len() as u64;
+            let mut reg = DtRegistry::new(2);
+            reg.register(key(0, 1), tau);
+            for &on_first in &pattern {
+                reg.increment(if on_first { v(0) } else { v(1) });
+            }
+            let matured = reg.drain_ready_batch([v(0), v(1)]);
+            prop_assert_eq!(!matured.is_empty(), total >= tau);
         }
     }
 }

@@ -260,12 +260,8 @@ mod tests {
     /// The small example graph of the paper's Figure 1(a) restricted to the
     /// cluster around u, w: enough structure for sanity checks.
     fn triangle_plus_tail() -> DynGraph {
-        let (g, m) = DynGraph::from_edges(vec![
-            (v(0), v(1)),
-            (v(1), v(2)),
-            (v(0), v(2)),
-            (v(2), v(3)),
-        ]);
+        let (g, m) =
+            DynGraph::from_edges(vec![(v(0), v(1)), (v(1), v(2)), (v(0), v(2)), (v(2), v(3))]);
         assert_eq!(m, 4);
         g
     }
@@ -300,7 +296,10 @@ mod tests {
             g.delete_edge(v(1), v(3)),
             Err(GraphError::EdgeMissing { u: v(1), v: v(3) })
         );
-        assert_eq!(g.insert_edge(v(4), v(4)), Err(GraphError::SelfLoop { v: v(4) }));
+        assert_eq!(
+            g.insert_edge(v(4), v(4)),
+            Err(GraphError::SelfLoop { v: v(4) })
+        );
         assert_eq!(g.num_edges(), 1);
     }
 
@@ -353,12 +352,8 @@ mod tests {
 
     #[test]
     fn from_edges_skips_duplicates_and_self_loops() {
-        let (g, inserted) = DynGraph::from_edges(vec![
-            (v(0), v(1)),
-            (v(1), v(0)),
-            (v(2), v(2)),
-            (v(1), v(2)),
-        ]);
+        let (g, inserted) =
+            DynGraph::from_edges(vec![(v(0), v(1)), (v(1), v(0)), (v(2), v(2)), (v(1), v(2))]);
         assert_eq!(inserted, 2);
         assert_eq!(g.num_edges(), 2);
     }

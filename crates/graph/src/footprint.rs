@@ -19,7 +19,12 @@ impl<T: MemoryFootprint> MemoryFootprint for Vec<T> {
     fn memory_bytes(&self) -> usize {
         let inline = std::mem::size_of::<Self>();
         let slack = (self.capacity() - self.len()) * std::mem::size_of::<T>();
-        inline + slack + self.iter().map(MemoryFootprint::memory_bytes).sum::<usize>()
+        inline
+            + slack
+            + self
+                .iter()
+                .map(MemoryFootprint::memory_bytes)
+                .sum::<usize>()
     }
 }
 

@@ -69,7 +69,10 @@ impl IndexedSet {
         let Some(pos) = self.positions.remove(&v) else {
             return false;
         };
-        let last = self.items.pop().expect("non-empty: position map had an entry");
+        let last = self
+            .items
+            .pop()
+            .expect("non-empty: position map had an entry");
         if pos < self.items.len() {
             self.items[pos] = last;
             self.positions.insert(last, pos);
@@ -197,7 +200,10 @@ mod tests {
         }
         for &c in &counts {
             // Each of the 8 elements expects ~1000 draws; allow wide slack.
-            assert!(c > 700 && c < 1300, "sampling looks non-uniform: {counts:?}");
+            assert!(
+                c > 700 && c < 1300,
+                "sampling looks non-uniform: {counts:?}"
+            );
         }
     }
 

@@ -17,12 +17,17 @@
 //!   queries in O(1).
 //! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot used by the
 //!   O(n + m) clustering-result extraction and the static SCAN baseline.
+//! * [`batch`] — batch application of update slices ([`BatchApplication`],
+//!   [`touched_vertices`]) for graph-only consumers, mirroring the
+//!   topology semantics of the batch update engine in `dynscan-core`
+//!   (which fuses its own per-update label/DT hooks into the loop).
 //! * [`GraphError`] — error type shared by the mutating operations.
 //!
 //! All structures report an approximate heap footprint through
 //! [`MemoryFootprint`], which the Table-1 experiment of the paper
 //! (peak memory over the update sequence) relies on.
 
+pub mod batch;
 pub mod csr;
 pub mod dynamic_graph;
 pub mod edge;
@@ -32,6 +37,7 @@ pub mod indexed_set;
 pub mod update;
 pub mod vertex;
 
+pub use batch::{touched_vertices, BatchApplication};
 pub use csr::CsrGraph;
 pub use dynamic_graph::DynGraph;
 pub use edge::EdgeKey;

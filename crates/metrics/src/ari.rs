@@ -49,12 +49,9 @@ pub fn adjusted_rand_index(approx: &StrCluResult, exact: &StrCluResult) -> f64 {
     let mut b = Vec::new();
     for i in 0..n {
         let v = VertexId::from(i);
-        match (approx.primary_assignment(v), exact.primary_assignment(v)) {
-            (Some(x), Some(y)) => {
-                a.push(x);
-                b.push(y);
-            }
-            _ => {}
+        if let (Some(x), Some(y)) = (approx.primary_assignment(v), exact.primary_assignment(v)) {
+            a.push(x);
+            b.push(y);
         }
     }
     if a.is_empty() {

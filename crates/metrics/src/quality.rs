@@ -107,10 +107,12 @@ pub fn normalised_mutual_information(a: &[Option<u32>], b: &[Option<u32>]) -> f6
         mi += pxy * (pxy / (px * py)).ln();
     }
     let entropy = |p: &HashMap<u32, f64>| -> f64 {
-        p.values().map(|&c| {
-            let q = c / n;
-            -q * q.ln()
-        }).sum()
+        p.values()
+            .map(|&c| {
+                let q = c / n;
+                -q * q.ln()
+            })
+            .sum()
     };
     let (ha, hb) = (entropy(&pa), entropy(&pb));
     if ha == 0.0 && hb == 0.0 {
@@ -187,7 +189,10 @@ mod tests {
         let a = vec![Some(0), Some(0), Some(1), Some(1), None];
         assert!((normalised_mutual_information(&a, &a) - 1.0).abs() < 1e-9);
         let b = vec![Some(1), Some(1), Some(0), Some(0), None];
-        assert!((normalised_mutual_information(&a, &b) - 1.0).abs() < 1e-9, "relabelling is free");
+        assert!(
+            (normalised_mutual_information(&a, &b) - 1.0).abs() < 1e-9,
+            "relabelling is free"
+        );
         let c = vec![Some(0), Some(1), Some(0), Some(1), None];
         assert!(normalised_mutual_information(&a, &c) < 0.5);
     }

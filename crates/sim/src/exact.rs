@@ -90,7 +90,9 @@ mod tests {
         // N[2] = {0,1,2,3}, N[3] = {2,3}: |∩| = 2, |∪| = 4 → 0.5.
         assert!((exact_similarity(&g, v(2), v(3), SimilarityMeasure::Jaccard) - 0.5).abs() < 1e-12);
         // N[0] = {0,1,2}, N[2] = {0,1,2,3}: |∩| = 3, |∪| = 4 → 0.75.
-        assert!((exact_similarity(&g, v(0), v(2), SimilarityMeasure::Jaccard) - 0.75).abs() < 1e-12);
+        assert!(
+            (exact_similarity(&g, v(0), v(2), SimilarityMeasure::Jaccard) - 0.75).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -121,8 +123,14 @@ mod tests {
         let mut g = DynGraph::with_vertices(3);
         g.insert_edge(v(0), v(1)).unwrap();
         // Neither 0 nor 1 shares any closed-neighbourhood member with 2.
-        assert_eq!(exact_similarity(&g, v(0), v(2), SimilarityMeasure::Cosine), 0.0);
-        assert_eq!(exact_similarity(&g, v(0), v(2), SimilarityMeasure::Jaccard), 0.0);
+        assert_eq!(
+            exact_similarity(&g, v(0), v(2), SimilarityMeasure::Cosine),
+            0.0
+        );
+        assert_eq!(
+            exact_similarity(&g, v(0), v(2), SimilarityMeasure::Jaccard),
+            0.0
+        );
         // Cosine stays within [0, 1] even for an isolated endpoint.
         assert!(exact_similarity(&g, v(2), v(2), SimilarityMeasure::Cosine) <= 1.0);
     }

@@ -53,7 +53,10 @@ mod tests {
     #[test]
     fn threshold_is_inclusive() {
         assert_eq!(EdgeLabel::from_similarity(0.5, 0.5), EdgeLabel::Similar);
-        assert_eq!(EdgeLabel::from_similarity(0.499, 0.5), EdgeLabel::Dissimilar);
+        assert_eq!(
+            EdgeLabel::from_similarity(0.499, 0.5),
+            EdgeLabel::Dissimilar
+        );
         assert_eq!(EdgeLabel::from_similarity(1.0, 0.2), EdgeLabel::Similar);
         assert_eq!(EdgeLabel::from_similarity(0.0, 0.2), EdgeLabel::Dissimilar);
     }

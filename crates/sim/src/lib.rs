@@ -21,19 +21,25 @@
 //!   ≥ 1 − δ* (Section 6.1);
 //! * [`affordability`] — the update-affordability / tracking-threshold
 //!   formulas of Sections 5.1, 8.2 and 8.3 that feed the distributed
-//!   tracking instances.
+//!   tracking instances;
+//! * [`rng`] — deterministic splittable per-edge random streams
+//!   (`stream(e, k) = f(seed, e, k)`), the primitive that lets the batch
+//!   update engine re-estimate a deduplicated edge set in parallel with
+//!   bit-reproducible results (see `dynscan-core`'s batch module).
 
 pub mod affordability;
 pub mod estimator;
 pub mod exact;
 pub mod label;
+pub mod rng;
 pub mod strategy;
 
 pub use affordability::tracking_threshold;
 pub use estimator::{estimate_similarity, intersection_fraction_estimate, sample_size};
 pub use exact::exact_similarity;
 pub use label::EdgeLabel;
-pub use strategy::LabellingStrategy;
+pub use rng::EdgeRng;
+pub use strategy::{LabelOutcome, LabellingStrategy};
 
 /// Which structural similarity the algorithms run under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

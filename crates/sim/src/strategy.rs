@@ -10,9 +10,23 @@ use crate::affordability::tracking_threshold;
 use crate::estimator::{estimate_similarity, sample_size};
 use crate::exact::exact_similarity;
 use crate::label::EdgeLabel;
+use crate::rng::EdgeRng;
 use crate::SimilarityMeasure;
-use dynscan_graph::{DynGraph, VertexId};
+use dynscan_graph::{DynGraph, EdgeKey, VertexId};
 use rand::Rng;
+
+/// The result of one deterministic labelling-strategy invocation
+/// (see [`LabellingStrategy::label_deterministic`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabelOutcome {
+    /// The decided label.
+    pub label: EdgeLabel,
+    /// The similarity value (estimated or exact) behind the decision.
+    pub sigma: f64,
+    /// Samples drawn by this invocation (0 when the exact shortcut or
+    /// exact mode applied).
+    pub samples_drawn: u64,
+}
 
 /// Stateful labelling strategy shared by all edges of one DynELM instance.
 #[derive(Clone, Debug)]
@@ -170,6 +184,66 @@ impl LabellingStrategy {
         self.label_with_value(graph, u, v, rng).0
     }
 
+    /// Label the edge with the (½ρε, δₖ)-strategy **deterministically and
+    /// without mutating the strategy**, using the per-edge δ schedule
+    /// `δₖ = δ*/(k·(k+1))` where `k ≥ 1` is the edge's own invocation
+    /// number, and a random stream derived from `(stream_seed, edge, k)`.
+    ///
+    /// This is the labelling primitive of the batch update engine: because
+    /// neither the sample count nor the random bits depend on global
+    /// invocation order, a parallel re-estimation of a deduplicated edge
+    /// set produces bit-identical results to any sequential execution of
+    /// the same invocations.  Per edge the δₖ still telescope to at most
+    /// δ*, so every label an edge ever receives is ρ-approximately valid
+    /// with probability ≥ 1 − δ*; across M distinct edges the failure
+    /// probability is at most M·δ* by a union bound (the paper's default
+    /// δ* = 1/n keeps that at average-degree scale, and callers needing the
+    /// global bound can divide δ* by an edge-count estimate).
+    ///
+    /// The low-degree exact shortcut of [`Self::label_with_value`] applies
+    /// unchanged: it depends only on `(k, degrees)`, so it is itself
+    /// deterministic.
+    pub fn label_deterministic(
+        &self,
+        graph: &DynGraph,
+        edge: EdgeKey,
+        invocation: u64,
+        stream_seed: u64,
+    ) -> LabelOutcome {
+        assert!(invocation >= 1, "per-edge invocation numbers start at 1");
+        let (u, v) = edge.endpoints();
+        let (sigma, samples_drawn) = if self.exact_mode || self.rho == 0.0 {
+            (exact_similarity(graph, u, v, self.measure), 0)
+        } else {
+            let k = invocation as f64;
+            let delta_k = self.delta_star / (k * (k + 1.0));
+            let samples = sample_size(self.measure, self.eps, self.delta_cap(), delta_k);
+            let exact_cost = graph.closed_degree(u).min(graph.closed_degree(v));
+            if samples >= exact_cost {
+                (exact_similarity(graph, u, v, self.measure), 0)
+            } else {
+                let mut rng = EdgeRng::for_edge(stream_seed, edge, invocation);
+                (
+                    estimate_similarity(graph, u, v, self.measure, self.eps, samples, &mut rng),
+                    samples as u64,
+                )
+            }
+        };
+        LabelOutcome {
+            label: EdgeLabel::from_similarity(sigma, self.eps),
+            sigma,
+            samples_drawn,
+        }
+    }
+
+    /// Fold the bookkeeping of externally executed deterministic
+    /// invocations (e.g. a parallel batch) back into the strategy's
+    /// counters.
+    pub fn record_invocations(&mut self, invocations: u64, samples_drawn: u64) {
+        self.invocations += invocations;
+        self.samples_drawn += samples_drawn;
+    }
+
     /// The DT tracking threshold for `(u, v)` at its current degrees.
     pub fn threshold(&self, graph: &DynGraph, u: VertexId, v: VertexId) -> u64 {
         tracking_threshold(
@@ -250,7 +324,10 @@ mod tests {
         let first = s.next_sample_size();
         s.label(&g, v(0), v(1), &mut rng);
         let second = s.next_sample_size();
-        assert!(second >= first, "later invocations use smaller δᵢ, hence more samples");
+        assert!(
+            second >= first,
+            "later invocations use smaller δᵢ, hence more samples"
+        );
         assert_eq!(s.invocations(), 1);
         // On this tiny graph the exact shortcut applies, so no samples were
         // actually drawn even though the schedule advanced.
@@ -260,8 +337,8 @@ mod tests {
     #[test]
     fn exact_mode_labels_match_ground_truth() {
         let g = clique_pair();
-        let mut s = LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.5, 0.01, 0.01)
-            .with_exact_labels();
+        let mut s =
+            LabellingStrategy::new(SimilarityMeasure::Jaccard, 0.5, 0.01, 0.01).with_exact_labels();
         let mut rng = SmallRng::seed_from_u64(2);
         for e in g.edges().collect::<Vec<_>>() {
             let (a, b) = e.endpoints();
@@ -305,7 +382,13 @@ mod tests {
         let t = s.threshold(&g, v(4), v(5));
         assert_eq!(
             t,
-            tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.5, g.degree(v(4)), g.degree(v(5)))
+            tracking_threshold(
+                SimilarityMeasure::Jaccard,
+                0.2,
+                0.5,
+                g.degree(v(4)),
+                g.degree(v(5))
+            )
         );
     }
 }

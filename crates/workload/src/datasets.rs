@@ -251,7 +251,10 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
 /// The five representative datasets the paper uses for the parameter
 /// sweeps (Figures 8–12, Tables 2–3).
 pub fn representative_datasets() -> Vec<DatasetSpec> {
-    all_datasets().into_iter().filter(|d| d.representative).collect()
+    all_datasets()
+        .into_iter()
+        .filter(|d| d.representative)
+        .collect()
 }
 
 /// Look a dataset up by its short name (case-insensitive).
@@ -312,7 +315,10 @@ mod tests {
 
     #[test]
     fn generated_graphs_are_close_to_spec() {
-        for spec in [dataset_by_name("Slashdot").unwrap(), dataset_by_name("Notre").unwrap()] {
+        for spec in [
+            dataset_by_name("Slashdot").unwrap(),
+            dataset_by_name("Notre").unwrap(),
+        ] {
             let edges = spec.original_edges();
             let (g, _) = DynGraph::from_edges(edges.iter().copied());
             assert!(g.num_vertices() <= spec.num_vertices);

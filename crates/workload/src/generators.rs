@@ -21,12 +21,7 @@ use std::collections::HashSet;
 
 type EdgeList = Vec<(VertexId, VertexId)>;
 
-fn push_unique(
-    edges: &mut EdgeList,
-    seen: &mut HashSet<(u32, u32)>,
-    a: u32,
-    b: u32,
-) -> bool {
+fn push_unique(edges: &mut EdgeList, seen: &mut HashSet<(u32, u32)>, a: u32, b: u32) -> bool {
     if a == b {
         return false;
     }

@@ -8,6 +8,9 @@
 //!   preferential-attachment generator);
 //! * [`updates`] — the update-stream simulator with the paper's three
 //!   insertion strategies (RR, DR, DD) and the deletion-frequency ratio η;
+//! * [`bursty`] — bursty *batched* streams: updates arrive in fixed-size
+//!   batches concentrated on per-burst hotspots, the workload shape the
+//!   batch update engine in `dynscan-core` is built for;
 //! * [`datasets`] — a registry of scaled-down dataset specifications that
 //!   mirror the 15 SNAP graphs of Table 1 (names, relative sizes, default
 //!   ε values), so the experiment harness can iterate "all datasets" the
@@ -16,10 +19,12 @@
 //! Everything is deterministic given a seed, so experiments are
 //! reproducible.
 
+pub mod bursty;
 pub mod datasets;
 pub mod generators;
 pub mod updates;
 
+pub use bursty::{BurstyStream, BurstyStreamConfig};
 pub use datasets::{
     all_datasets, dataset_by_name, representative_datasets, scaled, DatasetKind, DatasetSpec,
 };

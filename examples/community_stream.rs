@@ -13,8 +13,7 @@
 use dynscan_core::{DynStrClu, Params, VertexId};
 use dynscan_metrics::quality::normalised_mutual_information;
 use dynscan_workload::{
-    generators::planted_partition_ground_truth, planted_partition, UpdateStream,
-    UpdateStreamConfig,
+    generators::planted_partition_ground_truth, planted_partition, UpdateStream, UpdateStreamConfig,
 };
 
 fn main() {
@@ -40,10 +39,12 @@ fn main() {
 
     let mut applied = 0usize;
     while applied < total {
-        let Some(update) = stream.next_update() else { break };
+        let Some(update) = stream.next_update() else {
+            break;
+        };
         algo.apply(update).ok();
         applied += 1;
-        if applied % report_every == 0 {
+        if applied.is_multiple_of(report_every) {
             let clustering = algo.clustering();
             let assignment: Vec<Option<u32>> = (0..n)
                 .map(|v| clustering.primary_assignment(VertexId(v as u32)))
@@ -63,5 +64,9 @@ fn main() {
     // interest" end up in the same community?
     let watchlist: Vec<VertexId> = (0..20).map(|i| VertexId(i * 37 % n as u32)).collect();
     let groups = algo.cluster_group_by(&watchlist);
-    println!("cluster-group-by over a {}-vertex watchlist → {} groups", watchlist.len(), groups.len());
+    println!(
+        "cluster-group-by over a {}-vertex watchlist → {} groups",
+        watchlist.len(),
+        groups.len()
+    );
 }

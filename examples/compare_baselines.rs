@@ -26,7 +26,9 @@ fn main() {
         updates.len()
     );
 
-    let params = Params::jaccard(0.2, 5).with_rho(0.01).with_delta_star_for_n(n);
+    let params = Params::jaccard(0.2, 5)
+        .with_rho(0.01)
+        .with_delta_star_for_n(n);
     let scale = Scale::default_scale();
 
     let mut algorithms: Vec<Box<dyn DynamicClustering>> = vec![

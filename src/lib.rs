@@ -1,0 +1,29 @@
+//! # dynscan
+//!
+//! Umbrella crate for the DynSCAN workspace — the Rust reproduction of
+//! *Dynamic Structural Clustering on Graphs* (SIGMOD 2021) grown into a
+//! batch-capable system.  It re-exports every sub-crate under one roof so
+//! applications (and the repo-level examples and integration tests) can
+//! depend on a single crate:
+//!
+//! * [`graph`] — dynamic graph substrate (`DynGraph`, `EdgeKey`, batches).
+//! * [`sim`] — structural similarity: exact, sampled, deterministic
+//!   per-edge estimation streams.
+//! * [`conn`] — fully dynamic connectivity (HDT) over the sim-core graph.
+//! * [`dt`] — distributed-tracking registry deciding *when* to relabel.
+//! * [`core`] — `DynElm` / `DynStrClu` and the [`core::BatchUpdate`]
+//!   batch-update API.
+//! * [`baseline`] — static SCAN plus pSCAN/hSCAN-style dynamic baselines.
+//! * [`metrics`] — clustering-quality and peak-memory measurements.
+//! * [`workload`] — generators, update streams and bursty batched streams.
+//! * [`bench`] — the experiment harness and batch-throughput benchmarks.
+
+pub use dynscan_baseline as baseline;
+pub use dynscan_bench as bench;
+pub use dynscan_conn as conn;
+pub use dynscan_core as core;
+pub use dynscan_dt as dt;
+pub use dynscan_graph as graph;
+pub use dynscan_metrics as metrics;
+pub use dynscan_sim as sim;
+pub use dynscan_workload as workload;

@@ -7,9 +7,7 @@ use dynscan_baseline::{ExactDynScan, IndexedDynScan, StaticScan};
 use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params, StrCluResult};
 use dynscan_graph::VertexId;
 use dynscan_metrics::adjusted_rand_index;
-use dynscan_workload::{
-    chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig,
-};
+use dynscan_workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
 use std::collections::BTreeSet;
 
 fn canonical(result: &StrCluResult) -> BTreeSet<BTreeSet<u32>> {
@@ -84,9 +82,11 @@ fn sampled_mode_stays_close_to_static_scan() {
     let eps = 0.3;
     let mu = 4;
     let edges = chung_lu_power_law(n, 1_600, 2.3, 31);
-    let updates =
-        UpdateStream::new(&edges, UpdateStreamConfig::new(n).with_eta(0.1).with_seed(41))
-            .take_updates(3_200);
+    let updates = UpdateStream::new(
+        &edges,
+        UpdateStreamConfig::new(n).with_eta(0.1).with_seed(41),
+    )
+    .take_updates(3_200);
 
     let params = Params::jaccard(eps, mu)
         .with_rho(0.1)
@@ -98,7 +98,10 @@ fn sampled_mode_stays_close_to_static_scan() {
     }
     let reference = StaticScan::jaccard(eps, mu).cluster(algo.graph());
     let ari = adjusted_rand_index(&algo.clustering(), &reference);
-    assert!(ari > 0.95, "approximate clustering quality too low: ARI = {ari}");
+    assert!(
+        ari > 0.95,
+        "approximate clustering quality too low: ARI = {ari}"
+    );
 }
 
 #[test]

@@ -40,7 +40,9 @@ fn group_by_matches_full_clustering_throughout_a_stream() {
     let total = edges.len() * 2;
     let mut applied = 0;
     while applied < total {
-        let Some(update) = stream.next_update() else { break };
+        let Some(update) = stream.next_update() else {
+            break;
+        };
         algo.apply(update).ok();
         applied += 1;
         if applied % (total / 4) == 0 {
@@ -78,7 +80,12 @@ fn group_by_handles_noise_hubs_and_duplicates() {
 
     // Pick one vertex of each role, if available.
     let mut representatives: Vec<VertexId> = Vec::new();
-    for wanted in [VertexRole::Core, VertexRole::Member, VertexRole::Hub, VertexRole::Noise] {
+    for wanted in [
+        VertexRole::Core,
+        VertexRole::Member,
+        VertexRole::Hub,
+        VertexRole::Noise,
+    ] {
         if let Some((v, _)) = result.roles().find(|&(_, r)| r == wanted) {
             representatives.push(v);
         }
@@ -90,7 +97,10 @@ fn group_by_handles_noise_hubs_and_duplicates() {
     q.extend_from_slice(&representatives);
     q.push(VertexId(10_000));
     let groups = algo.cluster_group_by(&q);
-    assert_eq!(as_sets(&groups), reference_group_by(&result, &representatives));
+    assert_eq!(
+        as_sets(&groups),
+        reference_group_by(&result, &representatives)
+    );
 
     // Querying the full vertex set reproduces the complete clustering.
     let everyone: Vec<VertexId> = (0..n as u32).map(VertexId).collect();

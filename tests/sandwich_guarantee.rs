@@ -47,8 +47,16 @@ fn check_sandwich(edges: &[(VertexId, VertexId)], n: usize, eps: f64, mu: usize,
     let lower = StaticScan::jaccard((1.0 - rho) * eps, mu).cluster(algo.graph());
 
     // C((1+ρ)ε) ⊆ C(approx) ⊆ C((1−ρ)ε), cluster-wise.
-    assert_nested(&upper, &approx, "upper clustering not contained in approximate clustering");
-    assert_nested(&approx, &lower, "approximate clustering not contained in lower clustering");
+    assert_nested(
+        &upper,
+        &approx,
+        "upper clustering not contained in approximate clustering",
+    );
+    assert_nested(
+        &approx,
+        &lower,
+        "approximate clustering not contained in lower clustering",
+    );
 }
 
 #[test]

@@ -8,13 +8,18 @@ use dynscan_bench::{run_updates, Scale};
 use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params};
 use dynscan_metrics::{adjusted_rand_index, mislabelled_rate, top_k_quality, PeakTracker};
 use dynscan_sim::SimilarityMeasure;
-use dynscan_workload::{dataset_by_name, scaled, InsertionStrategy, UpdateStream, UpdateStreamConfig};
+use dynscan_workload::{
+    dataset_by_name, scaled, InsertionStrategy, UpdateStream, UpdateStreamConfig,
+};
 use std::time::Duration;
 
 #[test]
 fn dataset_to_metrics_pipeline_runs() {
     // A heavily scaled-down representative dataset.
-    let spec = scaled(dataset_by_name("Slashdot").expect("registry has Slashdot"), 8);
+    let spec = scaled(
+        dataset_by_name("Slashdot").expect("registry has Slashdot"),
+        8,
+    );
     let edges = spec.original_edges();
     assert!(!edges.is_empty());
 
@@ -42,9 +47,12 @@ fn dataset_to_metrics_pipeline_runs() {
     // Quality metrics against the exact ground truth.
     let ground_truth = StaticScan::jaccard(spec.eps_jaccard, 5).cluster(approx.graph());
     let approx_result = approx.clustering();
-    let mis = mislabelled_rate(approx.graph(), spec.eps_jaccard, SimilarityMeasure::Jaccard, |k| {
-        approx.label(k).is_some_and(|l| l.is_similar())
-    });
+    let mis = mislabelled_rate(
+        approx.graph(),
+        spec.eps_jaccard,
+        SimilarityMeasure::Jaccard,
+        |k| approx.label(k).is_some_and(|l| l.is_similar()),
+    );
     assert!(
         mis < 0.10,
         "ρ = 0.1 should mis-label well under 10% of the edges, got {mis}"
@@ -52,7 +60,11 @@ fn dataset_to_metrics_pipeline_runs() {
     let ari = adjusted_rand_index(&approx_result, &ground_truth);
     assert!(ari > 0.9, "ARI {ari} too low for ρ = 0.1");
     let quality = top_k_quality(&approx_result, &ground_truth, 20);
-    assert!(quality.avg > 0.8, "top-20 average quality {:.3} too low", quality.avg);
+    assert!(
+        quality.avg > 0.8,
+        "top-20 average quality {:.3} too low",
+        quality.avg
+    );
 }
 
 #[test]

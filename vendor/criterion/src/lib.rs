@@ -1,0 +1,208 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! With no crates.io access, the benches link against this vendored
+//! harness instead: same macros and types (`criterion_group!`,
+//! `criterion_main!`, [`Criterion`], [`BenchmarkId`], [`Bencher::iter`]),
+//! but the statistics are a plain trimmed mean over wall-clock samples
+//! printed to stdout — no HTML reports, outlier analysis or comparisons.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs closures and records wall-clock samples.
+pub struct Bencher {
+    samples: usize,
+    time_budget: Duration,
+    last: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Benchmark `f`: one warm-up call, then up to the configured number of
+    /// timed samples (cut off by the group's measurement time).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+            if budget_start.elapsed() > self.time_budget {
+                break;
+            }
+        }
+        times.sort_unstable();
+        // Trimmed mean: drop the top/bottom 20% when enough samples exist.
+        let trim = times.len() / 5;
+        let kept = &times[trim..times.len() - trim];
+        let total: Duration = kept.iter().sum();
+        self.last = Some(BenchStats {
+            mean: total / kept.len().max(1) as u32,
+            samples: times.len(),
+        });
+    }
+}
+
+/// Summary of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Trimmed mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            time_budget: self.measurement_time,
+            last: None,
+        };
+        let start = Instant::now();
+        f(&mut bencher);
+        match bencher.last {
+            Some(stats) => println!(
+                "bench {}/{label}: {:?}/iter over {} samples",
+                self.name, stats.mean, stats.samples
+            ),
+            None => println!("bench {}/{label}: {:?} total", self.name, start.elapsed()),
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream writes reports here; this harness prints as
+    /// it goes, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("top").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

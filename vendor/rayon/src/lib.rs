@@ -1,0 +1,156 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! With no crates.io access, the batch pipeline links against this
+//! vendored shim: `slice.par_iter().map(f).collect()` with the familiar
+//! trait names, executed with `std::thread::scope` over contiguous chunks.
+//! Results are concatenated in chunk order, so `collect` preserves input
+//! order exactly like rayon's indexed parallel iterators — a property the
+//! batch engine's determinism proof relies on.
+//!
+//! Work is split across `available_parallelism` threads; small inputs
+//! (below [`SEQUENTIAL_CUTOFF`]) run inline to avoid paying thread-spawn
+//! latency for tiny batches.
+
+use std::num::NonZeroUsize;
+
+/// Inputs shorter than this are mapped on the calling thread.
+pub const SEQUENTIAL_CUTOFF: usize = 32;
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Marker trait mirroring rayon's; the concrete adapters carry the methods.
+pub trait ParallelIterator {}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<T> ParallelIterator for ParIter<'_, T> {}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` (executed in parallel on `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a lazily evaluated parallel map.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<T, F> ParallelIterator for ParMap<'_, T, F> {}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().expect("parallel map worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in chunk_results {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), items.len());
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items = [1u32, 2, 3];
+        let out: Vec<u32> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closures_can_borrow_shared_state() {
+        let base: Vec<u64> = (0..1_000).collect();
+        let table = vec![10u64; 1_000];
+        let out: Vec<u64> = base.par_iter().map(|&x| x + table[x as usize]).collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 10));
+    }
+}

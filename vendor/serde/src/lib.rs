@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on a handful of plain
+//! data types so they stay wire-ready, but nothing in the tree actually
+//! serialises through serde (JSON exports are hand-written).  With no
+//! crates.io access, this vendored stub keeps those derives compiling:
+//! the traits are markers and the derive macros emit empty impls.
+//! Swapping in the real serde later is a one-line manifest change.
+
+/// Marker for types that would be serialisable with real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserialisable with real serde.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,52 @@
+//! Derive macros for the vendored serde stub: they emit empty marker-trait
+//! impls.  Implemented directly on `proc_macro` tokens (no syn/quote —
+//! those are not available offline), which is enough for the plain
+//! non-generic structs and enums this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the type a derive was applied to: the identifier
+/// following the first `struct` or `enum` keyword (attributes and
+/// visibility before it are skipped token-wise).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(
+                            tokens.next(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        ) {
+                            panic!(
+                                "the vendored serde stub does not support generic types \
+                                 (deriving on `{name}`)"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contains no `struct` or `enum`");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
