@@ -15,16 +15,16 @@ use std::collections::HashMap;
 /// clustering matches [`crate::StaticScan`] at every point in time.
 #[derive(Clone, Debug)]
 pub struct ExactDynScan {
-    eps: f64,
-    mu: usize,
-    measure: SimilarityMeasure,
-    graph: DynGraph,
+    pub(crate) eps: f64,
+    pub(crate) mu: usize,
+    pub(crate) measure: SimilarityMeasure,
+    pub(crate) graph: DynGraph,
     /// Exact `|N[u] ∩ N[v]|` per edge.
-    intersections: HashMap<EdgeKey, u32>,
-    labels: HashMap<EdgeKey, EdgeLabel>,
-    updates: u64,
+    pub(crate) intersections: HashMap<EdgeKey, u32>,
+    pub(crate) labels: HashMap<EdgeKey, EdgeLabel>,
+    pub(crate) updates: u64,
     /// Total neighbourhood probes performed (the baseline's cost driver).
-    probes: u64,
+    pub(crate) probes: u64,
 }
 
 impl ExactDynScan {

@@ -8,7 +8,7 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Fixed-point quantisation of a similarity value so it can be ordered and
 /// hashed exactly (12 decimal digits of precision).
-fn quantise(sigma: f64) -> u64 {
+pub(crate) fn quantise(sigma: f64) -> u64 {
     (sigma * 1e12).round() as u64
 }
 
@@ -22,13 +22,13 @@ fn quantise(sigma: f64) -> u64 {
 /// per-update behaviour the paper ascribes to hSCAN.
 #[derive(Clone, Debug)]
 pub struct IndexedDynScan {
-    inner: ExactDynScan,
-    default_eps: f64,
-    default_mu: usize,
+    pub(crate) inner: ExactDynScan,
+    pub(crate) default_eps: f64,
+    pub(crate) default_mu: usize,
     /// Per-vertex neighbours ordered by (quantised similarity, neighbour).
-    order: Vec<BTreeSet<(u64, VertexId)>>,
+    pub(crate) order: Vec<BTreeSet<(u64, VertexId)>>,
     /// Current quantised similarity per edge (to locate entries for removal).
-    current: HashMap<EdgeKey, u64>,
+    pub(crate) current: HashMap<EdgeKey, u64>,
 }
 
 impl IndexedDynScan {

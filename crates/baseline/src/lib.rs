@@ -23,6 +23,7 @@
 
 pub mod exact_dyn;
 pub mod indexed_dyn;
+pub mod snapshot;
 pub mod static_scan;
 
 pub use exact_dyn::ExactDynScan;

@@ -1,0 +1,273 @@
+//! Checkpoint/restore ([`Snapshot`]) for the exact dynamic baselines, so
+//! the restart experiments can compare all four algorithms on the same
+//! footing.
+//!
+//! [`ExactDynScan`] serialises its parameters, work counters, graph
+//! topology and the exact per-edge intersection counts and labels — the
+//! whole state is exact-valued, so restore is a pure decode with no
+//! estimator or RNG concerns.  [`IndexedDynScan`] reuses the inner
+//! encoding and rebuilds the similarity-ordered neighbour index from the
+//! restored counts (the index is a pure function of them, exactly like
+//! `CC-Str(G_core)` is rebuilt from the labelling in `dynscan-core`).
+
+use crate::exact_dyn::ExactDynScan;
+use crate::indexed_dyn::{quantise, IndexedDynScan};
+use dynscan_core::Snapshot;
+use dynscan_graph::snapshot::{read_document, write_document};
+use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError};
+use dynscan_sim::{EdgeLabel, SimilarityMeasure};
+use std::collections::{BTreeSet, HashMap};
+
+/// Section tags of the baseline snapshot payloads.
+mod section {
+    pub const PARAMS: u32 = 0x6250_6101; // baseline "Pa."
+    pub const GRAPH: u32 = 0x6247_7201; // baseline "Gr."
+    pub const EDGES: u32 = 0x6245_6401; // baseline "Ed."
+    pub const INDEX: u32 = 0x6249_7801; // baseline "Ix."
+}
+
+fn write_exact_payload(algo: &ExactDynScan, w: &mut SnapWriter) {
+    w.section(section::PARAMS, |s| {
+        s.f64(algo.eps);
+        s.u64(algo.mu as u64);
+        s.u8(match algo.measure {
+            SimilarityMeasure::Jaccard => 0,
+            SimilarityMeasure::Cosine => 1,
+        });
+        s.u64(algo.updates);
+        s.u64(algo.probes);
+    });
+    w.section(section::GRAPH, |s| algo.graph.write_snapshot(s));
+    w.section(section::EDGES, |s| {
+        let mut edges: Vec<(EdgeKey, u32, EdgeLabel)> = algo
+            .intersections
+            .iter()
+            .map(|(&k, &a)| (k, a, algo.labels[&k]))
+            .collect();
+        edges.sort_unstable_by_key(|&(k, _, _)| k);
+        s.len_prefix(edges.len());
+        for (key, a, label) in edges {
+            s.edge(key);
+            s.u32(a);
+            s.bool(label.is_similar());
+        }
+    });
+}
+
+fn read_exact_payload(r: &mut SnapReader<'_>) -> Result<ExactDynScan, SnapshotError> {
+    let mut s = r.section(section::PARAMS)?;
+    let eps = s.f64()?;
+    let mu = s.u64()? as usize;
+    let measure = match s.u8()? {
+        0 => SimilarityMeasure::Jaccard,
+        1 => SimilarityMeasure::Cosine,
+        _ => return Err(SnapshotError::Corrupt("unknown similarity measure tag")),
+    };
+    let updates = s.u64()?;
+    let probes = s.u64()?;
+    s.finish()?;
+    if !(eps > 0.0 && eps <= 1.0) || mu < 1 {
+        return Err(SnapshotError::Corrupt("baseline parameters out of range"));
+    }
+
+    let mut s = r.section(section::GRAPH)?;
+    let graph = DynGraph::read_snapshot(&mut s)?;
+
+    let mut s = r.section(section::EDGES)?;
+    let count = s.len_prefix()?;
+    let mut intersections: HashMap<EdgeKey, u32> = HashMap::with_capacity(count);
+    let mut labels: HashMap<EdgeKey, EdgeLabel> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let key = s.edge()?;
+        let a = s.u32()?;
+        let label = if s.bool()? {
+            EdgeLabel::Similar
+        } else {
+            EdgeLabel::Dissimilar
+        };
+        let (u, v) = key.endpoints();
+        if !graph.has_edge(u, v) {
+            return Err(SnapshotError::Corrupt("count for a non-existent edge"));
+        }
+        // `a = |N[u] ∩ N[v]|` counts both endpoints of an existing edge, so
+        // it is at least 2 and at most the smaller closed neighbourhood.
+        let bound = graph.closed_degree(u).min(graph.closed_degree(v));
+        if (a as usize) < 2 || a as usize > bound {
+            return Err(SnapshotError::Corrupt("intersection count out of bounds"));
+        }
+        if intersections.insert(key, a).is_some() {
+            return Err(SnapshotError::Corrupt("duplicate edge entry"));
+        }
+        labels.insert(key, label);
+    }
+    s.finish()?;
+    if intersections.len() != graph.num_edges() {
+        return Err(SnapshotError::Corrupt("edge without a maintained count"));
+    }
+    Ok(ExactDynScan {
+        eps,
+        mu,
+        measure,
+        graph,
+        intersections,
+        labels,
+        updates,
+        probes,
+    })
+}
+
+impl Snapshot for ExactDynScan {
+    const ALGO_TAG: u32 = 3;
+
+    fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError> {
+        let mut payload = SnapWriter::new();
+        write_exact_payload(self, &mut payload);
+        write_document(w, Self::ALGO_TAG, &payload.into_bytes())
+    }
+
+    fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
+        let payload = read_document(r, Self::ALGO_TAG)?;
+        let mut reader = SnapReader::new(&payload);
+        let algo = read_exact_payload(&mut reader)?;
+        reader.finish()?;
+        Ok(algo)
+    }
+}
+
+impl Snapshot for IndexedDynScan {
+    const ALGO_TAG: u32 = 4;
+
+    fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError> {
+        let mut payload = SnapWriter::new();
+        write_exact_payload(&self.inner, &mut payload);
+        payload.section(section::INDEX, |s| {
+            s.f64(self.default_eps);
+            s.u64(self.default_mu as u64);
+        });
+        write_document(w, Self::ALGO_TAG, &payload.into_bytes())
+    }
+
+    fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
+        let payload = read_document(r, Self::ALGO_TAG)?;
+        let mut reader = SnapReader::new(&payload);
+        let inner = read_exact_payload(&mut reader)?;
+        let mut s = reader.section(section::INDEX)?;
+        let default_eps = s.f64()?;
+        let default_mu = s.u64()? as usize;
+        s.finish()?;
+        reader.finish()?;
+        // The similarity-ordered index is a pure function of the exact
+        // counts: rebuild it instead of serialising the BTree shape.
+        let mut order: Vec<BTreeSet<(u64, dynscan_graph::VertexId)>> = Vec::new();
+        order.resize_with(inner.graph().num_vertices(), BTreeSet::new);
+        let mut current: HashMap<EdgeKey, u64> = HashMap::with_capacity(inner.graph().num_edges());
+        for key in inner.graph().edges() {
+            let sigma = inner
+                .similarity(key)
+                .expect("restored edge has a maintained count");
+            let q = quantise(sigma);
+            let (a, b) = key.endpoints();
+            order[a.index()].insert((q, b));
+            order[b.index()].insert((q, a));
+            current.insert(key, q);
+        }
+        Ok(IndexedDynScan {
+            inner,
+            default_eps,
+            default_mu,
+            order,
+            current,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynscan_core::fixtures;
+    use dynscan_core::DynamicClustering;
+    use dynscan_graph::{GraphUpdate, VertexId};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn build_exact() -> ExactDynScan {
+        let g = fixtures::two_cliques_with_hub();
+        let mut algo = ExactDynScan::jaccard(0.29, 5);
+        for e in g.edges() {
+            algo.insert_edge(e.lo(), e.hi());
+        }
+        algo.delete_edge(v(4), v(5)).unwrap();
+        algo
+    }
+
+    #[test]
+    fn exact_baseline_roundtrips_canonically() {
+        let live = build_exact();
+        let bytes = live.checkpoint_bytes();
+        let restored = ExactDynScan::restore(&bytes[..]).expect("restore");
+        assert_eq!(restored.checkpoint_bytes(), bytes);
+        assert_eq!(restored.updates_applied(), live.updates_applied());
+        assert_eq!(restored.probes(), live.probes());
+        for key in live.graph().edges() {
+            assert_eq!(restored.similarity(key), live.similarity(key));
+            assert_eq!(restored.label(key), live.label(key));
+        }
+    }
+
+    #[test]
+    fn exact_baseline_resumes_identically() {
+        let mut live = build_exact();
+        let mut restored = ExactDynScan::restore(&live.checkpoint_bytes()[..]).unwrap();
+        let continuation = [
+            GraphUpdate::Insert(v(4), v(5)),
+            GraphUpdate::Delete(v(0), v(1)),
+            GraphUpdate::Insert(v(13), v(7)),
+        ];
+        for &update in &continuation {
+            assert_eq!(live.apply_update(update), restored.apply_update(update));
+        }
+        assert_eq!(restored.checkpoint_bytes(), live.checkpoint_bytes());
+    }
+
+    #[test]
+    fn indexed_baseline_roundtrips_with_rebuilt_index() {
+        let g = fixtures::two_cliques_with_hub();
+        let mut live = IndexedDynScan::jaccard(0.29, 5);
+        for e in g.edges() {
+            live.insert_edge(e.lo(), e.hi());
+        }
+        live.delete_edge(v(8), v(9));
+        let bytes = live.checkpoint_bytes();
+        let restored = IndexedDynScan::restore(&bytes[..]).expect("restore");
+        assert_eq!(restored.checkpoint_bytes(), bytes);
+        // On-the-fly queries must agree for several (ε, μ) pairs.
+        for (eps, mu) in [(0.29, 5usize), (0.5, 3), (0.8, 2)] {
+            let a = live.cluster_with(eps, mu);
+            let b = restored.cluster_with(eps, mu);
+            for x in live.graph().vertices() {
+                assert_eq!(a.role(x), b.role(x), "ε = {eps}, μ = {mu}, vertex {x}");
+            }
+        }
+        for x in live.graph().vertices() {
+            assert_eq!(
+                restored.similar_degree(x, 0.29),
+                live.similar_degree(x, 0.29)
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_tags_are_distinct() {
+        let exact = build_exact();
+        let bytes = exact.checkpoint_bytes();
+        assert!(matches!(
+            IndexedDynScan::restore(&bytes[..]),
+            Err(SnapshotError::AlgorithmMismatch {
+                expected: 4,
+                found: 3
+            })
+        ));
+    }
+}

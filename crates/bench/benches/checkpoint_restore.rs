@@ -1,0 +1,55 @@
+//! The checkpoint/restore benchmark: measure checkpoint, restore and
+//! rebuild-from-edge-stream for every algorithm, verify bit-identical
+//! resume, print the comparison table and export `BENCH_checkpoint.json`
+//! at the workspace root.
+//!
+//! ```text
+//! cargo bench -p dynscan-bench --bench checkpoint_restore
+//! ```
+
+use dynscan_bench::{
+    checkpoint_rows_to_json, checkpoint_rows_to_table, run_checkpoint_vs_rebuild,
+    CheckpointBenchConfig,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        CheckpointBenchConfig::quick()
+    } else {
+        CheckpointBenchConfig::default_scale()
+    };
+    eprintln!(
+        "checkpoint_restore: n = {}, m0 = {}, warmup {} × {} updates",
+        config.num_vertices, config.initial_edges, config.warmup_batches, config.batch_size
+    );
+    let rows = run_checkpoint_vs_rebuild(&config);
+    print!("{}", checkpoint_rows_to_table(&rows));
+
+    // Hard gates: every row must resume bit-identically, and restoring a
+    // DynStrClu instance must beat rebuild-from-edge-stream ≥ 5×.
+    for row in &rows {
+        assert!(
+            row.bit_identical,
+            "{} ({}) restored instance diverged from the live one",
+            row.algorithm, row.mode
+        );
+        if row.algorithm == "DynStrClu" {
+            assert!(
+                row.restore_speedup >= 5.0,
+                "{} ({}) restore speedup {:.1}× below the 5× bar",
+                row.algorithm,
+                row.mode,
+                row.restore_speedup
+            );
+        }
+    }
+
+    let json = checkpoint_rows_to_json(&config, &rows);
+    let out_path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_checkpoint.json");
+    std::fs::write(&out_path, json).expect("write BENCH_checkpoint.json");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -1,0 +1,220 @@
+//! The cross-process checkpoint/restore gate used by CI, plus the golden
+//! snapshot fixture generator.
+//!
+//! The point of the two-command dance is that restore happens in a *fresh
+//! process* — nothing can leak through in-memory state, the snapshot file
+//! is the only channel:
+//!
+//! ```text
+//! # Phase 1: build a workload, checkpoint mid-stream to <dir>/snapshot.bin,
+//! # finish the stream in-process and record the expected final clustering.
+//! snapshot_ci checkpoint <dir>
+//!
+//! # Phase 2 (fresh process): restore from <dir>/snapshot.bin, replay the
+//! # same continuation, and fail unless the final clustering and the final
+//! # checkpoint bytes match phase 1 exactly.
+//! snapshot_ci resume <dir>
+//! ```
+//!
+//! The workload is regenerated deterministically from a fixed seed in both
+//! phases, so the only state crossing the process boundary is the snapshot
+//! itself.
+//!
+//! ```text
+//! # Maintain the committed format-stability fixture:
+//! snapshot_ci golden write tests/fixtures/golden_snapshot_v1.bin
+//! snapshot_ci golden check tests/fixtures/golden_snapshot_v1.bin
+//! ```
+
+use dynscan_bench::clustering_fingerprint;
+use dynscan_bench::snapshot::make_workload;
+use dynscan_bench::CheckpointBenchConfig;
+use dynscan_core::{DynStrClu, DynamicClustering, Params, Snapshot};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn ci_config() -> CheckpointBenchConfig {
+    CheckpointBenchConfig {
+        num_vertices: 800,
+        initial_edges: 3_200,
+        warmup_batches: 10,
+        continuation_batches: 6,
+        batch_size: 128,
+        seed: 0x00c1_5eed,
+    }
+}
+
+fn ci_params(seed: u64) -> Params {
+    // Sampled mode: the hardest configuration to resume bit-identically.
+    Params::jaccard(0.3, 4).with_rho(0.25).with_seed(seed)
+}
+
+/// Build the instance up to the checkpoint moment (phase 1 only).
+fn build_to_checkpoint(config: &CheckpointBenchConfig) -> DynStrClu {
+    let (initial, warmup, _) = make_workload(config);
+    let mut algo = DynStrClu::new(ci_params(config.seed));
+    for &(u, v) in &initial {
+        algo.apply_batch(&[dynscan_core::GraphUpdate::Insert(u, v)]);
+    }
+    for batch in &warmup {
+        algo.apply_batch(batch);
+    }
+    algo
+}
+
+/// Replay the continuation and return (fingerprint, final checkpoint).
+fn run_continuation(algo: &mut DynStrClu, config: &CheckpointBenchConfig) -> (String, Vec<u8>) {
+    let (_, _, continuation) = make_workload(config);
+    for batch in &continuation {
+        algo.apply_batch(batch);
+    }
+    (
+        clustering_fingerprint(&algo.current_clustering()),
+        algo.checkpoint_bytes(),
+    )
+}
+
+fn phase_checkpoint(dir: &Path) -> Result<(), String> {
+    let config = ci_config();
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut algo = build_to_checkpoint(&config);
+    let snapshot = algo.checkpoint_bytes();
+    std::fs::write(dir.join("snapshot.bin"), &snapshot)
+        .map_err(|e| format!("write snapshot.bin: {e}"))?;
+    let (fingerprint, final_bytes) = run_continuation(&mut algo, &config);
+    std::fs::write(dir.join("expected_fingerprint.txt"), fingerprint)
+        .map_err(|e| format!("write expected_fingerprint.txt: {e}"))?;
+    std::fs::write(dir.join("expected_final.bin"), final_bytes)
+        .map_err(|e| format!("write expected_final.bin: {e}"))?;
+    eprintln!(
+        "snapshot_ci: checkpointed {} edges mid-workload into {}",
+        algo.graph().num_edges(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn phase_resume(dir: &Path) -> Result<(), String> {
+    let config = ci_config();
+    let snapshot = std::fs::read(dir.join("snapshot.bin"))
+        .map_err(|e| format!("read snapshot.bin (run `snapshot_ci checkpoint` first): {e}"))?;
+    let mut algo = DynStrClu::restore(&snapshot[..]).map_err(|e| format!("restore failed: {e}"))?;
+    let (fingerprint, final_bytes) = run_continuation(&mut algo, &config);
+    let expected_fingerprint = std::fs::read_to_string(dir.join("expected_fingerprint.txt"))
+        .map_err(|e| format!("read expected_fingerprint.txt: {e}"))?;
+    if fingerprint != expected_fingerprint {
+        return Err(
+            "final clustering of the restored run differs from the uninterrupted run".into(),
+        );
+    }
+    let expected_final = std::fs::read(dir.join("expected_final.bin"))
+        .map_err(|e| format!("read expected_final.bin: {e}"))?;
+    if final_bytes != expected_final {
+        return Err(
+            "final checkpoint bytes of the restored run differ from the uninterrupted run".into(),
+        );
+    }
+    eprintln!(
+        "snapshot_ci: fresh-process resume matched the uninterrupted run \
+         (clustering + {} final state bytes)",
+        final_bytes.len()
+    );
+    Ok(())
+}
+
+/// The canonical instance behind the committed golden fixture: small and
+/// fully deterministic, in sampled mode so estimator counters are
+/// exercised.
+fn golden_instance() -> DynStrClu {
+    let params = Params::jaccard(0.35, 3).with_rho(0.2).with_seed(0x601d);
+    let mut algo = DynStrClu::new(params);
+    let updates: Vec<dynscan_core::GraphUpdate> = {
+        use dynscan_core::{GraphUpdate, VertexId};
+        let v = VertexId;
+        let mut u = Vec::new();
+        // Two tight 5-cliques bridged by a hub, then some churn.
+        for base in [0u32, 5] {
+            for a in base..base + 5 {
+                for b in (a + 1)..base + 5 {
+                    u.push(GraphUpdate::Insert(v(a), v(b)));
+                }
+            }
+        }
+        for x in [0u32, 1, 5, 6] {
+            u.push(GraphUpdate::Insert(v(10), v(x)));
+        }
+        u.push(GraphUpdate::Delete(v(0), v(1)));
+        u.push(GraphUpdate::Insert(v(0), v(1)));
+        u.push(GraphUpdate::Delete(v(5), v(9)));
+        u
+    };
+    for batch in updates.chunks(7) {
+        algo.apply_batch(batch);
+    }
+    algo
+}
+
+fn golden(action: &str, path: &Path) -> Result<(), String> {
+    let bytes = golden_instance().checkpoint_bytes();
+    match action {
+        "write" => {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("create {}: {e}", parent.display()))?;
+            }
+            std::fs::write(path, &bytes).map_err(|e| format!("write fixture: {e}"))?;
+            eprintln!(
+                "snapshot_ci: wrote {} fixture bytes to {}",
+                bytes.len(),
+                path.display()
+            );
+            Ok(())
+        }
+        "check" => {
+            let committed =
+                std::fs::read(path).map_err(|e| format!("read fixture {}: {e}", path.display()))?;
+            let restored = DynStrClu::restore(&committed[..])
+                .map_err(|e| format!("committed fixture no longer restores: {e}"))?;
+            if restored.checkpoint_bytes() != committed {
+                return Err("fixture is not a fixed point of checkpoint∘restore".into());
+            }
+            if committed != bytes {
+                // Both wire-format changes and semantic algorithm changes
+                // (e.g. a threshold-formula fix that alters DT state) land
+                // here — the point is that neither may happen *silently*.
+                return Err(format!(
+                    "snapshot bytes drifted: rebuilding the canonical instance produces \
+                     different bytes than {} — if the change is intentional, regenerate \
+                     with `snapshot_ci golden write`; additionally bump FORMAT_VERSION \
+                     if (and only if) the wire layout itself changed",
+                    path.display()
+                ));
+            }
+            eprintln!(
+                "snapshot_ci: golden fixture matches ({} bytes)",
+                bytes.len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown golden action `{other}` (use write|check)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, dir] if cmd == "checkpoint" => phase_checkpoint(Path::new(dir)),
+        [cmd, dir] if cmd == "resume" => phase_resume(Path::new(dir)),
+        [cmd, action, path] if cmd == "golden" => golden(action, Path::new(path)),
+        _ => Err(
+            "usage: snapshot_ci checkpoint <dir> | resume <dir> | golden write|check <path>".into(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("snapshot_ci: FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod export;
 pub mod runner;
 pub mod scale;
+pub mod snapshot;
 
 pub use batch::{
     clustering_fingerprint, rows_to_json, rows_to_table, run_batch_throughput, BatchBenchConfig,
@@ -32,3 +33,7 @@ pub use batch::{
 };
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;
+pub use snapshot::{
+    checkpoint_rows_to_json, checkpoint_rows_to_table, run_checkpoint_vs_rebuild,
+    CheckpointBenchConfig, CheckpointBenchRow,
+};

@@ -107,6 +107,32 @@ impl HdtConnectivity {
         }
     }
 
+    /// Deterministically rebuild a connectivity structure from an edge
+    /// list: the snapshot-restore fast path for `CC-Str(G_core)`.
+    ///
+    /// The HDT hierarchy's internal shape (edge levels, treap layout)
+    /// depends on the full insert/delete history, so instead of
+    /// serialising it the snapshot subsystem records only the sim-core
+    /// edge set and replays it here in canonical (sorted) order with the
+    /// original seed.  Connectivity semantics — which vertices share a
+    /// component — are a pure function of the edge set, so every
+    /// `connected`/`cluster_group_by` answer after restore matches the
+    /// uninterrupted instance (component *ids* are only ever guaranteed
+    /// stable between two consecutive updates, see [`ComponentId`]).
+    pub fn rebuild_from_edges<I>(n: usize, seed: u64, edges: I) -> Self
+    where
+        I: IntoIterator<Item = EdgeKey>,
+    {
+        let mut keys: Vec<EdgeKey> = edges.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut conn = HdtConnectivity::with_seed(n, seed);
+        for key in keys {
+            conn.insert_edge(key.lo(), key.hi());
+        }
+        conn
+    }
+
     fn ensure_level(&mut self, i: usize) {
         while self.levels.len() <= i {
             let seed = self.seed.wrapping_add(self.levels.len() as u64);
@@ -397,6 +423,52 @@ mod tests {
         assert!(c.connected(v(10), v(20)));
         assert!(c.num_vertices() >= 21);
         assert!(!c.connected(v(10), v(5)));
+    }
+
+    #[test]
+    fn rebuild_from_edges_reproduces_connectivity() {
+        // Build with history (inserts + deletes), then rebuild from the
+        // surviving edge set: the component partition must be identical.
+        let mut live = HdtConnectivity::with_seed(8, 42);
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (2, 3),
+            (6, 7),
+        ] {
+            live.insert_edge(v(a), v(b));
+        }
+        live.delete_edge(v(2), v(3));
+        live.delete_edge(v(4), v(5));
+        let edges: Vec<EdgeKey> = [(0, 1), (1, 2), (2, 0), (3, 4), (5, 3), (6, 7)]
+            .into_iter()
+            .map(|(a, b)| EdgeKey::new(v(a), v(b)))
+            .collect();
+        let mut rebuilt = HdtConnectivity::rebuild_from_edges(8, 42, edges);
+        assert_eq!(rebuilt.num_edges(), live.num_edges());
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                assert_eq!(
+                    rebuilt.connected(v(a), v(b)),
+                    live.connected(v(a), v(b)),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
+        // Rebuilding twice from the same edge set is fully deterministic,
+        // down to component ids.
+        let mut again = HdtConnectivity::rebuild_from_edges(8, 42, rebuilt_edges(&rebuilt));
+        for a in 0..8u32 {
+            assert_eq!(again.component_id(v(a)), rebuilt.component_id(v(a)));
+        }
+    }
+
+    fn rebuilt_edges(c: &HdtConnectivity) -> Vec<EdgeKey> {
+        c.edges.keys().copied().collect()
     }
 
     #[test]

@@ -47,6 +47,11 @@ impl VertexAux {
         self.similar_neighbours.contains(&x)
     }
 
+    /// Whether `x` is a similar *core* neighbour (O(1)).
+    pub fn is_similar_core_neighbour(&self, x: VertexId) -> bool {
+        self.similar_core_neighbours.contains(&x)
+    }
+
     /// Record that the edge towards `x` became similar.
     /// Returns `true` if this was a change.
     pub(crate) fn add_similar(&mut self, x: VertexId) -> bool {

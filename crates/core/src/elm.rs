@@ -131,11 +131,11 @@ impl MemoryFootprint for BatchScratch {
 /// [`DynElm::clustering`].
 #[derive(Clone, Debug)]
 pub struct DynElm {
-    params: Params,
-    graph: DynGraph,
-    labels: HashMap<EdgeKey, EdgeLabel>,
-    dt: DtRegistry,
-    strategy: LabellingStrategy,
+    pub(crate) params: Params,
+    pub(crate) graph: DynGraph,
+    pub(crate) labels: HashMap<EdgeKey, EdgeLabel>,
+    pub(crate) dt: DtRegistry,
+    pub(crate) strategy: LabellingStrategy,
     /// Invocation count per **live** edge: drives the per-edge δ schedule
     /// and, together with the batch epoch mixed into the stream seed,
     /// the deterministic random stream of each re-estimation.  Entries are
@@ -143,9 +143,9 @@ pub struct DynElm {
     /// prevented by the epoch, not by keeping tombstones, so memory is
     /// bounded by the *current* edge count rather than every edge ever
     /// seen.
-    relabel_counts: HashMap<EdgeKey, u64>,
-    scratch: BatchScratch,
-    stats: ElmStats,
+    pub(crate) relabel_counts: HashMap<EdgeKey, u64>,
+    pub(crate) scratch: BatchScratch,
+    pub(crate) stats: ElmStats,
 }
 
 impl DynElm {

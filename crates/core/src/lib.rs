@@ -58,6 +58,7 @@ pub mod cluster;
 pub mod elm;
 pub mod fixtures;
 pub mod params;
+pub mod snapshot;
 pub mod strclu;
 pub mod traits;
 
@@ -66,8 +67,8 @@ pub use cluster::{extract_clustering, StrCluResult, VertexRole};
 pub use elm::{DynElm, ElmStats, FlippedEdge};
 pub use params::Params;
 pub use strclu::DynStrClu;
-pub use traits::{BatchUpdate, DynamicClustering};
+pub use traits::{BatchUpdate, DynamicClustering, Snapshot};
 
 // Re-export the vocabulary types users need alongside the algorithms.
-pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, VertexId};
+pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, SnapshotError, VertexId};
 pub use dynscan_sim::{EdgeLabel, SimilarityMeasure};

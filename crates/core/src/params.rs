@@ -106,30 +106,41 @@ impl Params {
         self
     }
 
-    /// Validate the parameter combination, panicking with a description of
-    /// the violated constraint (mirrors the constraints of Sections 2.3/6).
-    pub fn validate(&self) {
-        assert!(
-            self.eps > 0.0 && self.eps <= 1.0,
-            "ε must be in (0, 1], got {}",
-            self.eps
-        );
-        assert!(self.mu >= 1, "μ must be at least 1");
+    /// Check the parameter combination against the constraints of
+    /// Sections 2.3/6, returning a description of the violated constraint.
+    ///
+    /// The single source of truth for parameter validity: the panicking
+    /// [`Params::validate`] and the error-returning snapshot-restore path
+    /// both go through here, so they can never drift apart.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(self.eps > 0.0 && self.eps <= 1.0) {
+            return Err(format!("ε must be in (0, 1], got {}", self.eps));
+        }
+        if self.mu < 1 {
+            return Err("μ must be at least 1".into());
+        }
         let rho_cap = 1.0f64.min(1.0 / self.eps - 1.0);
-        assert!(
-            self.rho >= 0.0 && (self.rho < rho_cap || (self.rho == 0.0 && self.exact_labels)),
-            "ρ = {} outside [0, min(1, 1/ε − 1)) = [0, {rho_cap})",
-            self.rho
-        );
-        assert!(
-            self.rho > 0.0 || self.exact_labels,
-            "ρ = 0 requires exact labelling mode"
-        );
-        assert!(
-            self.delta_star > 0.0 && self.delta_star < 1.0,
-            "δ* must be in (0, 1), got {}",
-            self.delta_star
-        );
+        if !(self.rho >= 0.0 && (self.rho < rho_cap || (self.rho == 0.0 && self.exact_labels))) {
+            return Err(format!(
+                "ρ = {} outside [0, min(1, 1/ε − 1)) = [0, {rho_cap})",
+                self.rho
+            ));
+        }
+        if !(self.rho > 0.0 || self.exact_labels) {
+            return Err("ρ = 0 requires exact labelling mode".into());
+        }
+        if !(self.delta_star > 0.0 && self.delta_star < 1.0) {
+            return Err(format!("δ* must be in (0, 1), got {}", self.delta_star));
+        }
+        Ok(())
+    }
+
+    /// Validate the parameter combination, panicking with a description of
+    /// the violated constraint (see [`Params::try_validate`]).
+    pub fn validate(&self) {
+        if let Err(violation) = self.try_validate() {
+            panic!("{violation}");
+        }
     }
 }
 

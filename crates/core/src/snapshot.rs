@@ -1,0 +1,563 @@
+//! Checkpoint/restore for [`DynElm`] and [`DynStrClu`] (the [`Snapshot`]
+//! trait; see `dynscan_graph::snapshot` for the wire format).
+//!
+//! # What is serialised
+//!
+//! A [`DynElm`] snapshot holds every piece of state its future behaviour
+//! depends on:
+//!
+//! * the algorithm parameters (ε, μ, ρ, δ*, measure, mode, seed);
+//! * the work counters, **including the batch epoch** that is mixed into
+//!   every estimator stream seed — restoring it is what makes future
+//!   sampled relabel decisions draw the same random bits as the
+//!   uninterrupted instance;
+//! * the graph topology with its exact adjacency slot order (positional
+//!   uniform sampling must resume on identical slot sequences);
+//! * the ρ-approximate edge labelling;
+//! * the per-edge estimator invocation counters (the δₖ schedule position
+//!   and stream-derivation input of every edge);
+//! * the full distributed-tracking state: shared counters, per-vertex
+//!   checkpoint heaps, and every coordinator's mid-round protocol state.
+//!
+//! A [`DynStrClu`] snapshot appends the per-vertex auxiliary information
+//! (`SimCnt`, core flags, similar / similar-core neighbour sets).  The
+//! `CC-Str(G_core)` connectivity structure is **not** serialised: its
+//! internal HDT hierarchy is history-dependent, but its semantics are a
+//! pure function of the sim-core edge set, so restore rebuilds it
+//! deterministically from the restored labelling + core flags
+//! ([`HdtConnectivity::rebuild_from_edges`]) — the fast path that keeps
+//! snapshots small and the restore linear.
+//!
+//! # Validation
+//!
+//! Restore cross-checks the sections against each other (labels ↔ edges,
+//! relabel counters ↔ edges, DT instances ↔ edges, aux sets ↔ labels,
+//! core flags ↔ SimCnt/μ) so a corrupt or hand-edited snapshot fails with
+//! a [`SnapshotError`] instead of producing an instance that silently
+//! violates the algorithm's invariants.
+
+use crate::aux::VertexAux;
+use crate::elm::{DynElm, ElmStats};
+use crate::params::Params;
+use crate::strclu::DynStrClu;
+use crate::traits::Snapshot;
+use dynscan_conn::HdtConnectivity;
+use dynscan_dt::DtRegistry;
+use dynscan_graph::snapshot::{read_document, write_document};
+use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError, VertexId};
+use dynscan_sim::{EdgeLabel, LabellingStrategy, SimilarityMeasure};
+use std::collections::HashMap;
+
+/// Section tags of the core snapshot payloads.
+mod section {
+    pub const PARAMS: u32 = 0x5061_7201; // "Par."
+    pub const STATS: u32 = 0x5374_6101; // "Sta."
+    pub const GRAPH: u32 = 0x4772_6101; // "Gra."
+    pub const LABELS: u32 = 0x4c61_6201; // "Lab."
+    pub const RELABELS: u32 = 0x5265_6c01; // "Rel."
+    pub const DT: u32 = 0x4474_7201; // "Dtr."
+    pub const AUX: u32 = 0x4175_7801; // "Aux."
+}
+
+fn measure_tag(measure: SimilarityMeasure) -> u8 {
+    match measure {
+        SimilarityMeasure::Jaccard => 0,
+        SimilarityMeasure::Cosine => 1,
+    }
+}
+
+fn measure_from_tag(tag: u8) -> Result<SimilarityMeasure, SnapshotError> {
+    match tag {
+        0 => Ok(SimilarityMeasure::Jaccard),
+        1 => Ok(SimilarityMeasure::Cosine),
+        _ => Err(SnapshotError::Corrupt("unknown similarity measure tag")),
+    }
+}
+
+fn write_params(w: &mut SnapWriter, p: &Params) {
+    w.section(section::PARAMS, |s| {
+        s.f64(p.eps);
+        s.u64(p.mu as u64);
+        s.f64(p.rho);
+        s.f64(p.delta_star);
+        s.u8(measure_tag(p.measure));
+        s.bool(p.exact_labels);
+        s.u64(p.seed);
+    });
+}
+
+/// Read and validate the parameter section ([`Params::try_validate`] as a
+/// [`SnapshotError`] instead of a panic).
+fn read_params(r: &mut SnapReader<'_>) -> Result<Params, SnapshotError> {
+    let mut s = r.section(section::PARAMS)?;
+    let params = Params {
+        eps: s.f64()?,
+        mu: s.u64()? as usize,
+        rho: s.f64()?,
+        delta_star: s.f64()?,
+        measure: measure_from_tag(s.u8()?)?,
+        exact_labels: s.bool()?,
+        seed: s.u64()?,
+    };
+    s.finish()?;
+    params
+        .try_validate()
+        .map_err(|_| SnapshotError::Corrupt("parameters outside their valid ranges"))?;
+    Ok(params)
+}
+
+/// Write every DynELM section into `w` (shared by both algorithms).
+fn write_elm_payload(elm: &DynElm, w: &mut SnapWriter) {
+    write_params(w, &elm.params);
+    let stats = elm.stats;
+    let strategy = &elm.strategy;
+    w.section(section::STATS, |s| {
+        s.u64(stats.updates);
+        s.u64(stats.labellings);
+        s.u64(stats.dt_maturities);
+        s.u64(stats.label_flips);
+        s.u64(stats.batches);
+        s.u64(strategy.invocations());
+        s.u64(strategy.samples_drawn());
+    });
+    w.section(section::GRAPH, |s| elm.graph.write_snapshot(s));
+    w.section(section::LABELS, |s| {
+        let mut labels: Vec<(EdgeKey, EdgeLabel)> = elm.labels().collect();
+        labels.sort_unstable_by_key(|&(k, _)| k);
+        s.len_prefix(labels.len());
+        for (key, label) in labels {
+            s.edge(key);
+            s.bool(label.is_similar());
+        }
+    });
+    w.section(section::RELABELS, |s| {
+        let mut counts: Vec<(EdgeKey, u64)> =
+            elm.relabel_counts.iter().map(|(&k, &c)| (k, c)).collect();
+        counts.sort_unstable_by_key(|&(k, _)| k);
+        s.len_prefix(counts.len());
+        for (key, count) in counts {
+            s.edge(key);
+            s.u64(count);
+        }
+    });
+    w.section(section::DT, |s| elm.dt.write_snapshot(s));
+}
+
+/// Read every DynELM section from `r` and reassemble the instance.
+fn read_elm_payload(r: &mut SnapReader<'_>) -> Result<DynElm, SnapshotError> {
+    let params = read_params(r)?;
+
+    let mut s = r.section(section::STATS)?;
+    let stats = ElmStats {
+        updates: s.u64()?,
+        labellings: s.u64()?,
+        dt_maturities: s.u64()?,
+        label_flips: s.u64()?,
+        batches: s.u64()?,
+        samples_drawn: 0,
+    };
+    let strategy_invocations = s.u64()?;
+    let strategy_samples = s.u64()?;
+    s.finish()?;
+
+    let mut s = r.section(section::GRAPH)?;
+    let graph = DynGraph::read_snapshot(&mut s)?;
+
+    let mut s = r.section(section::LABELS)?;
+    let label_count = s.len_prefix()?;
+    let mut labels: HashMap<EdgeKey, EdgeLabel> = HashMap::with_capacity(label_count);
+    for _ in 0..label_count {
+        let key = s.edge()?;
+        let label = if s.bool()? {
+            EdgeLabel::Similar
+        } else {
+            EdgeLabel::Dissimilar
+        };
+        if !graph.has_edge(key.lo(), key.hi()) {
+            return Err(SnapshotError::Corrupt("label for a non-existent edge"));
+        }
+        if labels.insert(key, label).is_some() {
+            return Err(SnapshotError::Corrupt("duplicate label entry"));
+        }
+    }
+    s.finish()?;
+    if labels.len() != graph.num_edges() {
+        return Err(SnapshotError::Corrupt("edge without a label"));
+    }
+
+    let mut s = r.section(section::RELABELS)?;
+    let count = s.len_prefix()?;
+    let mut relabel_counts: HashMap<EdgeKey, u64> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let key = s.edge()?;
+        let invocations = s.u64()?;
+        if !graph.has_edge(key.lo(), key.hi()) {
+            return Err(SnapshotError::Corrupt(
+                "invocation counter for a non-existent edge",
+            ));
+        }
+        if invocations == 0 {
+            return Err(SnapshotError::Corrupt("zero invocation counter"));
+        }
+        if relabel_counts.insert(key, invocations).is_some() {
+            return Err(SnapshotError::Corrupt("duplicate invocation counter"));
+        }
+    }
+    s.finish()?;
+    if relabel_counts.len() != graph.num_edges() {
+        return Err(SnapshotError::Corrupt("edge without an invocation counter"));
+    }
+
+    let mut s = r.section(section::DT)?;
+    let dt = DtRegistry::read_snapshot(&mut s)?;
+    if dt.num_tracked() != graph.num_edges() {
+        return Err(SnapshotError::Corrupt(
+            "DT instance count does not match edge count",
+        ));
+    }
+    for key in relabel_counts.keys() {
+        if !dt.is_tracked(*key) {
+            return Err(SnapshotError::Corrupt("live edge without a DT instance"));
+        }
+    }
+
+    let mut strategy =
+        LabellingStrategy::new(params.measure, params.eps, params.rho, params.delta_star);
+    if params.exact_labels {
+        strategy = strategy.with_exact_labels();
+    }
+    strategy.record_invocations(strategy_invocations, strategy_samples);
+
+    Ok(DynElm {
+        params,
+        graph,
+        labels,
+        dt,
+        strategy,
+        relabel_counts,
+        scratch: Default::default(),
+        stats,
+    })
+}
+
+impl Snapshot for DynElm {
+    const ALGO_TAG: u32 = 1;
+
+    fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError> {
+        let mut payload = SnapWriter::new();
+        write_elm_payload(self, &mut payload);
+        write_document(w, Self::ALGO_TAG, &payload.into_bytes())
+    }
+
+    fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
+        let payload = read_document(r, Self::ALGO_TAG)?;
+        let mut reader = SnapReader::new(&payload);
+        let elm = read_elm_payload(&mut reader)?;
+        reader.finish()?;
+        Ok(elm)
+    }
+}
+
+fn write_aux_payload(algo: &DynStrClu, w: &mut SnapWriter) {
+    w.section(section::AUX, |s| {
+        s.len_prefix(algo.aux.len());
+        for aux in &algo.aux {
+            s.bool(aux.is_core());
+            let mut sims: Vec<VertexId> = aux.similar_neighbours().collect();
+            sims.sort_unstable();
+            s.len_prefix(sims.len());
+            for x in sims {
+                s.vertex(x);
+            }
+            let mut cores: Vec<VertexId> = aux.similar_core_neighbours().collect();
+            cores.sort_unstable();
+            s.len_prefix(cores.len());
+            for x in cores {
+                s.vertex(x);
+            }
+        }
+    });
+}
+
+fn read_aux_payload(
+    r: &mut SnapReader<'_>,
+    elm: &DynElm,
+    mu: usize,
+) -> Result<Vec<VertexAux>, SnapshotError> {
+    let mut s = r.section(section::AUX)?;
+    let n = s.len_prefix()?;
+    // Live instances keep exactly one aux record per vertex; anything else
+    // (including zero-padded tails) is non-canonical and rejected.
+    if n != elm.graph.num_vertices() {
+        return Err(SnapshotError::Corrupt(
+            "aux vector does not match vertex space",
+        ));
+    }
+    let mut auxes: Vec<VertexAux> = Vec::with_capacity(n);
+    let mut sim_entries = 0usize;
+    for v in 0..n {
+        let is_core = s.bool()?;
+        let mut aux = VertexAux::default();
+        let sim_count = s.len_prefix()?;
+        for _ in 0..sim_count {
+            let x = s.vertex()?;
+            if x.index() >= n || x.index() == v {
+                return Err(SnapshotError::Corrupt("similar neighbour out of range"));
+            }
+            let key = EdgeKey::new(VertexId(v as u32), x);
+            if !elm.labels.get(&key).is_some_and(|l| l.is_similar()) {
+                return Err(SnapshotError::Corrupt(
+                    "similar neighbour without a similar edge",
+                ));
+            }
+            if !aux.add_similar(x) {
+                return Err(SnapshotError::Corrupt("duplicate similar neighbour"));
+            }
+        }
+        sim_entries += sim_count;
+        aux.refresh_core(mu);
+        if aux.is_core() != is_core {
+            return Err(SnapshotError::Corrupt(
+                "core flag inconsistent with SimCnt and μ",
+            ));
+        }
+        let core_count = s.len_prefix()?;
+        for _ in 0..core_count {
+            let x = s.vertex()?;
+            if !aux.is_similar_neighbour(x) {
+                return Err(SnapshotError::Corrupt(
+                    "similar-core neighbour outside the similar set",
+                ));
+            }
+            aux.set_neighbour_core(x, true);
+        }
+        if aux.similar_core_neighbours().count() != core_count {
+            return Err(SnapshotError::Corrupt("duplicate similar-core neighbour"));
+        }
+        auxes.push(aux);
+    }
+    s.finish()?;
+    if sim_entries != 2 * elm.num_similar_edges() {
+        return Err(SnapshotError::Corrupt(
+            "similar sets do not cover the labelling",
+        ));
+    }
+    // Cross-check the similar-core sets against the freshly validated core
+    // flags (each similar edge towards a core endpoint must be recorded).
+    for aux in &auxes {
+        for x in aux.similar_neighbours() {
+            let expected = auxes[x.index()].is_core();
+            let recorded = aux.is_similar_core_neighbour(x);
+            if expected != recorded {
+                return Err(SnapshotError::Corrupt(
+                    "similar-core set inconsistent with core flags",
+                ));
+            }
+        }
+    }
+    Ok(auxes)
+}
+
+impl Snapshot for DynStrClu {
+    const ALGO_TAG: u32 = 2;
+
+    fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError> {
+        let mut payload = SnapWriter::new();
+        write_elm_payload(&self.elm, &mut payload);
+        write_aux_payload(self, &mut payload);
+        write_document(w, Self::ALGO_TAG, &payload.into_bytes())
+    }
+
+    fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
+        let payload = read_document(r, Self::ALGO_TAG)?;
+        let mut reader = SnapReader::new(&payload);
+        let elm = read_elm_payload(&mut reader)?;
+        let mu = elm.params().mu;
+        let aux = read_aux_payload(&mut reader, &elm, mu)?;
+        reader.finish()?;
+        // Fast path for CC-Str(G_core): rebuild from the restored sim-core
+        // edge set instead of serialising the history-dependent HDT
+        // hierarchy (module docs).
+        let sim_core_edges = elm.labels().filter_map(|(key, label)| {
+            let (a, b) = key.endpoints();
+            (label.is_similar() && aux[a.index()].is_core() && aux[b.index()].is_core())
+                .then_some(key)
+        });
+        let core_graph = HdtConnectivity::rebuild_from_edges(
+            elm.graph().num_vertices(),
+            crate::strclu::core_graph_seed(elm.params()),
+            sim_core_edges,
+        );
+        Ok(DynStrClu {
+            elm,
+            aux,
+            core_graph,
+            mu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{two_cliques_params, two_cliques_with_hub};
+    use crate::traits::DynamicClustering;
+    use dynscan_graph::GraphUpdate;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn build_strclu(params: Params) -> DynStrClu {
+        let g = two_cliques_with_hub();
+        let mut algo = DynStrClu::new(params);
+        for e in g.edges() {
+            algo.insert_edge(e.lo(), e.hi()).unwrap();
+        }
+        algo
+    }
+
+    #[test]
+    fn elm_checkpoint_restores_identical_state() {
+        let g = two_cliques_with_hub();
+        let mut elm = DynElm::new(two_cliques_params().with_exact_labels());
+        for e in g.edges() {
+            elm.insert_edge(e.lo(), e.hi()).unwrap();
+        }
+        elm.delete_edge(v(4), v(5)).unwrap();
+        let bytes = elm.checkpoint_bytes();
+        let restored = DynElm::restore(&bytes[..]).expect("restore");
+        assert_eq!(restored.params(), elm.params());
+        assert_eq!(restored.stats(), elm.stats());
+        assert_eq!(restored.graph().num_edges(), elm.graph().num_edges());
+        let mut a: Vec<_> = restored.labels().collect();
+        let mut b: Vec<_> = elm.labels().collect();
+        a.sort_unstable_by_key(|&(k, _)| k);
+        b.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(a, b);
+        // Canonical encoding: re-checkpointing yields identical bytes.
+        assert_eq!(restored.checkpoint_bytes(), bytes);
+    }
+
+    #[test]
+    fn elm_resumes_bit_identically_in_sampled_mode() {
+        // Sampled mode with a ρ wide enough that estimator streams are
+        // actually consumed; the restored instance must make identical
+        // future decisions, flip for flip.
+        let params = Params::jaccard(0.3, 3).with_rho(0.2).with_seed(2024);
+        let mut live = DynElm::new(params);
+        let mut stream = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                if (a * 31 + b * 7) % 3 != 0 {
+                    stream.push(GraphUpdate::Insert(v(a), v(b)));
+                }
+            }
+        }
+        let (first, second) = stream.split_at(stream.len() / 2);
+        for batch in first.chunks(4) {
+            live.apply_batch(batch);
+        }
+        let restored_bytes = live.checkpoint_bytes();
+        let mut restored = DynElm::restore(&restored_bytes[..]).expect("restore");
+        for batch in second.chunks(5) {
+            let flips_live = live.apply_batch(batch);
+            let flips_restored = restored.apply_batch(batch);
+            assert_eq!(
+                flips_live, flips_restored,
+                "flip sets must match batch for batch"
+            );
+        }
+        assert_eq!(restored.checkpoint_bytes(), live.checkpoint_bytes());
+    }
+
+    #[test]
+    fn strclu_checkpoint_roundtrip_preserves_all_modules() {
+        let mut live = build_strclu(two_cliques_params().with_exact_labels());
+        live.delete_edge(v(4), v(5)).unwrap();
+        let bytes = live.checkpoint_bytes();
+        let mut restored = DynStrClu::restore(&bytes[..]).expect("restore");
+        assert_eq!(restored.checkpoint_bytes(), bytes);
+        assert_eq!(restored.num_sim_core_edges(), live.num_sim_core_edges());
+        for x in 0..live.graph().num_vertices() as u32 {
+            assert_eq!(
+                restored.is_core(v(x)),
+                live.is_core(v(x)),
+                "core flag at {x}"
+            );
+            assert_eq!(restored.sim_count(v(x)), live.sim_count(v(x)));
+        }
+        // Group-by answers agree as set partitions.
+        let all: Vec<VertexId> = live.graph().vertices().collect();
+        let as_sets = |groups: Vec<Vec<VertexId>>| {
+            let mut sets: Vec<Vec<u32>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|x| x.raw()).collect())
+                .collect();
+            sets.sort();
+            sets
+        };
+        assert_eq!(
+            as_sets(restored.cluster_group_by(&all)),
+            as_sets(live.cluster_group_by(&all))
+        );
+        // And the clusterings are equal.
+        let a = live.clustering();
+        let b = restored.clustering();
+        assert_eq!(a.num_clusters(), b.num_clusters());
+        for x in live.graph().vertices() {
+            assert_eq!(a.role(x), b.role(x));
+        }
+    }
+
+    #[test]
+    fn empty_instances_roundtrip() {
+        let elm = DynElm::new(two_cliques_params().with_exact_labels());
+        let restored = DynElm::restore(&elm.checkpoint_bytes()[..]).unwrap();
+        assert_eq!(restored.graph().num_edges(), 0);
+        let algo = DynStrClu::new(two_cliques_params().with_exact_labels());
+        let restored = DynStrClu::restore(&algo.checkpoint_bytes()[..]).unwrap();
+        assert_eq!(restored.clustering().num_clusters(), 0);
+        assert_eq!(restored.num_sim_core_edges(), 0);
+    }
+
+    #[test]
+    fn wrong_algorithm_tag_is_rejected() {
+        let elm = DynElm::new(two_cliques_params().with_exact_labels());
+        let bytes = elm.checkpoint_bytes();
+        assert!(matches!(
+            DynStrClu::restore(&bytes[..]),
+            Err(SnapshotError::AlgorithmMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn tampered_payload_is_rejected() {
+        let algo = build_strclu(two_cliques_params().with_exact_labels());
+        let bytes = algo.checkpoint_bytes();
+        // Flip one payload byte: the checksum catches it.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            DynStrClu::restore(&bad[..]),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+        // Truncation is caught before any parsing.
+        assert!(matches!(
+            DynStrClu::restore(&bytes[..bytes.len() / 2]),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn updates_applied_counter_survives_restore() {
+        let live = build_strclu(two_cliques_params().with_exact_labels());
+        let restored = DynStrClu::restore(&live.checkpoint_bytes()[..]).unwrap();
+        assert_eq!(restored.updates_applied(), live.updates_applied());
+        assert_eq!(restored.stats(), live.stats());
+    }
+}

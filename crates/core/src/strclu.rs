@@ -27,10 +27,17 @@ use dynscan_sim::EdgeLabel;
 /// in O(n + m).
 #[derive(Clone, Debug)]
 pub struct DynStrClu {
-    elm: DynElm,
-    aux: Vec<VertexAux>,
-    core_graph: HdtConnectivity,
-    mu: usize,
+    pub(crate) elm: DynElm,
+    pub(crate) aux: Vec<VertexAux>,
+    pub(crate) core_graph: HdtConnectivity,
+    pub(crate) mu: usize,
+}
+
+/// Treap-priority seed of `CC-Str(G_core)`, derived from the algorithm
+/// seed.  Shared by [`DynStrClu::new`] and the snapshot-restore rebuild so
+/// a fresh and a restored instance always agree on the structure's seed.
+pub(crate) fn core_graph_seed(params: &Params) -> u64 {
+    params.seed ^ 0x9e37_79b9
 }
 
 impl DynStrClu {
@@ -41,7 +48,7 @@ impl DynStrClu {
         DynStrClu {
             elm: DynElm::new(params),
             aux: Vec::new(),
-            core_graph: HdtConnectivity::with_seed(0, params.seed ^ 0x9e37_79b9),
+            core_graph: HdtConnectivity::with_seed(0, core_graph_seed(&params)),
             mu,
         }
     }

@@ -1,11 +1,12 @@
 //! The common interfaces the experiment harness drives algorithms through:
-//! [`DynamicClustering`] for one-update-at-a-time processing and
-//! [`BatchUpdate`] for whole-batch processing.
+//! [`DynamicClustering`] for one-update-at-a-time processing,
+//! [`BatchUpdate`] for whole-batch processing and [`Snapshot`] for
+//! checkpoint/restore persistence.
 
 use crate::cluster::StrCluResult;
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
 use crate::strclu::DynStrClu;
-use dynscan_graph::{GraphUpdate, MemoryFootprint};
+use dynscan_graph::{GraphUpdate, MemoryFootprint, SnapshotError};
 
 /// A dynamic structural clustering algorithm: something that consumes a
 /// stream of edge insertions/deletions and can produce the StrClu result on
@@ -57,6 +58,55 @@ pub trait DynamicClustering {
 pub trait BatchUpdate: DynamicClustering {
     /// Apply a batch of updates; returns the coalesced net flip set.
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge>;
+}
+
+/// Checkpoint/restore of a dynamic clustering algorithm's full live state.
+///
+/// The contract is **bit-identical resume**: feeding any update stream `S`
+/// to `restore(checkpoint(A))` must produce exactly the state that feeding
+/// `S` to `A` itself would have — the same edge labels, the same DT
+/// counters and in-flight protocol rounds, and (in sampled mode) the same
+/// future random draws, because the per-edge invocation counters and the
+/// adjacency slot order that positional neighbourhood sampling depends on
+/// are both part of the snapshot.  A restarted service therefore continues
+/// as if it never stopped, rather than paying a full rebuild and drifting
+/// onto a different (even if equally valid) labelling trajectory.
+///
+/// The wire format is the versioned, length-prefixed, checksummed binary
+/// of [`dynscan_graph::snapshot`]; [`SnapshotError`] reports truncation,
+/// corruption, version or algorithm mismatches instead of deserialising
+/// garbage.  Every map-shaped structure is written in sorted order, so the
+/// encoding is canonical: equal states produce byte-identical snapshots.
+///
+/// One portability caveat on the *bit*-identity claim: sampled-mode label
+/// decisions size their draws via `f64::ln`, whose last-ulp behaviour is
+/// libm-dependent, so "same future random draws" is guaranteed when
+/// checkpoint and resume run on the same platform/libm (the snapshot
+/// itself is portable and restores everywhere; across libms a resumed run
+/// could round a sample count differently and diverge onto another —
+/// equally ρ-valid — trajectory).
+///
+/// Implemented by [`DynElm`], [`DynStrClu`] (in [`crate::snapshot`]) and
+/// the two exact dynamic baselines in `dynscan-baseline`.
+pub trait Snapshot: Sized {
+    /// Algorithm tag stored in the snapshot header, so a snapshot of one
+    /// structure cannot silently restore as another.
+    const ALGO_TAG: u32;
+
+    /// Serialise the full live state into `w`.
+    fn checkpoint<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError>;
+
+    /// Rebuild an instance from a checkpoint produced by
+    /// [`Snapshot::checkpoint`].
+    fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError>;
+
+    /// Convenience: checkpoint into a fresh byte vector.
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.checkpoint(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
 }
 
 impl DynamicClustering for DynElm {

@@ -15,6 +15,26 @@ pub enum SignalOutcome {
     Mature,
 }
 
+/// A plain-data copy of a [`Coordinator`]'s full mid-protocol state, used
+/// by the checkpoint/restore subsystem.  Restoring from it reproduces the
+/// exact signal-by-signal behaviour of the original instance — rounds in
+/// flight resume where they stopped rather than restarting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordinatorState {
+    /// Remaining threshold of the current round.
+    pub remaining: u64,
+    /// Slack handed to the participants for the current round.
+    pub slack: u64,
+    /// Whether the current round runs the straightforward algorithm.
+    pub simple: bool,
+    /// Signals received in the current round.
+    pub signals: u64,
+    /// Increments acknowledged in simple mode.
+    pub counted: u64,
+    /// Total messages exchanged so far.
+    pub messages: u64,
+}
+
 /// Coordinator state of one DT instance (one per tracked edge).
 ///
 /// The coordinator is "simulated in main memory" exactly as the paper
@@ -76,6 +96,36 @@ impl Coordinator {
     /// collections).
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// The full mid-protocol state, for checkpointing.
+    pub fn state(&self) -> CoordinatorState {
+        CoordinatorState {
+            remaining: self.remaining,
+            slack: self.slack,
+            simple: self.simple,
+            signals: self.signals,
+            counted: self.counted,
+            messages: self.messages,
+        }
+    }
+
+    /// Rebuild a coordinator from a checkpointed state.  Returns `None` if
+    /// the state is internally inconsistent (a matured instance has no
+    /// coordinator, so `remaining` must still be positive, and a simple
+    /// round always runs with slack 1).
+    pub fn from_state(state: CoordinatorState) -> Option<Self> {
+        if state.remaining == 0 || (state.simple && state.slack != 1) {
+            return None;
+        }
+        Some(Coordinator {
+            remaining: state.remaining,
+            slack: state.slack,
+            simple: state.simple,
+            signals: state.signals,
+            counted: state.counted,
+            messages: state.messages,
+        })
     }
 
     /// A participant signals that it reached its checkpoint.

@@ -110,6 +110,12 @@ impl DtHeap {
     pub fn neighbours(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.entries.keys().copied()
     }
+
+    /// Every `(neighbour, entry)` pair (unspecified order); the snapshot
+    /// writer sorts by neighbour for a canonical encoding.
+    pub fn entries(&self) -> impl Iterator<Item = (VertexId, ParticipantEntry)> + '_ {
+        self.entries.iter().map(|(&n, &e)| (n, e))
+    }
 }
 
 impl MemoryFootprint for DtHeap {

@@ -31,7 +31,7 @@ pub mod coordinator;
 pub mod heap;
 pub mod registry;
 
-pub use coordinator::{Coordinator, SignalOutcome};
+pub use coordinator::{Coordinator, CoordinatorState, SignalOutcome};
 pub use heap::DtHeap;
 pub use registry::DtRegistry;
 

@@ -1,9 +1,9 @@
 //! The registry tying shared counters, per-vertex heaps and per-edge
 //! coordinators together.
 
-use crate::coordinator::{Coordinator, SignalOutcome};
+use crate::coordinator::{Coordinator, CoordinatorState, SignalOutcome};
 use crate::heap::{DtHeap, ParticipantEntry};
-use dynscan_graph::{EdgeKey, MemoryFootprint, VertexId};
+use dynscan_graph::{EdgeKey, MemoryFootprint, SnapReader, SnapWriter, SnapshotError, VertexId};
 use std::collections::HashMap;
 
 /// All DT state of a graph: one shared counter and one [`DtHeap`] per
@@ -209,6 +209,121 @@ impl DtRegistry {
         matured.sort_unstable();
         matured.dedup();
         matured
+    }
+
+    /// Serialise the full tracking state — shared counters, per-vertex
+    /// checkpoint-heap entries and every coordinator's mid-round protocol
+    /// state — in canonical (sorted) order.
+    ///
+    /// Restoring from these bytes resumes every DT instance exactly where
+    /// it stopped: rounds in flight keep their slack, signal counts and
+    /// round-start counters, so maturity fires after precisely the same
+    /// future affecting updates as it would have on the uninterrupted
+    /// instance.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.counters.len());
+        for &c in &self.counters {
+            w.u64(c);
+        }
+        for heap in &self.heaps {
+            let mut entries: Vec<(VertexId, ParticipantEntry)> = heap.entries().collect();
+            entries.sort_unstable_by_key(|&(n, _)| n);
+            w.len_prefix(entries.len());
+            for (n, entry) in entries {
+                w.vertex(n);
+                w.u64(entry.round_start);
+                w.u64(entry.checkpoint);
+            }
+        }
+        let mut coordinators: Vec<(EdgeKey, CoordinatorState)> = self
+            .coordinators
+            .iter()
+            .map(|(&k, c)| (k, c.state()))
+            .collect();
+        coordinators.sort_unstable_by_key(|&(k, _)| k);
+        w.len_prefix(coordinators.len());
+        for (key, state) in coordinators {
+            w.edge(key);
+            w.u64(state.remaining);
+            w.u64(state.slack);
+            w.bool(state.simple);
+            w.u64(state.signals);
+            w.u64(state.counted);
+            w.u64(state.messages);
+        }
+    }
+
+    /// Rebuild a registry from [`DtRegistry::write_snapshot`] bytes,
+    /// validating that heap entries and coordinators describe each other
+    /// symmetrically.
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.len_prefix()?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push(r.u64()?);
+        }
+        let mut heaps: Vec<DtHeap> = Vec::with_capacity(n);
+        let mut heap_entries = 0usize;
+        for v in 0..n {
+            let count = r.len_prefix()?;
+            let mut heap = DtHeap::new();
+            for _ in 0..count {
+                let neighbour = r.vertex()?;
+                if neighbour.index() >= n || neighbour.index() == v {
+                    return Err(SnapshotError::Corrupt("heap entry neighbour out of range"));
+                }
+                let entry = ParticipantEntry {
+                    round_start: r.u64()?,
+                    checkpoint: r.u64()?,
+                };
+                if heap.get(neighbour).is_some() {
+                    return Err(SnapshotError::Corrupt("duplicate heap entry"));
+                }
+                heap.insert(neighbour, entry);
+            }
+            heap_entries += count;
+            heaps.push(heap);
+        }
+        let coordinator_count = r.len_prefix()?;
+        let mut coordinators = HashMap::with_capacity(coordinator_count);
+        for _ in 0..coordinator_count {
+            let key = r.edge()?;
+            let state = CoordinatorState {
+                remaining: r.u64()?,
+                slack: r.u64()?,
+                simple: r.bool()?,
+                signals: r.u64()?,
+                counted: r.u64()?,
+                messages: r.u64()?,
+            };
+            let coordinator = Coordinator::from_state(state)
+                .ok_or(SnapshotError::Corrupt("inconsistent coordinator state"))?;
+            let (u, v) = key.endpoints();
+            if v.index() >= n {
+                return Err(SnapshotError::Corrupt(
+                    "coordinator edge out of vertex range",
+                ));
+            }
+            if heaps[u.index()].get(v).is_none() || heaps[v.index()].get(u).is_none() {
+                return Err(SnapshotError::Corrupt(
+                    "coordinator missing its heap entries",
+                ));
+            }
+            if coordinators.insert(key, coordinator).is_some() {
+                return Err(SnapshotError::Corrupt("duplicate coordinator"));
+            }
+        }
+        r.finish()?;
+        if heap_entries != 2 * coordinator_count {
+            return Err(SnapshotError::Corrupt(
+                "heap entries not paired with coordinators",
+            ));
+        }
+        Ok(DtRegistry {
+            counters,
+            heaps,
+            coordinators,
+        })
     }
 }
 
@@ -420,6 +535,111 @@ mod tests {
         assert_eq!(eager_matured, deferred_matured);
     }
 
+    fn snapshot_roundtrip(reg: &DtRegistry) -> DtRegistry {
+        let mut w = SnapWriter::new();
+        reg.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        DtRegistry::read_snapshot(&mut SnapReader::new(&bytes)).expect("roundtrip")
+    }
+
+    #[test]
+    fn snapshot_restores_mid_round_state() {
+        // Drive an instance partway through a slack-mode round, snapshot,
+        // and check both copies mature at exactly the same future update.
+        let mut reg = DtRegistry::new(2);
+        reg.register(key(0, 1), 100);
+        for i in 0..40u64 {
+            let side = if i % 3 == 0 { v(0) } else { v(1) };
+            reg.increment(side);
+            assert!(reg.drain_ready(side).is_empty(), "must not mature before τ");
+        }
+        let mut restored = snapshot_roundtrip(&reg);
+        assert_eq!(restored.num_vertices(), reg.num_vertices());
+        assert_eq!(restored.num_tracked(), 1);
+        assert_eq!(restored.messages(key(0, 1)), reg.messages(key(0, 1)));
+        let mut matured_live = None;
+        let mut matured_restored = None;
+        for i in 40..200u64 {
+            let side = if i % 3 == 0 { v(0) } else { v(1) };
+            for (registry, matured_at) in [
+                (&mut reg, &mut matured_live),
+                (&mut restored, &mut matured_restored),
+            ] {
+                registry.increment(side);
+                if matured_at.is_none() && !registry.drain_ready(side).is_empty() {
+                    *matured_at = Some(i + 1);
+                }
+            }
+        }
+        assert_eq!(
+            matured_live,
+            Some(100),
+            "τ = 100 instance matures at the 100th update"
+        );
+        assert_eq!(
+            matured_restored, matured_live,
+            "restored registry must track identically"
+        );
+    }
+
+    #[test]
+    fn snapshot_of_empty_and_multi_edge_registries_roundtrips() {
+        let empty = snapshot_roundtrip(&DtRegistry::new(0));
+        assert_eq!(empty.num_vertices(), 0);
+        assert_eq!(empty.num_tracked(), 0);
+
+        let mut reg = DtRegistry::new(5);
+        reg.register(key(0, 1), 3);
+        reg.register(key(0, 2), 17);
+        reg.register(key(3, 4), 64);
+        reg.increment(v(0));
+        reg.increment(v(3));
+        let restored = snapshot_roundtrip(&reg);
+        assert_eq!(restored.num_tracked(), 3);
+        for e in [key(0, 1), key(0, 2), key(3, 4)] {
+            assert_eq!(restored.messages(e), reg.messages(e), "edge {e:?}");
+        }
+        for x in 0..5u32 {
+            assert_eq!(restored.shared_counter(v(x)), reg.shared_counter(v(x)));
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_state() {
+        // A coordinator without heap entries.
+        let mut w = SnapWriter::new();
+        w.len_prefix(2); // n = 2
+        w.u64(0);
+        w.u64(0);
+        w.len_prefix(0); // heap 0 empty
+        w.len_prefix(0); // heap 1 empty
+        w.len_prefix(1); // one coordinator
+        w.edge(key(0, 1));
+        w.u64(5); // remaining
+        w.u64(1); // slack
+        w.u8(1); // simple
+        w.u64(0);
+        w.u64(0);
+        w.u64(2);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            DtRegistry::read_snapshot(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt(
+                "coordinator missing its heap entries"
+            ))
+        ));
+        // A matured coordinator (remaining = 0) must have been removed.
+        assert!(Coordinator::from_state(CoordinatorState {
+            remaining: 0,
+            slack: 1,
+            simple: true,
+            signals: 0,
+            counted: 0,
+            messages: 2,
+        })
+        .is_none());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         /// Whatever the split of affecting updates between the two
@@ -428,6 +648,44 @@ mod tests {
         fn maturity_is_exact(tau in 1u64..400, pattern in prop::collection::vec(any::<bool>(), 400)) {
             let idx = maturity_index(tau, pattern.into_iter());
             prop_assert_eq!(idx, Some(tau as usize));
+        }
+
+        /// Checkpointing at an arbitrary point of an arbitrary update
+        /// pattern never shifts the maturity index: the restored registry
+        /// matures at exactly the τ-th update, like the live one.
+        #[test]
+        fn snapshot_preserves_maturity_exactly(
+            tau in 1u64..300,
+            pattern in prop::collection::vec(any::<bool>(), 300),
+            cut in 0usize..300,
+        ) {
+            let mut reg = DtRegistry::new(2);
+            reg.register(key(0, 1), tau);
+            let mut live_maturity = None;
+            let mut restored: Option<DtRegistry> = None;
+            let mut restored_maturity = None;
+            for (i, &on_first) in pattern.iter().enumerate() {
+                if i == cut && live_maturity.is_none() {
+                    restored = Some(snapshot_roundtrip(&reg));
+                }
+                let side = if on_first { v(0) } else { v(1) };
+                reg.increment(side);
+                if live_maturity.is_none() && reg.drain_ready(side).contains(&key(0, 1)) {
+                    live_maturity = Some(i + 1);
+                }
+                if let Some(registry) = restored.as_mut() {
+                    registry.increment(side);
+                    if restored_maturity.is_none()
+                        && registry.drain_ready(side).contains(&key(0, 1))
+                    {
+                        restored_maturity = Some(i + 1);
+                    }
+                }
+            }
+            prop_assert_eq!(live_maturity, Some(tau as usize));
+            if restored.is_some() {
+                prop_assert_eq!(restored_maturity, Some(tau as usize));
+            }
         }
 
         /// Deferred batch drains mature an instance iff the accumulated

@@ -185,6 +185,15 @@ impl DynGraph {
         })
     }
 
+    /// Assemble a graph directly from pre-validated adjacency sets (the
+    /// snapshot restore path; see [`crate::snapshot`]).
+    pub(crate) fn from_parts(adjacency: Vec<IndexedSet>, num_edges: usize) -> Self {
+        DynGraph {
+            adjacency,
+            num_edges,
+        }
+    }
+
     /// The exact size of the intersection of the closed neighbourhoods of
     /// `u` and `v`, i.e. `a = |N[u] ∩ N[v]|` in the paper's notation.
     ///

@@ -21,6 +21,11 @@
 //!   [`touched_vertices`]) for graph-only consumers, mirroring the
 //!   topology semantics of the batch update engine in `dynscan-core`
 //!   (which fuses its own per-update label/DT hooks into the loop).
+//! * [`snapshot`] — the length-prefixed, checksummed binary snapshot codec
+//!   ([`SnapWriter`] / [`SnapReader`] / [`SnapshotError`]) every
+//!   checkpointable structure in the workspace serialises through,
+//!   including [`DynGraph`] itself (adjacency slot order is preserved so
+//!   restored instances sample neighbourhoods bit-identically).
 //! * [`GraphError`] — error type shared by the mutating operations.
 //!
 //! All structures report an approximate heap footprint through
@@ -34,6 +39,7 @@ pub mod edge;
 pub mod error;
 pub mod footprint;
 pub mod indexed_set;
+pub mod snapshot;
 pub mod update;
 pub mod vertex;
 
@@ -44,5 +50,6 @@ pub use edge::EdgeKey;
 pub use error::GraphError;
 pub use footprint::MemoryFootprint;
 pub use indexed_set::IndexedSet;
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use update::GraphUpdate;
 pub use vertex::VertexId;

@@ -1,0 +1,608 @@
+//! The binary snapshot codec shared by every checkpointable structure in
+//! the workspace.
+//!
+//! The paper's amortised bounds assume long-lived state; a process restart
+//! that rebuilds the edge labelling, the per-edge distributed-tracking
+//! instances and the connectivity structure from the raw edge stream pays
+//! the full construction cost again.  The snapshot subsystem serialises the
+//! live state instead, with one hard correctness bar: **a restored instance
+//! must behave exactly like the instance that never stopped** — same
+//! labels, same DT counters, and (because neighbourhood sampling is
+//! positional over [`crate::IndexedSet`]) even the same adjacency-slot
+//! order, so future sampled label decisions consume identical random bits.
+//!
+//! The format is deliberately simple and fully hand-rolled (the vendored
+//! `serde` is a marker stub):
+//!
+//! ```text
+//! magic   : 8 bytes  b"DSCNSNAP"
+//! version : u32 LE   (FORMAT_VERSION)
+//! algo    : u32 LE   (which structure the payload describes)
+//! length  : u64 LE   (payload byte count)
+//! checksum: u64 LE   (FNV-1a over the payload bytes)
+//! payload : `length` bytes of length-prefixed sections
+//! ```
+//!
+//! A *section* is `tag: u32, len: u64, bytes`, so readers can verify they
+//! are looking at the field they expect and corrupt files fail loudly
+//! ([`SnapshotError`]) instead of deserialising garbage.  All map- or
+//! set-shaped state is emitted in sorted key order, making the encoding a
+//! canonical function of the semantic state: two instances with equal state
+//! produce byte-identical snapshots, which the golden-fixture test and the
+//! checkpoint CI gate rely on.
+
+use crate::dynamic_graph::DynGraph;
+use crate::edge::EdgeKey;
+use crate::indexed_set::IndexedSet;
+use crate::vertex::VertexId;
+use std::fmt;
+use std::io::Read as _;
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: [u8; 8] = *b"DSCNSNAP";
+
+/// Current snapshot format version.  Bump on any incompatible layout
+/// change and regenerate `tests/fixtures/golden_snapshot_v*.bin`.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The payload is for a different structure than the caller expects.
+    AlgorithmMismatch {
+        /// Algorithm tag expected by the caller.
+        expected: u32,
+        /// Algorithm tag found in the header.
+        found: u32,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch,
+    /// The stream ended before the declared data did.
+    Truncated,
+    /// A section tag other than the expected one was found.
+    UnexpectedSection {
+        /// Section tag expected next.
+        expected: u32,
+        /// Section tag found.
+        found: u32,
+    },
+    /// The data decoded but violates an invariant of the target structure.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a dynscan snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (supported: {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::AlgorithmMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot holds algorithm tag {found}, expected {expected}"
+                )
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            SnapshotError::Truncated => write!(f, "snapshot ended unexpectedly"),
+            SnapshotError::UnexpectedSection { expected, found } => {
+                write!(
+                    f,
+                    "unexpected snapshot section {found:#x}, expected {expected:#x}"
+                )
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice; the payload checksum of the header.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only payload writer with fixed-width little-endian primitives.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current payload length (diagnostic).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, x: bool) {
+        self.u8(u8::from(x));
+    }
+
+    /// Write a `u32` little-endian.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `u64` little-endian.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `usize` as `u64`.
+    pub fn len_prefix(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// Write an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Write a vertex id.
+    pub fn vertex(&mut self, v: VertexId) {
+        self.u32(v.raw());
+    }
+
+    /// Write an edge key as its `(lo, hi)` endpoints.
+    pub fn edge(&mut self, e: EdgeKey) {
+        self.vertex(e.lo());
+        self.vertex(e.hi());
+    }
+
+    /// Write a length-prefixed section: `tag`, byte length, then the bytes
+    /// `fill` appends.  The length slot is reserved up front and
+    /// back-patched afterwards, so multi-megabyte sections (graph
+    /// adjacency, DT state) are serialised in place instead of through a
+    /// temporary buffer and a second copy.
+    pub fn section(&mut self, tag: u32, fill: impl FnOnce(&mut SnapWriter)) {
+        self.u32(tag);
+        let length_slot = self.buf.len();
+        self.u64(0);
+        let body_start = self.buf.len();
+        fill(self);
+        let body_len = (self.buf.len() - body_start) as u64;
+        self.buf[length_slot..body_start].copy_from_slice(&body_len.to_le_bytes());
+    }
+}
+
+/// Sequential payload reader mirroring [`SnapWriter`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a single byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool; any value other than 0/1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool byte outside {0, 1}")),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a length written by [`SnapWriter::len_prefix`]; lengths that
+    /// could not possibly fit the remaining bytes are rejected up front so
+    /// corrupt files cannot trigger huge allocations.
+    pub fn len_prefix(&mut self) -> Result<usize, SnapshotError> {
+        let x = self.u64()?;
+        if x > self.remaining() as u64 {
+            return Err(SnapshotError::Corrupt(
+                "length prefix exceeds remaining bytes",
+            ));
+        }
+        Ok(x as usize)
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a vertex id.
+    pub fn vertex(&mut self) -> Result<VertexId, SnapshotError> {
+        Ok(VertexId(self.u32()?))
+    }
+
+    /// Read an edge key; the endpoints must be stored canonically
+    /// (`lo < hi`).
+    pub fn edge(&mut self) -> Result<EdgeKey, SnapshotError> {
+        let lo = self.vertex()?;
+        let hi = self.vertex()?;
+        if lo >= hi {
+            return Err(SnapshotError::Corrupt(
+                "edge key endpoints not in canonical order",
+            ));
+        }
+        Ok(EdgeKey::new(lo, hi))
+    }
+
+    /// Open the next section, which must carry `tag`; returns a reader over
+    /// exactly that section's bytes.
+    pub fn section(&mut self, tag: u32) -> Result<SnapReader<'a>, SnapshotError> {
+        let found = self.u32()?;
+        if found != tag {
+            return Err(SnapshotError::UnexpectedSection {
+                expected: tag,
+                found,
+            });
+        }
+        let len = self.len_prefix()?;
+        Ok(SnapReader::new(self.take(len)?))
+    }
+
+    /// Assert every byte was consumed (call at the end of a section).
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes after expected data"));
+        }
+        Ok(())
+    }
+}
+
+/// Write a full snapshot document (header + checksummed payload) to `w`.
+pub fn write_document(
+    mut w: impl std::io::Write,
+    algo_tag: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&algo_tag.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a full snapshot document from `r`, verifying magic, version,
+/// algorithm tag and checksum; returns the payload bytes.
+pub fn read_document(mut r: impl std::io::Read, algo_tag: u32) -> Result<Vec<u8>, SnapshotError> {
+    let mut header = [0u8; 8 + 4 + 4 + 8 + 8];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::Io(e)
+        }
+    })?;
+    if header[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let found_tag = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+    if found_tag != algo_tag {
+        return Err(SnapshotError::AlgorithmMismatch {
+            expected: algo_tag,
+            found: found_tag,
+        });
+    }
+    let len = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+    let mut payload = Vec::new();
+    r.take(len).read_to_end(&mut payload)?;
+    if payload.len() as u64 != len {
+        return Err(SnapshotError::Truncated);
+    }
+    if fnv1a(&payload) != checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+impl DynGraph {
+    /// Serialise the graph topology, preserving the *internal slot order*
+    /// of every adjacency set.
+    ///
+    /// The order matters for bit-identical resume: uniform neighbourhood
+    /// sampling indexes the dense adjacency vector positionally, so two
+    /// graphs with equal edge sets but different slot orders consume the
+    /// same random bits into different sample sequences.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.num_vertices());
+        for v in self.vertices() {
+            let adj = self.neighbours(v).as_slice();
+            w.len_prefix(adj.len());
+            for &x in adj {
+                w.vertex(x);
+            }
+        }
+    }
+
+    /// Rebuild a graph from [`DynGraph::write_snapshot`] bytes, restoring
+    /// each adjacency set in its recorded slot order and validating that
+    /// the adjacency lists are symmetric and self-loop free.
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.len_prefix()?;
+        let mut adjacency: Vec<IndexedSet> = Vec::with_capacity(n);
+        let mut half_edges: usize = 0;
+        for v in 0..n {
+            let d = r.len_prefix()?;
+            let mut set = IndexedSet::with_capacity(d);
+            for _ in 0..d {
+                let x = r.vertex()?;
+                if x.index() >= n {
+                    return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
+                }
+                if x.index() == v {
+                    return Err(SnapshotError::Corrupt("self-loop in adjacency"));
+                }
+                if !set.insert(x) {
+                    return Err(SnapshotError::Corrupt("duplicate neighbour in adjacency"));
+                }
+            }
+            half_edges += set.len();
+            adjacency.push(set);
+        }
+        r.finish()?;
+        if !half_edges.is_multiple_of(2) {
+            return Err(SnapshotError::Corrupt("odd half-edge count"));
+        }
+        for (v, adj) in adjacency.iter().enumerate() {
+            for x in adj.iter() {
+                if !adjacency[x.index()].contains(VertexId(v as u32)) {
+                    return Err(SnapshotError::Corrupt("asymmetric adjacency"));
+                }
+            }
+        }
+        Ok(DynGraph::from_parts(adjacency, half_edges / 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn roundtrip(g: &DynGraph) -> DynGraph {
+        let mut w = SnapWriter::new();
+        g.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        DynGraph::read_snapshot(&mut r).expect("roundtrip")
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.f64(0.25);
+        w.vertex(v(9));
+        w.edge(EdgeKey::new(v(5), v(2)));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert_eq!(r.vertex().unwrap(), v(9));
+        assert_eq!(r.edge().unwrap(), EdgeKey::new(v(2), v(5)));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn sections_are_length_prefixed_and_tagged() {
+        let mut w = SnapWriter::new();
+        w.section(0x11, |s| s.u64(42));
+        w.section(0x22, |s| {
+            s.u32(1);
+            s.u32(2);
+        });
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut first = r.section(0x11).unwrap();
+        assert_eq!(first.u64().unwrap(), 42);
+        first.finish().unwrap();
+        // Asking for the wrong tag is an error.
+        assert!(matches!(
+            r.section(0x33),
+            Err(SnapshotError::UnexpectedSection {
+                expected: 0x33,
+                found: 0x22
+            })
+        ));
+    }
+
+    #[test]
+    fn document_header_is_validated() {
+        let payload = {
+            let mut w = SnapWriter::new();
+            w.u64(123);
+            w.into_bytes()
+        };
+        let mut doc = Vec::new();
+        write_document(&mut doc, 7, &payload).unwrap();
+        assert_eq!(read_document(&doc[..], 7).unwrap(), payload);
+        // Wrong algorithm tag.
+        assert!(matches!(
+            read_document(&doc[..], 8),
+            Err(SnapshotError::AlgorithmMismatch {
+                expected: 8,
+                found: 7
+            })
+        ));
+        // Flipped payload byte → checksum mismatch.
+        let mut bad = doc.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            read_document(&bad[..], 7),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            read_document(&doc[..doc.len() - 2], 7),
+            Err(SnapshotError::Truncated)
+        ));
+        // Bad magic.
+        let mut nonsense = doc.clone();
+        nonsense[0] = b'X';
+        assert!(matches!(
+            read_document(&nonsense[..], 7),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Future version.
+        let mut future = doc;
+        future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            read_document(&future[..], 7),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_roundtrip_preserves_slot_order() {
+        let mut g = DynGraph::new();
+        for (a, b) in [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (2, 3), (0, 4)] {
+            g.insert_edge(v(a), v(b)).unwrap();
+        }
+        // Swap-remove shuffles slot order away from insertion order.
+        g.delete_edge(v(0), v(2)).unwrap();
+        let restored = roundtrip(&g);
+        assert_eq!(restored.num_vertices(), g.num_vertices());
+        assert_eq!(restored.num_edges(), g.num_edges());
+        for x in g.vertices() {
+            assert_eq!(
+                restored.neighbours(x).as_slice(),
+                g.neighbours(x).as_slice(),
+                "slot order must survive the roundtrip for vertex {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = DynGraph::new();
+        let restored = roundtrip(&g);
+        assert_eq!(restored.num_vertices(), 0);
+        assert_eq!(restored.num_edges(), 0);
+        let g2 = DynGraph::with_vertices(5);
+        let restored2 = roundtrip(&g2);
+        assert_eq!(restored2.num_vertices(), 5);
+        assert_eq!(restored2.num_edges(), 0);
+    }
+
+    #[test]
+    fn corrupt_adjacency_is_rejected() {
+        // Asymmetric adjacency (even half-edge count so the parity check
+        // does not trip first): 0 lists 1, 1 lists 2, 2 lists nothing.
+        let mut w = SnapWriter::new();
+        w.len_prefix(3);
+        w.len_prefix(1);
+        w.vertex(v(1));
+        w.len_prefix(1);
+        w.vertex(v(2));
+        w.len_prefix(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            DynGraph::read_snapshot(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt("asymmetric adjacency"))
+        ));
+        // Out-of-range neighbour id.
+        let mut w = SnapWriter::new();
+        w.len_prefix(1);
+        w.len_prefix(1);
+        w.vertex(v(7));
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            DynGraph::read_snapshot(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt("neighbour id outside vertex space"))
+        ));
+    }
+}

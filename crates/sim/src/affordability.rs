@@ -18,7 +18,15 @@ pub const COSINE_BALANCED_RATIO: f64 = 0.81;
 ///
 /// * Jaccard (Eq. 2):             `τ = ⌊½ρε · d_max⌋ + 1`
 /// * cosine, balanced (Eq. 7):    `τ = ⌊0.45 ρε² · n_max⌋ + 1`
-/// * cosine, unbalanced (Eq. 8):  `τ = ⌊0.19 ε² · n_max⌋ + 1`
+/// * cosine, unbalanced (Eq. 8):  `τ = ⌊0.19 ρε² · n_max⌋ + 1`
+///
+/// All three branches scale with ρ: the affordability bounds exist because
+/// an edge labelled inside its accuracy margin needs Θ(ρ)·(degree scale)
+/// affecting updates before its similarity can cross out of the
+/// does-not-matter band `[(1−ρ)ε, (1+ρ)ε)`.  (An earlier revision dropped
+/// the ρ factor from the unbalanced branch, which over-tracked hub edges
+/// by 1/ρ× — with ρ → 0 the band is empty and every affecting update may
+/// invalidate the label, so no ρ-free constant can be correct.)
 ///
 /// For Jaccard the open degrees `d = n − 1` are used, exactly as in the
 /// paper; using the smaller quantity keeps the affordability bound
@@ -45,7 +53,7 @@ pub fn tracking_threshold(
             if n_min >= COSINE_BALANCED_RATIO * eps * eps * n_max {
                 (0.45 * rho * eps * eps * n_max).floor() as u64 + 1
             } else {
-                (0.19 * eps * eps * n_max).floor() as u64 + 1
+                (0.19 * rho * eps * eps * n_max).floor() as u64 + 1
             }
         }
     }
@@ -53,6 +61,11 @@ pub fn tracking_threshold(
 
 /// The update affordability `k = τ − 1`: how many affecting updates the
 /// current label can absorb before it might become invalid.
+///
+/// `tracking_threshold` guarantees `τ ≥ 1`, so the subtraction cannot
+/// underflow today; `saturating_sub` pins that at the type level so a
+/// future threshold refactor can never turn a degenerate edge (d = 0/1,
+/// τ = 1, affordability 0) into a 2⁶⁴-update free pass.
 pub fn update_affordability(
     measure: SimilarityMeasure,
     eps: f64,
@@ -60,7 +73,7 @@ pub fn update_affordability(
     degree_u: usize,
     degree_v: usize,
 ) -> u64 {
-    tracking_threshold(measure, eps, rho, degree_u, degree_v) - 1
+    tracking_threshold(measure, eps, rho, degree_u, degree_v).saturating_sub(1)
 }
 
 #[cfg(test)]
@@ -100,13 +113,21 @@ mod tests {
         // Balanced: n_min = 801 ≥ 0.81·0.36·1001 ≈ 292.
         let balanced = tracking_threshold(SimilarityMeasure::Cosine, eps, 0.1, 1000, 800);
         assert_eq!(balanced, (0.45 * 0.1 * eps * eps * 1001.0) as u64 + 1);
-        // Unbalanced: n_min = 11 < 292 → the ε-only formula applies.
+        // Unbalanced: n_min = 11 < 292 → Eq. 8 applies, with the same ρ
+        // factor as the other branches.
         let unbalanced = tracking_threshold(SimilarityMeasure::Cosine, eps, 0.1, 1000, 10);
-        assert_eq!(unbalanced, (0.19 * eps * eps * 1001.0) as u64 + 1);
-        // The unbalanced threshold does not depend on ρ.
+        assert_eq!(unbalanced, (0.19 * 0.1 * eps * eps * 1001.0) as u64 + 1);
+        // Like every affordability bound, the unbalanced threshold scales
+        // with ρ (a wider does-not-matter band affords more updates) …
+        assert!(
+            tracking_threshold(SimilarityMeasure::Cosine, eps, 0.5, 1000, 10) > unbalanced,
+            "larger ρ must afford more updates in the unbalanced branch"
+        );
+        // … and collapses to τ = 1 (re-examine every update) as ρ → 0,
+        // where the band is empty and nothing can be afforded.
         assert_eq!(
-            unbalanced,
-            tracking_threshold(SimilarityMeasure::Cosine, eps, 0.5, 1000, 10)
+            tracking_threshold(SimilarityMeasure::Cosine, eps, 1e-9, 100_000, 10),
+            1
         );
     }
 
@@ -124,6 +145,25 @@ mod tests {
         assert_eq!(
             update_affordability(SimilarityMeasure::Jaccard, 0.2, 0.5, 400, 10) + 1,
             tracking_threshold(SimilarityMeasure::Jaccard, 0.2, 0.5, 400, 10)
+        );
+    }
+
+    #[test]
+    fn degenerate_degrees_afford_zero_without_underflow() {
+        // d = 0 and d = 1 endpoints floor every branch to τ = 1, so the
+        // affordability is exactly 0 — the label is re-examined on every
+        // affecting update — and the subtraction must not wrap to u64::MAX.
+        for m in [SimilarityMeasure::Jaccard, SimilarityMeasure::Cosine] {
+            for (du, dv) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                let k = update_affordability(m, 0.2, 0.01, du, dv);
+                assert_eq!(k, 0, "{m} affordability at degrees ({du}, {dv})");
+                assert_eq!(tracking_threshold(m, 0.2, 0.01, du, dv), 1);
+            }
+        }
+        // Tiny ρ on a big graph also floors to zero affordability.
+        assert_eq!(
+            update_affordability(SimilarityMeasure::Jaccard, 0.2, 1e-12, 10_000, 10_000),
+            0
         );
     }
 

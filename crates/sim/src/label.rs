@@ -61,6 +61,44 @@ mod tests {
         assert_eq!(EdgeLabel::from_similarity(0.0, 0.2), EdgeLabel::Dissimilar);
     }
 
+    /// Pin the decision rule against the half-open ρ-band
+    /// `[(1−ρ)ε, (1+ρ)ε)` of Definition 4.2: similarities at or above the
+    /// band's (exclusive) upper end **must** label similar, similarities
+    /// strictly below its (inclusive) lower end **must** label dissimilar,
+    /// and inside the band either label is valid — `from_similarity`
+    /// resolves the band by its plain `σ ≥ ε` comparison, which this test
+    /// freezes so boundary behaviour can never drift silently.
+    #[test]
+    fn rho_band_boundaries_are_half_open() {
+        let eps = 0.5;
+        let rho = 0.2;
+        let lower = (1.0 - rho) * eps; // 0.4 — in-band (inclusive)
+        let upper = (1.0 + rho) * eps; // 0.6 — out-of-band (exclusive)
+
+        // At exactly (1+ρ)ε the edge is outside the band: must be Similar.
+        assert_eq!(EdgeLabel::from_similarity(upper, eps), EdgeLabel::Similar);
+        // Just below (1−ρ)ε the edge is outside the band: must be Dissimilar.
+        assert_eq!(
+            EdgeLabel::from_similarity(lower - 1e-12, eps),
+            EdgeLabel::Dissimilar
+        );
+        // Exactly (1−ρ)ε is *inside* the band (closed lower end): either
+        // label is valid; the implementation picks Dissimilar (< ε).
+        assert_eq!(
+            EdgeLabel::from_similarity(lower, eps),
+            EdgeLabel::Dissimilar
+        );
+        // Just below (1+ρ)ε is still inside the band (open upper end);
+        // the implementation picks Similar there (≥ ε).
+        assert_eq!(
+            EdgeLabel::from_similarity(upper - 1e-12, eps),
+            EdgeLabel::Similar
+        );
+        // ε itself sits inside the band and resolves Similar (σ ≥ ε is
+        // inclusive, Definition 2.1).
+        assert_eq!(EdgeLabel::from_similarity(eps, eps), EdgeLabel::Similar);
+    }
+
     #[test]
     fn helpers() {
         assert!(EdgeLabel::Similar.is_similar());

@@ -1,0 +1,249 @@
+//! Checkpoint/restore correctness: a restored instance must behave
+//! **exactly** like the instance that never stopped.
+//!
+//! The property exercised throughout: split a random update stream at a
+//! random point, checkpoint the live instance there, restore a second
+//! instance from the bytes, then feed the identical continuation to both.
+//! Every batch must return byte-identical flip sets, and the final
+//! checkpoints must be byte-identical — in exact mode *and* in sampled
+//! mode (where the continuation consumes estimator random streams, so any
+//! drift in RNG counters, adjacency slot order or DT state would show).
+//!
+//! A committed golden fixture pins the on-disk format: if the encoding
+//! changes, the fixture test fails and `FORMAT_VERSION` must be bumped.
+
+use dynscan_baseline::ExactDynScan;
+use dynscan_core::{
+    BatchUpdate, DynElm, DynStrClu, GraphUpdate, Params, Snapshot, SnapshotError, VertexId,
+};
+use proptest::prelude::*;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// Turn proptest's raw op triples into updates (self-loops dropped).
+fn to_updates(ops: &[(bool, u32, u32)]) -> Vec<GraphUpdate> {
+    ops.iter()
+        .filter(|(_, a, b)| a != b)
+        .map(|&(insert, a, b)| {
+            if insert {
+                GraphUpdate::Insert(v(a), v(b))
+            } else {
+                GraphUpdate::Delete(v(a), v(b))
+            }
+        })
+        .collect()
+}
+
+/// Drive `live` through `prefix`, checkpoint+restore, then apply
+/// `suffix` to both and require byte-identical behaviour throughout.
+fn assert_resumes_bit_identically<A>(
+    make: impl Fn() -> A,
+    stream: &[GraphUpdate],
+    cut: usize,
+    batch: usize,
+) where
+    A: BatchUpdate + Snapshot,
+{
+    let cut = cut.min(stream.len());
+    let (prefix, suffix) = stream.split_at(cut);
+    let mut live = make();
+    for chunk in prefix.chunks(batch.max(1)) {
+        live.apply_batch(chunk);
+    }
+    let snapshot = live.checkpoint_bytes();
+    let mut restored = A::restore(&snapshot[..]).expect("checkpoint must restore");
+    // Restoring is free of side effects: the restored instance's own
+    // checkpoint is the same document.
+    assert_eq!(restored.checkpoint_bytes(), snapshot);
+    for chunk in suffix.chunks(batch.max(1)) {
+        let flips_live = live.apply_batch(chunk);
+        let flips_restored = restored.apply_batch(chunk);
+        assert_eq!(flips_live, flips_restored, "flip sets diverged");
+    }
+    assert_eq!(
+        live.checkpoint_bytes(),
+        restored.checkpoint_bytes(),
+        "post-continuation state diverged"
+    );
+    assert_eq!(live.updates_applied(), restored.updates_applied());
+}
+
+fn exact_params() -> Params {
+    Params::jaccard(0.35, 3)
+        .with_rho(0.0)
+        .with_exact_labels()
+        .with_seed(0x5eed_0001)
+}
+
+fn sampled_params() -> Params {
+    Params::jaccard(0.3, 3).with_rho(0.2).with_seed(0x5eed_0002)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Exact mode: checkpoint → restore → apply(S) is byte-identical to
+    /// apply(S) on the live instance, for any stream, cut point and batch
+    /// partition — including streams whose deletions empty the graph.
+    #[test]
+    fn strclu_exact_mode_resumes_bit_identically(
+        ops in prop::collection::vec((any::<bool>(), 0u32..14, 0u32..14), 1..120),
+        cut in 0usize..120,
+        batch in 1usize..20,
+    ) {
+        let stream = to_updates(&ops);
+        assert_resumes_bit_identically(
+            || DynStrClu::new(exact_params()),
+            &stream,
+            cut,
+            batch,
+        );
+    }
+
+    /// Sampled mode (the real algorithm): the continuation draws estimator
+    /// randomness, so this property additionally covers the per-edge
+    /// invocation counters, the batch epoch and the adjacency slot order.
+    #[test]
+    fn strclu_sampled_mode_resumes_bit_identically(
+        ops in prop::collection::vec((any::<bool>(), 0u32..14, 0u32..14), 1..100),
+        cut in 0usize..100,
+        batch in 1usize..20,
+    ) {
+        let stream = to_updates(&ops);
+        assert_resumes_bit_identically(
+            || DynStrClu::new(sampled_params()),
+            &stream,
+            cut,
+            batch,
+        );
+    }
+
+    /// The same property at the DynELM layer and for the exact baseline.
+    #[test]
+    fn elm_and_baseline_resume_bit_identically(
+        ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 1..80),
+        cut in 0usize..80,
+        batch in 1usize..16,
+    ) {
+        let stream = to_updates(&ops);
+        assert_resumes_bit_identically(|| DynElm::new(sampled_params()), &stream, cut, batch);
+        assert_resumes_bit_identically(
+            || ExactDynScan::jaccard(0.35, 3),
+            &stream,
+            cut,
+            batch,
+        );
+    }
+}
+
+/// Deletions all the way down to the empty graph, checkpointing at every
+/// intermediate size (the degenerate-topology sweep of the satellite
+/// task).
+#[test]
+fn checkpoints_survive_deletion_to_empty_graph() {
+    for params in [exact_params(), sampled_params()] {
+        let mut live = DynStrClu::new(params);
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                live.insert_edge(v(a), v(b)).unwrap();
+                edges.push((a, b));
+            }
+        }
+        for &(a, b) in &edges {
+            let snapshot = live.checkpoint_bytes();
+            let mut restored = DynStrClu::restore(&snapshot[..]).expect("restore");
+            let flips_live = live.delete_edge(v(a), v(b)).unwrap();
+            let flips_restored = restored.delete_edge(v(a), v(b)).unwrap();
+            assert_eq!(flips_live, flips_restored);
+            assert_eq!(live.checkpoint_bytes(), restored.checkpoint_bytes());
+        }
+        assert_eq!(live.graph().num_edges(), 0);
+        // The empty end state itself roundtrips.
+        let restored = DynStrClu::restore(&live.checkpoint_bytes()[..]).unwrap();
+        assert_eq!(restored.clustering().num_clusters(), 0);
+    }
+}
+
+/// Group-by queries agree (as cluster partitions) between live and
+/// restored instances; component ids may differ, groupings may not.
+#[test]
+fn group_by_partitions_agree_after_restore() {
+    let mut live = DynStrClu::new(sampled_params());
+    for a in 0..5u32 {
+        for b in (a + 1)..5 {
+            live.insert_edge(v(a), v(b)).unwrap();
+        }
+    }
+    for a in 6..10u32 {
+        for b in (a + 1)..10 {
+            live.insert_edge(v(a), v(b)).unwrap();
+        }
+    }
+    live.insert_edge(v(4), v(6)).unwrap();
+    let mut restored = DynStrClu::restore(&live.checkpoint_bytes()[..]).unwrap();
+    let q: Vec<VertexId> = (0..10).map(v).collect();
+    let normalise = |groups: Vec<Vec<VertexId>>| {
+        let mut sets: Vec<Vec<u32>> = groups
+            .into_iter()
+            .map(|g| g.into_iter().map(|x| x.raw()).collect())
+            .collect();
+        sets.sort();
+        sets
+    };
+    assert_eq!(
+        normalise(live.cluster_group_by(&q)),
+        normalise(restored.cluster_group_by(&q))
+    );
+}
+
+/// The committed golden fixture still restores, restores to a fixed point
+/// of checkpoint∘restore, and matches the canonical instance bytes — any
+/// accidental change to the encoding *or* to the serialised algorithm
+/// state breaks this test; intentional changes regenerate the fixture
+/// (`snapshot_ci golden write tests/fixtures/golden_snapshot_v1.bin`) and
+/// bump `FORMAT_VERSION` if the wire layout itself changed.
+#[test]
+fn golden_snapshot_fixture_is_stable() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden_snapshot_v1.bin");
+    let committed = std::fs::read(&path).expect("golden fixture is committed");
+    let restored = DynStrClu::restore(&committed[..])
+        .expect("committed fixture must restore under the current format");
+    assert_eq!(
+        restored.checkpoint_bytes(),
+        committed,
+        "fixture must be a fixed point of checkpoint∘restore"
+    );
+    // Pin a few semantic facts so the fixture is more than opaque bytes.
+    assert_eq!(restored.graph().num_vertices(), 11);
+    assert_eq!(restored.graph().num_edges(), 23);
+    assert_eq!(restored.clustering().num_clusters(), 1);
+    assert!(restored.is_core(v(0)) && restored.is_core(v(5)));
+}
+
+/// Error paths: garbage, truncation and cross-algorithm confusion all
+/// fail loudly instead of restoring nonsense.
+#[test]
+fn snapshot_error_paths() {
+    assert!(matches!(
+        DynStrClu::restore(&b"not a snapshot at all"[..]),
+        Err(SnapshotError::BadMagic) | Err(SnapshotError::Truncated)
+    ));
+    let elm = DynElm::new(exact_params());
+    let bytes = elm.checkpoint_bytes();
+    assert!(matches!(
+        DynStrClu::restore(&bytes[..]),
+        Err(SnapshotError::AlgorithmMismatch { .. })
+    ));
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x55;
+    assert!(DynElm::restore(&corrupt[..]).is_err());
+    assert!(matches!(
+        DynElm::restore(&bytes[..bytes.len() - 1]),
+        Err(SnapshotError::Truncated)
+    ));
+}
