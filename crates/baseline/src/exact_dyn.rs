@@ -1,16 +1,37 @@
 //! pSCAN-style exact dynamic baseline.
 
-use dynscan_core::{extract_clustering, BatchUpdate, DynamicClustering, FlippedEdge, StrCluResult};
-use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, MemoryFootprint, VertexId};
+use dynscan_core::{
+    extract_clustering, group_by_from_clustering, BatchUpdate, Clusterer, DynamicClustering,
+    FlippedEdge, Snapshot, StrCluResult, UpdateError,
+};
+use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, MemoryFootprint, SnapshotError, VertexId};
 use dynscan_sim::{EdgeLabel, SimilarityMeasure};
 use std::collections::HashMap;
+
+/// Validate a single update against the current graph, mapping the three
+/// rejection causes onto [`UpdateError`] exactly as the DynELM-based
+/// algorithms do.  Shared by both baselines' `try_apply`, so their
+/// rejection semantics cannot drift apart.
+pub(crate) fn validate_update(graph: &DynGraph, update: GraphUpdate) -> Result<(), UpdateError> {
+    let (u, w) = update.endpoints();
+    if u == w {
+        return Err(UpdateError::InvalidVertex { v: u });
+    }
+    if update.is_insert() && graph.has_edge(u, w) {
+        return Err(UpdateError::DuplicateInsert { u, v: w });
+    }
+    if update.is_delete() && !graph.has_edge(u, w) {
+        return Err(UpdateError::MissingDelete { u, v: w });
+    }
+    Ok(())
+}
 
 /// Exact dynamic structural clustering à la pSCAN.
 ///
 /// The structure maintains, for every edge, the exact intersection size
 /// `a = |N[u] ∩ N[v]|`.  An update `(u, w)` walks the full neighbourhoods of
 /// `u` and `w` and adjusts each incident edge's count by one hash probe —
-/// the O(d[u] + d[w]) ⊆ O(n) per-update behaviour the paper attributes to
+/// the O(d\[u\] + d\[w\]) ⊆ O(n) per-update behaviour the paper attributes to
 /// the exact competitors.  Labels are always exactly valid, so the
 /// clustering matches [`crate::StaticScan`] at every point in time.
 #[derive(Clone, Debug)]
@@ -283,11 +304,14 @@ impl DynamicClustering for ExactDynScan {
         "pSCAN-like"
     }
 
-    fn apply_update(&mut self, update: GraphUpdate) -> bool {
-        match update {
-            GraphUpdate::Insert(u, v) => self.insert_edge(u, v).is_some(),
-            GraphUpdate::Delete(u, v) => self.delete_edge(u, v).is_some(),
-        }
+    /// The historical behaviour silently skipped invalid updates; the
+    /// typed path reports the same three causes as the DynELM-based
+    /// algorithms, so a harness can treat all four backends uniformly.
+    fn try_apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError> {
+        validate_update(&self.graph, update)?;
+        // A valid single update is the batch-size-1 case of the shared
+        // batch path (identical relabelling against the final counts).
+        Ok(self.apply_batch_tracked(&[update]).0)
     }
 
     fn current_clustering(&self) -> StrCluResult {
@@ -302,6 +326,30 @@ impl DynamicClustering for ExactDynScan {
 
     fn updates_applied(&self) -> u64 {
         self.updates
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+impl Clusterer for ExactDynScan {
+    fn algo_tag(&self) -> u32 {
+        <ExactDynScan as Snapshot>::ALGO_TAG
+    }
+
+    /// Group-by from the always-exact maintained counts: extract the
+    /// clustering (O(n + m)) and group `q` by membership.
+    fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+        group_by_from_clustering(&self.clustering(), q)
+    }
+
+    fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        Snapshot::checkpoint(self, w)
     }
 }
 

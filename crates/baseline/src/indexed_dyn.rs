@@ -1,8 +1,11 @@
 //! hSCAN-style index-based dynamic baseline.
 
 use crate::exact_dyn::ExactDynScan;
-use dynscan_core::{extract_clustering, BatchUpdate, DynamicClustering, FlippedEdge, StrCluResult};
-use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, VertexId};
+use dynscan_core::{
+    extract_clustering, group_by_from_clustering, BatchUpdate, Clusterer, DynamicClustering,
+    FlippedEdge, Snapshot, StrCluResult, UpdateError,
+};
+use dynscan_graph::{DynGraph, EdgeKey, GraphUpdate, SnapshotError, VertexId};
 use dynscan_sim::SimilarityMeasure;
 use std::collections::{BTreeSet, HashMap};
 
@@ -189,11 +192,11 @@ impl DynamicClustering for IndexedDynScan {
         "hSCAN-like"
     }
 
-    fn apply_update(&mut self, update: GraphUpdate) -> bool {
-        match update {
-            GraphUpdate::Insert(u, v) => self.insert_edge(u, v),
-            GraphUpdate::Delete(u, v) => self.delete_edge(u, v),
-        }
+    /// Typed single-update path; the same three rejection causes as every
+    /// other backend, evaluated against the inner exact structure.
+    fn try_apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError> {
+        crate::exact_dyn::validate_update(self.graph(), update)?;
+        Ok(IndexedDynScan::apply_batch(self, &[update]))
     }
 
     fn current_clustering(&self) -> StrCluResult {
@@ -213,6 +216,29 @@ impl DynamicClustering for IndexedDynScan {
 
     fn updates_applied(&self) -> u64 {
         self.inner.updates_applied()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph().num_edges()
+    }
+}
+
+impl Clusterer for IndexedDynScan {
+    fn algo_tag(&self) -> u32 {
+        <IndexedDynScan as Snapshot>::ALGO_TAG
+    }
+
+    /// Group-by at the default (ε, μ) from the exact similarity index.
+    fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+        group_by_from_clustering(&self.current_clustering(), q)
+    }
+
+    fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        Snapshot::checkpoint(self, w)
     }
 }
 

@@ -10,7 +10,7 @@
 //!
 //! * [`ExactDynScan`] — a pSCAN-style exact dynamic baseline: it maintains
 //!   exact per-edge intersection counts under updates, so every update costs
-//!   O(d[u] + d[w]) hash probes (the Θ(n) worst case the paper's
+//!   O(d\[u\] + d\[w\]) hash probes (the Θ(n) worst case the paper's
 //!   introduction describes), and the labelling is always exactly valid.
 //!
 //! * [`IndexedDynScan`] — an hSCAN-style index baseline: on top of the exact
@@ -20,6 +20,14 @@
 //!
 //! All three reuse the `StrCluResult` extraction from `dynscan-core`, so
 //! quality comparisons are apples-to-apples.
+//!
+//! Both dynamic baselines implement the object-safe
+//! [`dynscan_core::Clusterer`] trait, so the `Session` facade can drive
+//! them exactly like DynELM / DynStrClu.  Because the crate dependency
+//! points from here to `dynscan-core`, the facade reaches them through
+//! the backend registry: call [`install`] once at startup and
+//! `Session::builder().backend(Backend::ExactDynScan)` and erased
+//! `restore_any` snapshots of either baseline work.
 
 pub mod exact_dyn;
 pub mod indexed_dyn;
@@ -29,3 +37,41 @@ pub mod static_scan;
 pub use exact_dyn::ExactDynScan;
 pub use indexed_dyn::IndexedDynScan;
 pub use static_scan::StaticScan;
+
+use dynscan_core::session::{register_backend, Backend};
+use dynscan_core::{Clusterer, Params, Snapshot, SnapshotError};
+
+fn construct_exact(p: Params) -> Box<dyn Clusterer> {
+    Box::new(ExactDynScan::new(p.eps, p.mu, p.measure))
+}
+
+fn restore_exact(bytes: &[u8]) -> Result<Box<dyn Clusterer>, SnapshotError> {
+    Ok(Box::new(ExactDynScan::restore(bytes)?))
+}
+
+fn construct_indexed(p: Params) -> Box<dyn Clusterer> {
+    Box::new(IndexedDynScan::new(p.eps, p.mu, p.measure))
+}
+
+fn restore_indexed(bytes: &[u8]) -> Result<Box<dyn Clusterer>, SnapshotError> {
+    Ok(Box::new(IndexedDynScan::restore(bytes)?))
+}
+
+/// Register both exact dynamic baselines with `dynscan-core`'s backend
+/// registry, making them constructible through
+/// `Session::builder().backend(..)` and restorable through the erased
+/// `restore_any` path.  Idempotent; call once at startup.
+pub fn install() {
+    register_backend(
+        Backend::ExactDynScan,
+        <ExactDynScan as Snapshot>::ALGO_TAG,
+        construct_exact,
+        restore_exact,
+    );
+    register_backend(
+        Backend::IndexedDynScan,
+        <IndexedDynScan as Snapshot>::ALGO_TAG,
+        construct_indexed,
+        restore_indexed,
+    );
+}

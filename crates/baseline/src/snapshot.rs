@@ -95,6 +95,25 @@ fn read_exact_payload(r: &mut SnapReader<'_>) -> Result<ExactDynScan, SnapshotEr
         if (a as usize) < 2 || a as usize > bound {
             return Err(SnapshotError::Corrupt("intersection count out of bounds"));
         }
+        // The baseline's invariant is that labels are always exactly valid;
+        // a stored label is redundant with the count and the degrees, so a
+        // disagreement means the snapshot is corrupt, not merely stale.
+        let sigma = match measure {
+            SimilarityMeasure::Jaccard => {
+                let union = (graph.closed_degree(u) + graph.closed_degree(v)) as f64 - a as f64;
+                a as f64 / union
+            }
+            SimilarityMeasure::Cosine => {
+                let nu = graph.closed_degree(u) as f64;
+                let nv = graph.closed_degree(v) as f64;
+                a as f64 / (nu * nv).sqrt()
+            }
+        };
+        if label != EdgeLabel::from_similarity(sigma, eps) {
+            return Err(SnapshotError::Corrupt(
+                "label inconsistent with the exact intersection count",
+            ));
+        }
         if intersections.insert(key, a).is_some() {
             return Err(SnapshotError::Corrupt("duplicate edge entry"));
         }
@@ -226,7 +245,7 @@ mod tests {
             GraphUpdate::Insert(v(13), v(7)),
         ];
         for &update in &continuation {
-            assert_eq!(live.apply_update(update), restored.apply_update(update));
+            assert_eq!(live.try_apply(update), restored.try_apply(update));
         }
         assert_eq!(restored.checkpoint_bytes(), live.checkpoint_bytes());
     }

@@ -7,7 +7,7 @@ use dynscan_sim::{exact_similarity, SimilarityMeasure};
 /// The original SCAN algorithm: label every edge by its exact structural
 /// similarity and extract the StrClu result.
 ///
-/// Complexity is O(Σ_(u,v)∈E min(d[u], d[v]) + n + m) — the O(m^1.5)
+/// Complexity is O(Σ_(u,v)∈E min(d\[u\], d\[v\]) + n + m) — the O(m^1.5)
 /// worst case the paper quotes.  In this workspace it serves as the exact
 /// ground truth for all quality experiments (Tables 2 and 3).
 #[derive(Clone, Copy, Debug)]

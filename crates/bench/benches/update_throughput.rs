@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynscan_baseline::{ExactDynScan, IndexedDynScan};
-use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params};
+use dynscan_core::{Clusterer, DynElm, DynStrClu, DynamicClustering, Params};
 use dynscan_graph::GraphUpdate;
 use dynscan_workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
 use std::time::Duration;
@@ -27,9 +27,9 @@ fn params() -> Params {
         .with_delta_star_for_n(N)
 }
 
-fn replay(algo: &mut dyn DynamicClustering, updates: &[GraphUpdate]) {
+fn replay(algo: &mut dyn Clusterer, updates: &[GraphUpdate]) {
     for &u in updates {
-        algo.apply_update(u);
+        let _ = algo.try_apply(u);
     }
 }
 

@@ -4,15 +4,16 @@
 //!
 //! This is the measurement behind the batch update engine: replay an
 //! identical bursty stream (a) one update at a time through
-//! [`DynamicClustering::apply_update`] and (b) burst-by-burst through
-//! [`BatchUpdate::apply_batch`], time both, compare throughput, and check
+//! [`dynscan_core::DynamicClustering::try_apply`] and (b) burst-by-burst
+//! through [`dynscan_core::BatchUpdate::apply_batch`], time both, compare
+//! throughput, and check
 //! that the final clusterings serialise to identical bytes.  In
 //! exact-labelling ρ = 0 mode the identity is a theorem (see the
 //! `batch_equivalence` integration tests); in sampled mode it is checked
 //! and reported per run.
 
 use dynscan_baseline::ExactDynScan;
-use dynscan_core::{BatchUpdate, DynElm, DynStrClu, DynamicClustering, Params, StrCluResult};
+use dynscan_core::{Clusterer, DynElm, DynStrClu, Params, StrCluResult};
 use dynscan_graph::GraphUpdate;
 use dynscan_workload::{chung_lu_power_law, BurstyStream, BurstyStreamConfig};
 use std::fmt::Write as _;
@@ -66,7 +67,7 @@ impl BatchBenchConfig {
 /// One measured comparison row.
 #[derive(Clone, Debug)]
 pub struct BatchBenchRow {
-    /// Algorithm name (from [`DynamicClustering::algorithm_name`]).
+    /// Algorithm name (from [`dynscan_core::DynamicClustering::algorithm_name`]).
     pub algorithm: &'static str,
     /// Labelling mode: `"exact-rho0"` or `"sampled"`.
     pub mode: &'static str,
@@ -145,12 +146,12 @@ fn measure<A, F>(
     batched: bool,
 ) -> (f64, StrCluResult)
 where
-    A: DynamicClustering + BatchUpdate,
+    A: Clusterer,
     F: Fn() -> A,
 {
     let mut algo = make();
     for &(u, v) in initial {
-        algo.apply_update(GraphUpdate::Insert(u.into(), v.into()));
+        let _ = algo.try_apply(GraphUpdate::Insert(u.into(), v.into()));
     }
     let start = Instant::now();
     if batched {
@@ -160,7 +161,7 @@ where
     } else {
         for batch in batches {
             for &update in batch {
-                algo.apply_update(update);
+                let _ = algo.try_apply(update);
             }
         }
     }
@@ -175,7 +176,7 @@ fn compare<A, F>(
     make: F,
 ) -> BatchBenchRow
 where
-    A: DynamicClustering + BatchUpdate,
+    A: Clusterer,
     F: Fn() -> A,
 {
     let (initial, batches) = make_batches(config);

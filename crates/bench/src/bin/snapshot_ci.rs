@@ -1,16 +1,20 @@
 //! The cross-process checkpoint/restore gate used by CI, plus the golden
-//! snapshot fixture generator.
+//! snapshot fixture generator — driven end-to-end through the `Session`
+//! facade.
 //!
 //! The point of the two-command dance is that restore happens in a *fresh
 //! process* — nothing can leak through in-memory state, the snapshot file
 //! is the only channel:
 //!
 //! ```text
-//! # Phase 1: build a workload, checkpoint mid-stream to <dir>/snapshot.bin,
-//! # finish the stream in-process and record the expected final clustering.
+//! # Phase 1: build a workload; the session's auto-checkpoint hook
+//! # (`checkpoint_every` + a file-writer sink) persists <dir>/snapshot.bin
+//! # exactly when the warmup completes; finish the stream in-process and
+//! # record the expected final clustering.
 //! snapshot_ci checkpoint <dir>
 //!
-//! # Phase 2 (fresh process): restore from <dir>/snapshot.bin, replay the
+//! # Phase 2 (fresh process): restore from <dir>/snapshot.bin through the
+//! # *erased* `restore_any` registry (no concrete type named), replay the
 //! # same continuation, and fail unless the final clustering and the final
 //! # checkpoint bytes match phase 1 exactly.
 //! snapshot_ci resume <dir>
@@ -29,8 +33,8 @@
 use dynscan_bench::clustering_fingerprint;
 use dynscan_bench::snapshot::make_workload;
 use dynscan_bench::CheckpointBenchConfig;
-use dynscan_core::{DynStrClu, DynamicClustering, Params, Snapshot};
-use std::path::Path;
+use dynscan_core::{restore_any, Backend, Params, Session};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn ci_config() -> CheckpointBenchConfig {
@@ -49,46 +53,78 @@ fn ci_params(seed: u64) -> Params {
     Params::jaccard(0.3, 4).with_rho(0.25).with_seed(seed)
 }
 
-/// Build the instance up to the checkpoint moment (phase 1 only).
-fn build_to_checkpoint(config: &CheckpointBenchConfig) -> DynStrClu {
+/// Build the session up to the checkpoint moment (phase 1 only).  The
+/// snapshot is written by the session's own auto-checkpoint hook, through
+/// a user-supplied `Write` factory targeting `<dir>/snapshot.bin`, fired
+/// exactly when the warmup's last update has been submitted.
+fn build_to_checkpoint(config: &CheckpointBenchConfig, dir: &Path) -> Result<Session, String> {
     let (initial, warmup, _) = make_workload(config);
-    let mut algo = DynStrClu::new(ci_params(config.seed));
+    let warmup_updates = (config.initial_edges + config.warmup_batches * config.batch_size) as u64;
+    let snapshot_path: PathBuf = dir.join("snapshot.bin");
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(ci_params(config.seed))
+        .checkpoint_every(warmup_updates)
+        .checkpoint_sink(move |_seq| {
+            let file = std::fs::File::create(&snapshot_path)?;
+            Ok(Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>)
+        })
+        .build()
+        .map_err(|e| format!("build session: {e}"))?;
     for &(u, v) in &initial {
-        algo.apply_batch(&[dynscan_core::GraphUpdate::Insert(u, v)]);
+        session
+            .apply(dynscan_core::GraphUpdate::Insert(u, v))
+            .map_err(|e| format!("initial insert: {e}"))?;
     }
     for batch in &warmup {
-        algo.apply_batch(batch);
+        session.apply_batch(batch);
     }
-    algo
+    if let Some(error) = session.last_checkpoint_error() {
+        return Err(format!("auto-checkpoint failed: {error}"));
+    }
+    if session.checkpoints_written() != 1 {
+        return Err(format!(
+            "expected exactly one auto-checkpoint at the warmup boundary, got {}",
+            session.checkpoints_written()
+        ));
+    }
+    Ok(session)
 }
 
 /// Replay the continuation and return (fingerprint, final checkpoint).
-fn run_continuation(algo: &mut DynStrClu, config: &CheckpointBenchConfig) -> (String, Vec<u8>) {
+fn run_continuation(session: &mut Session, config: &CheckpointBenchConfig) -> (String, Vec<u8>) {
     let (_, _, continuation) = make_workload(config);
     for batch in &continuation {
-        algo.apply_batch(batch);
+        session.apply_batch(batch);
     }
-    (
-        clustering_fingerprint(&algo.current_clustering()),
-        algo.checkpoint_bytes(),
-    )
+    let fingerprint = clustering_fingerprint(session.clustering());
+    (fingerprint, session.checkpoint_bytes())
 }
 
 fn phase_checkpoint(dir: &Path) -> Result<(), String> {
     let config = ci_config();
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let mut algo = build_to_checkpoint(&config);
-    let snapshot = algo.checkpoint_bytes();
-    std::fs::write(dir.join("snapshot.bin"), &snapshot)
-        .map_err(|e| format!("write snapshot.bin: {e}"))?;
-    let (fingerprint, final_bytes) = run_continuation(&mut algo, &config);
+    let mut session = build_to_checkpoint(&config, dir)?;
+    let edges_at_checkpoint = session.num_edges();
+    let (fingerprint, final_bytes) = run_continuation(&mut session, &config);
+    // The checkpoint hook stays armed during the continuation; if a config
+    // change ever makes it fire again, snapshot.bin would silently hold a
+    // post-warmup state and phase 2 would double-apply the continuation.
+    // Fail here, next to the cause, instead.
+    if session.checkpoints_written() != 1 {
+        return Err(format!(
+            "the auto-checkpoint hook fired again during the continuation ({} checkpoints \
+             total) — snapshot.bin no longer holds the warmup-boundary state; raise \
+             checkpoint_every above the full workload length",
+            session.checkpoints_written()
+        ));
+    }
     std::fs::write(dir.join("expected_fingerprint.txt"), fingerprint)
         .map_err(|e| format!("write expected_fingerprint.txt: {e}"))?;
     std::fs::write(dir.join("expected_final.bin"), final_bytes)
         .map_err(|e| format!("write expected_final.bin: {e}"))?;
     eprintln!(
-        "snapshot_ci: checkpointed {} edges mid-workload into {}",
-        algo.graph().num_edges(),
+        "snapshot_ci: auto-checkpointed {edges_at_checkpoint} edges mid-workload into {}",
         dir.display()
     );
     Ok(())
@@ -98,8 +134,11 @@ fn phase_resume(dir: &Path) -> Result<(), String> {
     let config = ci_config();
     let snapshot = std::fs::read(dir.join("snapshot.bin"))
         .map_err(|e| format!("read snapshot.bin (run `snapshot_ci checkpoint` first): {e}"))?;
-    let mut algo = DynStrClu::restore(&snapshot[..]).map_err(|e| format!("restore failed: {e}"))?;
-    let (fingerprint, final_bytes) = run_continuation(&mut algo, &config);
+    // Erased restore: the registry dispatches on the snapshot's algorithm
+    // tag; this phase never names a concrete algorithm type.
+    let mut session =
+        Session::restore(&snapshot[..]).map_err(|e| format!("restore_any failed: {e}"))?;
+    let (fingerprint, final_bytes) = run_continuation(&mut session, &config);
     let expected_fingerprint = std::fs::read_to_string(dir.join("expected_fingerprint.txt"))
         .map_err(|e| format!("read expected_fingerprint.txt: {e}"))?;
     if fingerprint != expected_fingerprint {
@@ -115,8 +154,9 @@ fn phase_resume(dir: &Path) -> Result<(), String> {
         );
     }
     eprintln!(
-        "snapshot_ci: fresh-process resume matched the uninterrupted run \
-         (clustering + {} final state bytes)",
+        "snapshot_ci: fresh-process resume via restore_any ({}) matched the uninterrupted \
+         run (clustering + {} final state bytes)",
+        session.algorithm_name(),
         final_bytes.len()
     );
     Ok(())
@@ -125,9 +165,13 @@ fn phase_resume(dir: &Path) -> Result<(), String> {
 /// The canonical instance behind the committed golden fixture: small and
 /// fully deterministic, in sampled mode so estimator counters are
 /// exercised.
-fn golden_instance() -> DynStrClu {
+fn golden_session() -> Session {
     let params = Params::jaccard(0.35, 3).with_rho(0.2).with_seed(0x601d);
-    let mut algo = DynStrClu::new(params);
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(params)
+        .build()
+        .expect("DynStrClu is always registered");
     let updates: Vec<dynscan_core::GraphUpdate> = {
         use dynscan_core::{GraphUpdate, VertexId};
         let v = VertexId;
@@ -149,13 +193,13 @@ fn golden_instance() -> DynStrClu {
         u
     };
     for batch in updates.chunks(7) {
-        algo.apply_batch(batch);
+        session.apply_batch(batch);
     }
-    algo
+    session
 }
 
 fn golden(action: &str, path: &Path) -> Result<(), String> {
-    let bytes = golden_instance().checkpoint_bytes();
+    let bytes = golden_session().checkpoint_bytes();
     match action {
         "write" => {
             if let Some(parent) = path.parent() {
@@ -173,7 +217,7 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
         "check" => {
             let committed =
                 std::fs::read(path).map_err(|e| format!("read fixture {}: {e}", path.display()))?;
-            let restored = DynStrClu::restore(&committed[..])
+            let restored = restore_any(&committed[..])
                 .map_err(|e| format!("committed fixture no longer restores: {e}"))?;
             if restored.checkpoint_bytes() != committed {
                 return Err("fixture is not a fixed point of checkpoint∘restore".into());
@@ -191,8 +235,9 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
                 ));
             }
             eprintln!(
-                "snapshot_ci: golden fixture matches ({} bytes)",
-                bytes.len()
+                "snapshot_ci: golden fixture matches ({} bytes, restored as {})",
+                bytes.len(),
+                restored.algorithm_name()
             );
             Ok(())
         }

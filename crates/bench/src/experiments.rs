@@ -8,7 +8,7 @@ use crate::export;
 use crate::runner::{run_updates, RunOutcome};
 use crate::scale::Scale;
 use dynscan_baseline::{ExactDynScan, IndexedDynScan, StaticScan};
-use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params, SimilarityMeasure, VertexId};
+use dynscan_core::{Clusterer, DynElm, DynStrClu, Params, SimilarityMeasure, VertexId};
 use dynscan_graph::GraphUpdate;
 use dynscan_metrics::{adjusted_rand_index, mislabelled_rate, top_k_quality};
 use dynscan_workload::{
@@ -54,7 +54,7 @@ fn spec_at(scale: &Scale, spec: DatasetSpec) -> DatasetSpec {
 }
 
 /// The four dynamic algorithms at the paper's default setting.
-fn competitor_set(params: Params) -> Vec<Box<dyn DynamicClustering>> {
+fn competitor_set(params: Params) -> Vec<Box<dyn Clusterer>> {
     vec![
         Box::new(DynElm::new(params)),
         Box::new(DynStrClu::new(params)),

@@ -1,6 +1,6 @@
 //! Timed execution of update streams against a clustering algorithm.
 
-use dynscan_core::DynamicClustering;
+use dynscan_core::Clusterer;
 use dynscan_graph::GraphUpdate;
 use dynscan_metrics::PeakTracker;
 use std::time::{Duration, Instant};
@@ -45,7 +45,7 @@ impl RunOutcome {
 /// `checkpoints` intermediate averages and stopping early once
 /// `time_budget` is exceeded (the cut-off is checked between checkpoints so
 /// the timed region stays free of clock reads).
-pub fn run_updates<A: DynamicClustering + ?Sized>(
+pub fn run_updates<A: Clusterer + ?Sized>(
     algo: &mut A,
     updates: &[GraphUpdate],
     checkpoints: usize,
@@ -61,7 +61,8 @@ pub fn run_updates<A: DynamicClustering + ?Sized>(
     for batch in updates.chunks(chunk) {
         let start = Instant::now();
         for &update in batch {
-            algo.apply_update(update);
+            // Invalid updates in a replay are skipped, as they always were.
+            let _ = algo.try_apply(update);
         }
         elapsed += start.elapsed();
         applied += batch.len();

@@ -137,7 +137,7 @@ fn compare<A, F>(
     make: F,
 ) -> CheckpointBenchRow
 where
-    A: BatchUpdate + Snapshot + HasGraph,
+    A: BatchUpdate + Snapshot,
     F: Fn() -> A,
 {
     let (initial, warmup, continuation) = make_workload(config);
@@ -217,32 +217,6 @@ where
         rebuild_secs,
         restore_speedup: rebuild_secs / restore_secs.max(f64::EPSILON),
         bit_identical,
-    }
-}
-
-/// Accessor trait: the current edge count (the `BatchUpdate` trait does
-/// not expose the graph, but every implementor in this workspace has a
-/// `graph()` accessor).
-pub trait HasGraph {
-    /// Number of edges currently in the graph.
-    fn num_edges(&self) -> usize;
-}
-
-impl HasGraph for DynStrClu {
-    fn num_edges(&self) -> usize {
-        self.graph().num_edges()
-    }
-}
-
-impl HasGraph for DynElm {
-    fn num_edges(&self) -> usize {
-        self.graph().num_edges()
-    }
-}
-
-impl HasGraph for ExactDynScan {
-    fn num_edges(&self) -> usize {
-        self.graph().num_edges()
     }
 }
 

@@ -116,6 +116,53 @@ impl StrCluResult {
     }
 }
 
+/// Answer a cluster-group-by query (Definition 3.2) from a materialised
+/// clustering: group the vertices of `q` by the clusters containing them,
+/// in canonical form — members of each group sorted ascending and
+/// deduplicated, groups in lexicographic order of their member lists.
+///
+/// This is the reference path shared by every backend without a dynamic
+/// connectivity structure (DynELM and the exact baselines implement
+/// `Clusterer::cluster_group_by` by extracting their clustering and
+/// calling this); DynStrClu's O(|Q| · log n) connectivity path must return
+/// exactly the same groups, which the cross-backend equivalence tests pin.
+pub fn group_by_from_clustering(result: &StrCluResult, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let mut pairs: Vec<(u32, VertexId)> = Vec::with_capacity(q.len());
+    for &v in q {
+        for &cluster in result.clusters_of(v) {
+            pairs.push((cluster, v));
+        }
+    }
+    canonical_groups(pairs)
+}
+
+/// Turn a `(cluster key, query vertex)` pair list into the canonical
+/// group-by answer: duplicates collapsed, members of each group sorted
+/// ascending, groups in lexicographic order of their member lists (i.e.
+/// by smallest member, ties broken by the remaining members).  The
+/// single source of truth for the canonical form —
+/// [`group_by_from_clustering`] feeds it cluster ids, DynStrClu's
+/// connectivity path feeds it `G_core` component ids, and both must come
+/// out identical.  The full lexicographic sort matters: a hub that is
+/// the smallest queried member of *several* groups would otherwise leave
+/// the tie to backend-internal key order (cluster index vs. `G_core`
+/// component id), which differs across backends and across restore.
+pub(crate) fn canonical_groups<K: Ord>(mut pairs: Vec<(K, VertexId)>) -> Vec<Vec<VertexId>> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+    let mut current: Option<K> = None;
+    for (key, vertex) in pairs {
+        if current.as_ref() != Some(&key) {
+            groups.push(Vec::new());
+            current = Some(key);
+        }
+        groups.last_mut().expect("just pushed").push(vertex);
+    }
+    groups.sort();
+    groups
+}
+
 /// Extract the StrClu clustering in O(n + m) from a graph and an edge
 /// labelling (Fact 1).
 ///
@@ -382,6 +429,22 @@ mod tests {
         let a = result.clusters_of(v(0))[0];
         assert!(result.cluster(a as usize).contains(&v(4)));
         assert!(result.cluster(a as usize).contains(&v(5)));
+    }
+
+    #[test]
+    fn group_by_helper_is_canonical() {
+        let g = two_cliques_with_hub();
+        let result = extract_clustering(&g, 5, jaccard_labelling(&g, 0.29));
+        // Hub 12 appears in both groups; noise 13 and unknown ids in none;
+        // duplicates collapse.
+        let q = [v(6), v(12), v(0), v(13), v(0), v(1000)];
+        let groups = group_by_from_clustering(&result, &q);
+        assert_eq!(groups.len(), 2);
+        // Groups sorted by smallest member, members ascending.
+        assert_eq!(groups[0], vec![v(0), v(12)]);
+        assert_eq!(groups[1], vec![v(6), v(12)]);
+        assert!(group_by_from_clustering(&result, &[]).is_empty());
+        assert!(group_by_from_clustering(&result, &[v(13)]).is_empty());
     }
 
     #[test]

@@ -34,40 +34,64 @@
 //! Both algorithms work under Jaccard and cosine similarity
 //! ([`SimilarityMeasure`]), mirroring Sections 2–7 and 8 of the paper.
 //!
-//! ## Quick example
+//! ## The `Session` facade (recommended entry point)
+//!
+//! Applications drive any backend through one handle: the object-safe
+//! [`Clusterer`] trait unifies typed update application
+//! ([`DynamicClustering::try_apply`]), batch ingestion
+//! ([`BatchUpdate::apply_batch`]), cluster-group-by queries and erased
+//! checkpointing, and [`Session`] layers streaming ingestion with
+//! **read-your-writes** semantics on top: pushed updates are buffered
+//! into size-bounded batches ([`AutoBatchPolicy`]), and every query
+//! flushes the buffer first, so it always observes a state valid for
+//! every accepted update.
 //!
 //! ```
-//! use dynscan_core::{DynStrClu, Params};
-//! use dynscan_graph::VertexId;
+//! use dynscan_core::{AutoBatchPolicy, Backend, GraphUpdate, Params, Session, VertexId};
 //!
-//! let params = Params::jaccard(0.5, 2).with_rho(0.05);
-//! let mut algo = DynStrClu::new(params);
-//! // Build a small triangle plus a pendant vertex.
+//! let mut session = Session::builder()
+//!     .backend(Backend::DynStrClu)
+//!     .params(Params::jaccard(0.5, 2).with_rho(0.05))
+//!     .auto_batch(AutoBatchPolicy::Size(512))
+//!     .build()
+//!     .unwrap();
+//! // Stream a small triangle plus a pendant vertex.
 //! for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
-//!     algo.insert_edge(VertexId(a), VertexId(b)).unwrap();
+//!     session.push(GraphUpdate::Insert(VertexId(a), VertexId(b)));
 //! }
-//! let clustering = algo.clustering();
+//! let clustering = session.clustering();
 //! assert!(clustering.num_clusters() >= 1);
 //! // Group-by query over a subset of vertices.
-//! let groups = algo.cluster_group_by(&[VertexId(0), VertexId(3)]);
+//! let groups = session.cluster_group_by(&[VertexId(0), VertexId(3)]);
 //! assert!(!groups.is_empty());
 //! ```
+//!
+//! Snapshots of *any* registered backend restore behind the same erased
+//! handle via [`restore_any`] (the registry dispatches on the snapshot's
+//! algorithm tag); the exact baselines in `dynscan-baseline` join the
+//! registry through that crate's `install()`.  The concrete types
+//! ([`DynElm`], [`DynStrClu`]) remain available for callers that need
+//! their full inherent APIs.
 
 pub mod aux;
 pub mod cluster;
 pub mod elm;
 pub mod fixtures;
 pub mod params;
+pub mod session;
 pub mod snapshot;
 pub mod strclu;
 pub mod traits;
 
 pub use aux::VertexAux;
-pub use cluster::{extract_clustering, StrCluResult, VertexRole};
+pub use cluster::{extract_clustering, group_by_from_clustering, StrCluResult, VertexRole};
 pub use elm::{DynElm, ElmStats, FlippedEdge};
 pub use params::Params;
+pub use session::{
+    register_backend, restore_any, AutoBatchPolicy, Backend, Session, SessionBuilder, SessionError,
+};
 pub use strclu::DynStrClu;
-pub use traits::{BatchUpdate, DynamicClustering, Snapshot};
+pub use traits::{BatchUpdate, Clusterer, DynamicClustering, Snapshot, UpdateError};
 
 // Re-export the vocabulary types users need alongside the algorithms.
 pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, SnapshotError, VertexId};

@@ -1,0 +1,1034 @@
+//! The [`Session`] facade: one handle that drives **any** backend —
+//! DynELM, DynStrClu or (once registered) the exact dynamic baselines —
+//! through the object-safe [`Clusterer`] trait, adding streaming
+//! ingestion, query-result caching and automatic checkpointing on top.
+//!
+//! # Streaming ingestion and read-your-writes
+//!
+//! [`Session::push`] does not apply an update immediately: it buffers it
+//! and flushes the whole buffer through [`crate::BatchUpdate::apply_batch`] when
+//! the [`AutoBatchPolicy`] size bound is hit — the batch engine's
+//! deduplicated drain and parallel re-estimation are most effective on
+//! full batches, which is exactly the ROADMAP's "accumulate updates into
+//! size-bounded batches automatically" ingestion front-end.
+//!
+//! The flush points are chosen so the facade still behaves like a
+//! sequentially consistent store (**read-your-writes**): every query —
+//! [`Session::clustering`], [`Session::cluster_group_by`],
+//! [`Session::checkpoint_bytes`], [`Session::num_edges`] — first flushes
+//! the buffer, so the state it observes is valid for *every* accepted
+//! update, never a prefix.  In the terminology of reenactment-style
+//! consistent views, a query pins the state containing all its session's
+//! prior writes; there is no window where a caller can read a clustering
+//! that ignores updates it already submitted.  Explicit [`Session::flush`]
+//! and the direct [`Session::apply`] / [`Session::apply_batch`] paths
+//! (which flush first, then apply) give the same guarantee.
+//!
+//! # Group-by epochs
+//!
+//! Cluster membership is a pure function of the maintained *labelling*
+//! (plus μ), so a flush that causes **no net label flips and no new
+//! vertices** cannot change any query answer.  `Session` tracks a label
+//! epoch that only advances on such effective changes and serves repeated
+//! [`Session::clustering`] / identical [`Session::cluster_group_by`]
+//! queries from cache across no-op flushes — the batch-aware group-by
+//! epoch from the ROADMAP.  The [`Session::groupby_recomputes`] /
+//! [`Session::clustering_recomputes`] counters make the caching
+//! observable (and testable).
+//!
+//! # Erased checkpointing and the restore registry
+//!
+//! [`Session::checkpoint_bytes`] serialises whatever backend the session
+//! wraps; the snapshot header carries the backend's
+//! [`Snapshot::ALGO_TAG`].  The reverse
+//! direction is [`restore_any`]: it peeks the tag and dispatches to the
+//! restorer registered for it, returning a `Box<dyn Clusterer>` of
+//! *whatever algorithm the snapshot contains* — a service can restart
+//! from a snapshot directory without knowing which algorithm wrote it.
+//! DynELM and DynStrClu are pre-registered; the exact baselines register
+//! themselves via `dynscan_baseline::install()` (or any caller can add
+//! backends through [`register_backend`]).
+//!
+//! With [`SessionBuilder::checkpoint_every`] the session also checkpoints
+//! *automatically* every `n` submitted updates, writing through a
+//! user-supplied `Write` factory (a file per sequence number, an object
+//! store upload, …); failures are recorded on the session rather than
+//! panicking mid-stream ([`Session::last_checkpoint_error`]).
+
+use crate::cluster::StrCluResult;
+use crate::elm::{DynElm, ElmStats, FlippedEdge};
+use crate::params::Params;
+use crate::strclu::DynStrClu;
+use crate::traits::{Clusterer, Snapshot, UpdateError};
+use dynscan_graph::snapshot::peek_algo_tag;
+use dynscan_graph::{GraphUpdate, SnapshotError, VertexId};
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The four clustering backends a [`Session`] can be built over.
+///
+/// [`Backend::DynElm`] and [`Backend::DynStrClu`] (this crate) are always
+/// constructible; the two exact baselines live in `dynscan-baseline` and
+/// become constructible once that crate's `install()` has registered them
+/// (the dependency points from the baselines to this crate, so the
+/// registry is how the facade reaches them without a cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// DynELM: edge-labelling maintenance only (Section 6).
+    DynElm,
+    /// DynStrClu: DynELM + vAuxInfo + `CC-Str(G_core)` (Section 7).
+    DynStrClu,
+    /// pSCAN-style exact dynamic baseline (`dynscan-baseline`).
+    ExactDynScan,
+    /// hSCAN-style indexed exact baseline (`dynscan-baseline`).
+    IndexedDynScan,
+}
+
+impl Backend {
+    /// The backend's human-readable algorithm name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::DynElm => "DynELM",
+            Backend::DynStrClu => "DynStrClu",
+            Backend::ExactDynScan => "pSCAN-like",
+            Backend::IndexedDynScan => "hSCAN-like",
+        }
+    }
+
+    /// All four backends, in registry order.
+    pub fn all() -> [Backend; 4] {
+        [
+            Backend::DynElm,
+            Backend::DynStrClu,
+            Backend::ExactDynScan,
+            Backend::IndexedDynScan,
+        ]
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When buffered updates are flushed through the batch engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoBatchPolicy {
+    /// Only flush on an explicit [`Session::flush`] or a query.
+    Manual,
+    /// Flush whenever the buffer reaches this many updates.
+    Size(usize),
+}
+
+/// Why a [`Session`] could not be built.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The requested backend has no registered constructor.  The exact
+    /// baselines require `dynscan_baseline::install()` to run first.
+    BackendUnavailable {
+        /// The backend that was requested.
+        backend: Backend,
+    },
+    /// `AutoBatchPolicy::Size(0)` never flushes and is rejected.
+    InvalidBatchSize,
+    /// `checkpoint_every(0)` would checkpoint before any update.
+    InvalidCheckpointInterval,
+    /// `checkpoint_every` was set without a `checkpoint_sink` to write to.
+    MissingCheckpointSink,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::BackendUnavailable { backend } => write!(
+                f,
+                "backend {backend} has no registered constructor — for the exact \
+                 baselines call `dynscan_baseline::install()` first (or register \
+                 it with `dynscan_core::session::register_backend`)"
+            ),
+            SessionError::InvalidBatchSize => {
+                write!(f, "AutoBatchPolicy::Size(0) would never flush")
+            }
+            SessionError::InvalidCheckpointInterval => {
+                write!(f, "checkpoint_every(0) is not a valid interval")
+            }
+            SessionError::MissingCheckpointSink => write!(
+                f,
+                "checkpoint_every was set but no checkpoint_sink was supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Constructor registered per [`Backend`].
+pub type ConstructFn = fn(Params) -> Box<dyn Clusterer>;
+
+/// Restorer registered per snapshot algorithm tag.
+pub type RestoreFn = fn(&[u8]) -> Result<Box<dyn Clusterer>, SnapshotError>;
+
+struct Registration {
+    backend: Backend,
+    algo_tag: u32,
+    construct: ConstructFn,
+    restore: RestoreFn,
+}
+
+fn restore_dyn_elm(bytes: &[u8]) -> Result<Box<dyn Clusterer>, SnapshotError> {
+    Ok(Box::new(DynElm::restore(bytes)?))
+}
+
+fn restore_dyn_str_clu(bytes: &[u8]) -> Result<Box<dyn Clusterer>, SnapshotError> {
+    Ok(Box::new(DynStrClu::restore(bytes)?))
+}
+
+/// The process-global backend registry, seeded with this crate's two
+/// algorithms.
+fn registry() -> &'static Mutex<Vec<Registration>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Registration>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(vec![
+            Registration {
+                backend: Backend::DynElm,
+                algo_tag: <DynElm as Snapshot>::ALGO_TAG,
+                construct: |p| Box::new(DynElm::new(p)),
+                restore: restore_dyn_elm,
+            },
+            Registration {
+                backend: Backend::DynStrClu,
+                algo_tag: <DynStrClu as Snapshot>::ALGO_TAG,
+                construct: |p| Box::new(DynStrClu::new(p)),
+                restore: restore_dyn_str_clu,
+            },
+        ])
+    })
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Vec<Registration>> {
+    registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Register (or re-register) a backend: its constructor for
+/// [`SessionBuilder::backend`] and its restorer for [`restore_any`],
+/// keyed by the algorithm tag its snapshots carry.  Idempotent: a second
+/// registration for the same backend replaces the first.
+pub fn register_backend(
+    backend: Backend,
+    algo_tag: u32,
+    construct: ConstructFn,
+    restore: RestoreFn,
+) {
+    let mut entries = lock_registry();
+    entries.retain(|r| r.backend != backend && r.algo_tag != algo_tag);
+    entries.push(Registration {
+        backend,
+        algo_tag,
+        construct,
+        restore,
+    });
+}
+
+/// Whether [`SessionBuilder::backend`] can currently construct `backend`.
+pub fn backend_available(backend: Backend) -> bool {
+    lock_registry().iter().any(|r| r.backend == backend)
+}
+
+/// Restore **whatever algorithm a snapshot contains** behind an erased
+/// `Box<dyn Clusterer>` handle: peek the algorithm tag in the header and
+/// dispatch to the restorer registered for it.
+///
+/// This is the restart path for a service that persists heterogeneous
+/// snapshots: it does not need to know (or hard-code) which backend wrote
+/// a file.  A tag with no registered restorer fails with
+/// [`SnapshotError::UnknownAlgorithm`] — for the exact baselines, run
+/// `dynscan_baseline::install()` first.
+///
+/// ```
+/// use dynscan_core::{restore_any, DynStrClu, Params, Snapshot, VertexId};
+///
+/// let mut live = DynStrClu::new(Params::jaccard(0.5, 2).with_rho(0.05));
+/// live.insert_edge(VertexId(0), VertexId(1)).unwrap();
+/// let bytes = live.checkpoint_bytes();
+///
+/// // No concrete type named: the registry picks DynStrClu from the tag.
+/// let restored = restore_any(&bytes).unwrap();
+/// assert_eq!(restored.algorithm_name(), "DynStrClu");
+/// ```
+pub fn restore_any(bytes: &[u8]) -> Result<Box<dyn Clusterer>, SnapshotError> {
+    let found = peek_algo_tag(bytes)?;
+    let restore = lock_registry()
+        .iter()
+        .find(|r| r.algo_tag == found)
+        .map(|r| r.restore)
+        .ok_or(SnapshotError::UnknownAlgorithm { found })?;
+    restore(bytes)
+}
+
+fn construct_backend(backend: Backend, params: Params) -> Result<Box<dyn Clusterer>, SessionError> {
+    let construct = lock_registry()
+        .iter()
+        .find(|r| r.backend == backend)
+        .map(|r| r.construct)
+        .ok_or(SessionError::BackendUnavailable { backend })?;
+    Ok(construct(params))
+}
+
+/// Factory for auto-checkpoint writers: called with the checkpoint
+/// sequence number (0, 1, …), returns the `Write` destination for that
+/// checkpoint.
+pub type CheckpointSinkFn = dyn FnMut(u64) -> std::io::Result<Box<dyn std::io::Write>> + Send;
+
+/// Builder for [`Session`]; see the [module docs](self) for the overall
+/// semantics.
+pub struct SessionBuilder {
+    backend: Backend,
+    params: Params,
+    policy: AutoBatchPolicy,
+    checkpoint_every: Option<u64>,
+    checkpoint_sink: Option<Box<CheckpointSinkFn>>,
+}
+
+impl SessionBuilder {
+    /// Which backend to construct (default: [`Backend::DynStrClu`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The algorithm parameters (the baselines use `eps`, `mu` and
+    /// `measure`; the DynELM-based backends use all of them).
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The auto-flush policy (default: [`AutoBatchPolicy::Manual`]).
+    pub fn auto_batch(mut self, policy: AutoBatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Checkpoint automatically after every `n` submitted updates,
+    /// through the sink supplied with
+    /// [`SessionBuilder::checkpoint_sink`].
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Where automatic checkpoints are written: the factory is called
+    /// with the checkpoint sequence number and returns the writer for
+    /// that checkpoint.
+    pub fn checkpoint_sink<F>(mut self, sink: F) -> Self
+    where
+        F: FnMut(u64) -> std::io::Result<Box<dyn std::io::Write>> + Send + 'static,
+    {
+        self.checkpoint_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Construct the session.  Fails if the backend has no registered
+    /// constructor or the configuration is inconsistent; invalid
+    /// [`Params`] panic exactly as the concrete constructors do.
+    pub fn build(self) -> Result<Session, SessionError> {
+        if matches!(self.policy, AutoBatchPolicy::Size(0)) {
+            return Err(SessionError::InvalidBatchSize);
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(SessionError::InvalidCheckpointInterval);
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_sink.is_none() {
+            return Err(SessionError::MissingCheckpointSink);
+        }
+        let inner = construct_backend(self.backend, self.params)?;
+        let mut session = Session::from_clusterer(inner);
+        session.policy = self.policy;
+        session.checkpoint_every = self.checkpoint_every;
+        session.checkpoint_sink = self.checkpoint_sink;
+        Ok(session)
+    }
+}
+
+/// One uniform handle over any [`Clusterer`] backend, with buffered
+/// streaming ingestion, cached queries and automatic checkpointing.  See
+/// the [module docs](self).
+///
+/// ```
+/// use dynscan_core::{AutoBatchPolicy, Backend, GraphUpdate, Params, Session, VertexId};
+///
+/// let mut session = Session::builder()
+///     .backend(Backend::DynStrClu)
+///     .params(Params::jaccard(0.5, 2).with_rho(0.05))
+///     .auto_batch(AutoBatchPolicy::Size(512))
+///     .build()
+///     .unwrap();
+///
+/// // Streamed updates are buffered into size-bounded batches…
+/// for (a, b) in [(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+///     session.push(GraphUpdate::Insert(VertexId(a), VertexId(b)));
+/// }
+/// // …and every query flushes first (read-your-writes): the clustering
+/// // observes all four insertions even though no batch filled up.
+/// assert_eq!(session.num_edges(), 4);
+/// let groups = session.cluster_group_by(&[VertexId(0), VertexId(3)]);
+/// assert!(!groups.is_empty());
+/// ```
+pub struct Session {
+    inner: Box<dyn Clusterer>,
+    policy: AutoBatchPolicy,
+    buffer: Vec<GraphUpdate>,
+    /// Updates submitted (buffered or applied), including in-batch
+    /// invalid ones the engine later skips.
+    submitted: u64,
+    flushes: u64,
+    /// Advances only when a mutation changed the labelling (net flips) or
+    /// grew the vertex set — the "effective change" clock behind the
+    /// query caches.
+    label_epoch: u64,
+    last_vertices: usize,
+    clustering_cache: Option<(u64, StrCluResult)>,
+    groupby_cache: Option<(u64, Vec<VertexId>, Vec<Vec<VertexId>>)>,
+    clustering_recomputes: u64,
+    groupby_recomputes: u64,
+    checkpoint_every: Option<u64>,
+    checkpoint_sink: Option<Box<CheckpointSinkFn>>,
+    since_checkpoint: u64,
+    checkpoints_written: u64,
+    last_checkpoint_error: Option<String>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("algorithm", &self.inner.algorithm_name())
+            .field("policy", &self.policy)
+            .field("buffered", &self.buffer.len())
+            .field("submitted", &self.submitted)
+            .field("label_epoch", &self.label_epoch)
+            .field("checkpoints_written", &self.checkpoints_written)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Start building a session (defaults: DynStrClu backend, default
+    /// [`Params`], manual flushing, no auto-checkpointing).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            backend: Backend::DynStrClu,
+            params: Params::default(),
+            policy: AutoBatchPolicy::Manual,
+            checkpoint_every: None,
+            checkpoint_sink: None,
+        }
+    }
+
+    /// Wrap an existing backend (manual flushing, no auto-checkpoints).
+    pub fn from_clusterer(inner: Box<dyn Clusterer>) -> Self {
+        let last_vertices = inner.num_vertices();
+        Session {
+            inner,
+            policy: AutoBatchPolicy::Manual,
+            buffer: Vec::new(),
+            submitted: 0,
+            flushes: 0,
+            label_epoch: 0,
+            last_vertices,
+            clustering_cache: None,
+            groupby_cache: None,
+            clustering_recomputes: 0,
+            groupby_recomputes: 0,
+            checkpoint_every: None,
+            checkpoint_sink: None,
+            since_checkpoint: 0,
+            checkpoints_written: 0,
+            last_checkpoint_error: None,
+        }
+    }
+
+    /// Resume a session from a snapshot of **any** registered backend
+    /// (see [`restore_any`]).
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Ok(Session::from_clusterer(restore_any(bytes)?))
+    }
+
+    /// Replace the auto-flush policy (builder-style).
+    pub fn with_auto_batch(mut self, policy: AutoBatchPolicy) -> Self {
+        assert!(
+            !matches!(policy, AutoBatchPolicy::Size(0)),
+            "AutoBatchPolicy::Size(0) would never flush"
+        );
+        self.policy = policy;
+        self
+    }
+
+    // ----------------------------------------------------------------- //
+    // Ingestion
+    // ----------------------------------------------------------------- //
+
+    /// Submit one update to the stream.  The update is buffered; if the
+    /// [`AutoBatchPolicy`] size bound is reached the buffer is flushed
+    /// and the flush's net flips are returned.
+    ///
+    /// Invalid updates (duplicates, missing deletions, self-loops) are
+    /// skipped by the batch engine at flush time, exactly as
+    /// [`crate::BatchUpdate::apply_batch`] documents; use [`Session::apply`] for
+    /// per-update typed errors.
+    pub fn push(&mut self, update: GraphUpdate) -> Option<Vec<FlippedEdge>> {
+        self.buffer.push(update);
+        match self.policy {
+            AutoBatchPolicy::Size(n) if self.buffer.len() >= n => Some(self.flush()),
+            _ => None,
+        }
+    }
+
+    /// Submit many updates; returns the concatenation of the net flip
+    /// sets of every flush that happened along the way.
+    pub fn extend<I: IntoIterator<Item = GraphUpdate>>(&mut self, updates: I) -> Vec<FlippedEdge> {
+        let mut flips = Vec::new();
+        for update in updates {
+            if let Some(batch_flips) = self.push(update) {
+                flips.extend(batch_flips);
+            }
+        }
+        flips
+    }
+
+    /// Flush the buffered updates through the batch engine now; returns
+    /// the batch's coalesced net flips (empty if nothing was buffered).
+    pub fn flush(&mut self) -> Vec<FlippedEdge> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        let flips = self.inner.apply_batch(&batch);
+        self.flushes += 1;
+        self.after_mutation(batch.len() as u64, &flips);
+        // Reuse the buffer allocation for the next window.
+        self.buffer = batch;
+        self.buffer.clear();
+        flips
+    }
+
+    /// Apply one update immediately with a typed error: flushes the
+    /// buffer first (so ordering with previously pushed updates is
+    /// preserved), then applies `update` on its own.
+    pub fn apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError> {
+        self.flush();
+        let flips = self.inner.try_apply(update)?;
+        self.after_mutation(1, &flips);
+        Ok(flips)
+    }
+
+    /// Apply a whole batch immediately (after flushing the buffer),
+    /// preserving the caller's exact batch boundary — the harness and the
+    /// checkpoint CI gate use this to keep replays bit-reproducible.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
+        self.flush();
+        let flips = self.inner.apply_batch(updates);
+        self.flushes += 1;
+        self.after_mutation(updates.len() as u64, &flips);
+        flips
+    }
+
+    fn after_mutation(&mut self, submitted: u64, flips: &[FlippedEdge]) {
+        self.submitted += submitted;
+        let vertices = self.inner.num_vertices();
+        if !flips.is_empty() || vertices != self.last_vertices {
+            self.label_epoch += 1;
+            self.last_vertices = vertices;
+        }
+        if self.checkpoint_every.is_some() {
+            self.since_checkpoint += submitted;
+            if self.since_checkpoint >= self.checkpoint_every.expect("checked") {
+                self.auto_checkpoint();
+            }
+        }
+    }
+
+    fn auto_checkpoint(&mut self) {
+        self.since_checkpoint = 0;
+        let Some(sink) = self.checkpoint_sink.as_mut() else {
+            return;
+        };
+        let seq = self.checkpoints_written;
+        let mut writer = match sink(seq) {
+            Ok(w) => w,
+            Err(e) => {
+                self.last_checkpoint_error = Some(format!("checkpoint sink {seq}: {e}"));
+                return;
+            }
+        };
+        let result = self
+            .inner
+            .checkpoint_to(&mut *writer)
+            .and_then(|()| writer.flush().map_err(SnapshotError::Io));
+        match result {
+            Ok(()) => {
+                self.checkpoints_written += 1;
+                self.last_checkpoint_error = None;
+            }
+            Err(e) => {
+                self.last_checkpoint_error = Some(format!("checkpoint write {seq}: {e}"));
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Queries (each flushes first: read-your-writes)
+    // ----------------------------------------------------------------- //
+
+    /// The current full clustering.  Flushes the buffer, then serves from
+    /// cache unless an effective change happened since the last
+    /// extraction.
+    pub fn clustering(&mut self) -> &StrCluResult {
+        self.flush();
+        let epoch = self.label_epoch;
+        let stale = !matches!(&self.clustering_cache, Some((e, _)) if *e == epoch);
+        if stale {
+            self.clustering_recomputes += 1;
+            let result = self.inner.current_clustering();
+            self.clustering_cache = Some((epoch, result));
+        }
+        &self.clustering_cache.as_ref().expect("just filled").1
+    }
+
+    /// Cluster-group-by over `q` (Definition 3.2), in the canonical form
+    /// of [`Clusterer::cluster_group_by`].  Flushes the buffer; a repeat
+    /// of the same query with no effective change in between is served
+    /// from cache without consulting the backend.
+    pub fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+        self.flush();
+        let epoch = self.label_epoch;
+        if let Some((e, cached_q, groups)) = &self.groupby_cache {
+            if *e == epoch && cached_q == q {
+                return groups.clone();
+            }
+        }
+        self.groupby_recomputes += 1;
+        let groups = self.inner.cluster_group_by(q);
+        self.groupby_cache = Some((epoch, q.to_vec(), groups.clone()));
+        groups
+    }
+
+    /// Serialise the wrapped backend's full live state (erased
+    /// checkpointing; restore with [`restore_any`] / [`Session::restore`]).
+    /// Flushes the buffer first, so the snapshot covers every submitted
+    /// update.
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
+        self.flush();
+        self.inner.checkpoint_bytes()
+    }
+
+    /// Like [`Session::checkpoint_bytes`], but streaming into `w`.
+    pub fn checkpoint_to(&mut self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        self.flush();
+        self.inner.checkpoint_to(w)
+    }
+
+    /// Number of edges currently in the graph (flushes first).
+    pub fn num_edges(&mut self) -> usize {
+        self.flush();
+        self.inner.num_edges()
+    }
+
+    /// Number of vertices the structure covers (flushes first).
+    pub fn num_vertices(&mut self) -> usize {
+        self.flush();
+        self.inner.num_vertices()
+    }
+
+    // ----------------------------------------------------------------- //
+    // Introspection (no flush: these describe the session itself)
+    // ----------------------------------------------------------------- //
+
+    /// The wrapped backend's algorithm name.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.inner.algorithm_name()
+    }
+
+    /// The wrapped backend's snapshot algorithm tag.
+    pub fn algo_tag(&self) -> u32 {
+        self.inner.algo_tag()
+    }
+
+    /// Labelling work counters, if the backend keeps them.
+    pub fn stats(&self) -> Option<ElmStats> {
+        self.inner.elm_stats()
+    }
+
+    /// Approximate memory footprint: backend plus ingestion buffer.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+            + self.buffer.capacity() * std::mem::size_of::<GraphUpdate>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Updates the backend has successfully applied (excludes buffered
+    /// and skipped-invalid ones).
+    pub fn updates_applied(&self) -> u64 {
+        self.inner.updates_applied()
+    }
+
+    /// Updates submitted to the session (buffered or applied, including
+    /// invalid ones the engine skips at flush time).
+    pub fn submitted(&self) -> u64 {
+        self.submitted + self.buffer.len() as u64
+    }
+
+    /// Updates currently buffered, waiting for a flush.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of batches flushed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The effective-change clock driving the query caches.
+    pub fn label_epoch(&self) -> u64 {
+        self.label_epoch
+    }
+
+    /// How often a full clustering was actually extracted (cache misses).
+    pub fn clustering_recomputes(&self) -> u64 {
+        self.clustering_recomputes
+    }
+
+    /// How often a group-by query actually consulted the backend (cache
+    /// misses).
+    pub fn groupby_recomputes(&self) -> u64 {
+        self.groupby_recomputes
+    }
+
+    /// Automatic checkpoints successfully written so far.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// The most recent automatic-checkpoint failure, if the latest
+    /// attempt failed (cleared by the next successful checkpoint).
+    pub fn last_checkpoint_error(&self) -> Option<&str> {
+        self.last_checkpoint_error.as_deref()
+    }
+
+    /// Borrow the wrapped backend.
+    pub fn as_clusterer(&self) -> &dyn Clusterer {
+        &*self.inner
+    }
+
+    /// Unwrap the session, flushing any buffered updates first so the
+    /// returned backend reflects everything submitted (read-your-writes,
+    /// like every other way of observing the state).
+    pub fn into_inner(mut self) -> Box<dyn Clusterer> {
+        self.flush();
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{two_cliques_params, two_cliques_with_hub};
+    use std::io::Write;
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn fixture_inserts() -> Vec<GraphUpdate> {
+        two_cliques_with_hub()
+            .edges()
+            .map(|e| GraphUpdate::Insert(e.lo(), e.hi()))
+            .collect()
+    }
+
+    fn exact_session(policy: AutoBatchPolicy) -> Session {
+        Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_exact_labels().with_rho(0.0))
+            .auto_batch(policy)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(matches!(
+            Session::builder()
+                .auto_batch(AutoBatchPolicy::Size(0))
+                .build(),
+            Err(SessionError::InvalidBatchSize)
+        ));
+        assert!(matches!(
+            Session::builder().checkpoint_every(10).build(),
+            Err(SessionError::MissingCheckpointSink)
+        ));
+        assert!(matches!(
+            Session::builder()
+                .checkpoint_every(0)
+                .checkpoint_sink(|_| Ok(Box::new(Vec::new()) as Box<dyn Write>))
+                .build(),
+            Err(SessionError::InvalidCheckpointInterval)
+        ));
+    }
+
+    #[test]
+    fn queries_flush_the_buffer_first() {
+        let mut session = exact_session(AutoBatchPolicy::Size(1024));
+        for update in fixture_inserts() {
+            assert!(session.push(update).is_none(), "size bound not reached");
+        }
+        assert_eq!(session.buffered(), 35);
+        // Read-your-writes: the query observes all buffered updates.
+        assert_eq!(session.clustering().num_clusters(), 2);
+        assert_eq!(session.buffered(), 0);
+        assert_eq!(session.flushes(), 1);
+        assert_eq!(session.updates_applied(), 35);
+    }
+
+    #[test]
+    fn auto_batch_flushes_on_the_size_bound() {
+        let mut session = exact_session(AutoBatchPolicy::Size(10));
+        let updates = fixture_inserts();
+        let mut auto_flushes = 0;
+        for update in updates.iter().copied() {
+            if session.push(update).is_some() {
+                auto_flushes += 1;
+                assert_eq!(session.buffered(), 0);
+            }
+        }
+        assert_eq!(auto_flushes, 35 / 10);
+        assert_eq!(session.buffered(), 35 % 10);
+        session.flush();
+        assert_eq!(session.updates_applied(), 35);
+    }
+
+    #[test]
+    fn apply_preserves_order_with_buffered_updates_and_types_errors() {
+        let mut session = exact_session(AutoBatchPolicy::Size(1024));
+        session.push(GraphUpdate::Insert(v(0), v(1)));
+        // The direct apply flushes the buffer first, so the duplicate is
+        // detected against a state that already contains (0, 1).
+        assert_eq!(
+            session.apply(GraphUpdate::Insert(v(1), v(0))),
+            Err(UpdateError::DuplicateInsert { u: v(1), v: v(0) })
+        );
+        assert_eq!(
+            session.apply(GraphUpdate::Delete(v(5), v(6))),
+            Err(UpdateError::MissingDelete { u: v(5), v: v(6) })
+        );
+        assert_eq!(
+            session.apply(GraphUpdate::Insert(v(2), v(2))),
+            Err(UpdateError::InvalidVertex { v: v(2) })
+        );
+        assert_eq!(session.num_edges(), 1);
+    }
+
+    #[test]
+    fn group_by_epoch_skips_recompute_on_no_flip_flush() {
+        let mut session = exact_session(AutoBatchPolicy::Manual);
+        session.extend(fixture_inserts());
+        let q = [v(0), v(6), v(12), v(13)];
+        let first = session.cluster_group_by(&q);
+        assert_eq!(session.groupby_recomputes(), 1);
+        let epoch = session.label_epoch();
+
+        // A flush that does real work but produces no net flips and no new
+        // vertices: delete + re-insert of an existing edge in one batch.
+        session.push(GraphUpdate::Delete(v(0), v(1)));
+        session.push(GraphUpdate::Insert(v(0), v(1)));
+        let flips = session.flush();
+        assert!(flips.is_empty(), "net flips must cancel: {flips:?}");
+        assert_eq!(session.label_epoch(), epoch, "no effective change");
+
+        // The repeated query is served from cache: no backend recompute.
+        let second = session.cluster_group_by(&q);
+        assert_eq!(first, second);
+        assert_eq!(session.groupby_recomputes(), 1);
+        assert_eq!(session.clustering_recomputes(), 0);
+
+        // A flush that *does* flip labels invalidates the cache.
+        session.push(GraphUpdate::Delete(v(4), v(5)));
+        let flips = session.flush();
+        assert!(!flips.is_empty());
+        assert!(session.label_epoch() > epoch);
+        let third = session.cluster_group_by(&q);
+        assert_eq!(session.groupby_recomputes(), 2);
+        assert_eq!(first, third, "this particular query's answer is stable");
+    }
+
+    #[test]
+    fn clustering_cache_tracks_new_vertices() {
+        let mut session = exact_session(AutoBatchPolicy::Manual);
+        session.extend(fixture_inserts());
+        let before = session.clustering().num_vertices();
+        assert_eq!(session.clustering_recomputes(), 1);
+        // An isolated-ish new vertex whose edge stays dissimilar produces
+        // no flips — but the vertex set grew, so the cache must refresh.
+        session.push(GraphUpdate::Insert(v(13), v(20)));
+        session.flush();
+        let after = session.clustering().num_vertices();
+        assert!(after > before);
+        assert_eq!(session.clustering_recomputes(), 2);
+    }
+
+    #[test]
+    fn streamed_equals_direct_for_any_flush_pattern() {
+        let updates = fixture_inserts();
+        let mut direct = exact_session(AutoBatchPolicy::Manual);
+        for &u in &updates {
+            direct.apply(u).unwrap();
+        }
+        for size in [1usize, 2, 3, 7, 64] {
+            let mut streamed = exact_session(AutoBatchPolicy::Size(size));
+            streamed.extend(updates.iter().copied());
+            assert_eq!(
+                streamed.cluster_group_by(&[v(0), v(6), v(12)]),
+                direct.cluster_group_by(&[v(0), v(6), v(12)]),
+                "buffer size {size}"
+            );
+            assert_eq!(
+                streamed.clustering().num_clusters(),
+                direct.clustering().num_clusters()
+            );
+        }
+    }
+
+    #[test]
+    fn unregistered_backend_is_a_typed_error() {
+        // The baselines live downstream; without their `install()` the
+        // core registry cannot construct them.
+        let result = Session::builder().backend(Backend::ExactDynScan).build();
+        assert!(matches!(
+            result,
+            Err(SessionError::BackendUnavailable {
+                backend: Backend::ExactDynScan
+            })
+        ));
+        assert!(backend_available(Backend::DynElm));
+        assert!(backend_available(Backend::DynStrClu));
+    }
+
+    #[test]
+    fn restore_any_roundtrips_both_core_backends() {
+        for backend in [Backend::DynElm, Backend::DynStrClu] {
+            let mut session = Session::builder()
+                .backend(backend)
+                .params(two_cliques_params().with_seed(17))
+                .build()
+                .unwrap();
+            session.extend(fixture_inserts());
+            let bytes = session.checkpoint_bytes();
+            let restored = restore_any(&bytes).expect("registry restores");
+            assert_eq!(restored.algorithm_name(), session.algorithm_name());
+            assert_eq!(restored.checkpoint_bytes(), bytes, "canonical encoding");
+            let mut resumed = Session::from_clusterer(restored);
+            assert_eq!(
+                resumed.clustering().num_clusters(),
+                session.clustering().num_clusters()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_any_rejects_unknown_tags() {
+        let mut session = exact_session(AutoBatchPolicy::Manual);
+        session.extend(fixture_inserts());
+        let mut bytes = session.checkpoint_bytes();
+        // Forge an unknown algorithm tag in the header.
+        bytes[12..16].copy_from_slice(&0xdead_beef_u32.to_le_bytes());
+        assert!(matches!(
+            restore_any(&bytes),
+            Err(SnapshotError::UnknownAlgorithm { found: 0xdead_beef })
+        ));
+        assert!(matches!(
+            restore_any(&[1, 2, 3]),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    /// A `Write` that buffers locally and publishes into the shared store
+    /// slot on `flush` — the in-memory stand-in for a file-per-checkpoint
+    /// sink.
+    struct Tee {
+        buf: Vec<u8>,
+        store: Arc<Mutex<Vec<Vec<u8>>>>,
+        index: usize,
+    }
+
+    impl Write for Tee {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.store.lock().unwrap()[self.index] = self.buf.clone();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn auto_checkpoint_writes_through_the_sink_and_restores_erased() {
+        let store: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_store = Arc::clone(&store);
+        let mut session = Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_seed(7))
+            .auto_batch(AutoBatchPolicy::Size(8))
+            .checkpoint_every(16)
+            .checkpoint_sink(move |seq| {
+                let store = Arc::clone(&sink_store);
+                let index = {
+                    let mut slots = store.lock().unwrap();
+                    assert_eq!(seq as usize, slots.len(), "sequence numbers are dense");
+                    slots.push(Vec::new());
+                    slots.len() - 1
+                };
+                Ok(Box::new(Tee {
+                    buf: Vec::new(),
+                    store,
+                    index,
+                }) as Box<dyn Write>)
+            })
+            .build()
+            .unwrap();
+        session.extend(fixture_inserts());
+        session.flush();
+        assert!(session.last_checkpoint_error().is_none());
+        assert_eq!(session.checkpoints_written(), 2, "35 updates / every 16");
+        let snapshots = store.lock().unwrap();
+        for bytes in snapshots.iter() {
+            let restored = restore_any(bytes).expect("auto-checkpoint restores erased");
+            assert_eq!(restored.algorithm_name(), "DynStrClu");
+        }
+    }
+
+    #[test]
+    fn failing_sink_is_recorded_not_fatal() {
+        let mut session = Session::builder()
+            .backend(Backend::DynElm)
+            .params(two_cliques_params())
+            .checkpoint_every(4)
+            .checkpoint_sink(|_| {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "disk full",
+                ))
+            })
+            .build()
+            .unwrap();
+        session.extend(fixture_inserts());
+        session.flush();
+        assert_eq!(session.checkpoints_written(), 0);
+        assert!(session
+            .last_checkpoint_error()
+            .is_some_and(|e| e.contains("disk full")));
+        // The session itself keeps working.
+        assert_eq!(session.clustering().num_clusters(), 2);
+    }
+}

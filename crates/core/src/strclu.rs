@@ -241,8 +241,11 @@ impl DynStrClu {
     ///
     /// Each returned group corresponds to one cluster with a non-empty
     /// intersection with `q` and lists that intersection (sorted by vertex
-    /// id).  Vertices belonging to no cluster (noise) appear in no group;
-    /// hub vertices appear in several groups.
+    /// id); the groups themselves are in lexicographic order of their
+    /// member lists (by smallest member, ties broken by the rest), the
+    /// same canonical form every [`crate::Clusterer`] backend returns.
+    /// Vertices belonging to no cluster (noise) appear in no group; hub
+    /// vertices appear in several groups.
     pub fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
         let mut pairs: Vec<(u64, VertexId)> = Vec::with_capacity(q.len());
         for &u in q {
@@ -258,18 +261,10 @@ impl DynStrClu {
                 }
             }
         }
-        pairs.sort_unstable();
-        pairs.dedup();
-        let mut groups: Vec<Vec<VertexId>> = Vec::new();
-        let mut current: Option<u64> = None;
-        for (ccid, vertex) in pairs {
-            if current != Some(ccid) {
-                groups.push(Vec::new());
-                current = Some(ccid);
-            }
-            groups.last_mut().expect("just pushed").push(vertex);
-        }
-        groups
+        // Component ids are an internal artefact of `CC-Str(G_core)`;
+        // the shared canonicalisation makes answers comparable across
+        // backends (and across restore, where component ids may renumber).
+        crate::cluster::canonical_groups(pairs)
     }
 
     /// Extract the full StrClu clustering in O(n + m).

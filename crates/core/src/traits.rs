@@ -1,12 +1,73 @@
 //! The common interfaces the experiment harness drives algorithms through:
 //! [`DynamicClustering`] for one-update-at-a-time processing,
-//! [`BatchUpdate`] for whole-batch processing and [`Snapshot`] for
-//! checkpoint/restore persistence.
+//! [`BatchUpdate`] for whole-batch processing, [`Snapshot`] for typed
+//! checkpoint/restore persistence and — unifying all of them behind one
+//! object-safe handle — [`Clusterer`], the trait the [`crate::Session`]
+//! facade wraps.
 
-use crate::cluster::StrCluResult;
+use crate::cluster::{group_by_from_clustering, StrCluResult};
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
 use crate::strclu::DynStrClu;
-use dynscan_graph::{GraphUpdate, MemoryFootprint, SnapshotError};
+use dynscan_graph::{GraphError, GraphUpdate, MemoryFootprint, SnapshotError, VertexId};
+use std::fmt;
+
+/// Why a single update was rejected, with its cause — the typed
+/// replacement for the old cause-swallowing `apply_update -> bool`.
+///
+/// All three causes leave the structure completely unchanged; callers are
+/// free to treat them as recoverable (a stream replay simply skips them)
+/// or to surface them (a service returns them to the client).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An insertion of an edge that is already present.
+    DuplicateInsert {
+        /// First endpoint as supplied by the caller.
+        u: VertexId,
+        /// Second endpoint as supplied by the caller.
+        v: VertexId,
+    },
+    /// A deletion of an edge that is not present.
+    MissingDelete {
+        /// First endpoint as supplied by the caller.
+        u: VertexId,
+        /// Second endpoint as supplied by the caller.
+        v: VertexId,
+    },
+    /// Both endpoints name the same vertex (the graphs are simple, so
+    /// self-loops are invalid).
+    InvalidVertex {
+        /// The offending vertex.
+        v: VertexId,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::DuplicateInsert { u, v } => {
+                write!(f, "duplicate insertion: edge ({u}, {v}) already exists")
+            }
+            UpdateError::MissingDelete { u, v } => {
+                write!(f, "missing deletion: edge ({u}, {v}) does not exist")
+            }
+            UpdateError::InvalidVertex { v } => {
+                write!(f, "invalid vertex: self-loop on {v} is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<GraphError> for UpdateError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::EdgeExists { u, v } => UpdateError::DuplicateInsert { u, v },
+            GraphError::EdgeMissing { u, v } => UpdateError::MissingDelete { u, v },
+            GraphError::SelfLoop { v } => UpdateError::InvalidVertex { v },
+        }
+    }
+}
 
 /// A dynamic structural clustering algorithm: something that consumes a
 /// stream of edge insertions/deletions and can produce the StrClu result on
@@ -19,9 +80,22 @@ pub trait DynamicClustering {
     /// A short human-readable name (used in experiment output).
     fn algorithm_name(&self) -> &'static str;
 
+    /// Apply one update, reporting the net label flips it caused.
+    ///
+    /// Invalid updates (duplicate insertions, deletions of missing edges,
+    /// self-loops) leave the structure unchanged and report their cause as
+    /// an [`UpdateError`].
+    fn try_apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError>;
+
     /// Apply one update.  Invalid updates (duplicate insertions, deletions
     /// of missing edges) are ignored and reported as `false`.
-    fn apply_update(&mut self, update: GraphUpdate) -> bool;
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_apply`, which reports the rejection cause instead of swallowing it"
+    )]
+    fn apply_update(&mut self, update: GraphUpdate) -> bool {
+        self.try_apply(update).is_ok()
+    }
 
     /// Extract the current clustering (O(n + m)).
     fn current_clustering(&self) -> StrCluResult;
@@ -31,6 +105,12 @@ pub trait DynamicClustering {
 
     /// Number of updates successfully applied.
     fn updates_applied(&self) -> u64;
+
+    /// Number of vertices the structure currently covers.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges currently in the graph.
+    fn num_edges(&self) -> usize;
 
     /// Optional labelling work counters (only the DynELM-based algorithms
     /// have them).
@@ -47,8 +127,8 @@ pub trait DynamicClustering {
 /// being free to deduplicate and reorder the similarity re-estimation work
 /// inside the batch window.  The returned [`FlippedEdge`] set is the
 /// **net** label change of the batch (coalesced, sorted by edge key);
-/// invalid updates inside the batch are skipped, mirroring
-/// [`DynamicClustering::apply_update`].
+/// invalid updates inside the batch are skipped, mirroring how
+/// [`DynamicClustering::try_apply`] rejects them one at a time.
 ///
 /// Implemented by [`DynElm`] and [`DynStrClu`] (deduplicated DT drain plus
 /// parallel deterministic re-estimation) and by the two exact dynamic
@@ -86,6 +166,13 @@ pub trait BatchUpdate: DynamicClustering {
 /// could round a sample count differently and diverge onto another —
 /// equally ρ-valid — trajectory).
 ///
+/// This trait is deliberately **not** object-safe (`Sized`, generic
+/// writers, an associated tag): it is the typed path for callers that know
+/// which structure they hold.  The erased path — restoring *whatever
+/// algorithm a snapshot contains* behind `Box<dyn Clusterer>` — is
+/// [`crate::session::restore_any`], which dispatches on the same
+/// [`Snapshot::ALGO_TAG`] through the backend registry.
+///
 /// Implemented by [`DynElm`], [`DynStrClu`] (in [`crate::snapshot`]) and
 /// the two exact dynamic baselines in `dynscan-baseline`.
 pub trait Snapshot: Sized {
@@ -109,13 +196,64 @@ pub trait Snapshot: Sized {
     }
 }
 
+/// The unified, **object-safe** engine interface: everything a service (or
+/// the [`crate::Session`] facade) needs to drive any backend through one
+/// `Box<dyn Clusterer>` handle.
+///
+/// `Clusterer` composes the per-update ([`DynamicClustering`], with the
+/// typed [`DynamicClustering::try_apply`]) and batched ([`BatchUpdate`])
+/// ingestion paths, and adds the two operations that previously existed
+/// only on concrete types:
+///
+/// * **cluster-group-by** ([`Clusterer::cluster_group_by`], Theorem 7.1) —
+///   lifted from a `DynStrClu` inherent method into the trait.  DynStrClu
+///   answers in O(|Q| · log n) from its connectivity structure; DynELM and
+///   the exact baselines answer from their maintained labels via an
+///   O(n + m) extraction.  All implementations return the same canonical
+///   form: each group sorted by vertex id, groups sorted by their smallest
+///   member, noise vertices in no group, hub vertices in every group whose
+///   cluster contains them.
+/// * **erased checkpointing** ([`Clusterer::checkpoint_to`] /
+///   [`Clusterer::checkpoint_bytes`]) — the same wire bytes as the typed
+///   [`Snapshot`] path (the [`Clusterer::algo_tag`] in the header is what
+///   [`crate::session::restore_any`] dispatches on), but callable on a
+///   trait object, so a service can checkpoint whatever it is running
+///   without knowing the concrete type.
+pub trait Clusterer: BatchUpdate + Send {
+    /// The algorithm tag this backend writes into its snapshot headers
+    /// (equals [`Snapshot::ALGO_TAG`] of the concrete type).
+    fn algo_tag(&self) -> u32;
+
+    /// Answer a cluster-group-by query (Definition 3.2): group the
+    /// vertices of `q` by the clusters containing them.
+    ///
+    /// Canonical form: members of each group sorted ascending and
+    /// deduplicated, groups in lexicographic order of their member
+    /// lists.  Vertices in
+    /// no cluster (noise, unknown ids) appear in no group; hub vertices
+    /// appear in several groups.
+    fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>>;
+
+    /// Serialise the full live state into `w` (erased counterpart of
+    /// [`Snapshot::checkpoint`]; identical bytes).
+    fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError>;
+
+    /// Convenience: checkpoint into a fresh byte vector.
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.checkpoint_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+}
+
 impl DynamicClustering for DynElm {
     fn algorithm_name(&self) -> &'static str {
         "DynELM"
     }
 
-    fn apply_update(&mut self, update: GraphUpdate) -> bool {
-        self.apply(update).is_ok()
+    fn try_apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError> {
+        self.apply(update).map_err(UpdateError::from)
     }
 
     fn current_clustering(&self) -> StrCluResult {
@@ -128,6 +266,14 @@ impl DynamicClustering for DynElm {
 
     fn updates_applied(&self) -> u64 {
         self.stats().updates
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph().num_edges()
     }
 
     fn elm_stats(&self) -> Option<ElmStats> {
@@ -140,8 +286,8 @@ impl DynamicClustering for DynStrClu {
         "DynStrClu"
     }
 
-    fn apply_update(&mut self, update: GraphUpdate) -> bool {
-        self.apply(update).is_ok()
+    fn try_apply(&mut self, update: GraphUpdate) -> Result<Vec<FlippedEdge>, UpdateError> {
+        self.apply(update).map_err(UpdateError::from)
     }
 
     fn current_clustering(&self) -> StrCluResult {
@@ -154,6 +300,14 @@ impl DynamicClustering for DynStrClu {
 
     fn updates_applied(&self) -> u64 {
         self.stats().updates
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph().num_edges()
     }
 
     fn elm_stats(&self) -> Option<ElmStats> {
@@ -173,6 +327,37 @@ impl BatchUpdate for DynStrClu {
     }
 }
 
+impl Clusterer for DynElm {
+    fn algo_tag(&self) -> u32 {
+        <DynElm as Snapshot>::ALGO_TAG
+    }
+
+    /// DynELM keeps no connectivity structure, so group-by goes through
+    /// the O(n + m) extraction of its maintained labelling.
+    fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+        group_by_from_clustering(&self.clustering(), q)
+    }
+
+    fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        Snapshot::checkpoint(self, w)
+    }
+}
+
+impl Clusterer for DynStrClu {
+    fn algo_tag(&self) -> u32 {
+        <DynStrClu as Snapshot>::ALGO_TAG
+    }
+
+    /// The O(|Q| · log n) path of Theorem 7.1 over `CC-Str(G_core)`.
+    fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
+        DynStrClu::cluster_group_by(self, q)
+    }
+
+    fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        Snapshot::checkpoint(self, w)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,22 +367,100 @@ mod tests {
     #[test]
     fn trait_objects_are_interchangeable() {
         let params = two_cliques_params().with_exact_labels();
-        let mut algos: Vec<Box<dyn DynamicClustering>> = vec![
+        let mut algos: Vec<Box<dyn Clusterer>> = vec![
             Box::new(DynElm::new(params)),
             Box::new(DynStrClu::new(params)),
         ];
         let g = two_cliques_with_hub();
         for algo in &mut algos {
             for e in g.edges() {
-                assert!(algo.apply_update(GraphUpdate::Insert(e.lo(), e.hi())));
+                algo.try_apply(GraphUpdate::Insert(e.lo(), e.hi()))
+                    .expect("fresh edge inserts");
             }
-            // A duplicate insertion is rejected but not fatal.
-            assert!(!algo.apply_update(GraphUpdate::Insert(VertexId(0), VertexId(1))));
+            // Rejections carry their cause but are not fatal.
+            assert_eq!(
+                algo.try_apply(GraphUpdate::Insert(VertexId(0), VertexId(1))),
+                Err(UpdateError::DuplicateInsert {
+                    u: VertexId(0),
+                    v: VertexId(1)
+                })
+            );
+            assert_eq!(
+                algo.try_apply(GraphUpdate::Delete(VertexId(0), VertexId(5000))),
+                Err(UpdateError::MissingDelete {
+                    u: VertexId(0),
+                    v: VertexId(5000)
+                })
+            );
+            assert_eq!(
+                algo.try_apply(GraphUpdate::Insert(VertexId(3), VertexId(3))),
+                Err(UpdateError::InvalidVertex { v: VertexId(3) })
+            );
             let result = algo.current_clustering();
             assert_eq!(result.num_clusters(), 2, "{}", algo.algorithm_name());
             assert!(algo.memory_bytes() > 0);
             assert_eq!(algo.updates_applied() as usize, g.num_edges());
+            assert_eq!(algo.num_edges(), g.num_edges());
+            assert_eq!(algo.num_vertices(), g.num_vertices());
             assert!(algo.elm_stats().is_some());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bool_path_still_works() {
+        let params = two_cliques_params().with_exact_labels();
+        let mut algo: Box<dyn DynamicClustering> = Box::new(DynStrClu::new(params));
+        assert!(algo.apply_update(GraphUpdate::Insert(VertexId(0), VertexId(1))));
+        assert!(!algo.apply_update(GraphUpdate::Insert(VertexId(0), VertexId(1))));
+        assert!(!algo.apply_update(GraphUpdate::Delete(VertexId(4), VertexId(5))));
+    }
+
+    #[test]
+    fn group_by_through_the_trait_is_canonical_for_both_backends() {
+        let params = two_cliques_params().with_exact_labels();
+        let mut algos: Vec<Box<dyn Clusterer>> = vec![
+            Box::new(DynElm::new(params)),
+            Box::new(DynStrClu::new(params)),
+        ];
+        let g = two_cliques_with_hub();
+        let q: Vec<VertexId> = vec![VertexId(0), VertexId(6), VertexId(12), VertexId(13)];
+        let mut answers = Vec::new();
+        for algo in &mut algos {
+            for e in g.edges() {
+                algo.try_apply(GraphUpdate::Insert(e.lo(), e.hi())).unwrap();
+            }
+            answers.push(algo.cluster_group_by(&q));
+        }
+        // Canonical form: identical Vec<Vec<_>> across backends, groups
+        // sorted by smallest member.
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(
+            answers[0],
+            vec![
+                vec![VertexId(0), VertexId(12)],
+                vec![VertexId(6), VertexId(12)]
+            ]
+        );
+    }
+
+    #[test]
+    fn erased_checkpoint_matches_typed_checkpoint() {
+        let params = two_cliques_params().with_seed(99);
+        let mut algo = DynStrClu::new(params);
+        let g = two_cliques_with_hub();
+        for e in g.edges() {
+            algo.insert_edge(e.lo(), e.hi()).unwrap();
+        }
+        let typed = Snapshot::checkpoint_bytes(&algo);
+        let erased = {
+            let dyn_ref: &dyn Clusterer = &algo;
+            dyn_ref.checkpoint_bytes()
+        };
+        assert_eq!(typed, erased);
+        assert_eq!(
+            dynscan_graph::snapshot::peek_algo_tag(&erased).unwrap(),
+            Clusterer::algo_tag(&algo)
+        );
     }
 }

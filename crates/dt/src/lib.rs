@@ -11,7 +11,7 @@
 //! restarts the instance.
 //!
 //! Implementing the instances naively would require incrementing one counter
-//! per incident edge on every update — Ω(d[u]) work.  Instead, following
+//! per incident edge on every update — Ω(d\[u\]) work.  Instead, following
 //! Section 5.2:
 //!
 //! * every vertex `u` keeps a single **shared counter** `s_u` counting the

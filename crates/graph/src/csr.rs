@@ -103,8 +103,8 @@ impl CsrGraph {
         (0..self.num_vertices() as u32).map(VertexId)
     }
 
-    /// Exact size of `N[u] ∩ N[v]` (closed neighbourhoods) via a sorted
-    /// merge, in O(d[u] + d[v]).
+    /// Exact size of `N\[u\] ∩ N\[v\]` (closed neighbourhoods) via a sorted
+    /// merge, in O(d\[u\] + d\[v\]).
     pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
         let nu = self.neighbours(u);
         let nv = self.neighbours(v);

@@ -16,7 +16,7 @@ use rand::Rng;
 /// * the vertex set is the dense range `0..num_vertices()` and grows
 ///   automatically when an edge mentions a new id (matching the paper's
 ///   relabelled SNAP datasets);
-/// * degrees, edge counts and closed-neighbourhood (`N[v] = neighbours ∪ {v}`)
+/// * degrees, edge counts and closed-neighbourhood (`N\[v\] = neighbours ∪ {v}`)
 ///   membership checks are O(1).
 ///
 /// The structure deliberately stores no similarity or clustering state; that
@@ -88,7 +88,7 @@ impl DynGraph {
         self.adjacency.get(v.index()).map_or(0, IndexedSet::len)
     }
 
-    /// Size of the closed neighbourhood `|N[v]| = degree(v) + 1`.
+    /// Size of the closed neighbourhood `|N\[v\]| = degree(v) + 1`.
     #[inline]
     pub fn closed_degree(&self, v: VertexId) -> usize {
         self.degree(v) + 1
@@ -102,7 +102,7 @@ impl DynGraph {
             .is_some_and(|adj| adj.contains(v))
     }
 
-    /// Whether `w` belongs to the *closed* neighbourhood `N[v]`, i.e.
+    /// Whether `w` belongs to the *closed* neighbourhood `N\[v\]`, i.e.
     /// `w == v` or `(w, v)` is an edge.  This is the membership test used by
     /// the structural-similarity definitions.
     #[inline]
@@ -122,7 +122,7 @@ impl DynGraph {
         self.neighbours(v).iter()
     }
 
-    /// Draw a uniform member of the *closed* neighbourhood `N[v]`
+    /// Draw a uniform member of the *closed* neighbourhood `N\[v\]`
     /// (so `v` itself is drawn with probability `1 / (degree(v) + 1)`).
     pub fn sample_closed_neighbourhood<R: Rng + ?Sized>(
         &self,
@@ -195,9 +195,9 @@ impl DynGraph {
     }
 
     /// The exact size of the intersection of the closed neighbourhoods of
-    /// `u` and `v`, i.e. `a = |N[u] ∩ N[v]|` in the paper's notation.
+    /// `u` and `v`, i.e. `a = |N\[u\] ∩ N\[v\]|` in the paper's notation.
     ///
-    /// Runs in O(min(d[u], d[v])) by scanning the smaller neighbourhood and
+    /// Runs in O(min(d\[u\], d\[v\])) by scanning the smaller neighbourhood and
     /// probing the larger one.
     pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
         let (small, large) = if self.degree(u) <= self.degree(v) {
@@ -220,7 +220,7 @@ impl DynGraph {
     }
 
     /// The exact size of the union of the closed neighbourhoods,
-    /// `b = |N[u] ∪ N[v]| = |N[u]| + |N[v]| - a`.
+    /// `b = |N\[u\] ∪ N\[v\]| = |N\[u\]| + |N\[v\]| - a`.
     pub fn closed_union_size(&self, u: VertexId, v: VertexId) -> usize {
         self.closed_degree(u) + self.closed_degree(v) - self.closed_intersection_size(u, v)
     }

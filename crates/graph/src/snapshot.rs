@@ -64,6 +64,12 @@ pub enum SnapshotError {
         /// Algorithm tag found in the header.
         found: u32,
     },
+    /// The header's algorithm tag is not known to any registered restorer
+    /// (erased restore via `restore_any` only).
+    UnknownAlgorithm {
+        /// Algorithm tag found in the header.
+        found: u32,
+    },
     /// The payload checksum does not match the header.
     ChecksumMismatch,
     /// The stream ended before the declared data did.
@@ -94,6 +100,13 @@ impl fmt::Display for SnapshotError {
                 write!(
                     f,
                     "snapshot holds algorithm tag {found}, expected {expected}"
+                )
+            }
+            SnapshotError::UnknownAlgorithm { found } => {
+                write!(
+                    f,
+                    "snapshot holds algorithm tag {found}, which no registered \
+                     restorer understands"
                 )
             }
             SnapshotError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
@@ -339,6 +352,28 @@ pub fn write_document(
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
+}
+
+/// Read the algorithm tag out of a snapshot header without decoding the
+/// payload, verifying magic and version first.
+///
+/// This is what lets an *erased* restore path (a registry keyed by
+/// algorithm tag, such as `dynscan_core`'s `restore_any`) decide which
+/// concrete restorer to dispatch to before any payload bytes are touched.
+pub fn peek_algo_tag(bytes: &[u8]) -> Result<u32, SnapshotError> {
+    if bytes.len() < 8 + 4 + 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    Ok(u32::from_le_bytes(
+        bytes[12..16].try_into().expect("4 bytes"),
+    ))
 }
 
 /// Read a full snapshot document from `r`, verifying magic, version,

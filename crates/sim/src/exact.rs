@@ -11,12 +11,12 @@ use dynscan_graph::{CsrGraph, DynGraph, VertexId};
 /// regardless of adjacency — tests rely on that).
 ///
 /// Cosine follows the original SCAN definition (and the identity
-/// `|N[u] ∩ N[v]| = |N[u]| + |N[v]| − |N[u] ∪ N[v]|` the paper's Section 8.1
+/// `|N\[u\] ∩ N\[v\]| = |N\[u\]| + |N\[v\]| − |N\[u\] ∪ N\[v\]|` the paper's Section 8.1
 /// derivation relies on): the denominator uses the **closed** neighbourhood
-/// sizes, `σc = |N[u] ∩ N[v]| / √(|N[u]|·|N[v]|)`, so the value always lies
+/// sizes, `σc = |N\[u\] ∩ N\[v\]| / √(|N\[u\]|·|N\[v\]|)`, so the value always lies
 /// in `[0, 1]`.
 ///
-/// Cost: O(min(d[u], d[v])) membership probes.
+/// Cost: O(min(d\[u\], d\[v\])) membership probes.
 pub fn exact_similarity(
     graph: &DynGraph,
     u: VertexId,
@@ -42,7 +42,7 @@ pub fn exact_similarity(
 }
 
 /// Exact similarity on a CSR snapshot (used by the static SCAN baseline and
-/// the quality metrics; O(d[u] + d[v]) via sorted-merge).
+/// the quality metrics; O(d\[u\] + d\[v\]) via sorted-merge).
 pub fn exact_similarity_csr(
     graph: &CsrGraph,
     u: VertexId,

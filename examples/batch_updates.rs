@@ -1,19 +1,34 @@
-//! The batch update engine, through the public API: ingest bursty traffic
-//! batch-by-batch, read the coalesced flip sets, and confirm the result
-//! matches one-at-a-time processing.
+//! The batch update engine through the `Session` facade: stream bursty
+//! traffic with auto-batching, and confirm the result matches
+//! one-at-a-time processing.
 //!
 //! ```text
 //! cargo run --release --example batch_updates
 //! ```
 
-use dynscan::core::{DynStrClu, DynamicClustering, Params};
+use dynscan::core::{AutoBatchPolicy, Backend, GraphUpdate, Params, Session};
 use dynscan::workload::{erdos_renyi, BurstyStream, BurstyStreamConfig};
 
-fn main() {
+fn build_session(
+    policy: AutoBatchPolicy,
+    initial: &[(dynscan::graph::VertexId, dynscan::graph::VertexId)],
+) -> Session {
     // Exact labels with ρ = 0: batched and sequential processing are
     // provably state-identical, so the comparison below must come out even.
     let params = Params::jaccard(0.3, 4).with_rho(0.0).with_exact_labels();
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(params)
+        .auto_batch(policy)
+        .build()
+        .expect("DynStrClu is always available");
+    for &(u, v) in initial {
+        session.apply(GraphUpdate::Insert(u, v)).unwrap();
+    }
+    session
+}
 
+fn main() {
     let initial = erdos_renyi(500, 1500, 7);
     let config = BurstyStreamConfig::new(500, 128)
         .with_hotspot_size(12)
@@ -22,45 +37,42 @@ fn main() {
         .with_seed(42);
     let batches = BurstyStream::new(&initial, config).take_batches(20);
 
-    // Batched ingestion.
-    let mut batched = DynStrClu::new(params);
-    for (u, v) in &initial {
-        batched.insert_edge(*u, *v).unwrap();
-    }
+    // Streamed ingestion: the session buffers pushed updates and flushes
+    // through the batch engine whenever 128 accumulate.
+    let mut batched = build_session(AutoBatchPolicy::Size(128), &initial);
     let mut total_flips = 0usize;
     for batch in &batches {
-        total_flips += batched.apply_batch(batch).len();
+        total_flips += batched.extend(batch.iter().copied()).len();
     }
+    total_flips += batched.flush().len();
 
     // The same stream, one update at a time.
-    let mut sequential = DynStrClu::new(params);
-    for (u, v) in &initial {
-        sequential.insert_edge(*u, *v).unwrap();
-    }
+    let mut sequential = build_session(AutoBatchPolicy::Manual, &initial);
     for batch in &batches {
         for &update in batch {
-            sequential.apply_update(update);
+            let _ = sequential.apply(update);
         }
     }
 
-    let stats = batched.stats();
+    let stats = batched.stats().expect("DynStrClu keeps work counters");
     println!(
-        "ingested {} bursts ({} updates) in {} engine batches",
+        "ingested {} bursts ({} updates) in {} session flushes",
         batches.len(),
         batches.iter().map(Vec::len).sum::<usize>(),
-        stats.batches - initial.len() as u64, // initial inserts are singleton batches
+        batched.flushes(), // the initial inserts go through `apply`, not the buffer
     );
     println!("net label flips across bursts: {total_flips}");
     println!(
         "estimator invocations: {} (sequential run: {})",
         stats.labellings,
-        sequential.stats().labellings,
+        sequential.stats().expect("same backend").labellings,
     );
 
-    let a = batched.clustering();
+    let a = batched.clustering().clone();
     let b = sequential.clustering();
     assert_eq!(a.num_clusters(), b.num_clusters());
-    for v in batched.graph().vertices() {
+    for v in 0..a.num_vertices() as u32 {
+        let v = dynscan::graph::VertexId(v);
         assert_eq!(a.role(v), b.role(v), "role mismatch at {v}");
     }
     println!(

@@ -1,44 +1,117 @@
 //! Checkpoint a live clustering service and resume it bit-identically —
-//! the restart path that skips the full rebuild.
+//! through the `Session` facade's auto-checkpoint hook and the *erased*
+//! `restore_any` path (no concrete algorithm type is named on restore).
 //!
 //! ```text
 //! cargo run --release --example checkpoint_resume
 //! ```
 
-use dynscan_core::{DynStrClu, GraphUpdate, Params, Snapshot, VertexId};
+use dynscan::core::{Backend, GraphUpdate, Params, Session, VertexId};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 fn v(i: u32) -> VertexId {
     VertexId(i)
 }
 
-fn main() {
-    // Sampled mode (the real algorithm): future label decisions draw
-    // randomness, which is exactly what a checkpoint must preserve.
-    let params = Params::jaccard(0.3, 4).with_rho(0.2).with_seed(7);
-    let mut service = DynStrClu::new(params);
+/// An in-memory checkpoint store: one byte buffer per checkpoint sequence
+/// number (a production sink would hand out files or object-store
+/// uploads instead).
+#[derive(Clone, Default)]
+struct CheckpointStore(Arc<Mutex<Vec<Vec<u8>>>>);
 
-    // A running service: two communities plus some churn.
+struct StoreWriter {
+    store: CheckpointStore,
+    index: usize,
+    buf: Vec<u8>,
+}
+
+impl Write for StoreWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.store.0.lock().unwrap()[self.index] = self.buf.clone();
+        Ok(())
+    }
+}
+
+/// The service's whole update history — also what a production
+/// deployment would keep in its write-ahead log: two communities plus
+/// some churn.
+fn update_log() -> Vec<GraphUpdate> {
+    let mut log = Vec::new();
     for base in [0u32, 8] {
         for a in base..base + 8 {
             for b in (a + 1)..base + 8 {
-                service.insert_edge(v(a), v(b)).unwrap();
+                log.push(GraphUpdate::Insert(v(a), v(b)));
             }
         }
     }
-    service.insert_edge(v(7), v(8)).unwrap();
-    service.delete_edge(v(0), v(1)).unwrap();
+    log.push(GraphUpdate::Insert(v(7), v(8)));
+    log.push(GraphUpdate::Delete(v(0), v(1)));
+    log
+}
 
-    // --- Checkpoint: serialise the full live state to bytes (in
-    // production: to a file or object store).
-    let snapshot = service.checkpoint_bytes();
+fn main() {
+    // Sampled mode (the real algorithm): future label decisions draw
+    // randomness, which is exactly what a checkpoint must preserve.
+    let store = CheckpointStore::default();
+    let sink_store = store.clone();
+    let mut service = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(Params::jaccard(0.3, 4).with_rho(0.2).with_seed(7))
+        // Auto-checkpoint every 50 submitted updates, through the
+        // user-supplied Write factory.
+        .checkpoint_every(50)
+        .checkpoint_sink(move |seq| {
+            let mut slots = sink_store.0.lock().unwrap();
+            slots.push(Vec::new());
+            Ok(Box::new(StoreWriter {
+                store: sink_store.clone(),
+                index: seq as usize,
+                buf: Vec::new(),
+            }) as Box<dyn Write>)
+        })
+        .build()
+        .expect("valid configuration");
+
+    // A running service, fed from the log.
+    let full_log = update_log();
+    for &update in &full_log {
+        service.apply(update).unwrap();
+    }
+    assert!(service.last_checkpoint_error().is_none());
     println!(
-        "checkpointed {} edges into {} bytes",
-        service.graph().num_edges(),
-        snapshot.len()
+        "service processed {} updates; auto-checkpoints written: {}",
+        service.updates_applied(),
+        service.checkpoints_written()
     );
 
-    // --- Crash & restart: restore instead of replaying the history.
-    let mut resumed = DynStrClu::restore(&snapshot[..]).expect("snapshot restores");
+    // --- Crash & restart: restore the *latest* auto-checkpoint instead
+    // of replaying the history.  `Session::restore` goes through the
+    // erased registry — it works for whatever algorithm the bytes hold.
+    let latest = store
+        .0
+        .lock()
+        .unwrap()
+        .last()
+        .cloned()
+        .expect("checkpoints");
+    println!("restoring from {} snapshot bytes", latest.len());
+    let mut resumed = Session::restore(&latest).expect("snapshot restores");
+    println!("restored backend: {}", resumed.algorithm_name());
+
+    // The restored session lags the live one by the updates submitted
+    // after the last auto-checkpoint; replay them (in production: from a
+    // write-ahead log), then both must behave bit-identically.
+    let behind = service.updates_applied() - resumed.updates_applied();
+    println!("replaying {behind} post-checkpoint updates from the log");
+    let start = full_log.len() - behind as usize;
+    for &update in &full_log[start..] {
+        resumed.apply(update).unwrap();
+    }
 
     // Both instances now process the same continuation; the restored one
     // behaves exactly like the one that never stopped — byte-identical

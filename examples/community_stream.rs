@@ -1,18 +1,19 @@
-//! Community detection on a streaming social network.
+//! Community detection on a streaming social network, through the
+//! `Session` facade.
 //!
 //! A planted-partition graph (ground-truth communities) is streamed as edge
-//! insertions and deletions; DynStrClu maintains the structural clustering,
-//! and every few thousand updates the example reports how well the
-//! maintained clusters track the planted communities (one of the paper's
-//! motivating applications, Section 1).
+//! insertions and deletions; the session auto-batches the ingestion, and
+//! every few thousand updates the example reports how well the maintained
+//! clusters track the planted communities (one of the paper's motivating
+//! applications, Section 1).
 //!
 //! ```text
-//! cargo run -p dynscan-bench --release --example community_stream
+//! cargo run --release --example community_stream
 //! ```
 
-use dynscan_core::{DynStrClu, Params, VertexId};
-use dynscan_metrics::quality::normalised_mutual_information;
-use dynscan_workload::{
+use dynscan::core::{AutoBatchPolicy, Backend, Params, Session, VertexId};
+use dynscan::metrics::quality::normalised_mutual_information;
+use dynscan::workload::{
     generators::planted_partition_ground_truth, planted_partition, UpdateStream, UpdateStreamConfig,
 };
 
@@ -30,7 +31,12 @@ fn main() {
         .with_rho(0.05)
         .with_delta_star_for_n(n)
         .with_seed(11);
-    let mut algo = DynStrClu::new(params);
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(params)
+        .auto_batch(AutoBatchPolicy::Size(64))
+        .build()
+        .expect("DynStrClu is always available");
 
     let config = UpdateStreamConfig::new(n).with_eta(0.1).with_seed(23);
     let mut stream = UpdateStream::new(&edges, config);
@@ -42,10 +48,12 @@ fn main() {
         let Some(update) = stream.next_update() else {
             break;
         };
-        algo.apply(update).ok();
+        session.push(update);
         applied += 1;
         if applied.is_multiple_of(report_every) {
-            let clustering = algo.clustering();
+            // The query flushes the ingestion buffer first, so the report
+            // covers every streamed update (read-your-writes).
+            let clustering = session.clustering();
             let assignment: Vec<Option<u32>> = (0..n)
                 .map(|v| clustering.primary_assignment(VertexId(v as u32)))
                 .collect();
@@ -63,7 +71,7 @@ fn main() {
     // A focused cluster-group-by query: which of a handful of "users of
     // interest" end up in the same community?
     let watchlist: Vec<VertexId> = (0..20).map(|i| VertexId(i * 37 % n as u32)).collect();
-    let groups = algo.cluster_group_by(&watchlist);
+    let groups = session.cluster_group_by(&watchlist);
     println!(
         "cluster-group-by over a {}-vertex watchlist → {} groups",
         watchlist.len(),

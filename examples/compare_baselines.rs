@@ -2,17 +2,25 @@
 //! baselines on one update stream: per-update cost, memory, and agreement
 //! of the resulting clusterings — a miniature of the paper's Figure 7.
 //!
+//! All four algorithms are driven through one erased handle
+//! (`Box<dyn Clusterer>` sessions built from the `Backend` registry —
+//! `dynscan::baseline::install()` is what makes the two baselines
+//! constructible).
+//!
 //! ```text
-//! cargo run -p dynscan-bench --release --example compare_baselines
+//! cargo run --release --example compare_baselines
 //! ```
 
-use dynscan_baseline::{ExactDynScan, IndexedDynScan, StaticScan};
-use dynscan_bench::{run_updates, Scale};
-use dynscan_core::{DynElm, DynStrClu, DynamicClustering, Params};
-use dynscan_metrics::adjusted_rand_index;
-use dynscan_workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
+use dynscan::baseline::StaticScan;
+use dynscan::bench::run_updates;
+use dynscan::core::{Backend, Clusterer, Params, Session};
+use dynscan::metrics::adjusted_rand_index;
+use dynscan::workload::{chung_lu_power_law, InsertionStrategy, UpdateStream, UpdateStreamConfig};
 
 fn main() {
+    // Make the exact baselines available to the backend registry.
+    dynscan::baseline::install();
+
     let n = 3_000;
     let m0 = 15_000;
     let edges = chung_lu_power_law(n, m0, 2.3, 21);
@@ -29,14 +37,19 @@ fn main() {
     let params = Params::jaccard(0.2, 5)
         .with_rho(0.01)
         .with_delta_star_for_n(n);
-    let scale = Scale::default_scale();
+    let scale = dynscan::bench::Scale::default_scale();
 
-    let mut algorithms: Vec<Box<dyn DynamicClustering>> = vec![
-        Box::new(DynElm::new(params)),
-        Box::new(DynStrClu::new(params)),
-        Box::new(ExactDynScan::jaccard(0.2, 5)),
-        Box::new(IndexedDynScan::jaccard(0.2, 5)),
-    ];
+    let mut algorithms: Vec<Box<dyn Clusterer>> = Backend::all()
+        .into_iter()
+        .map(|backend| {
+            Session::builder()
+                .backend(backend)
+                .params(params)
+                .build()
+                .expect("all four backends registered")
+                .into_inner()
+        })
+        .collect();
 
     println!(
         "{:<12} {:>14} {:>12} {:>12}",
@@ -65,13 +78,24 @@ fn main() {
         println!("ARI between DynStrClu's and the exact clustering: {ari:.4}");
     }
 
-    // And against a from-scratch static SCAN on the final graph of the
-    // DynStrClu run (only valid when nothing was truncated).
-    let mut reference = DynStrClu::new(params);
+    // And against a from-scratch static SCAN on the final graph of a full
+    // (untruncated) DynStrClu replay.
+    let mut reference = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(params)
+        .build()
+        .expect("DynStrClu is always available");
     for &u in &updates {
-        reference.apply(u).ok();
+        let _ = reference.apply(u);
     }
-    let static_result = StaticScan::jaccard(0.2, 5).cluster(reference.graph());
-    let ari = adjusted_rand_index(&reference.clustering(), &static_result);
+    let graph = {
+        let mut g = dynscan::graph::DynGraph::new();
+        for &u in &updates {
+            let _ = g.apply_update(u);
+        }
+        g
+    };
+    let static_result = StaticScan::jaccard(0.2, 5).cluster(&graph);
+    let ari = adjusted_rand_index(reference.clustering(), &static_result);
     println!("ARI between DynStrClu and static SCAN on the final graph: {ari:.4}");
 }

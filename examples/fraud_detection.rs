@@ -1,19 +1,20 @@
-//! Outlier (noise) detection on a transaction-style graph.
+//! Outlier (noise) detection on a transaction-style graph, through the
+//! `Session` facade.
 //!
 //! The paper's introduction cites fraud detection on blockchain data as an
 //! application of structural clustering: vertices that end up as *noise*
 //! (they belong to no cluster) are flagged for inspection.  This example
 //! streams a power-law "transaction" graph with a handful of injected
 //! anomalous accounts that connect to random, unrelated counterparties, and
-//! shows that DynStrClu keeps reporting them as noise while the organic
-//! accounts cluster.
+//! shows that the maintained clustering keeps reporting them as noise while
+//! the organic accounts cluster.
 //!
 //! ```text
-//! cargo run -p dynscan-bench --release --example fraud_detection
+//! cargo run --release --example fraud_detection
 //! ```
 
-use dynscan_core::{DynStrClu, Params, VertexId, VertexRole};
-use dynscan_workload::{planted_partition, UpdateStream, UpdateStreamConfig};
+use dynscan::core::{AutoBatchPolicy, Backend, GraphUpdate, Params, Session, VertexId, VertexRole};
+use dynscan::workload::{planted_partition, UpdateStream, UpdateStreamConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,28 +33,34 @@ fn main() {
         .with_rho(0.05)
         .with_delta_star_for_n(n)
         .with_seed(5);
-    let mut algo = DynStrClu::new(params);
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(params)
+        .auto_batch(AutoBatchPolicy::Size(128))
+        .build()
+        .expect("DynStrClu is always available");
 
-    // Replay the organic graph.
+    // Replay the organic transaction stream.
     let mut stream = UpdateStream::new(&edges, UpdateStreamConfig::new(organic_accounts));
     let m0 = edges.len();
     for update in stream.take_updates(m0) {
-        algo.apply(update).ok();
+        session.push(update);
     }
 
     // Suspicious accounts transact with many unrelated counterparties:
     // their neighbourhoods overlap with nobody's, so their edges stay
-    // dissimilar and they never join a cluster.
+    // dissimilar and they never join a cluster.  Duplicates in the random
+    // targets are skipped by the batch engine, like any invalid update.
     let mut rng = SmallRng::seed_from_u64(99);
     for s in 0..suspicious_accounts {
         let suspect = VertexId((organic_accounts + s) as u32);
         for _ in 0..15 {
             let target = VertexId(rng.gen_range(0..organic_accounts as u32));
-            let _ = algo.insert_edge(suspect, target);
+            session.push(GraphUpdate::Insert(suspect, target));
         }
     }
 
-    let clustering = algo.clustering();
+    let clustering = session.clustering();
     println!(
         "{} clusters, {} core accounts, {} noise accounts",
         clustering.num_clusters(),

@@ -1,34 +1,42 @@
-//! Quickstart: maintain a structural clustering of a small social graph
-//! under edge insertions and deletions, and inspect roles and clusters.
+//! Quickstart: drive a structural-clustering service through the
+//! `Session` facade — stream edge insertions and deletions, query roles,
+//! clusters and group-bys, and let the facade batch the ingestion.
 //!
 //! ```text
-//! cargo run -p dynscan-bench --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use dynscan_core::{DynStrClu, Params, VertexId, VertexRole};
+use dynscan::core::{AutoBatchPolicy, Backend, GraphUpdate, Params, Session, VertexId, VertexRole};
 
 fn main() {
     // ε = 0.29, μ = 5: a vertex needs five neighbours with sufficiently
-    // overlapping neighbourhoods to become a cluster core.
-    let params = Params::jaccard(0.29, 5).with_rho(0.05).with_seed(42);
-    let mut algo = DynStrClu::new(params);
+    // overlapping neighbourhoods to become a cluster core.  The session
+    // buffers pushed updates into batches of up to 256 for the batch
+    // engine; every query flushes first (read-your-writes), so results
+    // always reflect everything submitted.
+    let mut session = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(Params::jaccard(0.29, 5).with_rho(0.05).with_seed(42))
+        .auto_batch(AutoBatchPolicy::Size(256))
+        .build()
+        .expect("DynStrClu is always available");
 
     // Two friend groups (6-cliques) ...
     for base in [0u32, 6] {
         for a in base..base + 6 {
             for b in (a + 1)..base + 6 {
-                algo.insert_edge(VertexId(a), VertexId(b)).unwrap();
+                session.push(GraphUpdate::Insert(VertexId(a), VertexId(b)));
             }
         }
     }
     // ... one person who knows two people in each group ...
     for friend in [0u32, 1, 6, 7] {
-        algo.insert_edge(VertexId(12), VertexId(friend)).unwrap();
+        session.push(GraphUpdate::Insert(VertexId(12), VertexId(friend)));
     }
     // ... and one loosely attached newcomer.
-    algo.insert_edge(VertexId(13), VertexId(0)).unwrap();
+    session.push(GraphUpdate::Insert(VertexId(13), VertexId(0)));
 
-    let clustering = algo.clustering();
+    let clustering = session.clustering();
     println!("clusters: {}", clustering.num_clusters());
     for (i, cluster) in clustering.clusters().iter().enumerate() {
         let members: Vec<u32> = cluster.iter().map(|v| v.raw()).collect();
@@ -42,20 +50,36 @@ fn main() {
     }
 
     // The graph changes: two friendships inside the first group break up.
-    algo.delete_edge(VertexId(4), VertexId(5)).unwrap();
-    algo.delete_edge(VertexId(3), VertexId(5)).unwrap();
-    let after = algo.clustering();
+    // `apply` reports typed errors for invalid updates; these are valid.
+    session
+        .apply(GraphUpdate::Delete(VertexId(4), VertexId(5)))
+        .expect("edge exists");
+    session
+        .apply(GraphUpdate::Delete(VertexId(3), VertexId(5)))
+        .expect("edge exists");
     println!(
         "after two deletions: vertex 5 is now {:?} (was Core)",
-        after.role(VertexId(5))
+        session.clustering().role(VertexId(5))
     );
 
     // Cluster-group-by query: which of these people cluster together?
+    // Answers are canonical (groups sorted by smallest member) and cached
+    // until the next effective change.
     let query = [VertexId(0), VertexId(6), VertexId(12), VertexId(13)];
-    let groups = algo.cluster_group_by(&query);
+    let groups = session.cluster_group_by(&query);
     println!("group-by over {query:?}:");
     for group in groups {
         let members: Vec<u32> = group.iter().map(|v| v.raw()).collect();
         println!("  group: {members:?}");
     }
+
+    // The same stream could run on any backend: swap
+    // `Backend::DynStrClu` for `Backend::DynElm` — or, after
+    // `dynscan::baseline::install()`, for `Backend::ExactDynScan` /
+    // `Backend::IndexedDynScan` — and nothing else changes.
+    println!(
+        "backend: {} (snapshot tag {})",
+        session.algorithm_name(),
+        session.algo_tag()
+    );
 }

@@ -11,12 +11,17 @@
 //!   per-edge estimation streams.
 //! * [`conn`] — fully dynamic connectivity (HDT) over the sim-core graph.
 //! * [`dt`] — distributed-tracking registry deciding *when* to relabel.
-//! * [`core`] — `DynElm` / `DynStrClu` and the [`core::BatchUpdate`]
-//!   batch-update API.
-//! * [`baseline`] — static SCAN plus pSCAN/hSCAN-style dynamic baselines.
+//! * [`core`] — `DynElm` / `DynStrClu`, the object-safe [`core::Clusterer`]
+//!   engine API and the [`core::Session`] facade (streaming ingestion,
+//!   group-by queries, erased checkpointing), plus the
+//!   [`core::BatchUpdate`] batch-update API.
+//! * [`baseline`] — static SCAN plus pSCAN/hSCAN-style dynamic baselines;
+//!   [`baseline::install`] registers the latter with the `Session`
+//!   backend registry.
 //! * [`metrics`] — clustering-quality and peak-memory measurements.
 //! * [`workload`] — generators, update streams and bursty batched streams.
-//! * [`bench`] — the experiment harness and batch-throughput benchmarks.
+//! * [`bench`](mod@bench) — the experiment harness and batch-throughput
+//!   benchmarks.
 
 pub use dynscan_baseline as baseline;
 pub use dynscan_bench as bench;

@@ -155,8 +155,8 @@ proptest! {
         let mut seq_exact = ExactDynScan::jaccard(0.4, 3);
         let mut seq_indexed = IndexedDynScan::jaccard(0.4, 3);
         for &update in &updates {
-            seq_exact.apply_update(update);
-            seq_indexed.apply_update(update);
+            let _ = seq_exact.try_apply(update);
+            let _ = seq_indexed.try_apply(update);
         }
         let mut bat_exact = ExactDynScan::jaccard(0.4, 3);
         let mut bat_indexed = IndexedDynScan::jaccard(0.4, 3);

@@ -39,10 +39,10 @@ fn exact_mode_dynamic_equals_static_scan() {
     let mut pscan = ExactDynScan::jaccard(eps, mu);
     let mut hscan = IndexedDynScan::jaccard(eps, mu);
     for &u in &updates {
-        elm.apply_update(u);
-        strclu.apply_update(u);
-        pscan.apply_update(u);
-        hscan.apply_update(u);
+        let _ = elm.try_apply(u);
+        let _ = strclu.try_apply(u);
+        let _ = pscan.try_apply(u);
+        let _ = hscan.try_apply(u);
     }
 
     let reference = StaticScan::jaccard(eps, mu).cluster(strclu.graph());
@@ -71,7 +71,7 @@ fn exact_mode_dynamic_equals_static_scan() {
         .with_delta_star_for_n(n);
     let mut exact_dyn = DynStrClu::new(params_zero);
     for &u in &updates {
-        exact_dyn.apply_update(u);
+        let _ = exact_dyn.try_apply(u);
     }
     assert_eq!(canonical(&exact_dyn.current_clustering()), reference_sets);
 }
@@ -94,7 +94,7 @@ fn sampled_mode_stays_close_to_static_scan() {
         .with_seed(8);
     let mut algo = DynStrClu::new(params);
     for &u in &updates {
-        algo.apply_update(u);
+        let _ = algo.try_apply(u);
     }
     let reference = StaticScan::jaccard(eps, mu).cluster(algo.graph());
     let ari = adjusted_rand_index(&algo.clustering(), &reference);
@@ -119,7 +119,7 @@ fn cosine_mode_agrees_between_dynamic_and_static() {
         .with_delta_star_for_n(n);
     let mut algo = DynStrClu::new(params);
     for &u in &updates {
-        algo.apply_update(u);
+        let _ = algo.try_apply(u);
     }
     let reference = StaticScan::cosine(eps, mu).cluster(algo.graph());
     assert_eq!(canonical(&algo.clustering()), canonical(&reference));

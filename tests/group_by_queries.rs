@@ -3,7 +3,10 @@
 //! set, including hubs, noise and unknown vertices, at every point of an
 //! update stream.
 
-use dynscan_core::{DynStrClu, Params, StrCluResult, VertexId, VertexRole};
+use dynscan_core::{
+    Backend, DynStrClu, GraphUpdate, Params, Session, StrCluResult, VertexId, VertexRole,
+};
+use dynscan_graph::DynGraph;
 use dynscan_workload::{planted_partition, UpdateStream, UpdateStreamConfig};
 use std::collections::{BTreeSet, HashMap};
 
@@ -111,4 +114,128 @@ fn group_by_handles_noise_hubs_and_duplicates() {
         .map(|c| c.iter().map(|v| v.raw()).collect())
         .collect();
     assert_eq!(as_sets(&groups), expected);
+}
+
+/// Feed the same update stream to a `Session` over each of the four
+/// backends and return the group-by answers for several query sets.
+fn group_by_all_backends(
+    params: Params,
+    updates: &[GraphUpdate],
+    queries: &[Vec<VertexId>],
+) -> Vec<(Backend, Vec<Vec<Vec<VertexId>>>)> {
+    dynscan_baseline::install();
+    Backend::all()
+        .into_iter()
+        .map(|backend| {
+            let mut session = Session::builder()
+                .backend(backend)
+                .params(params)
+                .build()
+                .expect("all four backends are registered");
+            session.extend(updates.iter().copied());
+            let answers = queries
+                .iter()
+                .map(|q| session.cluster_group_by(q))
+                .collect();
+            (backend, answers)
+        })
+        .collect()
+}
+
+/// Satellite acceptance: with exact labels and ρ = 0 every backend holds
+/// exactly the ε-threshold labelling, so `cluster_group_by` through the
+/// `Session` facade must return **identical** partitions — not just
+/// set-equal, but the same canonical `Vec<Vec<VertexId>>` — for DynELM,
+/// DynStrClu, ExactDynScan and IndexedDynScan.
+#[test]
+fn group_by_is_identical_across_all_four_backends() {
+    let fixtures: [(DynGraph, Params); 2] = [
+        (
+            dynscan_core::fixtures::two_cliques_with_hub(),
+            dynscan_core::fixtures::two_cliques_params(),
+        ),
+        (
+            dynscan_core::fixtures::figure1_like(),
+            Params::jaccard(0.5, 3),
+        ),
+    ];
+    for (graph, params) in fixtures {
+        let params = params.with_exact_labels().with_rho(0.0);
+        let updates: Vec<GraphUpdate> = graph
+            .edges()
+            .map(|e| GraphUpdate::Insert(e.lo(), e.hi()))
+            .collect();
+        let n = graph.num_vertices() as u32;
+        let queries: Vec<Vec<VertexId>> = vec![
+            (0..n).map(VertexId).collect(),
+            (0..n).step_by(3).map(VertexId).collect(),
+            vec![VertexId(0), VertexId(n / 2), VertexId(n - 1), VertexId(999)],
+            Vec::new(),
+        ];
+        let answers = group_by_all_backends(params, &updates, &queries);
+        let (reference_backend, reference) = &answers[0];
+        for (backend, backend_answers) in &answers[1..] {
+            assert_eq!(
+                backend_answers, reference,
+                "{backend} disagrees with {reference_backend} on the fixture graphs"
+            );
+        }
+    }
+}
+
+/// Regression: a hub that is the smallest queried member of *several*
+/// groups ties the groups on their first element; the canonical order
+/// must still be identical across backends (lexicographic on the full
+/// member list), not fall back to backend-internal cluster/component-id
+/// order.
+#[test]
+fn group_by_breaks_smallest_member_ties_identically() {
+    // Two 6-cliques on {1..6} and {7..12}, hub 0 attached to two
+    // vertices of each; querying [0, 7] yields groups [0] and [0, 7] —
+    // both starting with vertex 0.
+    let mut updates = Vec::new();
+    for base in [1u32, 7] {
+        for a in base..base + 6 {
+            for b in (a + 1)..base + 6 {
+                updates.push(GraphUpdate::Insert(VertexId(a), VertexId(b)));
+            }
+        }
+    }
+    for x in [1u32, 2, 7, 8] {
+        updates.push(GraphUpdate::Insert(VertexId(0), VertexId(x)));
+    }
+    let params = Params::jaccard(0.29, 5).with_exact_labels().with_rho(0.0);
+    let queries = vec![vec![VertexId(0), VertexId(7)], vec![VertexId(0)]];
+    let answers = group_by_all_backends(params, &updates, &queries);
+    let (_, reference) = &answers[0];
+    assert_eq!(
+        reference[0],
+        vec![vec![VertexId(0)], vec![VertexId(0), VertexId(7)]],
+        "groups tied on the hub must sort lexicographically"
+    );
+    for (backend, backend_answers) in &answers[1..] {
+        assert_eq!(
+            backend_answers, reference,
+            "{backend} breaks ties differently"
+        );
+    }
+}
+
+/// The same cross-backend identity on a streamed graph with deletions.
+#[test]
+fn group_by_is_identical_across_backends_after_churn() {
+    let n = 120;
+    let edges = planted_partition(n, 4, 0.4, 0.02, 11);
+    let config = UpdateStreamConfig::new(n).with_eta(0.25).with_seed(3);
+    let updates = UpdateStream::new(&edges, config).take_updates(edges.len() + 300);
+    let params = Params::jaccard(0.35, 4).with_exact_labels().with_rho(0.0);
+    let queries: Vec<Vec<VertexId>> = vec![
+        (0..n as u32).map(VertexId).collect(),
+        (0..n as u32).step_by(7).map(VertexId).collect(),
+    ];
+    let answers = group_by_all_backends(params, &updates, &queries);
+    let (_, reference) = &answers[0];
+    for (backend, backend_answers) in &answers[1..] {
+        assert_eq!(backend_answers, reference, "{backend} disagrees");
+    }
 }

@@ -1,0 +1,218 @@
+//! Integration tests for the `Session` facade: streamed auto-batched
+//! ingestion must equal one-at-a-time application (read-your-writes, any
+//! buffer size), typed update errors must agree across all four backends,
+//! and every backend must checkpoint and restore through the *erased*
+//! `restore_any` registry.
+
+use dynscan_core::{
+    AutoBatchPolicy, Backend, GraphUpdate, Params, Session, StrCluResult, UpdateError, VertexId,
+};
+use proptest::prelude::*;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+fn exact_params() -> Params {
+    Params::jaccard(0.35, 3).with_exact_labels().with_rho(0.0)
+}
+
+fn session_for(backend: Backend, params: Params, policy: AutoBatchPolicy) -> Session {
+    dynscan_baseline::install();
+    Session::builder()
+        .backend(backend)
+        .params(params)
+        .auto_batch(policy)
+        .build()
+        .expect("backend registered")
+}
+
+/// Canonical byte string of a clustering: sorted clusters + per-vertex
+/// roles.  Two results serialise identically iff they are the same
+/// clustering — the "byte-identical" notion of the satellite acceptance.
+fn fingerprint(result: &StrCluResult) -> String {
+    let mut clusters: Vec<Vec<u32>> = result
+        .clusters()
+        .iter()
+        .map(|c| c.iter().map(|x| x.raw()).collect())
+        .collect();
+    clusters.sort();
+    let roles: Vec<String> = result
+        .roles()
+        .map(|(x, role)| format!("{}:{:?}", x.raw(), role))
+        .collect();
+    format!("{clusters:?}|{}", roles.join(","))
+}
+
+fn ops_to_updates(ops: &[(bool, u32, u32)]) -> Vec<GraphUpdate> {
+    ops.iter()
+        .map(|&(insert, a, b)| {
+            if insert {
+                GraphUpdate::Insert(v(a), v(b))
+            } else {
+                GraphUpdate::Delete(v(a), v(b))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite acceptance: `apply_stream` + auto-batch equals
+    /// one-at-a-time apply — byte-identical clustering for *any* buffer
+    /// size, on random update sequences (exact labels, ρ = 0, where the
+    /// equality is a theorem; invalid updates in the stream are skipped
+    /// by both paths).
+    #[test]
+    fn auto_batched_stream_equals_sequential_apply(
+        ops in prop::collection::vec((any::<bool>(), 0u32..16, 0u32..16), 1..120),
+        buffer_size in 1usize..48,
+    ) {
+        let updates = ops_to_updates(&ops);
+
+        let mut sequential = session_for(
+            Backend::DynStrClu, exact_params(), AutoBatchPolicy::Manual);
+        for &u in &updates {
+            // One at a time; invalid updates are skipped, same as the
+            // batch engine does inside a flush.
+            let _ = sequential.apply(u);
+        }
+
+        let mut streamed = session_for(
+            Backend::DynStrClu, exact_params(), AutoBatchPolicy::Size(buffer_size));
+        streamed.extend(updates.iter().copied());
+
+        prop_assert_eq!(
+            fingerprint(streamed.clustering()),
+            fingerprint(sequential.clustering()),
+            "buffer size {}", buffer_size
+        );
+        // Group-by answers agree too (canonical form ⇒ plain equality).
+        let q: Vec<VertexId> = (0..16).map(v).collect();
+        prop_assert_eq!(
+            streamed.cluster_group_by(&q),
+            sequential.cluster_group_by(&q)
+        );
+        prop_assert_eq!(streamed.num_edges(), sequential.num_edges());
+    }
+
+    /// The same streamed-equals-sequential identity for the exact
+    /// baseline backend driven through the facade.
+    #[test]
+    fn auto_batched_stream_equals_sequential_for_baseline(
+        ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 1..80),
+        buffer_size in 1usize..32,
+    ) {
+        let updates = ops_to_updates(&ops);
+        let mut sequential = session_for(
+            Backend::ExactDynScan, exact_params(), AutoBatchPolicy::Manual);
+        for &u in &updates {
+            let _ = sequential.apply(u);
+        }
+        let mut streamed = session_for(
+            Backend::ExactDynScan, exact_params(), AutoBatchPolicy::Size(buffer_size));
+        streamed.extend(updates.iter().copied());
+        prop_assert_eq!(
+            fingerprint(streamed.clustering()),
+            fingerprint(sequential.clustering())
+        );
+    }
+}
+
+/// Satellite: the two exact baselines' historical silent-skip behaviour
+/// maps onto the same typed `UpdateError` causes as the DynELM-based
+/// algorithms — tested cause by cause, through the facade.
+#[test]
+fn update_error_causes_agree_across_all_backends() {
+    dynscan_baseline::install();
+    for backend in Backend::all() {
+        let mut session = session_for(backend, exact_params(), AutoBatchPolicy::Manual);
+        session.apply(GraphUpdate::Insert(v(0), v(1))).unwrap();
+        assert_eq!(
+            session.apply(GraphUpdate::Insert(v(1), v(0))),
+            Err(UpdateError::DuplicateInsert { u: v(1), v: v(0) }),
+            "{backend}"
+        );
+        assert_eq!(
+            session.apply(GraphUpdate::Delete(v(2), v(3))),
+            Err(UpdateError::MissingDelete { u: v(2), v: v(3) }),
+            "{backend}"
+        );
+        assert_eq!(
+            session.apply(GraphUpdate::Insert(v(4), v(4))),
+            Err(UpdateError::InvalidVertex { v: v(4) }),
+            "{backend}"
+        );
+        // Rejections left no trace: the lone edge survives untouched.
+        assert_eq!(session.num_edges(), 1, "{backend}");
+        assert_eq!(session.updates_applied(), 1, "{backend}");
+    }
+}
+
+/// Acceptance: all four backends drive through `Session`, checkpoint
+/// erased, and restore via `restore_any` into an equivalent session —
+/// without any phase naming the concrete type.
+#[test]
+fn all_backends_checkpoint_and_restore_erased_through_session() {
+    dynscan_baseline::install();
+    let graph = dynscan_core::fixtures::two_cliques_with_hub();
+    let updates: Vec<GraphUpdate> = graph
+        .edges()
+        .map(|e| GraphUpdate::Insert(e.lo(), e.hi()))
+        .collect();
+    let params = dynscan_core::fixtures::two_cliques_params().with_seed(42);
+    let q = [v(0), v(6), v(12), v(13)];
+    for backend in Backend::all() {
+        let mut session = session_for(backend, params, AutoBatchPolicy::Size(8));
+        session.extend(updates.iter().copied());
+        let groups = session.cluster_group_by(&q);
+        let bytes = session.checkpoint_bytes();
+
+        let mut resumed = Session::restore(&bytes).expect("erased restore");
+        assert_eq!(resumed.algorithm_name(), backend.name());
+        assert_eq!(resumed.algo_tag(), session.algo_tag());
+        assert_eq!(resumed.cluster_group_by(&q), groups, "{backend}");
+        assert_eq!(
+            fingerprint(resumed.clustering()),
+            fingerprint(session.clustering()),
+            "{backend}"
+        );
+        // Canonical encoding: an untouched resumed session re-serialises
+        // to the identical bytes.
+        assert_eq!(resumed.checkpoint_bytes(), bytes, "{backend}");
+
+        // And both continue identically on a follow-up deletion.
+        let live_flips = session.apply(GraphUpdate::Delete(v(4), v(5))).unwrap();
+        let resumed_flips = resumed.apply(GraphUpdate::Delete(v(4), v(5))).unwrap();
+        assert_eq!(live_flips, resumed_flips, "{backend}");
+        assert_eq!(
+            resumed.checkpoint_bytes(),
+            session.checkpoint_bytes(),
+            "{backend}"
+        );
+    }
+}
+
+/// Read-your-writes across the facade: a query between pushes observes
+/// every accepted update, regardless of the buffer state.
+#[test]
+fn queries_observe_all_pushed_updates() {
+    let mut session = session_for(
+        Backend::DynStrClu,
+        exact_params(),
+        AutoBatchPolicy::Size(1000),
+    );
+    let graph = dynscan_core::fixtures::two_cliques_with_hub();
+    let mut pushed = 0;
+    for e in graph.edges() {
+        session.push(GraphUpdate::Insert(e.lo(), e.hi()));
+        pushed += 1;
+        // The query flushes the buffer first, so it observes every pushed
+        // update even though the size bound (1000) is never reached.
+        assert_eq!(session.num_edges(), pushed);
+        assert_eq!(session.buffered(), 0);
+    }
+    assert_eq!(session.clustering().num_clusters(), 2);
+    assert_eq!(session.updates_applied() as usize, graph.num_edges());
+}

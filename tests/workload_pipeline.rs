@@ -37,8 +37,8 @@ fn dataset_to_metrics_pipeline_runs() {
     let mut exact = ExactDynScan::jaccard(spec.eps_jaccard, 5);
     let mut peak = PeakTracker::new();
     for &u in &updates {
-        approx.apply_update(u);
-        exact.apply_update(u);
+        let _ = approx.try_apply(u);
+        let _ = exact.try_apply(u);
         peak.record(approx.memory_bytes());
     }
     assert_eq!(approx.updates_applied(), exact.updates_applied());
