@@ -21,6 +21,26 @@
 //! All three reuse the `StrCluResult` extraction from `dynscan-core`, so
 //! quality comparisons are apples-to-apples.
 //!
+//! # Why batching is a wash for the exact baselines (by design)
+//!
+//! The batch update engine speeds DynELM/DynStrClu up 2.5×+ on bursty
+//! streams, yet the same engine driving [`ExactDynScan`] measures around
+//! **0.7×** — slightly *slower* than one-at-a-time application.  That is
+//! not a defect to fix but the designed contrast point of the whole
+//! batching story: pSCAN-style exact maintenance relabels an edge in
+//! O(1) per affecting update (the exact intersection counts are updated
+//! incrementally, and the ε-comparison is a single branch), so there is
+//! no expensive per-edge re-examination for a batch to deduplicate — the
+//! dedup bookkeeping (sorting touched sets, coalescing flips) costs
+//! about as much as the relabel work it saves.  DynELM/DynStrClu are the
+//! opposite: a matured edge pays a full (Δ, δ)-sampling re-estimation,
+//! which is exactly the work the batch engine deduplicates across the
+//! burst and fans out across the execution pool.  Batching pays where
+//! re-estimation is expensive; keep the baseline rows in
+//! `BENCH_batch.json` / `BENCH_parallel.json` as the control that shows
+//! the speedup comes from deduplicated estimation, not from measurement
+//! artefacts.
+//!
 //! Both dynamic baselines implement the object-safe
 //! [`dynscan_core::Clusterer`] trait, so the `Session` facade can drive
 //! them exactly like DynELM / DynStrClu.  Because the crate dependency

@@ -23,6 +23,7 @@
 pub mod batch;
 pub mod experiments;
 pub mod export;
+pub mod parallel;
 pub mod runner;
 pub mod scale;
 pub mod snapshot;
@@ -30,6 +31,10 @@ pub mod snapshot;
 pub use batch::{
     clustering_fingerprint, rows_to_json, rows_to_table, run_batch_throughput, BatchBenchConfig,
     BatchBenchRow,
+};
+pub use parallel::{
+    parallel_rows_to_json, parallel_rows_to_table, run_parallel_scaling, ParallelBenchConfig,
+    ParallelBenchRow,
 };
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;

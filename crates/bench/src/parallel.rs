@@ -1,0 +1,345 @@
+//! Parallel-scaling experiment for the execution layer: the persistent
+//! work-stealing pool + pipelined batch engine + sharded aux maintenance
+//! against the PR 1 executor (scoped threads spawned per batch, no
+//! pipeline, no shards), across threads × batch size × backend.
+//!
+//! Three engines replay the *same* bursty stream with the same batch
+//! boundaries:
+//!
+//! * `pr1-spawn` — [`ExecPool::spawn_per_batch_reference`] +
+//!   `apply_batch` loop: the PR 1 batch engine's execution model.
+//! * `pooled` — persistent pool + `apply_batch` loop (no pipelining).
+//! * `pipelined` — persistent pool + `apply_batches`: topology of batch
+//!   k + 1 overlapped with re-estimation of batch k, sharded vAuxInfo
+//!   maintenance enabled.
+//!
+//! Every run's final clustering must serialise to identical bytes — the
+//! engines and thread counts are performance choices, never semantic
+//! ones — and the run panics if that ever fails.
+
+use crate::batch::clustering_fingerprint;
+use dynscan_core::{DynStrClu, ExecPool, Params};
+use dynscan_graph::GraphUpdate;
+use dynscan_workload::{chung_lu_power_law, BurstyStream, BurstyStreamConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Configuration of one parallel-scaling sweep.
+#[derive(Clone, Debug)]
+pub struct ParallelBenchConfig {
+    /// Vertices of the synthetic dataset.
+    pub num_vertices: usize,
+    /// Edges of the initial (pre-loaded, untimed) graph.
+    pub initial_edges: usize,
+    /// Scales the timed region: every row replays
+    /// `batches × max(batch_sizes)` total updates, so the burst *count*
+    /// per row is this value only for the largest batch size and
+    /// proportionally more for smaller ones (equal wall-clock scale per
+    /// row).
+    pub batches: usize,
+    /// Burst sizes to sweep.
+    pub batch_sizes: Vec<usize>,
+    /// Worker-thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Seed for graph and stream generation.
+    pub seed: u64,
+}
+
+impl ParallelBenchConfig {
+    /// The default measurement scale.
+    pub fn default_scale() -> Self {
+        ParallelBenchConfig {
+            num_vertices: 2_000,
+            initial_edges: 8_000,
+            batches: 16,
+            batch_sizes: vec![64, 256, 1024],
+            thread_counts: vec![1, 2, 4, 8],
+            seed: 0x009a_11e1 ^ 0x5eed,
+        }
+    }
+
+    /// A smoke-test scale for CI.
+    pub fn quick() -> Self {
+        ParallelBenchConfig {
+            num_vertices: 400,
+            initial_edges: 1_200,
+            batches: 8,
+            batch_sizes: vec![128],
+            thread_counts: vec![1, 4],
+            seed: 99,
+        }
+    }
+}
+
+/// One measured row: a (backend, labelling mode, batch size, threads,
+/// engine) cell.
+#[derive(Clone, Debug)]
+pub struct ParallelBenchRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Labelling mode: `"sampled"` or `"exact-rho0"`.
+    pub mode: &'static str,
+    /// Updates per burst.
+    pub batch_size: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Engine: `"pr1-spawn"`, `"pooled"` or `"pipelined"`.
+    pub engine: &'static str,
+    /// Total timed updates.
+    pub updates: usize,
+    /// Wall-clock seconds of the timed replay (best of two).
+    pub secs: f64,
+    /// Updates per second.
+    pub ops: f64,
+    /// Throughput relative to `pr1-spawn` at the same (backend, mode,
+    /// batch size, threads) — 1.0 for the reference rows themselves.
+    pub speedup_vs_pr1: f64,
+    /// Whether the final clustering matched the group's reference
+    /// fingerprint (must always be true).
+    pub identical_clustering: bool,
+}
+
+fn make_batches(config: &ParallelBenchConfig, batch_size: usize) -> Vec<Vec<GraphUpdate>> {
+    let initial = chung_lu_power_law(config.num_vertices, config.initial_edges, 2.3, config.seed);
+    let stream_config = BurstyStreamConfig::new(config.num_vertices, batch_size)
+        .with_hotspot_size(12)
+        .with_hotspot_bias(0.85)
+        .with_eta(0.25)
+        .with_seed(config.seed ^ 0x00ff_00ff);
+    let mut stream = BurstyStream::new(&initial, stream_config);
+    // Same total update count per batch-size row.
+    let total = config.batches * config.batch_sizes.iter().copied().max().unwrap_or(256);
+    stream.take_batches((total / batch_size).max(1))
+}
+
+fn initial_pairs(config: &ParallelBenchConfig) -> Vec<(u32, u32)> {
+    chung_lu_power_law(config.num_vertices, config.initial_edges, 2.3, config.seed)
+        .iter()
+        .map(|&(u, v)| (u.raw(), v.raw()))
+        .collect()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Engine {
+    Pr1Spawn,
+    Pooled,
+    Pipelined,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Pr1Spawn => "pr1-spawn",
+            Engine::Pooled => "pooled",
+            Engine::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// Replay `batches` on a fresh DynStrClu with the given engine; returns
+/// (timed seconds, final state fingerprint).
+fn run_once(
+    params: Params,
+    initial: &[(u32, u32)],
+    batches: &[Vec<GraphUpdate>],
+    engine: Engine,
+    threads: usize,
+) -> (f64, String) {
+    let mut algo = DynStrClu::new(params);
+    match engine {
+        Engine::Pr1Spawn => {
+            algo.set_exec_pool(ExecPool::spawn_per_batch_reference(threads));
+            // PR 1 had no sharded aux maintenance.
+            algo.set_shard_flip_cutoff(usize::MAX);
+        }
+        Engine::Pooled | Engine::Pipelined => {
+            algo.set_exec_pool(ExecPool::with_threads(threads));
+        }
+    }
+    for &(u, v) in initial {
+        let _ = algo.insert_edge(u.into(), v.into());
+    }
+    let start = Instant::now();
+    match engine {
+        Engine::Pipelined => {
+            algo.apply_batches(batches);
+        }
+        _ => {
+            for batch in batches {
+                algo.apply_batch(batch);
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs, clustering_fingerprint(&algo.clustering()))
+}
+
+fn sampled_params(seed: u64) -> Params {
+    Params::jaccard(0.3, 4).with_rho(0.25).with_seed(seed)
+}
+
+fn exact_params(seed: u64) -> Params {
+    Params::jaccard(0.3, 4)
+        .with_rho(0.0)
+        .with_exact_labels()
+        .with_seed(seed)
+}
+
+/// Run the sweep: threads × batch size × {sampled, exact} DynStrClu, all
+/// three engines per cell.
+pub fn run_parallel_scaling(config: &ParallelBenchConfig) -> Vec<ParallelBenchRow> {
+    let initial = initial_pairs(config);
+    let mut rows = Vec::new();
+    for (mode, params) in [
+        ("sampled", sampled_params(config.seed)),
+        ("exact-rho0", exact_params(config.seed)),
+    ] {
+        for &batch_size in &config.batch_sizes {
+            let batches = make_batches(config, batch_size);
+            let updates: usize = batches.iter().map(Vec::len).sum();
+            let mut reference_fingerprint: Option<String> = None;
+            for &threads in &config.thread_counts {
+                let mut pr1_secs = f64::NAN;
+                for engine in [Engine::Pr1Spawn, Engine::Pooled, Engine::Pipelined] {
+                    // Best of two: replays are deterministic, the spread
+                    // is machine noise.
+                    let (secs_a, fingerprint) =
+                        run_once(params, &initial, &batches, engine, threads);
+                    let (secs_b, _) = run_once(params, &initial, &batches, engine, threads);
+                    let secs = secs_a.min(secs_b);
+                    let reference =
+                        reference_fingerprint.get_or_insert_with(|| fingerprint.clone());
+                    let identical = *reference == fingerprint;
+                    assert!(
+                        identical,
+                        "{mode}/{batch_size}/{threads}/{} diverged from the reference \
+                         clustering — the execution layer must be semantically inert",
+                        engine.name()
+                    );
+                    if engine == Engine::Pr1Spawn {
+                        pr1_secs = secs;
+                    }
+                    rows.push(ParallelBenchRow {
+                        algorithm: "DynStrClu",
+                        mode,
+                        batch_size,
+                        threads,
+                        engine: engine.name(),
+                        updates,
+                        secs,
+                        ops: updates as f64 / secs.max(f64::EPSILON),
+                        speedup_vs_pr1: pr1_secs / secs.max(f64::EPSILON),
+                        identical_clustering: identical,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Render rows as the `BENCH_parallel.json` document (hand-rolled JSON —
+/// the vendored serde is a marker stub).
+pub fn parallel_rows_to_json(config: &ParallelBenchConfig, rows: &[ParallelBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"parallel_scaling\",\n");
+    out.push_str("  \"command\": \"cargo bench -p dynscan-bench --bench parallel_scaling\",\n");
+    let _ = writeln!(out, "  \"num_vertices\": {},", config.num_vertices);
+    let _ = writeln!(out, "  \"initial_edges\": {},", config.initial_edges);
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"batch_size\": {}, \
+             \"threads\": {}, \"engine\": \"{}\", \"updates\": {}, \"secs\": {:.6}, \
+             \"ops\": {:.1}, \"speedup_vs_pr1\": {:.3}, \"identical_clustering\": {}}}",
+            row.algorithm,
+            row.mode,
+            row.batch_size,
+            row.threads,
+            row.engine,
+            row.updates,
+            row.secs,
+            row.ops,
+            row.speedup_vs_pr1,
+            row.identical_clustering,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable table of the rows.
+pub fn parallel_rows_to_table(rows: &[ParallelBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:<10} {:>6} {:>8} {:<10} {:>12} {:>9} {:>10}",
+        "algorithm", "mode", "batch", "threads", "engine", "ops/s", "vs pr1", "identical"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:<10} {:>6} {:>8} {:<10} {:>12.0} {:>8.2}x {:>10}",
+            row.algorithm,
+            row.mode,
+            row.batch_size,
+            row.threads,
+            row.engine,
+            row.ops,
+            row.speedup_vs_pr1,
+            row.identical_clustering,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_identical_across_engines_and_threads() {
+        let config = ParallelBenchConfig::quick();
+        let rows = run_parallel_scaling(&config);
+        // 2 modes × 1 batch size × 2 thread counts × 3 engines.
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| r.identical_clustering));
+        assert!(rows.iter().all(|r| r.updates > 0 && r.secs > 0.0));
+        // The pr1 reference rows carry speedup 1.0 by construction.
+        for row in rows.iter().filter(|r| r.engine == "pr1-spawn") {
+            assert!((row.speedup_vs_pr1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn json_and_table_shapes() {
+        let config = ParallelBenchConfig::quick();
+        let rows = vec![ParallelBenchRow {
+            algorithm: "DynStrClu",
+            mode: "sampled",
+            batch_size: 128,
+            threads: 4,
+            engine: "pipelined",
+            updates: 1024,
+            secs: 0.5,
+            ops: 2048.0,
+            speedup_vs_pr1: 1.7,
+            identical_clustering: true,
+        }];
+        let json = parallel_rows_to_json(&config, &rows);
+        assert!(json.contains("\"benchmark\": \"parallel_scaling\""));
+        assert!(json.contains("\"engine\": \"pipelined\""));
+        assert!(json.contains("\"speedup_vs_pr1\": 1.700"));
+        assert!(json.trim_end().ends_with('}'));
+        let table = parallel_rows_to_table(&rows);
+        assert!(table.contains("pipelined"));
+    }
+}

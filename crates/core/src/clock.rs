@@ -1,0 +1,113 @@
+//! A minimal clock abstraction for time-dependent policies.
+//!
+//! The [`crate::Session`]'s time-bounded auto-batching needs to ask "how
+//! long has the oldest buffered update been waiting?" — but wall-clock
+//! reads in the flush path would make that behaviour untestable.
+//! [`Clock`] abstracts the read: production code uses [`SystemClock`]
+//! (monotonic, via [`std::time::Instant`]); tests inject a [`MockClock`]
+//! and advance it explicitly, making deadline behaviour exact and
+//! deterministic.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic clock: reports elapsed time since an arbitrary (fixed)
+/// origin.  Implementations must be monotone — `now()` never decreases.
+pub trait Clock: Send {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The real monotonic clock ([`Instant`]-based).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually driven clock for tests.  Clones share the same underlying
+/// time, so a test can keep one handle and hand another to the session:
+///
+/// ```
+/// use dynscan_core::clock::{Clock, MockClock};
+/// use std::time::Duration;
+///
+/// let clock = MockClock::new();
+/// let handle = clock.clone();
+/// clock.advance(Duration::from_millis(250));
+/// assert_eq!(handle.now(), Duration::from_millis(250));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MockClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl MockClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        let mut now = self.now.lock().unwrap_or_else(|p| p.into_inner());
+        *now += delta;
+    }
+
+    /// Set the absolute time (must not move backwards in sane tests;
+    /// the clock does not enforce it).
+    pub fn set(&self, to: Duration) {
+        *self.now.lock().unwrap_or_else(|p| p.into_inner()) = to;
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_and_shares_time() {
+        let clock = MockClock::new();
+        let shared = clock.clone();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_secs(3));
+        shared.advance(Duration::from_millis(500));
+        assert_eq!(clock.now(), Duration::from_millis(3500));
+        clock.set(Duration::from_secs(10));
+        assert_eq!(shared.now(), Duration::from_secs(10));
+    }
+}

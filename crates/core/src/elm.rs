@@ -50,10 +50,10 @@
 
 use crate::cluster::{extract_clustering, StrCluResult};
 use crate::params::Params;
+use crate::pool::ExecPool;
 use dynscan_dt::DtRegistry;
 use dynscan_graph::{DynGraph, EdgeKey, GraphError, GraphUpdate, MemoryFootprint, VertexId};
 use dynscan_sim::{EdgeLabel, LabelOutcome, LabellingStrategy};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// An edge whose label flipped while processing one update, together with
@@ -82,12 +82,6 @@ pub struct ElmStats {
     /// Batches processed (single updates count as batches of size 1).
     pub batches: u64,
 }
-
-/// Below this many relabel jobs the batch engine re-estimates inline: the
-/// fan-out cost of the (vendored, spawn-per-call) thread pool only pays for
-/// itself on decently sized batches, and single-update applications must
-/// never pay it.
-const PARALLEL_RELABEL_CUTOFF: usize = 128;
 
 /// Reusable buffers of the batch pipeline, kept on the instance so steady
 /// state batches — including the batch-size-1 single-update path —
@@ -146,6 +140,11 @@ pub struct DynElm {
     pub(crate) relabel_counts: HashMap<EdgeKey, u64>,
     pub(crate) scratch: BatchScratch,
     pub(crate) stats: ElmStats,
+    /// Execution pool the parallel re-estimation (and, through DynStrClu,
+    /// the shard fan-out) runs on.  Runtime configuration, not state: it
+    /// is not serialised, not compared, and a restored instance starts on
+    /// the global pool.
+    pub(crate) pool: ExecPool,
 }
 
 impl DynElm {
@@ -166,12 +165,25 @@ impl DynElm {
             relabel_counts: HashMap::new(),
             scratch: BatchScratch::default(),
             stats: ElmStats::default(),
+            pool: ExecPool::global(),
         }
     }
 
     /// The algorithm parameters.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Replace the execution pool parallel work runs on (default: the
+    /// global work-stealing pool).  Pure runtime configuration — results
+    /// are bit-identical on every pool at every thread count.
+    pub fn set_exec_pool(&mut self, pool: ExecPool) {
+        self.pool = pool;
+    }
+
+    /// The execution pool in use.
+    pub fn exec_pool(&self) -> &ExecPool {
+        &self.pool
     }
 
     /// The current graph.
@@ -255,7 +267,7 @@ impl DynElm {
     ///
     /// Invalid updates within the batch — duplicate insertions, deletions
     /// of absent edges, self-loops — are skipped, matching how
-    /// [`crate::DynamicClustering::apply_update`] treats them.  The flip
+    /// [`crate::DynamicClustering::try_apply`] rejects them.  The flip
     /// set is sorted by edge key and coalesced: an edge whose label ends
     /// the batch where it started does not appear.
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
@@ -329,15 +341,16 @@ impl DynElm {
             jobs.push((key, *k));
         }
 
-        // Phase 3 — re-estimate the deduplicated affected set in parallel.
-        // Each job's result is a pure function of (seed, batch epoch, edge,
-        // invocation, post-batch graph), so the outcome vector is
-        // deterministic no matter how rayon schedules the work — and
-        // identical to the sequential fallback used for small jobs, where
-        // thread fan-out would cost more than the re-estimation itself.
-        // Mixing the batch epoch into the stream seed is what lets
-        // `relabel_counts` forget deleted edges without ever reusing a
-        // stream: an edge is relabelled at most once per batch, so
+        // Phase 3 — re-estimate the deduplicated affected set in parallel
+        // on the persistent work-stealing pool.  Each job's result is a
+        // pure function of (seed, batch epoch, edge, invocation,
+        // post-batch graph), so the outcome vector is deterministic no
+        // matter how the pool schedules or steals the work — and identical
+        // to the sequential fallback used for small jobs, where even the
+        // pool's cheap dispatch would cost more than the re-estimation
+        // itself.  Mixing the batch epoch into the stream seed is what
+        // lets `relabel_counts` forget deleted edges without ever reusing
+        // a stream: an edge is relabelled at most once per batch, so
         // (epoch, edge) alone already never repeats.
         let graph = &self.graph;
         let strategy = &self.strategy;
@@ -346,8 +359,8 @@ impl DynElm {
             strategy.label_deterministic(graph, key, invocation, seed)
         };
         let outcomes: Vec<LabelOutcome> =
-            if updates.len() > 1 && jobs.len() >= PARALLEL_RELABEL_CUTOFF {
-                jobs.par_iter().map(run_job).collect()
+            if updates.len() > 1 && jobs.len() >= self.pool.parallel_cutoff() {
+                self.pool.map(&jobs, run_job)
             } else {
                 jobs.iter().map(run_job).collect()
             };
@@ -415,6 +428,7 @@ impl MemoryFootprint for DynElm {
             + self.scratch.memory_bytes()
             + std::mem::size_of::<LabellingStrategy>()
             + std::mem::size_of::<ElmStats>()
+            + std::mem::size_of::<ExecPool>()
     }
 }
 

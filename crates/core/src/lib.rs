@@ -74,21 +74,27 @@
 //! their full inherent APIs.
 
 pub mod aux;
+pub mod clock;
 pub mod cluster;
 pub mod elm;
 pub mod fixtures;
 pub mod params;
+pub mod pipeline;
+pub mod pool;
 pub mod session;
 pub mod snapshot;
 pub mod strclu;
 pub mod traits;
 
 pub use aux::VertexAux;
+pub use clock::{Clock, MockClock, SystemClock};
 pub use cluster::{extract_clustering, group_by_from_clustering, StrCluResult, VertexRole};
 pub use elm::{DynElm, ElmStats, FlippedEdge};
 pub use params::Params;
+pub use pool::ExecPool;
 pub use session::{
-    register_backend, restore_any, AutoBatchPolicy, Backend, Session, SessionBuilder, SessionError,
+    register_backend, restore_any, restore_any_with_info, AutoBatchPolicy, Backend, Session,
+    SessionBuilder, SessionError, SnapshotInfo,
 };
 pub use strclu::DynStrClu;
 pub use traits::{BatchUpdate, Clusterer, DynamicClustering, Snapshot, UpdateError};

@@ -1,0 +1,519 @@
+//! The two-stage batch pipeline: topology-apply of batch *k + 1*
+//! overlapped with the re-estimation of batch *k*.
+//!
+//! # Stage decomposition
+//!
+//! [`DynElm::apply_batch`] is monolithic: topology → DT drain → parallel
+//! re-estimation → commit, with the caller idle while the pool
+//! re-estimates.  This module splits the same semantics into explicitly
+//! ordered stages so consecutive batches can overlap:
+//!
+//! * **A1 — `stage_topology`**: apply a batch's topology to the
+//!   graph in stream order, deciding validity exactly like the monolithic
+//!   engine.  Touches *only* the graph (plus the batch counter), so it can
+//!   run while the previous batch's re-estimation is still reading its
+//!   frozen neighbourhood views.  Records, per first-touched edge key, the
+//!   presence *before* the batch — the overlay DynStrClu's aux
+//!   maintenance uses to keep observing the previous batch's topology.
+//! * **A2 — `finish_prepare`**: replay the batch's valid
+//!   updates against label/DT state (increments, label/DT teardown on
+//!   deletes, pre-label log), drain DT maturities once per endpoint,
+//!   build the deduplicated relabel job list with per-edge invocation
+//!   numbers and *captured* post-batch DT thresholds, and freeze the
+//!   affected endpoints' adjacency sets ([`FrozenNeighbourhoods`]).
+//! * **B — `eval_jobs`**: pure, deterministic re-estimation of the jobs
+//!   against the frozen views (pool-parallel).  This is the stage that
+//!   overlaps with the *next* batch's A1.
+//! * **C — `commit_batch`**: write the outcomes back (labels,
+//!   DT restarts at the captured thresholds, counters) and coalesce the
+//!   batch's net flip set.
+//!
+//! # Why the interleaving is observationally sequential
+//!
+//! The pipelined order per step `k` is `A1ₖ₊₁ ∥ Bₖ`, then `Cₖ`, then
+//! `A2ₖ₊₁`.  Equivalence to the sequential order (`Bₖ Cₖ A1ₖ₊₁ A2ₖ₊₁`)
+//! holds because the moved-up `A1ₖ₊₁` touches only the graph, which `Bₖ`
+//! does not read (frozen views) and `Cₖ` does not read either: every
+//! graph-dependent value `Cₖ` needs — the DT thresholds at post-batch-*k*
+//! degrees — was captured in `A2ₖ`.  `A2ₖ₊₁` runs strictly after `Cₖ`, so
+//! the label map and DT registry see exactly the sequential history.  The
+//! per-edge random streams (`seed ⊕ epoch ⊕ edge ⊕ invocation`) make `Bₖ`
+//! itself schedule-independent, so the full execution — at any thread
+//! count, pipelined or not — produces byte-identical state, which the
+//! `parallel_equivalence` integration tests pin across all backends.
+
+use crate::elm::{DynElm, FlippedEdge};
+use crate::pool::ExecPool;
+use crate::strclu::DynStrClu;
+use dynscan_graph::{EdgeKey, FrozenNeighbourhoods, GraphUpdate, VertexId};
+use dynscan_sim::{EdgeLabel, LabelOutcome, LabellingStrategy};
+use std::collections::HashMap;
+
+/// One deduplicated re-estimation job of a prepared batch.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RelabelJob {
+    /// The affected edge.
+    key: EdgeKey,
+    /// Its per-edge invocation number `k` (δₖ schedule + RNG stream).
+    invocation: u64,
+    /// DT threshold at the batch's post-topology degrees, captured before
+    /// the next batch may change them.
+    tau: u64,
+}
+
+/// Output of stage A1: the batch's topology is applied, its label/DT work
+/// is not yet.
+#[derive(Debug)]
+pub(crate) struct StagedTopology {
+    /// The batch's valid updates, in stream order.
+    valid: Vec<GraphUpdate>,
+    /// Presence before this batch of every edge key the batch touched
+    /// (first touch wins) — the aux-maintenance overlay for the
+    /// *previous* batch's flips.
+    pub(crate) prior_present: HashMap<EdgeKey, bool>,
+    /// This batch's epoch (value of the batch counter when it started).
+    epoch: u64,
+}
+
+/// Output of stage A2: everything stage B needs, detached from the live
+/// structure so the next batch's topology can proceed.
+#[derive(Debug)]
+pub(crate) struct PreparedBatch {
+    jobs: Vec<RelabelJob>,
+    frozen: FrozenNeighbourhoods,
+    /// Chronological `(edge, label at touch)` log; first entry per key is
+    /// the pre-batch label (the coalescing input of stage C).
+    pre_labels: Vec<(EdgeKey, Option<EdgeLabel>)>,
+    /// Stream seed of this batch's deterministic re-estimation.
+    seed: u64,
+    /// Vertex-space size after this batch's topology (DynStrClu sizes its
+    /// aux vector to this before applying the flips).
+    pub(crate) num_vertices: usize,
+}
+
+impl DynElm {
+    /// Stage A1: apply `updates`' topology in stream order, mutating only
+    /// the graph.  Validity decisions (skip duplicate inserts, missing
+    /// deletes, self-loops) are identical to [`DynElm::apply_batch`]'s
+    /// phase 1 because they depend only on the evolving topology.
+    pub(crate) fn stage_topology(&mut self, updates: &[GraphUpdate]) -> StagedTopology {
+        self.stats.batches += 1;
+        let epoch = self.stats.batches;
+        let mut valid = Vec::with_capacity(updates.len());
+        let mut prior_present = HashMap::new();
+        for &update in updates {
+            let (u, w) = update.endpoints();
+            if u == w {
+                continue;
+            }
+            let is_insert = update.is_insert();
+            if is_insert == self.graph.has_edge(u, w) {
+                continue;
+            }
+            let key = EdgeKey::new(u, w);
+            // First touch records the pre-batch presence: a valid insert
+            // means the edge was absent, a valid delete that it existed.
+            prior_present.entry(key).or_insert(!is_insert);
+            if is_insert {
+                self.graph.insert_edge(u, w).expect("existence checked");
+            } else {
+                self.graph.delete_edge(u, w).expect("existence checked");
+            }
+            valid.push(update);
+        }
+        StagedTopology {
+            valid,
+            prior_present,
+            epoch,
+        }
+    }
+
+    /// Stage A2: replay the staged batch's valid updates against label/DT
+    /// state, drain maturities, build the job list and freeze the views.
+    /// Must run after the *previous* batch's [`DynElm::commit_batch`]
+    /// (the replay observes its committed labels and DT registrations,
+    /// exactly as sequential execution would).
+    pub(crate) fn finish_prepare(&mut self, staged: &StagedTopology) -> PreparedBatch {
+        let mut pre_labels = Vec::with_capacity(staged.valid.len());
+        let mut new_edges: Vec<EdgeKey> = Vec::new();
+        let mut touched: Vec<VertexId> = Vec::with_capacity(staged.valid.len() * 2);
+        for &update in &staged.valid {
+            let (u, w) = update.endpoints();
+            self.dt.increment(u);
+            self.dt.increment(w);
+            let key = EdgeKey::new(u, w);
+            pre_labels.push((key, self.labels.get(&key).copied()));
+            if update.is_insert() {
+                new_edges.push(key);
+            } else {
+                self.labels.remove(&key);
+                self.relabel_counts.remove(&key);
+                self.dt.deregister(key);
+                if let Some(pos) = new_edges.iter().position(|&k| k == key) {
+                    new_edges.swap_remove(pos);
+                }
+            }
+            self.stats.updates += 1;
+            touched.push(u);
+            touched.push(w);
+        }
+
+        let matured = self.dt.drain_ready_batch(touched.iter().copied());
+        self.stats.dt_maturities += matured.len() as u64;
+        let mut affected = matured;
+        affected.extend(new_edges.iter().copied());
+        affected.sort_unstable();
+        let mut jobs = Vec::with_capacity(affected.len());
+        for &key in &affected {
+            pre_labels.push((key, self.labels.get(&key).copied()));
+            let k = self
+                .relabel_counts
+                .entry(key)
+                .and_modify(|c| *c += 1)
+                .or_insert(1);
+            let (a, b) = key.endpoints();
+            // Post-batch degrees: captured now because the next batch's
+            // topology may run before this batch commits.
+            let tau = self.strategy.threshold(&self.graph, a, b);
+            jobs.push(RelabelJob {
+                key,
+                invocation: *k,
+                tau,
+            });
+        }
+        let frozen = FrozenNeighbourhoods::capture(
+            &self.graph,
+            jobs.iter().flat_map(|job| {
+                let (a, b) = job.key.endpoints();
+                [a, b]
+            }),
+        );
+        PreparedBatch {
+            jobs,
+            frozen,
+            pre_labels,
+            seed: self.params.seed ^ staged.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            num_vertices: self.graph.num_vertices(),
+        }
+    }
+
+    /// Stage C: commit the outcomes of a prepared batch and coalesce its
+    /// net flip set — the stage-form of [`DynElm::apply_batch`]'s phases
+    /// 4 and 5.
+    pub(crate) fn commit_batch(
+        &mut self,
+        prepared: &mut PreparedBatch,
+        outcomes: &[LabelOutcome],
+    ) -> Vec<FlippedEdge> {
+        debug_assert_eq!(prepared.jobs.len(), outcomes.len());
+        let mut samples = 0u64;
+        for (job, outcome) in prepared.jobs.iter().zip(outcomes) {
+            samples += outcome.samples_drawn;
+            self.labels.insert(job.key, outcome.label);
+            self.dt.register(job.key, job.tau);
+        }
+        self.stats.labellings += prepared.jobs.len() as u64;
+        self.strategy
+            .record_invocations(prepared.jobs.len() as u64, samples);
+
+        // Coalesce net flips: after a stable sort of the chronological
+        // log, the first entry per key is the pre-batch label.
+        let mut pre_labels = std::mem::take(&mut prepared.pre_labels);
+        pre_labels.sort_by_key(|&(key, _)| key);
+        let mut flipped: Vec<FlippedEdge> = Vec::new();
+        let mut i = 0;
+        while i < pre_labels.len() {
+            let (key, pre) = pre_labels[i];
+            while i < pre_labels.len() && pre_labels[i].0 == key {
+                i += 1;
+            }
+            let now = self.labels.get(&key).copied();
+            match (pre, now) {
+                (Some(before), Some(after)) if before != after => flipped.push((key, after)),
+                (Some(before), None) if before.is_similar() => {
+                    flipped.push((key, EdgeLabel::Dissimilar))
+                }
+                (None, Some(after)) if after.is_similar() => flipped.push((key, after)),
+                _ => {}
+            }
+        }
+        self.stats.label_flips += flipped.len() as u64;
+        flipped
+    }
+
+    /// Pipelined multi-batch application: batch *k + 1*'s topology
+    /// overlaps batch *k*'s re-estimation (see the [module docs](self)).
+    /// Returns one coalesced net flip set per input batch, each identical
+    /// to what a sequential [`DynElm::apply_batch`] loop would return.
+    ///
+    /// A single-worker pool has nothing to overlap *with*, so the
+    /// pipeline (and its frozen-view capture cost) is skipped entirely
+    /// and the batches run through the plain engine — same results, by
+    /// the equivalence the `parallel_equivalence` tests pin.
+    pub fn apply_batches(&mut self, batches: &[Vec<GraphUpdate>]) -> Vec<Vec<FlippedEdge>> {
+        if self.pool.num_threads() <= 1 {
+            return batches.iter().map(|b| self.apply_batch(b)).collect();
+        }
+        let mut results = Vec::with_capacity(batches.len());
+        let Some(first) = batches.first() else {
+            return results;
+        };
+        let staged = self.stage_topology(first);
+        let mut prepared = self.finish_prepare(&staged);
+        for k in 0..batches.len() {
+            let (outcomes, next_staged) =
+                eval_overlapped(self, &prepared, batches.get(k + 1).map(Vec::as_slice));
+            results.push(self.commit_batch(&mut prepared, &outcomes));
+            if let Some(staged) = next_staged {
+                prepared = self.finish_prepare(&staged);
+            }
+        }
+        results
+    }
+}
+
+/// Stage B: evaluate a prepared batch's jobs against its frozen views,
+/// fanning out on the pool above the dispatch cutoff.  Pure and
+/// deterministic: results depend only on `(strategy, frozen views, seed,
+/// jobs)`, never on scheduling.
+fn eval_jobs(
+    pool: &ExecPool,
+    strategy: &LabellingStrategy,
+    prepared: &PreparedBatch,
+) -> Vec<LabelOutcome> {
+    let frozen = &prepared.frozen;
+    let seed = prepared.seed;
+    // Resolve each job's two endpoint sets once (pair view): every probe
+    // inside the estimator is then a pointer compare, not a map lookup,
+    // keeping frozen-view evaluation as fast as reading the live graph.
+    let run = |job: &RelabelJob| {
+        let (a, b) = job.key.endpoints();
+        strategy.label_deterministic(&frozen.pair(a, b), job.key, job.invocation, seed)
+    };
+    if prepared.jobs.len() >= pool.parallel_cutoff() {
+        pool.map(&prepared.jobs, run)
+    } else {
+        prepared.jobs.iter().map(run).collect()
+    }
+}
+
+/// Run stage B of `prepared` on the pool while stage A1 of `next` (when
+/// present) runs on the calling thread.  The borrow splits cleanly: the
+/// background half reads only the prepared batch (frozen views, jobs) and
+/// a strategy clone, the foreground half mutates the live structure's
+/// graph — which stage B, by construction, never reads.
+fn eval_overlapped(
+    elm: &mut DynElm,
+    prepared: &PreparedBatch,
+    next: Option<&[GraphUpdate]>,
+) -> (Vec<LabelOutcome>, Option<StagedTopology>) {
+    let Some(next) = next else {
+        // Final batch: nothing to overlap with, evaluate directly (the
+        // caller thread participates in the parallel map itself).
+        let strategy = elm.strategy.clone();
+        return (eval_jobs(elm.exec_pool(), &strategy, prepared), None);
+    };
+    let pool = elm.pool.clone();
+    let inner_pool = pool.clone();
+    let strategy = elm.strategy.clone();
+    let mut outcomes: Vec<LabelOutcome> = Vec::new();
+    let staged = {
+        let outcomes_ref = &mut outcomes;
+        pool.overlap(
+            move || *outcomes_ref = eval_jobs(&inner_pool, &strategy, prepared),
+            || Some(elm.stage_topology(next)),
+        )
+    };
+    (outcomes, staged)
+}
+
+impl DynStrClu {
+    /// Pipelined multi-batch application with full module maintenance:
+    /// the ELM pipeline overlaps batch *k + 1*'s topology with batch
+    /// *k*'s re-estimation, and vAuxInfo / `G_core` consume each batch's
+    /// flips under the presence overlay (so they observe batch *k*'s
+    /// topology even though batch *k + 1*'s is already applied).  Flip
+    /// sets, clusterings and checkpoints are byte-identical to a
+    /// sequential [`DynStrClu::apply_batch`] loop.
+    pub fn apply_batches(&mut self, batches: &[Vec<GraphUpdate>]) -> Vec<Vec<FlippedEdge>> {
+        if self.elm.exec_pool().num_threads() <= 1 {
+            return batches.iter().map(|b| self.apply_batch(b)).collect();
+        }
+        let mut results = Vec::with_capacity(batches.len());
+        let Some(first) = batches.first() else {
+            return results;
+        };
+        let staged = self.elm.stage_topology(first);
+        let mut prepared = self.elm.finish_prepare(&staged);
+        for k in 0..batches.len() {
+            let (outcomes, next_staged) = eval_overlapped(
+                &mut self.elm,
+                &prepared,
+                batches.get(k + 1).map(Vec::as_slice),
+            );
+            let flips = self.elm.commit_batch(&mut prepared, &outcomes);
+            if prepared.num_vertices > 0 {
+                self.ensure_aux(VertexId((prepared.num_vertices - 1) as u32));
+            }
+            self.apply_flips_at(&flips, next_staged.as_ref().map(|s| &s.prior_present));
+            results.push(flips);
+            if let Some(staged) = next_staged {
+                prepared = self.elm.finish_prepare(&staged);
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::elm::DynElm;
+    use crate::params::Params;
+    use crate::pool::ExecPool;
+    use crate::strclu::DynStrClu;
+    use crate::traits::Snapshot;
+    use dynscan_graph::{GraphUpdate, VertexId};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// A deterministic stream of valid-and-invalid updates over a small
+    /// vertex space, cut into batches.  Mixes inserts, deletes,
+    /// duplicates, missing deletes and self-loops so every validity
+    /// branch of stage A1 is exercised, including delete-in-next-batch of
+    /// edges the previous batch flipped (the overlay stress case).
+    fn make_batches(seed: u64, batches: usize, batch_size: usize) -> Vec<Vec<GraphUpdate>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut present: Vec<(u32, u32)> = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..batches {
+            let mut batch = Vec::with_capacity(batch_size);
+            for _ in 0..batch_size {
+                let delete = !present.is_empty() && rng.gen_bool(0.35);
+                if delete {
+                    let idx = rng.gen_range(0..present.len());
+                    let (a, b) = present.swap_remove(idx);
+                    batch.push(GraphUpdate::Delete(v(a), v(b)));
+                } else {
+                    let a = rng.gen_range(0u32..24);
+                    let b = rng.gen_range(0u32..24);
+                    batch.push(GraphUpdate::Insert(v(a), v(b)));
+                    if a != b && !present.contains(&(a.min(b), a.max(b))) {
+                        present.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+            // Sprinkle guaranteed-invalid updates.
+            batch.push(GraphUpdate::Insert(v(3), v(3)));
+            batch.push(GraphUpdate::Delete(v(20), v(23)));
+            out.push(batch);
+        }
+        out
+    }
+
+    fn exact_params(seed: u64) -> Params {
+        Params::jaccard(0.4, 3)
+            .with_rho(0.0)
+            .with_exact_labels()
+            .with_seed(seed)
+    }
+
+    fn sampled_params(seed: u64) -> Params {
+        Params::jaccard(0.4, 3).with_rho(0.3).with_seed(seed)
+    }
+
+    #[test]
+    fn elm_pipelined_batches_equal_sequential_batches() {
+        for params in [exact_params(11), sampled_params(11)] {
+            for threads in [1usize, 3] {
+                let batches = make_batches(5, 6, 40);
+                let mut sequential = DynElm::new(params);
+                let mut flips_seq = Vec::new();
+                for batch in &batches {
+                    flips_seq.push(sequential.apply_batch(batch));
+                }
+                let mut pipelined = DynElm::new(params);
+                pipelined.set_exec_pool(ExecPool::with_threads(threads));
+                let flips_pipe = pipelined.apply_batches(&batches);
+                assert_eq!(flips_seq, flips_pipe, "threads = {threads}");
+                assert_eq!(
+                    Snapshot::checkpoint_bytes(&sequential),
+                    Snapshot::checkpoint_bytes(&pipelined),
+                    "threads = {threads}: pipelined state must be byte-identical"
+                );
+                assert_eq!(sequential.stats(), pipelined.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn strclu_pipelined_batches_equal_sequential_batches() {
+        for params in [exact_params(23), sampled_params(23)] {
+            for threads in [1usize, 4] {
+                let batches = make_batches(9, 5, 48);
+                let mut sequential = DynStrClu::new(params);
+                let mut flips_seq = Vec::new();
+                for batch in &batches {
+                    flips_seq.push(sequential.apply_batch(batch));
+                }
+                let mut pipelined = DynStrClu::new(params);
+                pipelined.set_exec_pool(ExecPool::with_threads(threads));
+                let flips_pipe = pipelined.apply_batches(&batches);
+                assert_eq!(flips_seq, flips_pipe, "threads = {threads}");
+                assert_eq!(
+                    Snapshot::checkpoint_bytes(&sequential),
+                    Snapshot::checkpoint_bytes(&pipelined),
+                    "threads = {threads}"
+                );
+                assert_eq!(
+                    sequential.num_sim_core_edges(),
+                    pipelined.num_sim_core_edges()
+                );
+                let q: Vec<VertexId> = (0..24).map(v).collect();
+                assert_eq!(
+                    sequential.cluster_group_by(&q),
+                    pipelined.cluster_group_by(&q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_continuation_stays_equivalent() {
+        // Pipelined batches followed by single updates must leave the
+        // structure on the same trajectory as the all-sequential run.
+        let params = sampled_params(41);
+        let batches = make_batches(13, 4, 32);
+        let mut sequential = DynStrClu::new(params);
+        for batch in &batches {
+            sequential.apply_batch(batch);
+        }
+        let mut pipelined = DynStrClu::new(params);
+        pipelined.set_exec_pool(ExecPool::with_threads(2));
+        pipelined.apply_batches(&batches);
+        for algo in [&mut sequential, &mut pipelined] {
+            let _ = algo.insert_edge(v(0), v(19));
+            let _ = algo.delete_edge(v(0), v(19));
+        }
+        assert_eq!(
+            Snapshot::checkpoint_bytes(&sequential),
+            Snapshot::checkpoint_bytes(&pipelined)
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_batch_sequences() {
+        let mut algo = DynElm::new(exact_params(1));
+        assert!(algo.apply_batches(&[]).is_empty());
+        // Batches of only-invalid updates produce empty flip sets but
+        // still count as batches.
+        let junk = vec![vec![GraphUpdate::Insert(v(2), v(2))], Vec::new()];
+        let flips = algo.apply_batches(&junk);
+        assert_eq!(flips, vec![Vec::new(), Vec::new()]);
+        assert_eq!(algo.stats().batches, 2);
+        assert_eq!(algo.graph().num_edges(), 0);
+    }
+}

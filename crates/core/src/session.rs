@@ -55,15 +55,17 @@
 //! store upload, …); failures are recorded on the session rather than
 //! panicking mid-stream ([`Session::last_checkpoint_error`]).
 
+use crate::clock::{Clock, SystemClock};
 use crate::cluster::StrCluResult;
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
 use crate::params::Params;
 use crate::strclu::DynStrClu;
 use crate::traits::{Clusterer, Snapshot, UpdateError};
-use dynscan_graph::snapshot::peek_algo_tag;
+use dynscan_graph::snapshot::{peek_algo_tag, peek_header, FORMAT_VERSION};
 use dynscan_graph::{GraphUpdate, SnapshotError, VertexId};
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 /// The four clustering backends a [`Session`] can be built over.
 ///
@@ -119,6 +121,19 @@ pub enum AutoBatchPolicy {
     Manual,
     /// Flush whenever the buffer reaches this many updates.
     Size(usize),
+    /// Flush at `size` buffered updates **or** once the oldest buffered
+    /// update has waited `max_delay`, whichever comes first — the
+    /// time-bounded auto-batching of the ROADMAP.  Deadlines are checked
+    /// against the session's [`Clock`] on every [`Session::push`] and on
+    /// explicit [`Session::poll`] calls (the session has no background
+    /// thread; a quiet stream should be pumped with `poll` if latency
+    /// bounds matter while nothing arrives).
+    SizeOrDelay {
+        /// Flush at this many buffered updates…
+        size: usize,
+        /// …or when the oldest buffered update is this old.
+        max_delay: Duration,
+    },
 }
 
 /// Why a [`Session`] could not be built.
@@ -235,6 +250,42 @@ pub fn backend_available(backend: Backend) -> bool {
     lock_registry().iter().any(|r| r.backend == backend)
 }
 
+/// Metadata of one snapshot: the document header's fields plus the
+/// update count of the state it holds.
+///
+/// Returned by [`restore_any_with_info`] and recorded by the session's
+/// automatic checkpointing ([`Session::last_checkpoint_info`]), so a
+/// service can log *what* it wrote or restored — how far the stream had
+/// progressed, under which format version, at what size — without
+/// decoding anything by hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot wire-format version.
+    pub format_version: u32,
+    /// Algorithm tag (which backend wrote it).
+    pub algo_tag: u32,
+    /// Payload size in bytes (excludes the 32-byte header).
+    pub payload_len: u64,
+    /// Updates the serialised state had applied.
+    pub updates_applied: u64,
+}
+
+/// Like [`restore_any`], but also surface the snapshot's metadata as a
+/// [`SnapshotInfo`] (header fields + the restored state's update count).
+pub fn restore_any_with_info(
+    bytes: &[u8],
+) -> Result<(Box<dyn Clusterer>, SnapshotInfo), SnapshotError> {
+    let header = peek_header(bytes)?;
+    let restored = restore_any(bytes)?;
+    let info = SnapshotInfo {
+        format_version: header.format_version,
+        algo_tag: header.algo_tag,
+        payload_len: header.payload_len,
+        updates_applied: restored.updates_applied(),
+    };
+    Ok((restored, info))
+}
+
 /// Restore **whatever algorithm a snapshot contains** behind an erased
 /// `Box<dyn Clusterer>` handle: peek the algorithm tag in the header and
 /// dispatch to the restorer registered for it.
@@ -280,12 +331,34 @@ fn construct_backend(backend: Backend, params: Params) -> Result<Box<dyn Cluster
 /// checkpoint.
 pub type CheckpointSinkFn = dyn FnMut(u64) -> std::io::Result<Box<dyn std::io::Write>> + Send;
 
+/// Counts the bytes flowing into a sink (the source of
+/// [`SnapshotInfo::payload_len`] on the auto-checkpoint path, where the
+/// snapshot is streamed rather than buffered).
+struct CountingWriter {
+    inner: Box<dyn std::io::Write>,
+    written: u64,
+}
+
+impl std::io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Builder for [`Session`]; see the [module docs](self) for the overall
 /// semantics.
 pub struct SessionBuilder {
     backend: Backend,
     params: Params,
     policy: AutoBatchPolicy,
+    threads: Option<usize>,
+    clock: Option<Box<dyn Clock>>,
     checkpoint_every: Option<u64>,
     checkpoint_sink: Option<Box<CheckpointSinkFn>>,
 }
@@ -307,6 +380,26 @@ impl SessionBuilder {
     /// The auto-flush policy (default: [`AutoBatchPolicy::Manual`]).
     pub fn auto_batch(mut self, policy: AutoBatchPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// How many worker threads the backend's parallel work (batch
+    /// re-estimation, sharded aux maintenance) runs on: `0` (the
+    /// default) uses the process-wide pool, `n > 0` a dedicated pool of
+    /// exactly `n` workers.  Purely a performance knob — results are
+    /// bit-identical at every thread count.  [`SessionBuilder::build`]
+    /// panics if the OS refuses to spawn the dedicated workers (see
+    /// [`crate::ExecPool::with_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The clock time-bounded auto-batching reads (default:
+    /// [`SystemClock`]).  Tests inject a
+    /// [`crate::clock::MockClock`] to make deadline behaviour exact.
+    pub fn clock<C: Clock + 'static>(mut self, clock: C) -> Self {
+        self.clock = Some(Box::new(clock));
         self
     }
 
@@ -333,7 +426,10 @@ impl SessionBuilder {
     /// constructor or the configuration is inconsistent; invalid
     /// [`Params`] panic exactly as the concrete constructors do.
     pub fn build(self) -> Result<Session, SessionError> {
-        if matches!(self.policy, AutoBatchPolicy::Size(0)) {
+        if matches!(
+            self.policy,
+            AutoBatchPolicy::Size(0) | AutoBatchPolicy::SizeOrDelay { size: 0, .. }
+        ) {
             return Err(SessionError::InvalidBatchSize);
         }
         if self.checkpoint_every == Some(0) {
@@ -342,11 +438,17 @@ impl SessionBuilder {
         if self.checkpoint_every.is_some() && self.checkpoint_sink.is_none() {
             return Err(SessionError::MissingCheckpointSink);
         }
-        let inner = construct_backend(self.backend, self.params)?;
+        let mut inner = construct_backend(self.backend, self.params)?;
+        if let Some(threads) = self.threads {
+            inner.set_threads(threads);
+        }
         let mut session = Session::from_clusterer(inner);
         session.policy = self.policy;
         session.checkpoint_every = self.checkpoint_every;
         session.checkpoint_sink = self.checkpoint_sink;
+        if let Some(clock) = self.clock {
+            session.clock = clock;
+        }
         Ok(session)
     }
 }
@@ -397,6 +499,11 @@ pub struct Session {
     since_checkpoint: u64,
     checkpoints_written: u64,
     last_checkpoint_error: Option<String>,
+    last_checkpoint_info: Option<SnapshotInfo>,
+    clock: Box<dyn Clock>,
+    /// Clock reading when the oldest currently-buffered update arrived
+    /// (`None` while the buffer is empty); drives the `max_delay` bound.
+    buffer_opened_at: Option<Duration>,
 }
 
 impl fmt::Debug for Session {
@@ -420,6 +527,8 @@ impl Session {
             backend: Backend::DynStrClu,
             params: Params::default(),
             policy: AutoBatchPolicy::Manual,
+            threads: None,
+            clock: None,
             checkpoint_every: None,
             checkpoint_sink: None,
         }
@@ -445,6 +554,9 @@ impl Session {
             since_checkpoint: 0,
             checkpoints_written: 0,
             last_checkpoint_error: None,
+            last_checkpoint_info: None,
+            clock: Box::new(SystemClock::new()),
+            buffer_opened_at: None,
         }
     }
 
@@ -477,9 +589,46 @@ impl Session {
     /// [`crate::BatchUpdate::apply_batch`] documents; use [`Session::apply`] for
     /// per-update typed errors.
     pub fn push(&mut self, update: GraphUpdate) -> Option<Vec<FlippedEdge>> {
+        if self.buffer.is_empty() {
+            if let AutoBatchPolicy::SizeOrDelay { .. } = self.policy {
+                self.buffer_opened_at = Some(self.clock.now());
+            }
+        }
         self.buffer.push(update);
         match self.policy {
             AutoBatchPolicy::Size(n) if self.buffer.len() >= n => Some(self.flush()),
+            AutoBatchPolicy::SizeOrDelay { size, max_delay } => {
+                if self.buffer.len() >= size || self.oldest_buffered_age() >= max_delay {
+                    Some(self.flush())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// How long the oldest buffered update has been waiting (zero for an
+    /// empty buffer).
+    fn oldest_buffered_age(&self) -> Duration {
+        match self.buffer_opened_at {
+            Some(opened) => self.clock.now().saturating_sub(opened),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Flush if the [`AutoBatchPolicy::SizeOrDelay`] deadline has passed;
+    /// returns the flush's net flips if one happened.  Call this
+    /// periodically on quiet streams — the session has no background
+    /// thread, so with no pushes arriving, only `poll` (or a query) can
+    /// honour `max_delay`.
+    pub fn poll(&mut self) -> Option<Vec<FlippedEdge>> {
+        match self.policy {
+            AutoBatchPolicy::SizeOrDelay { max_delay, .. }
+                if !self.buffer.is_empty() && self.oldest_buffered_age() >= max_delay =>
+            {
+                Some(self.flush())
+            }
             _ => None,
         }
     }
@@ -499,6 +648,7 @@ impl Session {
     /// Flush the buffered updates through the batch engine now; returns
     /// the batch's coalesced net flips (empty if nothing was buffered).
     pub fn flush(&mut self) -> Vec<FlippedEdge> {
+        self.buffer_opened_at = None;
         if self.buffer.is_empty() {
             return Vec::new();
         }
@@ -554,21 +704,34 @@ impl Session {
             return;
         };
         let seq = self.checkpoints_written;
-        let mut writer = match sink(seq) {
+        let writer = match sink(seq) {
             Ok(w) => w,
             Err(e) => {
                 self.last_checkpoint_error = Some(format!("checkpoint sink {seq}: {e}"));
                 return;
             }
         };
+        let mut writer = CountingWriter {
+            inner: writer,
+            written: 0,
+        };
         let result = self
             .inner
-            .checkpoint_to(&mut *writer)
-            .and_then(|()| writer.flush().map_err(SnapshotError::Io));
+            .checkpoint_to(&mut writer)
+            .and_then(|()| std::io::Write::flush(&mut writer).map_err(SnapshotError::Io));
         match result {
             Ok(()) => {
                 self.checkpoints_written += 1;
                 self.last_checkpoint_error = None;
+                // Everything past the fixed header is payload.
+                self.last_checkpoint_info = Some(SnapshotInfo {
+                    format_version: FORMAT_VERSION,
+                    algo_tag: self.inner.algo_tag(),
+                    payload_len: writer
+                        .written
+                        .saturating_sub(dynscan_graph::snapshot::HEADER_LEN as u64),
+                    updates_applied: self.inner.updates_applied(),
+                });
             }
             Err(e) => {
                 self.last_checkpoint_error = Some(format!("checkpoint write {seq}: {e}"));
@@ -715,6 +878,19 @@ impl Session {
         self.last_checkpoint_error.as_deref()
     }
 
+    /// Metadata of the most recent successful automatic checkpoint
+    /// (format version, algorithm tag, payload size, update count), or
+    /// `None` before the first one.
+    pub fn last_checkpoint_info(&self) -> Option<SnapshotInfo> {
+        self.last_checkpoint_info
+    }
+
+    /// Reconfigure the backend's worker-thread count (see
+    /// [`SessionBuilder::threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
+    }
+
     /// Borrow the wrapped backend.
     pub fn as_clusterer(&self) -> &dyn Clusterer {
         &*self.inner
@@ -761,6 +937,15 @@ mod tests {
         assert!(matches!(
             Session::builder()
                 .auto_batch(AutoBatchPolicy::Size(0))
+                .build(),
+            Err(SessionError::InvalidBatchSize)
+        ));
+        assert!(matches!(
+            Session::builder()
+                .auto_batch(AutoBatchPolicy::SizeOrDelay {
+                    size: 0,
+                    max_delay: std::time::Duration::from_millis(5),
+                })
                 .build(),
             Err(SessionError::InvalidBatchSize)
         ));
@@ -860,6 +1045,110 @@ mod tests {
         let third = session.cluster_group_by(&q);
         assert_eq!(session.groupby_recomputes(), 2);
         assert_eq!(first, third, "this particular query's answer is stable");
+    }
+
+    #[test]
+    fn max_delay_flushes_on_push_once_the_deadline_passes() {
+        use crate::clock::MockClock;
+        use std::time::Duration;
+        let clock = MockClock::new();
+        let mut session = Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_exact_labels().with_rho(0.0))
+            .auto_batch(AutoBatchPolicy::SizeOrDelay {
+                size: 1000,
+                max_delay: Duration::from_millis(50),
+            })
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        // Far below the size bound, within the delay: buffered.
+        assert!(session.push(GraphUpdate::Insert(v(0), v(1))).is_none());
+        assert!(session.push(GraphUpdate::Insert(v(1), v(2))).is_none());
+        assert_eq!(session.buffered(), 2);
+        clock.advance(Duration::from_millis(49));
+        assert!(session.push(GraphUpdate::Insert(v(0), v(2))).is_none());
+        // The next push after the deadline carries the whole buffer out.
+        clock.advance(Duration::from_millis(1));
+        assert!(session.push(GraphUpdate::Insert(v(2), v(3))).is_some());
+        assert_eq!(session.buffered(), 0);
+        assert_eq!(session.updates_applied(), 4);
+        // The deadline clock restarts with the next buffered update.
+        assert!(session.push(GraphUpdate::Insert(v(3), v(4))).is_none());
+        clock.advance(Duration::from_millis(49));
+        assert!(session.poll().is_none(), "49ms < max_delay");
+        clock.advance(Duration::from_millis(1));
+        let flips = session.poll();
+        assert!(
+            flips.is_some(),
+            "poll honours the deadline on quiet streams"
+        );
+        assert_eq!(session.buffered(), 0);
+        assert!(session.poll().is_none(), "empty buffer never flushes");
+    }
+
+    #[test]
+    fn threads_builder_configures_the_backend_pool() {
+        let mut session = Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_exact_labels().with_rho(0.0))
+            .threads(3)
+            .build()
+            .unwrap();
+        session.extend(fixture_inserts());
+        assert_eq!(session.clustering().num_clusters(), 2);
+        // Reconfiguring mid-stream is allowed and changes nothing
+        // observable.
+        session.set_threads(1);
+        session.push(GraphUpdate::Delete(v(4), v(5)));
+        session.push(GraphUpdate::Insert(v(4), v(5)));
+        session.flush();
+        assert_eq!(session.clustering().num_clusters(), 2);
+    }
+
+    #[test]
+    fn threaded_sessions_match_the_default_byte_for_byte() {
+        let updates = fixture_inserts();
+        let mut reference = Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_seed(5))
+            .auto_batch(AutoBatchPolicy::Size(8))
+            .build()
+            .unwrap();
+        reference.extend(updates.clone());
+        let reference_bytes = reference.checkpoint_bytes();
+        for threads in [1usize, 2, 4] {
+            let mut session = Session::builder()
+                .backend(Backend::DynStrClu)
+                .params(two_cliques_params().with_seed(5))
+                .auto_batch(AutoBatchPolicy::Size(8))
+                .threads(threads)
+                .build()
+                .unwrap();
+            session.extend(updates.clone());
+            assert_eq!(
+                session.checkpoint_bytes(),
+                reference_bytes,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_any_with_info_surfaces_header_metadata() {
+        let mut session = exact_session(AutoBatchPolicy::Manual);
+        session.extend(fixture_inserts());
+        let bytes = session.checkpoint_bytes();
+        let (restored, info) = restore_any_with_info(&bytes).unwrap();
+        assert_eq!(restored.algorithm_name(), "DynStrClu");
+        assert_eq!(info.format_version, FORMAT_VERSION);
+        assert_eq!(info.algo_tag, restored.algo_tag());
+        assert_eq!(info.updates_applied, 35);
+        assert_eq!(info.payload_len as usize, bytes.len() - 32);
+        assert!(matches!(
+            restore_any_with_info(&bytes[..10]),
+            Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]
@@ -1001,7 +1290,18 @@ mod tests {
         session.flush();
         assert!(session.last_checkpoint_error().is_none());
         assert_eq!(session.checkpoints_written(), 2, "35 updates / every 16");
+        // The session records what it wrote: the second checkpoint covers
+        // the first 32 updates and its payload length matches the bytes
+        // that reached the sink.
+        let info = session.last_checkpoint_info().expect("checkpoints written");
+        assert_eq!(info.algo_tag, session.algo_tag());
+        assert_eq!(info.format_version, FORMAT_VERSION);
+        assert_eq!(info.updates_applied, 32);
         let snapshots = store.lock().unwrap();
+        assert_eq!(
+            info.payload_len as usize,
+            snapshots.last().unwrap().len() - 32
+        );
         for bytes in snapshots.iter() {
             let restored = restore_any(bytes).expect("auto-checkpoint restores erased");
             assert_eq!(restored.algorithm_name(), "DynStrClu");

@@ -237,6 +237,10 @@ fn read_elm_payload(r: &mut SnapReader<'_>) -> Result<DynElm, SnapshotError> {
         relabel_counts,
         scratch: Default::default(),
         stats,
+        // Runtime configuration, not serialised state: a restored
+        // instance starts on the global pool (callers re-apply
+        // `set_exec_pool` if they want a dedicated one).
+        pool: crate::pool::ExecPool::global(),
     })
 }
 
@@ -393,6 +397,7 @@ impl Snapshot for DynStrClu {
             aux,
             core_graph,
             mu,
+            shard_flip_cutoff: crate::strclu::DEFAULT_SHARD_FLIP_CUTOFF,
         })
     }
 }

@@ -5,9 +5,17 @@ use crate::aux::VertexAux;
 use crate::cluster::StrCluResult;
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
 use crate::params::Params;
+use crate::pool::ExecPool;
 use dynscan_conn::{DynamicConnectivity, HdtConnectivity};
 use dynscan_graph::{DynGraph, EdgeKey, GraphError, GraphUpdate, MemoryFootprint, VertexId};
 use dynscan_sim::EdgeLabel;
+use std::collections::HashMap;
+
+/// Flip sets at least this large fan their vAuxInfo maintenance out
+/// across vertex-range shards on the execution pool; smaller sets run
+/// sequentially (the fan-out would cost more than the work).  Tunable per
+/// instance via [`DynStrClu::set_shard_flip_cutoff`].
+pub(crate) const DEFAULT_SHARD_FLIP_CUTOFF: usize = 192;
 
 /// Dynamic structural clustering with cluster-group-by support.
 ///
@@ -31,6 +39,8 @@ pub struct DynStrClu {
     pub(crate) aux: Vec<VertexAux>,
     pub(crate) core_graph: HdtConnectivity,
     pub(crate) mu: usize,
+    /// Minimum flip-set size for the sharded vAuxInfo maintenance path.
+    pub(crate) shard_flip_cutoff: usize,
 }
 
 /// Treap-priority seed of `CC-Str(G_core)`, derived from the algorithm
@@ -50,7 +60,26 @@ impl DynStrClu {
             aux: Vec::new(),
             core_graph: HdtConnectivity::with_seed(0, core_graph_seed(&params)),
             mu,
+            shard_flip_cutoff: DEFAULT_SHARD_FLIP_CUTOFF,
         }
+    }
+
+    /// Replace the execution pool for parallel re-estimation and the
+    /// sharded aux maintenance (see [`DynElm::set_exec_pool`]).
+    pub fn set_exec_pool(&mut self, pool: ExecPool) {
+        self.elm.set_exec_pool(pool);
+    }
+
+    /// The execution pool in use.
+    pub fn exec_pool(&self) -> &ExecPool {
+        self.elm.exec_pool()
+    }
+
+    /// Override the flip-set size at which vAuxInfo maintenance switches
+    /// from the sequential to the shard-partitioned path (tuning /
+    /// testing knob; both paths produce identical state).
+    pub fn set_shard_flip_cutoff(&mut self, cutoff: usize) {
+        self.shard_flip_cutoff = cutoff.max(1);
     }
 
     /// The algorithm parameters.
@@ -93,28 +122,67 @@ impl DynStrClu {
         self.core_graph.num_edges()
     }
 
-    fn ensure_aux(&mut self, v: VertexId) {
+    pub(crate) fn ensure_aux(&mut self, v: VertexId) {
         if v.index() >= self.aux.len() {
             self.aux.resize_with(v.index() + 1, VertexAux::default);
         }
     }
 
-    /// Whether the edge is currently a sim-core edge under the maintained
-    /// state (exists, labelled similar, both endpoints core).
-    fn is_sim_core_edge(&self, key: EdgeKey) -> bool {
+    /// Whether `key` is present in the graph **as of the batch the
+    /// current flip set belongs to**.  The pipelined engine may already
+    /// have applied the *next* batch's topology when this runs; `overlay`
+    /// then maps every key that batch touched back to its prior
+    /// presence, keeping the maintenance observationally identical to
+    /// sequential execution.
+    fn edge_present(&self, key: EdgeKey, overlay: Option<&HashMap<EdgeKey, bool>>) -> bool {
+        if let Some(&present) = overlay.and_then(|o| o.get(&key)) {
+            return present;
+        }
         let (a, b) = key.endpoints();
         self.elm.graph().has_edge(a, b)
+    }
+
+    /// Whether the edge is a sim-core edge under the maintained state
+    /// (exists at the flip set's batch, labelled similar, both endpoints
+    /// core).
+    fn is_sim_core_edge_at(&self, key: EdgeKey, overlay: Option<&HashMap<EdgeKey, bool>>) -> bool {
+        let (a, b) = key.endpoints();
+        self.edge_present(key, overlay)
             && self.elm.label(key).is_some_and(|l| l.is_similar())
             && self.aux[a.index()].is_core()
             && self.aux[b.index()].is_core()
     }
 
     /// Maintain vAuxInfo and `G_core` given the flipped-edge set `F`
-    /// returned by the ELM module for one update.
+    /// returned by the ELM module for one update or batch.
     fn apply_flips(&mut self, flipped: &[FlippedEdge]) {
+        self.apply_flips_at(flipped, None);
+    }
+
+    /// [`Self::apply_flips`] with an optional edge-presence overlay (see
+    /// [`Self::edge_present`]).  Dispatches to the shard-partitioned path
+    /// for large flip sets on a multi-threaded pool; the two paths
+    /// produce identical observable state.
+    pub(crate) fn apply_flips_at(
+        &mut self,
+        flipped: &[FlippedEdge],
+        overlay: Option<&HashMap<EdgeKey, bool>>,
+    ) {
         if flipped.is_empty() {
             return;
         }
+        if flipped.len() >= self.shard_flip_cutoff && self.elm.exec_pool().num_threads() > 1 {
+            self.apply_flips_sharded(flipped, overlay);
+        } else {
+            self.apply_flips_sequential(flipped, overlay);
+        }
+    }
+
+    fn apply_flips_sequential(
+        &mut self,
+        flipped: &[FlippedEdge],
+        overlay: Option<&HashMap<EdgeKey, bool>>,
+    ) {
         // Phase A: similar-neighbour sets and SimCnt.
         for &(key, new_label) in flipped {
             let (a, b) = key.endpoints();
@@ -165,18 +233,137 @@ impl DynStrClu {
                 self.aux[y.index()].set_neighbour_core(x, x_core);
             }
         }
-        // Phase D: sim-core edge flips (the set F′) applied to G_core.
-        // Candidates: edges of F plus, for every vertex with a core flip,
-        // its (at most μ) persistently similar edges.
-        let mut candidates: Vec<EdgeKey> = flipped.iter().map(|&(k, _)| k).collect();
+        self.maintain_core_graph(flipped, &core_flips, overlay);
+    }
+
+    /// Shard-partitioned vAuxInfo maintenance: per-vertex aux state is
+    /// split into contiguous vertex ranges, and each phase's writes are
+    /// bucketed by owning shard and fanned out across the pool.  Within
+    /// every vertex the operations apply in flip order, so the final aux
+    /// state equals the sequential path's **at any shard count** — shard
+    /// boundaries only reorder work between vertices, never within one.
+    /// `G_core` maintenance (phase D) stays sequential: it is O(|F′| log²n)
+    /// on one shared structure and is not the bottleneck.
+    fn apply_flips_sharded(
+        &mut self,
+        flipped: &[FlippedEdge],
+        overlay: Option<&HashMap<EdgeKey, bool>>,
+    ) {
+        // Fixed shard geometry needs the aux vector at its full, final
+        // size up front (every flip endpoint and every similar neighbour
+        // lives inside the graph's vertex space).
+        let n = self.elm.graph().num_vertices();
+        if n > 0 {
+            self.ensure_aux(VertexId((n - 1) as u32));
+        }
+        let pool = self.elm.exec_pool().clone();
+        let shards = pool.num_threads().min(self.aux.len()).max(1);
+        let shard_len = self.aux.len().div_ceil(shards);
+        let shard_of = |x: VertexId| x.index() / shard_len;
+
+        // Phases A + B, bucketed: similar-set updates in flip order, then
+        // core refreshes, each shard touching only its own vertex range.
+        let mut ops: Vec<Vec<(VertexId, VertexId, bool)>> = vec![Vec::new(); shards];
+        for &(key, new_label) in flipped {
+            let (a, b) = key.endpoints();
+            let add = matches!(new_label, EdgeLabel::Similar);
+            ops[shard_of(a)].push((a, b, add));
+            ops[shard_of(b)].push((b, a, add));
+        }
+        let mut core_flip_buckets: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
+        {
+            let mu = self.mu;
+            let mut tasks = Vec::with_capacity(shards);
+            let mut rest: &mut [VertexAux] = &mut self.aux;
+            for (s, (ops, flips_out)) in ops.iter().zip(core_flip_buckets.iter_mut()).enumerate() {
+                let take = shard_len.min(rest.len());
+                let (slice, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = s * shard_len;
+                tasks.push(move || {
+                    for &(x, y, add) in ops {
+                        let aux = &mut slice[x.index() - base];
+                        if add {
+                            aux.add_similar(y);
+                        } else {
+                            aux.remove_similar(y);
+                        }
+                    }
+                    // Core refresh is idempotent, so revisiting a vertex
+                    // reports its flip exactly once, like the sequential
+                    // path.
+                    for &(x, _, _) in ops {
+                        if slice[x.index() - base].refresh_core(mu).is_some() {
+                            flips_out.push(x);
+                        }
+                    }
+                });
+            }
+            pool.fan_out(tasks);
+        }
+        // Canonical core-flip order, independent of the shard count.
+        let mut core_flips: Vec<VertexId> = core_flip_buckets.into_iter().flatten().collect();
+        core_flips.sort_unstable();
+        core_flips.dedup();
+
+        // Phase C: similar-core neighbour messages.  Built sequentially
+        // (cheap reads of the now-final core flags), applied per shard.
+        // `set_neighbour_core` is last-write-wins on a per-(vertex,
+        // neighbour) basis and every message for the same pair carries the
+        // same (final) core status, so bucketing order cannot matter.
+        let mut messages: Vec<Vec<(VertexId, VertexId, bool)>> = vec![Vec::new(); shards];
+        for &(key, new_label) in flipped {
+            if matches!(new_label, EdgeLabel::Similar) {
+                let (a, b) = key.endpoints();
+                let a_core = self.aux[a.index()].is_core();
+                let b_core = self.aux[b.index()].is_core();
+                messages[shard_of(a)].push((a, b, b_core));
+                messages[shard_of(b)].push((b, a, a_core));
+            }
+        }
         for &x in &core_flips {
+            let x_core = self.aux[x.index()].is_core();
+            for y in self.aux[x.index()].similar_neighbours() {
+                messages[shard_of(y)].push((y, x, x_core));
+            }
+        }
+        {
+            let mut tasks = Vec::with_capacity(shards);
+            let mut rest: &mut [VertexAux] = &mut self.aux;
+            for (s, messages) in messages.iter().enumerate() {
+                let take = shard_len.min(rest.len());
+                let (slice, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = s * shard_len;
+                tasks.push(move || {
+                    for &(target, neighbour, core) in messages {
+                        slice[target.index() - base].set_neighbour_core(neighbour, core);
+                    }
+                });
+            }
+            pool.fan_out(tasks);
+        }
+        self.maintain_core_graph(flipped, &core_flips, overlay);
+    }
+
+    /// Phase D: sim-core edge flips (the set F′) applied to `G_core`.
+    /// Candidates: edges of F plus, for every vertex with a core flip,
+    /// its (at most μ) persistently similar edges.
+    fn maintain_core_graph(
+        &mut self,
+        flipped: &[FlippedEdge],
+        core_flips: &[VertexId],
+        overlay: Option<&HashMap<EdgeKey, bool>>,
+    ) {
+        let mut candidates: Vec<EdgeKey> = flipped.iter().map(|&(k, _)| k).collect();
+        for &x in core_flips {
             for y in self.aux[x.index()].similar_neighbours() {
                 candidates.push(EdgeKey::new(x, y));
             }
         }
         for key in candidates {
             let (a, b) = key.endpoints();
-            let desired = self.is_sim_core_edge(key);
+            let desired = self.is_sim_core_edge_at(key, overlay);
             let present = self.core_graph.has_edge(a, b);
             if desired && !present {
                 self.core_graph.insert_edge(a, b);
@@ -450,6 +637,61 @@ mod tests {
                 .map(|g| g.iter().map(|x| x.raw()).collect())
                 .collect();
             prop_assert_eq!(actual, expected);
+        }
+    }
+
+    #[test]
+    fn sharded_aux_maintenance_matches_sequential() {
+        // Force the sharded path (cutoff 1) on multi-worker pools and
+        // compare the full serialised state against a purely sequential
+        // twin after every batch.
+        use crate::traits::Snapshot;
+        let params = Params::jaccard(0.35, 3)
+            .with_exact_labels()
+            .with_rho(0.05)
+            .with_seed(7);
+        for threads in [2usize, 4, 8] {
+            let mut sequential = DynStrClu::new(params);
+            let mut sharded = DynStrClu::new(params);
+            sharded.set_exec_pool(crate::pool::ExecPool::with_threads(threads));
+            sharded.set_shard_flip_cutoff(1);
+            let mut rng = SmallRng::seed_from_u64(31 + threads as u64);
+            let mut present: Vec<(u32, u32)> = Vec::new();
+            for round in 0..6 {
+                let mut batch = Vec::new();
+                for _ in 0..60 {
+                    if !present.is_empty() && rng.gen_bool(0.3) {
+                        let idx = rng.gen_range(0..present.len());
+                        let (a, b) = present.swap_remove(idx);
+                        batch.push(GraphUpdate::Delete(v(a), v(b)));
+                    } else {
+                        let a = rng.gen_range(0u32..40);
+                        let b = rng.gen_range(0u32..40);
+                        batch.push(GraphUpdate::Insert(v(a), v(b)));
+                        if a != b && !present.contains(&(a.min(b), a.max(b))) {
+                            present.push((a.min(b), a.max(b)));
+                        }
+                    }
+                }
+                let flips_seq = sequential.apply_batch(&batch);
+                let flips_shard = sharded.apply_batch(&batch);
+                assert_eq!(flips_seq, flips_shard, "threads {threads} round {round}");
+                assert_eq!(
+                    Snapshot::checkpoint_bytes(&sequential),
+                    Snapshot::checkpoint_bytes(&sharded),
+                    "threads {threads} round {round}"
+                );
+                assert_eq!(
+                    sequential.num_sim_core_edges(),
+                    sharded.num_sim_core_edges()
+                );
+            }
+            assert_consistent_with_extraction(&sharded);
+            let all: Vec<VertexId> = sharded.graph().vertices().collect();
+            assert_eq!(
+                sequential.cluster_group_by(&all),
+                sharded.cluster_group_by(&all)
+            );
         }
     }
 

@@ -138,6 +138,20 @@ pub trait DynamicClustering {
 pub trait BatchUpdate: DynamicClustering {
     /// Apply a batch of updates; returns the coalesced net flip set.
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge>;
+
+    /// Apply a *sequence* of batches, returning one net flip set per
+    /// batch — semantically identical to calling
+    /// [`BatchUpdate::apply_batch`] in a loop (the default does exactly
+    /// that), but overridable with a pipelined execution: [`DynElm`] and
+    /// [`DynStrClu`] overlap batch *k + 1*'s topology-apply with batch
+    /// *k*'s re-estimation on the execution pool, with byte-identical
+    /// results (see [`crate::pipeline`]).
+    fn apply_batches(&mut self, batches: &[Vec<GraphUpdate>]) -> Vec<Vec<FlippedEdge>> {
+        batches
+            .iter()
+            .map(|batch| self.apply_batch(batch))
+            .collect()
+    }
 }
 
 /// Checkpoint/restore of a dynamic clustering algorithm's full live state.
@@ -223,6 +237,16 @@ pub trait Clusterer: BatchUpdate + Send {
     /// The algorithm tag this backend writes into its snapshot headers
     /// (equals [`Snapshot::ALGO_TAG`] of the concrete type).
     fn algo_tag(&self) -> u32;
+
+    /// Configure how many worker threads this backend's parallel work
+    /// (batch re-estimation, sharded aux maintenance) runs on: `0` means
+    /// the global pool's default, `n > 0` a dedicated pool of exactly
+    /// `n` workers.  Purely a performance knob — results are
+    /// bit-identical at every thread count — and a no-op for backends
+    /// without parallel paths (the exact baselines).
+    fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
 
     /// Answer a cluster-group-by query (Definition 3.2): group the
     /// vertices of `q` by the clusters containing them.
@@ -319,17 +343,29 @@ impl BatchUpdate for DynElm {
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
         DynElm::apply_batch(self, updates)
     }
+
+    fn apply_batches(&mut self, batches: &[Vec<GraphUpdate>]) -> Vec<Vec<FlippedEdge>> {
+        DynElm::apply_batches(self, batches)
+    }
 }
 
 impl BatchUpdate for DynStrClu {
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Vec<FlippedEdge> {
         DynStrClu::apply_batch(self, updates)
     }
+
+    fn apply_batches(&mut self, batches: &[Vec<GraphUpdate>]) -> Vec<Vec<FlippedEdge>> {
+        DynStrClu::apply_batches(self, batches)
+    }
 }
 
 impl Clusterer for DynElm {
     fn algo_tag(&self) -> u32 {
         <DynElm as Snapshot>::ALGO_TAG
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.set_exec_pool(crate::pool::ExecPool::with_threads(threads));
     }
 
     /// DynELM keeps no connectivity structure, so group-by goes through
@@ -346,6 +382,10 @@ impl Clusterer for DynElm {
 impl Clusterer for DynStrClu {
     fn algo_tag(&self) -> u32 {
         <DynStrClu as Snapshot>::ALGO_TAG
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.set_exec_pool(crate::pool::ExecPool::with_threads(threads));
     }
 
     /// The O(|Q| · log n) path of Theorem 7.1 over `CC-Str(G_core)`.

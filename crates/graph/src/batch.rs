@@ -61,11 +61,24 @@ pub fn touched_vertices(updates: &[GraphUpdate]) -> Vec<VertexId> {
 
 impl DynGraph {
     /// Apply one update, dispatching on its kind.
-    pub fn apply_update(&mut self, update: GraphUpdate) -> Result<(), GraphError> {
+    ///
+    /// Named to match `dynscan_core`'s `DynamicClustering::try_apply`:
+    /// every typed single-update entry point in the workspace is a
+    /// `try_apply` returning the rejection cause.
+    pub fn try_apply(&mut self, update: GraphUpdate) -> Result<(), GraphError> {
         match update {
             GraphUpdate::Insert(u, v) => self.insert_edge(u, v),
             GraphUpdate::Delete(u, v) => self.delete_edge(u, v),
         }
+    }
+
+    /// Apply one update, dispatching on its kind.
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `try_apply` for naming consistency"
+    )]
+    pub fn apply_update(&mut self, update: GraphUpdate) -> Result<(), GraphError> {
+        self.try_apply(update)
     }
 
     /// Apply a batch of updates in stream order, skipping invalid ones.
@@ -77,7 +90,7 @@ impl DynGraph {
         let mut summary = BatchApplication::default();
         let mut touched: Vec<VertexId> = Vec::with_capacity(2 * updates.len());
         for &update in updates {
-            match self.apply_update(update) {
+            match self.try_apply(update) {
                 Ok(()) => {
                     summary.applied += 1;
                     let (u, v) = update.endpoints();
@@ -122,7 +135,7 @@ mod tests {
 
         let mut sequential = DynGraph::new();
         for &u in &updates {
-            let _ = sequential.apply_update(u);
+            let _ = sequential.try_apply(u);
         }
         assert_eq!(batched.num_edges(), sequential.num_edges());
         for e in sequential.edges() {

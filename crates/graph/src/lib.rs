@@ -42,6 +42,7 @@ pub mod indexed_set;
 pub mod snapshot;
 pub mod update;
 pub mod vertex;
+pub mod view;
 
 pub use batch::{touched_vertices, BatchApplication};
 pub use csr::CsrGraph;
@@ -50,6 +51,7 @@ pub use edge::EdgeKey;
 pub use error::GraphError;
 pub use footprint::MemoryFootprint;
 pub use indexed_set::IndexedSet;
-pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SnapshotHeader};
 pub use update::GraphUpdate;
 pub use vertex::VertexId;
+pub use view::{FrozenNeighbourhoods, NeighbourhoodView};

@@ -41,6 +41,10 @@ use std::io::Read as _;
 /// Magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"DSCNSNAP";
 
+/// Size of the fixed document header in bytes
+/// (magic + version + algo tag + payload length + checksum).
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8;
+
 /// Current snapshot format version.  Bump on any incompatible layout
 /// change and regenerate `tests/fixtures/golden_snapshot_v*.bin`.
 pub const FORMAT_VERSION: u32 = 1;
@@ -354,14 +358,28 @@ pub fn write_document(
     Ok(())
 }
 
-/// Read the algorithm tag out of a snapshot header without decoding the
-/// payload, verifying magic and version first.
+/// The fixed-size document header, decoded without touching the payload.
 ///
-/// This is what lets an *erased* restore path (a registry keyed by
-/// algorithm tag, such as `dynscan_core`'s `restore_any`) decide which
-/// concrete restorer to dispatch to before any payload bytes are touched.
-pub fn peek_algo_tag(bytes: &[u8]) -> Result<u32, SnapshotError> {
-    if bytes.len() < 8 + 4 + 4 {
+/// Surfaced through `dynscan_core`'s `restore_any_with_info` so services
+/// can log what they are restoring (format version, algorithm, payload
+/// size) before — or without — paying for the payload decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The writer's format version (always [`FORMAT_VERSION`] after a
+    /// successful peek; newer versions are rejected).
+    pub format_version: u32,
+    /// Which structure the payload describes.
+    pub algo_tag: u32,
+    /// Payload byte count declared by the header.
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload declared by the header.
+    pub checksum: u64,
+}
+
+/// Decode a snapshot's header without decoding the payload, verifying
+/// magic and version first.
+pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
         return Err(SnapshotError::Truncated);
     }
     if bytes[0..8] != MAGIC {
@@ -371,9 +389,22 @@ pub fn peek_algo_tag(bytes: &[u8]) -> Result<u32, SnapshotError> {
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
-    Ok(u32::from_le_bytes(
-        bytes[12..16].try_into().expect("4 bytes"),
-    ))
+    Ok(SnapshotHeader {
+        format_version: version,
+        algo_tag: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
+        payload_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+        checksum: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+    })
+}
+
+/// Read the algorithm tag out of a snapshot header without decoding the
+/// payload, verifying magic and version first.
+///
+/// This is what lets an *erased* restore path (a registry keyed by
+/// algorithm tag, such as `dynscan_core`'s `restore_any`) decide which
+/// concrete restorer to dispatch to before any payload bytes are touched.
+pub fn peek_algo_tag(bytes: &[u8]) -> Result<u32, SnapshotError> {
+    Ok(peek_header(bytes)?.algo_tag)
 }
 
 /// Read a full snapshot document from `r`, verifying magic, version,
@@ -579,6 +610,29 @@ mod tests {
             read_document(&future[..], 7),
             Err(SnapshotError::UnsupportedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn peek_header_reads_without_decoding() {
+        let payload = {
+            let mut w = SnapWriter::new();
+            w.u64(9);
+            w.into_bytes()
+        };
+        let mut doc = Vec::new();
+        write_document(&mut doc, 42, &payload).unwrap();
+        let header = peek_header(&doc).unwrap();
+        assert_eq!(header.format_version, FORMAT_VERSION);
+        assert_eq!(header.algo_tag, 42);
+        assert_eq!(header.payload_len, payload.len() as u64);
+        assert_eq!(header.checksum, fnv1a(&payload));
+        assert!(matches!(
+            peek_header(&doc[..16]),
+            Err(SnapshotError::Truncated)
+        ));
+        let mut bad = doc;
+        bad[2] ^= 0xff;
+        assert!(matches!(peek_header(&bad), Err(SnapshotError::BadMagic)));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! over Min-Hash in the dynamic setting.
 
 use crate::SimilarityMeasure;
-use dynscan_graph::{DynGraph, VertexId};
+use dynscan_graph::{NeighbourhoodView, VertexId};
 use rand::Rng;
 
 /// Number of samples needed so that the similarity estimate is within `Δ`
@@ -42,8 +42,12 @@ pub fn sample_size(measure: SimilarityMeasure, eps: f64, delta_cap: f64, delta: 
 
 /// Draw `samples` instances of the biased indicator `X` and return their
 /// mean `X̄` (an unbiased estimate of `2a / (a + b)`).
-pub fn intersection_fraction_estimate<R: Rng + ?Sized>(
-    graph: &DynGraph,
+///
+/// Generic over [`NeighbourhoodView`], so the same code runs against the
+/// live graph or a frozen per-batch capture (pipelined batch engine);
+/// both consume identical random bits for identical slot orders.
+pub fn intersection_fraction_estimate<G: NeighbourhoodView, R: Rng + ?Sized>(
+    graph: &G,
     u: VertexId,
     v: VertexId,
     samples: usize,
@@ -77,8 +81,8 @@ pub fn intersection_fraction_estimate<R: Rng + ?Sized>(
 /// For cosine the degree-ratio prefilter of Lemma 8.2 applies first: if
 /// `|N_min| < ε² · |N_max|` the similarity is certainly below `ε`, so the
 /// function returns `0.0` without sampling.
-pub fn estimate_similarity<R: Rng + ?Sized>(
-    graph: &DynGraph,
+pub fn estimate_similarity<G: NeighbourhoodView, R: Rng + ?Sized>(
+    graph: &G,
     u: VertexId,
     v: VertexId,
     measure: SimilarityMeasure,
@@ -109,6 +113,7 @@ pub fn estimate_similarity<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::exact::exact_similarity;
+    use dynscan_graph::DynGraph;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

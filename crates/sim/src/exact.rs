@@ -1,7 +1,7 @@
 //! Exact structural similarity.
 
 use crate::SimilarityMeasure;
-use dynscan_graph::{CsrGraph, DynGraph, VertexId};
+use dynscan_graph::{CsrGraph, NeighbourhoodView, VertexId};
 
 /// Exact structural similarity between `u` and `v` under `measure`.
 ///
@@ -17,8 +17,11 @@ use dynscan_graph::{CsrGraph, DynGraph, VertexId};
 /// in `[0, 1]`.
 ///
 /// Cost: O(min(d\[u\], d\[v\])) membership probes.
-pub fn exact_similarity(
-    graph: &DynGraph,
+///
+/// Generic over [`NeighbourhoodView`]: the live `DynGraph` and the batch
+/// engine's frozen per-batch captures compute identical values.
+pub fn exact_similarity<G: NeighbourhoodView>(
+    graph: &G,
     u: VertexId,
     v: VertexId,
     measure: SimilarityMeasure,
@@ -70,6 +73,7 @@ pub fn exact_similarity_csr(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dynscan_graph::DynGraph;
     use proptest::prelude::*;
 
     fn v(i: u32) -> VertexId {

@@ -12,7 +12,7 @@ use crate::exact::exact_similarity;
 use crate::label::EdgeLabel;
 use crate::rng::EdgeRng;
 use crate::SimilarityMeasure;
-use dynscan_graph::{DynGraph, EdgeKey, VertexId};
+use dynscan_graph::{EdgeKey, NeighbourhoodView, VertexId};
 use rand::Rng;
 
 /// The result of one deterministic labelling-strategy invocation
@@ -148,9 +148,9 @@ impl LabellingStrategy {
     /// instead.  The exact value trivially satisfies the (Δ, δ) accuracy
     /// requirement, so every guarantee of the strategy is preserved; this
     /// is the standard engineering refinement for low-degree edges.
-    pub fn label_with_value<R: Rng + ?Sized>(
+    pub fn label_with_value<G: NeighbourhoodView, R: Rng + ?Sized>(
         &mut self,
-        graph: &DynGraph,
+        graph: &G,
         u: VertexId,
         v: VertexId,
         rng: &mut R,
@@ -174,9 +174,9 @@ impl LabellingStrategy {
     }
 
     /// Label the edge `(u, v)` (see [`Self::label_with_value`]).
-    pub fn label<R: Rng + ?Sized>(
+    pub fn label<G: NeighbourhoodView, R: Rng + ?Sized>(
         &mut self,
-        graph: &DynGraph,
+        graph: &G,
         u: VertexId,
         v: VertexId,
         rng: &mut R,
@@ -203,9 +203,9 @@ impl LabellingStrategy {
     /// The low-degree exact shortcut of [`Self::label_with_value`] applies
     /// unchanged: it depends only on `(k, degrees)`, so it is itself
     /// deterministic.
-    pub fn label_deterministic(
+    pub fn label_deterministic<G: NeighbourhoodView>(
         &self,
-        graph: &DynGraph,
+        graph: &G,
         edge: EdgeKey,
         invocation: u64,
         stream_seed: u64,
@@ -245,7 +245,7 @@ impl LabellingStrategy {
     }
 
     /// The DT tracking threshold for `(u, v)` at its current degrees.
-    pub fn threshold(&self, graph: &DynGraph, u: VertexId, v: VertexId) -> u64 {
+    pub fn threshold<G: NeighbourhoodView>(&self, graph: &G, u: VertexId, v: VertexId) -> u64 {
         tracking_threshold(
             self.measure,
             self.eps,
@@ -259,6 +259,7 @@ impl LabellingStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dynscan_graph::DynGraph;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

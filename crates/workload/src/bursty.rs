@@ -260,7 +260,7 @@ mod tests {
             assert_eq!(batch.len(), 64);
             for &update in &batch {
                 graph
-                    .apply_update(update)
+                    .try_apply(update)
                     .expect("stream emits only valid updates");
             }
         }

@@ -91,7 +91,7 @@ fn main() {
     let graph = {
         let mut g = dynscan::graph::DynGraph::new();
         for &u in &updates {
-            let _ = g.apply_update(u);
+            let _ = g.try_apply(u);
         }
         g
     };

@@ -1,0 +1,235 @@
+//! The parallel execution layer is semantically inert: pipelined
+//! (`apply_batches`) and sharded execution on any pool at any thread
+//! count produces **byte-identical** state to a plain sequential
+//! `apply_batch` loop over the same batch boundaries — for all four
+//! backends, in exact and sampled mode.
+//!
+//! This is the contract the whole refactor rests on (the same invariant
+//! read-committed-style reenactment gives a concurrent history: the
+//! concurrent execution must be observationally identical to the
+//! sequential one).  Byte-identity is checked on three observables:
+//!
+//! * the coalesced net flip set of every batch,
+//! * the erased checkpoint bytes (canonical encoding: equal state ⇔
+//!   equal bytes),
+//! * the canonical cluster-group-by answer over the full vertex range.
+//!
+//! Thread counts {1, 2, 4, 8} cover the degenerate single-worker pool,
+//! the typical small pools and an oversubscribed one (the CI machine may
+//! have fewer cores — oversubscription must not change results either).
+
+use dynscan_core::{
+    restore_any, AutoBatchPolicy, Backend, Clusterer, DynStrClu, ExecPool, GraphUpdate, Params,
+    Session, VertexId,
+};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+fn to_updates(ops: &[(bool, u32, u32)]) -> Vec<GraphUpdate> {
+    ops.iter()
+        .filter(|(_, a, b)| a != b)
+        .map(|&(insert, a, b)| {
+            if insert {
+                GraphUpdate::Insert(v(a), v(b))
+            } else {
+                GraphUpdate::Delete(v(a), v(b))
+            }
+        })
+        .collect()
+}
+
+fn partition(updates: &[GraphUpdate], sizes: &[usize]) -> Vec<Vec<GraphUpdate>> {
+    let mut batches = Vec::new();
+    let mut rest = updates;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = sizes[i % sizes.len()].clamp(1, rest.len());
+        let (head, tail) = rest.split_at(take);
+        batches.push(head.to_vec());
+        rest = tail;
+        i += 1;
+    }
+    batches
+}
+
+fn exact_params() -> Params {
+    Params::jaccard(0.4, 3)
+        .with_rho(0.0)
+        .with_exact_labels()
+        .with_seed(0xabc)
+}
+
+fn sampled_params() -> Params {
+    Params::jaccard(0.4, 3).with_rho(0.3).with_seed(0xabc)
+}
+
+fn build(backend: Backend, params: Params) -> Box<dyn Clusterer> {
+    dynscan_baseline::install();
+    Session::builder()
+        .backend(backend)
+        .params(params)
+        .build()
+        .expect("backend registered")
+        .into_inner()
+}
+
+/// Replay `batches` sequentially (apply_batch loop, single-worker pool)
+/// and pipelined at `threads`; every observable must match byte for byte.
+fn assert_equivalent(
+    backend: Backend,
+    params: Params,
+    batches: &[Vec<GraphUpdate>],
+    query: &[VertexId],
+) {
+    let mut reference = build(backend, params);
+    reference.set_threads(1);
+    let mut reference_flips = Vec::new();
+    for batch in batches {
+        reference_flips.push(reference.apply_batch(batch));
+    }
+    let reference_bytes = reference.checkpoint_bytes();
+    let reference_groups = reference.cluster_group_by(query);
+
+    for &threads in &THREAD_COUNTS {
+        let mut candidate = build(backend, params);
+        candidate.set_threads(threads);
+        let flips = candidate.apply_batches(batches);
+        assert_eq!(
+            reference_flips, flips,
+            "{backend}: flip sets diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference_bytes,
+            candidate.checkpoint_bytes(),
+            "{backend}: checkpoint bytes diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference_groups,
+            candidate.cluster_group_by(query),
+            "{backend}: group-by diverged at {threads} threads"
+        );
+        // And the checkpoint restores to a working instance regardless of
+        // which execution produced it.
+        let restored = restore_any(&reference_bytes).expect("restores");
+        assert_eq!(restored.algorithm_name(), candidate.algorithm_name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pipelined + sharded execution at {1, 2, 4, 8} threads is
+    /// byte-identical to sequential batch application, across all four
+    /// backends, exact and sampled.
+    #[test]
+    fn pipelined_equals_sequential_across_backends(
+        ops in prop::collection::vec((any::<bool>(), 0u32..28, 0u32..28), 40..160),
+        sizes in prop::collection::vec(1usize..48, 1..4),
+    ) {
+        let updates = to_updates(&ops);
+        if !updates.is_empty() {
+            let batches = partition(&updates, &sizes);
+            let query: Vec<VertexId> = (0..28).map(v).collect();
+            for backend in Backend::all() {
+                for params in [exact_params(), sampled_params()] {
+                    assert_equivalent(backend, params, &batches, &query);
+                }
+            }
+        }
+    }
+}
+
+/// The sharded aux-maintenance path forced on (cutoff 1) tracks the
+/// sequential path across every thread count on a denser stream.
+#[test]
+fn forced_sharding_is_byte_identical_across_thread_counts() {
+    use dynscan_core::Snapshot;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let params = sampled_params();
+    let mut rng = SmallRng::seed_from_u64(0x57a2d);
+    let mut present: Vec<(u32, u32)> = Vec::new();
+    let mut batches = Vec::new();
+    for _ in 0..5 {
+        let mut batch = Vec::new();
+        for _ in 0..80 {
+            if !present.is_empty() && rng.gen_bool(0.3) {
+                let idx = rng.gen_range(0..present.len());
+                let (a, b) = present.swap_remove(idx);
+                batch.push(GraphUpdate::Delete(v(a), v(b)));
+            } else {
+                let a = rng.gen_range(0u32..48);
+                let b = rng.gen_range(0u32..48);
+                batch.push(GraphUpdate::Insert(v(a), v(b)));
+                if a != b && !present.contains(&(a.min(b), a.max(b))) {
+                    present.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        batches.push(batch);
+    }
+
+    let mut reference = DynStrClu::new(params);
+    for batch in &batches {
+        reference.apply_batch(batch);
+    }
+    let reference_bytes = Snapshot::checkpoint_bytes(&reference);
+
+    for threads in THREAD_COUNTS {
+        let mut sharded = DynStrClu::new(params);
+        sharded.set_exec_pool(ExecPool::with_threads(threads));
+        sharded.set_shard_flip_cutoff(1);
+        sharded.apply_batches(&batches);
+        assert_eq!(
+            reference_bytes,
+            Snapshot::checkpoint_bytes(&sharded),
+            "forced sharding diverged at {threads} threads"
+        );
+    }
+}
+
+/// Streaming through a threaded session (auto-batched pushes) matches
+/// the unthreaded session for every buffer size — the `threads(n)`
+/// builder knob composes with the existing read-your-writes semantics.
+#[test]
+fn threaded_sessions_stream_identically() {
+    dynscan_baseline::install();
+    let updates: Vec<GraphUpdate> = (0..30u32)
+        .flat_map(|i| {
+            let a = i % 10;
+            let b = (i * 7 + 1) % 10;
+            (a != b).then_some(GraphUpdate::Insert(v(a), v(b)))
+        })
+        .collect();
+    for backend in Backend::all() {
+        let mut reference = Session::builder()
+            .backend(backend)
+            .params(sampled_params())
+            .auto_batch(AutoBatchPolicy::Size(7))
+            .build()
+            .unwrap();
+        reference.extend(updates.clone());
+        let reference_bytes = reference.checkpoint_bytes();
+        for threads in THREAD_COUNTS {
+            let mut session = Session::builder()
+                .backend(backend)
+                .params(sampled_params())
+                .auto_batch(AutoBatchPolicy::Size(7))
+                .threads(threads)
+                .build()
+                .unwrap();
+            session.extend(updates.clone());
+            assert_eq!(
+                reference_bytes,
+                session.checkpoint_bytes(),
+                "{backend} at {threads} threads"
+            );
+        }
+    }
+}

@@ -1,26 +1,487 @@
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses, built
+//! on a **persistent work-stealing thread pool** instead of the previous
+//! spawn-scoped-threads-per-call executor.
 //!
-//! With no crates.io access, the batch pipeline links against this
-//! vendored shim: `slice.par_iter().map(f).collect()` with the familiar
-//! trait names, executed with `std::thread::scope` over contiguous chunks.
-//! Results are concatenated in chunk order, so `collect` preserves input
-//! order exactly like rayon's indexed parallel iterators — a property the
-//! batch engine's determinism proof relies on.
+//! # Executor
 //!
-//! Work is split across `available_parallelism` threads; small inputs
-//! (below [`SEQUENTIAL_CUTOFF`]) run inline to avoid paying thread-spawn
-//! latency for tiny batches.
+//! A [`ThreadPool`] owns N long-lived workers.  Each worker has its own
+//! Chase–Lev-style deque: the owner pushes and pops at the **back**
+//! (LIFO, cache-hot), thieves steal from the **front** (FIFO, oldest
+//! first).  Tasks submitted from outside the pool land in a global
+//! injector queue that idle workers drain.  The deques here are
+//! lock-protected rather than lock-free — the workloads in this
+//! workspace submit chunk-granular tasks (hundreds of µs each), so queue
+//! synchronisation is nowhere near the critical path, and the stealing
+//! *discipline* (owner-LIFO / thief-FIFO) is what matters for locality.
+//!
+//! The **global pool** is created lazily on first use, sized by the
+//! `RAYON_NUM_THREADS` environment variable when set (like real rayon)
+//! and `available_parallelism` otherwise.  Dedicated pools of any size
+//! come from [`ThreadPoolBuilder`].
+//!
+//! # Blocking and helping
+//!
+//! [`ThreadPool::scope`] runs its closure on the calling thread while
+//! spawned tasks execute on the workers, and only returns when every
+//! spawned task finished.  A worker that blocks on a scope (nested
+//! parallelism) does not sleep: it **helps**, executing tasks from its
+//! own deque, the injector or other workers' deques until the scope
+//! completes, so nested `scope`/`join`/parallel-map calls cannot
+//! deadlock the pool.
+//!
+//! # Determinism
+//!
+//! `slice.par_iter().map(f).collect()` and [`ThreadPool::map_slice`]
+//! write every result into the output slot of its input index, so
+//! collection order equals input order exactly like rayon's indexed
+//! parallel iterators — a property the batch engine's determinism proof
+//! relies on.  Work stealing reorders *execution*, never *results*.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Inputs shorter than this are mapped on the calling thread.
 pub const SEQUENTIAL_CUTOFF: usize = 32;
 
-/// Number of worker threads used for parallel maps.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's deque.  Owner end is the back, thief end is the front.
+struct WorkerDeque {
+    tasks: Mutex<VecDeque<Task>>,
+}
+
+impl WorkerDeque {
+    fn new() -> Self {
+        WorkerDeque {
+            tasks: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner push (back).
+    fn push(&self, task: Task) {
+        self.tasks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back(task);
+    }
+
+    /// Owner pop (back, LIFO).
+    fn pop(&self) -> Option<Task> {
+        self.tasks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+    }
+
+    /// Thief steal (front, FIFO).
+    fn steal(&self) -> Option<Task> {
+        self.tasks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+    }
+}
+
+/// State shared between a pool handle and its workers.
+struct Shared {
+    injector: Mutex<VecDeque<Task>>,
+    deques: Vec<WorkerDeque>,
+    /// Wake epoch: bumped (under `sleep`) whenever new work arrives or a
+    /// latch completes, so sleepers can re-check without lost wakeups.
+    sleep: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Bump the wake epoch and wake every sleeper.
+    fn notify(&self) {
+        let mut epoch = self.sleep.lock().unwrap_or_else(|p| p.into_inner());
+        *epoch = epoch.wrapping_add(1);
+        self.wake.notify_all();
+    }
+
+    /// Find one task: own deque first (LIFO), then steal from the other
+    /// workers (FIFO, round-robin from the caller's index), then the
+    /// injector.  External threads skip the own-deque step.
+    fn find_task(&self, worker: Option<usize>) -> Option<Task> {
+        if let Some(index) = worker {
+            if let Some(task) = self.deques[index].pop() {
+                return Some(task);
+            }
+        }
+        let n = self.deques.len();
+        let start = worker.map_or(0, |i| i + 1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(task) = self.deques[victim].steal() {
+                return Some(task);
+            }
+        }
+        self.injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+    }
+}
+
+thread_local! {
+    /// `(Shared address, worker index)` of the pool this thread works for.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    loop {
+        let epoch = *shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(task) = shared.find_task(Some(index)) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
+        while *guard == epoch && !shared.shutdown.load(Ordering::Acquire) {
+            guard = shared.wake.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Completion latch for a [`Scope`]: counts outstanding tasks; waiters on
+/// pool threads help execute work instead of sleeping.
+struct CountLatch {
+    pending: AtomicUsize,
+}
+
+impl CountLatch {
+    fn new() -> Self {
+        CountLatch {
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    fn increment(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn done(&self, shared: &Shared) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.notify();
+        }
+    }
+
+    fn wait(&self, shared: &Shared) {
+        let me = WORKER.with(std::cell::Cell::get);
+        let my_index = match me {
+            Some((addr, index)) if addr == shared as *const Shared as usize => Some(index),
+            _ => None,
+        };
+        loop {
+            let epoch = *shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // A pool thread helps: run whatever work is available (it may
+            // well be this scope's own tasks).  An external thread just
+            // sleeps until the epoch moves.
+            if my_index.is_some() {
+                if let Some(task) = shared.find_task(my_index) {
+                    task();
+                    continue;
+                }
+            }
+            let mut guard = shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
+            while *guard == epoch && self.pending.load(Ordering::Acquire) != 0 {
+                guard = shared.wake.wait(guard).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+}
+
+/// A scope in which borrowed-data tasks can be spawned onto a pool; all
+/// spawned tasks complete before [`ThreadPool::scope`] returns.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    latch: Arc<CountLatch>,
+    panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task into the scope.  The closure may borrow anything that
+    /// outlives `'scope`; the pool guarantees it runs to completion before
+    /// the enclosing `scope` call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.increment();
+        let scope_copy = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&self.latch),
+            panic: Arc::clone(&self.panic),
+            _marker: std::marker::PhantomData,
+        };
+        let shared = Arc::clone(&self.shared);
+        let latch = Arc::clone(&self.latch);
+        let panic_slot = Arc::clone(&self.panic);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope_copy)));
+            if let Err(payload) = result {
+                let mut slot = panic_slot.lock().unwrap_or_else(|p| p.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            latch.done(&shared);
+        });
+        // SAFETY: the scope's latch is waited on before `scope` returns, so
+        // every borrow captured by the task ('scope) strictly outlives its
+        // execution.  Extending the closure's lifetime to 'static is the
+        // standard scoped-task erasure (same layout, fat pointer unchanged).
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        // Workers of this pool push to their own deque (owner end);
+        // external threads go through the injector.
+        let me = WORKER.with(std::cell::Cell::get);
+        match me {
+            Some((addr, index)) if addr == Arc::as_ptr(&self.shared) as usize => {
+                self.shared.deques[index].push(task);
+            }
+            _ => {
+                self.shared
+                    .injector
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push_back(task);
+            }
+        }
+        self.shared.notify();
+    }
+}
+
+/// How many worker threads the global pool should use.
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Builder for a dedicated [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (global sizing rules).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` worker threads (0 means the default sizing).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool, spawning its workers.
+    pub fn build(self) -> std::io::Result<ThreadPool> {
+        let n = self.num_threads.unwrap_or_else(default_num_threads).max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..n).map(|_| WorkerDeque::new()).collect(),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(n);
+        for index in 0..n {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dynscan-pool-{index}"))
+                    .spawn(move || worker_loop(shared, index))?,
+            );
+        }
+        Ok(ThreadPool {
+            shared,
+            handles: Mutex::new(handles),
+            num_threads: n,
+        })
+    }
+}
+
+/// A persistent work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    num_threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with a [`Scope`] handle on the **calling thread**; any
+    /// tasks it spawns run on the pool.  Returns when `op` and every
+    /// spawned task (including transitively spawned ones) have finished.
+    /// The first panic from a spawned task is resumed on the caller after
+    /// all tasks have completed.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::new(CountLatch::new()),
+            panic: Arc::new(Mutex::new(None)),
+            _marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        scope.latch.wait(&self.shared);
+        if let Some(payload) = scope.panic.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run `a` on the calling thread and `b` on the pool, returning both
+    /// results once both have finished.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        let mut rb: Option<RB> = None;
+        let ra = self.scope(|s| {
+            s.spawn(|_| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("scope waits for the spawned half"))
+    }
+
+    /// Map `f` over `items` on the pool, preserving input order in the
+    /// output.  Small inputs run inline on the caller.
+    pub fn map_slice<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let n = items.len();
+        if n < SEQUENTIAL_CUTOFF || self.num_threads <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        // Over-decompose (4 chunks per worker) so stealing can balance
+        // uneven per-item costs; results still land by input index.
+        let chunk_len = n.div_ceil(self.num_threads * 4).max(1);
+        let f = &f;
+        self.scope(|s| {
+            let mut rest: &mut [Option<R>] = &mut out;
+            let mut chunks = items.chunks(chunk_len);
+            // The first chunk runs on the caller: guaranteed progress even
+            // while every worker is busy elsewhere.
+            let first = chunks.next();
+            let mut first_out: Option<&mut [Option<R>]> = None;
+            if let Some(chunk) = first {
+                let (head, tail) = rest.split_at_mut(chunk.len());
+                first_out = Some(head);
+                rest = tail;
+            }
+            for chunk in chunks {
+                let (head, tail) = rest.split_at_mut(chunk.len());
+                rest = tail;
+                s.spawn(move |_| {
+                    for (slot, item) in head.iter_mut().zip(chunk) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+            if let (Some(chunk), Some(head)) = (first, first_out) {
+                for (slot, item) in head.iter_mut().zip(chunk) {
+                    *slot = Some(f(item));
+                }
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("scope completed every chunk"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|p| p.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The lazily initialised global pool (sized by `RAYON_NUM_THREADS` /
+/// `available_parallelism`).
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("spawning the global pool's workers")
+    })
+}
+
+/// Number of worker threads parallel operations use by default.  Does not
+/// force the global pool into existence.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    default_num_threads()
+}
+
+/// Scope on the global pool (see [`ThreadPool::scope`]).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    global().scope(op)
+}
+
+/// Join on the global pool (see [`ThreadPool::join`]).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    global().join(a, b)
 }
 
 pub mod prelude {
@@ -63,7 +524,8 @@ pub struct ParIter<'a, T> {
 impl<T> ParallelIterator for ParIter<'_, T> {}
 
 impl<'a, T: Sync> ParIter<'a, T> {
-    /// Map every item through `f` (executed in parallel on `collect`).
+    /// Map every item through `f` (executed on the global pool on
+    /// `collect`).
     pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
     where
         R: Send,
@@ -90,41 +552,27 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
-    /// Evaluate the map in parallel and collect the results in input order.
+    /// Evaluate the map on the global pool and collect the results in
+    /// input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        self.run().into_iter().collect()
-    }
-
-    fn run(self) -> Vec<R> {
         let n = self.items.len();
-        let threads = current_num_threads().min(n.max(1));
-        if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+        if n < SEQUENTIAL_CUTOFF || current_num_threads() <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
-        let chunk_len = n.div_ceil(threads);
-        let f = &self.f;
-        let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for handle in handles {
-                chunk_results.push(handle.join().expect("parallel map worker panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(n);
-        for chunk in chunk_results {
-            out.extend(chunk);
-        }
-        out
+        // `map_slice` takes Fn(&T) -> R with T: Sync; the adapter's F
+        // already has exactly that shape over the borrowed items.
+        global()
+            .map_slice(self.items, &self.f)
+            .into_iter()
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn preserves_order_and_covers_all_items() {
@@ -152,5 +600,117 @@ mod tests {
         let table = vec![10u64; 1_000];
         let out: Vec<u64> = base.par_iter().map(|&x| x + table[x as usize]).collect();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 10));
+    }
+
+    #[test]
+    fn dedicated_pool_maps_in_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.num_threads(), 4);
+        let items: Vec<u64> = (0..5_000).collect();
+        let out = pool.map_slice(&items, |&x| x + 1);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks_and_body_concurrently() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicU64::new(0);
+        let body_result = pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "body"
+        });
+        assert_eq!(body_result, "body");
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|inner| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    counter.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn nested_parallel_maps_do_not_deadlock() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outer: Vec<u64> = (0..64).collect();
+        let out = pool.scope(|s| {
+            let mut nested = 0u64;
+            s.spawn(|_| { /* keep a worker busy briefly */ });
+            // Parallel map issued while inside a scope on the same pool.
+            let inner: Vec<u64> = pool.map_slice(&outer, |&x| x * 3);
+            nested += inner.iter().sum::<u64>();
+            nested
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).sum());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.join(|| 2 + 2, || "forty".to_string() + "-two");
+        assert_eq!(a, 4);
+        assert_eq!(b, "forty-two");
+    }
+
+    #[test]
+    fn panics_in_spawned_tasks_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom in task"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives and keeps working afterwards.
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.map_slice(&items, |&x| x);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let items: Vec<u64> = (0..256).collect();
+        let _ = pool.map_slice(&items, |&x| x);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn global_pool_is_lazily_shared() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn free_join_and_scope_use_the_global_pool() {
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for i in 0..8u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 28);
     }
 }
