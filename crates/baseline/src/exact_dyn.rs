@@ -46,6 +46,9 @@ pub struct ExactDynScan {
     pub(crate) updates: u64,
     /// Total neighbourhood probes performed (the baseline's cost driver).
     pub(crate) probes: u64,
+    /// Differential-checkpoint bookkeeping (see
+    /// [`dynscan_core::snapshot::DirtyTracker`]); not serialised.
+    pub(crate) dirty: dynscan_core::snapshot::DirtyTracker,
 }
 
 impl ExactDynScan {
@@ -60,6 +63,7 @@ impl ExactDynScan {
             labels: HashMap::new(),
             updates: 0,
             probes: 0,
+            dirty: dynscan_core::snapshot::DirtyTracker::new(),
         }
     }
 
@@ -145,6 +149,15 @@ impl ExactDynScan {
                 affected.push(key);
             }
         }
+        // Differential checkpointing: the endpoints' adjacency changed,
+        // and every affected edge's count/label will be rewritten.
+        if self.dirty.is_tracking() {
+            self.dirty.mark_vertex(u);
+            self.dirty.mark_vertex(w);
+            for &key in &affected {
+                self.dirty.mark_edge(key);
+            }
+        }
         Some(affected)
     }
 
@@ -169,6 +182,15 @@ impl ExactDynScan {
                     *self.intersections.get_mut(&edge).expect("existing edge") -= 1;
                 }
                 affected.push(edge);
+            }
+        }
+        if self.dirty.is_tracking() {
+            self.dirty.mark_vertex(u);
+            self.dirty.mark_vertex(w);
+            // The deleted edge itself becomes a tombstone in the delta.
+            self.dirty.mark_edge(key);
+            for &edge in &affected {
+                self.dirty.mark_edge(edge);
             }
         }
         Some(affected)
@@ -350,6 +372,18 @@ impl Clusterer for ExactDynScan {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn capture_checkpoint(
+        &mut self,
+        prefer_delta: bool,
+        wall_time_millis: u64,
+    ) -> dynscan_core::snapshot::CheckpointCapture {
+        Snapshot::capture(self, prefer_delta, wall_time_millis)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        Snapshot::apply_delta(self, bytes)
     }
 }
 

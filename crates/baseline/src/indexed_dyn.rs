@@ -240,6 +240,18 @@ impl Clusterer for IndexedDynScan {
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
     }
+
+    fn capture_checkpoint(
+        &mut self,
+        prefer_delta: bool,
+        wall_time_millis: u64,
+    ) -> dynscan_core::snapshot::CheckpointCapture {
+        Snapshot::capture(self, prefer_delta, wall_time_millis)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        Snapshot::apply_delta(self, bytes)
+    }
 }
 
 #[cfg(test)]

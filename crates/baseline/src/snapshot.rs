@@ -12,9 +12,12 @@
 
 use crate::exact_dyn::ExactDynScan;
 use crate::indexed_dyn::{quantise, IndexedDynScan};
+use dynscan_core::snapshot::{
+    check_delta_applicable, finish_delta_capture, finish_full_capture, CheckpointCapture,
+};
 use dynscan_core::Snapshot;
-use dynscan_graph::snapshot::{read_document, write_document};
-use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError};
+use dynscan_graph::snapshot::{read_document_meta, split_document, write_document, SnapshotKind};
+use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError, VertexId};
 use dynscan_sim::{EdgeLabel, SimilarityMeasure};
 use std::collections::{BTreeSet, HashMap};
 
@@ -24,6 +27,10 @@ mod section {
     pub const GRAPH: u32 = 0x6247_7201; // baseline "Gr."
     pub const EDGES: u32 = 0x6245_6401; // baseline "Ed."
     pub const INDEX: u32 = 0x6249_7801; // baseline "Ix."
+                                        // Differential (v2) sections.
+    pub const DELTA_STATS: u32 = 0x6264_5301; // baseline "dS."
+    pub const DELTA_GRAPH: u32 = 0x6264_4701; // baseline "dG."
+    pub const DELTA_EDGES: u32 = 0x6264_4501; // baseline "dE."
 }
 
 fn write_exact_payload(algo: &ExactDynScan, w: &mut SnapWriter) {
@@ -85,35 +92,7 @@ fn read_exact_payload(r: &mut SnapReader<'_>) -> Result<ExactDynScan, SnapshotEr
         } else {
             EdgeLabel::Dissimilar
         };
-        let (u, v) = key.endpoints();
-        if !graph.has_edge(u, v) {
-            return Err(SnapshotError::Corrupt("count for a non-existent edge"));
-        }
-        // `a = |N[u] ∩ N[v]|` counts both endpoints of an existing edge, so
-        // it is at least 2 and at most the smaller closed neighbourhood.
-        let bound = graph.closed_degree(u).min(graph.closed_degree(v));
-        if (a as usize) < 2 || a as usize > bound {
-            return Err(SnapshotError::Corrupt("intersection count out of bounds"));
-        }
-        // The baseline's invariant is that labels are always exactly valid;
-        // a stored label is redundant with the count and the degrees, so a
-        // disagreement means the snapshot is corrupt, not merely stale.
-        let sigma = match measure {
-            SimilarityMeasure::Jaccard => {
-                let union = (graph.closed_degree(u) + graph.closed_degree(v)) as f64 - a as f64;
-                a as f64 / union
-            }
-            SimilarityMeasure::Cosine => {
-                let nu = graph.closed_degree(u) as f64;
-                let nv = graph.closed_degree(v) as f64;
-                a as f64 / (nu * nv).sqrt()
-            }
-        };
-        if label != EdgeLabel::from_similarity(sigma, eps) {
-            return Err(SnapshotError::Corrupt(
-                "label inconsistent with the exact intersection count",
-            ));
-        }
+        validate_edge_entry(&graph, measure, eps, key, a, label)?;
         if intersections.insert(key, a).is_some() {
             return Err(SnapshotError::Corrupt("duplicate edge entry"));
         }
@@ -132,7 +111,182 @@ fn read_exact_payload(r: &mut SnapReader<'_>) -> Result<ExactDynScan, SnapshotEr
         labels,
         updates,
         probes,
+        dirty: dynscan_core::snapshot::DirtyTracker::new(),
     })
+}
+
+/// Validate one `(edge, count, label)` entry against the (post-merge)
+/// graph: the edge must exist, the exact intersection count must be in
+/// range, and the label must equal what the count and degrees imply (the
+/// baseline's labels are always exactly valid, so a disagreement means
+/// the snapshot is corrupt, not merely stale).  Shared by the full decode
+/// and the delta apply.
+fn validate_edge_entry(
+    graph: &DynGraph,
+    measure: SimilarityMeasure,
+    eps: f64,
+    key: EdgeKey,
+    a: u32,
+    label: EdgeLabel,
+) -> Result<(), SnapshotError> {
+    let (u, v) = key.endpoints();
+    if !graph.has_edge(u, v) {
+        return Err(SnapshotError::Corrupt("count for a non-existent edge"));
+    }
+    // `a = |N[u] ∩ N[v]|` counts both endpoints of an existing edge, so
+    // it is at least 2 and at most the smaller closed neighbourhood.
+    let bound = graph.closed_degree(u).min(graph.closed_degree(v));
+    if (a as usize) < 2 || a as usize > bound {
+        return Err(SnapshotError::Corrupt("intersection count out of bounds"));
+    }
+    let sigma = match measure {
+        SimilarityMeasure::Jaccard => {
+            let union = (graph.closed_degree(u) + graph.closed_degree(v)) as f64 - a as f64;
+            a as f64 / union
+        }
+        SimilarityMeasure::Cosine => {
+            let nu = graph.closed_degree(u) as f64;
+            let nv = graph.closed_degree(v) as f64;
+            a as f64 / (nu * nv).sqrt()
+        }
+    };
+    if label != EdgeLabel::from_similarity(sigma, eps) {
+        return Err(SnapshotError::Corrupt(
+            "label inconsistent with the exact intersection count",
+        ));
+    }
+    Ok(())
+}
+
+/// Serialise the baseline's differential sections: work counters, the
+/// dirty vertices' adjacency, and the dirty edges' counts/labels (or
+/// tombstones).
+fn write_exact_delta_payload(
+    algo: &ExactDynScan,
+    vertices: &[VertexId],
+    edges: &[EdgeKey],
+    w: &mut SnapWriter,
+) {
+    w.section(section::DELTA_STATS, |s| {
+        s.u64(algo.updates);
+        s.u64(algo.probes);
+    });
+    w.section(section::DELTA_GRAPH, |s| {
+        algo.graph.write_snapshot_delta(s, vertices);
+    });
+    w.section(section::DELTA_EDGES, |s| {
+        s.len_prefix(edges.len());
+        for &key in edges {
+            s.edge(key);
+            let present = algo.intersections.contains_key(&key);
+            s.bool(present);
+            if present {
+                s.u32(algo.intersections[&key]);
+                s.bool(algo.labels[&key].is_similar());
+            }
+        }
+    });
+}
+
+/// Apply a verified delta payload to `algo`, then re-run the full
+/// decode's cross-checks on the merged state.
+fn apply_exact_delta_payload(algo: &mut ExactDynScan, payload: &[u8]) -> Result<(), SnapshotError> {
+    let mut r = SnapReader::new(payload);
+    let mut s = r.section(section::DELTA_STATS)?;
+    let updates = s.u64()?;
+    let probes = s.u64()?;
+    s.finish()?;
+
+    let mut s = r.section(section::DELTA_GRAPH)?;
+    algo.graph.apply_snapshot_delta(&mut s)?;
+
+    let mut s = r.section(section::DELTA_EDGES)?;
+    let count = s.len_prefix()?;
+    let mut last: Option<EdgeKey> = None;
+    for _ in 0..count {
+        let key = s.edge()?;
+        if last.is_some_and(|p| p >= key) {
+            return Err(SnapshotError::Corrupt("dirty edges not sorted"));
+        }
+        last = Some(key);
+        let present = s.bool()?;
+        if present {
+            let a = s.u32()?;
+            let label = if s.bool()? {
+                EdgeLabel::Similar
+            } else {
+                EdgeLabel::Dissimilar
+            };
+            validate_edge_entry(&algo.graph, algo.measure, algo.eps, key, a, label)?;
+            algo.intersections.insert(key, a);
+            algo.labels.insert(key, label);
+        } else {
+            if algo.graph.has_edge(key.lo(), key.hi()) {
+                return Err(SnapshotError::Corrupt("delta tombstones a live edge"));
+            }
+            algo.intersections.remove(&key);
+            algo.labels.remove(&key);
+        }
+    }
+    s.finish()?;
+    r.finish()?;
+
+    if algo.intersections.len() != algo.graph.num_edges()
+        || algo.labels.len() != algo.graph.num_edges()
+    {
+        return Err(SnapshotError::Corrupt("edge without a maintained count"));
+    }
+    for key in algo.intersections.keys() {
+        if !algo.graph.has_edge(key.lo(), key.hi()) {
+            return Err(SnapshotError::Corrupt("count for a non-existent edge"));
+        }
+        if !algo.labels.contains_key(key) {
+            return Err(SnapshotError::Corrupt("edge without a label"));
+        }
+    }
+    algo.updates = updates;
+    algo.probes = probes;
+    Ok(())
+}
+
+impl ExactDynScan {
+    /// Try to capture a delta under the given algorithm tag (the indexed
+    /// baseline reuses the inner delta encoding under its own tag);
+    /// `None` when no chain base exists yet.
+    pub(crate) fn try_capture_delta_as(
+        &mut self,
+        algo_tag: u32,
+        wall_time_millis: u64,
+    ) -> Option<CheckpointCapture> {
+        if !self.dirty.can_delta() {
+            return None;
+        }
+        let vertices = self.dirty.vertices_sorted();
+        let edges = self.dirty.edges_sorted();
+        let mut w = SnapWriter::new();
+        write_exact_delta_payload(self, &vertices, &edges, &mut w);
+        Some(finish_delta_capture(
+            algo_tag,
+            &mut self.dirty,
+            w.into_bytes(),
+            wall_time_millis,
+        ))
+    }
+
+    pub(crate) fn apply_delta_as(
+        &mut self,
+        algo_tag: u32,
+        bytes: &[u8],
+    ) -> Result<(), SnapshotError> {
+        let (header, payload) = split_document(bytes, algo_tag)?;
+        check_delta_applicable(&self.dirty, &header)?;
+        if let Err(e) = apply_exact_delta_payload(self, payload) {
+            self.dirty.mark_all();
+            return Err(e);
+        }
+        self.dirty.note_restored(header.checksum, header.sequence);
+        Ok(())
+    }
 }
 
 impl Snapshot for ExactDynScan {
@@ -145,12 +299,58 @@ impl Snapshot for ExactDynScan {
     }
 
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
-        let payload = read_document(r, Self::ALGO_TAG)?;
+        let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
+        if header.kind != SnapshotKind::Full {
+            return Err(SnapshotError::UnexpectedDelta);
+        }
         let mut reader = SnapReader::new(&payload);
-        let algo = read_exact_payload(&mut reader)?;
+        let mut algo = read_exact_payload(&mut reader)?;
         reader.finish()?;
+        algo.dirty.note_restored(header.checksum, header.sequence);
         Ok(algo)
     }
+
+    fn capture(&mut self, prefer_delta: bool, wall_time_millis: u64) -> CheckpointCapture {
+        if prefer_delta {
+            if let Some(capture) = self.try_capture_delta_as(Self::ALGO_TAG, wall_time_millis) {
+                return capture;
+            }
+        }
+        let mut w = SnapWriter::new();
+        write_exact_payload(self, &mut w);
+        finish_full_capture(
+            Self::ALGO_TAG,
+            &mut self.dirty,
+            w.into_bytes(),
+            wall_time_millis,
+        )
+    }
+
+    fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.apply_delta_as(Self::ALGO_TAG, bytes)
+    }
+}
+
+/// Rebuild the similarity-ordered neighbour index from the inner exact
+/// counts (a pure function of them, exactly like `CC-Str(G_core)` is
+/// rebuilt from the labelling in `dynscan-core`).  Shared by the full
+/// restore and the delta apply.
+#[allow(clippy::type_complexity)]
+fn rebuild_index(inner: &ExactDynScan) -> (Vec<BTreeSet<(u64, VertexId)>>, HashMap<EdgeKey, u64>) {
+    let mut order: Vec<BTreeSet<(u64, VertexId)>> = Vec::new();
+    order.resize_with(inner.graph().num_vertices(), BTreeSet::new);
+    let mut current: HashMap<EdgeKey, u64> = HashMap::with_capacity(inner.graph().num_edges());
+    for key in inner.graph().edges() {
+        let sigma = inner
+            .similarity(key)
+            .expect("restored edge has a maintained count");
+        let q = quantise(sigma);
+        let (a, b) = key.endpoints();
+        order[a.index()].insert((q, b));
+        order[b.index()].insert((q, a));
+        current.insert(key, q);
+    }
+    (order, current)
 }
 
 impl Snapshot for IndexedDynScan {
@@ -167,29 +367,21 @@ impl Snapshot for IndexedDynScan {
     }
 
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
-        let payload = read_document(r, Self::ALGO_TAG)?;
+        let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
+        if header.kind != SnapshotKind::Full {
+            return Err(SnapshotError::UnexpectedDelta);
+        }
         let mut reader = SnapReader::new(&payload);
-        let inner = read_exact_payload(&mut reader)?;
+        let mut inner = read_exact_payload(&mut reader)?;
         let mut s = reader.section(section::INDEX)?;
         let default_eps = s.f64()?;
         let default_mu = s.u64()? as usize;
         s.finish()?;
         reader.finish()?;
+        inner.dirty.note_restored(header.checksum, header.sequence);
         // The similarity-ordered index is a pure function of the exact
         // counts: rebuild it instead of serialising the BTree shape.
-        let mut order: Vec<BTreeSet<(u64, dynscan_graph::VertexId)>> = Vec::new();
-        order.resize_with(inner.graph().num_vertices(), BTreeSet::new);
-        let mut current: HashMap<EdgeKey, u64> = HashMap::with_capacity(inner.graph().num_edges());
-        for key in inner.graph().edges() {
-            let sigma = inner
-                .similarity(key)
-                .expect("restored edge has a maintained count");
-            let q = quantise(sigma);
-            let (a, b) = key.endpoints();
-            order[a.index()].insert((q, b));
-            order[b.index()].insert((q, a));
-            current.insert(key, q);
-        }
+        let (order, current) = rebuild_index(&inner);
         Ok(IndexedDynScan {
             inner,
             default_eps,
@@ -197,6 +389,42 @@ impl Snapshot for IndexedDynScan {
             order,
             current,
         })
+    }
+
+    fn capture(&mut self, prefer_delta: bool, wall_time_millis: u64) -> CheckpointCapture {
+        // The delta path reuses the inner encoding (the index and the
+        // default (ε, μ) are derivable / immutable); the full path
+        // appends the index defaults exactly like `checkpoint`.
+        if prefer_delta {
+            if let Some(capture) = self
+                .inner
+                .try_capture_delta_as(Self::ALGO_TAG, wall_time_millis)
+            {
+                return capture;
+            }
+        }
+        let mut w = SnapWriter::new();
+        write_exact_payload(&self.inner, &mut w);
+        let default_eps = self.default_eps;
+        let default_mu = self.default_mu;
+        w.section(section::INDEX, |s| {
+            s.f64(default_eps);
+            s.u64(default_mu as u64);
+        });
+        finish_full_capture(
+            Self::ALGO_TAG,
+            &mut self.inner.dirty,
+            w.into_bytes(),
+            wall_time_millis,
+        )
+    }
+
+    fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.inner.apply_delta_as(Self::ALGO_TAG, bytes)?;
+        let (order, current) = rebuild_index(&self.inner);
+        self.order = order;
+        self.current = current;
+        Ok(())
     }
 }
 

@@ -3,37 +3,44 @@
 //! facade.
 //!
 //! The point of the two-command dance is that restore happens in a *fresh
-//! process* — nothing can leak through in-memory state, the snapshot file
-//! is the only channel:
+//! process* — nothing can leak through in-memory state, the snapshot files
+//! are the only channel:
 //!
 //! ```text
-//! # Phase 1: build a workload; the session's auto-checkpoint hook
-//! # (`checkpoint_every` + a file-writer sink) persists <dir>/snapshot.bin
-//! # exactly when the warmup completes; finish the stream in-process and
-//! # record the expected final clustering.
+//! # Phase 1: build a workload with background auto-checkpointing into a
+//! # directory store (full snapshot every 8th checkpoint, deltas in
+//! # between, keep_last(2) retention pruning).  The warmup's last update
+//! # lands exactly on a checkpoint boundary; the phase then verifies the
+//! # retention ledger against the files on disk, finishes the stream
+//! # in-process and records the expected final clustering.
 //! snapshot_ci checkpoint <dir>
 //!
-//! # Phase 2 (fresh process): restore from <dir>/snapshot.bin through the
-//! # *erased* `restore_any` registry (no concrete type named), replay the
-//! # same continuation, and fail unless the final clustering and the final
-//! # checkpoint bytes match phase 1 exactly.
+//! # Phase 2 (fresh process): read the newest full snapshot + delta chain
+//! # back from the directory, restore it through the *erased*
+//! # `restore_any_chain` registry path (no concrete type named), replay
+//! # the same continuation, and fail unless the final clustering and the
+//! # final checkpoint bytes match phase 1 exactly.
 //! snapshot_ci resume <dir>
 //! ```
 //!
 //! The workload is regenerated deterministically from a fixed seed in both
-//! phases, so the only state crossing the process boundary is the snapshot
-//! itself.
+//! phases, so the only state crossing the process boundary is the
+//! checkpoint chain itself.
 //!
 //! ```text
-//! # Maintain the committed format-stability fixture:
-//! snapshot_ci golden write tests/fixtures/golden_snapshot_v1.bin
-//! snapshot_ci golden check tests/fixtures/golden_snapshot_v1.bin
+//! # Maintain the committed format-stability fixtures:
+//! snapshot_ci golden write    tests/fixtures/golden_snapshot_v2.bin
+//! snapshot_ci golden check    tests/fixtures/golden_snapshot_v2.bin
+//! # Backward-compat gate: the legacy v1 fixture must keep restoring to
+//! # exactly the canonical state (its v2 re-encode equals `golden write`'s
+//! # output byte for byte):
+//! snapshot_ci golden check-v1 tests/fixtures/golden_snapshot_v1.bin
 //! ```
 
 use dynscan_bench::clustering_fingerprint;
 use dynscan_bench::snapshot::make_workload;
 use dynscan_bench::CheckpointBenchConfig;
-use dynscan_core::{restore_any, Backend, Params, Session};
+use dynscan_core::{restore_any, Backend, DirCheckpointStore, Params, Session, SnapshotKind};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -48,27 +55,37 @@ fn ci_config() -> CheckpointBenchConfig {
     }
 }
 
+/// Auto-checkpoint cadence of the gate.  `CHECKPOINT_EVERY` divides both
+/// the initial-insert count and the warmup batch size, so the 35th and
+/// last checkpoint fires exactly at the warmup boundary — the chain's end
+/// state equals the state the continuation starts from.
+const CHECKPOINT_EVERY: u64 = 128;
+const FULL_EVERY: u64 = 8;
+const KEEP_LAST: u64 = 2;
+
 fn ci_params(seed: u64) -> Params {
     // Sampled mode: the hardest configuration to resume bit-identically.
     Params::jaccard(0.3, 4).with_rho(0.25).with_seed(seed)
 }
 
-/// Build the session up to the checkpoint moment (phase 1 only).  The
-/// snapshot is written by the session's own auto-checkpoint hook, through
-/// a user-supplied `Write` factory targeting `<dir>/snapshot.bin`, fired
-/// exactly when the warmup's last update has been submitted.
+fn chain_dir(dir: &Path) -> PathBuf {
+    dir.join("chain")
+}
+
+/// Build the session up to the checkpoint moment (phase 1 only),
+/// auto-checkpointing full+delta chains into `<dir>/chain` with
+/// background encoding/I/O and retention pruning, then verify the
+/// retained documents are exactly what the policy promises.
 fn build_to_checkpoint(config: &CheckpointBenchConfig, dir: &Path) -> Result<Session, String> {
     let (initial, warmup, _) = make_workload(config);
-    let warmup_updates = (config.initial_edges + config.warmup_batches * config.batch_size) as u64;
-    let snapshot_path: PathBuf = dir.join("snapshot.bin");
     let mut session = Session::builder()
         .backend(Backend::DynStrClu)
         .params(ci_params(config.seed))
-        .checkpoint_every(warmup_updates)
-        .checkpoint_sink(move |_seq| {
-            let file = std::fs::File::create(&snapshot_path)?;
-            Ok(Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>)
-        })
+        .checkpoint_every(CHECKPOINT_EVERY)
+        .checkpoint_store(DirCheckpointStore::new(chain_dir(dir)))
+        .full_every(FULL_EVERY)
+        .keep_last(KEEP_LAST)
+        .background_checkpoints(true)
         .build()
         .map_err(|e| format!("build session: {e}"))?;
     for &(u, v) in &initial {
@@ -79,15 +96,55 @@ fn build_to_checkpoint(config: &CheckpointBenchConfig, dir: &Path) -> Result<Ses
     for batch in &warmup {
         session.apply_batch(batch);
     }
+    // Background mode: the last write may still be in flight.
+    session.wait_for_checkpoints();
     if let Some(error) = session.last_checkpoint_error() {
         return Err(format!("auto-checkpoint failed: {error}"));
     }
-    if session.checkpoints_written() != 1 {
+    let total_updates = (config.initial_edges + config.warmup_batches * config.batch_size) as u64;
+    let expected_checkpoints = total_updates / CHECKPOINT_EVERY;
+    if session.checkpoints_written() != expected_checkpoints {
         return Err(format!(
-            "expected exactly one auto-checkpoint at the warmup boundary, got {}",
+            "expected {expected_checkpoints} auto-checkpoints over {total_updates} updates, \
+             got {}",
             session.checkpoints_written()
         ));
     }
+    // Retention: everything older than the KEEP_LAST-th-newest full must
+    // be pruned, on the ledger *and* on disk.
+    let retained = session.retained_checkpoints();
+    let fulls: Vec<u64> = retained
+        .iter()
+        .filter(|&&(_, k)| k == SnapshotKind::Full)
+        .map(|&(s, _)| s)
+        .collect();
+    if fulls.len() as u64 != KEEP_LAST {
+        return Err(format!(
+            "retention must keep exactly {KEEP_LAST} full snapshots, ledger holds {fulls:?}"
+        ));
+    }
+    let expected_first = fulls[0];
+    if retained.first().map(|&(s, _)| s) != Some(expected_first)
+        || retained.last().map(|&(s, _)| s) != Some(expected_checkpoints - 1)
+    {
+        return Err(format!("unexpected retention ledger: {retained:?}"));
+    }
+    let on_disk = DirCheckpointStore::new(chain_dir(dir))
+        .list()
+        .map_err(|e| format!("list chain dir: {e}"))?;
+    let disk_view: Vec<(u64, SnapshotKind)> = on_disk.iter().map(|&(s, k, _)| (s, k)).collect();
+    if disk_view != retained {
+        return Err(format!(
+            "retention pruning drifted from the ledger: disk {disk_view:?} vs ledger {retained:?}"
+        ));
+    }
+    eprintln!(
+        "snapshot_ci: {} documents retained after pruning ({} fulls), chain resumes from \
+         seq {}",
+        retained.len(),
+        fulls.len(),
+        fulls.last().expect("KEEP_LAST ≥ 1")
+    );
     Ok(session)
 }
 
@@ -103,41 +160,54 @@ fn run_continuation(session: &mut Session, config: &CheckpointBenchConfig) -> (S
 
 fn phase_checkpoint(dir: &Path) -> Result<(), String> {
     let config = ci_config();
+    let _ = std::fs::remove_dir_all(chain_dir(dir));
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let mut session = build_to_checkpoint(&config, dir)?;
+    let session = build_to_checkpoint(&config, dir)?;
+    // Detach the backend from the auto-checkpoint hook for the
+    // continuation: the chain on disk must keep holding exactly the
+    // warmup-boundary state that phase 2 resumes from.
+    let mut session = Session::from_clusterer(session.into_inner());
     let edges_at_checkpoint = session.num_edges();
     let (fingerprint, final_bytes) = run_continuation(&mut session, &config);
-    // The checkpoint hook stays armed during the continuation; if a config
-    // change ever makes it fire again, snapshot.bin would silently hold a
-    // post-warmup state and phase 2 would double-apply the continuation.
-    // Fail here, next to the cause, instead.
-    if session.checkpoints_written() != 1 {
-        return Err(format!(
-            "the auto-checkpoint hook fired again during the continuation ({} checkpoints \
-             total) — snapshot.bin no longer holds the warmup-boundary state; raise \
-             checkpoint_every above the full workload length",
-            session.checkpoints_written()
-        ));
-    }
     std::fs::write(dir.join("expected_fingerprint.txt"), fingerprint)
         .map_err(|e| format!("write expected_fingerprint.txt: {e}"))?;
     std::fs::write(dir.join("expected_final.bin"), final_bytes)
         .map_err(|e| format!("write expected_final.bin: {e}"))?;
     eprintln!(
-        "snapshot_ci: auto-checkpointed {edges_at_checkpoint} edges mid-workload into {}",
-        dir.display()
+        "snapshot_ci: auto-checkpointed a full+delta chain at {edges_at_checkpoint} edges \
+         into {}",
+        chain_dir(dir).display()
     );
     Ok(())
 }
 
 fn phase_resume(dir: &Path) -> Result<(), String> {
     let config = ci_config();
-    let snapshot = std::fs::read(dir.join("snapshot.bin"))
-        .map_err(|e| format!("read snapshot.bin (run `snapshot_ci checkpoint` first): {e}"))?;
-    // Erased restore: the registry dispatches on the snapshot's algorithm
-    // tag; this phase never names a concrete algorithm type.
+    let docs = DirCheckpointStore::new(chain_dir(dir))
+        .read_chain()
+        .map_err(|e| format!("read chain (run `snapshot_ci checkpoint` first): {e}"))?;
+    // The gate must actually exercise delta replay: base + ≥ 1 delta.
+    let kinds: Vec<SnapshotKind> = docs
+        .iter()
+        .map(|doc| {
+            dynscan_graph::snapshot::peek_header(doc)
+                .map(|h| h.kind)
+                .map_err(|e| format!("peek chain document: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if kinds.first() != Some(&SnapshotKind::Full)
+        || !kinds[1..].iter().all(|&k| k == SnapshotKind::Delta)
+        || kinds.len() < 2
+    {
+        return Err(format!(
+            "expected a full snapshot followed by deltas, got {kinds:?}"
+        ));
+    }
+    // Erased restore: the registry dispatches on the base's algorithm
+    // tag; deltas are applied through the object-safe handle.  This phase
+    // never names a concrete algorithm type.
     let mut session =
-        Session::restore(&snapshot[..]).map_err(|e| format!("restore_any failed: {e}"))?;
+        Session::restore_chain(&docs).map_err(|e| format!("restore_any_chain failed: {e}"))?;
     let (fingerprint, final_bytes) = run_continuation(&mut session, &config);
     let expected_fingerprint = std::fs::read_to_string(dir.join("expected_fingerprint.txt"))
         .map_err(|e| format!("read expected_fingerprint.txt: {e}"))?;
@@ -154,15 +224,16 @@ fn phase_resume(dir: &Path) -> Result<(), String> {
         );
     }
     eprintln!(
-        "snapshot_ci: fresh-process resume via restore_any ({}) matched the uninterrupted \
-         run (clustering + {} final state bytes)",
+        "snapshot_ci: fresh-process resume from a base + {}-delta chain via restore_any_chain \
+         ({}) matched the uninterrupted run (clustering + {} final state bytes)",
+        kinds.len() - 1,
         session.algorithm_name(),
         final_bytes.len()
     );
     Ok(())
 }
 
-/// The canonical instance behind the committed golden fixture: small and
+/// The canonical instance behind the committed golden fixtures: small and
 /// fully deterministic, in sampled mode so estimator counters are
 /// exercised.
 fn golden_session() -> Session {
@@ -241,7 +312,39 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("unknown golden action `{other}` (use write|check)")),
+        "check-v1" => {
+            // Backward compatibility: the legacy fixture (never
+            // regenerated — the v1 writer is gone) must keep restoring,
+            // and to exactly the canonical state: its re-encode under the
+            // current format equals `golden write`'s output.
+            let committed =
+                std::fs::read(path).map_err(|e| format!("read fixture {}: {e}", path.display()))?;
+            let header = dynscan_graph::snapshot::peek_header(&committed)
+                .map_err(|e| format!("peek v1 fixture: {e}"))?;
+            if header.format_version != dynscan_graph::snapshot::FORMAT_VERSION_V1 {
+                return Err(format!(
+                    "expected a format-v1 fixture, found version {}",
+                    header.format_version
+                ));
+            }
+            let restored = restore_any(&committed[..])
+                .map_err(|e| format!("legacy v1 fixture no longer restores: {e}"))?;
+            if restored.checkpoint_bytes() != bytes {
+                return Err(
+                    "v1 fixture restores to different state than the canonical instance".into(),
+                );
+            }
+            eprintln!(
+                "snapshot_ci: legacy v1 fixture ({} bytes) still restores to the canonical \
+                 state under format v{}",
+                committed.len(),
+                dynscan_graph::snapshot::FORMAT_VERSION
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown golden action `{other}` (use write|check|check-v1)"
+        )),
     }
 }
 
@@ -251,9 +354,9 @@ fn main() -> ExitCode {
         [cmd, dir] if cmd == "checkpoint" => phase_checkpoint(Path::new(dir)),
         [cmd, dir] if cmd == "resume" => phase_resume(Path::new(dir)),
         [cmd, action, path] if cmd == "golden" => golden(action, Path::new(path)),
-        _ => Err(
-            "usage: snapshot_ci checkpoint <dir> | resume <dir> | golden write|check <path>".into(),
-        ),
+        _ => Err("usage: snapshot_ci checkpoint <dir> | resume <dir> | \
+             golden write|check|check-v1 <path>"
+            .into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -39,6 +39,7 @@ pub use parallel::{
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;
 pub use snapshot::{
-    checkpoint_rows_to_json, checkpoint_rows_to_table, run_checkpoint_vs_rebuild,
-    CheckpointBenchConfig, CheckpointBenchRow,
+    checkpoint_rows_to_json, checkpoint_rows_to_table, delta_rows_to_table,
+    run_checkpoint_vs_rebuild, run_delta_vs_full, CheckpointBenchConfig, CheckpointBenchRow,
+    DeltaBenchRow,
 };

@@ -220,6 +220,192 @@ where
     }
 }
 
+/// One measured delta-vs-full comparison row (format v2 differential
+/// snapshots): how much smaller and faster a delta capture is than a full
+/// capture after one bursty batch of churn.
+#[derive(Clone, Debug)]
+pub struct DeltaBenchRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Labelling mode.
+    pub mode: &'static str,
+    /// Edges in the graph at the measurement point.
+    pub edges: usize,
+    /// Updates applied between the base checkpoint and the delta.
+    pub churn_updates: usize,
+    /// `churn_updates / edges` — how small a slice of the state the burst
+    /// touched (the delta bars target bursts touching ≤ 10%).
+    pub churn_fraction: f64,
+    /// Full snapshot document size in bytes.
+    pub full_bytes: usize,
+    /// Delta document size in bytes.
+    pub delta_bytes: usize,
+    /// `full_bytes / delta_bytes`.
+    pub size_ratio: f64,
+    /// Wall-clock seconds to capture a full snapshot.
+    pub full_secs: f64,
+    /// Wall-clock seconds to capture the delta.
+    pub delta_secs: f64,
+    /// `full_secs / delta_secs`.
+    pub time_ratio: f64,
+    /// Whether base + delta restores byte-identically to the live state
+    /// (checkpoint bytes + continuation flips).
+    pub chain_identical: bool,
+}
+
+/// Measure delta-vs-full for one algorithm: build to the warmup boundary,
+/// take a full base checkpoint, apply **one** more bursty batch, then
+/// compare capturing that churn as a delta against re-serialising the
+/// full state — and verify base + delta replays to the live state
+/// byte-for-byte.
+fn compare_delta<A, F>(
+    config: &CheckpointBenchConfig,
+    algorithm: &'static str,
+    mode: &'static str,
+    make: F,
+) -> DeltaBenchRow
+where
+    A: BatchUpdate + Snapshot + Clone,
+    F: Fn() -> A,
+{
+    let (initial, warmup, continuation) = make_workload(config);
+    let mut live = make();
+    for chunk in initial
+        .iter()
+        .map(|&(u, v)| GraphUpdate::Insert(u, v))
+        .collect::<Vec<_>>()
+        .chunks(1024)
+    {
+        live.apply_batch(chunk);
+    }
+    for batch in &warmup {
+        live.apply_batch(batch);
+    }
+    // Base checkpoint: starts the delta chain.
+    let base_doc = {
+        let mut buf = Vec::new();
+        live.capture(false, 0).write_to(&mut buf).expect("base");
+        buf
+    };
+    // One bursty batch of churn.
+    let churn = &continuation[0];
+    live.apply_batch(churn);
+    let edges = live.num_edges();
+
+    // Full capture cost at the post-churn state.  `checkpoint_bytes`
+    // (the plain path) leaves the dirty tracker untouched, so the delta
+    // below still describes exactly the churn batch.
+    let mut full_runs = Vec::new();
+    let mut full_bytes = Vec::new();
+    for _ in 0..3 {
+        let (secs, bytes) = time(|| live.checkpoint_bytes());
+        full_runs.push(secs);
+        full_bytes = bytes;
+    }
+    // Delta capture cost: capturing consumes the dirty marks, so each
+    // repetition runs on a fresh clone of the live instance (the clone is
+    // taken outside the timed section).
+    let mut delta_runs = Vec::new();
+    for _ in 0..3 {
+        let mut twin = live.clone();
+        let (secs, capture) = time(|| twin.capture(true, 0));
+        assert_eq!(
+            capture.kind(),
+            dynscan_graph::SnapshotKind::Delta,
+            "{algorithm} ({mode}): churn capture must be differential"
+        );
+        delta_runs.push(secs);
+    }
+    // Chain equivalence: base + delta ≡ live, bytes and behaviour.
+    let delta_doc = {
+        let mut buf = Vec::new();
+        live.capture(true, 0).write_to(&mut buf).expect("delta");
+        buf
+    };
+    let mut restored = A::restore(&base_doc[..]).expect("base restores");
+    restored.apply_delta(&delta_doc).expect("delta applies");
+    let mut chain_identical =
+        Snapshot::checkpoint_bytes(&restored) == Snapshot::checkpoint_bytes(&live);
+    for batch in &continuation[1..] {
+        chain_identical &= live.apply_batch(batch) == restored.apply_batch(batch);
+    }
+
+    let full_secs = median_secs(full_runs);
+    let delta_secs = median_secs(delta_runs);
+    DeltaBenchRow {
+        algorithm,
+        mode,
+        edges,
+        churn_updates: churn.len(),
+        churn_fraction: churn.len() as f64 / edges.max(1) as f64,
+        full_bytes: full_bytes.len(),
+        delta_bytes: delta_doc.len(),
+        size_ratio: full_bytes.len() as f64 / delta_doc.len().max(1) as f64,
+        full_secs,
+        delta_secs,
+        time_ratio: full_secs / delta_secs.max(f64::EPSILON),
+        chain_identical,
+    }
+}
+
+/// Run the delta-vs-full comparison for all four backends.
+pub fn run_delta_vs_full(config: &CheckpointBenchConfig) -> Vec<DeltaBenchRow> {
+    vec![
+        // Headline: DynStrClu in sampled mode — the ≥ 5× size / ≥ 3×
+        // time delta bars apply to this row.
+        compare_delta(config, "DynStrClu", "sampled", || {
+            DynStrClu::new(sampled_params(config.seed))
+        }),
+        compare_delta(config, "DynStrClu", "exact-rho0", || {
+            DynStrClu::new(exact_params(config.seed))
+        }),
+        compare_delta(config, "DynELM", "sampled", || {
+            DynElm::new(sampled_params(config.seed))
+        }),
+        compare_delta(config, "pSCAN-like", "exact", || {
+            ExactDynScan::jaccard(0.3, 4)
+        }),
+    ]
+}
+
+/// Human-readable table of the delta rows.
+pub fn delta_rows_to_table(rows: &[DeltaBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:<10} {:>7} {:>6} {:>10} {:>10} {:>7} {:>9} {:>9} {:>7} {:>9}",
+        "algorithm",
+        "mode",
+        "edges",
+        "churn",
+        "full KiB",
+        "delta KiB",
+        "size x",
+        "full ms",
+        "delta ms",
+        "time x",
+        "identical"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:<10} {:>7} {:>6} {:>10.1} {:>10.1} {:>6.1}x {:>9.2} {:>9.2} {:>6.1}x {:>9}",
+            row.algorithm,
+            row.mode,
+            row.edges,
+            row.churn_updates,
+            row.full_bytes as f64 / 1024.0,
+            row.delta_bytes as f64 / 1024.0,
+            row.size_ratio,
+            row.full_secs * 1e3,
+            row.delta_secs * 1e3,
+            row.time_ratio,
+            row.chain_identical,
+        );
+    }
+    out
+}
+
 fn sampled_params(seed: u64) -> Params {
     Params::jaccard(0.3, 4).with_rho(0.25).with_seed(seed)
 }
@@ -256,6 +442,7 @@ pub fn run_checkpoint_vs_rebuild(config: &CheckpointBenchConfig) -> Vec<Checkpoi
 pub fn checkpoint_rows_to_json(
     config: &CheckpointBenchConfig,
     rows: &[CheckpointBenchRow],
+    delta_rows: &[DeltaBenchRow],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -291,6 +478,34 @@ pub fn checkpoint_rows_to_json(
             row.bit_identical,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"delta_rows\": [\n");
+    for (i, row) in delta_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"edges\": {}, \
+             \"churn_updates\": {}, \"churn_fraction\": {:.4}, \"full_bytes\": {}, \
+             \"delta_bytes\": {}, \"size_ratio\": {:.2}, \"full_secs\": {:.6}, \
+             \"delta_secs\": {:.6}, \"time_ratio\": {:.2}, \"chain_identical\": {}}}",
+            row.algorithm,
+            row.mode,
+            row.edges,
+            row.churn_updates,
+            row.churn_fraction,
+            row.full_bytes,
+            row.delta_bytes,
+            row.size_ratio,
+            row.full_secs,
+            row.delta_secs,
+            row.time_ratio,
+            row.chain_identical,
+        );
+        out.push_str(if i + 1 < delta_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -372,11 +587,41 @@ mod tests {
         let rows = vec![compare(&config, "DynELM", "sampled", || {
             DynElm::new(sampled_params(config.seed))
         })];
-        let json = checkpoint_rows_to_json(&config, &rows);
+        let delta_rows = vec![compare_delta(&config, "DynELM", "sampled", || {
+            DynElm::new(sampled_params(config.seed))
+        })];
+        let json = checkpoint_rows_to_json(&config, &rows, &delta_rows);
         assert!(json.contains("\"benchmark\": \"checkpoint_vs_rebuild\""));
         assert!(json.contains("\"restore_speedup\""));
+        assert!(json.contains("\"delta_rows\""));
+        assert!(json.contains("\"chain_identical\": true"));
         assert!(json.trim_end().ends_with('}'));
         let table = checkpoint_rows_to_table(&rows);
         assert!(table.contains("DynELM"));
+        let delta_table = delta_rows_to_table(&delta_rows);
+        assert!(delta_table.contains("delta KiB"));
+    }
+
+    #[test]
+    fn quick_delta_chain_is_identical_and_smaller() {
+        let config = CheckpointBenchConfig::quick();
+        let row = compare_delta(&config, "DynStrClu", "sampled", || {
+            DynStrClu::new(sampled_params(config.seed))
+        });
+        assert!(
+            row.chain_identical,
+            "base + delta must replay to the live state"
+        );
+        assert!(
+            row.delta_bytes < row.full_bytes,
+            "a one-burst delta must be smaller than the full snapshot \
+             ({} vs {} bytes)",
+            row.delta_bytes,
+            row.full_bytes
+        );
+        // The ≥ 5× / ≥ 3× acceptance bars are asserted by the
+        // release-mode `checkpoint_restore` bench; the unoptimised test
+        // profile only smoke-checks that the delta wins at all.
+        assert!(row.size_ratio > 1.0 && row.time_ratio > 0.0);
     }
 }

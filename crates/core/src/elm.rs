@@ -140,6 +140,11 @@ pub struct DynElm {
     pub(crate) relabel_counts: HashMap<EdgeKey, u64>,
     pub(crate) scratch: BatchScratch,
     pub(crate) stats: ElmStats,
+    /// Dirty-state bookkeeping for differential checkpoints: which
+    /// vertices/edges were touched since the last capture, plus the chain
+    /// position of that capture.  Starts all-dirty (marking disabled, so
+    /// instances that never checkpoint pay nothing); not serialised.
+    pub(crate) dirty: crate::snapshot::DirtyTracker,
     /// Execution pool the parallel re-estimation (and, through DynStrClu,
     /// the shard fan-out) runs on.  Runtime configuration, not state: it
     /// is not serialised, not compared, and a restored instance starts on
@@ -165,6 +170,7 @@ impl DynElm {
             relabel_counts: HashMap::new(),
             scratch: BatchScratch::default(),
             stats: ElmStats::default(),
+            dirty: crate::snapshot::DirtyTracker::new(),
             pool: ExecPool::global(),
         }
     }
@@ -218,6 +224,31 @@ impl DynElm {
         ElmStats {
             samples_drawn: self.strategy.samples_drawn(),
             ..self.stats
+        }
+    }
+
+    /// Drain the DT maturities pending at `touched`, feeding the dirty
+    /// tracker while marks are being collected: the tracked drain also
+    /// reports every signalled edge and the round restarts that moved
+    /// heap entries at the *far* endpoint.  The single source of the
+    /// drain/mark protocol for both the monolithic and the pipelined
+    /// batch engine — the untracked path stays log-free (all-dirty
+    /// instances pay nothing).
+    pub(crate) fn drain_touched_tracked(&mut self, touched: &[VertexId]) -> Vec<EdgeKey> {
+        if self.dirty.is_tracking() {
+            let mut drain_log = (Vec::new(), Vec::new());
+            let matured = self
+                .dt
+                .drain_ready_batch_tracked(touched.iter().copied(), &mut drain_log);
+            for v in drain_log.0 {
+                self.dirty.mark_vertex(v);
+            }
+            for key in drain_log.1 {
+                self.dirty.mark_edge(key);
+            }
+            matured
+        } else {
+            self.dt.drain_ready_batch(touched.iter().copied())
         }
     }
 
@@ -299,6 +330,10 @@ impl DynElm {
             self.dt.increment(u);
             self.dt.increment(w);
             let key = EdgeKey::new(u, w);
+            // Differential checkpointing: the update touches both
+            // endpoints' per-vertex state and the edge itself (no-op
+            // while all-dirty, i.e. before the first checkpoint).
+            self.dirty.mark_update(u, w, key);
             pre_labels.push((key, self.labels.get(&key).copied()));
             if is_insert {
                 self.graph.insert_edge(u, w).expect("existence checked");
@@ -324,7 +359,7 @@ impl DynElm {
 
         // Phase 2 — deduplicated cross-batch drain: each touched endpoint
         // is drained once, however many updates hit it.
-        let matured = self.dt.drain_ready_batch(touched.iter().copied());
+        let matured = self.drain_touched_tracked(&touched);
         self.stats.dt_maturities += matured.len() as u64;
         let mut jobs = std::mem::take(&mut self.scratch.jobs);
         jobs.clear();
@@ -332,6 +367,11 @@ impl DynElm {
         affected.extend(new_edges.iter().copied());
         affected.sort_unstable();
         for &key in &affected {
+            // Re-registration in phase 4 rewrites the edge's label,
+            // invocation counter, coordinator and both endpoints' heap
+            // entries.
+            let (a, b) = key.endpoints();
+            self.dirty.mark_update(a, b, key);
             pre_labels.push((key, self.labels.get(&key).copied()));
             let k = self
                 .relabel_counts

@@ -83,6 +83,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod session;
 pub mod snapshot;
+pub mod store;
 pub mod strclu;
 pub mod traits;
 
@@ -93,12 +94,14 @@ pub use elm::{DynElm, ElmStats, FlippedEdge};
 pub use params::Params;
 pub use pool::ExecPool;
 pub use session::{
-    register_backend, restore_any, restore_any_with_info, AutoBatchPolicy, Backend, Session,
-    SessionBuilder, SessionError, SnapshotInfo,
+    register_backend, restore_any, restore_any_chain, restore_any_with_info, AutoBatchPolicy,
+    Backend, Session, SessionBuilder, SessionError, SnapshotInfo,
 };
+pub use snapshot::{CheckpointCapture, DirtyTracker};
+pub use store::{CheckpointStore, DirCheckpointStore};
 pub use strclu::DynStrClu;
 pub use traits::{BatchUpdate, Clusterer, DynamicClustering, Snapshot, UpdateError};
 
 // Re-export the vocabulary types users need alongside the algorithms.
-pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, SnapshotError, VertexId};
+pub use dynscan_graph::{EdgeKey, GraphError, GraphUpdate, SnapshotError, SnapshotKind, VertexId};
 pub use dynscan_sim::{EdgeLabel, SimilarityMeasure};

@@ -142,6 +142,10 @@ impl DynElm {
             self.dt.increment(u);
             self.dt.increment(w);
             let key = EdgeKey::new(u, w);
+            // Differential checkpointing: same marks as the monolithic
+            // engine's phase 1 (stage A1's graph changes touch exactly
+            // these endpoints).
+            self.dirty.mark_update(u, w, key);
             pre_labels.push((key, self.labels.get(&key).copied()));
             if update.is_insert() {
                 new_edges.push(key);
@@ -158,13 +162,15 @@ impl DynElm {
             touched.push(w);
         }
 
-        let matured = self.dt.drain_ready_batch(touched.iter().copied());
+        let matured = self.drain_touched_tracked(&touched);
         self.stats.dt_maturities += matured.len() as u64;
         let mut affected = matured;
         affected.extend(new_edges.iter().copied());
         affected.sort_unstable();
         let mut jobs = Vec::with_capacity(affected.len());
         for &key in &affected {
+            let (a, b) = key.endpoints();
+            self.dirty.mark_update(a, b, key);
             pre_labels.push((key, self.labels.get(&key).copied()));
             let k = self
                 .relabel_counts

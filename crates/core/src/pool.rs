@@ -158,6 +158,23 @@ impl ExecPool {
         }
     }
 
+    /// Fire-and-forget: run `task` on the pool without blocking the
+    /// caller — the background-checkpointing primitive (`Session` encodes
+    /// a capture's document and streams it into the sink off the update
+    /// thread).  The task owns its data and must synchronise completion
+    /// itself (the session uses a mutex/condvar slot); a panic inside it
+    /// is contained to the task.  On the spawn-per-batch reference
+    /// executor the task gets a plain detached thread.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        match &self.kind {
+            PoolKind::Global => rayon::global().spawn_detached(task),
+            PoolKind::Dedicated(pool) => pool.spawn_detached(task),
+            PoolKind::SpawnPerBatch { .. } => {
+                std::thread::spawn(task);
+            }
+        }
+    }
+
     /// Run every task to completion, fanning out across the pool (the
     /// shard fan-out primitive).  Tasks may borrow caller data.
     pub fn fan_out<'a, F>(&self, tasks: Vec<F>)

@@ -1,0 +1,265 @@
+//! Where automatic checkpoints go: the [`CheckpointStore`] abstraction
+//! and a ready-made directory-backed implementation.
+//!
+//! The [`crate::Session`]'s auto-checkpointing needs more than a `Write`
+//! factory once retention enters the picture: pruning old full+delta
+//! chains requires *removing* documents by sequence number.  A store is
+//! therefore a factory keyed by `(sequence, kind)` plus a best-effort
+//! `remove`.  The legacy closure-based sink
+//! ([`crate::SessionBuilder::checkpoint_sink`]) still works — it adapts
+//! into a store whose `remove` is a no-op, so retention bookkeeping
+//! proceeds but nothing is physically deleted.
+//!
+//! [`DirCheckpointStore`] writes one file per document
+//! (`ckpt-<seq>-<kind>.snap`), really deletes on `remove`, and can read
+//! the **resume chain** back: the newest full snapshot plus every delta
+//! written after it, in order — exactly what
+//! [`crate::restore_any_chain`] consumes.  The fresh-process `snapshot_ci`
+//! gate drives this end to end.
+
+use dynscan_graph::SnapshotKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Destination of automatic checkpoints: a writer factory keyed by the
+/// checkpoint's sequence number and kind, plus best-effort removal for
+/// retention pruning.
+pub trait CheckpointStore: Send {
+    /// Open the destination for the document with this sequence number.
+    fn writer(&mut self, seq: u64, kind: SnapshotKind) -> io::Result<Box<dyn std::io::Write>>;
+
+    /// Remove the document with this sequence number (retention pruning).
+    /// Best-effort: the default implementation does nothing, which is
+    /// correct for sinks that cannot delete (append-only logs, the legacy
+    /// closure sink).
+    fn remove(&mut self, seq: u64) -> io::Result<()> {
+        let _ = seq;
+        Ok(())
+    }
+
+    /// The documents already present in the store from previous process
+    /// lifetimes, in sequence order (empty means "unknown or none").  A
+    /// session seeds its numbering *past* the last entry — so a restarted
+    /// run's new documents sort after the previous run's leftovers and
+    /// [`DirCheckpointStore::read_chain`] never resumes a stale chain —
+    /// and seeds its retention ledger *with* them, so `keep_last` prunes
+    /// the previous lifetimes' chains too instead of letting a reused
+    /// directory grow without bound.
+    fn existing_documents(&self) -> Vec<(u64, SnapshotKind)> {
+        Vec::new()
+    }
+}
+
+/// Adapter giving the legacy closure sink (`FnMut(seq) -> io::Result<Box
+/// dyn Write>>`) a [`CheckpointStore`] face.
+pub(crate) struct SinkStore {
+    pub(crate) sink: Box<crate::session::CheckpointSinkFn>,
+}
+
+impl CheckpointStore for SinkStore {
+    fn writer(&mut self, seq: u64, _kind: SnapshotKind) -> io::Result<Box<dyn std::io::Write>> {
+        (self.sink)(seq)
+    }
+}
+
+/// One file per checkpoint document in a directory:
+/// `ckpt-<seq, 8 digits>-<full|delta>.snap`.
+#[derive(Debug, Clone)]
+pub struct DirCheckpointStore {
+    dir: PathBuf,
+}
+
+impl DirCheckpointStore {
+    /// A store rooted at `dir` (created lazily on the first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DirCheckpointStore { dir: dir.into() }
+    }
+
+    /// The directory the store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(seq: u64, kind: SnapshotKind) -> String {
+        format!("ckpt-{seq:08}-{kind}.snap")
+    }
+
+    fn parse_name(name: &str) -> Option<(u64, SnapshotKind)> {
+        let rest = name.strip_prefix("ckpt-")?.strip_suffix(".snap")?;
+        let (seq, kind) = rest.split_once('-')?;
+        let seq: u64 = seq.parse().ok()?;
+        let kind = match kind {
+            "full" => SnapshotKind::Full,
+            "delta" => SnapshotKind::Delta,
+            _ => return None,
+        };
+        Some((seq, kind))
+    }
+
+    /// Every checkpoint document currently in the directory, sorted by
+    /// sequence number.
+    pub fn list(&self) -> io::Result<Vec<(u64, SnapshotKind, PathBuf)>> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((seq, kind)) = Self::parse_name(name) {
+                out.push((seq, kind, entry.path()));
+            }
+        }
+        out.sort_by_key(|&(seq, _, _)| seq);
+        Ok(out)
+    }
+
+    /// The resume chain: the newest full snapshot plus every delta after
+    /// it, in sequence order — the input of
+    /// [`crate::restore_any_chain`].  Errors with
+    /// [`io::ErrorKind::NotFound`] when the directory holds no full
+    /// snapshot.
+    pub fn read_chain(&self) -> io::Result<Vec<Vec<u8>>> {
+        let all = self.list()?;
+        let Some(base) = all
+            .iter()
+            .rposition(|&(_, kind, _)| kind == SnapshotKind::Full)
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no full snapshot in {}", self.dir.display()),
+            ));
+        };
+        all[base..]
+            .iter()
+            .map(|(_, _, path)| std::fs::read(path))
+            .collect()
+    }
+}
+
+/// Writes into `<final>.tmp` and renames onto the final name on `flush`
+/// (the snapshot writer flushes exactly once, after the full document):
+/// a crash mid-write leaves only a `.tmp` file, which
+/// [`DirCheckpointStore::list`] ignores, so a truncated document can
+/// never shadow an intact older chain as the resume base.
+struct AtomicFileWriter {
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl std::io::Write for AtomicFileWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.file.as_mut() {
+            Some(file) => file.write(buf),
+            None => Err(io::Error::other("checkpoint file already published")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(mut file) = self.file.take() {
+            file.flush()?;
+            drop(file);
+            std::fs::rename(&self.tmp_path, &self.final_path)?;
+        }
+        Ok(())
+    }
+}
+
+impl CheckpointStore for DirCheckpointStore {
+    fn writer(&mut self, seq: u64, kind: SnapshotKind) -> io::Result<Box<dyn std::io::Write>> {
+        std::fs::create_dir_all(&self.dir)?;
+        let final_path = self.dir.join(Self::file_name(seq, kind));
+        let tmp_path = self.dir.join(format!("{}.tmp", Self::file_name(seq, kind)));
+        let file = std::fs::File::create(&tmp_path)?;
+        Ok(Box::new(AtomicFileWriter {
+            tmp_path,
+            final_path,
+            file: Some(std::io::BufWriter::new(file)),
+        }))
+    }
+
+    fn remove(&mut self, seq: u64) -> io::Result<()> {
+        for kind in [SnapshotKind::Full, SnapshotKind::Delta] {
+            let name = Self::file_name(seq, kind);
+            // Also sweep the staging name: a failed write leaves its
+            // `.tmp` behind (the atomic rename never ran), and sequence
+            // numbers are never reused, so this is the only place the
+            // orphan would ever be collected.
+            for candidate in [name.clone(), format!("{name}.tmp")] {
+                match std::fs::remove_file(self.dir.join(candidate)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn existing_documents(&self) -> Vec<(u64, SnapshotKind)> {
+        self.list()
+            .map(|docs| docs.into_iter().map(|(seq, kind, _)| (seq, kind)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dynscan-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dir_store_roundtrips_and_prunes() {
+        let dir = temp_dir("roundtrip");
+        let mut store = DirCheckpointStore::new(&dir);
+        for (seq, kind, body) in [
+            (0u64, SnapshotKind::Full, b"f0".as_slice()),
+            (1, SnapshotKind::Delta, b"d1".as_slice()),
+            (2, SnapshotKind::Full, b"f2".as_slice()),
+            (3, SnapshotKind::Delta, b"d3".as_slice()),
+        ] {
+            let mut w = store.writer(seq, kind).unwrap();
+            w.write_all(body).unwrap();
+            w.flush().unwrap();
+        }
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 4);
+        assert_eq!(listed[0].0, 0);
+        assert_eq!(listed[3].1, SnapshotKind::Delta);
+        // The chain starts at the newest full.
+        let chain = store.read_chain().unwrap();
+        assert_eq!(chain, vec![b"f2".to_vec(), b"d3".to_vec()]);
+        // Removal really deletes; removing a missing seq is fine.
+        store.remove(0).unwrap();
+        store.remove(0).unwrap();
+        assert_eq!(store.list().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chain_without_a_full_is_not_found() {
+        let dir = temp_dir("nofull");
+        let mut store = DirCheckpointStore::new(&dir);
+        let mut w = store.writer(5, SnapshotKind::Delta).unwrap();
+        w.write_all(b"d").unwrap();
+        drop(w);
+        assert_eq!(
+            store.read_chain().unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        // An empty / missing directory lists as empty.
+        let missing = DirCheckpointStore::new(dir.join("missing"));
+        assert!(missing.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

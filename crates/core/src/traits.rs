@@ -7,8 +7,11 @@
 
 use crate::cluster::{group_by_from_clustering, StrCluResult};
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
+use crate::snapshot::CheckpointCapture;
 use crate::strclu::DynStrClu;
-use dynscan_graph::{GraphError, GraphUpdate, MemoryFootprint, SnapshotError, VertexId};
+use dynscan_graph::{
+    GraphError, GraphUpdate, MemoryFootprint, SnapshotError, SnapshotKind, VertexId,
+};
 use std::fmt;
 
 /// Why a single update was rejected, with its cause — the typed
@@ -208,6 +211,49 @@ pub trait Snapshot: Sized {
             .expect("writing to a Vec cannot fail");
         buf
     }
+
+    /// Capture a checkpoint for the differential chain: a delta encoding
+    /// only the state touched since the previous capture when
+    /// `prefer_delta` holds and a base exists, a full snapshot otherwise
+    /// (the actual kind is on the returned capture).  Capturing clears
+    /// the instance's dirty marks and advances its chain position; the
+    /// returned [`CheckpointCapture`] is fully encoded but not yet
+    /// written, so framing + I/O can run off the update thread.
+    ///
+    /// `wall_time_millis` (ms since the Unix epoch; 0 = unstamped) is
+    /// recorded in the document header.
+    fn capture(&mut self, prefer_delta: bool, wall_time_millis: u64) -> CheckpointCapture;
+
+    /// Apply one differential document on top of this instance, which
+    /// must sit exactly at the delta's base (freshly restored or just
+    /// captured, no mutations in between) — otherwise
+    /// [`SnapshotError::DeltaBaseMismatch`] or a corruption error is
+    /// returned.  **On error the instance may hold partially merged
+    /// state and must be discarded.**
+    fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+
+    /// Convenience: capture and write a full snapshot, restarting the
+    /// delta chain.
+    fn checkpoint_full<W: std::io::Write>(
+        &mut self,
+        w: W,
+        wall_time_millis: u64,
+    ) -> Result<(), SnapshotError> {
+        self.capture(false, wall_time_millis).write_to(w)
+    }
+
+    /// Convenience: capture and write a delta (or a full snapshot when no
+    /// base exists yet); returns which kind was written.
+    fn checkpoint_delta<W: std::io::Write>(
+        &mut self,
+        w: W,
+        wall_time_millis: u64,
+    ) -> Result<SnapshotKind, SnapshotError> {
+        let capture = self.capture(true, wall_time_millis);
+        let kind = capture.kind();
+        capture.write_to(w)?;
+        Ok(kind)
+    }
 }
 
 /// The unified, **object-safe** engine interface: everything a service (or
@@ -268,6 +314,25 @@ pub trait Clusterer: BatchUpdate + Send {
         self.checkpoint_to(&mut buf)
             .expect("writing to a Vec cannot fail");
         buf
+    }
+
+    /// Erased counterpart of [`Snapshot::capture`]: capture a full or
+    /// differential checkpoint, encoded but not yet written.
+    fn capture_checkpoint(
+        &mut self,
+        prefer_delta: bool,
+        wall_time_millis: u64,
+    ) -> CheckpointCapture;
+
+    /// Erased counterpart of [`Snapshot::apply_delta`].  **On error the
+    /// instance may hold partially merged state and must be discarded.**
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+
+    /// A handle to the execution pool this backend's parallel work runs
+    /// on — the `Session` rides background checkpoint encoding/I/O on the
+    /// same pool.  Backends without one report the global pool.
+    fn exec_pool_handle(&self) -> crate::pool::ExecPool {
+        crate::pool::ExecPool::global()
     }
 }
 
@@ -377,6 +442,22 @@ impl Clusterer for DynElm {
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
     }
+
+    fn capture_checkpoint(
+        &mut self,
+        prefer_delta: bool,
+        wall_time_millis: u64,
+    ) -> CheckpointCapture {
+        Snapshot::capture(self, prefer_delta, wall_time_millis)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        Snapshot::apply_delta(self, bytes)
+    }
+
+    fn exec_pool_handle(&self) -> crate::pool::ExecPool {
+        self.exec_pool().clone()
+    }
 }
 
 impl Clusterer for DynStrClu {
@@ -395,6 +476,22 @@ impl Clusterer for DynStrClu {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn capture_checkpoint(
+        &mut self,
+        prefer_delta: bool,
+        wall_time_millis: u64,
+    ) -> CheckpointCapture {
+        Snapshot::capture(self, prefer_delta, wall_time_millis)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        Snapshot::apply_delta(self, bytes)
+    }
+
+    fn exec_pool_handle(&self) -> crate::pool::ExecPool {
+        self.exec_pool().clone()
     }
 }
 

@@ -32,7 +32,7 @@ pub mod heap;
 pub mod registry;
 
 pub use coordinator::{Coordinator, CoordinatorState, SignalOutcome};
-pub use heap::DtHeap;
+pub use heap::{DtHeap, ParticipantEntry};
 pub use registry::DtRegistry;
 
 /// Number of participants of every DT instance (an edge has two endpoints).

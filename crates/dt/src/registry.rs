@@ -119,6 +119,29 @@ impl DtRegistry {
     /// instances are removed and the caller is expected to relabel the edges
     /// and [`DtRegistry::register`] them again with fresh thresholds.
     pub fn drain_ready(&mut self, v: VertexId) -> Vec<EdgeKey> {
+        self.drain_ready_inner(v, None)
+    }
+
+    /// [`DtRegistry::drain_ready`] with a dirty log for differential
+    /// checkpointing: every edge that received a signal (its coordinator
+    /// state advanced, matured or not) is appended to `log.1`, and every
+    /// vertex *other than `v`* whose heap entry was modified by a round
+    /// restart or a maturity removal is appended to `log.0`.  The drained
+    /// vertex `v` itself is the caller's responsibility — its counter and
+    /// heap are always touched by the surrounding update.
+    pub fn drain_ready_tracked(
+        &mut self,
+        v: VertexId,
+        log: &mut (Vec<VertexId>, Vec<EdgeKey>),
+    ) -> Vec<EdgeKey> {
+        self.drain_ready_inner(v, Some(log))
+    }
+
+    fn drain_ready_inner(
+        &mut self,
+        v: VertexId,
+        mut log: Option<&mut (Vec<VertexId>, Vec<EdgeKey>)>,
+    ) -> Vec<EdgeKey> {
         let mut matured = Vec::new();
         if v.index() >= self.heaps.len() {
             return matured;
@@ -138,6 +161,9 @@ impl DtRegistry {
                 .get_mut(&key)
                 .expect("tracked edge has a coordinator")
                 .on_signal(|| [s_v - entry.round_start, s_nb - other_entry.round_start]);
+            if let Some(log) = log.as_deref_mut() {
+                log.1.push(key);
+            }
             match outcome {
                 SignalOutcome::ContinueRound { slack } => {
                     // Same round: only this participant's checkpoint moves.
@@ -165,11 +191,17 @@ impl DtRegistry {
                             checkpoint: s_nb + slack,
                         },
                     );
+                    if let Some(log) = log.as_deref_mut() {
+                        log.0.push(nb);
+                    }
                 }
                 SignalOutcome::Mature => {
                     self.heaps[nb.index()].remove(v);
                     self.coordinators.remove(&key);
                     matured.push(key);
+                    if let Some(log) = log.as_deref_mut() {
+                        log.0.push(nb);
+                    }
                 }
             }
         }
@@ -197,18 +229,165 @@ impl DtRegistry {
     where
         I: IntoIterator<Item = VertexId>,
     {
+        self.drain_ready_batch_inner(vertices, None)
+    }
+
+    /// [`DtRegistry::drain_ready_batch`] with the dirty log of
+    /// [`DtRegistry::drain_ready_tracked`]: the batch engine's
+    /// differential checkpointing needs to know every vertex and edge
+    /// whose DT state a drain touched beyond the drained set itself.
+    pub fn drain_ready_batch_tracked<I>(
+        &mut self,
+        vertices: I,
+        log: &mut (Vec<VertexId>, Vec<EdgeKey>),
+    ) -> Vec<EdgeKey>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        self.drain_ready_batch_inner(vertices, Some(log))
+    }
+
+    fn drain_ready_batch_inner<I>(
+        &mut self,
+        vertices: I,
+        mut log: Option<&mut (Vec<VertexId>, Vec<EdgeKey>)>,
+    ) -> Vec<EdgeKey>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
         let mut seen: Vec<VertexId> = vertices.into_iter().collect();
         seen.sort_unstable();
         seen.dedup();
         let mut matured = Vec::new();
         for v in seen {
-            matured.extend(self.drain_ready(v));
+            matured.extend(self.drain_ready_inner(v, log.as_deref_mut()));
         }
         // Maturity removes the coordinator, so an edge can only be
         // reported by the drain of one endpoint; dedup is defensive.
         matured.sort_unstable();
         matured.dedup();
         matured
+    }
+
+    /// One participant-side heap entry, if the edge is tracked: the entry
+    /// vertex `v` holds for its neighbour `nb`.
+    pub fn heap_entry(&self, v: VertexId, nb: VertexId) -> Option<ParticipantEntry> {
+        self.heaps.get(v.index())?.get(nb)
+    }
+
+    /// The mid-round protocol state of one edge's coordinator, if tracked.
+    pub fn coordinator_state(&self, key: EdgeKey) -> Option<CoordinatorState> {
+        self.coordinators.get(&key).map(Coordinator::state)
+    }
+
+    /// Delta restore: set one vertex's shared counter (growing the vertex
+    /// space as needed).  The caller must finish with
+    /// [`DtRegistry::validate`] — partial application is not a consistent
+    /// registry.
+    pub fn delta_set_counter(&mut self, v: VertexId, counter: u64) {
+        self.ensure_vertices(v.index() + 1);
+        self.counters[v.index()] = counter;
+    }
+
+    /// Delta restore: install or replace the heap entry `v` holds for its
+    /// neighbour `nb`.
+    pub fn delta_set_entry(&mut self, v: VertexId, nb: VertexId, entry: ParticipantEntry) {
+        self.ensure_vertices(v.index().max(nb.index()) + 1);
+        let heap = &mut self.heaps[v.index()];
+        if heap.get(nb).is_some() {
+            heap.reset(nb, entry);
+        } else {
+            heap.insert(nb, entry);
+        }
+    }
+
+    /// Delta restore: drop the heap entry `v` holds for `nb`, if present.
+    pub fn delta_remove_entry(&mut self, v: VertexId, nb: VertexId) {
+        if let Some(heap) = self.heaps.get_mut(v.index()) {
+            heap.remove(nb);
+        }
+    }
+
+    /// Delta restore: install (or replace) one edge's coordinator from its
+    /// serialised protocol state.
+    pub fn delta_set_coordinator(
+        &mut self,
+        key: EdgeKey,
+        state: CoordinatorState,
+    ) -> Result<(), SnapshotError> {
+        let coordinator = Coordinator::from_state(state)
+            .ok_or(SnapshotError::Corrupt("inconsistent coordinator state"))?;
+        let (u, v) = key.endpoints();
+        self.ensure_vertices(u.index().max(v.index()) + 1);
+        self.coordinators.insert(key, coordinator);
+        Ok(())
+    }
+
+    /// Delta restore: drop one edge's coordinator (its heap entries are
+    /// replaced through [`DtRegistry::delta_remove_entry`] by the caller).
+    pub fn delta_remove_coordinator(&mut self, key: EdgeKey) {
+        self.coordinators.remove(&key);
+    }
+
+    /// Grow the vertex space to exactly match a snapshot's recorded size
+    /// (growth only; a shrink is a corrupt delta).  The allocation is
+    /// fallible: a crafted document declaring an absurd vertex count
+    /// errors instead of aborting on allocation failure.
+    pub fn delta_grow_vertices(&mut self, n: usize) -> Result<(), SnapshotError> {
+        if n < self.counters.len() {
+            return Err(SnapshotError::Corrupt("delta shrinks the DT vertex space"));
+        }
+        let grow = n - self.counters.len();
+        self.counters
+            .try_reserve_exact(grow)
+            .and_then(|()| self.heaps.try_reserve_exact(grow))
+            .map_err(|_| SnapshotError::Corrupt("DT vertex space exceeds available memory"))?;
+        self.ensure_vertices(n);
+        Ok(())
+    }
+
+    /// Cross-check heaps and coordinators against each other — the same
+    /// invariants [`DtRegistry::read_snapshot`] enforces during a full
+    /// decode, callable after a sequence of delta mutators.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let n = self.counters.len();
+        if self.heaps.len() != n {
+            return Err(SnapshotError::Corrupt(
+                "counter/heap vector length mismatch",
+            ));
+        }
+        let mut heap_entries = 0usize;
+        for (v, heap) in self.heaps.iter().enumerate() {
+            for (neighbour, _) in heap.entries() {
+                if neighbour.index() >= n || neighbour.index() == v {
+                    return Err(SnapshotError::Corrupt("heap entry neighbour out of range"));
+                }
+                let key = EdgeKey::new(VertexId(v as u32), neighbour);
+                if !self.coordinators.contains_key(&key) {
+                    return Err(SnapshotError::Corrupt("heap entry without a coordinator"));
+                }
+                heap_entries += 1;
+            }
+        }
+        for key in self.coordinators.keys() {
+            let (u, v) = key.endpoints();
+            if v.index() >= n {
+                return Err(SnapshotError::Corrupt(
+                    "coordinator edge out of vertex range",
+                ));
+            }
+            if self.heaps[u.index()].get(v).is_none() || self.heaps[v.index()].get(u).is_none() {
+                return Err(SnapshotError::Corrupt(
+                    "coordinator missing its heap entries",
+                ));
+            }
+        }
+        if heap_entries != 2 * self.coordinators.len() {
+            return Err(SnapshotError::Corrupt(
+                "heap entries not paired with coordinators",
+            ));
+        }
+        Ok(())
     }
 
     /// Serialise the full tracking state — shared counters, per-vertex

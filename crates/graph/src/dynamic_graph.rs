@@ -194,6 +194,13 @@ impl DynGraph {
         }
     }
 
+    /// Mutable access to the raw parts for the in-place delta-restore path
+    /// (see [`crate::snapshot`]); the caller re-validates and restores the
+    /// edge-count invariant before returning.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<IndexedSet>, &mut usize) {
+        (&mut self.adjacency, &mut self.num_edges)
+    }
+
     /// The exact size of the intersection of the closed neighbourhoods of
     /// `u` and `v`, i.e. `a = |N\[u\] ∩ N\[v\]|` in the paper's notation.
     ///

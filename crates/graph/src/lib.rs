@@ -51,7 +51,9 @@ pub use edge::EdgeKey;
 pub use error::GraphError;
 pub use footprint::MemoryFootprint;
 pub use indexed_set::IndexedSet;
-pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SnapshotHeader};
+pub use snapshot::{
+    DocumentMeta, SnapReader, SnapWriter, SnapshotError, SnapshotHeader, SnapshotKind,
+};
 pub use update::GraphUpdate;
 pub use vertex::VertexId;
 pub use view::{FrozenNeighbourhoods, NeighbourhoodView};

@@ -12,24 +12,65 @@
 //! order, so future sampled label decisions consume identical random bits.
 //!
 //! The format is deliberately simple and fully hand-rolled (the vendored
-//! `serde` is a marker stub):
+//! `serde` is a marker stub).  A **version 2** document is:
 //!
 //! ```text
-//! magic   : 8 bytes  b"DSCNSNAP"
-//! version : u32 LE   (FORMAT_VERSION)
-//! algo    : u32 LE   (which structure the payload describes)
-//! length  : u64 LE   (payload byte count)
-//! checksum: u64 LE   (FNV-1a over the payload bytes)
-//! payload : `length` bytes of length-prefixed sections
+//! magic    : 8 bytes  b"DSCNSNAP"
+//! version  : u32 LE   (FORMAT_VERSION = 2)
+//! algo     : u32 LE   (which structure the payload describes)
+//! kind     : u32 LE   (0 = full snapshot, 1 = differential snapshot)
+//! sequence : u64 LE   (0 for a full snapshot; k ≥ 1 for the k-th delta
+//!                      of its chain)
+//! base     : u64 LE   (checksum of the predecessor document a delta
+//!                      applies to; 0 for a full snapshot)
+//! wallclock: u64 LE   (milliseconds since the Unix epoch at write time;
+//!                      0 = unstamped — the deterministic export paths
+//!                      write 0 so equal state keeps producing equal bytes)
+//! length   : u64 LE   (payload byte count)
+//! checksum : u64 LE   (FNV-1a over the payload bytes)
+//! payload  : `length` bytes of length-prefixed sections
 //! ```
+//!
+//! The legacy **version 1** header (32 bytes: magic, version, algo,
+//! length, checksum — no kind/sequence/base/wallclock) is still *read*:
+//! every v1 document is a full snapshot, and the decoders accept both
+//! versions so committed v1 checkpoints keep restoring.  Only v2 is
+//! written.
+//!
+//! # Differential snapshots (v2)
+//!
+//! A *delta* document (kind = 1) encodes only the state touched since the
+//! previous checkpoint of the same chain.  The chain is
+//! `full, delta₁, delta₂, …`: each document's `base` field carries the
+//! payload checksum of its predecessor, and `sequence` its 1-based
+//! position, so a reader can refuse to apply a delta to the wrong base
+//! ([`SnapshotError::DeltaBaseMismatch`]) or out of order.  Replaying
+//! `full + delta₁ + … + deltaₖ` reconstructs **byte-identical** state to a
+//! full snapshot taken at the same moment (the payload encodings are
+//! canonical functions of the semantic state).  The per-algorithm delta
+//! payloads live next to their full payloads (`dynscan_core::snapshot`,
+//! `dynscan_baseline`); this module only defines the framing.
+//!
+//! # Sections and robustness
 //!
 //! A *section* is `tag: u32, len: u64, bytes`, so readers can verify they
 //! are looking at the field they expect and corrupt files fail loudly
-//! ([`SnapshotError`]) instead of deserialising garbage.  All map- or
-//! set-shaped state is emitted in sorted key order, making the encoding a
-//! canonical function of the semantic state: two instances with equal state
-//! produce byte-identical snapshots, which the golden-fixture test and the
+//! ([`SnapshotError`]) instead of deserialising garbage.  Every header and
+//! section read is length-checked — truncated or bit-flipped input of any
+//! shape yields an `Err`, never a panic (pinned by the corruption
+//! proptests in `tests/snapshot_corruption.rs`).  All map- or set-shaped
+//! state is emitted in sorted key order, making the encoding a canonical
+//! function of the semantic state: two instances with equal state produce
+//! byte-identical snapshots, which the golden-fixture test and the
 //! checkpoint CI gate rely on.
+//!
+//! # Retention (one level up)
+//!
+//! Chains bound restore cost and retention policy together:
+//! `dynscan_core::Session` writes a full snapshot every *k*-th automatic
+//! checkpoint (`full_every`) and prunes all documents older than the
+//! *n*-th-newest full (`keep_last`), so the store always holds at most
+//! `n` resumable chains and every chain has at most `k − 1` deltas.
 
 use crate::dynamic_graph::DynGraph;
 use crate::edge::EdgeKey;
@@ -41,13 +82,80 @@ use std::io::Read as _;
 /// Magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"DSCNSNAP";
 
-/// Size of the fixed document header in bytes
-/// (magic + version + algo tag + payload length + checksum).
-pub const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8;
+/// Size of the fixed document header of the **current** format version
+/// ([`FORMAT_VERSION`]): magic + version + algo + kind + sequence + base
+/// checksum + wall-clock stamp + payload length + checksum.
+pub const HEADER_LEN: usize = HEADER_LEN_V2;
+
+/// Size of the legacy version-1 header (magic + version + algo + payload
+/// length + checksum).
+pub const HEADER_LEN_V1: usize = 8 + 4 + 4 + 8 + 8;
+
+/// Size of the version-2 header.
+pub const HEADER_LEN_V2: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
 
 /// Current snapshot format version.  Bump on any incompatible layout
 /// change and regenerate `tests/fixtures/golden_snapshot_v*.bin`.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The legacy format version the readers still accept (full snapshots
+/// only; see the [module docs](self)).
+pub const FORMAT_VERSION_V1: u32 = 1;
+
+/// Whether a document holds the complete state or a differential update
+/// against a base document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SnapshotKind {
+    /// The complete live state; restorable on its own.
+    #[default]
+    Full,
+    /// Only the state touched since the predecessor document; applies on
+    /// top of the chain identified by the header's base checksum.
+    Delta,
+}
+
+impl SnapshotKind {
+    fn tag(self) -> u32 {
+        match self {
+            SnapshotKind::Full => 0,
+            SnapshotKind::Delta => 1,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(SnapshotKind::Full),
+            1 => Ok(SnapshotKind::Delta),
+            _ => Err(SnapshotError::Corrupt("unknown snapshot kind tag")),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnapshotKind::Full => "full",
+            SnapshotKind::Delta => "delta",
+        })
+    }
+}
+
+/// The v2 header fields beyond magic/version/algo/length/checksum — what a
+/// writer chooses per document.  [`Default`] is a deterministic full
+/// snapshot (sequence 0, no base, unstamped).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DocumentMeta {
+    /// Full or differential.
+    pub kind: SnapshotKind,
+    /// Chain position: 0 for a full snapshot, k ≥ 1 for the k-th delta.
+    pub sequence: u64,
+    /// Payload checksum of the predecessor document (deltas only; 0 for
+    /// full snapshots).
+    pub base_checksum: u64,
+    /// Wall-clock stamp in milliseconds since the Unix epoch; 0 means
+    /// unstamped (the deterministic export paths).
+    pub wall_time_millis: u64,
+}
 
 /// Why a snapshot could not be read back.
 #[derive(Debug)]
@@ -85,6 +193,19 @@ pub enum SnapshotError {
         /// Section tag found.
         found: u32,
     },
+    /// A differential snapshot was supplied where a full snapshot is
+    /// required (a delta cannot restore on its own — apply it to the
+    /// restored base instead).
+    UnexpectedDelta,
+    /// A differential snapshot references a different base document than
+    /// the state it was applied to.
+    DeltaBaseMismatch {
+        /// Checksum of the document the target state was restored from or
+        /// last checkpointed as.
+        expected: u64,
+        /// Base checksum the delta's header declares.
+        found: u64,
+    },
     /// The data decoded but violates an invariant of the target structure.
     Corrupt(&'static str),
 }
@@ -97,7 +218,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported snapshot version {found} (supported: {FORMAT_VERSION})"
+                    "unsupported snapshot version {found} (supported: \
+                     {FORMAT_VERSION_V1}..={FORMAT_VERSION})"
                 )
             }
             SnapshotError::AlgorithmMismatch { expected, found } => {
@@ -121,6 +243,20 @@ impl fmt::Display for SnapshotError {
                     "unexpected snapshot section {found:#x}, expected {expected:#x}"
                 )
             }
+            SnapshotError::UnexpectedDelta => {
+                write!(
+                    f,
+                    "differential snapshot where a full snapshot is required \
+                     (restore its base first, then apply the delta chain)"
+                )
+            }
+            SnapshotError::DeltaBaseMismatch { expected, found } => {
+                write!(
+                    f,
+                    "differential snapshot applies to base {found:#018x}, but the \
+                     target state's last document is {expected:#018x}"
+                )
+            }
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
     }
@@ -142,6 +278,25 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Length-checked little-endian `u32` at `offset` (no panic on short
+/// input — truncated headers error instead).
+fn le_u32_at(bytes: &[u8], offset: usize) -> Result<u32, SnapshotError> {
+    let end = offset.checked_add(4).ok_or(SnapshotError::Truncated)?;
+    let slice = bytes.get(offset..end).ok_or(SnapshotError::Truncated)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(slice);
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Length-checked little-endian `u64` at `offset`.
+fn le_u64_at(bytes: &[u8], offset: usize) -> Result<u64, SnapshotError> {
+    let end = offset.checked_add(8).ok_or(SnapshotError::Truncated)?;
+    let slice = bytes.get(offset..end).ok_or(SnapshotError::Truncated)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(slice);
+    Ok(u64::from_le_bytes(buf))
 }
 
 /// Append-only payload writer with fixed-width little-endian primitives.
@@ -269,23 +424,28 @@ impl<'a> SnapReader<'a> {
         }
     }
 
-    /// Read a little-endian `u32`.
+    /// Read a little-endian `u32` (length-checked).
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let slice = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(slice);
+        Ok(u32::from_le_bytes(buf))
     }
 
-    /// Read a little-endian `u64`.
+    /// Read a little-endian `u64` (length-checked).
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let slice = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(slice);
+        Ok(u64::from_le_bytes(buf))
     }
 
-    /// Read a length written by [`SnapWriter::len_prefix`]; lengths that
+    /// Read a length written by [`SnapWriter::len_prefix`].  Lengths that
     /// could not possibly fit the remaining bytes are rejected up front so
-    /// corrupt files cannot trigger huge allocations.
+    /// corrupt files cannot trigger huge allocations, and the `u64 →
+    /// usize` conversion is checked — on a 32-bit target an
+    /// address-space-exceeding length is a decode error, never a silent
+    /// truncation.
     pub fn len_prefix(&mut self) -> Result<usize, SnapshotError> {
         let x = self.u64()?;
         if x > self.remaining() as u64 {
@@ -293,7 +453,24 @@ impl<'a> SnapReader<'a> {
                 "length prefix exceeds remaining bytes",
             ));
         }
-        Ok(x as usize)
+        usize::try_from(x).map_err(|_| {
+            SnapshotError::Corrupt("length prefix exceeds the platform's address space")
+        })
+    }
+
+    /// Read a count written by [`SnapWriter::len_prefix`] whose elements
+    /// are *not* materialised in the following bytes (e.g. a vertex-space
+    /// size in a differential section, where untouched vertices are
+    /// implied).  [`SnapReader::len_prefix`]'s remaining-bytes bound would
+    /// wrongly reject such counts; this one bounds by the 32-bit id space
+    /// instead, with the same checked `u64 → usize` conversion.
+    pub fn count_prefix(&mut self) -> Result<usize, SnapshotError> {
+        let x = self.u64()?;
+        if x > u64::from(u32::MAX) + 1 {
+            return Err(SnapshotError::Corrupt("count exceeds the vertex id space"));
+        }
+        usize::try_from(x)
+            .map_err(|_| SnapshotError::Corrupt("count exceeds the platform's address space"))
     }
 
     /// Read an `f64` bit pattern.
@@ -342,14 +519,69 @@ impl<'a> SnapReader<'a> {
     }
 }
 
-/// Write a full snapshot document (header + checksummed payload) to `w`.
+/// Write a deterministic **full** snapshot document (v2 header with
+/// [`DocumentMeta::default`] + checksummed payload) to `w`.  Equal payload
+/// bytes produce equal documents — the canonical-encoding path every
+/// byte-identity test relies on.
 pub fn write_document(
+    w: impl std::io::Write,
+    algo_tag: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    write_document_meta(w, algo_tag, &DocumentMeta::default(), payload)?;
+    Ok(())
+}
+
+/// Write a v2 snapshot document with explicit [`DocumentMeta`] (kind,
+/// chain position, base checksum, wall-clock stamp).  Returns the payload
+/// checksum, which a chained writer records as the next delta's base.
+pub fn write_document_meta(
+    w: impl std::io::Write,
+    algo_tag: u32,
+    meta: &DocumentMeta,
+    payload: &[u8],
+) -> Result<u64, SnapshotError> {
+    let checksum = fnv1a(payload);
+    write_document_prechecked(w, algo_tag, meta, payload, checksum)?;
+    Ok(checksum)
+}
+
+/// [`write_document_meta`] with a checksum the caller already computed
+/// (`CheckpointCapture` hashes the payload once at capture time; hashing
+/// multi-megabyte full payloads a second time at write time would be a
+/// pure waste).  The caller is responsible for `checksum == fnv1a(payload)`
+/// — a wrong value produces a document every reader rejects.
+pub fn write_document_prechecked(
+    mut w: impl std::io::Write,
+    algo_tag: u32,
+    meta: &DocumentMeta,
+    payload: &[u8],
+    checksum: u64,
+) -> Result<(), SnapshotError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&algo_tag.to_le_bytes())?;
+    w.write_all(&meta.kind.tag().to_le_bytes())?;
+    w.write_all(&meta.sequence.to_le_bytes())?;
+    w.write_all(&meta.base_checksum.to_le_bytes())?;
+    w.write_all(&meta.wall_time_millis.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&checksum.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a legacy **version 1** document.  Kept so the backward-compat
+/// gate and the corruption tests can produce v1 bytes on demand; live code
+/// always writes v2.
+pub fn write_document_v1(
     mut w: impl std::io::Write,
     algo_tag: u32,
     payload: &[u8],
 ) -> Result<(), SnapshotError> {
     w.write_all(&MAGIC)?;
-    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&FORMAT_VERSION_V1.to_le_bytes())?;
     w.write_all(&algo_tag.to_le_bytes())?;
     w.write_all(&(payload.len() as u64).to_le_bytes())?;
     w.write_all(&fnv1a(payload).to_le_bytes())?;
@@ -361,40 +593,86 @@ pub fn write_document(
 /// The fixed-size document header, decoded without touching the payload.
 ///
 /// Surfaced through `dynscan_core`'s `restore_any_with_info` so services
-/// can log what they are restoring (format version, algorithm, payload
-/// size) before — or without — paying for the payload decode.
+/// can log what they are restoring (format version, algorithm, kind, chain
+/// position, payload size) before — or without — paying for the payload
+/// decode.  For a v1 document the v2-only fields take their full-snapshot
+/// defaults (kind [`SnapshotKind::Full`], sequence 0, base 0, unstamped).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SnapshotHeader {
-    /// The writer's format version (always [`FORMAT_VERSION`] after a
-    /// successful peek; newer versions are rejected).
+    /// The writer's format version ([`FORMAT_VERSION_V1`] or
+    /// [`FORMAT_VERSION`] after a successful peek; newer versions are
+    /// rejected).
     pub format_version: u32,
     /// Which structure the payload describes.
     pub algo_tag: u32,
+    /// Full or differential.
+    pub kind: SnapshotKind,
+    /// Chain position (0 = full, k ≥ 1 = k-th delta).
+    pub sequence: u64,
+    /// Payload checksum of the predecessor document (deltas only).
+    pub base_checksum: u64,
+    /// Wall-clock stamp in ms since the Unix epoch (0 = unstamped).
+    pub wall_time_millis: u64,
     /// Payload byte count declared by the header.
     pub payload_len: u64,
     /// FNV-1a checksum of the payload declared by the header.
     pub checksum: u64,
 }
 
+impl SnapshotHeader {
+    /// Byte length of this document's fixed header (version-dependent).
+    pub fn header_len(&self) -> usize {
+        match self.format_version {
+            FORMAT_VERSION_V1 => HEADER_LEN_V1,
+            _ => HEADER_LEN_V2,
+        }
+    }
+}
+
 /// Decode a snapshot's header without decoding the payload, verifying
-/// magic and version first.
+/// magic and version first.  Accepts both format versions; every read is
+/// length-checked, so arbitrarily short input errors instead of panicking.
 pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
-    if bytes.len() < HEADER_LEN {
+    if bytes.len() < 12 {
         return Err(SnapshotError::Truncated);
     }
     if bytes[0..8] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion { found: version });
+    let version = le_u32_at(bytes, 8)?;
+    match version {
+        FORMAT_VERSION_V1 => {
+            if bytes.len() < HEADER_LEN_V1 {
+                return Err(SnapshotError::Truncated);
+            }
+            Ok(SnapshotHeader {
+                format_version: version,
+                algo_tag: le_u32_at(bytes, 12)?,
+                kind: SnapshotKind::Full,
+                sequence: 0,
+                base_checksum: 0,
+                wall_time_millis: 0,
+                payload_len: le_u64_at(bytes, 16)?,
+                checksum: le_u64_at(bytes, 24)?,
+            })
+        }
+        FORMAT_VERSION => {
+            if bytes.len() < HEADER_LEN_V2 {
+                return Err(SnapshotError::Truncated);
+            }
+            Ok(SnapshotHeader {
+                format_version: version,
+                algo_tag: le_u32_at(bytes, 12)?,
+                kind: SnapshotKind::from_tag(le_u32_at(bytes, 16)?)?,
+                sequence: le_u64_at(bytes, 20)?,
+                base_checksum: le_u64_at(bytes, 28)?,
+                wall_time_millis: le_u64_at(bytes, 36)?,
+                payload_len: le_u64_at(bytes, 44)?,
+                checksum: le_u64_at(bytes, 52)?,
+            })
+        }
+        found => Err(SnapshotError::UnsupportedVersion { found }),
     }
-    Ok(SnapshotHeader {
-        format_version: version,
-        algo_tag: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
-        payload_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-        checksum: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
-    })
 }
 
 /// Read the algorithm tag out of a snapshot header without decoding the
@@ -407,42 +685,137 @@ pub fn peek_algo_tag(bytes: &[u8]) -> Result<u32, SnapshotError> {
     Ok(peek_header(bytes)?.algo_tag)
 }
 
-/// Read a full snapshot document from `r`, verifying magic, version,
-/// algorithm tag and checksum; returns the payload bytes.
-pub fn read_document(mut r: impl std::io::Read, algo_tag: u32) -> Result<Vec<u8>, SnapshotError> {
-    let mut header = [0u8; 8 + 4 + 4 + 8 + 8];
-    r.read_exact(&mut header).map_err(|e| {
+/// Split an in-memory document into its verified header and payload:
+/// magic, version, algorithm tag, declared length and checksum are all
+/// validated.  Accepts both full and delta documents of either format
+/// version — callers that require a full snapshot check `header.kind`.
+pub fn split_document(
+    bytes: &[u8],
+    algo_tag: u32,
+) -> Result<(SnapshotHeader, &[u8]), SnapshotError> {
+    let header = peek_header(bytes)?;
+    if header.algo_tag != algo_tag {
+        return Err(SnapshotError::AlgorithmMismatch {
+            expected: algo_tag,
+            found: header.algo_tag,
+        });
+    }
+    let start = header.header_len();
+    let len = usize::try_from(header.payload_len)
+        .map_err(|_| SnapshotError::Corrupt("payload length exceeds the address space"))?;
+    let end = start.checked_add(len).ok_or(SnapshotError::Truncated)?;
+    let payload = bytes.get(start..end).ok_or(SnapshotError::Truncated)?;
+    if fnv1a(payload) != header.checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok((header, payload))
+}
+
+/// Read a **full** snapshot document from `r`, verifying magic, version
+/// (v1 or v2), algorithm tag, kind and checksum; returns the payload
+/// bytes.  A differential document is rejected with
+/// [`SnapshotError::UnexpectedDelta`] — restore its base first.
+pub fn read_document(r: impl std::io::Read, algo_tag: u32) -> Result<Vec<u8>, SnapshotError> {
+    let (header, payload) = read_document_meta(r, algo_tag)?;
+    if header.kind != SnapshotKind::Full {
+        return Err(SnapshotError::UnexpectedDelta);
+    }
+    Ok(payload)
+}
+
+/// Like [`read_document`], but accepts both kinds and returns the decoded
+/// header alongside the verified payload.
+pub fn read_document_meta(
+    mut r: impl std::io::Read,
+    algo_tag: u32,
+) -> Result<(SnapshotHeader, Vec<u8>), SnapshotError> {
+    // The two header layouts share their first 12 bytes (magic + version);
+    // read those, decide the layout, then read the version-specific rest.
+    let mut prefix = [0u8; HEADER_LEN_V2];
+    read_exact_or_truncated(&mut r, &mut prefix[..12])?;
+    if prefix[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = le_u32_at(&prefix, 8)?;
+    let header_len = match version {
+        FORMAT_VERSION_V1 => HEADER_LEN_V1,
+        FORMAT_VERSION => HEADER_LEN_V2,
+        found => return Err(SnapshotError::UnsupportedVersion { found }),
+    };
+    read_exact_or_truncated(&mut r, &mut prefix[12..header_len])?;
+    let header = peek_header(&prefix[..header_len])?;
+    if header.algo_tag != algo_tag {
+        return Err(SnapshotError::AlgorithmMismatch {
+            expected: algo_tag,
+            found: header.algo_tag,
+        });
+    }
+    let mut payload = Vec::new();
+    r.take(header.payload_len).read_to_end(&mut payload)?;
+    if payload.len() as u64 != header.payload_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if fnv1a(&payload) != header.checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok((header, payload))
+}
+
+fn read_exact_or_truncated(mut r: impl std::io::Read, buf: &mut [u8]) -> Result<(), SnapshotError> {
+    r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             SnapshotError::Truncated
         } else {
             SnapshotError::Io(e)
         }
-    })?;
-    if header[0..8] != MAGIC {
-        return Err(SnapshotError::BadMagic);
+    })
+}
+
+/// Validate a decoded adjacency structure (range, self-loops, duplicates
+/// already rejected during decode): symmetry and half-edge parity.
+/// Returns the edge count.  Shared by the full decode and the delta-apply
+/// path.
+fn validate_adjacency(adjacency: &[IndexedSet]) -> Result<usize, SnapshotError> {
+    let mut half_edges: usize = 0;
+    for adj in adjacency {
+        half_edges += adj.len();
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion { found: version });
+    if !half_edges.is_multiple_of(2) {
+        return Err(SnapshotError::Corrupt("odd half-edge count"));
     }
-    let found_tag = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
-    if found_tag != algo_tag {
-        return Err(SnapshotError::AlgorithmMismatch {
-            expected: algo_tag,
-            found: found_tag,
-        });
+    for (v, adj) in adjacency.iter().enumerate() {
+        for x in adj.iter() {
+            if !adjacency[x.index()].contains(VertexId(v as u32)) {
+                return Err(SnapshotError::Corrupt("asymmetric adjacency"));
+            }
+        }
     }
-    let len = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-    let checksum = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
-    let mut payload = Vec::new();
-    r.take(len).read_to_end(&mut payload)?;
-    if payload.len() as u64 != len {
-        return Err(SnapshotError::Truncated);
+    Ok(half_edges / 2)
+}
+
+/// Decode one vertex's adjacency list (length + slots, in slot order) into
+/// an [`IndexedSet`], validating range, self-loops and duplicates against
+/// the vertex space `n`.
+fn read_adjacency_list(
+    r: &mut SnapReader<'_>,
+    v: usize,
+    n: usize,
+) -> Result<IndexedSet, SnapshotError> {
+    let d = r.len_prefix()?;
+    let mut set = IndexedSet::with_capacity(d);
+    for _ in 0..d {
+        let x = r.vertex()?;
+        if x.index() >= n {
+            return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
+        }
+        if x.index() == v {
+            return Err(SnapshotError::Corrupt("self-loop in adjacency"));
+        }
+        if !set.insert(x) {
+            return Err(SnapshotError::Corrupt("duplicate neighbour in adjacency"));
+        }
     }
-    if fnv1a(&payload) != checksum {
-        return Err(SnapshotError::ChecksumMismatch);
-    }
-    Ok(payload)
+    Ok(set)
 }
 
 impl DynGraph {
@@ -470,37 +843,68 @@ impl DynGraph {
     pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
         let n = r.len_prefix()?;
         let mut adjacency: Vec<IndexedSet> = Vec::with_capacity(n);
-        let mut half_edges: usize = 0;
         for v in 0..n {
-            let d = r.len_prefix()?;
-            let mut set = IndexedSet::with_capacity(d);
-            for _ in 0..d {
-                let x = r.vertex()?;
-                if x.index() >= n {
-                    return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
-                }
-                if x.index() == v {
-                    return Err(SnapshotError::Corrupt("self-loop in adjacency"));
-                }
-                if !set.insert(x) {
-                    return Err(SnapshotError::Corrupt("duplicate neighbour in adjacency"));
-                }
-            }
-            half_edges += set.len();
-            adjacency.push(set);
+            adjacency.push(read_adjacency_list(r, v, n)?);
         }
         r.finish()?;
-        if !half_edges.is_multiple_of(2) {
-            return Err(SnapshotError::Corrupt("odd half-edge count"));
-        }
-        for (v, adj) in adjacency.iter().enumerate() {
-            for x in adj.iter() {
-                if !adjacency[x.index()].contains(VertexId(v as u32)) {
-                    return Err(SnapshotError::Corrupt("asymmetric adjacency"));
-                }
+        let edges = validate_adjacency(&adjacency)?;
+        Ok(DynGraph::from_parts(adjacency, edges))
+    }
+
+    /// Serialise only the adjacency of `dirty` vertices (which must be
+    /// sorted), prefixed by the current vertex-space size — the graph
+    /// section of a differential snapshot.
+    pub fn write_snapshot_delta(&self, w: &mut SnapWriter, dirty: &[VertexId]) {
+        w.len_prefix(self.num_vertices());
+        w.len_prefix(dirty.len());
+        for &v in dirty {
+            w.vertex(v);
+            let adj = self.neighbours(v).as_slice();
+            w.len_prefix(adj.len());
+            for &x in adj {
+                w.vertex(x);
             }
         }
-        Ok(DynGraph::from_parts(adjacency, half_edges / 2))
+    }
+
+    /// Apply a [`DynGraph::write_snapshot_delta`] section **in place**:
+    /// grow the vertex space to the recorded size, replace only the
+    /// recorded vertices' adjacency (slot order preserved), and
+    /// re-validate the whole structure (symmetry, parity, ranges).  The
+    /// vertex space never shrinks; a delta declaring fewer vertices than
+    /// present is corrupt.  On error the graph may hold partially merged
+    /// state — callers discard the instance (the contract of every
+    /// delta-apply path).
+    pub fn apply_snapshot_delta(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        // The vertex-space size is a bare count (untouched vertices are
+        // implied), so the byte-bounded `len_prefix` does not apply — and
+        // the growth allocation is fallible, so a crafted count yields an
+        // error instead of an allocation abort.
+        let n = r.count_prefix()?;
+        if n < self.num_vertices() {
+            return Err(SnapshotError::Corrupt("delta shrinks the vertex space"));
+        }
+        let (adjacency, num_edges) = self.parts_mut();
+        adjacency
+            .try_reserve_exact(n - adjacency.len())
+            .map_err(|_| SnapshotError::Corrupt("vertex space exceeds available memory"))?;
+        adjacency.resize_with(n, IndexedSet::default);
+        let dirty_count = r.len_prefix()?;
+        let mut last: Option<VertexId> = None;
+        for _ in 0..dirty_count {
+            let v = r.vertex()?;
+            if v.index() >= n {
+                return Err(SnapshotError::Corrupt("dirty vertex outside vertex space"));
+            }
+            if last.is_some_and(|p| p >= v) {
+                return Err(SnapshotError::Corrupt("dirty vertices not sorted"));
+            }
+            last = Some(v);
+            adjacency[v.index()] = read_adjacency_list(r, v.index(), n)?;
+        }
+        r.finish()?;
+        *num_edges = validate_adjacency(adjacency)?;
+        Ok(())
     }
 }
 
@@ -574,6 +978,7 @@ mod tests {
         };
         let mut doc = Vec::new();
         write_document(&mut doc, 7, &payload).unwrap();
+        assert_eq!(doc.len(), HEADER_LEN_V2 + payload.len());
         assert_eq!(read_document(&doc[..], 7).unwrap(), payload);
         // Wrong algorithm tag.
         assert!(matches!(
@@ -613,6 +1018,66 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_still_read() {
+        let payload = {
+            let mut w = SnapWriter::new();
+            w.u64(77);
+            w.into_bytes()
+        };
+        let mut doc = Vec::new();
+        write_document_v1(&mut doc, 9, &payload).unwrap();
+        assert_eq!(doc.len(), HEADER_LEN_V1 + payload.len());
+        assert_eq!(read_document(&doc[..], 9).unwrap(), payload);
+        let header = peek_header(&doc).unwrap();
+        assert_eq!(header.format_version, FORMAT_VERSION_V1);
+        assert_eq!(header.kind, SnapshotKind::Full);
+        assert_eq!(header.sequence, 0);
+        assert_eq!(header.header_len(), HEADER_LEN_V1);
+        let (split_header, split_payload) = split_document(&doc, 9).unwrap();
+        assert_eq!(split_header, header);
+        assert_eq!(split_payload, &payload[..]);
+    }
+
+    #[test]
+    fn delta_documents_carry_chain_metadata_and_are_rejected_as_full() {
+        let payload = {
+            let mut w = SnapWriter::new();
+            w.u64(5);
+            w.into_bytes()
+        };
+        let meta = DocumentMeta {
+            kind: SnapshotKind::Delta,
+            sequence: 3,
+            base_checksum: 0xabcd,
+            wall_time_millis: 1_700_000_000_000,
+        };
+        let mut doc = Vec::new();
+        let checksum = write_document_meta(&mut doc, 7, &meta, &payload).unwrap();
+        assert_eq!(checksum, fnv1a(&payload));
+        let header = peek_header(&doc).unwrap();
+        assert_eq!(header.kind, SnapshotKind::Delta);
+        assert_eq!(header.sequence, 3);
+        assert_eq!(header.base_checksum, 0xabcd);
+        assert_eq!(header.wall_time_millis, 1_700_000_000_000);
+        // A delta is not restorable on its own.
+        assert!(matches!(
+            read_document(&doc[..], 7),
+            Err(SnapshotError::UnexpectedDelta)
+        ));
+        // …but the meta-aware reader hands it over with its header.
+        let (h, p) = read_document_meta(&doc[..], 7).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(p, payload);
+        // An out-of-range kind tag is corrupt, not a panic.
+        let mut bad = doc.clone();
+        bad[16] = 9;
+        assert!(matches!(
+            peek_header(&bad),
+            Err(SnapshotError::Corrupt("unknown snapshot kind tag"))
+        ));
+    }
+
+    #[test]
     fn peek_header_reads_without_decoding() {
         let payload = {
             let mut w = SnapWriter::new();
@@ -624,15 +1089,28 @@ mod tests {
         let header = peek_header(&doc).unwrap();
         assert_eq!(header.format_version, FORMAT_VERSION);
         assert_eq!(header.algo_tag, 42);
+        assert_eq!(header.kind, SnapshotKind::Full);
         assert_eq!(header.payload_len, payload.len() as u64);
         assert_eq!(header.checksum, fnv1a(&payload));
-        assert!(matches!(
-            peek_header(&doc[..16]),
-            Err(SnapshotError::Truncated)
-        ));
+        // Truncation anywhere in the header errors, never panics.
+        for cut in 0..HEADER_LEN_V2 {
+            assert!(
+                matches!(peek_header(&doc[..cut]), Err(SnapshotError::Truncated)),
+                "cut at {cut}"
+            );
+        }
         let mut bad = doc;
         bad[2] ^= 0xff;
         assert!(matches!(peek_header(&bad), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.len_prefix(), Err(SnapshotError::Corrupt(_))));
     }
 
     #[test]
@@ -665,6 +1143,60 @@ mod tests {
         let restored2 = roundtrip(&g2);
         assert_eq!(restored2.num_vertices(), 5);
         assert_eq!(restored2.num_edges(), 0);
+    }
+
+    #[test]
+    fn graph_delta_replays_to_the_full_snapshot() {
+        let mut g = DynGraph::new();
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 2), (2, 3)] {
+            g.insert_edge(v(a), v(b)).unwrap();
+        }
+        let mut base = g.clone();
+        // Mutate: touch vertices 0, 2, 4, 5.
+        g.delete_edge(v(0), v(2)).unwrap();
+        g.insert_edge(v(4), v(5)).unwrap();
+        g.insert_edge(v(2), v(5)).unwrap();
+        let mut w = SnapWriter::new();
+        g.write_snapshot_delta(&mut w, &[v(0), v(2), v(4), v(5)]);
+        let bytes = w.into_bytes();
+        base.apply_snapshot_delta(&mut SnapReader::new(&bytes))
+            .expect("delta applies");
+        assert_eq!(base.num_edges(), g.num_edges());
+        for x in g.vertices() {
+            assert_eq!(
+                base.neighbours(x).as_slice(),
+                g.neighbours(x).as_slice(),
+                "vertex {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_delta_rejects_asymmetry_and_shrink() {
+        let mut g = DynGraph::new();
+        g.insert_edge(v(0), v(1)).unwrap();
+        // A delta rewriting vertex 0's list to [2] breaks symmetry while
+        // keeping the half-edge count even (0 → [2], 1 → [0], 2 → []).
+        let mut w = SnapWriter::new();
+        w.len_prefix(3); // n grows to 3
+        w.len_prefix(1); // one dirty vertex
+        w.vertex(v(0));
+        w.len_prefix(1);
+        w.vertex(v(2));
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            g.clone().apply_snapshot_delta(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt("asymmetric adjacency"))
+        ));
+        // Shrinking the vertex space is corrupt.
+        let mut w = SnapWriter::new();
+        w.len_prefix(1);
+        w.len_prefix(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            g.apply_snapshot_delta(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt("delta shrinks the vertex space"))
+        ));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Decoder robustness: arbitrary truncations and single-byte corruptions
+//! of valid snapshot documents — v1 and v2, full and delta — must always
+//! yield an `Err`, never a panic and never a silently-wrong restore.
+//!
+//! "Silently wrong" is defined tightly: if a corrupted document *does*
+//! restore (possible only when the flipped byte sits in a header field
+//! that does not participate in decoding, e.g. the wall-clock stamp),
+//! the restored state must re-encode to exactly the bytes the pristine
+//! document's state re-encodes to.  Every byte that *does* matter —
+//! magic, version, algorithm tag, kind, base checksum, lengths, payload —
+//! is covered by an explicit validation (the payload wholesale by the
+//! FNV-1a checksum), so a flip there errors out.
+
+use dynscan_core::{restore_any, DynStrClu, GraphUpdate, Params, Snapshot, VertexId};
+use dynscan_graph::snapshot::{peek_header, write_document_v1, HEADER_LEN_V2};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// The pristine documents every case corrupts: a v2 full snapshot, a v2
+/// delta on top of it, a legacy v1 document of the same state, and the
+/// canonical re-encodes of the base and the post-delta state.
+struct Fixture {
+    base_v2: Vec<u8>,
+    base_v1: Vec<u8>,
+    delta: Vec<u8>,
+    /// `checkpoint_bytes` of the base state (deterministic re-encode).
+    base_state: Vec<u8>,
+    /// `checkpoint_bytes` of the state after the delta.
+    delta_state: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        // Sampled mode, with churn, so every section is non-trivial.
+        let params = Params::jaccard(0.3, 3).with_rho(0.2).with_seed(0xc0_44u64);
+        let mut live = DynStrClu::new(params);
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                if (a + b) % 3 != 0 {
+                    live.insert_edge(v(a), v(b)).unwrap();
+                }
+            }
+        }
+        live.apply_batch(&[
+            GraphUpdate::Delete(v(1), v(2)),
+            GraphUpdate::Insert(v(0), v(9)),
+        ]);
+        let base_capture = live.capture(false, 0);
+        let base_v2 = base_capture.to_bytes();
+        // Same state as a legacy v1 document: v1 header + the identical
+        // payload (the payload encoding did not change between versions).
+        let header = peek_header(&base_v2).unwrap();
+        let payload = &base_v2[header.header_len()..];
+        let mut base_v1 = Vec::new();
+        write_document_v1(&mut base_v1, header.algo_tag, payload).unwrap();
+        let base_state = Snapshot::checkpoint_bytes(&live);
+        // A delta with graph churn, label flips and tombstones.
+        live.apply_batch(&[
+            GraphUpdate::Delete(v(0), v(3)),
+            GraphUpdate::Insert(v(1), v(2)),
+            GraphUpdate::Insert(v(2), v(9)),
+        ]);
+        let delta = live.capture(true, 0).to_bytes();
+        let delta_state = Snapshot::checkpoint_bytes(&live);
+        Fixture {
+            base_v2,
+            base_v1,
+            delta,
+            base_state,
+            delta_state,
+        }
+    })
+}
+
+/// Every way this harness consumes a full document must reject (or
+/// faithfully restore) the given bytes — and never panic.
+fn check_full_document(doc: &[u8], pristine_state: &[u8]) {
+    // Typed restore.
+    if let Ok(restored) = DynStrClu::restore(doc) {
+        assert_eq!(
+            Snapshot::checkpoint_bytes(&restored),
+            pristine_state,
+            "corrupted document restored to different state"
+        );
+    }
+    // Erased restore (registry path; exercises peek_header + dispatch).
+    if let Ok(restored) = restore_any(doc) {
+        assert_eq!(restored.checkpoint_bytes(), pristine_state);
+    }
+    // Header peek alone must never panic either (result irrelevant).
+    let _ = peek_header(doc);
+}
+
+/// A (possibly corrupted) delta applied to a pristine base must error or
+/// produce exactly the true post-delta state.
+fn check_delta_document(delta: &[u8], fx: &Fixture) {
+    let mut base = DynStrClu::restore(&fx.base_v2[..]).expect("pristine base restores");
+    if base.apply_delta(delta).is_ok() {
+        assert_eq!(
+            Snapshot::checkpoint_bytes(&base),
+            fx.delta_state,
+            "corrupted delta applied to different state"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncation at every possible length: always an error, never a
+    /// panic, for both format versions and both kinds.
+    #[test]
+    fn truncations_never_panic_and_never_restore(scale in 0u32..10_000) {
+        let fx = fixture();
+        for doc in [&fx.base_v2, &fx.base_v1] {
+            let cut = doc.len() * scale as usize / 10_000;
+            prop_assert!(DynStrClu::restore(&doc[..cut]).is_err());
+            prop_assert!(restore_any(&doc[..cut]).is_err());
+        }
+        let cut = fx.delta.len() * scale as usize / 10_000;
+        let mut base = DynStrClu::restore(&fx.base_v2[..]).unwrap();
+        prop_assert!(base.apply_delta(&fx.delta[..cut]).is_err());
+    }
+
+    /// Single-byte corruption at every offset of the v2 full document.
+    #[test]
+    fn v2_full_bit_flips_are_caught(index in 0usize..8192, flip in 1u8..=255) {
+        let fx = fixture();
+        let mut bad = fx.base_v2.clone();
+        let index = index % bad.len();
+        bad[index] ^= flip;
+        check_full_document(&bad, &fx.base_state);
+    }
+
+    /// Single-byte corruption of the legacy v1 document.
+    #[test]
+    fn v1_full_bit_flips_are_caught(index in 0usize..8192, flip in 1u8..=255) {
+        let fx = fixture();
+        let mut bad = fx.base_v1.clone();
+        let index = index % bad.len();
+        bad[index] ^= flip;
+        check_full_document(&bad, &fx.base_state);
+    }
+
+    /// Single-byte corruption of a delta document, applied to a pristine
+    /// base: errors (base mismatch, checksum, kind, sequence, payload
+    /// validation) or restores faithfully (header stamp bytes only).
+    #[test]
+    fn delta_bit_flips_are_caught(index in 0usize..8192, flip in 1u8..=255) {
+        let fx = fixture();
+        let mut bad = fx.delta.clone();
+        let index = index % bad.len();
+        bad[index] ^= flip;
+        check_delta_document(&bad, fx);
+    }
+
+    /// Arbitrary garbage prefixed with the real magic must still error
+    /// (never panic) through every entry point.
+    #[test]
+    fn garbage_with_magic_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut doc = b"DSCNSNAP".to_vec();
+        doc.extend_from_slice(&bytes);
+        prop_assert!(DynStrClu::restore(&doc[..]).is_err());
+        prop_assert!(restore_any(&doc).is_err());
+        let mut base = DynStrClu::restore(&fixture().base_v2[..]).unwrap();
+        prop_assert!(base.apply_delta(&doc).is_err());
+    }
+}
+
+/// Deterministic sweep of every header byte of the v2 documents (the
+/// proptest above samples; this nails the fixed-size header completely).
+#[test]
+fn every_header_byte_flip_is_handled() {
+    let fx = fixture();
+    for index in 0..HEADER_LEN_V2 {
+        let mut bad = fx.base_v2.clone();
+        bad[index] ^= 0xff;
+        check_full_document(&bad, &fx.base_state);
+        let mut bad = fx.delta.clone();
+        bad[index] ^= 0xff;
+        check_delta_document(&bad, fx);
+    }
+}

@@ -199,29 +199,53 @@ fn group_by_partitions_agree_after_restore() {
     );
 }
 
-/// The committed golden fixture still restores, restores to a fixed point
-/// of checkpoint∘restore, and matches the canonical instance bytes — any
-/// accidental change to the encoding *or* to the serialised algorithm
-/// state breaks this test; intentional changes regenerate the fixture
-/// (`snapshot_ci golden write tests/fixtures/golden_snapshot_v1.bin`) and
-/// bump `FORMAT_VERSION` if the wire layout itself changed.
+/// The committed golden fixtures pin the format story across versions:
+///
+/// * `golden_snapshot_v2.bin` (current format) restores to a fixed point
+///   of checkpoint∘restore — any accidental change to the encoding *or*
+///   to the serialised algorithm state breaks this; intentional changes
+///   regenerate it (`snapshot_ci golden write
+///   tests/fixtures/golden_snapshot_v2.bin`) and bump `FORMAT_VERSION`
+///   if the wire layout itself changed.
+/// * `golden_snapshot_v1.bin` (legacy format) is the backward-compat
+///   gate: it must keep restoring, and re-encoding it under the current
+///   format must reproduce the v2 fixture byte for byte — proof that the
+///   two fixtures hold the same semantic state.
 #[test]
-fn golden_snapshot_fixture_is_stable() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/golden_snapshot_v1.bin");
-    let committed = std::fs::read(&path).expect("golden fixture is committed");
-    let restored = DynStrClu::restore(&committed[..])
-        .expect("committed fixture must restore under the current format");
+fn golden_snapshot_fixtures_are_stable() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let committed_v2 = std::fs::read(fixtures.join("golden_snapshot_v2.bin"))
+        .expect("v2 golden fixture is committed");
+    let restored = DynStrClu::restore(&committed_v2[..])
+        .expect("committed v2 fixture must restore under the current format");
     assert_eq!(
         restored.checkpoint_bytes(),
-        committed,
-        "fixture must be a fixed point of checkpoint∘restore"
+        committed_v2,
+        "v2 fixture must be a fixed point of checkpoint∘restore"
     );
     // Pin a few semantic facts so the fixture is more than opaque bytes.
     assert_eq!(restored.graph().num_vertices(), 11);
     assert_eq!(restored.graph().num_edges(), 23);
     assert_eq!(restored.clustering().num_clusters(), 1);
     assert!(restored.is_core(v(0)) && restored.is_core(v(5)));
+
+    // Backward compatibility: the legacy v1 document still decodes and
+    // holds exactly the same state.
+    let committed_v1 = std::fs::read(fixtures.join("golden_snapshot_v1.bin"))
+        .expect("v1 golden fixture is committed");
+    assert_eq!(
+        dynscan_graph::snapshot::peek_header(&committed_v1)
+            .expect("v1 header peeks")
+            .format_version,
+        dynscan_graph::snapshot::FORMAT_VERSION_V1
+    );
+    let from_v1 =
+        DynStrClu::restore(&committed_v1[..]).expect("legacy v1 fixture must keep restoring");
+    assert_eq!(
+        from_v1.checkpoint_bytes(),
+        committed_v2,
+        "re-encoding the v1 fixture must reproduce the v2 fixture"
+    );
 }
 
 /// Error paths: garbage, truncation and cross-algorithm confusion all

@@ -372,6 +372,43 @@ impl ThreadPool {
         }
     }
 
+    /// Fire-and-forget: run `f` on the pool without waiting for it.
+    /// Unlike [`ThreadPool::scope`], the task may outlive the submitting
+    /// call (it must therefore own its data, `'static`).  A panic inside
+    /// the task is caught and swallowed so it cannot take a worker down;
+    /// detached work that can fail should report through a channel or a
+    /// shared slot instead of panicking.
+    ///
+    /// Dropping the pool **drains** queued detached tasks before the
+    /// workers exit (the worker loop keeps pulling work until the queues
+    /// are empty, and only then honours the shutdown flag) — background
+    /// checkpoint writes riding on a dedicated pool therefore complete
+    /// even if the pool is released right after the spawn.  Process exit,
+    /// of course, still kills anything unfinished; callers that need a
+    /// durability guarantee synchronise on their own completion slot.
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let task: Task = Box::new(move || {
+            let _ = panic::catch_unwind(AssertUnwindSafe(f));
+        });
+        let me = WORKER.with(std::cell::Cell::get);
+        match me {
+            Some((addr, index)) if addr == Arc::as_ptr(&self.shared) as usize => {
+                self.shared.deques[index].push(task);
+            }
+            _ => {
+                self.shared
+                    .injector
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push_back(task);
+            }
+        }
+        self.shared.notify();
+    }
+
     /// Run `a` on the calling thread and `b` on the pool, returning both
     /// results once both have finished.
     pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
