@@ -252,6 +252,12 @@ impl Clusterer for IndexedDynScan {
     fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         Snapshot::apply_delta(self, bytes)
     }
+
+    /// Merge every delta into the exact counts first, then rebuild the
+    /// similarity-ordered index once for the whole run.
+    fn apply_delta_chain(&mut self, docs: &[&[u8]]) -> Result<(), SnapshotError> {
+        self.apply_delta_chain_impl(docs)
+    }
 }
 
 #[cfg(test)]

@@ -337,6 +337,7 @@ impl Snapshot for ExactDynScan {
 /// restore and the delta apply.
 #[allow(clippy::type_complexity)]
 fn rebuild_index(inner: &ExactDynScan) -> (Vec<BTreeSet<(u64, VertexId)>>, HashMap<EdgeKey, u64>) {
+    dynscan_core::testing::note_derived_rebuild();
     let mut order: Vec<BTreeSet<(u64, VertexId)>> = Vec::new();
     order.resize_with(inner.graph().num_vertices(), BTreeSet::new);
     let mut current: HashMap<EdgeKey, u64> = HashMap::with_capacity(inner.graph().num_edges());
@@ -420,7 +421,22 @@ impl Snapshot for IndexedDynScan {
     }
 
     fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        self.inner.apply_delta_as(Self::ALGO_TAG, bytes)?;
+        self.apply_delta_chain_impl(&[bytes])
+    }
+}
+
+impl IndexedDynScan {
+    /// Merge every delta into the exact counts, then rebuild the
+    /// similarity-ordered index **once** — the index is a pure function
+    /// of the final counts, so per-delta rebuilds are dead work (same
+    /// reasoning as `DynStrClu`'s chain replay of vAuxInfo / `G_core`).
+    pub(crate) fn apply_delta_chain_impl(&mut self, docs: &[&[u8]]) -> Result<(), SnapshotError> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        for bytes in docs {
+            self.inner.apply_delta_as(Self::ALGO_TAG, bytes)?;
+        }
         let (order, current) = rebuild_index(&self.inner);
         self.order = order;
         self.current = current;

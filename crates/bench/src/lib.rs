@@ -26,6 +26,7 @@ pub mod export;
 pub mod parallel;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod snapshot;
 
 pub use batch::{
@@ -38,6 +39,9 @@ pub use parallel::{
 };
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;
+pub use serve::{
+    run_serve_throughput, serve_rows_to_json, serve_rows_to_table, ServeBenchConfig, ServeBenchRow,
+};
 pub use snapshot::{
     checkpoint_rows_to_json, checkpoint_rows_to_table, delta_rows_to_table,
     run_checkpoint_vs_rebuild, run_delta_vs_full, CheckpointBenchConfig, CheckpointBenchRow,

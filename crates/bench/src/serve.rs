@@ -1,0 +1,280 @@
+//! Service-layer throughput experiment: N concurrent client threads
+//! driving one `dynscan-serve` server over real TCP sockets with a mixed
+//! apply/group-by workload, with and without durability enabled.
+//!
+//! Unlike the engine benches, the timed region includes the whole
+//! service stack — framing, checksums, admission control, the engine
+//! mutex, and the socket round-trip — so the numbers measure what a
+//! remote caller of the clustering service actually sees.  The run
+//! enforces the service contract as hard gates: every acknowledged
+//! update is reflected in the final epoch, queues are empty at the end,
+//! and (in the durable scenario) the drain checkpoint covers exactly the
+//! acknowledged total.
+
+use dynscan_core::{GraphUpdate, VertexId};
+use dynscan_serve::{Client, RetryPolicy, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Configuration of one service-throughput sweep.
+#[derive(Clone, Debug)]
+pub struct ServeBenchConfig {
+    /// Concurrent client threads to sweep.
+    pub client_counts: Vec<usize>,
+    /// Updates each client applies (its own disjoint path of edges).
+    pub updates_per_client: usize,
+    /// One `GroupBy` query is interleaved per this many applies.
+    pub query_every: usize,
+    /// Checkpoint cadence for the durable scenario.
+    pub checkpoint_every: u64,
+    /// Seed for client retry jitter.
+    pub seed: u64,
+}
+
+impl ServeBenchConfig {
+    /// The default measurement scale.
+    pub fn default_scale() -> Self {
+        ServeBenchConfig {
+            client_counts: vec![1, 2, 4, 8],
+            updates_per_client: 2_000,
+            query_every: 16,
+            checkpoint_every: 512,
+            seed: 0x5e12_5eed,
+        }
+    }
+
+    /// A smoke-test scale for CI.
+    pub fn quick() -> Self {
+        ServeBenchConfig {
+            client_counts: vec![1, 4],
+            updates_per_client: 200,
+            query_every: 10,
+            checkpoint_every: 128,
+            seed: 7,
+        }
+    }
+}
+
+/// One measured row: a (scenario, client count) cell.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    /// `"in-memory"` or `"durable"`.
+    pub scenario: &'static str,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total acknowledged updates across all clients.
+    pub updates: usize,
+    /// Total group-by queries issued.
+    pub queries: usize,
+    /// Wall-clock seconds from first request to last acknowledgement.
+    pub secs: f64,
+    /// Acknowledged updates per second (all clients combined).
+    pub ops: f64,
+    /// `Overloaded` retries observed across all clients.
+    pub overload_retries: u64,
+    /// Final checkpoint coverage (durable scenario; 0 otherwise).
+    pub checkpointed: u64,
+}
+
+/// Drive one (scenario, client count) cell and enforce the gates.
+fn run_cell(
+    config: &ServeBenchConfig,
+    clients: usize,
+    durable: bool,
+    dir: Option<&std::path::Path>,
+) -> ServeBenchRow {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    if durable {
+        let dir = dir.expect("durable scenario has a directory");
+        let _ = std::fs::remove_dir_all(dir);
+        cfg.checkpoint_dir = Some(dir.to_path_buf());
+        cfg.checkpoint_every = Some(config.checkpoint_every);
+        cfg.background_checkpoints = true;
+    }
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.local_addr();
+    let per_client = config.updates_per_client;
+    let query_every = config.query_every.max(1);
+    let seed = config.seed;
+    let start = Instant::now();
+    let outcomes: Vec<(u64, u64, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        seed: seed ^ c as u64,
+                        base_delay: Duration::from_millis(2),
+                        ..RetryPolicy::default()
+                    };
+                    let mut client = Client::connect_with(addr, policy).expect("client connects");
+                    // Disjoint per-client vertex ranges: a growing path.
+                    // Ranges are compact — vertex ids index a dense
+                    // adjacency vector, so sparse bases would buy huge
+                    // resizes, not isolation.
+                    let base = (c * (per_client + 1)) as u32;
+                    let mut acked = 0u64;
+                    let mut queries = 0usize;
+                    for i in 0..per_client as u32 {
+                        client
+                            .apply(GraphUpdate::Insert(
+                                VertexId(base + i),
+                                VertexId(base + i + 1),
+                            ))
+                            .expect("apply acknowledged");
+                        acked += 1;
+                        if (i as usize).is_multiple_of(query_every) {
+                            client
+                                .group_by(&[VertexId(base), VertexId(base + i)])
+                                .expect("query observes acked writes");
+                            queries += 1;
+                        }
+                    }
+                    (acked, client.overload_retries(), queries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_acked: u64 = outcomes.iter().map(|o| o.0).sum();
+    let overload_retries: u64 = outcomes.iter().map(|o| o.1).sum();
+    let queries: usize = outcomes.iter().map(|o| o.2).sum();
+    // Gate: the service acknowledged everything and the epoch agrees.
+    let mut probe = Client::connect_with(addr, RetryPolicy::default()).expect("probe connects");
+    let stats = probe.stats(false).expect("stats");
+    assert_eq!(
+        stats.epoch, total_acked,
+        "final epoch must equal the sum of acknowledged updates"
+    );
+    assert_eq!(stats.queued_updates, 0, "queues must be empty at the end");
+    server.drain_flag().trip();
+    let report = server.wait();
+    assert_eq!(report.updates_applied, total_acked);
+    let checkpointed = if durable {
+        let info = report
+            .final_checkpoint
+            .expect("durable drain takes a final checkpoint");
+        assert_eq!(
+            info.updates_applied, total_acked,
+            "the drain checkpoint covers every acknowledged update"
+        );
+        info.updates_applied
+    } else {
+        0
+    };
+    ServeBenchRow {
+        scenario: if durable { "durable" } else { "in-memory" },
+        clients,
+        updates: total_acked as usize,
+        queries,
+        secs,
+        ops: total_acked as f64 / secs.max(f64::EPSILON),
+        overload_retries,
+        checkpointed,
+    }
+}
+
+/// Run the sweep: client counts × {in-memory, durable}.
+pub fn run_serve_throughput(config: &ServeBenchConfig) -> Vec<ServeBenchRow> {
+    let dir = std::env::temp_dir().join(format!("dynscan-serve-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &clients in &config.client_counts {
+        rows.push(run_cell(config, clients, false, None));
+        rows.push(run_cell(config, clients, true, Some(&dir)));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+/// Render rows as the `BENCH_serve.json` document (hand-rolled JSON —
+/// the vendored serde is a marker stub).
+pub fn serve_rows_to_json(config: &ServeBenchConfig, rows: &[ServeBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"serve_throughput\",\n");
+    out.push_str("  \"command\": \"cargo bench -p dynscan-bench --bench serve_throughput\",\n");
+    let _ = writeln!(
+        out,
+        "  \"updates_per_client\": {},",
+        config.updates_per_client
+    );
+    let _ = writeln!(out, "  \"query_every\": {},", config.query_every);
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scenario\": \"{}\", \"clients\": {}, \"updates\": {}, \
+             \"queries\": {}, \"secs\": {:.6}, \"ops\": {:.1}, \
+             \"overload_retries\": {}, \"checkpointed\": {}}}",
+            row.scenario,
+            row.clients,
+            row.updates,
+            row.queries,
+            row.secs,
+            row.ops,
+            row.overload_retries,
+            row.checkpointed,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable table of the rows.
+pub fn serve_rows_to_table(rows: &[ServeBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>9} {:>8} {:>12} {:>9} {:>13}",
+        "scenario", "clients", "updates", "queries", "acks/s", "overload", "checkpointed"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>9} {:>8} {:>12.0} {:>9} {:>13}",
+            row.scenario,
+            row.clients,
+            row.updates,
+            row.queries,
+            row.ops,
+            row.overload_retries,
+            row.checkpointed,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_acks_everything_and_checkpoints_the_durable_rows() {
+        let config = ServeBenchConfig::quick();
+        let rows = run_serve_throughput(&config);
+        // 2 client counts × 2 scenarios.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.updates, row.clients * config.updates_per_client);
+            assert!(row.queries > 0);
+            assert!(row.ops > 0.0);
+            if row.scenario == "durable" {
+                assert_eq!(row.checkpointed as usize, row.updates);
+            }
+        }
+        let json = serve_rows_to_json(&config, &rows);
+        assert!(json.contains("\"benchmark\": \"serve_throughput\""));
+        assert!(json.contains("\"scenario\": \"durable\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(serve_rows_to_table(&rows).contains("in-memory"));
+    }
+}

@@ -85,6 +85,7 @@ pub mod session;
 pub mod snapshot;
 pub mod store;
 pub mod strclu;
+pub mod testing;
 pub mod traits;
 
 pub use aux::VertexAux;
@@ -100,6 +101,7 @@ pub use session::{
 pub use snapshot::{CheckpointCapture, DirtyTracker};
 pub use store::{CheckpointStore, DirCheckpointStore};
 pub use strclu::DynStrClu;
+pub use testing::{FaultPlan, FlakySink, FlakyStore, MemCheckpointStore};
 pub use traits::{BatchUpdate, Clusterer, DynamicClustering, Snapshot, UpdateError};
 
 // Re-export the vocabulary types users need alongside the algorithms.

@@ -187,6 +187,9 @@ pub enum SessionError {
     /// [`SessionBuilder::build_resuming_from_chain`] could not restore
     /// the supplied chain.
     RestoreFailed(SnapshotError),
+    /// An explicitly requested checkpoint ([`Session::checkpoint_now`] /
+    /// [`Session::drain`]) failed to reach the store.
+    CheckpointFailed(String),
 }
 
 impl fmt::Display for SessionError {
@@ -217,6 +220,9 @@ impl fmt::Display for SessionError {
             }
             SessionError::RestoreFailed(e) => {
                 write!(f, "resuming from the checkpoint chain failed: {e}")
+            }
+            SessionError::CheckpointFailed(message) => {
+                write!(f, "requested checkpoint failed: {message}")
             }
         }
     }
@@ -350,25 +356,34 @@ pub fn restore_any_with_info(
 /// taken at the chain's end — the property the delta-chain equivalence
 /// tests pin across all four backends.
 ///
-/// Cost note: each delta apply re-validates the merged state and
-/// re-derives the derived modules (vAuxInfo / `G_core` / the baseline
-/// index), so replaying a chain costs O(chain length · (n + m)) — bounded
-/// in practice by `full_every − 1` deltas per chain and still far below a
-/// rebuild-from-stream.  Deferring the derivation to the last document is
-/// a known follow-up.
+/// Cost note: consecutive deltas are replayed through
+/// [`Clusterer::apply_delta_chain`], so backends with expensive derived
+/// modules (vAuxInfo / `G_core` / the baseline index) merge every delta
+/// first and derive **once per chain**, not once per delta — replay cost
+/// scales with the chain length plus a single rebuild, which
+/// `tests/chain_replay_cost.rs` pins via the
+/// [`crate::testing::derived_rebuilds`] counter.
 pub fn restore_any_chain<B: AsRef<[u8]>>(docs: &[B]) -> Result<Box<dyn Clusterer>, SnapshotError> {
     let mut iter = docs.iter();
     let Some(first) = iter.next() else {
         return Err(SnapshotError::Truncated);
     };
     let mut restored = restore_any(first.as_ref())?;
+    let mut pending: Vec<&[u8]> = Vec::new();
     for doc in iter {
-        let header = peek_header(doc.as_ref())?;
+        let doc = doc.as_ref();
+        let header = peek_header(doc)?;
         match header.kind {
-            SnapshotKind::Full => restored = restore_any(doc.as_ref())?,
-            SnapshotKind::Delta => restored.apply_delta_bytes(doc.as_ref())?,
+            SnapshotKind::Full => {
+                // A newer full snapshot supersedes everything before it;
+                // any deltas queued against the old base are dead.
+                pending.clear();
+                restored = restore_any(doc)?;
+            }
+            SnapshotKind::Delta => pending.push(doc),
         }
     }
+    restored.apply_delta_chain(&pending)?;
     Ok(restored)
 }
 
@@ -1163,6 +1178,66 @@ impl Session {
         self.finish_pending_checkpoint(true);
     }
 
+    /// Whether a background checkpoint write is currently in flight
+    /// (always `false` in foreground mode or after
+    /// [`Session::wait_for_checkpoints`]).
+    pub fn has_pending_checkpoint(&self) -> bool {
+        self.ckpt.as_ref().is_some_and(|c| c.pending.is_some())
+    }
+
+    /// Take a **full** checkpoint right now, synchronously: flush the
+    /// buffer, wait for any in-flight background write (keeping the store
+    /// in chain order), then capture and write a full snapshot through
+    /// the configured store and report its metadata.  The automatic
+    /// cadence restarts from here (`since_checkpoint` resets, the
+    /// sequence number advances).  Errors are also recorded in
+    /// [`Session::last_checkpoint_error`] exactly like an automatic
+    /// checkpoint's.
+    pub fn checkpoint_now(&mut self) -> Result<SnapshotInfo, SessionError> {
+        self.flush();
+        if self.ckpt.is_none() {
+            return Err(SessionError::MissingCheckpointSink);
+        }
+        self.finish_pending_checkpoint(true);
+        self.since_checkpoint = 0;
+        let ckpt = self.ckpt.as_mut().expect("checked above");
+        let seq = ckpt.next_seq;
+        ckpt.next_seq += 1;
+        // A full snapshot starts a fresh chain, so any hole punched by an
+        // earlier failure is healed by this write.
+        ckpt.force_full = false;
+        let capture = self.inner.capture_checkpoint(false, wall_clock_millis());
+        let updates_applied = self.inner.updates_applied();
+        let ckpt = self.ckpt.as_mut().expect("checked above");
+        let keep_last = ckpt.keep_last;
+        let shared = Arc::clone(&ckpt.shared);
+        let report = run_checkpoint_job(seq, &capture, updates_applied, keep_last, &shared);
+        let outcome = match &report.result {
+            Ok(info) => Ok(*info),
+            Err(message) => Err(SessionError::CheckpointFailed(message.clone())),
+        };
+        self.absorb_checkpoint_report(report);
+        outcome
+    }
+
+    /// Drain the session for shutdown: flush every buffered update, wait
+    /// out any in-flight background checkpoint (shutdown can never race a
+    /// detached write — with an atomic store this also means no stray
+    /// `.tmp` files survive the drain), and take a final **full**
+    /// checkpoint so a restart resumes from exactly this state without
+    /// replaying deltas.  Returns the final checkpoint's metadata, or
+    /// `Ok(None)` when the session has no checkpoint store (nothing to
+    /// make durable).  The session stays usable afterwards; a service
+    /// front-end stops admitting work before calling this.
+    pub fn drain(&mut self) -> Result<Option<SnapshotInfo>, SessionError> {
+        self.flush();
+        self.finish_pending_checkpoint(true);
+        if self.ckpt.is_none() {
+            return Ok(None);
+        }
+        self.checkpoint_now().map(Some)
+    }
+
     /// The documents the auto-checkpoint store currently retains, in
     /// write order, as recorded by the retention ledger (sequence
     /// number and kind).  Empty without auto-checkpointing.  Note that
@@ -1764,48 +1839,17 @@ mod tests {
     /// the chain, so a delta would reference a base the store never got).
     #[test]
     fn checkpoint_error_clears_after_recovery_and_chain_restarts_full() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        type DocStore = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
-        let store: DocStore = Arc::new(Mutex::new(Vec::new()));
-        let sink_store = Arc::clone(&store);
-        let calls = Arc::new(AtomicU64::new(0));
-        let sink_calls = Arc::clone(&calls);
+        use crate::testing::{FaultPlan, FlakyStore, MemCheckpointStore};
+        let store = MemCheckpointStore::new();
+        let plan = FaultPlan::new();
+        // Attempts: 0 ok (full), 1 fails at open, 2+ ok.
+        plan.fail_open_on([1]);
         let mut session = Session::builder()
             .backend(Backend::DynStrClu)
             .params(two_cliques_params().with_seed(3))
             .checkpoint_every(8)
             .full_every(4) // deltas in between — the recovery must override
-            .checkpoint_sink(move |seq| {
-                type DocStore = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
-                // Attempts: 0 ok (full), 1 fails, 2+ ok.
-                if sink_calls.fetch_add(1, Ordering::SeqCst) == 1 {
-                    return Err(std::io::Error::other("transient sink outage"));
-                }
-                let store = Arc::clone(&sink_store);
-                struct Slot {
-                    seq: u64,
-                    buf: Vec<u8>,
-                    store: DocStore,
-                }
-                impl Write for Slot {
-                    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                        self.buf.extend_from_slice(buf);
-                        Ok(buf.len())
-                    }
-                    fn flush(&mut self) -> std::io::Result<()> {
-                        self.store
-                            .lock()
-                            .unwrap()
-                            .push((self.seq, self.buf.clone()));
-                        Ok(())
-                    }
-                }
-                Ok(Box::new(Slot {
-                    seq,
-                    buf: Vec::new(),
-                    store,
-                }) as Box<dyn Write>)
-            })
+            .checkpoint_store(FlakyStore::new(store.clone(), plan.clone()))
             .build()
             .unwrap();
         let updates = fixture_inserts();
@@ -1821,7 +1865,7 @@ mod tests {
         }
         assert!(session
             .last_checkpoint_error()
-            .is_some_and(|e| e.contains("transient sink outage")));
+            .is_some_and(|e| e.contains("injected open failure")));
         assert_eq!(session.checkpoints_written(), 1);
         // Next 8 → attempt 2 succeeds: the stale error must clear, and
         // because the chain broke, the document must be a full snapshot.
@@ -1839,12 +1883,66 @@ mod tests {
             SnapshotKind::Full,
             "chain restarts after a failure"
         );
-        let docs = store.lock().unwrap();
+        assert_eq!(plan.attempts(), 3);
+        let docs = store.documents();
         assert_eq!(docs.len(), 2);
         // Both documents restore.
-        for (_, bytes) in docs.iter() {
+        for (_, _, bytes) in docs.iter() {
             restore_any(bytes).expect("recovered chain documents restore");
         }
+    }
+
+    /// Satellite fix pin: a drain waits out the in-flight background
+    /// checkpoint and takes a final full snapshot — afterwards the store
+    /// directory holds only published documents, never a stray `.tmp`
+    /// from a write the shutdown raced.
+    #[test]
+    fn drain_waits_for_background_checkpoints_and_leaves_no_tmp() {
+        let dir =
+            std::env::temp_dir().join(format!("dynscan-session-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut session = Session::builder()
+            .backend(Backend::DynStrClu)
+            .params(two_cliques_params().with_seed(13))
+            .checkpoint_every(8)
+            .checkpoint_store(crate::store::DirCheckpointStore::new(&dir))
+            .full_every(4)
+            .background_checkpoints(true)
+            .build()
+            .unwrap();
+        let updates = fixture_inserts();
+        for &u in &updates[..33] {
+            session.apply(u).unwrap();
+        }
+        // Push the remaining updates but do NOT flush: drain must cover
+        // them in the final checkpoint anyway.
+        for &u in &updates[33..] {
+            session.push(u);
+        }
+        let info = session
+            .drain()
+            .expect("drain checkpoint succeeds")
+            .expect("a store is configured");
+        assert_eq!(info.kind, SnapshotKind::Full, "drain checkpoints full");
+        assert_eq!(info.updates_applied, updates.len() as u64);
+        assert!(!session.has_pending_checkpoint());
+        assert!(session.last_checkpoint_error().is_none());
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| !name.ends_with(".snap"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "stray non-snapshot files: {leftovers:?}"
+        );
+        // The drained chain resumes to exactly the full stream.
+        let docs = crate::store::DirCheckpointStore::new(&dir)
+            .read_chain()
+            .unwrap();
+        let resumed = restore_any_chain(&docs).unwrap();
+        assert_eq!(resumed.updates_applied(), updates.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -961,6 +961,7 @@ fn read_aux_payload(
 /// fast path that keeps snapshots small (module docs).  The sim-core
 /// edges are fed in sorted order so the rebuild is reproducible.
 fn rebuild_core_graph(elm: &DynElm, aux: &[VertexAux]) -> HdtConnectivity {
+    crate::testing::note_derived_rebuild();
     let mut sim_core_edges: Vec<EdgeKey> = elm
         .labels()
         .filter_map(|(key, label)| {
@@ -1052,6 +1053,31 @@ impl DynStrClu {
         self.elm
             .dirty
             .note_restored(header.checksum, header.sequence);
+        Ok(())
+    }
+
+    /// Chain form of [`DynStrClu::apply_delta_impl`]: merge every delta
+    /// into the labelling in order, then derive vAuxInfo and rebuild
+    /// `CC-Str(G_core)` **once**.  Equivalent to applying the deltas one
+    /// by one because both derived modules are pure functions of the
+    /// final (labels, μ) — intermediate derivations are dead work.
+    pub(crate) fn apply_delta_chain_impl(&mut self, docs: &[&[u8]]) -> Result<(), SnapshotError> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        for bytes in docs {
+            let (header, payload) = split_document(bytes, <DynStrClu as Snapshot>::ALGO_TAG)?;
+            check_delta_applicable(&self.elm.dirty, &header)?;
+            if let Err(e) = apply_elm_delta_payload(&mut self.elm, payload) {
+                self.elm.dirty.mark_all();
+                return Err(e);
+            }
+            self.elm
+                .dirty
+                .note_restored(header.checksum, header.sequence);
+        }
+        self.aux = derive_aux(&self.elm, self.mu);
+        self.core_graph = rebuild_core_graph(&self.elm, &self.aux);
         Ok(())
     }
 }

@@ -328,6 +328,23 @@ pub trait Clusterer: BatchUpdate + Send {
     /// instance may hold partially merged state and must be discarded.**
     fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
 
+    /// Apply a run of consecutive delta documents in order.  Semantically
+    /// identical to calling [`Clusterer::apply_delta_bytes`] once per
+    /// document, and that is the default; backends whose delta apply ends
+    /// with an expensive re-derivation of derived modules (vAuxInfo +
+    /// `G_core` for DynStrClu, the similarity index for the indexed
+    /// baseline) override this to merge every delta first and derive
+    /// **once**, so chain replay costs O(chain) + one rebuild instead of
+    /// one rebuild per delta.  **On error the instance may hold partially
+    /// merged state and must be discarded**, exactly as for a single
+    /// failed delta.
+    fn apply_delta_chain(&mut self, docs: &[&[u8]]) -> Result<(), SnapshotError> {
+        for doc in docs {
+            self.apply_delta_bytes(doc)?;
+        }
+        Ok(())
+    }
+
     /// A handle to the execution pool this backend's parallel work runs
     /// on — the `Session` rides background checkpoint encoding/I/O on the
     /// same pool.  Backends without one report the global pool.
@@ -488,6 +505,12 @@ impl Clusterer for DynStrClu {
 
     fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         Snapshot::apply_delta(self, bytes)
+    }
+
+    /// Merge every delta into the labelling first, then derive vAuxInfo
+    /// and rebuild `CC-Str(G_core)` once for the whole run.
+    fn apply_delta_chain(&mut self, docs: &[&[u8]]) -> Result<(), SnapshotError> {
+        self.apply_delta_chain_impl(docs)
     }
 
     fn exec_pool_handle(&self) -> crate::pool::ExecPool {

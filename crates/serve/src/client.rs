@@ -1,0 +1,388 @@
+//! The client library: a blocking, single-outstanding-request handle
+//! with a retry/timeout/exponential-backoff-with-jitter policy.
+//!
+//! `Overloaded{retry_after}` replies are retried automatically (sleeping
+//! the larger of the server's hint and the jittered exponential
+//! backoff); transport errors reconnect and retry; `Rejected` and
+//! `Draining` are surfaced as typed errors immediately — the first is a
+//! semantic outcome, the second means the server is going away.
+//!
+//! The client also enforces the read-your-writes contract on its side:
+//! every acknowledged epoch is remembered, and a `GroupBy` whose
+//! observed epoch is below the client's own acknowledged high-water mark
+//! fails with [`ClientError::Protocol`] — the proptests drive this
+//! against a sequential oracle.
+
+use crate::frame::WireError;
+use crate::proto::{
+    read_response, write_request, RejectReason, Request, RequestBody, Response, ResponseBody,
+    StatsReply, MAX_BATCH_UPDATES, MAX_QUERY_VERTICES, UNSOLICITED_ID,
+};
+use dynscan_core::{GraphUpdate, SnapshotKind, VertexId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry/timeout policy for [`Client`] calls.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included).
+    pub max_attempts: u32,
+    /// Backoff before retry k is `base_delay · 2^k` (jittered, capped).
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Socket read/write timeout per attempt.
+    pub request_timeout: Duration,
+    /// Seed for the backoff jitter (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(5),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or talking to the server failed (after retries).
+    Io(std::io::Error),
+    /// The server's reply failed to decode.
+    Wire(WireError),
+    /// The update was semantically invalid (not retried).
+    Rejected(RejectReason),
+    /// The server is draining and will not accept the request.
+    Draining,
+    /// Every attempt was refused with `Overloaded`.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The server broke the protocol (id mismatch, wrong reply type,
+    /// read-your-writes violation).
+    Protocol(&'static str),
+    /// The server reported an internal error.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Rejected(reason) => write!(f, "update rejected: {reason:?}"),
+            ClientError::Draining => write!(f, "server is draining"),
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "server overloaded after {attempts} attempts")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io { kind, message } => ClientError::Io(std::io::Error::new(kind, message)),
+            WireError::Truncated => ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            )),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// The outcome of an acknowledged `BatchApply`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Global epoch after the batch.
+    pub epoch: u64,
+    /// Updates applied.
+    pub applied: u64,
+    /// Updates skipped as invalid.
+    pub rejected: u64,
+    /// Coalesced net label flips.
+    pub flips: u64,
+}
+
+/// The outcome of an acknowledged `CheckpointNow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointAck {
+    /// Sequence number in the store's chain.
+    pub sequence: u64,
+    /// Snapshot kind (always full for explicit checkpoints).
+    pub kind: SnapshotKind,
+    /// Updates the snapshot covers.
+    pub updates_applied: u64,
+    /// Encoded payload size.
+    pub payload_len: u64,
+}
+
+/// A blocking client connection with one outstanding request at a time
+/// (the wire protocol itself supports pipelining via correlation ids;
+/// this handle keeps the simple discipline).
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    next_id: u64,
+    last_acked_epoch: u64,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    overload_retries: u64,
+    reconnects: u64,
+}
+
+impl Client {
+    /// Connect with the default [`RetryPolicy`].
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit policy.
+    pub fn connect_with(addr: SocketAddr, policy: RetryPolicy) -> Result<Client, ClientError> {
+        let rng = SmallRng::seed_from_u64(policy.seed);
+        let mut client = Client {
+            addr,
+            stream: None,
+            next_id: 1,
+            last_acked_epoch: 0,
+            policy,
+            rng,
+            overload_retries: 0,
+            reconnects: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The highest epoch this client has been acknowledged (its
+    /// read-your-writes floor).
+    pub fn last_acked_epoch(&self) -> u64 {
+        self.last_acked_epoch
+    }
+
+    /// Calls that were refused with `Overloaded` and retried.
+    pub fn overload_retries(&self) -> u64 {
+        self.overload_retries
+    }
+
+    /// Transport-level reconnects performed by the retry loop.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Apply one update; `Ok` means acknowledged: applied, globally
+    /// ordered, and visible to every later query.  Returns
+    /// `(epoch, flips)`.
+    pub fn apply(&mut self, update: GraphUpdate) -> Result<(u64, u64), ClientError> {
+        match self.call(&RequestBody::Apply(update))? {
+            ResponseBody::Applied { epoch, flips } => Ok((epoch, flips)),
+            ResponseBody::Rejected(reason) => Err(ClientError::Rejected(reason)),
+            _ => Err(ClientError::Protocol("unexpected reply to Apply")),
+        }
+    }
+
+    /// Apply a batch (at most [`MAX_BATCH_UPDATES`]) in stream order.
+    pub fn batch_apply(&mut self, updates: &[GraphUpdate]) -> Result<BatchAck, ClientError> {
+        if updates.len() > MAX_BATCH_UPDATES {
+            return Err(ClientError::Protocol("batch exceeds protocol cap"));
+        }
+        match self.call(&RequestBody::BatchApply(updates.to_vec()))? {
+            ResponseBody::BatchApplied {
+                epoch,
+                applied,
+                rejected,
+                flips,
+            } => Ok(BatchAck {
+                epoch,
+                applied,
+                rejected,
+                flips,
+            }),
+            _ => Err(ClientError::Protocol("unexpected reply to BatchApply")),
+        }
+    }
+
+    /// Cluster-group-by over `vertices` (at most
+    /// [`MAX_QUERY_VERTICES`]).  The result observes at least every
+    /// update this client has been acknowledged.
+    pub fn group_by(&mut self, vertices: &[VertexId]) -> Result<Vec<Vec<VertexId>>, ClientError> {
+        if vertices.len() > MAX_QUERY_VERTICES {
+            return Err(ClientError::Protocol("query exceeds protocol cap"));
+        }
+        let floor = self.last_acked_epoch;
+        match self.call(&RequestBody::GroupBy(vertices.to_vec()))? {
+            ResponseBody::Groups { epoch, groups } => {
+                if epoch < floor {
+                    return Err(ClientError::Protocol(
+                        "read-your-writes violated: query observed an epoch below \
+                         this client's acknowledged writes",
+                    ));
+                }
+                Ok(groups)
+            }
+            _ => Err(ClientError::Protocol("unexpected reply to GroupBy")),
+        }
+    }
+
+    /// Server and engine statistics.
+    pub fn stats(&mut self, include_state_checksum: bool) -> Result<StatsReply, ClientError> {
+        match self.call(&RequestBody::Stats {
+            include_state_checksum,
+        })? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::Protocol("unexpected reply to Stats")),
+        }
+    }
+
+    /// Take a full checkpoint now.
+    pub fn checkpoint_now(&mut self) -> Result<CheckpointAck, ClientError> {
+        match self.call(&RequestBody::CheckpointNow)? {
+            ResponseBody::CheckpointDone {
+                sequence,
+                kind,
+                updates_applied,
+                payload_len,
+            } => Ok(CheckpointAck {
+                sequence,
+                kind,
+                updates_applied,
+                payload_len,
+            }),
+            _ => Err(ClientError::Protocol("unexpected reply to CheckpointNow")),
+        }
+    }
+
+    /// Begin a graceful drain; returns the drain-point epoch.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        match self.call(&RequestBody::Drain)? {
+            ResponseBody::DrainStarted { epoch } => Ok(epoch),
+            _ => Err(ClientError::Protocol("unexpected reply to Drain")),
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Retry machinery
+    // ----------------------------------------------------------------- //
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)
+                .map_err(ClientError::Io)?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.policy.request_timeout));
+            let _ = stream.set_write_timeout(Some(self.policy.request_timeout));
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Jittered exponential backoff for retry `attempt`, at least the
+    /// server's hint.
+    fn backoff(&mut self, attempt: u32, hint_millis: u64) -> Duration {
+        let exp = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_delay);
+        let jittered = exp.mul_f64(0.5 + 0.5 * self.rng.gen::<f64>());
+        jittered.max(Duration::from_millis(hint_millis))
+    }
+
+    /// One logical call: retries `Overloaded` with backoff and transport
+    /// errors with reconnect, up to the policy's attempt budget.  `Ok`
+    /// responses update the acknowledged-epoch floor.
+    fn call(&mut self, body: &RequestBody) -> Result<ResponseBody, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_once(body) {
+                Ok(ResponseBody::Overloaded { retry_after_millis }) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ClientError::RetriesExhausted { attempts: attempt });
+                    }
+                    self.overload_retries += 1;
+                    let delay = self.backoff(attempt, retry_after_millis);
+                    std::thread::sleep(delay);
+                }
+                Ok(ResponseBody::Draining) => return Err(ClientError::Draining),
+                Ok(ResponseBody::ServerError { message }) => {
+                    return Err(ClientError::Server(message))
+                }
+                Ok(response) => {
+                    self.note_epoch(&response);
+                    return Ok(response);
+                }
+                Err(ClientError::Io(e)) => {
+                    attempt += 1;
+                    self.stream = None;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                    self.reconnects += 1;
+                    let delay = self.backoff(attempt, 0);
+                    std::thread::sleep(delay);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn note_epoch(&mut self, response: &ResponseBody) {
+        let epoch = match response {
+            ResponseBody::Applied { epoch, .. }
+            | ResponseBody::BatchApplied { epoch, .. }
+            | ResponseBody::Groups { epoch, .. }
+            | ResponseBody::DrainStarted { epoch } => Some(*epoch),
+            ResponseBody::Stats(stats) => Some(stats.epoch),
+            _ => None,
+        };
+        if let Some(epoch) = epoch {
+            self.last_acked_epoch = self.last_acked_epoch.max(epoch);
+        }
+    }
+
+    fn try_once(&mut self, body: &RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            body: body.clone(),
+        };
+        let stream = self.ensure_connected()?;
+        write_request(stream, &request)?;
+        loop {
+            let Response {
+                id: response_id,
+                body,
+            } = read_response(stream)?;
+            if response_id == id {
+                return Ok(body);
+            }
+            if response_id == UNSOLICITED_ID {
+                match body {
+                    // Terminal drain notice racing the request.
+                    ResponseBody::Draining => return Ok(ResponseBody::Draining),
+                    ResponseBody::ServerError { message } => {
+                        return Err(ClientError::Server(message))
+                    }
+                    _ => return Err(ClientError::Protocol("unexpected unsolicited reply")),
+                }
+            }
+            // A reply to an older request this handle abandoned after a
+            // transport retry: skip it.
+        }
+    }
+}

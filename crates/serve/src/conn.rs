@@ -1,0 +1,410 @@
+//! Per-connection machinery: a reader thread (framing, admission
+//! control, backpressure) feeding a bounded queue consumed by a
+//! processor (engine calls, ordered replies, terminal drain notices).
+//!
+//! Invariants this module maintains:
+//!
+//! * **Bounded memory** — a request is admitted only if the connection's
+//!   and the server's queued-update budgets have room *and* the bounded
+//!   request channel accepts it; otherwise the client gets a typed
+//!   `Overloaded{retry_after}` reply immediately.  Nothing buffers
+//!   without bound.
+//! * **Apply-before-ack** — the processor performs the engine call (and
+//!   reads the resulting epoch) under the engine lock, releases the
+//!   lock, and only then writes the acknowledgement.
+//! * **No dropped socket mid-frame on drain** — once the drain latch
+//!   trips, admitted requests still get their normal replies, refused
+//!   ones get `Draining`, and the connection closes with a terminal
+//!   `Draining` frame after the last reply.
+//! * **A stuck client cannot wedge the engine** — socket writes happen
+//!   outside the engine lock and carry a write timeout; when one trips,
+//!   the connection is torn down and its unacknowledged queue released.
+
+use crate::drain::DrainFlag;
+use crate::frame::{parse_header, WireError, HEADER_LEN};
+use crate::proto::{Request, RequestBody, Response, ResponseBody, StatsReply, UNSOLICITED_ID};
+use crate::server::Shared;
+use dynscan_core::Session;
+use dynscan_graph::snapshot::fnv1a;
+use std::io::Read;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Read-poll interval: how quickly an idle reader notices the drain
+/// latch.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Timeout polls tolerated mid-frame after the drain latch trips before
+/// the partially-sent frame is abandoned (~1 s at [`READ_POLL`]).
+const DRAIN_GRACE_POLLS: u32 = 40;
+
+/// An admitted request waiting for the processor.
+struct Job {
+    id: u64,
+    body: RequestBody,
+    /// Queued-update weight reserved at admission (released by the
+    /// processor).
+    weight: u64,
+}
+
+/// Serve one connection to completion.  Runs on the connection's
+/// processor thread; spawns the reader thread internally.
+pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let result = stream.try_clone().map(|write_half| {
+        let writer = Arc::new(Mutex::new(write_half));
+        let conn_queued = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sync_channel::<Job>(shared.cfg.max_queued_requests);
+        let reader_shared = Arc::clone(&shared);
+        let reader_writer = Arc::clone(&writer);
+        let reader_queued = Arc::clone(&conn_queued);
+        let reader = std::thread::Builder::new()
+            .name("dynscan-serve-read".into())
+            .spawn(move || reader_loop(stream, tx, reader_writer, reader_shared, reader_queued));
+        if let Ok(reader) = reader {
+            process_loop(rx, &writer, &shared, &conn_queued);
+            let _ = reader.join();
+        }
+    });
+    drop(result);
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Outcome of one polling frame read.
+enum FrameRead {
+    /// A complete, checksum-verified payload.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly between frames.
+    Eof,
+    /// The drain latch tripped while the line was idle.
+    Drained,
+}
+
+enum Fill {
+    Filled,
+    Eof,
+    Drained,
+}
+
+/// Fill `buf` completely, looping over short reads and read-timeout
+/// polls — unlike `read_exact`, a timeout mid-buffer never loses the
+/// bytes already read, so framing survives slow writers.  `idle_ok`
+/// marks the frame boundary: only there are EOF and drain clean exits.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    drain: &DrainFlag,
+) -> Result<Fill, WireError> {
+    let mut filled = 0usize;
+    let mut grace = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && idle_ok {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if drain.is_tripped() {
+                    if filled == 0 && idle_ok {
+                        return Ok(Fill::Drained);
+                    }
+                    grace += 1;
+                    if grace > DRAIN_GRACE_POLLS {
+                        return Err(WireError::Truncated);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Filled)
+}
+
+/// Read one frame, polling the drain latch while idle.
+fn read_frame_polling(stream: &mut TcpStream, drain: &DrainFlag) -> Result<FrameRead, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(stream, &mut header, true, drain)? {
+        Fill::Eof => return Ok(FrameRead::Eof),
+        Fill::Drained => return Ok(FrameRead::Drained),
+        Fill::Filled => {}
+    }
+    let (len, declared) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload, false, drain)? {
+        Fill::Filled => {}
+        // Unreachable (idle_ok is false), but type-complete.
+        Fill::Eof | Fill::Drained => return Err(WireError::Truncated),
+    }
+    if fnv1a(&payload) != declared {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+fn send(writer: &Mutex<TcpStream>, response: &Response) -> Result<(), WireError> {
+    let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    crate::proto::write_response(&mut *stream, response)
+}
+
+/// The admission weight a request reserves from the queued-update
+/// budgets (queries and control requests are unweighted — they occupy a
+/// bounded channel slot but not the update queue).
+fn weight_of(body: &RequestBody) -> u64 {
+    match body {
+        RequestBody::Apply(_) => 1,
+        RequestBody::BatchApply(updates) => updates.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Backoff hint for an `Overloaded` reply, scaled by global pressure.
+fn retry_after_hint(shared: &Shared) -> u64 {
+    10 + shared.queued.load(Ordering::SeqCst) / 100
+}
+
+/// Read frames, decode, admit, enqueue.  Every read frame gets exactly
+/// one reply from some thread; the loop exits on EOF, fatal wire errors,
+/// or drain.
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: std::sync::mpsc::SyncSender<Job>,
+    writer: Arc<Mutex<TcpStream>>,
+    shared: Arc<Shared>,
+    conn_queued: Arc<AtomicU64>,
+) {
+    loop {
+        let payload = match read_frame_polling(&mut stream, &shared.drain) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof) | Ok(FrameRead::Drained) => break,
+            Err(WireError::Io { .. }) => break,
+            Err(e) => {
+                // Framing is lost (corruption, version mismatch): one
+                // terminal typed error, then close.
+                let _ = send(
+                    &writer,
+                    &Response {
+                        id: UNSOLICITED_ID,
+                        body: ResponseBody::ServerError {
+                            message: e.to_string(),
+                        },
+                    },
+                );
+                break;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame was intact but the message was not a valid
+                // request — protocol mismatch, close after a typed error.
+                let _ = send(
+                    &writer,
+                    &Response {
+                        id: UNSOLICITED_ID,
+                        body: ResponseBody::ServerError {
+                            message: e.to_string(),
+                        },
+                    },
+                );
+                break;
+            }
+        };
+        if shared.drain.is_tripped() {
+            // Admissions are closed; the processor's terminal notice
+            // follows once the queue drains.
+            let _ = send(
+                &writer,
+                &Response {
+                    id: request.id,
+                    body: ResponseBody::Draining,
+                },
+            );
+            break;
+        }
+        let weight = weight_of(&request.body);
+        if weight > 0 {
+            let conn_now = conn_queued.load(Ordering::SeqCst);
+            let global_now = shared.queued.load(Ordering::SeqCst);
+            if conn_now + weight > shared.cfg.max_conn_queued_updates
+                || global_now + weight > shared.cfg.max_global_queued_updates
+            {
+                let overloaded = Response {
+                    id: request.id,
+                    body: ResponseBody::Overloaded {
+                        retry_after_millis: retry_after_hint(&shared),
+                    },
+                };
+                if send(&writer, &overloaded).is_err() {
+                    break;
+                }
+                continue;
+            }
+            conn_queued.fetch_add(weight, Ordering::SeqCst);
+            shared.queued.fetch_add(weight, Ordering::SeqCst);
+        }
+        match tx.try_send(Job {
+            id: request.id,
+            body: request.body,
+            weight,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                release(&shared, &conn_queued, job.weight);
+                let overloaded = Response {
+                    id: job.id,
+                    body: ResponseBody::Overloaded {
+                        retry_after_millis: retry_after_hint(&shared),
+                    },
+                };
+                if send(&writer, &overloaded).is_err() {
+                    break;
+                }
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                release(&shared, &conn_queued, job.weight);
+                break;
+            }
+        }
+    }
+    // Dropping the sender lets the processor finish the queue and write
+    // the terminal reply.
+}
+
+fn release(shared: &Shared, conn_queued: &AtomicU64, weight: u64) {
+    if weight > 0 {
+        conn_queued.fetch_sub(weight, Ordering::SeqCst);
+        shared.queued.fetch_sub(weight, Ordering::SeqCst);
+    }
+}
+
+/// Consume admitted jobs in order: engine call under the lock, release
+/// the reservation, reply outside the lock.  After the channel closes,
+/// write the terminal `Draining` notice if a drain is in progress, and
+/// shut the socket down cleanly either way.
+fn process_loop(
+    rx: Receiver<Job>,
+    writer: &Mutex<TcpStream>,
+    shared: &Shared,
+    conn_queued: &AtomicU64,
+) {
+    let mut writer_dead = false;
+    for job in rx {
+        if writer_dead {
+            // The client stopped reading: release reservations without
+            // executing — unacknowledged work carries no guarantee.
+            release(shared, conn_queued, job.weight);
+            continue;
+        }
+        let body = execute(shared, job.body);
+        release(shared, conn_queued, job.weight);
+        let response = Response { id: job.id, body };
+        if send(writer, &response).is_err() {
+            writer_dead = true;
+        }
+    }
+    if !writer_dead && shared.drain.is_tripped() {
+        let _ = send(
+            writer,
+            &Response {
+                id: UNSOLICITED_ID,
+                body: ResponseBody::Draining,
+            },
+        );
+    }
+    let stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, Session> {
+    shared.engine.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Perform one operation against the engine.  The returned epoch is the
+/// global applied-update count observed **under the lock**, which is
+/// what makes acknowledgements totally ordered.
+fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
+    match body {
+        RequestBody::Apply(update) => {
+            let mut engine = lock_engine(shared);
+            match engine.apply(update) {
+                Ok(flips) => ResponseBody::Applied {
+                    epoch: engine.updates_applied(),
+                    flips: flips.len() as u64,
+                },
+                Err(e) => ResponseBody::Rejected(e.into()),
+            }
+        }
+        RequestBody::BatchApply(updates) => {
+            let mut engine = lock_engine(shared);
+            let before = engine.updates_applied();
+            let flips = engine.apply_batch(&updates);
+            let epoch = engine.updates_applied();
+            ResponseBody::BatchApplied {
+                epoch,
+                applied: epoch - before,
+                rejected: updates.len() as u64 - (epoch - before),
+                flips: flips.len() as u64,
+            }
+        }
+        RequestBody::GroupBy(vertices) => {
+            let mut engine = lock_engine(shared);
+            let groups = engine.cluster_group_by(&vertices);
+            ResponseBody::Groups {
+                epoch: engine.updates_applied(),
+                groups,
+            }
+        }
+        RequestBody::Stats {
+            include_state_checksum,
+        } => {
+            let mut engine = lock_engine(shared);
+            let state_checksum = include_state_checksum.then(|| fnv1a(&engine.checkpoint_bytes()));
+            ResponseBody::Stats(StatsReply {
+                algorithm: engine.algorithm_name().to_string(),
+                epoch: engine.updates_applied(),
+                num_vertices: engine.num_vertices() as u64,
+                num_edges: engine.num_edges() as u64,
+                queued_updates: shared.queued.load(Ordering::SeqCst),
+                connections: shared.connections.load(Ordering::SeqCst),
+                checkpoints_written: engine.checkpoints_written(),
+                draining: shared.drain.is_tripped(),
+                state_checksum,
+            })
+        }
+        RequestBody::CheckpointNow => {
+            let mut engine = lock_engine(shared);
+            match engine.checkpoint_now() {
+                Ok(info) => ResponseBody::CheckpointDone {
+                    sequence: info.sequence,
+                    kind: info.kind,
+                    updates_applied: info.updates_applied,
+                    payload_len: info.payload_len,
+                },
+                Err(e) => ResponseBody::ServerError {
+                    message: e.to_string(),
+                },
+            }
+        }
+        RequestBody::Drain => {
+            let epoch = lock_engine(shared).updates_applied();
+            shared.drain.trip();
+            ResponseBody::DrainStarted { epoch }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Graceful-shutdown signalling.
+//!
+//! [`DrainFlag`] is the one-way "stop admitting work" latch shared by
+//! the accept loop, every connection, and the signal handler; the server
+//! polls it and runs the drain sequence (stop admissions → flush queues
+//! → final full checkpoint → terminal replies → exit) once it trips.
+//!
+//! [`install_sigterm_handler`] arms a SIGTERM handler that trips a
+//! process-global latch.  The handler only stores into an `AtomicBool` —
+//! the entire async-signal-safe budget — and the server threads do all
+//! actual work outside signal context.  The binding to `signal(2)` is a
+//! direct `extern "C"` declaration because the image has no `libc`
+//! crate; on non-Unix targets the function is a no-op and only the
+//! in-band `Drain` request can trigger a drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A one-way latch: once tripped it stays tripped.
+#[derive(Clone, Default)]
+pub struct DrainFlag {
+    tripped: Arc<AtomicBool>,
+}
+
+impl DrainFlag {
+    /// A fresh, untripped latch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the latch.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the latch has tripped (directly or via a signal this
+    /// latch was armed for).
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst) || sigterm_received()
+    }
+}
+
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the process has received SIGTERM since
+/// [`install_sigterm_handler`] ran.
+pub fn sigterm_received() -> bool {
+    SIGTERM_RECEIVED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGTERM_RECEIVED;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: c_int) {
+        // Only an atomic store: the async-signal-safe budget.
+        SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Arm the process-global SIGTERM latch (idempotent).  Call once at
+/// server start; every [`DrainFlag`] then also observes the signal.
+pub fn install_sigterm_handler() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_one_way_and_shared() {
+        let flag = DrainFlag::new();
+        let clone = flag.clone();
+        assert!(!flag.is_tripped());
+        clone.trip();
+        assert!(flag.is_tripped());
+        assert!(clone.is_tripped());
+    }
+}

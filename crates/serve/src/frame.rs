@@ -1,0 +1,254 @@
+//! The wire framing: length-prefixed, versioned, FNV-checksummed frames,
+//! following the `dynscan_graph::snapshot` codec discipline — magic
+//! bytes, an explicit protocol version, checked lengths, and a payload
+//! checksum, with decoding that **never panics** on truncated or
+//! bit-flipped input (`tests/proto_corruption.rs` proptests every
+//! truncation and single-bit flip).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"DSRV"
+//!      4     2  protocol version (== PROTOCOL_VERSION)
+//!      6     2  reserved, must be zero
+//!      8     4  payload length (<= MAX_FRAME_PAYLOAD)
+//!     12     8  FNV-1a checksum of the payload
+//!     20     …  payload (a `proto` message)
+//! ```
+
+use dynscan_graph::snapshot::fnv1a;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"DSRV";
+
+/// Current protocol version.  Bump on any incompatible message change;
+/// a server refuses frames from other versions with
+/// [`WireError::UnsupportedVersion`] rather than guessing.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 4 + 2 + 2 + 4 + 8;
+
+/// Upper bound on a frame payload: large enough for any batch the
+/// protocol admits, small enough that a hostile length field cannot make
+/// the receiver allocate unbounded memory.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+/// Why a frame or message failed to decode (or a socket failed).
+/// Decoding returns this — it never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The underlying socket/stream failed.
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// The I/O error message.
+        message: String,
+    },
+    /// The input ended before the frame did.
+    Truncated,
+    /// The frame does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The frame's protocol version is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion {
+        /// The version the frame declared.
+        found: u16,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge {
+        /// The declared length.
+        len: u64,
+    },
+    /// The payload checksum does not match — bytes were corrupted in
+    /// flight.
+    ChecksumMismatch,
+    /// The payload decoded inconsistently (bad tag, length overrun,
+    /// trailing bytes, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io { kind, message } => write!(f, "i/o error ({kind:?}): {message}"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (expected {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::TooLarge { len } => {
+                write!(
+                    f,
+                    "declared payload length {len} exceeds {MAX_FRAME_PAYLOAD}"
+                )
+            }
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        // A short read mid-frame is a truncation, not a generic I/O
+        // failure — the distinction matters to the corruption tests.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io {
+                kind: e.kind(),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+/// Frame `payload` into a fresh byte vector (header + payload).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_PAYLOAD`] — the `proto` layer
+/// bounds every message far below it.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "payload of {} bytes exceeds the frame bound",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one frame to `w` (single `write_all`, so a frame is never
+/// interleaved with another writer's bytes at this layer; callers
+/// serialise writers per connection).
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Validate a frame header, returning the declared payload length and
+/// checksum.  Shared by the slice decoder, the stream reader, and the
+/// server's resumable polling reader.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u64), WireError> {
+    if header[0..4] != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    if u16::from_le_bytes([header[6], header[7]]) != 0 {
+        return Err(WireError::Malformed("reserved header bytes must be zero"));
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLarge { len: len as u64 });
+    }
+    let checksum = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    Ok((len, checksum))
+}
+
+/// Decode one frame from the front of `bytes`, returning the payload and
+/// the number of bytes consumed.  Pure slice-based form used by the
+/// corruption proptests; never panics, never reads past `bytes`.
+pub fn decode_frame(bytes: &[u8]) -> Result<(&[u8], usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("sized above");
+    let (len, declared) = parse_header(header)?;
+    let Some(payload) = bytes.get(HEADER_LEN..HEADER_LEN + len) else {
+        return Err(WireError::Truncated);
+    };
+    if fnv1a(payload) != declared {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok((payload, HEADER_LEN + len))
+}
+
+/// Read one frame's payload from `r`.  Blocks per the stream's timeout
+/// configuration; a clean EOF before the first header byte surfaces as
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut dyn Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (len, declared) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != declared {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_slice_and_stream() {
+        for payload in [&b""[..], b"x", b"hello framed world"] {
+            let framed = encode_frame(payload);
+            let (decoded, consumed) = decode_frame(&framed).unwrap();
+            assert_eq!(decoded, payload);
+            assert_eq!(consumed, framed.len());
+            let mut cursor = std::io::Cursor::new(&framed);
+            assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_frame() {
+        let mut two = encode_frame(b"first");
+        two.extend_from_slice(&encode_frame(b"second"));
+        let (p1, used) = decode_frame(&two).unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, _) = decode_frame(&two[used..]).unwrap();
+        assert_eq!(p2, b"second");
+    }
+
+    #[test]
+    fn typed_header_rejections() {
+        let good = encode_frame(b"payload");
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_frame(&bad).unwrap_err(), WireError::BadMagic);
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            decode_frame(&bad).unwrap_err(),
+            WireError::UnsupportedVersion { found: 99 }
+        );
+        let mut bad = good.clone();
+        bad[6] = 1;
+        assert!(matches!(decode_frame(&bad), Err(WireError::Malformed(_))));
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::TooLarge { .. })
+        ));
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), WireError::ChecksumMismatch);
+        assert_eq!(
+            decode_frame(&good[..good.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! # dynscan-serve
+//!
+//! Clustering-as-a-service: a crash-safe, backpressured TCP front-end
+//! over the `dynscan` [`Session`](dynscan_core::Session) — the service
+//! layer the durability stack (incremental background checkpoints,
+//! retention, chain resume) was built for.
+//!
+//! The server ([`Server`]) is thread-per-connection over
+//! `std::net::TcpListener` and speaks a hand-rolled length-prefixed,
+//! versioned, FNV-checksummed framed protocol ([`frame`], [`proto`])
+//! with typed requests — `Apply`, `BatchApply`, `GroupBy`, `Stats`,
+//! `CheckpointNow`, `Drain` — all routed onto **one** shared engine.
+//! The client library ([`Client`]) adds a
+//! retry/timeout/exponential-backoff-with-jitter policy on top.
+//!
+//! ## The consistency contract
+//!
+//! All requests from all connections are applied to a single engine
+//! under one lock, which yields one **global total order** of updates;
+//! the *epoch* in every acknowledgement is the count of updates applied
+//! when the operation finished, i.e. the operation's position in that
+//! order.  Precisely:
+//!
+//! * **Acknowledged writes are visible** (read-your-writes and more):
+//!   when a client receives `Applied{epoch}` / `BatchApplied{epoch}`,
+//!   the update(s) were already applied to the engine *before* the
+//!   acknowledgement was sent.  Every `GroupBy` — by this client or any
+//!   other — whose processing starts after that moment observes a state
+//!   that includes them; its `Groups{epoch}` carries an epoch ≥ the
+//!   write's.  A client's own later `GroupBy` therefore always observes
+//!   at least its own acknowledged updates (the [`Client`] handle
+//!   additionally *verifies* this, failing with a protocol error if the
+//!   observed epoch ever ran backwards past its acknowledged floor).
+//! * **Concurrent clients observe a prefix**: a query observes exactly
+//!   the first `epoch` updates of the global order — never a gap, never
+//!   a reordering.  Two concurrent queries may observe different epochs,
+//!   but always two prefixes of the *same* order (one extends the
+//!   other).  Unacknowledged updates (in flight, refused with
+//!   `Overloaded`, or lost with a dead connection) may or may not be in
+//!   that prefix; no guarantee attaches to them until their
+//!   acknowledgement arrives.
+//! * **Acknowledged-implies-durable, up to the last checkpoint**: with a
+//!   checkpoint directory configured, a *graceful* drain (SIGTERM or a
+//!   `Drain` request) flushes every admitted update and ends with a full
+//!   checkpoint, so nothing acknowledged is lost.  After a *crash*
+//!   (kill -9), restart resumes from the newest stored chain: the state
+//!   is byte-identical to the global order's prefix at the last
+//!   completed checkpoint — every update acknowledged *before* that
+//!   checkpoint survives; acknowledged updates *after* it are lost with
+//!   the crash (the gap is bounded by the checkpoint cadence plus any
+//!   in-flight write).  The kill-and-resume fault-injection test pins
+//!   exactly this characterisation.
+//! * **Overload is typed, not buffered**: per-connection and global
+//!   queued-update budgets are fixed; a request over budget is answered
+//!   `Overloaded{retry_after}` immediately.  The server never buffers
+//!   unboundedly and never silently drops an admitted request — every
+//!   admitted request is answered, and a draining server closes every
+//!   connection with a terminal typed reply, never a dropped socket
+//!   mid-frame.
+//!
+//! ## Wire discipline
+//!
+//! The framing mirrors the snapshot codec it lives next to: magic bytes,
+//! an explicit protocol version, length fields checked against both hard
+//! caps and bytes-remaining, and an FNV-1a payload checksum.  Decoding
+//! **never panics** on truncated or bit-flipped input — the corruption
+//! proptests drive every truncation and every single-bit flip of valid
+//! frames through both decoders.
+
+pub mod client;
+pub mod conn;
+pub mod drain;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{BatchAck, CheckpointAck, Client, ClientError, RetryPolicy};
+pub use drain::{install_sigterm_handler, DrainFlag};
+pub use frame::{WireError, PROTOCOL_VERSION};
+pub use proto::{RejectReason, Request, RequestBody, Response, ResponseBody, StatsReply};
+pub use server::{DrainReport, ServeConfig, ServeError, Server};

@@ -1,0 +1,260 @@
+//! Crash-recovery fault injection against the real `dynscan-served`
+//! binary: kill the server (SIGKILL) at seeded-random points under a
+//! live write workload, restart it on the same checkpoint directory, and
+//! pin the recovery contract:
+//!
+//! * the restarted state is **byte-identical** to a sequential oracle
+//!   that applies exactly the first `k` updates of the send log, where
+//!   `k` is the restarted epoch (checked via the engine's canonical
+//!   state checksum);
+//! * the gap is **precisely characterised**: `k` is a whole number of
+//!   checkpoint intervals, at least the last interval completed before
+//!   the newest acknowledged write (foreground checkpoints finish before
+//!   the acknowledgement that crosses them), and never beyond what was
+//!   sent;
+//! * a **graceful** SIGTERM drain, by contrast, loses nothing: the final
+//!   checkpoint covers every acknowledged update exactly.
+//!
+//! Updates are a growing path `Insert(j, j+1)`, so the send log is a
+//! pure function of the global update index and every prefix is valid —
+//! the oracle needs only `k` to replay.
+
+use dynscan_core::{Backend, GraphUpdate, Params, Session, VertexId};
+use dynscan_graph::snapshot::fnv1a;
+use dynscan_serve::{Client, RetryPolicy};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+const CHECKPOINT_EVERY: u64 = 4;
+const EPS: f64 = 0.5;
+const MU: u64 = 2;
+const SEED: u64 = 42;
+
+fn oracle_params() -> Params {
+    Params::jaccard(EPS, MU as usize)
+        .with_exact_labels()
+        .with_seed(SEED)
+}
+
+fn server_command(dir: &Path, port_file: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dynscan-served"));
+    cmd.arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--checkpoint-every")
+        .arg(CHECKPOINT_EVERY.to_string())
+        .arg("--eps")
+        .arg(EPS.to_string())
+        .arg("--mu")
+        .arg(MU.to_string())
+        .arg("--exact-labels")
+        .arg("--seed")
+        .arg(SEED.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    cmd
+}
+
+/// Start the binary and wait for it to publish its bound address.
+fn start_server(dir: &Path, round: usize) -> (Child, SocketAddr) {
+    let port_file = dir.join(format!("port-{round}"));
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = server_command(dir, &port_file)
+        .spawn()
+        .expect("server binary spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(&port_file) {
+            if let Ok(addr) = contents.trim().parse::<SocketAddr>() {
+                return (child, addr);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("server exited before publishing its address: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn quick_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        request_timeout: Duration::from_secs(10),
+        seed,
+    }
+}
+
+/// Ask a fresh server for its epoch and canonical state checksum.
+fn observe(addr: SocketAddr) -> (u64, u64) {
+    let mut client = Client::connect_with(addr, quick_policy(7)).expect("connect to observe");
+    let stats = client.stats(true).expect("stats with state checksum");
+    (
+        stats.epoch,
+        stats.state_checksum.expect("checksum requested"),
+    )
+}
+
+/// The sequential oracle: the state after exactly the first `k` updates
+/// of the send log, applied the same way the server applies them (one
+/// `Session::apply` per update), reduced to its canonical byte checksum.
+fn oracle_checksum(k: u64) -> u64 {
+    let mut oracle = Session::builder()
+        .backend(Backend::DynStrClu)
+        .params(oracle_params())
+        .build()
+        .expect("oracle session");
+    for j in 0..k {
+        oracle
+            .apply(GraphUpdate::Insert(
+                VertexId(j as u32),
+                VertexId(j as u32 + 1),
+            ))
+            .expect("path edges are always fresh");
+    }
+    fnv1a(&oracle.checkpoint_bytes())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dynscan-kill-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+#[test]
+fn kill_and_resume_recovers_the_acknowledged_checkpointed_prefix() {
+    let dir = temp_dir("rounds");
+    let mut rng = SmallRng::seed_from_u64(0x6b69_6c6c_7265_7375);
+    // `k`: updates the surviving state covers (== next update index).
+    let mut k = 0u64;
+    for round in 0..3usize {
+        let (mut child, addr) = start_server(&dir, round);
+        let (observed, _) = observe(addr);
+        assert_eq!(
+            observed, k,
+            "round {round}: resume covers the surviving prefix"
+        );
+        // Writer: applies the global send log from index k under load
+        // from a concurrent reader, until the server dies under it.
+        let writer = std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect_with(addr, quick_policy(round as u64)) else {
+                return (0u64, 0u64);
+            };
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            let mut j = k;
+            loop {
+                sent += 1;
+                match client.apply(GraphUpdate::Insert(
+                    VertexId(j as u32),
+                    VertexId(j as u32 + 1),
+                )) {
+                    Ok(_) => {
+                        acked += 1;
+                        j += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            (sent, acked)
+        });
+        let reader = std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect_with(addr, quick_policy(100 + round as u64))
+            else {
+                return;
+            };
+            while client.group_by(&[VertexId(0), VertexId(1)]).is_ok() {}
+        });
+        // The fault injection: SIGKILL at a seeded-random point.
+        std::thread::sleep(Duration::from_millis(rng.gen_range(5..80)));
+        child.kill().expect("SIGKILL the server");
+        child.wait().expect("reap the server");
+        let (sent, acked) = writer.join().expect("writer thread");
+        reader.join().expect("reader thread");
+
+        // Restart on the same directory and characterise what survived.
+        let (child2, addr2) = start_server(&dir, 100 + round);
+        let (new_k, state_checksum) = observe(addr2);
+        let acked_total = k + acked;
+        let sent_total = k + sent;
+        assert_eq!(
+            new_k % CHECKPOINT_EVERY,
+            0,
+            "round {round}: the surviving prefix is a whole number of checkpoint intervals"
+        );
+        assert!(
+            new_k >= (acked_total / CHECKPOINT_EVERY) * CHECKPOINT_EVERY,
+            "round {round}: a foreground checkpoint completes before the acknowledgement \
+             that crosses it (acked {acked_total}, recovered {new_k})"
+        );
+        assert!(
+            new_k <= sent_total,
+            "round {round}: recovery cannot invent updates (sent {sent_total}, recovered {new_k})"
+        );
+        // The gap is exactly the acknowledged suffix past the last
+        // checkpoint — strictly less than one interval.
+        assert!(
+            acked_total.saturating_sub(new_k) < CHECKPOINT_EVERY,
+            "round {round}: gap {} exceeds a checkpoint interval",
+            acked_total.saturating_sub(new_k)
+        );
+        assert_eq!(
+            state_checksum,
+            oracle_checksum(new_k),
+            "round {round}: restarted state diverges from the sequential oracle at k={new_k}"
+        );
+        // Tear the probe server down hard; the next round re-verifies
+        // resume from whatever chain it left.
+        let mut child2 = child2;
+        child2.kill().expect("kill probe server");
+        child2.wait().expect("reap probe server");
+        k = new_k;
+    }
+
+    // Graceful shutdown, by contrast, loses nothing: SIGTERM drains with
+    // a final full checkpoint covering every acknowledged update.
+    let (child, addr) = start_server(&dir, 999);
+    let mut client = Client::connect_with(addr, quick_policy(9)).expect("connect");
+    for j in k..k + 3 {
+        client
+            .apply(GraphUpdate::Insert(
+                VertexId(j as u32),
+                VertexId(j as u32 + 1),
+            ))
+            .expect("apply");
+    }
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    let mut child = child;
+    let exit = child.wait().expect("server exits on SIGTERM");
+    assert!(exit.success(), "graceful drain exits cleanly: {exit}");
+    let (child3, addr3) = start_server(&dir, 1000);
+    let (final_k, checksum) = observe(addr3);
+    assert_eq!(
+        final_k,
+        k + 3,
+        "graceful drain checkpointed every acknowledged update"
+    );
+    assert_eq!(checksum, oracle_checksum(final_k));
+    let mut child3 = child3;
+    child3.kill().expect("kill final server");
+    child3.wait().expect("reap final server");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,339 @@
+//! Wire-protocol robustness, mirroring `tests/snapshot_corruption.rs`
+//! for the service framing: every truncation and every single-bit flip
+//! of a valid request/response frame must decode to `Err` — never a
+//! panic, and never a silently *wrong* message.
+//!
+//! "Silently wrong" is defined tightly: the frame checksum covers the
+//! whole payload, so a flip that still decodes can only sit in header
+//! bytes that do not participate in decoding — and the frame header has
+//! none (magic, version, reserved, length and checksum are all
+//! validated).  If a corrupted frame nevertheless decodes, the decoded
+//! message must re-encode to exactly the pristine frame's message bytes.
+
+use dynscan_core::{GraphUpdate, SnapshotKind, VertexId};
+use dynscan_graph::snapshot::fnv1a;
+use dynscan_serve::frame::{decode_frame, encode_frame, read_frame, HEADER_LEN};
+use dynscan_serve::proto::StatsReply;
+use dynscan_serve::{RejectReason, Request, RequestBody, Response, ResponseBody};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// One pristine frame per message shape, requests and responses both —
+/// every protocol tag and every nested payload layout is represented.
+struct Fixture {
+    /// `(message payload, full frame)` pairs for every request shape.
+    requests: Vec<(Vec<u8>, Vec<u8>)>,
+    /// `(message payload, full frame)` pairs for every response shape.
+    responses: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let requests = [
+            Request {
+                id: 1,
+                body: RequestBody::Apply(GraphUpdate::Insert(v(3), v(9))),
+            },
+            Request {
+                id: 2,
+                body: RequestBody::BatchApply(vec![
+                    GraphUpdate::Insert(v(0), v(1)),
+                    GraphUpdate::Delete(v(1), v(2)),
+                    GraphUpdate::Insert(v(7), v(4)),
+                ]),
+            },
+            Request {
+                id: u64::MAX,
+                body: RequestBody::GroupBy(vec![v(0), v(5), v(13)]),
+            },
+            Request {
+                id: 4,
+                body: RequestBody::Stats {
+                    include_state_checksum: true,
+                },
+            },
+            Request {
+                id: 5,
+                body: RequestBody::CheckpointNow,
+            },
+            Request {
+                id: 6,
+                body: RequestBody::Drain,
+            },
+        ];
+        let responses = vec![
+            Response {
+                id: 1,
+                body: ResponseBody::Applied {
+                    epoch: 41,
+                    flips: 3,
+                },
+            },
+            Response {
+                id: 2,
+                body: ResponseBody::BatchApplied {
+                    epoch: 44,
+                    applied: 3,
+                    rejected: 1,
+                    flips: 9,
+                },
+            },
+            Response {
+                id: 3,
+                body: ResponseBody::Groups {
+                    epoch: 44,
+                    groups: vec![vec![v(0), v(5)], vec![v(13)]],
+                },
+            },
+            Response {
+                id: 4,
+                body: ResponseBody::Stats(StatsReply {
+                    algorithm: "dynstrclu".to_string(),
+                    epoch: 44,
+                    num_vertices: 14,
+                    num_edges: 35,
+                    queued_updates: 2,
+                    connections: 3,
+                    checkpoints_written: 5,
+                    draining: false,
+                    state_checksum: Some(0xdead_beef_cafe_f00d),
+                }),
+            },
+            Response {
+                id: 5,
+                body: ResponseBody::CheckpointDone {
+                    sequence: 7,
+                    kind: SnapshotKind::Full,
+                    updates_applied: 44,
+                    payload_len: 4096,
+                },
+            },
+            Response {
+                id: 6,
+                body: ResponseBody::DrainStarted { epoch: 44 },
+            },
+            Response {
+                id: 7,
+                body: ResponseBody::Rejected(RejectReason::DuplicateInsert { u: v(1), v: v(2) }),
+            },
+            Response {
+                id: 8,
+                body: ResponseBody::Overloaded {
+                    retry_after_millis: 25,
+                },
+            },
+            Response {
+                id: 0,
+                body: ResponseBody::Draining,
+            },
+            Response {
+                id: 0,
+                body: ResponseBody::ServerError {
+                    message: "injected".to_string(),
+                },
+            },
+        ];
+        Fixture {
+            requests: requests
+                .iter()
+                .map(|r| {
+                    let payload = r.encode();
+                    let frame = encode_frame(&payload);
+                    (payload, frame)
+                })
+                .collect(),
+            responses: responses
+                .iter()
+                .map(|r| {
+                    let payload = r.encode();
+                    let frame = encode_frame(&payload);
+                    (payload, frame)
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Feed corrupted frame bytes through every consumption path a peer has:
+/// slice decoding, stream reading, and (when the frame survives) message
+/// decoding.  Nothing may panic; a surviving message must re-encode to
+/// the pristine message bytes.
+fn check_request_frame(bytes: &[u8], pristine_payload: &[u8]) {
+    if let Ok((payload, consumed)) = decode_frame(bytes) {
+        assert!(consumed <= bytes.len());
+        assert_eq!(
+            payload, pristine_payload,
+            "corrupted frame decoded to different payload bytes"
+        );
+        if let Ok(request) = Request::decode(payload) {
+            assert_eq!(request.encode(), pristine_payload);
+        }
+    }
+    let mut stream = bytes;
+    if let Ok(payload) = read_frame(&mut stream) {
+        assert_eq!(payload, pristine_payload);
+    }
+    // The message decoder must also survive the corrupted bytes when fed
+    // directly (a frame-less transport or a buggy peer).
+    let _ = Request::decode(bytes);
+}
+
+fn check_response_frame(bytes: &[u8], pristine_payload: &[u8]) {
+    if let Ok((payload, consumed)) = decode_frame(bytes) {
+        assert!(consumed <= bytes.len());
+        assert_eq!(payload, pristine_payload);
+        if let Ok(response) = Response::decode(payload) {
+            assert_eq!(response.encode(), pristine_payload);
+        }
+    }
+    let mut stream = bytes;
+    if let Ok(payload) = read_frame(&mut stream) {
+        assert_eq!(payload, pristine_payload);
+    }
+    let _ = Response::decode(bytes);
+}
+
+/// Exhaustive: every truncation of every fixture frame is a typed error
+/// through both the slice and the stream decoder.  (Frames are small, so
+/// this needs no sampling.)
+#[test]
+fn every_truncation_of_every_frame_errors() {
+    let fx = fixture();
+    for (_, frame) in fx.requests.iter().chain(&fx.responses) {
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "truncation at {cut}/{} decoded",
+                frame.len()
+            );
+            let mut stream = &frame[..cut];
+            assert!(read_frame(&mut stream).is_err());
+        }
+        // The pristine frame itself decodes, for contrast.
+        assert!(decode_frame(frame).is_ok());
+    }
+}
+
+/// Exhaustive: every single-bit flip of every fixture frame either
+/// errors or decodes to the pristine message.  The payload is covered by
+/// the FNV-1a checksum and every header byte is validated, so in
+/// practice every flip errors — the check tolerates (and verifies) the
+/// stronger property rather than assuming it.
+#[test]
+fn every_single_bit_flip_of_every_frame_is_caught() {
+    let fx = fixture();
+    for (payload, frame) in &fx.requests {
+        for index in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[index] ^= 1 << bit;
+                check_request_frame(&bad, payload);
+            }
+        }
+    }
+    for (payload, frame) in &fx.responses {
+        for index in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[index] ^= 1 << bit;
+                check_response_frame(&bad, payload);
+            }
+        }
+    }
+}
+
+/// A flip strictly inside the payload *must* error (the checksum covers
+/// it) — the stronger guarantee the frame layer gives the message layer.
+#[test]
+fn payload_flips_always_error() {
+    let fx = fixture();
+    for (_, frame) in fx.requests.iter().chain(&fx.responses) {
+        for index in HEADER_LEN..frame.len() {
+            let mut bad = frame.clone();
+            bad[index] ^= 0x10;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "payload flip at byte {index} slipped past the checksum"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random multi-byte corruption: any number of byte-level xors over a
+    /// valid frame still decodes to `Err` or the pristine message.
+    #[test]
+    fn random_multibyte_corruption_never_panics(
+        which in 0usize..16,
+        edits in prop::collection::vec((0usize..4096, 1u8..=255), 1..8),
+    ) {
+        let fx = fixture();
+        let total = fx.requests.len() + fx.responses.len();
+        let (payload, frame, is_request) = {
+            let i = which % total;
+            if i < fx.requests.len() {
+                (&fx.requests[i].0, &fx.requests[i].1, true)
+            } else {
+                let j = i - fx.requests.len();
+                (&fx.responses[j].0, &fx.responses[j].1, false)
+            }
+        };
+        let mut bad = frame.clone();
+        for &(index, flip) in &edits {
+            let index = index % bad.len();
+            bad[index] ^= flip;
+        }
+        if is_request {
+            check_request_frame(&bad, payload);
+        } else {
+            check_response_frame(&bad, payload);
+        }
+    }
+
+    /// Arbitrary garbage prefixed with the real frame magic must error
+    /// through every entry point — decoders must not trust the magic.
+    #[test]
+    fn garbage_with_magic_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..192)) {
+        let mut blob = b"DSRV".to_vec();
+        blob.extend_from_slice(&bytes);
+        // A well-formed frame materialising from random garbage would
+        // need a matching FNV-1a checksum; what matters here is that no
+        // entry point panics and nothing over-consumes.
+        if let Ok((payload, consumed)) = decode_frame(&blob) {
+            prop_assert!(consumed <= blob.len());
+            prop_assert_eq!(fnv1a(payload), u64::from_le_bytes(blob[12..20].try_into().unwrap()));
+        }
+        let mut stream = &blob[..];
+        let _ = read_frame(&mut stream);
+        let _ = Request::decode(&blob);
+        let _ = Response::decode(&blob);
+    }
+
+    /// Truncations of a *stream* of several concatenated frames: the
+    /// decoder consumes whole frames up to the cut and errors exactly at
+    /// the torn one, without over-consuming.
+    #[test]
+    fn truncated_frame_streams_stop_cleanly(cut_scale in 0u32..10_000) {
+        let fx = fixture();
+        let mut blob = Vec::new();
+        for (_, frame) in fx.requests.iter().take(3) {
+            blob.extend_from_slice(frame);
+        }
+        let cut = blob.len() * cut_scale as usize / 10_000;
+        let mut rest = &blob[..cut];
+        let mut whole_frames = 0usize;
+        while let Ok((payload, consumed)) = decode_frame(rest) {
+            prop_assert!(Request::decode(payload).is_ok());
+            rest = &rest[consumed..];
+            whole_frames += 1;
+        }
+        prop_assert!(whole_frames <= 3);
+    }
+}

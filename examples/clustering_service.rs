@@ -1,0 +1,97 @@
+//! Clustering-as-a-service, end to end: start the TCP server in-process
+//! with durability enabled, drive it from several concurrent clients,
+//! query clusters with read-your-writes, drain gracefully, and resume
+//! from the checkpoint chain — the service-layer tour of the stack.
+//!
+//! ```text
+//! cargo run --release --example clustering_service
+//! ```
+
+use dynscan::core::{GraphUpdate, Params, VertexId};
+use dynscan::serve::{Client, RetryPolicy, ServeConfig, Server};
+use std::time::Duration;
+
+fn policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        seed,
+        base_delay: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("dynscan-service-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A server with background checkpoints every 16 updates.  Port 0
+    // picks a free port; production would pass a fixed address (or run
+    // the standalone `dynscan-served` binary).
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.params = Params::jaccard(0.5, 2).with_exact_labels();
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = Some(16);
+    cfg.background_checkpoints = true;
+    let server = Server::start(cfg.clone()).expect("server starts");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // Three concurrent writers, each growing its own clique over TCP.
+    // An acknowledgement means the update is applied and durable up to
+    // the checkpoint cadence; queries always observe one's own acks.
+    let writers: Vec<_> = (0..3u32)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(addr, policy(w as u64)).expect("connect");
+                let base = w * 10;
+                for a in 0..6u32 {
+                    for b in (a + 1)..6 {
+                        client
+                            .apply(GraphUpdate::Insert(VertexId(base + a), VertexId(base + b)))
+                            .expect("acknowledged");
+                    }
+                }
+                client.last_acked_epoch()
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer finishes");
+    }
+
+    // Query: three 6-cliques → three clusters.
+    let mut client = Client::connect_with(addr, policy(99)).expect("connect");
+    let query: Vec<VertexId> = (0..3).map(|w| VertexId(w * 10)).collect();
+    let groups = client.group_by(&query).expect("query");
+    println!("clusters over {:?}: {groups:?}", query);
+    assert_eq!(groups.len(), 3, "three cliques, three clusters");
+
+    let stats = client.stats(false).expect("stats");
+    println!(
+        "epoch {} | {} vertices, {} edges | {} checkpoints written",
+        stats.epoch, stats.num_vertices, stats.num_edges, stats.checkpoints_written
+    );
+    assert_eq!(stats.epoch, 45, "3 writers x 15 clique edges");
+
+    // Graceful drain: in-band request; every connection gets a terminal
+    // typed reply and the server exits with a final full checkpoint.
+    client.drain().expect("drain accepted");
+    let report = server.wait();
+    let final_info = report.final_checkpoint.expect("durable drain checkpoints");
+    println!(
+        "drained: {} updates applied, final {:?} checkpoint covering {}",
+        report.updates_applied, final_info.kind, final_info.updates_applied
+    );
+    assert_eq!(final_info.updates_applied, 45);
+
+    // Restart on the same directory: the service resumes exactly where
+    // the drain left it.
+    let server = Server::start(cfg).expect("server resumes");
+    let mut client = Client::connect_with(server.local_addr(), policy(7)).expect("connect");
+    let stats = client.stats(false).expect("stats");
+    println!("resumed at epoch {}", stats.epoch);
+    assert_eq!(stats.epoch, 45, "resume covers every acknowledged update");
+    server.drain_flag().trip();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done");
+}

@@ -22,6 +22,10 @@
 //! * [`workload`] — generators, update streams and bursty batched streams.
 //! * [`bench`](mod@bench) — the experiment harness and batch-throughput
 //!   benchmarks.
+//! * [`serve`] — clustering-as-a-service: the crash-safe, backpressured
+//!   TCP front-end over [`core::Session`] ([`serve::Server`] /
+//!   [`serve::Client`], the `dynscan-served` binary) with its framed,
+//!   checksummed wire protocol.
 
 pub use dynscan_baseline as baseline;
 pub use dynscan_bench as bench;
@@ -30,5 +34,6 @@ pub use dynscan_core as core;
 pub use dynscan_dt as dt;
 pub use dynscan_graph as graph;
 pub use dynscan_metrics as metrics;
+pub use dynscan_serve as serve;
 pub use dynscan_sim as sim;
 pub use dynscan_workload as workload;

@@ -1,0 +1,88 @@
+//! Replay cost of `restore_any_chain`: deriving the expensive derived
+//! modules (vAuxInfo + `CC-Str(G_core)` for DynStrClu, the
+//! similarity-ordered index for the indexed baseline) happens **once per
+//! replay**, not once per delta.  The restore paths report every
+//! derivation through `dynscan_core::testing::derived_rebuilds`, so the
+//! test simply differences the counter around replays of a short and a
+//! long chain and demands identical cost — while also checking the
+//! replay itself is byte-identical to the live state it snapshots.
+//!
+//! The counter is process-global, so every measurement lives inside this
+//! single `#[test]` (this file deliberately holds no other test that
+//! could run concurrently in the same binary).
+
+use dynscan_core::testing::derived_rebuilds;
+use dynscan_core::{restore_any_chain, Backend, MemCheckpointStore, Params, Session, VertexId};
+use dynscan_graph::snapshot::fnv1a;
+
+/// Build a `full + n_deltas` chain by running a session against an
+/// in-memory store, and return the chain together with the live state's
+/// canonical bytes at the end.
+fn build_chain(backend: Backend, n_deltas: u64) -> (Vec<Vec<u8>>, Vec<u8>, u64) {
+    const PER_CHECKPOINT: u64 = 4;
+    let mem = MemCheckpointStore::new();
+    let mut session = Session::builder()
+        .backend(backend)
+        .params(Params::jaccard(0.5, 2).with_exact_labels())
+        .checkpoint_every(PER_CHECKPOINT)
+        // Large enough that only the first checkpoint is full: the rest
+        // of the chain is all deltas.
+        .full_every(1_000_000)
+        .checkpoint_store(mem.clone())
+        .build()
+        .expect("session builds");
+    let updates = PER_CHECKPOINT * (n_deltas + 1);
+    for i in 0..updates {
+        session
+            .apply(dynscan_core::GraphUpdate::Insert(
+                VertexId(i as u32),
+                VertexId(i as u32 + 1),
+            ))
+            .expect("path edges are always fresh");
+    }
+    let chain = mem.chain();
+    assert_eq!(
+        chain.len() as u64,
+        n_deltas + 1,
+        "one full + {n_deltas} deltas"
+    );
+    (chain, session.checkpoint_bytes(), updates)
+}
+
+#[test]
+fn chain_replay_derives_once_per_replay_not_once_per_delta() {
+    // Paired (short, long) chains per backend; the long chain carries 4x
+    // the deltas of the short one.
+    for backend in [Backend::DynStrClu, Backend::IndexedDynScan] {
+        dynscan_baseline::install();
+        let (short_chain, short_state, short_updates) = build_chain(backend, 2);
+        let (long_chain, long_state, long_updates) = build_chain(backend, 8);
+
+        let replay = |chain: &[Vec<u8>], state: &[u8], updates: u64| -> u64 {
+            let before = derived_rebuilds();
+            let restored = restore_any_chain(chain).expect("chain replays");
+            let cost = derived_rebuilds() - before;
+            assert_eq!(restored.updates_applied(), updates);
+            assert_eq!(
+                fnv1a(&restored.checkpoint_bytes()),
+                fnv1a(state),
+                "replayed state is byte-identical to the live state"
+            );
+            cost
+        };
+
+        let short_cost = replay(&short_chain, &short_state, short_updates);
+        let long_cost = replay(&long_chain, &long_state, long_updates);
+        assert_eq!(
+            short_cost, long_cost,
+            "{backend:?}: replay cost must not scale with the number of deltas \
+             (short chain: {short_cost} rebuilds, long chain: {long_cost})"
+        );
+        // One derivation restoring the full snapshot, one for the whole
+        // delta chain — never one per delta.
+        assert_eq!(
+            long_cost, 2,
+            "{backend:?}: a full + 8-delta chain derives exactly twice"
+        );
+    }
+}
