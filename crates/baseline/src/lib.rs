@@ -49,6 +49,9 @@
 //! `Session::builder().backend(Backend::ExactDynScan)` and erased
 //! `restore_any` snapshots of either baseline work.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod exact_dyn;
 pub mod indexed_dyn;
 pub mod snapshot;

@@ -1,15 +1,19 @@
 //! Parallel execution-layer scaling benchmark: persistent pool +
 //! pipelined batches + sharded aux maintenance vs the PR 1 spawn-per-batch
 //! engine, across threads × batch size, with byte-identity enforced.
-//! Prints the comparison table and exports `BENCH_parallel.json` at the
-//! workspace root.
+//! The deque-exercising engines run under both per-worker deque
+//! implementations (lock-free Chase–Lev and the pre-swap mutex one), so
+//! the swap's effect is measured same-run on the same host.  Prints the
+//! comparison table and exports `BENCH_parallel.json` at the workspace
+//! root.
 //!
 //! ```text
 //! cargo bench -p dynscan-bench --bench parallel_scaling
 //! ```
 
 use dynscan_bench::{
-    parallel_rows_to_json, parallel_rows_to_table, run_parallel_scaling, ParallelBenchConfig,
+    lock_free_vs_mutex_geomean, parallel_rows_to_json, parallel_rows_to_table,
+    run_parallel_scaling, ParallelBenchConfig,
 };
 use std::path::PathBuf;
 
@@ -56,6 +60,21 @@ fn main() {
              {host_parallelism}); best pipelined-vs-pr1 at ≥ 4 threads: {best:.2}×"
         );
     }
+
+    // The deque-swap guard: every pooled/pipelined cell ran under both
+    // deque implementations in this same process, so the ratio is free
+    // of machine drift.  The lock-free deque must not regress vs the
+    // mutex one it replaced; 0.95 absorbs the run-to-run wall-clock
+    // noise of individual cells on the 1-core CI container (where
+    // lock-free has no contention to win), while a real regression
+    // hidden behind the refactor would pull the geomean well below it.
+    let geomean = lock_free_vs_mutex_geomean(&rows)
+        .expect("every cell is measured under both deque implementations");
+    eprintln!("lock-free vs mutex deque (same-run geomean over all cells): {geomean:.3}x");
+    assert!(
+        geomean >= 0.95,
+        "lock-free deque regressed vs the mutex deque: {geomean:.3}x same-run geomean"
+    );
 
     let json = parallel_rows_to_json(&config, &rows);
     let out_path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -20,6 +20,9 @@
 //! algorithm wins, by how many orders of magnitude, and how the curves move
 //! with ε, η, ρ and |Q|.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod experiments;
 pub mod export;
@@ -34,8 +37,8 @@ pub use batch::{
     BatchBenchRow,
 };
 pub use parallel::{
-    parallel_rows_to_json, parallel_rows_to_table, run_parallel_scaling, ParallelBenchConfig,
-    ParallelBenchRow,
+    lock_free_vs_mutex_geomean, parallel_rows_to_json, parallel_rows_to_table,
+    run_parallel_scaling, ParallelBenchConfig, ParallelBenchRow,
 };
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;

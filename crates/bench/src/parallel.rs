@@ -85,6 +85,13 @@ pub struct ParallelBenchRow {
     pub threads: usize,
     /// Engine: `"pr1-spawn"`, `"pooled"` or `"pipelined"`.
     pub engine: &'static str,
+    /// Per-worker pool-deque implementation the row ran on:
+    /// `"chase-lev"` ([`rayon::deque::IMPL_NAME`], the lock-free
+    /// default), `"mutex"` (the pre-swap implementation, kept selectable
+    /// so the swap stays measurable same-run on the same host), or
+    /// `"none"` for `pr1-spawn`, which spawns scoped threads and never
+    /// touches a deque.
+    pub deque: &'static str,
     /// Total timed updates.
     pub updates: usize,
     /// Wall-clock seconds of the timed replay (best of two).
@@ -136,6 +143,13 @@ impl Engine {
     }
 }
 
+fn deque_name(deque: rayon::DequeImpl) -> &'static str {
+    match deque {
+        rayon::DequeImpl::LockFree => rayon::deque::IMPL_NAME,
+        rayon::DequeImpl::Mutex => "mutex",
+    }
+}
+
 /// Replay `batches` on a fresh DynStrClu with the given engine; returns
 /// (timed seconds, final state fingerprint).
 fn run_once(
@@ -143,6 +157,7 @@ fn run_once(
     initial: &[(u32, u32)],
     batches: &[Vec<GraphUpdate>],
     engine: Engine,
+    deque: rayon::DequeImpl,
     threads: usize,
 ) -> (f64, String) {
     let mut algo = DynStrClu::new(params);
@@ -153,7 +168,7 @@ fn run_once(
             algo.set_shard_flip_cutoff(usize::MAX);
         }
         Engine::Pooled | Engine::Pipelined => {
-            algo.set_exec_pool(ExecPool::with_threads(threads));
+            algo.set_exec_pool(ExecPool::with_threads_and_deque(threads, deque));
         }
     }
     for &(u, v) in initial {
@@ -200,20 +215,48 @@ pub fn run_parallel_scaling(config: &ParallelBenchConfig) -> Vec<ParallelBenchRo
             let mut reference_fingerprint: Option<String> = None;
             for &threads in &config.thread_counts {
                 let mut pr1_secs = f64::NAN;
-                for engine in [Engine::Pr1Spawn, Engine::Pooled, Engine::Pipelined] {
+                // `pr1-spawn` uses no pool deque and anchors the cell;
+                // the deque-exercising engines then run under both
+                // implementations, so the lock-free-vs-mutex comparison
+                // is same-run, same-host, same-build.
+                let cell_runs = [
+                    (Engine::Pr1Spawn, rayon::DequeImpl::LockFree, "none"),
+                    (
+                        Engine::Pooled,
+                        rayon::DequeImpl::Mutex,
+                        deque_name(rayon::DequeImpl::Mutex),
+                    ),
+                    (
+                        Engine::Pooled,
+                        rayon::DequeImpl::LockFree,
+                        deque_name(rayon::DequeImpl::LockFree),
+                    ),
+                    (
+                        Engine::Pipelined,
+                        rayon::DequeImpl::Mutex,
+                        deque_name(rayon::DequeImpl::Mutex),
+                    ),
+                    (
+                        Engine::Pipelined,
+                        rayon::DequeImpl::LockFree,
+                        deque_name(rayon::DequeImpl::LockFree),
+                    ),
+                ];
+                for (engine, deque, deque_tag) in cell_runs {
                     // Best of two: replays are deterministic, the spread
                     // is machine noise.
                     let (secs_a, fingerprint) =
-                        run_once(params, &initial, &batches, engine, threads);
-                    let (secs_b, _) = run_once(params, &initial, &batches, engine, threads);
+                        run_once(params, &initial, &batches, engine, deque, threads);
+                    let (secs_b, _) = run_once(params, &initial, &batches, engine, deque, threads);
                     let secs = secs_a.min(secs_b);
                     let reference =
                         reference_fingerprint.get_or_insert_with(|| fingerprint.clone());
                     let identical = *reference == fingerprint;
                     assert!(
                         identical,
-                        "{mode}/{batch_size}/{threads}/{} diverged from the reference \
-                         clustering — the execution layer must be semantically inert",
+                        "{mode}/{batch_size}/{threads}/{}/{deque_tag} diverged from the \
+                         reference clustering — the execution layer must be semantically \
+                         inert",
                         engine.name()
                     );
                     if engine == Engine::Pr1Spawn {
@@ -225,6 +268,7 @@ pub fn run_parallel_scaling(config: &ParallelBenchConfig) -> Vec<ParallelBenchRo
                         batch_size,
                         threads,
                         engine: engine.name(),
+                        deque: deque_tag,
                         updates,
                         secs,
                         ops: updates as f64 / secs.max(f64::EPSILON),
@@ -236,6 +280,32 @@ pub fn run_parallel_scaling(config: &ParallelBenchConfig) -> Vec<ParallelBenchRo
         }
     }
     rows
+}
+
+/// The deque-swap guard: the geometric mean, over every (mode, batch,
+/// threads, engine) cell measured under both deque implementations, of
+/// lock-free ops over mutex ops.  `None` when no cell has both rows.
+/// Same-run and same-host by construction, so the ratio isolates the
+/// deque's own effect from machine drift.
+pub fn lock_free_vs_mutex_geomean(rows: &[ParallelBenchRow]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut cells = 0usize;
+    for lf in rows.iter().filter(|r| r.deque == rayon::deque::IMPL_NAME) {
+        let Some(mx) = rows.iter().find(|r| {
+            r.deque == "mutex"
+                && r.engine == lf.engine
+                && r.mode == lf.mode
+                && r.batch_size == lf.batch_size
+                && r.threads == lf.threads
+        }) else {
+            continue;
+        };
+        if lf.ops > 0.0 && mx.ops > 0.0 {
+            log_sum += (lf.ops / mx.ops).ln();
+            cells += 1;
+        }
+    }
+    (cells > 0).then(|| (log_sum / cells as f64).exp())
 }
 
 /// Render rows as the `BENCH_parallel.json` document (hand-rolled JSON —
@@ -252,18 +322,23 @@ pub fn parallel_rows_to_json(config: &ParallelBenchConfig, rows: &[ParallelBench
         "  \"host_parallelism\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    if let Some(geomean) = lock_free_vs_mutex_geomean(rows) {
+        let _ = writeln!(out, "  \"lock_free_vs_mutex_geomean\": {geomean:.3},");
+    }
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"batch_size\": {}, \
-             \"threads\": {}, \"engine\": \"{}\", \"updates\": {}, \"secs\": {:.6}, \
-             \"ops\": {:.1}, \"speedup_vs_pr1\": {:.3}, \"identical_clustering\": {}}}",
+             \"threads\": {}, \"engine\": \"{}\", \"deque\": \"{}\", \"updates\": {}, \
+             \"secs\": {:.6}, \"ops\": {:.1}, \"speedup_vs_pr1\": {:.3}, \
+             \"identical_clustering\": {}}}",
             row.algorithm,
             row.mode,
             row.batch_size,
             row.threads,
             row.engine,
+            row.deque,
             row.updates,
             row.secs,
             row.ops,
@@ -281,18 +356,19 @@ pub fn parallel_rows_to_table(rows: &[ParallelBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<11} {:<10} {:>6} {:>8} {:<10} {:>12} {:>9} {:>10}",
-        "algorithm", "mode", "batch", "threads", "engine", "ops/s", "vs pr1", "identical"
+        "{:<11} {:<10} {:>6} {:>8} {:<10} {:<10} {:>12} {:>9} {:>10}",
+        "algorithm", "mode", "batch", "threads", "engine", "deque", "ops/s", "vs pr1", "identical"
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{:<11} {:<10} {:>6} {:>8} {:<10} {:>12.0} {:>8.2}x {:>10}",
+            "{:<11} {:<10} {:>6} {:>8} {:<10} {:<10} {:>12.0} {:>8.2}x {:>10}",
             row.algorithm,
             row.mode,
             row.batch_size,
             row.threads,
             row.engine,
+            row.deque,
             row.ops,
             row.speedup_vs_pr1,
             row.identical_clustering,
@@ -306,38 +382,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_sweep_is_identical_across_engines_and_threads() {
+    fn quick_sweep_is_identical_across_engines_threads_and_deques() {
         let config = ParallelBenchConfig::quick();
         let rows = run_parallel_scaling(&config);
-        // 2 modes × 1 batch size × 2 thread counts × 3 engines.
-        assert_eq!(rows.len(), 12);
+        // 2 modes × 1 batch size × 2 thread counts × (pr1 + 2 engines ×
+        // 2 deque implementations).
+        assert_eq!(rows.len(), 20);
         assert!(rows.iter().all(|r| r.identical_clustering));
         assert!(rows.iter().all(|r| r.updates > 0 && r.secs > 0.0));
         // The pr1 reference rows carry speedup 1.0 by construction.
         for row in rows.iter().filter(|r| r.engine == "pr1-spawn") {
             assert!((row.speedup_vs_pr1 - 1.0).abs() < 1e-9);
+            assert_eq!(row.deque, "none");
         }
+        // Every deque-exercising cell was measured under both
+        // implementations, so the swap guard has data.
+        let geomean = lock_free_vs_mutex_geomean(&rows).expect("paired deque rows");
+        assert!(geomean.is_finite() && geomean > 0.0);
     }
 
     #[test]
     fn json_and_table_shapes() {
         let config = ParallelBenchConfig::quick();
-        let rows = vec![ParallelBenchRow {
+        let mut rows = vec![ParallelBenchRow {
             algorithm: "DynStrClu",
             mode: "sampled",
             batch_size: 128,
             threads: 4,
             engine: "pipelined",
+            deque: "chase-lev",
             updates: 1024,
             secs: 0.5,
             ops: 2048.0,
             speedup_vs_pr1: 1.7,
             identical_clustering: true,
         }];
+        let mut mutex_row = rows[0].clone();
+        mutex_row.deque = "mutex";
+        mutex_row.ops = 1024.0;
+        rows.push(mutex_row);
         let json = parallel_rows_to_json(&config, &rows);
         assert!(json.contains("\"benchmark\": \"parallel_scaling\""));
         assert!(json.contains("\"engine\": \"pipelined\""));
-        assert!(json.contains("\"speedup_vs_pr1\": 1.700"));
+        assert!(json.contains("\"deque\": \"chase-lev\""));
+        assert!(json.contains("\"deque\": \"mutex\""));
+        // 2048 lock-free ops vs 1024 mutex ops in the one paired cell.
+        assert!(json.contains("\"lock_free_vs_mutex_geomean\": 2.000"));
         assert!(json.trim_end().ends_with('}'));
         let table = parallel_rows_to_table(&rows);
         assert!(table.contains("pipelined"));

@@ -1,0 +1,230 @@
+//! Model-checker self-tests: three deliberately seeded bug classes that
+//! the `interleave` checker must FIND (a passing run here would mean the
+//! scheduler is not actually exploring interleavings), plus proof that
+//! a failing schedule replays deterministically from its printed form.
+//!
+//! The bug classes mirror the Rudra taxonomy the ROADMAP's unsafe-audit
+//! item names, expressed as protocol bugs the checker can reach:
+//!
+//! * **racy counter** — a lost update from a non-atomic read-modify-write;
+//! * **missed wakeup** — a condition checked outside the lock, so the
+//!   notify can fire between check and wait (reachable deadlock);
+//! * **double drop** — a manual last-one-out refcount whose non-atomic
+//!   decrement lets two threads both observe themselves last.
+
+use interleave::scheduler::FailureKind;
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use interleave::sync::{Arc, Condvar, Mutex};
+use interleave::{Builder, Failure, Schedule};
+
+/// Seeded bug 1: two threads increment with a load/store pair instead of
+/// `fetch_add`.  Some schedule interleaves the two RMWs and loses one
+/// update; the final assertion then fails.
+fn racy_counter() {
+    let n = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            interleave::thread::spawn(move || {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+}
+
+/// Seeded bug 2: the waiter checks the flag *before* taking the lock,
+/// then waits.  The schedule where the producer stores and notifies in
+/// that window loses the wakeup: the waiter blocks forever (deadlock).
+fn missed_wakeup() {
+    let state = Arc::new((Mutex::new(false), Condvar::new()));
+    let producer_state = Arc::clone(&state);
+    let producer = interleave::thread::spawn(move || {
+        let (flag, cv) = &*producer_state;
+        *flag.lock().unwrap() = true;
+        cv.notify_one();
+    });
+    let (flag, cv) = &*state;
+    // BUG: the check and the wait are not atomic with respect to the
+    // producer — the correct form re-checks under the lock in a loop.
+    let ready = *flag.lock().unwrap();
+    if !ready {
+        let guard = flag.lock().unwrap();
+        let _guard = cv.wait(guard).unwrap();
+    }
+    producer.join().unwrap();
+}
+
+/// Seeded bug 3: a hand-rolled shared-ownership release protocol that
+/// decrements non-atomically and then *re-reads* the counter to decide
+/// whether it was last.  Schedule: T0 stores 1, T1 stores 0, then both
+/// re-read 0 — both believe they are last and both run the destructor:
+/// a double drop, observed by the drop counter's assertion.
+fn double_drop() {
+    let count = Arc::new(AtomicUsize::new(2));
+    let drops = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let count = Arc::clone(&count);
+            let drops = Arc::clone(&drops);
+            interleave::thread::spawn(move || {
+                // BUG: load/store instead of fetch_sub, and the "am I
+                // last?" check re-reads the counter separately.
+                let v = count.load(Ordering::SeqCst);
+                count.store(v - 1, Ordering::SeqCst);
+                if count.load(Ordering::SeqCst) == 0 {
+                    let already = drops.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(already, 0, "value dropped twice");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn find_bug(name: &str, f: fn()) -> Failure {
+    Builder::default()
+        .check(f)
+        .expect_err(&format!("the checker must find the seeded {name} bug"))
+}
+
+#[test]
+fn finds_the_racy_counter() {
+    let failure = find_bug("racy-counter", racy_counter);
+    match &failure.kind {
+        FailureKind::Panic { message, .. } => {
+            assert!(message.contains("an increment was lost"), "{message}")
+        }
+        other => panic!("expected an assertion failure, got {other}"),
+    }
+}
+
+#[test]
+fn finds_the_missed_wakeup_as_a_deadlock() {
+    let failure = find_bug("missed-wakeup", missed_wakeup);
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected a deadlock, got {}",
+        failure.kind
+    );
+}
+
+#[test]
+fn finds_the_double_drop() {
+    let failure = find_bug("double-drop", double_drop);
+    match &failure.kind {
+        FailureKind::Panic { message, .. } => {
+            assert!(message.contains("dropped twice"), "{message}")
+        }
+        other => panic!("expected an assertion failure, got {other}"),
+    }
+}
+
+/// The failing schedule, *as printed*, replays to the identical failure
+/// — twice, through the string form, like a developer pasting it from a
+/// CI log.
+#[test]
+fn failing_schedules_replay_deterministically_from_their_printed_form() {
+    for (name, fixture) in [
+        ("racy-counter", racy_counter as fn()),
+        ("missed-wakeup", missed_wakeup as fn()),
+        ("double-drop", double_drop as fn()),
+    ] {
+        let failure = find_bug(name, fixture);
+        let printed = failure.schedule.to_string();
+        for round in 0..2 {
+            let parsed: Schedule = printed.parse().expect("printed schedules parse back");
+            let replayed = Builder::default()
+                .replay(&parsed, fixture)
+                .expect_err("replaying a failing schedule must fail");
+            assert_eq!(
+                std::mem::discriminant(&replayed.kind),
+                std::mem::discriminant(&failure.kind),
+                "{name} round {round}: replay failure kind diverged"
+            );
+            match (&replayed.kind, &failure.kind) {
+                (FailureKind::Panic { message: a, .. }, FailureKind::Panic { message: b, .. }) => {
+                    assert_eq!(a, b, "{name}: replayed panic message diverged")
+                }
+                (FailureKind::Deadlock { blocked: a }, FailureKind::Deadlock { blocked: b }) => {
+                    assert_eq!(a, b, "{name}: replayed deadlock shape diverged")
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The fixed versions of all three fixtures pass exhaustively — the
+/// checker separates the buggy protocol from the corrected one, rather
+/// than flagging everything concurrent.
+#[test]
+fn corrected_fixtures_pass() {
+    // fetch_add instead of load/store.
+    Builder::default()
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    interleave::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect("atomic counter is correct");
+
+    // Check-under-lock in a while loop.
+    Builder::default()
+        .check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let producer_state = Arc::clone(&state);
+            let producer = interleave::thread::spawn(move || {
+                let (flag, cv) = &*producer_state;
+                *flag.lock().unwrap() = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*state;
+            let mut guard = flag.lock().unwrap();
+            while !*guard {
+                guard = cv.wait(guard).unwrap();
+            }
+            drop(guard);
+            producer.join().unwrap();
+        })
+        .expect("locked re-check loop is correct");
+
+    // fetch_sub's returned value makes exactly one thread last.
+    Builder::default()
+        .check(|| {
+            let count = Arc::new(AtomicUsize::new(2));
+            let drops = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let count = Arc::clone(&count);
+                    let drops = Arc::clone(&drops);
+                    interleave::thread::spawn(move || {
+                        if count.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            assert_eq!(drops.fetch_add(1, Ordering::SeqCst), 0);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 1, "exactly one drop");
+        })
+        .expect("atomic refcount release is correct");
+}

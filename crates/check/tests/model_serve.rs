@@ -1,0 +1,89 @@
+//! Model-checked invariants of the serve layer's bounded admission
+//! queue ([`dynscan_serve::admission`]): under a concurrent drain,
+//! every **admitted** request is answered exactly once, in admission
+//! order, and refused requests come back to the caller (ownership is
+//! never dropped on the floor).
+//!
+//! Run with `RUSTFLAGS="--cfg dynscan_model_check" cargo test -p
+//! dynscan-check --features model-check`; compiles to nothing
+//! otherwise.
+#![cfg(all(dynscan_model_check, feature = "model-check"))]
+
+use dynscan_serve::admission::{bounded, TrySend};
+use interleave::sync::atomic::{AtomicBool, Ordering};
+use interleave::sync::Arc;
+
+/// The connection shape from `conn.rs`: a reader admits requests until
+/// the drain latch trips (then stops and hangs up), a processor answers
+/// until the queue reports disconnect.  Whatever subset the reader
+/// managed to admit — which varies per interleaving as the drain races
+/// the admissions — is exactly what the processor answers, in order.
+/// A `Full` refusal hands the request back (the reader answers it with
+/// a refusal in production; here we assert ownership returns).
+#[test]
+fn every_admitted_request_is_answered_exactly_once_under_drain() {
+    interleave::model(|| {
+        let (tx, rx) = bounded::<u32>(1);
+        let drain = Arc::new(AtomicBool::new(false));
+        let tripper_drain = Arc::clone(&drain);
+        let processor = interleave::thread::spawn(move || {
+            let mut answered = Vec::new();
+            while let Some(job) = rx.recv() {
+                answered.push(job);
+            }
+            answered
+        });
+        let tripper = interleave::thread::spawn(move || {
+            tripper_drain.store(true, Ordering::SeqCst);
+        });
+        let mut admitted = Vec::new();
+        for job in 0..2u32 {
+            if drain.load(Ordering::SeqCst) {
+                break;
+            }
+            match tx.try_send(job) {
+                TrySend::Queued => admitted.push(job),
+                // Capacity 1: the second admission is refused whenever
+                // the processor has not yet dequeued the first.  The
+                // request comes back intact for a refusal reply.
+                TrySend::Full(returned) => assert_eq!(returned, job),
+                TrySend::Closed(returned) => assert_eq!(returned, job),
+            }
+        }
+        // Hanging up (the reader closing) is what lets the processor's
+        // recv() report disconnect once the queue is drained.
+        drop(tx);
+        let answered = processor.join().unwrap();
+        tripper.join().unwrap();
+        assert_eq!(
+            answered, admitted,
+            "the processor must answer exactly the admitted requests, in order"
+        );
+    });
+}
+
+/// The drain barrier never strands queued work: requests admitted
+/// *before* the reader hangs up are still answered, even when the
+/// processor only starts consuming after the sender is gone.
+#[test]
+fn queued_requests_survive_the_reader_hanging_up() {
+    interleave::model(|| {
+        let (tx, rx) = bounded::<u32>(2);
+        assert!(matches!(tx.try_send(11), TrySend::Queued));
+        assert!(matches!(tx.try_send(22), TrySend::Queued));
+        let processor = interleave::thread::spawn(move || {
+            let mut answered = Vec::new();
+            while let Some(job) = rx.recv() {
+                answered.push(job);
+            }
+            answered
+        });
+        drop(tx);
+        let answered = processor.join().unwrap();
+        assert_eq!(
+            answered,
+            vec![11, 22],
+            "queued work was stranded or reordered"
+        );
+    });
+}

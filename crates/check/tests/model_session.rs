@@ -1,0 +1,83 @@
+//! Model-checked invariants of the background-checkpoint discipline:
+//! [`dynscan_core::gate::CompletionSlot`] / [`InflightGate`] carry the
+//! session's one-in-flight job protocol, so these suites pin *that*
+//! protocol against every interleaving of the worker thread and the
+//! session thread within the preemption bound.
+//!
+//! Run with `RUSTFLAGS="--cfg dynscan_model_check" cargo test -p
+//! dynscan-check --features model-check`; compiles to nothing
+//! otherwise.
+#![cfg(all(dynscan_model_check, feature = "model-check"))]
+
+use dynscan_core::gate::InflightGate;
+
+type Report = Result<u32, &'static str>;
+
+/// Exactly one completion surfaces, whether the non-blocking poll races
+/// ahead of the worker or not: if the poll wins the report, the later
+/// blocking finish finds nothing; if the poll is early, the blocking
+/// finish waits the report out.  Either way the gate ends idle and can
+/// launch again — the at-most-one-in-flight discipline (`launch`
+/// panics while pending, which the checker would surface in any
+/// interleaving reaching it).
+#[test]
+fn inflight_gate_surfaces_each_report_exactly_once() {
+    interleave::model(|| {
+        let mut gate: InflightGate<Report> = InflightGate::new();
+        let slot = gate.launch();
+        let worker = interleave::thread::spawn(move || {
+            slot.complete(Ok(7));
+        });
+        let mut reports = 0;
+        // The session's opportunistic poll (auto-checkpoint cadence).
+        if let Some(r) = gate.finish(false) {
+            assert_eq!(r, Ok(7));
+            reports += 1;
+        }
+        // The session's barrier (drain / explicit checkpoint).
+        if let Some(r) = gate.finish(true) {
+            assert_eq!(r, Ok(7));
+            reports += 1;
+        }
+        worker.join().unwrap();
+        assert_eq!(reports, 1, "the report must surface exactly once");
+        assert!(!gate.is_pending(), "the gate must end idle");
+        // Idle again: relaunching is legal in every interleaving.
+        let _next = gate.launch();
+    });
+}
+
+/// A failed background checkpoint restarts the chain: the session only
+/// absorbs the report through `finish`, so in every interleaving the
+/// failure is observed *before* the next launch — the force-full flag
+/// is set and no second job can slip in between (the gate is pending
+/// until the report is absorbed, and `launch` panics while pending).
+#[test]
+fn failed_job_is_absorbed_before_the_chain_restarts() {
+    interleave::model(|| {
+        let mut gate: InflightGate<Report> = InflightGate::new();
+        let mut force_full = false;
+        let slot = gate.launch();
+        let worker = interleave::thread::spawn(move || {
+            slot.complete(Err("checkpoint write failed"));
+        });
+        // A non-blocking poll that misses the report must leave the job
+        // pending (no lost report, no premature relaunch); the blocking
+        // barrier then waits the report out.
+        let mut report = gate.finish(false);
+        if report.is_none() {
+            assert!(gate.is_pending(), "an unfinished job must stay pending");
+            report = gate.finish(true);
+        }
+        let report = report.expect("the blocking finish yields the report");
+        if report.is_err() {
+            force_full = true;
+        }
+        worker.join().unwrap();
+        assert!(
+            force_full,
+            "a failed background checkpoint must force the next one full"
+        );
+        let _restart = gate.launch();
+    });
+}

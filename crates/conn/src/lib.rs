@@ -20,6 +20,9 @@
 //! All dynamic implementations expose the same [`DynamicConnectivity`]
 //! trait so the clustering layer can swap them.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod ett;
 pub mod hdt;
 pub mod naive;

@@ -11,6 +11,20 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Milliseconds since the Unix epoch, for stamping checkpoint headers
+/// (0 if the system clock is broken — an unstamped document is valid).
+///
+/// This is the workspace's only sanctioned wall-clock read (the
+/// `no-raw-clock` lint rule points every other call site here or at
+/// [`Clock`]); keeping it in one place is what lets tests and the model
+/// checker stay deterministic.
+pub fn wall_clock_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// A monotonic clock: reports elapsed time since an arbitrary (fixed)
 /// origin.  Implementations must be monotone — `now()` never decreases.
 pub trait Clock: Send {

@@ -1,0 +1,162 @@
+//! Completion gates for background jobs.
+//!
+//! Extracted from the session's auto-checkpoint machinery so the
+//! protocol is (a) reusable and (b) small enough for the `interleave`
+//! model checker to explore exhaustively (`crates/check`,
+//! `session_model.rs`).  Two pieces:
+//!
+//! * [`CompletionSlot`] — a one-shot mailbox a worker completes exactly
+//!   once and an owner takes from, optionally blocking.  The condvar
+//!   wait re-checks under the lock, so a completion racing the take is
+//!   never missed.
+//! * [`InflightGate`] — the at-most-one-in-flight discipline: a new job
+//!   can only be launched after the previous one's result has been
+//!   collected, which is what keeps background checkpoint documents
+//!   ordered on disk.
+
+use crate::sync::{Arc, Condvar, Mutex};
+
+/// A one-shot completion mailbox: the producer side calls
+/// [`CompletionSlot::complete`] once; the consumer side calls
+/// [`CompletionSlot::take`], blocking or polling.
+pub struct CompletionSlot<T> {
+    value: Mutex<Option<T>>,
+    done: Condvar,
+}
+
+impl<T> Default for CompletionSlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CompletionSlot<T> {
+    /// An empty slot.
+    pub const fn new() -> Self {
+        CompletionSlot {
+            value: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Deliver the result and wake every waiter.
+    pub fn complete(&self, value: T) {
+        *self.value.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+        self.done.notify_all();
+    }
+
+    /// Take the result.  When `blocking`, waits until it is delivered;
+    /// otherwise returns `None` if it has not arrived yet.
+    pub fn take(&self, blocking: bool) -> Option<T> {
+        let mut guard = self.value.lock().unwrap_or_else(|p| p.into_inner());
+        if blocking {
+            while guard.is_none() {
+                guard = self.done.wait(guard).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        guard.take()
+    }
+}
+
+/// At-most-one-in-flight job tracking.  Owned (and only mutated) by the
+/// single controlling thread; the [`CompletionSlot`]s it hands out are
+/// what cross into worker threads.
+pub struct InflightGate<T> {
+    pending: Option<Arc<CompletionSlot<T>>>,
+}
+
+impl<T> Default for InflightGate<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> InflightGate<T> {
+    /// A gate with nothing in flight.
+    pub const fn new() -> Self {
+        InflightGate { pending: None }
+    }
+
+    /// Is a job currently in flight (launched, result not yet collected)?
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Launch a new job: returns the slot the worker must complete.
+    ///
+    /// # Panics
+    ///
+    /// If a job is already in flight — callers must [`InflightGate::finish`]
+    /// the previous job first; that discipline is the gate's entire point.
+    pub fn launch(&mut self) -> Arc<CompletionSlot<T>> {
+        assert!(
+            self.pending.is_none(),
+            "InflightGate::launch while a job is still in flight"
+        );
+        let slot = Arc::new(CompletionSlot::new());
+        self.pending = Some(Arc::clone(&slot));
+        slot
+    }
+
+    /// Collect the in-flight job's result.  Returns `None` when nothing
+    /// is in flight, or when `blocking` is false and the job has not
+    /// finished (it stays pending).  Returns `Some(result)` — and clears
+    /// the in-flight state — once the result is available.
+    pub fn finish(&mut self, blocking: bool) -> Option<T> {
+        let slot = self.pending.take()?;
+        match slot.take(blocking) {
+            Some(result) => Some(result),
+            None => {
+                // Still running and we must not wait: keep it pending.
+                self.pending = Some(slot);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_polls_then_blocks() {
+        let slot = Arc::new(CompletionSlot::new());
+        assert_eq!(slot.take(false), None);
+        let worker = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.complete(7))
+        };
+        assert_eq!(slot.take(true), Some(7));
+        worker.join().unwrap();
+        // One-shot: a second take finds nothing.
+        assert_eq!(slot.take(false), None);
+    }
+
+    #[test]
+    fn gate_enforces_one_in_flight() {
+        let mut gate: InflightGate<u32> = InflightGate::new();
+        assert!(!gate.is_pending());
+        assert_eq!(gate.finish(true), None);
+        let slot = gate.launch();
+        assert!(gate.is_pending());
+        // Not done yet: a non-blocking finish leaves it in flight.
+        assert_eq!(gate.finish(false), None);
+        assert!(gate.is_pending());
+        slot.complete(42);
+        assert_eq!(gate.finish(false), Some(42));
+        assert!(!gate.is_pending());
+        // Relaunch is now allowed.
+        let slot = gate.launch();
+        slot.complete(1);
+        assert_eq!(gate.finish(true), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn gate_rejects_double_launch() {
+        let mut gate: InflightGate<u32> = InflightGate::new();
+        let _first = gate.launch();
+        let _second = gate.launch();
+    }
+}

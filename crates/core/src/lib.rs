@@ -78,6 +78,7 @@ pub mod clock;
 pub mod cluster;
 pub mod elm;
 pub mod fixtures;
+pub mod gate;
 pub mod params;
 pub mod pipeline;
 pub mod pool;
@@ -85,6 +86,7 @@ pub mod session;
 pub mod snapshot;
 pub mod store;
 pub mod strclu;
+pub mod sync;
 pub mod testing;
 pub mod traits;
 

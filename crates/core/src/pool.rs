@@ -18,7 +18,7 @@
 //! function of its inputs, so all pools — at any thread count — produce
 //! identical results, only at different speeds.
 
-use std::sync::Arc;
+use crate::sync::Arc;
 
 #[derive(Clone, Debug)]
 enum PoolKind {
@@ -77,6 +77,26 @@ impl ExecPool {
         }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
+            .build()
+            .expect("spawning dedicated pool workers");
+        ExecPool {
+            kind: PoolKind::Dedicated(Arc::new(pool)),
+        }
+    }
+
+    /// Like [`ExecPool::with_threads`], but pinning the per-worker deque
+    /// implementation instead of taking the build default.  Exists so
+    /// the `parallel_scaling` bench can measure the lock-free deque
+    /// against the mutex one in the same process on the same host;
+    /// production callers should let the default stand.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExecPool::with_threads`].
+    pub fn with_threads_and_deque(threads: usize, deque: rayon::DequeImpl) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .deque_impl(deque)
             .build()
             .expect("spawning dedicated pool workers");
         ExecPool {

@@ -81,18 +81,20 @@
 //!   is pruned from the store, bounding disk usage to `n` resumable
 //!   chains (each at most `k − 1` deltas long).
 
+use crate::clock::wall_clock_millis;
 use crate::clock::{Clock, SystemClock};
 use crate::cluster::StrCluResult;
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
+use crate::gate::{CompletionSlot, InflightGate};
 use crate::params::Params;
 use crate::snapshot::CheckpointCapture;
 use crate::store::{CheckpointStore, SinkStore};
 use crate::strclu::DynStrClu;
+use crate::sync::{Arc, Mutex, OnceLock};
 use crate::traits::{Clusterer, Snapshot, UpdateError};
 use dynscan_graph::snapshot::{peek_algo_tag, peek_header, SnapshotKind, FORMAT_VERSION};
 use dynscan_graph::{GraphUpdate, SnapshotError, VertexId};
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// The four clustering backends a [`Session`] can be built over.
@@ -273,7 +275,7 @@ fn registry() -> &'static Mutex<Vec<Registration>> {
     })
 }
 
-fn lock_registry() -> std::sync::MutexGuard<'static, Vec<Registration>> {
+fn lock_registry() -> crate::sync::MutexGuard<'static, Vec<Registration>> {
     registry().lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -438,52 +440,12 @@ fn construct_backend(backend: Backend, params: Params) -> Result<Box<dyn Cluster
 /// checkpoint.
 pub type CheckpointSinkFn = dyn FnMut(u64) -> std::io::Result<Box<dyn std::io::Write>> + Send;
 
-/// Wall-clock stamp for checkpoint headers (0 if the clock is broken —
-/// an unstamped document is valid).
-fn wall_clock_millis() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
-}
-
 /// State shared between the session and its (possibly background)
 /// checkpoint jobs: the store and the retention ledger.
 struct CheckpointShared {
     store: Box<dyn CheckpointStore>,
     /// Documents currently retained, in write order.
     ledger: Vec<(u64, SnapshotKind)>,
-}
-
-/// Completion slot of one background checkpoint job.
-struct JobSlot {
-    report: Mutex<Option<JobReport>>,
-    done: Condvar,
-}
-
-impl JobSlot {
-    fn new() -> Self {
-        JobSlot {
-            report: Mutex::new(None),
-            done: Condvar::new(),
-        }
-    }
-
-    fn complete(&self, report: JobReport) {
-        *self.report.lock().unwrap_or_else(|p| p.into_inner()) = Some(report);
-        self.done.notify_all();
-    }
-
-    /// Take the report; blocks until available when `blocking`.
-    fn take(&self, blocking: bool) -> Option<JobReport> {
-        let mut guard = self.report.lock().unwrap_or_else(|p| p.into_inner());
-        if blocking {
-            while guard.is_none() {
-                guard = self.done.wait(guard).unwrap_or_else(|p| p.into_inner());
-            }
-        }
-        guard.take()
-    }
 }
 
 struct JobReport {
@@ -506,7 +468,7 @@ struct CheckpointRuntime {
     force_full: bool,
     /// The in-flight background job, if any (at most one; the next
     /// checkpoint waits for it first, which keeps documents ordered).
-    pending: Option<Arc<JobSlot>>,
+    inflight: InflightGate<JobReport>,
 }
 
 /// Frame `capture` into the store, update the retention ledger, prune.
@@ -804,7 +766,7 @@ impl SessionBuilder {
                 shared: Arc::new(Mutex::new(CheckpointShared { store, ledger })),
                 next_seq,
                 force_full: false,
-                pending: None,
+                inflight: InflightGate::new(),
             });
         }
         if let Some(clock) = self.clock {
@@ -1080,15 +1042,10 @@ impl Session {
         let Some(ckpt) = self.ckpt.as_mut() else {
             return;
         };
-        let Some(slot) = ckpt.pending.take() else {
-            return;
-        };
-        match slot.take(blocking) {
-            Some(report) => self.absorb_checkpoint_report(report),
-            None => {
-                // Still running and we must not wait: keep it pending.
-                self.ckpt.as_mut().expect("checked above").pending = Some(slot);
-            }
+        // The gate keeps the job pending when it is still running and we
+        // must not wait.
+        if let Some(report) = ckpt.inflight.finish(blocking) {
+            self.absorb_checkpoint_report(report);
         }
     }
 
@@ -1142,8 +1099,7 @@ impl Session {
         let keep_last = ckpt.keep_last;
         let shared = Arc::clone(&ckpt.shared);
         if ckpt.background {
-            let slot = Arc::new(JobSlot::new());
-            ckpt.pending = Some(Arc::clone(&slot));
+            let slot: Arc<CompletionSlot<JobReport>> = ckpt.inflight.launch();
             self.inner.exec_pool_handle().spawn(move || {
                 // A panicking store/sink must still complete the slot —
                 // otherwise the update thread would block forever on the
@@ -1182,7 +1138,7 @@ impl Session {
     /// (always `false` in foreground mode or after
     /// [`Session::wait_for_checkpoints`]).
     pub fn has_pending_checkpoint(&self) -> bool {
-        self.ckpt.as_ref().is_some_and(|c| c.pending.is_some())
+        self.ckpt.as_ref().is_some_and(|c| c.inflight.is_pending())
     }
 
     /// Take a **full** checkpoint right now, synchronously: flush the

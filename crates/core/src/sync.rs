@@ -1,0 +1,27 @@
+//! Synchronisation facade for the concurrency-bearing parts of the
+//! crate (the session's background-checkpoint machinery, the completion
+//! gates in [`crate::gate`], and the serve layer which re-exports this
+//! module).
+//!
+//! Import locks, condvars and atomics from here, never from `std::sync`
+//! directly (enforced by `dynscan-lint`'s `facade-sync` rule).  Under a
+//! normal build these are exactly the std types.  Under
+//! `RUSTFLAGS=--cfg dynscan_model_check` they switch to the
+//! [`interleave`] shims so every operation becomes a scheduling decision
+//! point of the deterministic model checker, letting `crates/check`
+//! exhaustively explore the protocols built on top.
+
+#[cfg(not(dynscan_model_check))]
+pub use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+#[cfg(dynscan_model_check)]
+pub use interleave::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Thread spawning/joining through the same cfg switch.
+pub mod thread {
+    #[cfg(not(dynscan_model_check))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(dynscan_model_check)]
+    pub use interleave::thread::{spawn, yield_now, JoinHandle};
+}

@@ -27,6 +27,9 @@
 //! The module deliberately knows nothing about similarities or labels: it
 //! reports which edges matured and the clustering layer decides what to do.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod coordinator;
 pub mod heap;
 pub mod registry;

@@ -32,6 +32,9 @@
 //! [`MemoryFootprint`], which the Table-1 experiment of the paper
 //! (peak memory over the update sequence) relies on.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod csr;
 pub mod dynamic_graph;

@@ -402,17 +402,21 @@ impl<'a> SnapReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
-            return Err(SnapshotError::Truncated);
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
         Ok(slice)
     }
 
     /// Read a single byte.
     pub fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
+        match *self.take(1)? {
+            [b] => Ok(b),
+            _ => Err(SnapshotError::Truncated),
+        }
     }
 
     /// Read a bool; any value other than 0/1 is corrupt.
@@ -636,7 +640,7 @@ pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
     if bytes.len() < 12 {
         return Err(SnapshotError::Truncated);
     }
-    if bytes[0..8] != MAGIC {
+    if bytes.get(0..8) != Some(&MAGIC[..]) {
         return Err(SnapshotError::BadMagic);
     }
     let version = le_u32_at(bytes, 8)?;
@@ -732,8 +736,11 @@ pub fn read_document_meta(
     // The two header layouts share their first 12 bytes (magic + version);
     // read those, decide the layout, then read the version-specific rest.
     let mut prefix = [0u8; HEADER_LEN_V2];
-    read_exact_or_truncated(&mut r, &mut prefix[..12])?;
-    if prefix[0..8] != MAGIC {
+    let shared_prefix = prefix
+        .get_mut(..12)
+        .ok_or(SnapshotError::Corrupt("header buffer narrower than prefix"))?;
+    read_exact_or_truncated(&mut r, shared_prefix)?;
+    if prefix.get(0..8) != Some(&MAGIC[..]) {
         return Err(SnapshotError::BadMagic);
     }
     let version = le_u32_at(&prefix, 8)?;
@@ -742,8 +749,14 @@ pub fn read_document_meta(
         FORMAT_VERSION => HEADER_LEN_V2,
         found => return Err(SnapshotError::UnsupportedVersion { found }),
     };
-    read_exact_or_truncated(&mut r, &mut prefix[12..header_len])?;
-    let header = peek_header(&prefix[..header_len])?;
+    let rest = prefix
+        .get_mut(12..header_len)
+        .ok_or(SnapshotError::Corrupt("header length outside buffer"))?;
+    read_exact_or_truncated(&mut r, rest)?;
+    let header_bytes = prefix
+        .get(..header_len)
+        .ok_or(SnapshotError::Corrupt("header length outside buffer"))?;
+    let header = peek_header(header_bytes)?;
     if header.algo_tag != algo_tag {
         return Err(SnapshotError::AlgorithmMismatch {
             expected: algo_tag,
@@ -785,7 +798,10 @@ fn validate_adjacency(adjacency: &[IndexedSet]) -> Result<usize, SnapshotError> 
     }
     for (v, adj) in adjacency.iter().enumerate() {
         for x in adj.iter() {
-            if !adjacency[x.index()].contains(VertexId(v as u32)) {
+            let Some(back) = adjacency.get(x.index()) else {
+                return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
+            };
+            if !back.contains(VertexId(v as u32)) {
                 return Err(SnapshotError::Corrupt("asymmetric adjacency"));
             }
         }
@@ -900,7 +916,11 @@ impl DynGraph {
                 return Err(SnapshotError::Corrupt("dirty vertices not sorted"));
             }
             last = Some(v);
-            adjacency[v.index()] = read_adjacency_list(r, v.index(), n)?;
+            let list = read_adjacency_list(r, v.index(), n)?;
+            let slot = adjacency
+                .get_mut(v.index())
+                .ok_or(SnapshotError::Corrupt("dirty vertex outside vertex space"))?;
+            *slot = list;
         }
         r.finish()?;
         *num_edges = validate_adjacency(adjacency)?;

@@ -13,6 +13,9 @@
 //! * [`peak::PeakTracker`] — peak-memory tracking over an update sequence
 //!   (Table 1).
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod ari;
 pub mod mislabel;
 pub mod peak;

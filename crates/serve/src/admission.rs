@@ -1,0 +1,203 @@
+//! The bounded admission queue between a connection's reader thread and
+//! its processor thread.
+//!
+//! Previously a `std::sync::mpsc::sync_channel`; now a small two-lock
+//! protocol built on the workspace sync facade
+//! ([`dynscan_core::sync`]) so the `interleave` model checker can
+//! explore it exhaustively (`crates/check`, `serve_model.rs`).  The
+//! properties the serve layer leans on:
+//!
+//! * **Bounded** — [`JobSender::try_send`] never blocks and never
+//!   queues past the capacity; a full queue hands the job back so the
+//!   reader can refuse it with a typed `Overloaded` reply.
+//! * **No lost jobs** — every queued job is yielded by
+//!   [`JobReceiver::recv`] before it reports disconnection, even when
+//!   the senders drop concurrently with the drain.
+//! * **Clean shutdown** — when every sender is gone and the queue is
+//!   empty, `recv` returns `None` exactly once per waiter; when the
+//!   receiver is gone, `try_send` reports [`TrySend::Closed`] so the
+//!   reservation can be released.
+
+use dynscan_core::sync::{Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Outcome of a non-blocking enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySend<T> {
+    /// The job is queued; the processor will yield it.
+    Queued,
+    /// The queue is at capacity; the job is handed back.
+    Full(T),
+    /// The receiver is gone; the job is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a job is queued or the last sender leaves.
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Create a bounded queue with `capacity` slots (at least one).
+pub fn bounded<T>(capacity: usize) -> (JobSender<T>, JobReceiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        available: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        JobSender {
+            inner: Arc::clone(&inner),
+        },
+        JobReceiver { inner },
+    )
+}
+
+/// Producer half (clonable; the queue closes when the last clone drops).
+pub struct JobSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> JobSender<T> {
+    /// Enqueue without blocking; see [`TrySend`] for the outcomes.
+    pub fn try_send(&self, job: T) -> TrySend<T> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        if !state.receiver_alive {
+            return TrySend::Closed(job);
+        }
+        if state.queue.len() >= self.inner.capacity {
+            return TrySend::Full(job);
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.inner.available.notify_one();
+        TrySend::Queued
+    }
+}
+
+impl<T> Clone for JobSender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.senders += 1;
+        drop(state);
+        JobSender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for JobSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake the processor so it can observe the disconnect.
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+/// Consumer half (single owner).
+pub struct JobReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> JobReceiver<T> {
+    /// Dequeue the next job, blocking while the queue is empty and any
+    /// sender is still alive.  Returns `None` once the queue is empty
+    /// and every sender has dropped.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                return Some(job);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .inner
+                .available
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for JobReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.receiver_alive = false;
+        // Queued-but-never-received jobs drop with the queue; senders
+        // discover the closure on their next try_send.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_fifo() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), TrySend::Queued);
+        assert_eq!(tx.try_send(2), TrySend::Queued);
+        assert_eq!(tx.try_send(3), TrySend::Full(3));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(tx.try_send(3), TrySend::Queued);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn recv_drains_then_reports_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(tx.try_send(7), TrySend::Queued);
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_after_receiver_drop_is_closed() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.try_send(1), TrySend::Closed(1));
+    }
+
+    #[test]
+    fn blocking_recv_sees_concurrent_send() {
+        let (tx, rx) = bounded::<u32>(1);
+        let producer = std::thread::spawn(move || {
+            assert_eq!(tx.try_send(42), TrySend::Queued);
+        });
+        assert_eq!(rx.recv(), Some(42));
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn clones_keep_the_queue_open() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        assert_eq!(tx2.try_send(5), TrySend::Queued);
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(5));
+        assert_eq!(rx.recv(), None);
+    }
+}

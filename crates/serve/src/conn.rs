@@ -20,17 +20,17 @@
 //!   outside the engine lock and carry a write timeout; when one trips,
 //!   the connection is torn down and its unacknowledged queue released.
 
+use crate::admission::{bounded, JobReceiver, JobSender, TrySend};
 use crate::drain::DrainFlag;
 use crate::frame::{parse_header, WireError, HEADER_LEN};
 use crate::proto::{Request, RequestBody, Response, ResponseBody, StatsReply, UNSOLICITED_ID};
 use crate::server::Shared;
+use dynscan_core::sync::atomic::{AtomicU64, Ordering};
+use dynscan_core::sync::{Arc, Mutex};
 use dynscan_core::Session;
 use dynscan_graph::snapshot::fnv1a;
 use std::io::Read;
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Read-poll interval: how quickly an idle reader notices the drain
@@ -59,7 +59,7 @@ pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let result = stream.try_clone().map(|write_half| {
         let writer = Arc::new(Mutex::new(write_half));
         let conn_queued = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = sync_channel::<Job>(shared.cfg.max_queued_requests);
+        let (tx, rx) = bounded::<Job>(shared.cfg.max_queued_requests);
         let reader_shared = Arc::clone(&shared);
         let reader_writer = Arc::clone(&writer);
         let reader_queued = Arc::clone(&conn_queued);
@@ -183,7 +183,7 @@ fn retry_after_hint(shared: &Shared) -> u64 {
 /// or drain.
 fn reader_loop(
     mut stream: TcpStream,
-    tx: std::sync::mpsc::SyncSender<Job>,
+    tx: JobSender<Job>,
     writer: Arc<Mutex<TcpStream>>,
     shared: Arc<Shared>,
     conn_queued: Arc<AtomicU64>,
@@ -263,8 +263,8 @@ fn reader_loop(
             body: request.body,
             weight,
         }) {
-            Ok(()) => {}
-            Err(TrySendError::Full(job)) => {
+            TrySend::Queued => {}
+            TrySend::Full(job) => {
                 release(&shared, &conn_queued, job.weight);
                 let overloaded = Response {
                     id: job.id,
@@ -276,7 +276,7 @@ fn reader_loop(
                     break;
                 }
             }
-            Err(TrySendError::Disconnected(job)) => {
+            TrySend::Closed(job) => {
                 release(&shared, &conn_queued, job.weight);
                 break;
             }
@@ -298,13 +298,13 @@ fn release(shared: &Shared, conn_queued: &AtomicU64, weight: u64) {
 /// write the terminal `Draining` notice if a drain is in progress, and
 /// shut the socket down cleanly either way.
 fn process_loop(
-    rx: Receiver<Job>,
+    rx: JobReceiver<Job>,
     writer: &Mutex<TcpStream>,
     shared: &Shared,
     conn_queued: &AtomicU64,
 ) {
     let mut writer_dead = false;
-    for job in rx {
+    while let Some(job) = rx.recv() {
         if writer_dead {
             // The client stopped reading: release reservations without
             // executing — unacknowledged work carries no guarantee.
@@ -331,7 +331,7 @@ fn process_loop(
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, Session> {
+fn lock_engine(shared: &Shared) -> dynscan_core::sync::MutexGuard<'_, Session> {
     shared.engine.lock().unwrap_or_else(|p| p.into_inner())
 }
 

@@ -13,8 +13,8 @@
 //! crate; on non-Unix targets the function is a no-op and only the
 //! in-band `Drain` request can trigger a drain.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use dynscan_core::sync::atomic::{AtomicBool, Ordering};
+use dynscan_core::sync::Arc;
 
 /// A one-way latch: once tripped it stays tripped.
 #[derive(Clone, Default)]
@@ -40,7 +40,11 @@ impl DrainFlag {
     }
 }
 
-static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+// Deliberately std, not the sync facade: a signal handler writes this
+// from async-signal context, where the model checker's decision points
+// (which take locks) must never run.  The handler's whole effect is one
+// lock-free atomic store, and readers only poll.
+static SIGTERM_RECEIVED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Whether the process has received SIGTERM since
 /// [`install_sigterm_handler`] ran.
@@ -61,11 +65,27 @@ mod imp {
     }
 
     extern "C" fn on_sigterm(_signum: c_int) {
-        // Only an atomic store: the async-signal-safe budget.
+        // The handler's entire async-signal-safe budget: one lock-free
+        // atomic store into a static.  No allocation, no locks, no
+        // formatting, no panicking operation — any of those could
+        // deadlock or corrupt state if the signal lands while the
+        // interrupted thread holds the allocator or a mutex.  Even the
+        // drain latch itself is read elsewhere; the handler touches
+        // nothing but this flag.
         SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
     }
 
     pub fn install() {
+        // SAFETY: `signal` is a direct binding of POSIX signal(2) (the
+        // image has no libc crate); the signature matches the C
+        // prototype (`void (*signal(int, void (*)(int)))(int)` — the
+        // return value, the previous handler, is intentionally
+        // discarded, so declaring it `usize` is ABI-compatible on the
+        // targets we build).  `on_sigterm` is `extern "C"`, never
+        // unwinds (a single atomic store), and stays within the
+        // async-signal-safe budget documented above, which is what
+        // signal(2) requires of a handler.  Installing is idempotent
+        // and data-race-free: the kernel serialises handler swaps.
         unsafe {
             signal(SIGTERM, on_sigterm);
         }

@@ -145,21 +145,24 @@ pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> Result<(), WireError> {
 /// checksum.  Shared by the slice decoder, the stream reader, and the
 /// server's resumable polling reader.
 pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u64), WireError> {
-    if header[0..4] != FRAME_MAGIC {
+    // Destructuring the fixed-size array keeps this decode path free of
+    // any indexing that could panic (per the `decode-no-panic` lint).
+    let [m0, m1, m2, m3, v0, v1, r0, r1, l0, l1, l2, l3, c0, c1, c2, c3, c4, c5, c6, c7] = *header;
+    if [m0, m1, m2, m3] != FRAME_MAGIC {
         return Err(WireError::BadMagic);
     }
-    let version = u16::from_le_bytes([header[4], header[5]]);
+    let version = u16::from_le_bytes([v0, v1]);
     if version != PROTOCOL_VERSION {
         return Err(WireError::UnsupportedVersion { found: version });
     }
-    if u16::from_le_bytes([header[6], header[7]]) != 0 {
+    if u16::from_le_bytes([r0, r1]) != 0 {
         return Err(WireError::Malformed("reserved header bytes must be zero"));
     }
-    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(WireError::TooLarge { len: len as u64 });
     }
-    let checksum = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
     Ok((len, checksum))
 }
 
@@ -167,10 +170,9 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u64), WireError
 /// the number of bytes consumed.  Pure slice-based form used by the
 /// corruption proptests; never panics, never reads past `bytes`.
 pub fn decode_frame(bytes: &[u8]) -> Result<(&[u8], usize), WireError> {
-    if bytes.len() < HEADER_LEN {
+    let Some(header) = bytes.first_chunk::<HEADER_LEN>() else {
         return Err(WireError::Truncated);
-    }
-    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("sized above");
+    };
     let (len, declared) = parse_header(header)?;
     let Some(payload) = bytes.get(HEADER_LEN..HEADER_LEN + len) else {
         return Err(WireError::Truncated);

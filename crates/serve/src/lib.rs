@@ -67,6 +67,7 @@
 //! proptests drive every truncation and every single-bit flip of valid
 //! frames through both decoders.
 
+pub mod admission;
 pub mod client;
 pub mod conn;
 pub mod drain;

@@ -253,16 +253,24 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(slice)
     }
 
+    /// `take` with a compile-time width, as an array.  The width mismatch
+    /// arm is unreachable (`take` returned exactly `N` bytes) but typed,
+    /// keeping the decode path free of `expect` (per `decode-no-panic`).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        match *self.take(1)? {
+            [b] => Ok(b),
+            _ => Err(WireError::Truncated),
+        }
     }
 
     fn bool(&mut self) -> Result<bool, WireError> {
@@ -274,15 +282,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array::<4>()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array::<8>()?))
     }
 
     /// A `u32` element count, bounded both by the caller's cap and by the

@@ -17,11 +17,11 @@
 
 use crate::conn;
 use crate::drain::{install_sigterm_handler, DrainFlag};
+use dynscan_core::sync::atomic::AtomicU64;
+use dynscan_core::sync::{Arc, Mutex};
 use dynscan_core::{Backend, DirCheckpointStore, Params, Session, SessionError, SnapshotInfo};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -245,7 +245,7 @@ fn build_session(cfg: &ServeConfig) -> Result<Session, ServeError> {
 /// a terminal reply, then flush the engine and take the final full
 /// checkpoint.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
-    use std::sync::atomic::Ordering;
+    use dynscan_core::sync::atomic::Ordering;
     while !shared.drain.is_tripped() {
         match listener.accept() {
             Ok((stream, _peer)) => {

@@ -337,3 +337,31 @@ proptest! {
         prop_assert!(whole_frames <= 3);
     }
 }
+
+/// Regression for the decode-path panic audit: a frame (or bare message
+/// payload) cut **in the middle of a multi-byte integer field** — the
+/// header checksum, a request id, a batch count prefix — must surface as
+/// a typed `Err`, never a panic.  The exhaustive truncation sweep above
+/// covers these cuts too; this test pins the specific shapes that once
+/// went through `expect`/indexing in `parse_header` and `Cursor`.
+#[test]
+fn truncation_mid_integer_is_a_typed_error_not_a_panic() {
+    let fx = fixture();
+    for (payload, frame) in &fx.requests {
+        // Mid-checksum cut: the header's u64 checksum occupies bytes
+        // 12..20; cut inside it.
+        assert!(decode_frame(&frame[..HEADER_LEN - 3]).is_err());
+        let mut stream = &frame[..HEADER_LEN - 3];
+        assert!(read_frame(&mut stream).is_err());
+        // Mid-integer cuts inside the message payload itself (request id
+        // is a u64 at the front; counts/vertex ids follow): every prefix
+        // of the payload must decode to Err, not panic.
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "payload truncated at {cut}/{} decoded",
+                payload.len()
+            );
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //!   update engine re-estimate a deduplicated edge set in parallel with
 //!   bit-reproducible results (see `dynscan-core`'s batch module).
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod affordability;
 pub mod estimator;
 pub mod exact;

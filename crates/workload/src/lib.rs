@@ -19,6 +19,9 @@
 //! Everything is deterministic given a seed, so experiments are
 //! reproducible.
 
+// No unsafe anywhere in this crate — enforced, not aspirational.
+#![forbid(unsafe_code)]
+
 pub mod bursty;
 pub mod datasets;
 pub mod generators;

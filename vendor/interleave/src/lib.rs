@@ -1,0 +1,313 @@
+//! `interleave` — a vendored, offline, loom-style **deterministic
+//! concurrency model checker**.
+//!
+//! Small concurrent tests written against the shim types in
+//! [`sync`] and [`thread`] are executed many times under a *controlled
+//! scheduler*: every shimmed operation (atomic access, mutex lock,
+//! condvar wait/notify, spawn/join) is a **decision point** where the
+//! scheduler picks which thread runs next.  The exploration driver
+//! enumerates schedules **depth-first under a preemption bound**,
+//! so every interleaving with at most `preemption_bound` forced context
+//! switches is visited exactly once; a failing schedule (panic, assert,
+//! deadlock) is reported as a dot-separated string and can be
+//! **replayed deterministically** with [`Builder::replay`].
+//!
+//! # Scope and bounds
+//!
+//! * The memory model is **sequential consistency**: operations of
+//!   different threads never reorder, orderings passed to atomics are
+//!   accepted but not weakened.  Bugs that require `Relaxed`/`Acquire`
+//!   reordering to manifest are out of scope; protocol-level bugs
+//!   (missed wakeups, lost/duplicated work, double drops, at-most-once
+//!   violations) are squarely in scope.
+//! * Condvars do not produce **spurious wakeups** — code that is correct
+//!   without them (a `while` re-check loop) is also correct with them;
+//!   a missed-wakeup bug is *easier* to reach without the accidental
+//!   rescue of a spurious wake.
+//! * Test bodies must be **deterministic** given the schedule (no real
+//!   time, no ambient randomness); divergence during replay is detected
+//!   and reported as [`scheduler::FailureKind::ReplayDivergence`].
+//! * Everything is bounded: threads per execution
+//!   ([`scheduler::MAX_THREADS`]), steps per execution, executions per
+//!   check.  [`Report::complete`] says whether the bounded state space
+//!   was fully explored.
+//!
+//! # Example
+//!
+//! ```
+//! use interleave::sync::atomic::{AtomicUsize, Ordering};
+//! use interleave::sync::Arc;
+//!
+//! // A correct concurrent counter: passes exhaustively.
+//! interleave::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let m = Arc::clone(&n);
+//!     let t = interleave::thread::spawn(move || {
+//!         m.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! Outside a [`model`] execution every shim falls back to the plain
+//! `std` behaviour, so code written against the shims (via a `sync`
+//! facade) runs normally in production builds and tests.
+
+pub mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use scheduler::{candidate_order, Decision, FailureKind};
+use std::sync::Arc;
+
+/// A schedule: the sequence of thread choices the controller made, one
+/// per decision point.  Prints as dot-separated decimal thread ids
+/// (`"0.0.1.0.2"`) and parses back from the same form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// The chosen thread id at each decision point, in order.
+    pub choices: Vec<usize>,
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Schedule {
+                choices: Vec::new(),
+            });
+        }
+        let choices = s
+            .split('.')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad schedule component {part:?}: {e}"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        Ok(Schedule { choices })
+    }
+}
+
+/// A bug the checker found: what went wrong, under which schedule, and
+/// after how many executions.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What failed (panic, deadlock, step limit, replay divergence).
+    pub kind: FailureKind,
+    /// The schedule that produced the failure; feed it to
+    /// [`Builder::replay`] to reproduce deterministically.
+    pub schedule: Schedule,
+    /// Number of executions run before (and including) the failing one.
+    pub executions: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [schedule {} after {} execution(s)]",
+            self.kind, self.schedule, self.executions
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Result of a completed (non-failing) check.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions (distinct schedules) run.
+    pub executions: usize,
+    /// Whether the bounded state space was fully explored; `false`
+    /// means `max_executions` stopped the search early.
+    pub complete: bool,
+}
+
+/// Model-checking configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum forced context switches per schedule (`None` =
+    /// unbounded, fully exhaustive).  A *preemption* is choosing a
+    /// thread different from the running one while the running one is
+    /// still enabled; switches at blocking points are free.
+    pub preemption_bound: Option<usize>,
+    /// Upper bound on executions per check.
+    pub max_executions: usize,
+    /// Upper bound on decision points per execution (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_executions: 100_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Count the preemptions in `choices[..len]` given the recorded
+/// decision contexts (valid because the prefix is common to both runs).
+fn preemptions(trace: &[Decision], choices: &[usize]) -> usize {
+    choices
+        .iter()
+        .enumerate()
+        .filter(|&(i, &c)| match trace[i].running_before {
+            Some(prev) => c != prev && trace[i].enabled.contains(&prev),
+            None => false,
+        })
+        .count()
+}
+
+/// The next unexplored schedule prefix in DFS order, or `None` when the
+/// (bounded) tree is exhausted: find the deepest decision with an
+/// untried sibling whose cumulative preemption count stays within
+/// bounds, and branch there.
+fn next_prefix(trace: &[Decision], bound: Option<usize>) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let d = &trace[i];
+        let order = candidate_order(&d.enabled, d.running_before);
+        let pos = order
+            .iter()
+            .position(|&t| t == d.chosen)
+            .expect("chosen thread came from the enabled set");
+        for &alt in &order[pos + 1..] {
+            let mut candidate: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+            candidate.push(alt);
+            if let Some(bound) = bound {
+                if preemptions(trace, &candidate) > bound {
+                    continue;
+                }
+            }
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the preemption bound (`None` = exhaustive).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Set the execution budget.
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Explore `f` under every schedule within bounds.  Returns the
+    /// first failure found (with its schedule), or a [`Report`].
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            let (trace, failure) =
+                scheduler::run_execution(Arc::clone(&f), prefix.clone(), self.max_steps);
+            if let Some(kind) = failure {
+                return Err(Failure {
+                    kind,
+                    schedule: Schedule {
+                        choices: trace.iter().map(|d| d.chosen).collect(),
+                    },
+                    executions,
+                });
+            }
+            match next_prefix(&trace, self.preemption_bound) {
+                None => {
+                    return Ok(Report {
+                        executions,
+                        complete: true,
+                    })
+                }
+                Some(next) => {
+                    if executions >= self.max_executions {
+                        return Ok(Report {
+                            executions,
+                            complete: false,
+                        });
+                    }
+                    prefix = next;
+                }
+            }
+        }
+    }
+
+    /// Run `f` once under exactly `schedule` (free exploration with the
+    /// default policy after the schedule runs out).  Deterministic: the
+    /// same schedule over the same test body always yields the same
+    /// outcome.
+    pub fn replay<F>(&self, schedule: &Schedule, f: F) -> Result<(), Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (trace, failure) =
+            scheduler::run_execution(f, schedule.choices.clone(), self.max_steps);
+        match failure {
+            Some(kind) => Err(Failure {
+                kind,
+                schedule: Schedule {
+                    choices: trace.iter().map(|d| d.chosen).collect(),
+                },
+                executions: 1,
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Explore `f` with the default bounds; panic (with the failing
+/// schedule, ready to paste into [`Builder::replay`]) if a bug is
+/// found, or if the execution budget ran out before the state space was
+/// covered — a truncated exploration must never pass silently.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Builder::default().check(f) {
+        Ok(report) => {
+            assert!(
+                report.complete,
+                "interleave: exploration truncated after {} executions; \
+                 shrink the test or raise max_executions",
+                report.executions
+            );
+        }
+        Err(failure) => panic!(
+            "interleave found a bug: {}\n  replay with: \
+             Builder::default().replay(&\"{}\".parse().unwrap(), <same test>)",
+            failure, failure.schedule
+        ),
+    }
+}

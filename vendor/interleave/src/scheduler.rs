@@ -1,0 +1,590 @@
+//! The controlled scheduler: one OS thread per *model thread*, exactly
+//! one of which holds the execution token at any instant.
+//!
+//! Every shimmed operation ([`crate::sync`], [`crate::thread`]) calls
+//! into this module **before** performing its effect: the calling thread
+//! parks at a *decision point* and the controller (the thread that
+//! called [`crate::model`]) picks which model thread runs next from the
+//! set of enabled (runnable) threads.  The sequence of picks is the
+//! **schedule**; the exploration driver ([`crate::Builder::check`])
+//! enumerates schedules depth-first under a preemption bound and
+//! replays any of them deterministically.
+//!
+//! Blocking semantics are modelled exactly:
+//!
+//! * a thread that tries to lock a held [`crate::sync::Mutex`] becomes
+//!   *disabled* until the owner unlocks;
+//! * a thread in [`crate::sync::Condvar::wait`] is disabled until a
+//!   `notify_one`/`notify_all` — a notify with **no** waiter enqueued is
+//!   lost, which is precisely how missed-wakeup bugs become reachable
+//!   states;
+//! * a joiner is disabled until its target finishes.
+//!
+//! If no thread is enabled and not all have finished, the execution is a
+//! **deadlock** and the schedule that produced it is reported.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on model threads per execution (schedules print as
+/// dot-separated decimal indices, so this is legibility, not layout).
+pub const MAX_THREADS: usize = 16;
+
+/// Sentinel payload used to unwind model threads when an execution is
+/// cancelled (failure found elsewhere / deadlock).  Recognised and
+/// swallowed by the thread wrappers.
+pub(crate) struct CancelToken;
+
+/// What a model thread is doing, from the controller's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Parked at a decision point, eligible to be granted the token.
+    Ready,
+    /// Holds the token and is executing.
+    Running,
+    /// Waiting for the mutex with this key to be released.
+    BlockedMutex(usize),
+    /// Waiting on the condvar with this key.
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+impl Status {
+    /// Address-free rendering for failure reports.  Mutex/condvar keys
+    /// are allocation addresses, which vary run to run; replayed
+    /// failures must compare equal, so reports carry only the kind of
+    /// block (plus the joined thread's stable model id).
+    fn describe(self) -> String {
+        match self {
+            Status::Ready => "ready".into(),
+            Status::Running => "running".into(),
+            Status::BlockedMutex(_) => "blocked on a mutex".into(),
+            Status::BlockedCondvar(_) => "waiting on a condvar".into(),
+            Status::BlockedJoin(t) => format!("joining thread {t}"),
+            Status::Finished => "finished".into(),
+        }
+    }
+}
+
+/// One scheduling decision: which thread was chosen, out of which
+/// enabled set, while which thread had been running before.  The
+/// exploration driver uses the recorded context to enumerate siblings
+/// and count preemptions without re-running prefixes speculatively.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The thread granted the token.
+    pub chosen: usize,
+    /// Every thread that was eligible, ascending.
+    pub enabled: Vec<usize>,
+    /// The previously running thread, if any.
+    pub running_before: Option<usize>,
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure, explicit panic, …).
+    Panic {
+        /// The panicking thread's model id.
+        thread: usize,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// No thread was runnable but not all had finished.
+    Deadlock {
+        /// `(thread id, status)` for every unfinished thread.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The execution exceeded the per-run step budget — a livelock or a
+    /// test far larger than the model checker is meant for.
+    StepLimit {
+        /// The configured budget that was exhausted.
+        max_steps: usize,
+    },
+    /// A replayed schedule diverged from the recorded one — the test
+    /// body is nondeterministic (real time, ambient randomness, …).
+    ReplayDivergence {
+        /// Index of the decision that could not be honoured.
+        step: usize,
+        /// The thread the schedule demanded.
+        wanted: usize,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic { thread, message } => {
+                write!(f, "thread {thread} panicked: {message}")
+            }
+            FailureKind::Deadlock { blocked } => {
+                write!(f, "deadlock; unfinished threads: ")?;
+                for (i, (t, s)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}={s}")?;
+                }
+                Ok(())
+            }
+            FailureKind::StepLimit { max_steps } => {
+                write!(f, "step limit {max_steps} exceeded (livelock?)")
+            }
+            FailureKind::ReplayDivergence { step, wanted } => write!(
+                f,
+                "replay diverged at step {step}: thread {wanted} was not enabled \
+                 (is the test body nondeterministic?)"
+            ),
+        }
+    }
+}
+
+struct ThreadInfo {
+    status: Status,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    trace: Vec<Decision>,
+    prefix: Vec<usize>,
+    failure: Option<FailureKind>,
+    cancelling: bool,
+    steps: usize,
+    max_steps: usize,
+    /// Model mutex states, keyed by the shim's address.
+    mutexes: HashMap<usize, MutexState>,
+    /// FIFO wait queues per condvar, keyed by the shim's address.
+    condvars: HashMap<usize, Vec<usize>>,
+    running_before: Option<usize>,
+}
+
+/// One execution's shared coordination structure: a single lock + a
+/// single condvar that the controller and every model thread rendezvous
+/// on (thread counts are tiny, broadcast wakeups are fine).
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    /// Monotone id source for model threads of this execution.
+    next_thread: AtomicUsize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The `(execution, model thread id)` of the calling thread, when it is
+/// a model thread of a live execution.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is inside a model execution.  Shims use
+/// this to fall back to plain `std` behaviour outside [`crate::model`].
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, max_steps: usize) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                trace: Vec::new(),
+                prefix,
+                failure: None,
+                cancelling: false,
+                steps: 0,
+                max_steps,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                running_before: None,
+            }),
+            cv: Condvar::new(),
+            next_thread: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a new model thread, returning its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let id = self.next_thread.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            id < MAX_THREADS,
+            "model exceeded {MAX_THREADS} threads; split the test"
+        );
+        let mut st = self.lock();
+        debug_assert_eq!(st.threads.len(), id);
+        st.threads.push(ThreadInfo {
+            status: Status::Ready,
+        });
+        self.cv.notify_all();
+        id
+    }
+
+    /// Park `me` until the controller grants it the token.  The caller
+    /// must already have set `me`'s status to something non-Running and
+    /// notified.  Returns holding the state lock, with `me` Running.
+    fn park<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        loop {
+            if st.cancelling {
+                drop(st);
+                self.unwind_cancelled();
+            }
+            if st.threads[me].status == Status::Running {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn unwind_cancelled(&self) -> ! {
+        // Unwinding a thread that is already unwinding would abort the
+        // process; cancelled threads only reach here from a decision
+        // point, never mid-unwind (shim ops skip decision points while
+        // cancelling), so this is always a fresh panic.
+        std::panic::resume_unwind(Box::new(CancelToken))
+    }
+
+    /// A decision point: stop, hand the token back, continue when the
+    /// controller re-grants it.  No-op while cancelling (lets unwinding
+    /// threads run their shim-using `Drop` impls without parking).
+    pub(crate) fn decision_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.cancelling {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            self.unwind_cancelled();
+        }
+        st.threads[me].status = Status::Ready;
+        self.cv.notify_all();
+        let st = self.park(st, me);
+        drop(st);
+    }
+
+    /// Model-acquire the mutex keyed by `key`; blocks (in model terms)
+    /// while another thread owns it.  Called after a decision point.
+    pub(crate) fn mutex_acquire(&self, key: usize, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.cancelling {
+                // Best-effort during teardown: treat as acquired.
+                return;
+            }
+            let entry = st.mutexes.entry(key).or_insert(MutexState { owner: None });
+            match entry.owner {
+                None => {
+                    entry.owner = Some(me);
+                    return;
+                }
+                Some(owner) => {
+                    debug_assert_ne!(owner, me, "model mutex is not reentrant");
+                    st.threads[me].status = Status::BlockedMutex(key);
+                    self.cv.notify_all();
+                    st = self.park(st, me);
+                    // Re-contend: another promoted waiter may have won.
+                }
+            }
+        }
+    }
+
+    /// Non-blocking model-acquire; `true` on success.
+    pub(crate) fn mutex_try_acquire(&self, key: usize, me: usize) -> bool {
+        let mut st = self.lock();
+        if st.cancelling {
+            return true;
+        }
+        let entry = st.mutexes.entry(key).or_insert(MutexState { owner: None });
+        match entry.owner {
+            None => {
+                entry.owner = Some(me);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Model-release the mutex keyed by `key`, promoting its waiters.
+    pub(crate) fn mutex_release(&self, key: usize, me: usize) {
+        let mut st = self.lock();
+        if let Some(m) = st.mutexes.get_mut(&key) {
+            debug_assert_eq!(m.owner, Some(me), "unlock of a mutex we do not own");
+            m.owner = None;
+        }
+        promote_mutex_waiters(&mut st, key);
+        self.cv.notify_all();
+    }
+
+    /// Atomically (in one state-lock critical section) release `mutex`
+    /// and enqueue on `condvar`, then park until notified; the caller
+    /// reacquires the mutex afterwards via [`Execution::mutex_acquire`].
+    pub(crate) fn condvar_wait(&self, condvar: usize, mutex: usize, me: usize) {
+        let mut st = self.lock();
+        if st.cancelling {
+            return;
+        }
+        if let Some(m) = st.mutexes.get_mut(&mutex) {
+            debug_assert_eq!(m.owner, Some(me), "condvar wait without the mutex");
+            m.owner = None;
+        }
+        promote_mutex_waiters(&mut st, mutex);
+        st.condvars.entry(condvar).or_default().push(me);
+        st.threads[me].status = Status::BlockedCondvar(condvar);
+        self.cv.notify_all();
+        let st = self.park(st, me);
+        drop(st);
+    }
+
+    /// Wake the longest-waiting thread on `condvar`, if any.  A notify
+    /// that finds no waiter is lost — exactly the std semantics whose
+    /// misuse (missed wakeup) this checker exists to find.
+    pub(crate) fn condvar_notify(&self, condvar: usize, all: bool) {
+        let mut st = self.lock();
+        let woken: Vec<usize> = match st.condvars.get_mut(&condvar) {
+            None => Vec::new(),
+            Some(queue) => {
+                if all {
+                    std::mem::take(queue)
+                } else if queue.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![queue.remove(0)]
+                }
+            }
+        };
+        for t in woken {
+            if st.threads[t].status == Status::BlockedCondvar(condvar) {
+                st.threads[t].status = Status::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until thread `target` finishes.  Called after a decision
+    /// point.
+    pub(crate) fn join_wait(&self, target: usize, me: usize) {
+        let mut st = self.lock();
+        if st.cancelling {
+            return;
+        }
+        if st.threads[target].status == Status::Finished {
+            return;
+        }
+        st.threads[me].status = Status::BlockedJoin(target);
+        self.cv.notify_all();
+        let st = self.park(st, me);
+        drop(st);
+    }
+
+    /// Record thread `me` as finished; promote its joiners; record the
+    /// first real failure and start cancelling if `panic` carries one.
+    pub(crate) fn thread_finished(&self, me: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(me) {
+                st.threads[t].status = Status::Ready;
+            }
+        }
+        if let Some(payload) = panic {
+            if !payload.is::<CancelToken>() && st.failure.is_none() {
+                st.failure = Some(FailureKind::Panic {
+                    thread: me,
+                    message: payload_message(payload.as_ref()),
+                });
+                st.cancelling = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The controller loop: repeatedly wait for the token holder to
+    /// stop, pick the next thread (honouring the replay prefix), grant.
+    /// Returns the decision trace and the failure, if any.
+    fn control(&self) -> (Vec<Decision>, Option<FailureKind>) {
+        let mut st = self.lock();
+        loop {
+            // Wait until nobody holds the token.
+            while st.threads.iter().any(|t| t.status == Status::Running) {
+                st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            if st.cancelling {
+                // Wake every parked thread so it can unwind; wait for
+                // all of them to finish, then report.
+                self.cv.notify_all();
+                while st.threads.iter().any(|t| t.status != Status::Finished) {
+                    st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                return (st.trace.clone(), st.failure.clone());
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return (st.trace.clone(), st.failure.clone());
+            }
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready)
+                .map(|(i, _)| i)
+                .collect();
+            if enabled.is_empty() {
+                let blocked = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, t)| (i, t.status.describe()))
+                    .collect();
+                st.failure = Some(FailureKind::Deadlock { blocked });
+                st.cancelling = true;
+                self.cv.notify_all();
+                continue;
+            }
+            if st.steps >= st.max_steps {
+                let max_steps = st.max_steps;
+                st.failure = Some(FailureKind::StepLimit { max_steps });
+                st.cancelling = true;
+                self.cv.notify_all();
+                continue;
+            }
+            let step = st.trace.len();
+            let chosen = if step < st.prefix.len() {
+                let wanted = st.prefix[step];
+                if !enabled.contains(&wanted) {
+                    st.failure = Some(FailureKind::ReplayDivergence { step, wanted });
+                    st.cancelling = true;
+                    self.cv.notify_all();
+                    continue;
+                }
+                wanted
+            } else {
+                default_choice(&enabled, st.running_before)
+            };
+            let running_before = st.running_before;
+            st.trace.push(Decision {
+                chosen,
+                enabled,
+                running_before,
+            });
+            st.running_before = Some(chosen);
+            st.steps += 1;
+            st.threads[chosen].status = Status::Running;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Promote every thread blocked on mutex `key` back to Ready; they
+/// re-contend when granted.
+fn promote_mutex_waiters(st: &mut ExecState, key: usize) {
+    for t in 0..st.threads.len() {
+        if st.threads[t].status == Status::BlockedMutex(key) {
+            st.threads[t].status = Status::Ready;
+        }
+    }
+}
+
+/// The candidate order at a decision: continue the running thread when
+/// possible (no preemption), then the rest ascending.  Exploration
+/// enumerates siblings in exactly this order, so "default choice" and
+/// "first candidate" coincide.
+pub(crate) fn candidate_order(enabled: &[usize], running_before: Option<usize>) -> Vec<usize> {
+    let mut order = Vec::with_capacity(enabled.len());
+    if let Some(prev) = running_before {
+        if enabled.contains(&prev) {
+            order.push(prev);
+        }
+    }
+    for &t in enabled {
+        if Some(t) != running_before {
+            order.push(t);
+        }
+    }
+    order
+}
+
+fn default_choice(enabled: &[usize], running_before: Option<usize>) -> usize {
+    candidate_order(enabled, running_before)[0]
+}
+
+/// Run one execution of `f` under `prefix`, free exploration (default
+/// policy) after the prefix runs out.  Returns the full decision trace
+/// and the failure, if one was found.
+pub(crate) fn run_execution<F>(
+    f: Arc<F>,
+    prefix: Vec<usize>,
+    max_steps: usize,
+) -> (Vec<Decision>, Option<FailureKind>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        !in_model(),
+        "interleave::model may not be nested inside a model execution"
+    );
+    let exec = Arc::new(Execution::new(prefix, max_steps));
+    let root = exec.register_thread();
+    debug_assert_eq!(root, 0);
+    let handle = spawn_model_thread(Arc::clone(&exec), root, move || f());
+    let (trace, failure) = exec.control();
+    let _ = handle.join();
+    (trace, failure)
+}
+
+/// Spawn the real OS thread backing a model thread: set up TLS, park
+/// until first granted, run, report completion.
+pub(crate) fn spawn_model_thread<F>(
+    exec: Arc<Execution>,
+    id: usize,
+    f: F,
+) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("interleave-{id}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+            // The initial park is inside the catch: if the execution is
+            // cancelled before this thread ever runs, the CancelToken
+            // unwind still reaches `thread_finished` (otherwise the
+            // controller would wait forever for this thread's status).
+            let exec_in = Arc::clone(&exec);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let st = exec_in.lock();
+                let st = exec_in.park(st, id);
+                drop(st);
+                f()
+            }));
+            exec.thread_finished(id, result.err());
+            CTX.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("spawning a model thread")
+}

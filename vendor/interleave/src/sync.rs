@@ -1,0 +1,410 @@
+//! Shimmed synchronisation primitives.
+//!
+//! Each type wraps its `std::sync` counterpart and, **inside a model
+//! execution**, routes every operation through the controlled scheduler
+//! first (a decision point, plus blocking semantics for mutexes and
+//! condvars).  **Outside** a model execution every operation delegates
+//! straight to `std`, so a `sync` facade that re-exports these types
+//! behaves identically to `std::sync` in production builds.
+//!
+//! Model state is keyed by the primitive's address: a mutex or condvar
+//! only ever moves while unowned/unwaited (guards and waiters borrow
+//! it), so a stale address entry is always in the released state — the
+//! semantics survive moves and address reuse.
+//!
+//! The memory model is sequential consistency: `Ordering` arguments are
+//! accepted and forwarded to the underlying `std` atomic (which is the
+//! real synchronisation outside the model), but the scheduler serialises
+//! every shimmed operation, so weaker orderings are not weakened in the
+//! explored state space.
+
+use crate::scheduler;
+
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+/// Atomic types whose every access is a scheduler decision point.
+pub mod atomic {
+    use crate::scheduler;
+    pub use std::sync::atomic::Ordering;
+
+    /// A decision point when inside a model execution; free otherwise.
+    #[inline]
+    fn hit() {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.decision_point(me);
+        }
+    }
+
+    /// A memory fence: a decision point in the model, a real
+    /// `std::sync::atomic::fence` outside it.
+    #[inline]
+    pub fn fence(order: Ordering) {
+        hit();
+        // A SeqCst-serialised model needs no fence; the real one does.
+        if !scheduler::in_model() {
+            std::sync::atomic::fence(order);
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $prim:ty, $doc:expr) => {
+            #[doc = $doc]
+            #[doc = " Every access is a model decision point."]
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$name,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$name::new(v),
+                    }
+                }
+
+                /// Load the value.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.load(order)
+                }
+
+                /// Store `v`.
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    hit();
+                    self.inner.store(v, order)
+                }
+
+                /// Swap in `v`, returning the previous value.
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.swap(v, order)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    hit();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-and-exchange (never fails spuriously in
+                /// the model — serialised execution has no contention).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    hit();
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                /// Exclusive access needs no decision point.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_int {
+        ($name:ident, $prim:ty, $doc:expr) => {
+            shim_atomic!($name, $prim, $doc);
+
+            impl $name {
+                /// Add, returning the previous value.
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Bitwise-or, returning the previous value.
+                pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.fetch_or(v, order)
+                }
+
+                /// Bitwise-and, returning the previous value.
+                pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    hit();
+                    self.inner.fetch_max(v, order)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicBool, bool, "Shimmed `AtomicBool`.");
+    shim_atomic_int!(AtomicUsize, usize, "Shimmed `AtomicUsize`.");
+    shim_atomic_int!(AtomicIsize, isize, "Shimmed `AtomicIsize`.");
+    shim_atomic_int!(AtomicU64, u64, "Shimmed `AtomicU64`.");
+    shim_atomic_int!(AtomicU32, u32, "Shimmed `AtomicU32`.");
+    shim_atomic_int!(AtomicI64, i64, "Shimmed `AtomicI64`.");
+
+    impl AtomicBool {
+        /// Bitwise-or, returning the previous value.
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            hit();
+            self.inner.fetch_or(v, order)
+        }
+
+        /// Bitwise-and, returning the previous value.
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            hit();
+            self.inner.fetch_and(v, order)
+        }
+    }
+
+    /// Shimmed `AtomicPtr`.  Every access is a model decision point.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// A new atomic holding `p`.
+        pub const fn new(p: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// Load the pointer.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            hit();
+            self.inner.load(order)
+        }
+
+        /// Store `p`.
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            hit();
+            self.inner.store(p, order)
+        }
+
+        /// Swap in `p`, returning the previous pointer.
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            hit();
+            self.inner.swap(p, order)
+        }
+
+        /// Exclusive access needs no decision point.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+    }
+}
+
+/// A `OnceLock` passthrough: statics initialise outside the modelled
+/// state space (process-lifetime, not execution-lifetime), so the shim
+/// is `std`'s type re-exported unchanged.
+pub use std::sync::OnceLock;
+
+/// Shimmed mutex: model-aware blocking `lock`, plain `std` otherwise.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for a [`Mutex`]; releases the model lock state (promoting
+/// blocked threads) when dropped.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Acquire the lock; in a model execution this is a decision point
+    /// and blocks (in model terms) while another model thread owns it.
+    /// Never poisons (model panics cancel the execution instead).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.decision_point(me);
+            exec.mutex_acquire(self.key(), me);
+        }
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.decision_point(me);
+            if !exec.mutex_try_acquire(self.key(), me) {
+                return Err(TryLockError::WouldBlock);
+            }
+            let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            });
+        }
+        match self.inner.try_lock() {
+            Ok(inner) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            }),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            }),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Exclusive access to the value.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.inner.get_mut().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `inner` is None when `Condvar::wait` already released the
+        // lock through this guard; release exactly once.
+        if self.inner.take().is_some() {
+            if let Some((exec, me)) = scheduler::current() {
+                exec.mutex_release(self.lock.key(), me);
+            }
+        }
+    }
+}
+
+/// Shimmed condition variable.  `notify_*` with no enqueued waiter is
+/// lost — std semantics, and the reachable state that makes
+/// missed-wakeup bugs findable.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condvar.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Release `guard`'s mutex, wait for a notification, reacquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some((exec, me)) = scheduler::current() {
+            let lock = guard.lock;
+            // Take the real guard out so the shim guard's Drop does not
+            // double-release the model state.
+            drop(guard.inner.take());
+            drop(guard);
+            exec.condvar_wait(self.key(), lock.key(), me);
+            exec.mutex_acquire(lock.key(), me);
+            let inner = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+            return Ok(MutexGuard {
+                lock,
+                inner: Some(inner),
+            });
+        }
+        let lock = guard.lock;
+        let inner = guard.inner.take().expect("guard holds the lock");
+        drop(guard);
+        let inner = self.inner.wait(inner).unwrap_or_else(|p| p.into_inner());
+        Ok(MutexGuard {
+            lock,
+            inner: Some(inner),
+        })
+    }
+
+    /// Wait while `condition` holds.
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut *guard) {
+            guard = self.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+        Ok(guard)
+    }
+
+    /// Wake one waiter (the longest-waiting, in the model).
+    pub fn notify_one(&self) {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.decision_point(me);
+            exec.condvar_notify(self.key(), false);
+            return;
+        }
+        self.inner.notify_one()
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.decision_point(me);
+            exec.condvar_notify(self.key(), true);
+            return;
+        }
+        self.inner.notify_all()
+    }
+}

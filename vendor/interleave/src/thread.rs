@@ -1,0 +1,99 @@
+//! Shimmed threads: inside a model execution, `spawn` registers a new
+//! *model thread* with the scheduler (whose first run, like every later
+//! step, happens only when the controller grants it); outside, it
+//! delegates to `std::thread::spawn`.
+
+use crate::scheduler::{self, Execution};
+use std::sync::Arc;
+
+/// The result of joining a thread (std-compatible alias).
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+enum Inner<T> {
+    Model {
+        exec: Arc<Execution>,
+        id: usize,
+        slot: Arc<std::sync::Mutex<Option<Result<T>>>>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.  In a model
+    /// execution this is a decision point and the joiner is disabled
+    /// until the target finishes.
+    pub fn join(self) -> Result<T> {
+        match self.inner {
+            Inner::Model { exec, id, slot } => {
+                let (_, me) = scheduler::current()
+                    .expect("model thread handles are joined from model threads");
+                exec.decision_point(me);
+                exec.join_wait(id, me);
+                slot.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("finished model thread left its result")
+            }
+            Inner::Std(handle) => handle.join(),
+        }
+    }
+}
+
+/// Spawn a thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, me)) = scheduler::current() {
+        exec.decision_point(me);
+        let id = exec.register_thread();
+        let slot: Arc<std::sync::Mutex<Option<Result<T>>>> = Arc::new(std::sync::Mutex::new(None));
+        let slot_in = Arc::clone(&slot);
+        scheduler::spawn_model_thread(Arc::clone(&exec), id, move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match result {
+                Ok(v) => {
+                    *slot_in.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                }
+                Err(payload) => {
+                    // Keep a placeholder for joiners (the execution is
+                    // being cancelled anyway) and re-raise so the
+                    // scheduler records the real failure and schedule.
+                    *slot_in.lock().unwrap_or_else(|p| p.into_inner()) = Some(Err(Box::new(
+                        "model thread panicked",
+                    )
+                        as Box<dyn std::any::Any + Send>));
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        return JoinHandle {
+            inner: Inner::Model { exec, id, slot },
+        };
+    }
+    JoinHandle {
+        inner: Inner::Std(std::thread::spawn(f)),
+    }
+}
+
+/// Voluntarily hand the token back (a bare decision point) in a model
+/// execution; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if let Some((exec, me)) = scheduler::current() {
+        exec.decision_point(me);
+        return;
+    }
+    std::thread::yield_now()
+}

@@ -1,0 +1,512 @@
+//! A lock-free Chase–Lev work-stealing deque (owner-LIFO / thief-FIFO),
+//! after Chase & Lev, *Dynamic Circular Work-Stealing Deque* (SPAA '05),
+//! with the memory orderings of Lê et al., *Correct and Efficient
+//! Work-Stealing for Weak Memory Models* (PPoPP '13).
+//!
+//! # Shape
+//!
+//! One [`Worker`] (the owner: pushes and pops at the **bottom**, LIFO)
+//! and any number of cloned [`Stealer`]s (thieves: take from the
+//! **top**, FIFO).  Owner uniqueness is enforced in the type system —
+//! `Worker` is `Send` but `!Sync` and not `Clone`, so exactly one
+//! thread can ever operate the owner end.
+//!
+//! # Reclamation
+//!
+//! When the ring buffer fills, the owner allocates a buffer of twice
+//! the capacity, copies the live range, and publishes it.  The old
+//! buffer is **retired, not freed**: a concurrent stealer may still be
+//! reading a slot of it, and without an epoch/hazard scheme there is no
+//! cheap way to know when the last such reader is gone.  Retired
+//! buffers are kept on a list owned by the deque and freed in `Drop`,
+//! when no `Worker` or `Stealer` handle (and therefore no reader)
+//! exists.  Geometric growth bounds the waste: all retired buffers
+//! together are smaller than the current one.
+//!
+//! # Memory-safety audit (per bug class)
+//!
+//! * **Send/Sync variance** — `Inner<T>` holds raw buffer pointers, so
+//!   `Send`/`Sync` are implemented manually and require `T: Send`; the
+//!   handles never hand out `&T`, values only *move* out.  `Worker` is
+//!   deliberately `!Sync` (a `PhantomData<Cell<()>>` field) because
+//!   [`Worker::push`]/[`Worker::pop`] assume a unique caller.
+//! * **Panic safety / double drop** — slot reads are speculative
+//!   `ptr::read`s; the loser of the ownership CAS `mem::forget`s its
+//!   copy, so exactly one handle ever drops each value (see
+//!   [`Stealer::steal`] and the last-element race in [`Worker::pop`]).
+//!   No user code (no `T::drop`, no closure) runs while the deque is in
+//!   a half-updated state, so an unwinding panic cannot expose one.
+//! * **Uninitialised exposure** — slots are `MaybeUninit<T>` and only
+//!   the index range `top..bottom` is ever initialised; reads are
+//!   guarded by the `t < b` checks, and `Drop` drops exactly that range
+//!   and nothing else.
+
+use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use crate::sync::{Arc, Mutex};
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+
+/// Which deque implementation this build of the pool runs on.  Bench
+/// exports stamp it into their rows so historical measurements taken
+/// against the old mutex-guarded deques stay distinguishable.
+pub const IMPL_NAME: &str = "chase-lev";
+
+/// Initial ring capacity (power of two; doubles on overflow).
+const INITIAL_CAP: usize = 32;
+
+/// One ring buffer.  `slots` has interior mutability because the owner
+/// writes slots while stealers (speculatively) read them; every *used*
+/// read is ordered after the index check that proves the slot
+/// initialised, and only one party ever takes ownership of a value.
+struct Buf<T> {
+    cap: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buf<T> {
+    fn alloc(cap: usize) -> *mut Buf<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::into_raw(Box::new(Buf { cap, slots }))
+    }
+
+    /// Pointer to the slot for ring index `i` (wrapping).
+    fn slot(&self, i: isize) -> *mut MaybeUninit<T> {
+        // cap is a power of two, so the mask implements i mod cap even
+        // for "negative" logical indices (two's complement).
+        self.slots[(i as usize) & (self.cap - 1)].get()
+    }
+
+    /// Read the value at ring index `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must know the slot holds an initialised value (index
+    /// within `top..bottom` at the time of the guarding load), and must
+    /// either take ownership of the returned value (winning the CAS) or
+    /// `mem::forget` it — two owners of one read would double-drop.
+    unsafe fn read(&self, i: isize) -> T {
+        // SAFETY: forwarded to the caller (see above); the pointer
+        // itself is always valid, in-bounds and aligned.
+        unsafe { self.slot(i).read().assume_init() }
+    }
+
+    /// Write `value` into ring index `i`.
+    ///
+    /// # Safety
+    ///
+    /// Only the owner may call this, and only on a slot outside the
+    /// live `top..bottom` range (i.e. at `bottom` before publishing it,
+    /// or while copying into a buffer not yet published), so no reader
+    /// can observe a torn value.
+    unsafe fn write(&self, i: isize, value: T) {
+        // SAFETY: forwarded to the caller (see above).
+        unsafe { self.slot(i).write(MaybeUninit::new(value)) }
+    }
+}
+
+struct Inner<T> {
+    /// Thief end.  Monotonically increasing; a successful CAS here *is*
+    /// ownership transfer of the slot it indexed.
+    top: AtomicIsize,
+    /// Owner end.  Written only by the owner.
+    bottom: AtomicIsize,
+    /// The current ring buffer.  Swapped only by the owner (on growth);
+    /// stealers load it after reading `top`.
+    buffer: AtomicPtr<Buf<T>>,
+    /// Buffers replaced by growth, kept alive until `Drop` because a
+    /// stealer may still read from them (see the module docs).  Only the
+    /// owner pushes (growth is owner-only), so the lock is uncontended;
+    /// it exists to keep `Inner: Sync` without another unsafe claim.
+    retired: Mutex<Vec<*mut Buf<T>>>,
+}
+
+// SAFETY (Send/Sync variance): `Inner` owns its buffers; the raw
+// pointers never alias another deque's allocation.  Values of `T` move
+// in via `push` and out via `pop`/`steal` — no `&T` is ever produced —
+// so sharing `Inner` across threads moves values between threads and
+// requires exactly `T: Send`.  `T: Sync` is deliberately NOT required
+// (same bound real work-stealing deques use).
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: see above; all cross-thread mutation goes through the atomic
+// indices/pointer or the `retired` mutex.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: the last handle is gone, so the plain loads
+        // are race-free.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        let mut i = top;
+        while i < bottom {
+            // SAFETY: `top..bottom` is exactly the initialised range,
+            // and nobody else can read these slots anymore — each value
+            // is dropped once, here.
+            unsafe { drop((*buf).read(i)) };
+            i += 1;
+        }
+        // SAFETY: `buf` came from `Box::into_raw` in `Buf::alloc` and is
+        // freed exactly once (it is not on the retired list).
+        unsafe { drop(Box::from_raw(buf)) };
+        let retired = std::mem::take(&mut *self.retired.lock().unwrap_or_else(|p| p.into_inner()));
+        for old in retired {
+            // SAFETY: retired buffers also came from `Buf::alloc`, were
+            // unlinked from `buffer` at growth, and are freed exactly
+            // once, here.  Their values were *copied* (not moved out) to
+            // the new buffer by `grow`, so only the copy is dropped —
+            // stale bytes in old slots are `MaybeUninit` and never
+            // dropped.
+            unsafe { drop(Box::from_raw(old)) };
+        }
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; the deque may be
+    /// non-empty — callers must **not** treat this as "no work" (in
+    /// particular, must not go to sleep on it).
+    Retry,
+    /// A task, in FIFO (oldest-first) order.
+    Success(T),
+}
+
+/// The owner end: push and pop at the bottom (LIFO).  `Send` but
+/// `!Sync`/`!Clone` — exactly one thread operates it.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Makes `Worker: !Sync`: push/pop assume a unique caller.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+/// A thief end: take from the top (FIFO).  Clone freely; stealers can
+/// be shared across threads.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A new empty deque: the unique owner handle and a first stealer.
+pub fn new<T>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Buf::alloc(INITIAL_CAP)),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Push a task at the bottom.  Never blocks; grows the ring when
+    /// full (amortised O(1)).
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: the owner published `buf` itself (or took it from
+        // `new`), so it is alive; only `Drop` frees the current buffer.
+        if b - t >= unsafe { (*buf).cap } as isize {
+            buf = self.grow(t, b, buf);
+        }
+        // SAFETY: slot `b` is outside the live range `t..b` (it becomes
+        // live only with the `bottom` store below), so no reader can
+        // observe the write in progress.
+        unsafe { (*buf).write(b, value) };
+        // Publish: everything above happens-before a stealer's
+        // bottom-load that observes b+1.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Double the ring, copying the live range `t..b`; returns the new
+    /// buffer and retires the old one (freed in `Drop`, see module docs).
+    fn grow(&self, t: isize, b: isize, old: *mut Buf<T>) -> *mut Buf<T> {
+        let inner = &*self.inner;
+        // SAFETY: `old` is the current buffer (owner-only swap), alive
+        // until `Drop`.
+        let new = Buf::<T>::alloc(unsafe { (*old).cap } * 2);
+        let mut i = t;
+        while i < b {
+            // SAFETY: `t..b` is initialised in `old`; `new` is not yet
+            // published so its slots are exclusively ours.  This is a
+            // bitwise COPY — ownership stays with the ring (slot `i` of
+            // the retired buffer is never read or dropped again), so no
+            // double drop.
+            unsafe { (*new).write(i, (*old).read(i)) };
+            i += 1;
+        }
+        inner.buffer.store(new, Ordering::Release);
+        inner
+            .retired
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(old);
+        new
+    }
+
+    /// Pop a task from the bottom (LIFO).  Returns `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        // Reserve the bottom slot before inspecting top: a concurrent
+        // stealer that still observes the old bottom can only take
+        // slots strictly below `b`.
+        inner.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom store before the top load (the SC fence both
+        // sides of the Chase–Lev race rely on).
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Last element: race the stealers for it via top.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    // A stealer got it; the slot's value now belongs to
+                    // that stealer — we never read it, so no forget
+                    // needed.
+                    return None;
+                }
+                // SAFETY: winning the CAS transferred ownership of slot
+                // `b` to us; `t..b+1` was initialised.
+                return Some(unsafe { (*buf).read(b) });
+            }
+            // More than one element: slot `b` is ours alone — stealers
+            // bound their CAS by the stored bottom, so they can claim
+            // at most slots t..b-1.
+            // SAFETY: `b` is inside the initialised range and reserved
+            // by the bottom store + fence above.
+            Some(unsafe { (*buf).read(b) })
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Owner-side emptiness check (exact at the moment of the loads).
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        t >= b
+    }
+
+    /// A new stealer for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Try to steal the oldest task.  [`Steal::Retry`] means a race was
+    /// lost, not that the deque is empty.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load (pairs with the
+        // fence in `pop`).
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Non-empty at the observed indices: speculatively read slot t,
+        // then claim it.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: `t < b` proves slot `t` was initialised in the buffer
+        // current at the bottom-load; `buf` cannot have been freed (the
+        // owner only retires, never frees, while handles exist).  The
+        // read is speculative: ownership is ours only if the CAS below
+        // succeeds, otherwise the copy is forgotten — never two drops.
+        let value = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race: somebody else owns slot t now.  Forget our
+            // speculative copy so the value is dropped exactly once, by
+            // its true owner (panic-safety/double-drop audit point).
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Thief-side emptiness hint (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let (w, s) = new::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, s) = new::<usize>();
+        for i in 0..4 * INITIAL_CAP {
+            w.push(i);
+        }
+        // FIFO from the top: the oldest values come out first.
+        for i in 0..2 * INITIAL_CAP {
+            match s.steal() {
+                Steal::Success(v) => assert_eq!(v, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // LIFO from the bottom for the rest.
+        for i in (2 * INITIAL_CAP..4 * INITIAL_CAP).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn values_are_dropped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, O::SeqCst);
+            }
+        }
+        DROPS.store(0, O::SeqCst);
+        let (w, s) = new::<D>();
+        for _ in 0..100 {
+            w.push(D);
+        }
+        for _ in 0..30 {
+            assert!(matches!(s.steal(), Steal::Success(_)));
+        }
+        for _ in 0..30 {
+            assert!(w.pop().is_some());
+        }
+        drop(w);
+        drop(s);
+        // 60 taken and dropped by the test + 40 dropped by the deque.
+        assert_eq!(DROPS.load(O::SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrent_stealers_partition_the_work() {
+        let (w, s) = new::<usize>();
+        const N: usize = 10_000;
+        for i in 0..N {
+            w.push(i);
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut mine = Vec::new();
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        let mut all: Vec<usize> = mine;
+        for th in threads {
+            all.extend(th.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..N).collect();
+        assert_eq!(all, expect, "every task exactly once");
+    }
+
+    #[test]
+    fn interleaved_push_and_steal() {
+        let (w, s) = new::<usize>();
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thief = {
+            let s = s.clone();
+            let total = std::sync::Arc::clone(&total);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        total.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+        let mut pushed = 0usize;
+        for i in 1..=5_000usize {
+            w.push(i);
+            pushed += i;
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    total.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            total.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        thief.join().unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), pushed);
+    }
+}

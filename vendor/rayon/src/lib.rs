@@ -5,14 +5,17 @@
 //! # Executor
 //!
 //! A [`ThreadPool`] owns N long-lived workers.  Each worker has its own
-//! Chase–Lev-style deque: the owner pushes and pops at the **back**
-//! (LIFO, cache-hot), thieves steal from the **front** (FIFO, oldest
-//! first).  Tasks submitted from outside the pool land in a global
-//! injector queue that idle workers drain.  The deques here are
-//! lock-protected rather than lock-free — the workloads in this
-//! workspace submit chunk-granular tasks (hundreds of µs each), so queue
-//! synchronisation is nowhere near the critical path, and the stealing
-//! *discipline* (owner-LIFO / thief-FIFO) is what matters for locality.
+//! Chase–Lev deque: the owner pushes and pops at the **bottom** (LIFO,
+//! cache-hot), thieves steal from the **top** (FIFO, oldest first).
+//! Tasks submitted from outside the pool land in a global injector
+//! queue that idle workers drain.  The default deque is the lock-free
+//! Chase–Lev implementation in [`deque`], whose index/CAS protocol is
+//! pinned under the `interleave` model checker (`crates/check`); the
+//! previous mutex-guarded deque remains selectable
+//! ([`ThreadPoolBuilder::deque_impl`] or `RAYON_DEQUE=mutex`) as the
+//! differential-benchmark reference.  A lost steal race surfaces as
+//! "retry, don't sleep", which the worker loop honours — sleeping on a
+//! retry could strand a queued task until the next wake epoch.
 //!
 //! The **global pool** is created lazily on first use, sized by the
 //! `RAYON_NUM_THREADS` environment variable when set (like real rayon)
@@ -37,18 +40,40 @@
 //! parallel iterators — a property the batch engine's determinism proof
 //! relies on.  Work stealing reorders *execution*, never *results*.
 
+pub mod deque;
+pub mod sleep;
+pub mod sync;
+
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::sleep::EpochGate;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, OnceLock};
 
 /// Inputs shorter than this are mapped on the calling thread.
 pub const SEQUENTIAL_CUTOFF: usize = 32;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// One worker's deque.  Owner end is the back, thief end is the front.
+/// Which per-worker deque implementation a pool uses.
+///
+/// The default is the lock-free Chase–Lev deque ([`deque`]); the
+/// mutex-guarded implementation is kept selectable (builder option or
+/// `RAYON_DEQUE=mutex`) as the reference for differential benchmarks
+/// and as a fallback while auditing the unsafe one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DequeImpl {
+    /// Lock-free Chase–Lev (owner-LIFO / thief-FIFO), the default.
+    #[default]
+    LockFree,
+    /// Mutex-guarded `VecDeque` with the same stealing discipline.
+    Mutex,
+}
+
+/// One worker's mutex-guarded deque.  Owner end is the back, thief end
+/// is the front.
 struct WorkerDeque {
     tasks: Mutex<VecDeque<Task>>,
 }
@@ -85,72 +110,168 @@ impl WorkerDeque {
     }
 }
 
+/// The per-worker queues of one pool, in the configured implementation.
+/// For the lock-free flavour only the thief ends live here — each
+/// worker's owner end is moved into the worker thread itself
+/// ([`OWNER_DEQUE`]), which is what makes owner push/pop uniquely-owned
+/// without a lock.
+enum Deques {
+    Mutex(Vec<WorkerDeque>),
+    LockFree(Vec<deque::Stealer<Task>>),
+}
+
+impl Deques {
+    fn len(&self) -> usize {
+        match self {
+            Deques::Mutex(d) => d.len(),
+            Deques::LockFree(s) => s.len(),
+        }
+    }
+}
+
+/// Outcome of one work-finding pass over the queues.
+enum Found {
+    /// A task to run.
+    Task(Task),
+    /// Nothing obtained, but a steal lost a race — the queues may be
+    /// non-empty, so the caller must retry instead of sleeping.
+    Retry,
+    /// Every queue was observed empty.
+    Empty,
+}
+
 /// State shared between a pool handle and its workers.
 struct Shared {
     injector: Mutex<VecDeque<Task>>,
-    deques: Vec<WorkerDeque>,
-    /// Wake epoch: bumped (under `sleep`) whenever new work arrives or a
-    /// latch completes, so sleepers can re-check without lost wakeups.
-    sleep: Mutex<u64>,
-    wake: Condvar,
+    deques: Deques,
+    /// Sleep/wake protocol (wake epoch + condvar); see [`sleep::EpochGate`].
+    gate: EpochGate,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Bump the wake epoch and wake every sleeper.
+    /// Announce new work: bump the wake epoch and wake every sleeper.
     fn notify(&self) {
-        let mut epoch = self.sleep.lock().unwrap_or_else(|p| p.into_inner());
-        *epoch = epoch.wrapping_add(1);
-        self.wake.notify_all();
+        self.gate.notify();
+    }
+
+    /// Push onto worker `index`'s own deque (owner end).  Only called on
+    /// that worker's thread (callers match [`WORKER`] first).
+    fn push_local(&self, index: usize, task: Task) {
+        match &self.deques {
+            Deques::Mutex(d) => d[index].push(task),
+            Deques::LockFree(_) => {
+                let leftover = OWNER_DEQUE.with(|od| {
+                    if let Some(w) = od.borrow().as_ref() {
+                        w.push(task);
+                        None
+                    } else {
+                        Some(task)
+                    }
+                });
+                // The owner handle is installed before the worker runs
+                // any task, so this is unreachable in practice; route to
+                // the injector rather than assert.
+                if let Some(task) = leftover {
+                    self.injector
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push_back(task);
+                }
+            }
+        }
     }
 
     /// Find one task: own deque first (LIFO), then steal from the other
     /// workers (FIFO, round-robin from the caller's index), then the
-    /// injector.  External threads skip the own-deque step.
-    fn find_task(&self, worker: Option<usize>) -> Option<Task> {
+    /// injector.  External threads skip the own-deque step.  A lost
+    /// steal race surfaces as [`Found::Retry`] — callers must not treat
+    /// it as emptiness (in particular, must not sleep on it).
+    fn find_task(&self, worker: Option<usize>) -> Found {
         if let Some(index) = worker {
-            if let Some(task) = self.deques[index].pop() {
-                return Some(task);
+            let own = match &self.deques {
+                Deques::Mutex(d) => d[index].pop(),
+                Deques::LockFree(_) => {
+                    OWNER_DEQUE.with(|od| od.borrow().as_ref().and_then(deque::Worker::pop))
+                }
+            };
+            if let Some(task) = own {
+                return Found::Task(task);
             }
         }
         let n = self.deques.len();
         let start = worker.map_or(0, |i| i + 1);
+        let mut saw_retry = false;
         for offset in 0..n {
             let victim = (start + offset) % n;
             if Some(victim) == worker {
                 continue;
             }
-            if let Some(task) = self.deques[victim].steal() {
-                return Some(task);
+            match &self.deques {
+                Deques::Mutex(d) => {
+                    if let Some(task) = d[victim].steal() {
+                        return Found::Task(task);
+                    }
+                }
+                Deques::LockFree(s) => match s[victim].steal() {
+                    deque::Steal::Success(task) => return Found::Task(task),
+                    deque::Steal::Retry => saw_retry = true,
+                    deque::Steal::Empty => {}
+                },
             }
         }
-        self.injector
+        if let Some(task) = self
+            .injector
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .pop_front()
+        {
+            return Found::Task(task);
+        }
+        if saw_retry {
+            Found::Retry
+        } else {
+            Found::Empty
+        }
     }
 }
 
 thread_local! {
     /// `(Shared address, worker index)` of the pool this thread works for.
     static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
+    /// The owner end of this worker thread's lock-free deque (`None` on
+    /// external threads and in mutex-deque pools).  Living in a
+    /// thread-local keeps the `!Sync` owner handle off the `Shared`
+    /// struct entirely — owner uniqueness needs no unsafe claim.
+    static OWNER_DEQUE: std::cell::RefCell<Option<deque::Worker<Task>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
-fn worker_loop(shared: Arc<Shared>, index: usize) {
+fn worker_loop(shared: Arc<Shared>, index: usize, owner: Option<deque::Worker<Task>>) {
     WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    if let Some(owner) = owner {
+        OWNER_DEQUE.with(|od| *od.borrow_mut() = Some(owner));
+    }
     loop {
-        let epoch = *shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(task) = shared.find_task(Some(index)) {
-            task();
-            continue;
+        let epoch = shared.gate.begin();
+        match shared.find_task(Some(index)) {
+            Found::Task(task) => {
+                task();
+                continue;
+            }
+            Found::Retry => {
+                // Raced a pop/steal; work may remain — spin, don't sleep.
+                crate::sync::thread::yield_now();
+                continue;
+            }
+            Found::Empty => {}
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut guard = shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
-        while *guard == epoch && !shared.shutdown.load(Ordering::Acquire) {
-            guard = shared.wake.wait(guard).unwrap_or_else(|p| p.into_inner());
-        }
+        shared
+            .gate
+            .sleep(epoch, || shared.shutdown.load(Ordering::Acquire));
     }
 }
 
@@ -184,7 +305,7 @@ impl CountLatch {
             _ => None,
         };
         loop {
-            let epoch = *shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
+            let epoch = shared.gate.begin();
             if self.pending.load(Ordering::Acquire) == 0 {
                 return;
             }
@@ -192,15 +313,19 @@ impl CountLatch {
             // well be this scope's own tasks).  An external thread just
             // sleeps until the epoch moves.
             if my_index.is_some() {
-                if let Some(task) = shared.find_task(my_index) {
-                    task();
-                    continue;
+                match shared.find_task(my_index) {
+                    Found::Task(task) => {
+                        task();
+                        continue;
+                    }
+                    // Lost a steal race: work may remain, keep searching.
+                    Found::Retry => continue,
+                    Found::Empty => {}
                 }
             }
-            let mut guard = shared.sleep.lock().unwrap_or_else(|p| p.into_inner());
-            while *guard == epoch && self.pending.load(Ordering::Acquire) != 0 {
-                guard = shared.wake.wait(guard).unwrap_or_else(|p| p.into_inner());
-            }
+            shared
+                .gate
+                .sleep(epoch, || self.pending.load(Ordering::Acquire) == 0);
         }
     }
 }
@@ -242,18 +367,30 @@ impl<'scope> Scope<'scope> {
             }
             latch.done(&shared);
         });
-        // SAFETY: the scope's latch is waited on before `scope` returns, so
-        // every borrow captured by the task ('scope) strictly outlives its
-        // execution.  Extending the closure's lifetime to 'static is the
-        // standard scoped-task erasure (same layout, fat pointer unchanged).
         let task: Task =
+            // SAFETY: scoped-task lifetime erasure, sound because the task
+            // can never outlive the borrows it captures:
+            // * `scope` blocks on the latch before returning, and the latch
+            //   fires on *every* exit of the task body — `f` runs inside
+            //   `catch_unwind` above, so even a panicking task reaches
+            //   `latch.done` (the payload is stashed and re-thrown only
+            //   after the wait completes).  No path runs the captured
+            //   borrows after `scope` returns.
+            // * A task dropped without running (pool shutdown) never fires
+            //   the latch, so `scope` blocks forever — a liveness bug at
+            //   worst, never a dangling borrow; dropping the closure only
+            //   drops captured references, which borrows nothing after it.
+            // * The transmute erases only the `'scope` lifetime parameter:
+            //   `Box<dyn FnOnce() + Send + 'scope>` and `Task`
+            //   (`Box<dyn FnOnce() + Send>`) have identical layout (fat
+            //   pointer + vtable); no bytes are reinterpreted.
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
         // Workers of this pool push to their own deque (owner end);
         // external threads go through the injector.
         let me = WORKER.with(std::cell::Cell::get);
         match me {
             Some((addr, index)) if addr == Arc::as_ptr(&self.shared) as usize => {
-                self.shared.deques[index].push(task);
+                self.shared.push_local(index, task);
             }
             _ => {
                 self.shared
@@ -274,16 +411,28 @@ fn default_num_threads() -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism()
+            crate::sync::thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1)
         })
+}
+
+/// The deque implementation to use when the builder does not pin one:
+/// the `RAYON_DEQUE` environment variable (`mutex` or `lockfree`),
+/// defaulting to lock-free.
+fn default_deque_impl() -> DequeImpl {
+    match std::env::var("RAYON_DEQUE").as_deref() {
+        Ok("mutex") => DequeImpl::Mutex,
+        Ok("lockfree") => DequeImpl::LockFree,
+        _ => DequeImpl::default(),
+    }
 }
 
 /// Builder for a dedicated [`ThreadPool`].
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    deque_impl: Option<DequeImpl>,
 }
 
 impl ThreadPoolBuilder {
@@ -298,29 +447,54 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Pin the per-worker deque implementation (default: `RAYON_DEQUE`
+    /// env var, then lock-free).
+    pub fn deque_impl(mut self, which: DequeImpl) -> Self {
+        self.deque_impl = Some(which);
+        self
+    }
+
     /// Build the pool, spawning its workers.
     pub fn build(self) -> std::io::Result<ThreadPool> {
         let n = self.num_threads.unwrap_or_else(default_num_threads).max(1);
+        let deque_impl = self.deque_impl.unwrap_or_else(default_deque_impl);
+        // For the lock-free flavour the owner ends travel into their
+        // worker threads; only stealers are shared.
+        let mut owners: Vec<Option<deque::Worker<Task>>> = Vec::with_capacity(n);
+        let deques = match deque_impl {
+            DequeImpl::Mutex => {
+                owners.resize_with(n, || None);
+                Deques::Mutex((0..n).map(|_| WorkerDeque::new()).collect())
+            }
+            DequeImpl::LockFree => {
+                let mut stealers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (worker, stealer) = deque::new();
+                    owners.push(Some(worker));
+                    stealers.push(stealer);
+                }
+                Deques::LockFree(stealers)
+            }
+        };
         let shared = Arc::new(Shared {
             injector: Mutex::new(VecDeque::new()),
-            deques: (0..n).map(|_| WorkerDeque::new()).collect(),
-            sleep: Mutex::new(0),
-            wake: Condvar::new(),
+            deques,
+            gate: EpochGate::new(),
             shutdown: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(n);
-        for index in 0..n {
+        for (index, owner) in owners.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("dynscan-pool-{index}"))
-                    .spawn(move || worker_loop(shared, index))?,
-            );
+            handles.push(crate::sync::thread::spawn_named(
+                format!("dynscan-pool-{index}"),
+                move || worker_loop(shared, index, owner),
+            )?);
         }
         Ok(ThreadPool {
             shared,
             handles: Mutex::new(handles),
             num_threads: n,
+            deque_impl,
         })
     }
 }
@@ -328,14 +502,16 @@ impl ThreadPoolBuilder {
 /// A persistent work-stealing thread pool.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    handles: Mutex<Vec<crate::sync::thread::JoinHandle<()>>>,
     num_threads: usize,
+    deque_impl: DequeImpl,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("num_threads", &self.num_threads)
+            .field("deque_impl", &self.deque_impl)
             .finish_non_exhaustive()
     }
 }
@@ -344,6 +520,11 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Which per-worker deque implementation this pool runs on.
+    pub fn deque_impl(&self) -> DequeImpl {
+        self.deque_impl
     }
 
     /// Run `op` with a [`Scope`] handle on the **calling thread**; any
@@ -396,7 +577,7 @@ impl ThreadPool {
         let me = WORKER.with(std::cell::Cell::get);
         match me {
             Some((addr, index)) if addr == Arc::as_ptr(&self.shared) as usize => {
-                self.shared.deques[index].push(task);
+                self.shared.push_local(index, task);
             }
             _ => {
                 self.shared
@@ -725,6 +906,41 @@ mod tests {
         let items: Vec<u64> = (0..256).collect();
         let _ = pool.map_slice(&items, |&x| x);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn both_deque_impls_produce_identical_results() {
+        let items: Vec<u64> = (0..20_000).collect();
+        let mut outputs = Vec::new();
+        for which in [DequeImpl::LockFree, DequeImpl::Mutex] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(4)
+                .deque_impl(which)
+                .build()
+                .unwrap();
+            assert_eq!(pool.deque_impl(), which);
+            outputs.push(pool.map_slice(&items, |&x| x.wrapping_mul(2654435761)));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn lockfree_pool_survives_heavy_detached_spawning() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .deque_impl(DequeImpl::LockFree)
+            .build()
+            .unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|s| {
+            for _ in 0..1_000 {
+                let counter = Arc::clone(&counter);
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
     }
 
     #[test]

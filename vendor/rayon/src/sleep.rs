@@ -1,0 +1,71 @@
+//! The pool's sleep/wake protocol, extracted so the model checker can
+//! exercise it in isolation (`crates/check`, `pool_model.rs`).
+//!
+//! # Protocol
+//!
+//! Sleepers are tracked by a **wake epoch**: a counter bumped under the
+//! lock whenever something happens that could create work (a task is
+//! pushed, a latch completes, shutdown begins).  A would-be sleeper
+//!
+//! 1. reads the epoch ([`EpochGate::begin`]),
+//! 2. searches for work **after** that read,
+//! 3. sleeps only while the epoch still equals what it read
+//!    ([`EpochGate::sleep`]).
+//!
+//! If a producer pushes work between steps 2 and 3, the push's
+//! [`EpochGate::notify`] has already advanced the epoch, so step 3's
+//! entry check fails and the sleeper retries instead of blocking — the
+//! classic missed-wakeup window is closed by construction.  The model
+//! checker proves this for every interleaving it can reach, including
+//! the one where the notify lands exactly between the failed search and
+//! the wait.
+
+use crate::sync::{Condvar, Mutex};
+
+/// Epoch-counting condvar gate (see the module docs for the protocol).
+pub struct EpochGate {
+    epoch: Mutex<u64>,
+    wake: Condvar,
+}
+
+impl Default for EpochGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochGate {
+    /// A gate at epoch zero.
+    pub const fn new() -> Self {
+        EpochGate {
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Read the current epoch.  Call **before** searching for work; pass
+    /// the value to [`EpochGate::sleep`] so a notify that raced the
+    /// search is not lost.
+    pub fn begin(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Announce that new work (or a state change worth re-checking) has
+    /// arrived: advance the epoch and wake every sleeper.
+    pub fn notify(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
+        *epoch = epoch.wrapping_add(1);
+        self.wake.notify_all();
+    }
+
+    /// Block until the epoch moves past `observed` or `done()` turns
+    /// true.  `done` is evaluated under the gate lock, so a waker that
+    /// changes the condition and then calls [`EpochGate::notify`] cannot
+    /// slip between the check and the wait.
+    pub fn sleep<F: Fn() -> bool>(&self, observed: u64, done: F) {
+        let mut guard = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
+        while *guard == observed && !done() {
+            guard = self.wake.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}

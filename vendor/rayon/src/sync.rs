@@ -1,0 +1,50 @@
+//! Synchronisation facade for the pool.
+//!
+//! Every concurrency primitive the pool touches is imported from here,
+//! never from `std::sync`/`std::thread` directly (enforced by
+//! `dynscan-lint`'s `facade-sync` rule).  Under a normal build the
+//! re-exports are exactly the std types — zero overhead, zero behaviour
+//! change.  Under `RUSTFLAGS=--cfg dynscan_model_check` they switch to
+//! the [`interleave`] shims, whose every operation is a scheduling
+//! decision point of the deterministic model checker, so the pool's
+//! sleep/wake protocol and deques can be explored exhaustively by the
+//! suites in `crates/check`.
+
+#[cfg(not(dynscan_model_check))]
+pub use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+#[cfg(dynscan_model_check)]
+pub use interleave::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Thread spawning/joining through the same cfg switch as the lock and
+/// atomic types above.
+pub mod thread {
+    #[cfg(not(dynscan_model_check))]
+    pub use std::thread::{yield_now, JoinHandle};
+
+    #[cfg(dynscan_model_check)]
+    pub use interleave::thread::{yield_now, JoinHandle};
+
+    // Querying hardware parallelism is not a synchronisation operation;
+    // it stays std under either cfg.
+    pub use std::thread::available_parallelism;
+
+    /// Spawn a named worker thread.  The model-checked build routes
+    /// through the interleave scheduler (which has no thread naming) so
+    /// the name is advisory only.
+    pub fn spawn_named<F, T>(name: String, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        #[cfg(not(dynscan_model_check))]
+        {
+            std::thread::Builder::new().name(name).spawn(f)
+        }
+        #[cfg(dynscan_model_check)]
+        {
+            let _ = name;
+            Ok(interleave::thread::spawn(f))
+        }
+    }
+}
