@@ -45,8 +45,20 @@ struct Inner<T> {
     capacity: usize,
 }
 
-/// Create a bounded queue with `capacity` slots (at least one).
+/// Create a bounded queue with `capacity` slots.
+///
+/// # Panics
+///
+/// Panics if `capacity` is 0.  `try_send` never blocks, so a zero-slot
+/// queue could not model the old `sync_channel(0)` rendezvous (hand a
+/// job directly to a waiting receiver) — it would just refuse every
+/// job.  Callers must validate instead of relying on a silent clamp
+/// ([`crate::ServeConfig`] does, in `Server::start`).
 pub fn bounded<T>(capacity: usize) -> (JobSender<T>, JobReceiver<T>) {
+    assert!(
+        capacity >= 1,
+        "admission queue capacity must be at least 1 (0 is not a rendezvous channel here)"
+    );
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
             queue: VecDeque::new(),
@@ -54,7 +66,7 @@ pub fn bounded<T>(capacity: usize) -> (JobSender<T>, JobReceiver<T>) {
             receiver_alive: true,
         }),
         available: Condvar::new(),
-        capacity: capacity.max(1),
+        capacity,
     });
     (
         JobSender {
@@ -149,6 +161,12 @@ impl<T> Drop for JobReceiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected_not_clamped() {
+        let _ = bounded::<u32>(0);
+    }
 
     #[test]
     fn bounded_and_fifo() {

@@ -54,7 +54,10 @@ pub struct ServeConfig {
     pub max_conn_queued_updates: u64,
     /// Admission cap: updates queued across all connections.
     pub max_global_queued_updates: u64,
-    /// Requests (of any kind) queued per connection.
+    /// Requests (of any kind) queued per connection.  Must be ≥ 1 —
+    /// the admission queue is non-blocking, so zero would refuse every
+    /// request rather than rendezvous; [`Server::start`] rejects 0 with
+    /// [`ServeError::Config`].
     pub max_queued_requests: usize,
     /// Socket write timeout: a reply blocked longer than this tears the
     /// connection down instead of wedging a server thread on a stuck
@@ -88,6 +91,8 @@ impl ServeConfig {
 /// Why the server failed to start.
 #[derive(Debug)]
 pub enum ServeError {
+    /// The configuration is invalid (e.g. `max_queued_requests` of 0).
+    Config(String),
     /// Binding the listener or reading the checkpoint directory failed.
     Io(std::io::Error),
     /// Building (or resuming) the engine session failed.
@@ -97,6 +102,7 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ServeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Session(e) => write!(f, "session error: {e}"),
         }
@@ -157,6 +163,14 @@ impl Server {
     /// Build (or resume) the engine, bind the listener, arm the SIGTERM
     /// latch, and start accepting connections.
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        if cfg.max_queued_requests == 0 {
+            // The per-connection admission queue is non-blocking, so a
+            // zero-slot queue would refuse every request (it cannot
+            // rendezvous); reject the config instead of clamping it.
+            return Err(ServeError::Config(
+                "max_queued_requests must be at least 1".into(),
+            ));
+        }
         // The chain may have been written by any registered backend.
         dynscan_baseline::install();
         install_sigterm_handler();
@@ -281,5 +295,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
         updates_applied: engine.updates_applied(),
         final_checkpoint,
         checkpoint_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_queued_requests_is_a_config_error() {
+        let mut cfg = ServeConfig::new("127.0.0.1:0");
+        cfg.max_queued_requests = 0;
+        match Server::start(cfg) {
+            Err(ServeError::Config(msg)) => assert!(msg.contains("max_queued_requests")),
+            Err(e) => panic!("expected a config error, got {e}"),
+            Ok(_) => panic!("expected a config error, got a running server"),
+        }
     }
 }

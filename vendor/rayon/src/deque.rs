@@ -30,16 +30,34 @@
 //!   handles never hand out `&T`, values only *move* out.  `Worker` is
 //!   deliberately `!Sync` (a `PhantomData<Cell<()>>` field) because
 //!   [`Worker::push`]/[`Worker::pop`] assume a unique caller.
-//! * **Panic safety / double drop** — slot reads are speculative
-//!   `ptr::read`s; the loser of the ownership CAS `mem::forget`s its
-//!   copy, so exactly one handle ever drops each value (see
-//!   [`Stealer::steal`] and the last-element race in [`Worker::pop`]).
-//!   No user code (no `T::drop`, no closure) runs while the deque is in
-//!   a half-updated state, so an unwinding panic cannot expose one.
+//! * **Panic safety / double drop** — slot reads are speculative byte
+//!   copies into `MaybeUninit<T>`; a value of `T` is materialised
+//!   (`assume_init`) only *after* the ownership CAS succeeds, so the
+//!   loser of a race holds nothing but inert bytes (dropped without
+//!   running `T::drop`) and exactly one handle ever drops each value
+//!   (see [`Stealer::steal`] and the last-element race in
+//!   [`Worker::pop`]).  No user code (no `T::drop`, no closure) runs
+//!   while the deque is in a half-updated state, so an unwinding panic
+//!   cannot expose one.
 //! * **Uninitialised exposure** — slots are `MaybeUninit<T>` and only
-//!   the index range `top..bottom` is ever initialised; reads are
-//!   guarded by the `t < b` checks, and `Drop` drops exactly that range
-//!   and nothing else.
+//!   the index range `top..bottom` is ever initialised.  An index check
+//!   alone does **not** prove a *later-loaded* buffer initialised at
+//!   that index (growth copies only the grow-time live range), so
+//!   stealers defer `assume_init` until their `top` CAS proves the
+//!   buffer they read could not have dropped the slot; see
+//!   [`Stealer::steal`].  `Drop` drops exactly `top..bottom` of the
+//!   current buffer and nothing else.
+//!
+//! # Model-checker scope
+//!
+//! The `interleave` suites (`crates/check/tests/model_pool.rs`) pin the
+//! *index/ownership protocol* — no task lost, none doubled — but the
+//! checker's memory model is sequential consistency with atomics as the
+//! only decision points.  It cannot observe weak-memory reorderings,
+//! torn reads of non-atomic slots, or uninitialised-read bugs (the
+//! speculative-read hazard above).  Those are argued statically in the
+//! SAFETY comments here, following crossbeam-deque's treatment of the
+//! same races.
 
 use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use crate::sync::{Arc, Mutex};
@@ -56,9 +74,10 @@ pub const IMPL_NAME: &str = "chase-lev";
 const INITIAL_CAP: usize = 32;
 
 /// One ring buffer.  `slots` has interior mutability because the owner
-/// writes slots while stealers (speculatively) read them; every *used*
-/// read is ordered after the index check that proves the slot
-/// initialised, and only one party ever takes ownership of a value.
+/// writes slots while stealers (speculatively) read them; speculative
+/// reads stay `MaybeUninit` until an ownership proof (the `top` CAS, or
+/// being the owner) licenses `assume_init`, and only one party ever
+/// takes ownership of a value.
 struct Buf<T> {
     cap: usize,
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -80,18 +99,29 @@ impl<T> Buf<T> {
         self.slots[(i as usize) & (self.cap - 1)].get()
     }
 
-    /// Read the value at ring index `i`.
+    /// Speculatively copy the bytes at ring index `i`.
+    ///
+    /// Returns `MaybeUninit<T>`, **not** `T`: a stealer cannot yet know
+    /// the slot holds a live value, because between its index check and
+    /// its buffer load the owner may have grown the ring (a grown
+    /// buffer holds copies of the grow-time `top..bottom` only — older
+    /// indices are uninitialised).  Materialising a `T` from such bytes
+    /// would be immediate UB for types with validity invariants (the
+    /// pool's `Task` is a non-null `Box`), even if the value were later
+    /// forgotten.  The caller may `assume_init` only after proving
+    /// ownership: winning the `top` CAS at `i`, or being the owner with
+    /// the slot reserved (see the call sites).
     ///
     /// # Safety
     ///
-    /// The caller must know the slot holds an initialised value (index
-    /// within `top..bottom` at the time of the guarding load), and must
-    /// either take ownership of the returned value (winning the CAS) or
-    /// `mem::forget` it — two owners of one read would double-drop.
-    unsafe fn read(&self, i: isize) -> T {
-        // SAFETY: forwarded to the caller (see above); the pointer
-        // itself is always valid, in-bounds and aligned.
-        unsafe { self.slot(i).read().assume_init() }
+    /// `self` must be a live buffer (current, or retired but not yet
+    /// freed); the index arithmetic itself is always in-bounds and
+    /// aligned.
+    unsafe fn read(&self, i: isize) -> MaybeUninit<T> {
+        // SAFETY: forwarded to the caller (see above).  Copying
+        // possibly-uninitialised or concurrently-overwritten bytes into
+        // a `MaybeUninit` asserts nothing about their validity.
+        unsafe { self.slot(i).read() }
     }
 
     /// Write `value` into ring index `i`.
@@ -144,10 +174,12 @@ impl<T> Drop for Inner<T> {
         let buf = self.buffer.load(Ordering::Relaxed);
         let mut i = top;
         while i < bottom {
-            // SAFETY: `top..bottom` is exactly the initialised range,
-            // and nobody else can read these slots anymore — each value
-            // is dropped once, here.
-            unsafe { drop((*buf).read(i)) };
+            // SAFETY: `top..bottom` is exactly the initialised range of
+            // the *current* buffer, nobody else can read these slots
+            // anymore, and exclusive access means the bytes cannot be
+            // stale — so `assume_init` is sound and each value is
+            // dropped once, here.
+            unsafe { drop((*buf).read(i).assume_init()) };
             i += 1;
         }
         // SAFETY: `buf` came from `Box::into_raw` in `Buf::alloc` and is
@@ -249,12 +281,15 @@ impl<T> Worker<T> {
         let new = Buf::<T>::alloc(unsafe { (*old).cap } * 2);
         let mut i = t;
         while i < b {
-            // SAFETY: `t..b` is initialised in `old`; `new` is not yet
-            // published so its slots are exclusively ours.  This is a
-            // bitwise COPY — ownership stays with the ring (slot `i` of
-            // the retired buffer is never read or dropped again), so no
-            // double drop.
-            unsafe { (*new).write(i, (*old).read(i)) };
+            // SAFETY: both buffers are alive (`old` is current, `new`
+            // unpublished and exclusively ours).  This is a bitwise
+            // COPY of the `MaybeUninit` bytes — no `T` is materialised
+            // and ownership stays with the ring (slot `i` of the
+            // retired buffer is never `assume_init`ed or dropped by the
+            // owner again), so no double drop.  A stealer may still
+            // speculatively read slot `i` of `old`, but its copy stays
+            // `MaybeUninit` unless its CAS proves ownership.
+            unsafe { (*new).slot(i).write((*old).read(i)) };
             i += 1;
         }
         inner.buffer.store(new, Ordering::Release);
@@ -294,15 +329,18 @@ impl<T> Worker<T> {
                     return None;
                 }
                 // SAFETY: winning the CAS transferred ownership of slot
-                // `b` to us; `t..b+1` was initialised.
-                return Some(unsafe { (*buf).read(b) });
+                // `b` to us, and the owner's `buf` load is always the
+                // current buffer (only the owner swaps it), in which
+                // `t..b+1` is initialised — so `assume_init` is sound.
+                return Some(unsafe { (*buf).read(b).assume_init() });
             }
             // More than one element: slot `b` is ours alone — stealers
             // bound their CAS by the stored bottom, so they can claim
             // at most slots t..b-1.
-            // SAFETY: `b` is inside the initialised range and reserved
-            // by the bottom store + fence above.
-            Some(unsafe { (*buf).read(b) })
+            // SAFETY: `buf` is the current buffer (owner-only swap), `b`
+            // is inside its initialised range and reserved by the
+            // bottom store + fence above — `assume_init` is sound.
+            Some(unsafe { (*buf).read(b).assume_init() })
         } else {
             // Empty: restore bottom.
             inner.bottom.store(b + 1, Ordering::Relaxed);
@@ -339,26 +377,42 @@ impl<T> Stealer<T> {
             return Steal::Empty;
         }
         // Non-empty at the observed indices: speculatively read slot t,
-        // then claim it.
+        // then claim it.  `t < b` does NOT prove slot `t` of the buffer
+        // loaded *below* is initialised: if `top` advanced past `t`
+        // before the load, `buf` may be a freshly-grown ring whose copy
+        // covered only the grow-time `top..bottom` (slot `t` left
+        // uninitialised), so the bytes stay `MaybeUninit` until the CAS
+        // proves otherwise.
         let buf = inner.buffer.load(Ordering::Acquire);
-        // SAFETY: `t < b` proves slot `t` was initialised in the buffer
-        // current at the bottom-load; `buf` cannot have been freed (the
-        // owner only retires, never frees, while handles exist).  The
-        // read is speculative: ownership is ours only if the CAS below
-        // succeeds, otherwise the copy is forgotten — never two drops.
+        // SAFETY: `buf` cannot have been freed — the owner only
+        // retires, never frees, while handles exist — and the copy is
+        // taken into `MaybeUninit`, asserting nothing about validity.
         let value = unsafe { (*buf).read(t) };
         if inner
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            // Lost the race: somebody else owns slot t now.  Forget our
-            // speculative copy so the value is dropped exactly once, by
-            // its true owner (panic-safety/double-drop audit point).
-            std::mem::forget(value);
+            // Lost the race: somebody else owns slot t now, and our
+            // copy may even be uninitialised bytes.  It is a
+            // `MaybeUninit`, so dropping it runs no destructor and
+            // asserts no validity invariant — the real value is dropped
+            // exactly once, by its true owner (panic-safety/double-drop
+            // audit point).
             return Steal::Retry;
         }
-        Steal::Success(value)
+        // SAFETY: the successful CAS proves `top` was still `t`, and
+        // `top` is monotonic, so it was `t` for the entire window from
+        // our first load to the CAS.  Any growth in that window copied
+        // a live range starting at `t` or below, so slot `t` of
+        // whichever buffer we loaded held the initialised value; and
+        // the owner cannot have overwritten the physical cell, because
+        // with `top == t` a colliding `bottom` (`b' ≡ t mod cap`,
+        // `b' > t`) would mean `b' - t ≥ cap`, which `push` prevents by
+        // growing first.  Ownership of the slot transferred to us with
+        // the CAS — `assume_init` is sound and the value is dropped
+        // exactly once, by us or our caller.
+        Steal::Success(unsafe { value.assume_init() })
     }
 
     /// Thief-side emptiness hint (racy by nature).
