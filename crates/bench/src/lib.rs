@@ -27,6 +27,7 @@ pub mod batch;
 pub mod experiments;
 pub mod export;
 pub mod parallel;
+pub mod replica;
 pub mod runner;
 pub mod scale;
 pub mod serve;
@@ -39,6 +40,10 @@ pub use batch::{
 pub use parallel::{
     lock_free_vs_mutex_geomean, parallel_rows_to_json, parallel_rows_to_table,
     run_parallel_scaling, ParallelBenchConfig, ParallelBenchRow,
+};
+pub use replica::{
+    replica_rows_to_json, replica_rows_to_table, run_replica_scaling, ReplicaBenchConfig,
+    ReplicaBenchRow,
 };
 pub use runner::{run_updates, RunOutcome};
 pub use scale::Scale;

@@ -47,6 +47,9 @@ const FACADED_MODULES: &[&str] = &[
     "crates/serve/src/conn.rs",
     "crates/serve/src/drain.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/publish.rs",
+    "crates/replica/src/ingest.rs",
+    "crates/replica/src/server.rs",
 ];
 
 /// The one sanctioned wall-clock read (everything else goes through the

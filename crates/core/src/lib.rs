@@ -101,7 +101,7 @@ pub use session::{
     Backend, Session, SessionBuilder, SessionError, SnapshotInfo,
 };
 pub use snapshot::{CheckpointCapture, DirtyTracker};
-pub use store::{CheckpointStore, DirCheckpointStore};
+pub use store::{CheckpointStore, DirCheckpointStore, TailError, TailedDoc};
 pub use strclu::DynStrClu;
 pub use testing::{FaultPlan, FlakySink, FlakyStore, MemCheckpointStore};
 pub use traits::{BatchUpdate, Clusterer, DynamicClustering, Snapshot, UpdateError};

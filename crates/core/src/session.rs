@@ -1308,6 +1308,16 @@ impl Session {
         self.inner.updates_applied()
     }
 
+    /// The session's epoch: the count of applied updates, which is what
+    /// every acknowledgement and query reply in the service layer is
+    /// tagged with.  An alias of [`Session::updates_applied`] under the
+    /// name the replication contract uses — a replica serving reads at
+    /// `current_epoch() ≥ floor` has applied at least the writes the
+    /// floor acknowledges.
+    pub fn current_epoch(&self) -> u64 {
+        self.updates_applied()
+    }
+
     /// Updates submitted to the session (buffered or applied, including
     /// invalid ones the engine skips at flush time).
     pub fn submitted(&self) -> u64 {
@@ -1356,6 +1366,26 @@ impl Session {
     /// `None` before the first one.
     pub fn last_checkpoint_info(&self) -> Option<SnapshotInfo> {
         self.last_checkpoint_info
+    }
+
+    /// The **store** sequence number of the newest durably written
+    /// checkpoint document — the number in [`CheckpointStore`] listings
+    /// (and `DirCheckpointStore` filenames), monotone over the session's
+    /// lifetime.  This is the replication position replicas track, as
+    /// opposed to [`SnapshotInfo::sequence`], which is the in-document
+    /// *chain* sequence and restarts at 0 on every full snapshot.
+    /// Read from the retention ledger, so for a background checkpoint it
+    /// advances only once the write has actually landed.  `None` without
+    /// auto-checkpointing or before the first document.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        self.ckpt.as_ref().and_then(|c| {
+            c.shared
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .ledger
+                .last()
+                .map(|&(seq, _)| seq)
+        })
     }
 
     /// Reconfigure the backend's worker-thread count (see

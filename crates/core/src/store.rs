@@ -21,6 +21,58 @@ use dynscan_graph::SnapshotKind;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// One checkpoint document returned by [`CheckpointStore::poll_since`]:
+/// its chain sequence number, kind, and full encoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailedDoc {
+    /// Sequence number within the store's chain.
+    pub seq: u64,
+    /// Full snapshot or delta.
+    pub kind: SnapshotKind,
+    /// The encoded document, exactly as written.
+    pub bytes: Vec<u8>,
+}
+
+/// Why a [`CheckpointStore::poll_since`] tail poll failed.
+#[derive(Debug)]
+pub enum TailError {
+    /// The reader's chain position no longer connects to what the store
+    /// retains: the base document it last applied was pruned away (or
+    /// vanished mid-read under a concurrent prune).  The tailing reader
+    /// must fall back to a full resync — `poll_since(None)` — instead of
+    /// applying deltas onto a state the store can no longer anchor.
+    ChainGap {
+        /// The oldest sequence number the store still retains, if any —
+        /// a resync will start at (or after) this document.
+        oldest_retained: Option<u64>,
+    },
+    /// Reading the store failed for an ordinary I/O reason.
+    Io(io::Error),
+    /// The store cannot be tailed (e.g. the legacy write-only sink).
+    Unsupported,
+}
+
+impl std::fmt::Display for TailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailError::ChainGap { oldest_retained } => write!(
+                f,
+                "chain gap: the tail position was pruned away (oldest retained: {oldest_retained:?}); full resync required"
+            ),
+            TailError::Io(e) => write!(f, "i/o error while tailing: {e}"),
+            TailError::Unsupported => write!(f, "this checkpoint store cannot be tailed"),
+        }
+    }
+}
+
+impl std::error::Error for TailError {}
+
+impl From<io::Error> for TailError {
+    fn from(e: io::Error) -> Self {
+        TailError::Io(e)
+    }
+}
+
 /// Destination of automatic checkpoints: a writer factory keyed by the
 /// checkpoint's sequence number and kind, plus best-effort removal for
 /// retention pruning.
@@ -47,6 +99,27 @@ pub trait CheckpointStore: Send {
     /// directory grow without bound.
     fn existing_documents(&self) -> Vec<(u64, SnapshotKind)> {
         Vec::new()
+    }
+
+    /// The tailing API read replicas are built on: every document the
+    /// store holds *after* the reader's position, in sequence order.
+    ///
+    /// * `after == Some(s)` — the reader has applied the document with
+    ///   sequence `s`.  If the store still retains `s`, the returned run
+    ///   extends the reader's chain exactly (the session's
+    ///   chain-restart-after-failure discipline guarantees every on-store
+    ///   document chains onto the previous on-store document).  If `s`
+    ///   was pruned away — retention racing the tail — the poll fails
+    ///   with [`TailError::ChainGap`] and the reader must resync.
+    /// * `after == None` — a full resync: the newest full snapshot plus
+    ///   every document after it (the resume chain), or empty when the
+    ///   store holds no full snapshot yet.
+    ///
+    /// The default implementation refuses ([`TailError::Unsupported`]):
+    /// write-only sinks cannot be tailed.
+    fn poll_since(&self, after: Option<u64>) -> Result<Vec<TailedDoc>, TailError> {
+        let _ = after;
+        Err(TailError::Unsupported)
     }
 }
 
@@ -122,21 +195,59 @@ impl DirCheckpointStore {
     /// [`crate::restore_any_chain`].  Errors with
     /// [`io::ErrorKind::NotFound`] when the directory holds no full
     /// snapshot.
+    ///
+    /// Tolerates retention pruning racing the read: a file that vanishes
+    /// between the directory listing and its read triggers a re-list and
+    /// retry (the post-prune listing names a newer, intact chain), so a
+    /// concurrent prune can never yield a wrong or torn chain here.
     pub fn read_chain(&self) -> io::Result<Vec<Vec<u8>>> {
-        let all = self.list()?;
-        let Some(base) = all
-            .iter()
-            .rposition(|&(_, kind, _)| kind == SnapshotKind::Full)
-        else {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no full snapshot in {}", self.dir.display()),
-            ));
-        };
-        all[base..]
-            .iter()
-            .map(|(_, _, path)| std::fs::read(path))
-            .collect()
+        // The race window is one prune pass; a handful of retries is far
+        // more than a live writer can keep re-triggering.
+        for _ in 0..8 {
+            match self.poll_since(None) {
+                Ok(docs) if docs.is_empty() => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no full snapshot in {}", self.dir.display()),
+                    ));
+                }
+                Ok(docs) => return Ok(docs.into_iter().map(|d| d.bytes).collect()),
+                Err(TailError::ChainGap { .. }) => continue,
+                Err(TailError::Io(e)) => return Err(e),
+                Err(TailError::Unsupported) => unreachable!("DirCheckpointStore supports tailing"),
+            }
+        }
+        Err(io::Error::other(format!(
+            "chain in {} kept changing under concurrent pruning",
+            self.dir.display()
+        )))
+    }
+
+    /// Read the bytes of every listed document, mapping a file that
+    /// vanished under a concurrent prune to [`TailError::ChainGap`].
+    fn read_listed(
+        &self,
+        listed: &[(u64, SnapshotKind, PathBuf)],
+    ) -> Result<Vec<TailedDoc>, TailError> {
+        let mut out = Vec::with_capacity(listed.len());
+        for (seq, kind, path) in listed {
+            match std::fs::read(path) {
+                Ok(bytes) => out.push(TailedDoc {
+                    seq: *seq,
+                    kind: *kind,
+                    bytes,
+                }),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // Pruned between list and read: the listing is stale.
+                    let oldest = self.list()?.first().map(|&(seq, _, _)| seq);
+                    return Err(TailError::ChainGap {
+                        oldest_retained: oldest,
+                    });
+                }
+                Err(e) => return Err(TailError::Io(e)),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -205,6 +316,34 @@ impl CheckpointStore for DirCheckpointStore {
             .map(|docs| docs.into_iter().map(|(seq, kind, _)| (seq, kind)).collect())
             .unwrap_or_default()
     }
+
+    fn poll_since(&self, after: Option<u64>) -> Result<Vec<TailedDoc>, TailError> {
+        let listed = self.list()?;
+        match after {
+            Some(s) => {
+                // The reader's base must still be retained: pruning only
+                // ever removes a prefix below a full-snapshot cutoff, so
+                // "seq s is listed" is exactly "everything after s still
+                // chains onto s".
+                if !listed.iter().any(|&(seq, _, _)| seq == s) {
+                    return Err(TailError::ChainGap {
+                        oldest_retained: listed.first().map(|&(seq, _, _)| seq),
+                    });
+                }
+                let newer: Vec<_> = listed.into_iter().filter(|&(seq, _, _)| seq > s).collect();
+                self.read_listed(&newer)
+            }
+            None => {
+                let Some(base) = listed
+                    .iter()
+                    .rposition(|&(_, kind, _)| kind == SnapshotKind::Full)
+                else {
+                    return Ok(Vec::new());
+                };
+                self.read_listed(&listed[base..])
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +382,141 @@ mod tests {
         store.remove(0).unwrap();
         store.remove(0).unwrap();
         assert_eq!(store.list().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poll_since_extends_or_reports_a_gap() {
+        let dir = temp_dir("poll");
+        let mut store = DirCheckpointStore::new(&dir);
+        for (seq, kind, body) in [
+            (0u64, SnapshotKind::Full, b"f0".as_slice()),
+            (1, SnapshotKind::Delta, b"d1".as_slice()),
+            (2, SnapshotKind::Full, b"f2".as_slice()),
+            (3, SnapshotKind::Delta, b"d3".as_slice()),
+        ] {
+            let mut w = store.writer(seq, kind).unwrap();
+            w.write_all(body).unwrap();
+            w.flush().unwrap();
+        }
+        // Resync = the resume chain, with sequence numbers attached.
+        let resync = store.poll_since(None).unwrap();
+        assert_eq!(
+            resync
+                .iter()
+                .map(|d| (d.seq, d.kind, d.bytes.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                (2, SnapshotKind::Full, b"f2".to_vec()),
+                (3, SnapshotKind::Delta, b"d3".to_vec()),
+            ]
+        );
+        // A retained position extends exactly; the newest position is
+        // simply empty, not an error.
+        let run = store.poll_since(Some(1)).unwrap();
+        assert_eq!(run.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(store.poll_since(Some(3)).unwrap().is_empty());
+        // A pruned position is a typed gap naming the oldest survivor.
+        store.remove(0).unwrap();
+        store.remove(1).unwrap();
+        match store.poll_since(Some(1)) {
+            Err(TailError::ChainGap { oldest_retained }) => {
+                assert_eq!(oldest_retained, Some(2));
+            }
+            other => panic!("expected a chain gap, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_resync_is_empty_not_an_error() {
+        let dir = temp_dir("poll-empty");
+        let store = DirCheckpointStore::new(&dir);
+        assert!(store.poll_since(None).unwrap().is_empty());
+        match store.poll_since(Some(7)) {
+            Err(TailError::ChainGap { oldest_retained }) => assert_eq!(oldest_retained, None),
+            other => panic!("expected a chain gap, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: retention pruning racing a tailing reader must yield a
+    /// typed [`TailError::ChainGap`] (or a valid chain), never a torn
+    /// chain, a wrong chain, or a raw `io::Error`.  A writer thread keeps
+    /// appending full+delta pairs and pruning everything below the newest
+    /// full while a reader thread alternates resync polls and tail polls.
+    #[test]
+    fn concurrent_prune_vs_tail_never_tears_the_chain() {
+        let dir = temp_dir("prune-race");
+        let writer_dir = dir.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer_stop = std::sync::Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut store = DirCheckpointStore::new(&writer_dir);
+            let mut seq = 0u64;
+            while !writer_stop.load(std::sync::atomic::Ordering::SeqCst) {
+                for kind in [SnapshotKind::Full, SnapshotKind::Delta] {
+                    let mut w = store.writer(seq, kind).unwrap();
+                    w.write_all(format!("{kind}-{seq}").as_bytes()).unwrap();
+                    w.flush().unwrap();
+                    seq += 1;
+                }
+                // Prune everything below the newest full (seq - 2): the
+                // same prefix-only discipline the session's retention
+                // ledger follows.
+                for pruned in seq.saturating_sub(12)..seq - 2 {
+                    store.remove(pruned).unwrap();
+                }
+            }
+        });
+        let store = DirCheckpointStore::new(&dir);
+        let mut applied: Option<u64> = None;
+        let mut polls = 0u32;
+        let mut gaps = 0u32;
+        // Poll until the race has demonstrably fired a few times (with a
+        // generous cap so a pathological scheduler still terminates).
+        while (gaps < 3 && polls < 3000) || polls < 100 {
+            polls += 1;
+            if polls.is_multiple_of(4) {
+                // Let the writer make progress between bursts of polls.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            match store.poll_since(applied) {
+                Ok(docs) => {
+                    if applied.is_none() {
+                        // A resync chain must start with a full snapshot.
+                        if let Some(first) = docs.first() {
+                            assert_eq!(first.kind, SnapshotKind::Full);
+                        }
+                    }
+                    // Every returned run is contiguous and every document
+                    // carries the bytes written for exactly that seq.
+                    for pair in docs.windows(2) {
+                        assert_eq!(pair[1].seq, pair[0].seq + 1);
+                    }
+                    for doc in &docs {
+                        assert_eq!(doc.bytes, format!("{}-{}", doc.kind, doc.seq).into_bytes());
+                    }
+                    if let Some(last) = docs.last() {
+                        applied = Some(last.seq);
+                    }
+                }
+                Err(TailError::ChainGap { .. }) => {
+                    // The documented fallback: full resync.
+                    gaps += 1;
+                    applied = None;
+                }
+                Err(e) => panic!("tail poll must never fail with {e}"),
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        writer.join().unwrap();
+        // The race is real: pruning must have invalidated the tail under
+        // an aggressive pruner.
+        assert!(gaps > 0, "the prune-vs-tail race never fired");
+        // read_chain stays io::Result and never reports a transient gap.
+        let chain = store.read_chain().unwrap();
+        assert!(!chain.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

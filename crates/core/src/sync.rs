@@ -20,8 +20,15 @@ pub use interleave::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
 /// Thread spawning/joining through the same cfg switch.
 pub mod thread {
     #[cfg(not(dynscan_model_check))]
-    pub use std::thread::{spawn, yield_now, JoinHandle};
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
 
     #[cfg(dynscan_model_check)]
     pub use interleave::thread::{spawn, yield_now, JoinHandle};
+
+    /// Under the model checker real time does not exist; a sleep is just
+    /// another scheduling decision point.
+    #[cfg(dynscan_model_check)]
+    pub fn sleep(_duration: std::time::Duration) {
+        yield_now();
+    }
 }

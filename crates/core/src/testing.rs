@@ -20,7 +20,7 @@
 //! replay**, not once per delta (see `crate::restore_any_chain` and the
 //! `Clusterer::apply_delta_chain` fast path).
 
-use crate::store::CheckpointStore;
+use crate::store::{CheckpointStore, TailError, TailedDoc};
 use dynscan_graph::SnapshotKind;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
@@ -306,6 +306,44 @@ impl CheckpointStore for MemCheckpointStore {
             .iter()
             .map(|(&seq, &(kind, _))| (seq, kind))
             .collect()
+    }
+
+    fn poll_since(&self, after: Option<u64>) -> Result<Vec<TailedDoc>, TailError> {
+        let docs = self.docs.lock().unwrap_or_else(|p| p.into_inner());
+        match after {
+            Some(s) => {
+                if !docs.contains_key(&s) {
+                    return Err(TailError::ChainGap {
+                        oldest_retained: docs.keys().next().copied(),
+                    });
+                }
+                Ok(docs
+                    .range(s + 1..)
+                    .map(|(&seq, (kind, bytes))| TailedDoc {
+                        seq,
+                        kind: *kind,
+                        bytes: bytes.clone(),
+                    })
+                    .collect())
+            }
+            None => {
+                let Some((&base, _)) = docs
+                    .iter()
+                    .rev()
+                    .find(|(_, (kind, _))| *kind == SnapshotKind::Full)
+                else {
+                    return Ok(Vec::new());
+                };
+                Ok(docs
+                    .range(base..)
+                    .map(|(&seq, (kind, bytes))| TailedDoc {
+                        seq,
+                        kind: *kind,
+                        bytes: bytes.clone(),
+                    })
+                    .collect())
+            }
+        }
     }
 }
 

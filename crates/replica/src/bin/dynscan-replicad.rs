@@ -1,0 +1,109 @@
+//! `dynscan-replicad` — a standalone read-only replica.
+//!
+//! ```text
+//! dynscan-replicad --addr 127.0.0.1:7412 --primary 127.0.0.1:7411 --mirror-dir ./mirror
+//! dynscan-replicad --addr 127.0.0.1:7412 --tail-dir ./ckpts --poll-interval-ms 20
+//! ```
+//!
+//! Feeds from either the primary's replication stream (`--primary`,
+//! optionally mirroring the shipped chain to `--mirror-dir` so the
+//! replica can later be promoted) or a shared checkpoint directory
+//! (`--tail-dir`).  Serves `GroupBy`/`ClusterOf`/`Stats` until SIGTERM
+//! or an in-band `Drain` request, refusing writes with `ReadOnly`.
+//! `--port-file` atomically publishes the bound address (useful with
+//! `--addr 127.0.0.1:0`) for test harnesses.
+
+use dynscan_replica::{ReplicaConfig, ReplicaServer, ReplicaSource};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dynscan-replicad --addr HOST:PORT [--port-file PATH]\n\
+         \x20                       (--primary HOST:PORT [--mirror-dir PATH]\n\
+         \x20                        | --tail-dir PATH [--poll-interval-ms N])"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    let Some(value) = value else {
+        eprintln!("missing value for {flag}");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {value:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7412");
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut primary: Option<String> = None;
+    let mut mirror_dir: Option<std::path::PathBuf> = None;
+    let mut tail_dir: Option<std::path::PathBuf> = None;
+    let mut poll_interval_ms: u64 = 20;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = parse(args.next(), "--addr"),
+            "--port-file" => port_file = Some(parse(args.next(), "--port-file")),
+            "--primary" => primary = Some(parse(args.next(), "--primary")),
+            "--mirror-dir" => mirror_dir = Some(parse(args.next(), "--mirror-dir")),
+            "--tail-dir" => tail_dir = Some(parse(args.next(), "--tail-dir")),
+            "--poll-interval-ms" => poll_interval_ms = parse(args.next(), "--poll-interval-ms"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let source = match (primary, tail_dir) {
+        (Some(primary_addr), None) => ReplicaSource::Subscribe {
+            primary_addr,
+            mirror_dir,
+        },
+        (None, Some(dir)) => ReplicaSource::Tail {
+            dir,
+            poll_interval: Duration::from_millis(poll_interval_ms),
+        },
+        _ => {
+            eprintln!("exactly one of --primary or --tail-dir is required");
+            usage();
+        }
+    };
+
+    let server = match ReplicaServer::start(ReplicaConfig::new(addr, source)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dynscan-replicad: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!("dynscan-replicad: listening on {addr}");
+    if let Some(path) = port_file {
+        // Atomic publish (tmp + rename) so a watching harness never
+        // reads a half-written address.
+        let tmp = path.with_extension("tmp");
+        let publish = std::fs::File::create(&tmp)
+            .and_then(|mut f| {
+                writeln!(f, "{addr}")?;
+                f.sync_all()
+            })
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = publish {
+            eprintln!("dynscan-replicad: failed to write port file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = server.wait();
+    eprintln!(
+        "dynscan-replicad: stopped at seq {:?} / epoch {} after {} documents ({} full resyncs)",
+        report.applied_seq, report.epoch, report.docs_applied, report.full_resyncs
+    );
+    ExitCode::SUCCESS
+}

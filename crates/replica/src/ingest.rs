@@ -1,0 +1,202 @@
+//! How documents reach a replica: tailing a shared [`CheckpointStore`]
+//! directory ([`tail_loop`]) or subscribing to the primary's replication
+//! stream over TCP ([`subscribe_loop`]).
+//!
+//! Both loops share one recovery discipline: any gap — a pruned tail
+//! position, a delta that does not extend the applied chain, a lagged or
+//! broken stream — resets the replica and resyncs from the newest full
+//! snapshot.  Progress is therefore monotone: the replica's state is
+//! always the replay of *some* prefix of a primary chain, never a splice
+//! of two.
+
+use crate::engine::{ApplyError, ReplicaState};
+use dynscan_core::sync::{thread, Arc, Mutex};
+use dynscan_core::{CheckpointStore, DirCheckpointStore, TailError};
+use dynscan_serve::{
+    read_frame_polling, DrainFlag, FrameRead, Request, RequestBody, Response, ResponseBody,
+};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Read-timeout granularity on the subscribe socket; bounds how long a
+/// stop request waits on an idle stream.
+const STREAM_READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Backoff between reconnect attempts after the stream drops.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+fn locked(state: &Arc<Mutex<ReplicaState>>) -> dynscan_core::sync::MutexGuard<'_, ReplicaState> {
+    state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Apply one shipped/polled document, translating "does not extend the
+/// chain" into a reset so the caller can resync.  Returns whether the
+/// caller must resync from a full snapshot.
+fn apply_or_reset(
+    state: &Arc<Mutex<ReplicaState>>,
+    seq: u64,
+    kind: dynscan_core::SnapshotKind,
+    bytes: &[u8],
+) -> bool {
+    let mut guard = locked(state);
+    match guard.apply_doc(seq, kind, bytes) {
+        Ok(()) => false,
+        Err(ApplyError::NeedResync) | Err(ApplyError::Snapshot(_)) => {
+            guard.reset_for_resync();
+            true
+        }
+    }
+}
+
+/// Tail a checkpoint directory shared with the primary (same host or
+/// shared filesystem), applying new documents as they appear.  Runs
+/// until `stop` trips.  Retention pruning racing the tail surfaces as
+/// [`TailError::ChainGap`] and triggers a full resync.
+pub fn tail_loop(
+    store: DirCheckpointStore,
+    state: Arc<Mutex<ReplicaState>>,
+    stop: DrainFlag,
+    poll_interval: Duration,
+) {
+    while !stop.is_tripped() {
+        let after = locked(&state).applied_seq();
+        match store.poll_since(after) {
+            Ok(docs) => {
+                let mut clean = true;
+                for doc in &docs {
+                    if apply_or_reset(&state, doc.seq, doc.kind, &doc.bytes) {
+                        clean = false;
+                        break;
+                    }
+                }
+                // An empty poll means the replica holds everything the
+                // store does — it is caught up even before the first
+                // document exists.
+                if clean {
+                    locked(&state).note_caught_up();
+                }
+            }
+            Err(TailError::ChainGap { .. }) => {
+                locked(&state).reset_for_resync();
+                continue; // resync immediately, no sleep
+            }
+            Err(TailError::Io(_)) | Err(TailError::Unsupported) => {}
+        }
+        thread::sleep(poll_interval);
+    }
+}
+
+/// Subscribe to `primary_addr`'s replication stream, applying every
+/// shipped document; reconnects with backoff until `stop` trips.  When
+/// `mirror` is given, every applied document is also written into that
+/// directory — producing an on-disk chain byte-identical to the
+/// primary's, which a [`dynscan_serve::Server`] can later resume from
+/// (replica promotion).
+pub fn subscribe_loop(
+    primary_addr: String,
+    state: Arc<Mutex<ReplicaState>>,
+    stop: DrainFlag,
+    mirror: Option<std::path::PathBuf>,
+) {
+    let mut mirror = mirror.map(DirCheckpointStore::new);
+    let mut request_id: u64 = 0;
+    while !stop.is_tripped() {
+        request_id += 1;
+        let from_seq = locked(&state).applied_seq();
+        match stream_once(
+            &primary_addr,
+            request_id,
+            from_seq,
+            &state,
+            &stop,
+            &mut mirror,
+        ) {
+            StreamEnd::Stale => {
+                // The primary cannot extend our position (lagged stream
+                // or pruned backlog): resync from scratch.
+                locked(&state).reset_for_resync();
+            }
+            StreamEnd::Disconnected => {}
+        }
+        if !stop.is_tripped() {
+            thread::sleep(RECONNECT_BACKOFF);
+        }
+    }
+}
+
+enum StreamEnd {
+    /// The stream ended because our position is no longer extendable.
+    Stale,
+    /// The connection dropped, the primary is draining, or `stop`
+    /// tripped; reconnect from the current position.
+    Disconnected,
+}
+
+/// One connection lifetime: subscribe, apply shipped documents until the
+/// stream ends.
+fn stream_once(
+    addr: &str,
+    request_id: u64,
+    from_seq: Option<u64>,
+    state: &Arc<Mutex<ReplicaState>>,
+    stop: &DrainFlag,
+    mirror: &mut Option<DirCheckpointStore>,
+) -> StreamEnd {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return StreamEnd::Disconnected;
+    };
+    if stream.set_read_timeout(Some(STREAM_READ_TIMEOUT)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return StreamEnd::Disconnected;
+    }
+    let request = Request {
+        id: request_id,
+        body: RequestBody::Subscribe { from_seq },
+    };
+    if dynscan_serve::proto::write_request(&mut stream, &request).is_err() {
+        return StreamEnd::Disconnected;
+    }
+    loop {
+        let payload = match read_frame_polling(&mut stream, stop) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof) | Ok(FrameRead::Drained) | Err(_) => {
+                return StreamEnd::Disconnected;
+            }
+        };
+        let Ok(response) = Response::decode(&payload) else {
+            return StreamEnd::Disconnected;
+        };
+        match response.body {
+            ResponseBody::ShipDocument { seq, kind, payload } => {
+                if apply_or_reset(state, seq, kind, &payload) {
+                    return StreamEnd::Stale;
+                }
+                if let Some(dir) = mirror.as_mut() {
+                    // Mirror only documents the engine actually holds;
+                    // best-effort (a mirror write failure degrades
+                    // promotion, not serving).  Remove first so a
+                    // resync cannot leave two kinds at one sequence.
+                    if locked(state).applied_seq() == Some(seq) {
+                        let _ = dir.remove(seq);
+                        let _ = dir.writer(seq, kind).and_then(|mut w| {
+                            w.write_all(&payload)?;
+                            w.flush()
+                        });
+                    }
+                }
+            }
+            ResponseBody::ReplicaCaughtUp { .. } => {
+                locked(state).note_caught_up();
+            }
+            ResponseBody::Draining => return StreamEnd::Disconnected,
+            // A server error on an established stream means the hub
+            // declared us lagged (or the backlog is unreadable): the
+            // position is not extendable.
+            ResponseBody::ServerError { .. } => return StreamEnd::Stale,
+            // Anything else is a protocol violation; drop and retry.
+            _ => return StreamEnd::Disconnected,
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Read replicas for the dynscan clustering service.
+//!
+//! A replica is a read-only copy of a primary's engine, rebuilt by
+//! replaying the primary's own checkpoint documents — the same full
+//! snapshots and deltas the primary writes for crash recovery double as
+//! its replication log.  Because the snapshot encoding is canonical
+//! (equal states produce byte-identical documents) and replay is
+//! bit-identical, a caught-up replica's state is not merely equivalent
+//! to the primary's: re-serialising it reproduces the primary's
+//! checkpoint bytes exactly, which is what the integration harness
+//! asserts (FNV-checksummed byte identity against a primary checkpoint
+//! prefix).
+//!
+//! ## Ingest paths
+//!
+//! * **Tail** ([`ingest::tail_loop`], [`ReplicaSource::Tail`]) — poll a
+//!   checkpoint directory shared with the primary via
+//!   [`dynscan_core::CheckpointStore::poll_since`].  Retention pruning
+//!   racing the tail surfaces as a typed chain gap and triggers a full
+//!   resync from the newest full snapshot.
+//! * **Subscribe** ([`ingest::subscribe_loop`],
+//!   [`ReplicaSource::Subscribe`]) — a replication stream in the
+//!   framed service protocol: the replica sends `Subscribe{from_seq}`,
+//!   the primary ships the backlog (`ShipDocument` frames), marks the
+//!   end with `ReplicaCaughtUp`, and keeps pushing documents as
+//!   checkpoints complete — durably written before shipped, so a
+//!   replica can never observe state the primary could lose in a
+//!   crash.  With a mirror directory configured, every applied
+//!   document is also written locally, producing an on-disk chain a
+//!   [`dynscan_serve::Server`] can later resume from — that is replica
+//!   **promotion**, and the resumed chain continues byte-identically.
+//!
+//! ## Consistency model
+//!
+//! Replication is asynchronous: an acknowledged write is durable on the
+//! primary (per its checkpoint cadence) before it is *visible* on any
+//! replica — the gap between ack-durability and replica-visibility is
+//! bounded by the checkpoint cadence plus shipping latency.  Every
+//! replica reply therefore carries the replication position backing it
+//! (`epoch`, `checkpoint_seq`), and [`RoutedClient`] turns that into
+//! the client-side contract: writes and read-your-writes reads go to
+//! the primary, bounded-staleness reads go to replicas with every
+//! reply's epoch checked against the primary's acknowledged floor —
+//! a stale reply is retried and then re-routed, never silently
+//! returned.
+
+pub mod engine;
+pub mod ingest;
+pub mod route;
+pub mod server;
+
+pub use engine::{ApplyError, ReplicaState};
+pub use route::RoutedClient;
+pub use server::{ReplicaConfig, ReplicaReport, ReplicaServer, ReplicaSource};

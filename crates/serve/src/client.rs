@@ -61,6 +61,8 @@ pub enum ClientError {
     Rejected(RejectReason),
     /// The server is draining and will not accept the request.
     Draining,
+    /// The server is a read-only replica; route writes to the primary.
+    ReadOnly,
     /// Every attempt was refused with `Overloaded`.
     RetriesExhausted {
         /// Attempts made.
@@ -80,6 +82,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Rejected(reason) => write!(f, "update rejected: {reason:?}"),
             ClientError::Draining => write!(f, "server is draining"),
+            ClientError::ReadOnly => write!(f, "server is a read-only replica"),
             ClientError::RetriesExhausted { attempts } => {
                 write!(f, "server overloaded after {attempts} attempts")
             }
@@ -128,6 +131,19 @@ pub struct CheckpointAck {
     pub updates_applied: u64,
     /// Encoded payload size.
     pub payload_len: u64,
+}
+
+/// The outcome of an acknowledged `GroupBy`/`ClusterOf`, with the
+/// consistency metadata every groups reply carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupsAck {
+    /// Global epoch the query observed.
+    pub epoch: u64,
+    /// The answering engine's checkpoint position (`None` before its
+    /// first checkpoint) — on a replica, the replication position.
+    pub checkpoint_seq: Option<u64>,
+    /// The groups.
+    pub groups: Vec<Vec<VertexId>>,
 }
 
 /// A blocking client connection with one outstanding request at a time
@@ -219,21 +235,62 @@ impl Client {
     /// [`MAX_QUERY_VERTICES`]).  The result observes at least every
     /// update this client has been acknowledged.
     pub fn group_by(&mut self, vertices: &[VertexId]) -> Result<Vec<Vec<VertexId>>, ClientError> {
+        Ok(self.group_by_detailed(vertices)?.groups)
+    }
+
+    /// [`Client::group_by`] with the reply's consistency metadata
+    /// (epoch, checkpoint position) — what a replica-routing layer
+    /// verifies its staleness floor against.
+    pub fn group_by_detailed(&mut self, vertices: &[VertexId]) -> Result<GroupsAck, ClientError> {
         if vertices.len() > MAX_QUERY_VERTICES {
             return Err(ClientError::Protocol("query exceeds protocol cap"));
         }
         let floor = self.last_acked_epoch;
         match self.call(&RequestBody::GroupBy(vertices.to_vec()))? {
-            ResponseBody::Groups { epoch, groups } => {
+            ResponseBody::Groups {
+                epoch,
+                checkpoint_seq,
+                groups,
+            } => {
                 if epoch < floor {
                     return Err(ClientError::Protocol(
                         "read-your-writes violated: query observed an epoch below \
                          this client's acknowledged writes",
                     ));
                 }
-                Ok(groups)
+                Ok(GroupsAck {
+                    epoch,
+                    checkpoint_seq,
+                    groups,
+                })
             }
             _ => Err(ClientError::Protocol("unexpected reply to GroupBy")),
+        }
+    }
+
+    /// The member lists of every cluster containing `v` (several for a
+    /// hub, none for noise), with consistency metadata.
+    pub fn cluster_of(&mut self, v: VertexId) -> Result<GroupsAck, ClientError> {
+        let floor = self.last_acked_epoch;
+        match self.call(&RequestBody::ClusterOf(v))? {
+            ResponseBody::Groups {
+                epoch,
+                checkpoint_seq,
+                groups,
+            } => {
+                if epoch < floor {
+                    return Err(ClientError::Protocol(
+                        "read-your-writes violated: query observed an epoch below \
+                         this client's acknowledged writes",
+                    ));
+                }
+                Ok(GroupsAck {
+                    epoch,
+                    checkpoint_seq,
+                    groups,
+                })
+            }
+            _ => Err(ClientError::Protocol("unexpected reply to ClusterOf")),
         }
     }
 
@@ -318,6 +375,7 @@ impl Client {
                     std::thread::sleep(delay);
                 }
                 Ok(ResponseBody::Draining) => return Err(ClientError::Draining),
+                Ok(ResponseBody::ReadOnly) => return Err(ClientError::ReadOnly),
                 Ok(ResponseBody::ServerError { message }) => {
                     return Err(ClientError::Server(message))
                 }

@@ -76,7 +76,7 @@ pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
 }
 
 /// Outcome of one polling frame read.
-enum FrameRead {
+pub enum FrameRead {
     /// A complete, checksum-verified payload.
     Frame(Vec<u8>),
     /// The peer closed cleanly between frames.
@@ -136,8 +136,14 @@ fn read_full(
     Ok(Fill::Filled)
 }
 
-/// Read one frame, polling the drain latch while idle.
-fn read_frame_polling(stream: &mut TcpStream, drain: &DrainFlag) -> Result<FrameRead, WireError> {
+/// Read one frame, polling the drain latch while idle.  Public so the
+/// replica's serving loop (which speaks the same protocol with the same
+/// drain discipline) can reuse the exact framing behaviour; the stream
+/// must have a read timeout set, or the drain latch is never polled.
+pub fn read_frame_polling(
+    stream: &mut TcpStream,
+    drain: &DrainFlag,
+) -> Result<FrameRead, WireError> {
     let mut header = [0u8; HEADER_LEN];
     match read_full(stream, &mut header, true, drain)? {
         Fill::Eof => return Ok(FrameRead::Eof),
@@ -311,6 +317,15 @@ fn process_loop(
             release(shared, conn_queued, job.weight);
             continue;
         }
+        if let RequestBody::Subscribe { from_seq } = job.body {
+            release(shared, conn_queued, job.weight);
+            run_subscription(job.id, from_seq, writer, shared);
+            // The stream owned the connection; whatever ended it
+            // (drain, lag, a gone peer) ends the connection too.  The
+            // flag makes the remaining queued jobs release-and-skip.
+            writer_dead = true;
+            continue;
+        }
         let body = execute(shared, job.body);
         release(shared, conn_queued, job.weight);
         let response = Response { id: job.id, body };
@@ -333,6 +348,151 @@ fn process_loop(
 
 fn lock_engine(shared: &Shared) -> dynscan_core::sync::MutexGuard<'_, Session> {
     shared.engine.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// How often an idle replication stream polls its hub queue (and the
+/// drain latch).
+const STREAM_POLL: Duration = Duration::from_millis(10);
+
+/// Ship one document, refusing (with a typed error to the peer) any
+/// document too large for the protocol instead of panicking in encode.
+fn ship(
+    writer: &Mutex<TcpStream>,
+    id: u64,
+    seq: u64,
+    kind: dynscan_core::SnapshotKind,
+    payload: Vec<u8>,
+) -> Result<(), WireError> {
+    if payload.len() > crate::proto::MAX_SHIP_DOC_BYTES {
+        let _ = send(
+            writer,
+            &Response {
+                id,
+                body: ResponseBody::ServerError {
+                    message: format!("checkpoint document {seq} exceeds the shippable size"),
+                },
+            },
+        );
+        return Err(WireError::Malformed("document exceeds ship cap"));
+    }
+    send(
+        writer,
+        &Response {
+            id,
+            body: ResponseBody::ShipDocument { seq, kind, payload },
+        },
+    )
+}
+
+/// Turn the connection into a replication stream: subscribe to the hub
+/// **first**, ship the backlog from the checkpoint directory, mark
+/// catch-up, then forward hub documents (deduplicated by sequence
+/// number against the backlog) until drain, lag, or a gone peer.
+fn run_subscription(id: u64, from_seq: Option<u64>, writer: &Mutex<TcpStream>, shared: &Shared) {
+    use dynscan_core::{CheckpointStore as _, DirCheckpointStore, TailError};
+    let Some(dir) = shared.cfg.checkpoint_dir.as_ref() else {
+        let _ = send(
+            writer,
+            &Response {
+                id,
+                body: ResponseBody::ServerError {
+                    message: "replication requires a checkpoint directory on the primary".into(),
+                },
+            },
+        );
+        return;
+    };
+    let subscription = shared.hub.subscribe();
+    let store = DirCheckpointStore::new(dir);
+    // Backlog: extend the subscriber's chain if its position survives
+    // retention, otherwise fall back to a full resync — the same
+    // contract `poll_since` gives a store-tailing replica.  `pos` tracks
+    // the last sequence the subscriber is known to hold.
+    let mut pos = from_seq;
+    let mut backlog = store.poll_since(from_seq);
+    if matches!(backlog, Err(TailError::ChainGap { .. })) && from_seq.is_some() {
+        pos = None;
+        backlog = store.poll_since(None);
+    }
+    // A transient gap can also hit the resync read itself (pruning races
+    // the directory scan); retry a few times before giving up.
+    let mut retries = 0;
+    while matches!(backlog, Err(TailError::ChainGap { .. })) && retries < 8 {
+        retries += 1;
+        backlog = store.poll_since(None);
+        pos = None;
+    }
+    let backlog = match backlog {
+        Ok(docs) => docs,
+        Err(e) => {
+            let _ = send(
+                writer,
+                &Response {
+                    id,
+                    body: ResponseBody::ServerError {
+                        message: format!("reading the checkpoint backlog failed: {e}"),
+                    },
+                },
+            );
+            return;
+        }
+    };
+    for doc in backlog {
+        if ship(writer, id, doc.seq, doc.kind, doc.bytes).is_err() {
+            return;
+        }
+        pos = Some(doc.seq);
+    }
+    if send(
+        writer,
+        &Response {
+            id,
+            body: ResponseBody::ReplicaCaughtUp { seq: pos },
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    // Live phase: forward hub publications.  Documents the backlog read
+    // already covered (published between `subscribe` and the directory
+    // scan) are skipped by sequence number.
+    loop {
+        if shared.drain.is_tripped() {
+            let _ = send(
+                writer,
+                &Response {
+                    id: UNSOLICITED_ID,
+                    body: ResponseBody::Draining,
+                },
+            );
+            return;
+        }
+        match subscription.poll() {
+            Ok(Some(doc)) => {
+                if pos.is_some_and(|p| doc.seq <= p) {
+                    continue;
+                }
+                if ship(writer, id, doc.seq, doc.kind, (*doc.bytes).clone()).is_err() {
+                    return;
+                }
+                pos = Some(doc.seq);
+            }
+            Ok(None) => dynscan_core::sync::thread::sleep(STREAM_POLL),
+            Err(lagged) => {
+                let _ = send(
+                    writer,
+                    &Response {
+                        id,
+                        body: ResponseBody::ServerError {
+                            message: lagged.to_string(),
+                        },
+                    },
+                );
+                return;
+            }
+        }
+    }
 }
 
 /// Perform one operation against the engine.  The returned epoch is the
@@ -367,6 +527,21 @@ fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
             let groups = engine.cluster_group_by(&vertices);
             ResponseBody::Groups {
                 epoch: engine.updates_applied(),
+                checkpoint_seq: engine.last_checkpoint_seq(),
+                groups,
+            }
+        }
+        RequestBody::ClusterOf(v) => {
+            let mut engine = lock_engine(shared);
+            let clustering = engine.clustering();
+            let groups = clustering
+                .clusters_of(v)
+                .iter()
+                .map(|&i| clustering.cluster(i as usize).to_vec())
+                .collect();
+            ResponseBody::Groups {
+                epoch: engine.updates_applied(),
+                checkpoint_seq: engine.last_checkpoint_seq(),
                 groups,
             }
         }
@@ -385,13 +560,17 @@ fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
                 checkpoints_written: engine.checkpoints_written(),
                 draining: shared.drain.is_tripped(),
                 state_checksum,
+                last_checkpoint_seq: engine.last_checkpoint_seq(),
             })
         }
         RequestBody::CheckpointNow => {
             let mut engine = lock_engine(shared);
             match engine.checkpoint_now() {
+                // Report the *store* sequence (the replication
+                // position replicas track), not the in-document chain
+                // sequence, which restarts at 0 on every full.
                 Ok(info) => ResponseBody::CheckpointDone {
-                    sequence: info.sequence,
+                    sequence: engine.last_checkpoint_seq().unwrap_or_default(),
                     kind: info.kind,
                     updates_applied: info.updates_applied,
                     payload_len: info.payload_len,
@@ -406,5 +585,11 @@ fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
             shared.drain.trip();
             ResponseBody::DrainStarted { epoch }
         }
+        // Subscriptions take over the connection in `process_loop`; one
+        // reaching the ordinary execute path is a logic error upstream,
+        // answered as such rather than by panicking a server thread.
+        RequestBody::Subscribe { .. } => ResponseBody::ServerError {
+            message: "subscription must be handled by the stream loop".into(),
+        },
     }
 }

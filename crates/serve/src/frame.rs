@@ -26,7 +26,7 @@ pub const FRAME_MAGIC: [u8; 4] = *b"DSRV";
 /// Current protocol version.  Bump on any incompatible message change;
 /// a server refuses frames from other versions with
 /// [`WireError::UnsupportedVersion`] rather than guessing.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Size of the fixed frame header.
 pub const HEADER_LEN: usize = 4 + 2 + 2 + 4 + 8;

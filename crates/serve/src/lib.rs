@@ -66,6 +66,24 @@
 //! **never panics** on truncated or bit-flipped input — the corruption
 //! proptests drive every truncation and every single-bit flip of valid
 //! frames through both decoders.
+//!
+//! ## Replication stream
+//!
+//! Protocol version 2 adds the primary side of snapshot-shipping
+//! replication (the replica side lives in `dynscan-replica`): a
+//! `Subscribe{from_seq}` request turns the connection into a push
+//! stream — the server ships the checkpoint backlog (`ShipDocument`
+//! frames, byte-identical to the on-disk documents), marks the backlog's
+//! end with `ReplicaCaughtUp`, then forwards every newly completed
+//! checkpoint as the [`publish::PublishingStore`] tees it out of the
+//! engine's store.  Documents are published to subscribers only **after**
+//! they are durable on the primary, so a replica can never apply state
+//! the primary could lose; a subscriber that falls behind its bounded
+//! queue is told to resync (the same typed-gap contract as
+//! `CheckpointStore::poll_since` under retention pruning).  Query
+//! replies (`Groups`, `Stats`) carry the answering engine's checkpoint
+//! sequence alongside the epoch, giving routing layers a precise
+//! bounded-staleness signal.
 
 pub mod admission;
 pub mod client;
@@ -73,10 +91,13 @@ pub mod conn;
 pub mod drain;
 pub mod frame;
 pub mod proto;
+pub mod publish;
 pub mod server;
 
-pub use client::{BatchAck, CheckpointAck, Client, ClientError, RetryPolicy};
+pub use client::{BatchAck, CheckpointAck, Client, ClientError, GroupsAck, RetryPolicy};
+pub use conn::{read_frame_polling, FrameRead};
 pub use drain::{install_sigterm_handler, DrainFlag};
 pub use frame::{WireError, PROTOCOL_VERSION};
 pub use proto::{RejectReason, Request, RequestBody, Response, ResponseBody, StatsReply};
+pub use publish::{PublishHub, PublishingStore, ShippedDoc, Subscription};
 pub use server::{DrainReport, ServeConfig, ServeError, Server};

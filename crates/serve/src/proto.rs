@@ -22,6 +22,11 @@ pub const MAX_QUERY_VERTICES: usize = 65_536;
 /// response.
 pub const MAX_GROUPS: usize = 1 << 20;
 
+/// Upper bound on one shipped checkpoint document's payload bytes —
+/// comfortably under [`crate::frame::MAX_FRAME_PAYLOAD`] so the framing
+/// envelope always fits.
+pub const MAX_SHIP_DOC_BYTES: usize = 15 << 20;
+
 /// Reserved response id for messages not answering a specific request:
 /// terminal `Draining` notices and error replies to frames whose request
 /// could not be decoded at all.
@@ -47,6 +52,10 @@ pub enum RequestBody {
     BatchApply(Vec<GraphUpdate>),
     /// Cluster-group-by over the given vertices.
     GroupBy(Vec<VertexId>),
+    /// The full member list of every cluster containing this vertex
+    /// (possibly several for a hub, empty for noise).  Answered with a
+    /// `Groups` response, one group per containing cluster.
+    ClusterOf(VertexId),
     /// Server and engine statistics.
     Stats {
         /// Also compute the FNV-1a checksum of the engine's canonical
@@ -60,6 +69,19 @@ pub enum RequestBody {
     /// final full checkpoint, close every connection with a terminal
     /// reply, then exit.
     Drain,
+    /// Turn this connection into a replication stream: the server ships
+    /// every checkpoint document after the subscriber's position
+    /// (`ShipDocument` frames, all echoing this request's id), marks the
+    /// end of the backlog with `ReplicaCaughtUp`, and keeps pushing new
+    /// documents as checkpoints complete until drain.  A subscriber whose
+    /// position was pruned away receives a fresh resync chain (newest
+    /// full snapshot onward) instead.
+    Subscribe {
+        /// The sequence number of the last document the subscriber has
+        /// applied, or `None` for a full resync from the newest full
+        /// snapshot.
+        from_seq: Option<u64>,
+    },
 }
 
 /// A server response to one request (or an unsolicited terminal notice,
@@ -100,6 +122,10 @@ pub enum ResponseBody {
         /// Global update epoch the query observed (≥ every epoch this
         /// client was previously acknowledged).
         epoch: u64,
+        /// Sequence number of the answering engine's last applied (or
+        /// written) checkpoint — `None` before the first one.  On a
+        /// replica this is the replication position backing the reply.
+        checkpoint_seq: Option<u64>,
         /// The groups.
         groups: Vec<Vec<VertexId>>,
     },
@@ -137,6 +163,26 @@ pub enum ResponseBody {
         /// Human-readable cause.
         message: String,
     },
+    /// One checkpoint document pushed over a replication stream (the
+    /// reply id echoes the `Subscribe` request's id).
+    ShipDocument {
+        /// Sequence number within the primary's chain.
+        seq: u64,
+        /// Full snapshot or delta.
+        kind: SnapshotKind,
+        /// The encoded document, byte-identical to the primary's copy.
+        payload: Vec<u8>,
+    },
+    /// The backlog is fully shipped; everything after this is pushed live
+    /// as the primary's checkpoints complete.
+    ReplicaCaughtUp {
+        /// The last shipped document's sequence number, or `None` when
+        /// the primary has no documents yet.
+        seq: Option<u64>,
+    },
+    /// The server is a read-only replica and refuses writes (apply,
+    /// batch-apply, checkpoint, subscribe); route them to the primary.
+    ReadOnly,
 }
 
 /// Why an update was rejected (mirrors the engine's typed
@@ -199,6 +245,9 @@ pub struct StatsReply {
     pub draining: bool,
     /// FNV-1a of the engine's canonical full snapshot, if requested.
     pub state_checksum: Option<u64>,
+    /// Sequence number of the last checkpoint this engine wrote (primary)
+    /// or applied (replica) — `None` before the first one.
+    pub last_checkpoint_seq: Option<u64>,
 }
 
 // --------------------------------------------------------------------- //
@@ -212,6 +261,8 @@ mod tag {
     pub const REQ_STATS: u8 = 4;
     pub const REQ_CHECKPOINT_NOW: u8 = 5;
     pub const REQ_DRAIN: u8 = 6;
+    pub const REQ_SUBSCRIBE: u8 = 7;
+    pub const REQ_CLUSTER_OF: u8 = 8;
 
     pub const RESP_APPLIED: u8 = 1;
     pub const RESP_BATCH_APPLIED: u8 = 2;
@@ -223,6 +274,9 @@ mod tag {
     pub const RESP_OVERLOADED: u8 = 8;
     pub const RESP_DRAINING: u8 = 9;
     pub const RESP_SERVER_ERROR: u8 = 10;
+    pub const RESP_SHIP_DOCUMENT: u8 = 11;
+    pub const RESP_REPLICA_CAUGHT_UP: u8 = 12;
+    pub const RESP_READ_ONLY: u8 = 13;
 
     pub const UPDATE_INSERT: u8 = 1;
     pub const UPDATE_DELETE: u8 = 2;
@@ -289,6 +343,15 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.array::<8>()?))
     }
 
+    /// Presence byte (0/1) followed by the value when present.
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
     /// A `u32` element count, bounded both by the caller's cap and by the
     /// bytes remaining (each element is at least `min_elem_bytes`), so a
     /// hostile count cannot drive allocation.
@@ -341,6 +404,16 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
 }
 
 fn put_vertex(out: &mut Vec<u8>, v: VertexId) {
@@ -410,8 +483,16 @@ impl Request {
                 out.push(tag::REQ_STATS);
                 out.push(u8::from(*include_state_checksum));
             }
+            RequestBody::ClusterOf(v) => {
+                out.push(tag::REQ_CLUSTER_OF);
+                put_vertex(&mut out, *v);
+            }
             RequestBody::CheckpointNow => out.push(tag::REQ_CHECKPOINT_NOW),
             RequestBody::Drain => out.push(tag::REQ_DRAIN),
+            RequestBody::Subscribe { from_seq } => {
+                out.push(tag::REQ_SUBSCRIBE);
+                put_opt_u64(&mut out, *from_seq);
+            }
         }
         out
     }
@@ -445,8 +526,12 @@ impl Request {
             tag::REQ_STATS => RequestBody::Stats {
                 include_state_checksum: c.bool()?,
             },
+            tag::REQ_CLUSTER_OF => RequestBody::ClusterOf(c.vertex()?),
             tag::REQ_CHECKPOINT_NOW => RequestBody::CheckpointNow,
             tag::REQ_DRAIN => RequestBody::Drain,
+            tag::REQ_SUBSCRIBE => RequestBody::Subscribe {
+                from_seq: c.opt_u64()?,
+            },
             _ => return Err(WireError::Malformed("unknown request tag")),
         };
         c.finish()?;
@@ -484,10 +569,15 @@ impl Response {
                 put_u64(&mut out, *rejected);
                 put_u64(&mut out, *flips);
             }
-            ResponseBody::Groups { epoch, groups } => {
+            ResponseBody::Groups {
+                epoch,
+                checkpoint_seq,
+                groups,
+            } => {
                 assert!(groups.len() <= MAX_GROUPS, "groups exceed protocol cap");
                 out.push(tag::RESP_GROUPS);
                 put_u64(&mut out, *epoch);
+                put_opt_u64(&mut out, *checkpoint_seq);
                 put_u32(&mut out, groups.len() as u32);
                 for group in groups {
                     assert!(group.len() <= MAX_GROUPS, "group exceeds protocol cap");
@@ -507,13 +597,8 @@ impl Response {
                 put_u64(&mut out, stats.connections);
                 put_u64(&mut out, stats.checkpoints_written);
                 out.push(u8::from(stats.draining));
-                match stats.state_checksum {
-                    Some(sum) => {
-                        out.push(1);
-                        put_u64(&mut out, sum);
-                    }
-                    None => out.push(0),
-                }
+                put_opt_u64(&mut out, stats.state_checksum);
+                put_opt_u64(&mut out, stats.last_checkpoint_seq);
             }
             ResponseBody::CheckpointDone {
                 sequence,
@@ -559,6 +644,22 @@ impl Response {
                 out.push(tag::RESP_SERVER_ERROR);
                 put_string(&mut out, message);
             }
+            ResponseBody::ShipDocument { seq, kind, payload } => {
+                assert!(
+                    payload.len() <= MAX_SHIP_DOC_BYTES,
+                    "shipped document exceeds protocol cap"
+                );
+                out.push(tag::RESP_SHIP_DOCUMENT);
+                put_u64(&mut out, *seq);
+                put_kind(&mut out, *kind);
+                put_u32(&mut out, payload.len() as u32);
+                out.extend_from_slice(payload);
+            }
+            ResponseBody::ReplicaCaughtUp { seq } => {
+                out.push(tag::RESP_REPLICA_CAUGHT_UP);
+                put_opt_u64(&mut out, *seq);
+            }
+            ResponseBody::ReadOnly => out.push(tag::RESP_READ_ONLY),
         }
         out
     }
@@ -580,6 +681,7 @@ impl Response {
             },
             tag::RESP_GROUPS => {
                 let epoch = c.u64()?;
+                let checkpoint_seq = c.opt_u64()?;
                 let n = c.count(MAX_GROUPS, 4)?;
                 let mut groups = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -590,7 +692,11 @@ impl Response {
                     }
                     groups.push(group);
                 }
-                ResponseBody::Groups { epoch, groups }
+                ResponseBody::Groups {
+                    epoch,
+                    checkpoint_seq,
+                    groups,
+                }
             }
             tag::RESP_STATS => {
                 let algorithm = c.string(256)?;
@@ -601,7 +707,8 @@ impl Response {
                 let connections = c.u64()?;
                 let checkpoints_written = c.u64()?;
                 let draining = c.bool()?;
-                let state_checksum = if c.bool()? { Some(c.u64()?) } else { None };
+                let state_checksum = c.opt_u64()?;
+                let last_checkpoint_seq = c.opt_u64()?;
                 ResponseBody::Stats(StatsReply {
                     algorithm,
                     epoch,
@@ -612,6 +719,7 @@ impl Response {
                     checkpoints_written,
                     draining,
                     state_checksum,
+                    last_checkpoint_seq,
                 })
             }
             tag::RESP_CHECKPOINT_DONE => {
@@ -651,6 +759,22 @@ impl Response {
             tag::RESP_SERVER_ERROR => ResponseBody::ServerError {
                 message: c.string(4096)?,
             },
+            tag::RESP_SHIP_DOCUMENT => {
+                let seq = c.u64()?;
+                let kind = match c.u8()? {
+                    tag::KIND_FULL => SnapshotKind::Full,
+                    tag::KIND_DELTA => SnapshotKind::Delta,
+                    _ => return Err(WireError::Malformed("unknown snapshot kind tag")),
+                };
+                let len = c.count(MAX_SHIP_DOC_BYTES, 1)?;
+                ResponseBody::ShipDocument {
+                    seq,
+                    kind,
+                    payload: c.take(len)?.to_vec(),
+                }
+            }
+            tag::RESP_REPLICA_CAUGHT_UP => ResponseBody::ReplicaCaughtUp { seq: c.opt_u64()? },
+            tag::RESP_READ_ONLY => ResponseBody::ReadOnly,
             _ => return Err(WireError::Malformed("unknown response tag")),
         };
         c.finish()?;
@@ -713,6 +837,18 @@ mod tests {
                 id: 6,
                 body: RequestBody::Drain,
             },
+            Request {
+                id: 7,
+                body: RequestBody::ClusterOf(VertexId(42)),
+            },
+            Request {
+                id: 8,
+                body: RequestBody::Subscribe { from_seq: Some(11) },
+            },
+            Request {
+                id: 9,
+                body: RequestBody::Subscribe { from_seq: None },
+            },
         ]
     }
 
@@ -735,7 +871,16 @@ mod tests {
                 id: 3,
                 body: ResponseBody::Groups {
                     epoch: 9,
+                    checkpoint_seq: Some(4),
                     groups: vec![vec![VertexId(0), VertexId(5)], vec![VertexId(9)]],
+                },
+            },
+            Response {
+                id: 11,
+                body: ResponseBody::Groups {
+                    epoch: 0,
+                    checkpoint_seq: None,
+                    groups: vec![],
                 },
             },
             Response {
@@ -750,6 +895,7 @@ mod tests {
                     checkpoints_written: 1,
                     draining: false,
                     state_checksum: Some(0xdead_beef),
+                    last_checkpoint_seq: Some(4),
                 }),
             },
             Response {
@@ -787,6 +933,26 @@ mod tests {
                 body: ResponseBody::ServerError {
                     message: "engine unavailable".into(),
                 },
+            },
+            Response {
+                id: 12,
+                body: ResponseBody::ShipDocument {
+                    seq: 5,
+                    kind: SnapshotKind::Delta,
+                    payload: vec![0xaa, 0xbb, 0xcc],
+                },
+            },
+            Response {
+                id: 12,
+                body: ResponseBody::ReplicaCaughtUp { seq: Some(5) },
+            },
+            Response {
+                id: 13,
+                body: ResponseBody::ReplicaCaughtUp { seq: None },
+            },
+            Response {
+                id: 14,
+                body: ResponseBody::ReadOnly,
             },
         ]
     }

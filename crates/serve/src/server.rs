@@ -17,6 +17,7 @@
 
 use crate::conn;
 use crate::drain::{install_sigterm_handler, DrainFlag};
+use crate::publish::{PublishHub, PublishingStore};
 use dynscan_core::sync::atomic::AtomicU64;
 use dynscan_core::sync::{Arc, Mutex};
 use dynscan_core::{Backend, DirCheckpointStore, Params, Session, SessionError, SnapshotInfo};
@@ -146,6 +147,10 @@ pub(crate) struct Shared {
     pub(crate) connections: AtomicU64,
     /// The drain latch (also observes SIGTERM).
     pub(crate) drain: DrainFlag,
+    /// Fan-out of completed checkpoint documents to replication streams
+    /// (fed by the [`PublishingStore`] wrapped around the engine's
+    /// checkpoint store; idle without a checkpoint directory).
+    pub(crate) hub: Arc<PublishHub>,
     /// Admission limits and timeouts.
     pub(crate) cfg: ServeConfig,
 }
@@ -174,7 +179,8 @@ impl Server {
         // The chain may have been written by any registered backend.
         dynscan_baseline::install();
         install_sigterm_handler();
-        let session = build_session(&cfg)?;
+        let hub = Arc::new(PublishHub::new());
+        let session = build_session(&cfg, &hub)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -183,6 +189,7 @@ impl Server {
             queued: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             drain: DrainFlag::new(),
+            hub,
             cfg,
         });
         let accept_shared = Arc::clone(&shared);
@@ -220,8 +227,10 @@ impl Server {
 }
 
 /// Resume from the checkpoint directory's chain when one exists, build
-/// fresh otherwise.
-fn build_session(cfg: &ServeConfig) -> Result<Session, ServeError> {
+/// fresh otherwise.  The store is wrapped in a [`PublishingStore`] so
+/// every completed checkpoint fans out to subscribed replication
+/// streams.
+fn build_session(cfg: &ServeConfig, hub: &Arc<PublishHub>) -> Result<Session, ServeError> {
     let mut builder = Session::builder()
         .backend(cfg.backend)
         .params(cfg.params)
@@ -241,14 +250,15 @@ fn build_session(cfg: &ServeConfig) -> Result<Session, ServeError> {
     };
     std::fs::create_dir_all(dir)?;
     let store = DirCheckpointStore::new(dir);
+    let publishing = PublishingStore::new(DirCheckpointStore::new(dir), Arc::clone(hub));
     match store.read_chain() {
         Ok(docs) => Ok(builder
-            .checkpoint_store(DirCheckpointStore::new(dir))
+            .checkpoint_store(publishing)
             .build_resuming_from_chain(&docs)?),
         // No full snapshot yet: a fresh start writing into the same dir.
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(builder
-            .checkpoint_store(DirCheckpointStore::new(dir))
-            .build()?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Ok(builder.checkpoint_store(publishing).build()?)
+        }
         Err(e) => Err(ServeError::Io(e)),
     }
 }

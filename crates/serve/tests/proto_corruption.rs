@@ -65,6 +65,18 @@ fn fixture() -> &'static Fixture {
                 id: 6,
                 body: RequestBody::Drain,
             },
+            Request {
+                id: 7,
+                body: RequestBody::ClusterOf(v(11)),
+            },
+            Request {
+                id: 8,
+                body: RequestBody::Subscribe { from_seq: Some(9) },
+            },
+            Request {
+                id: 9,
+                body: RequestBody::Subscribe { from_seq: None },
+            },
         ];
         let responses = vec![
             Response {
@@ -87,7 +99,16 @@ fn fixture() -> &'static Fixture {
                 id: 3,
                 body: ResponseBody::Groups {
                     epoch: 44,
+                    checkpoint_seq: Some(7),
                     groups: vec![vec![v(0), v(5)], vec![v(13)]],
+                },
+            },
+            Response {
+                id: 11,
+                body: ResponseBody::Groups {
+                    epoch: 0,
+                    checkpoint_seq: None,
+                    groups: vec![],
                 },
             },
             Response {
@@ -102,6 +123,7 @@ fn fixture() -> &'static Fixture {
                     checkpoints_written: 5,
                     draining: false,
                     state_checksum: Some(0xdead_beef_cafe_f00d),
+                    last_checkpoint_seq: Some(7),
                 }),
             },
             Response {
@@ -136,6 +158,26 @@ fn fixture() -> &'static Fixture {
                 body: ResponseBody::ServerError {
                     message: "injected".to_string(),
                 },
+            },
+            Response {
+                id: 8,
+                body: ResponseBody::ShipDocument {
+                    seq: 10,
+                    kind: SnapshotKind::Delta,
+                    payload: vec![0x5a; 48],
+                },
+            },
+            Response {
+                id: 8,
+                body: ResponseBody::ReplicaCaughtUp { seq: Some(10) },
+            },
+            Response {
+                id: 9,
+                body: ResponseBody::ReplicaCaughtUp { seq: None },
+            },
+            Response {
+                id: 12,
+                body: ResponseBody::ReadOnly,
             },
         ];
         Fixture {
