@@ -38,8 +38,10 @@ pub use batch::{
     BatchBenchRow,
 };
 pub use parallel::{
-    lock_free_vs_mutex_geomean, parallel_rows_to_json, parallel_rows_to_table,
-    run_parallel_scaling, ParallelBenchConfig, ParallelBenchRow,
+    kernel_rows_to_table, kernel_vs_scalar_geomean, lock_free_vs_mutex_geomean,
+    parallel_report_json, parallel_rows_to_json, parallel_rows_to_table, run_concurrent_reads,
+    run_kernel_comparison, run_parallel_scaling, ConcurrentReadReport, KernelBenchRow,
+    ParallelBenchConfig, ParallelBenchRow,
 };
 pub use replica::{
     replica_rows_to_json, replica_rows_to_table, run_replica_scaling, ReplicaBenchConfig,

@@ -40,6 +40,7 @@ const FACADED_MODULES: &[&str] = &[
     "vendor/rayon/src/lib.rs",
     "vendor/rayon/src/sleep.rs",
     "vendor/rayon/src/deque.rs",
+    "crates/core/src/epoch.rs",
     "crates/core/src/session.rs",
     "crates/core/src/gate.rs",
     "crates/core/src/pool.rs",

@@ -77,6 +77,7 @@ pub mod aux;
 pub mod clock;
 pub mod cluster;
 pub mod elm;
+pub mod epoch;
 pub mod fixtures;
 pub mod gate;
 pub mod params;
@@ -94,6 +95,7 @@ pub use aux::VertexAux;
 pub use clock::{Clock, MockClock, SystemClock};
 pub use cluster::{extract_clustering, group_by_from_clustering, StrCluResult, VertexRole};
 pub use elm::{DynElm, ElmStats, FlippedEdge};
+pub use epoch::{EpochCell, EpochReadHandle, EpochSnapshot};
 pub use params::Params;
 pub use pool::ExecPool;
 pub use session::{

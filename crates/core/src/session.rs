@@ -85,6 +85,7 @@ use crate::clock::wall_clock_millis;
 use crate::clock::{Clock, SystemClock};
 use crate::cluster::StrCluResult;
 use crate::elm::{DynElm, ElmStats, FlippedEdge};
+use crate::epoch::{EpochCell, EpochReadHandle, EpochSnapshot};
 use crate::gate::{CompletionSlot, InflightGate};
 use crate::params::Params;
 use crate::snapshot::CheckpointCapture;
@@ -813,8 +814,14 @@ pub struct Session {
     /// query caches.
     label_epoch: u64,
     last_vertices: usize,
-    clustering_cache: Option<(u64, StrCluResult)>,
+    /// The clustering extraction of `label_epoch`, shared with any
+    /// published [`EpochSnapshot`] (the Arc is what makes eager
+    /// publication O(1) on top of the extraction itself).
+    clustering_cache: Option<(u64, Arc<StrCluResult>)>,
     groupby_cache: Option<(u64, Vec<VertexId>, Vec<Vec<VertexId>>)>,
+    /// When present, every mutation publishes a fresh [`EpochSnapshot`]
+    /// here before returning (see [`Session::enable_epoch_reads`]).
+    epoch_pub: Option<Arc<EpochCell>>,
     clustering_recomputes: u64,
     groupby_recomputes: u64,
     checkpoint_every: Option<u64>,
@@ -873,6 +880,7 @@ impl Session {
             last_vertices,
             clustering_cache: None,
             groupby_cache: None,
+            epoch_pub: None,
             clustering_recomputes: 0,
             groupby_recomputes: 0,
             checkpoint_every: None,
@@ -1034,6 +1042,62 @@ impl Session {
                 self.auto_checkpoint();
             }
         }
+        // Publish the new epoch *before* the mutation returns (and hence
+        // before any caller acknowledges the write): a reader that saw
+        // the ack will find a snapshot at least this fresh.
+        self.publish_epoch();
+    }
+
+    /// Turn on snapshot-epoch concurrent reads and return a read handle.
+    ///
+    /// From this point every mutation eagerly extracts (on effective
+    /// change) and publishes an immutable [`EpochSnapshot`]; the handle's
+    /// readers answer clustering / group-by queries from it without ever
+    /// taking a lock on this session (see [`crate::epoch`] for the
+    /// consistency model).  Eager extraction trades write-path work for
+    /// lock-free reads, which is why it is opt-in: sessions that never
+    /// call this keep the lazy query-cache behaviour (and its pinned
+    /// recompute counters) unchanged.  Idempotent: later calls return
+    /// handles onto the same cell.
+    pub fn enable_epoch_reads(&mut self) -> EpochReadHandle {
+        if self.epoch_pub.is_none() {
+            self.epoch_pub = Some(Arc::new(EpochCell::new()));
+            self.publish_epoch();
+        }
+        EpochReadHandle::new(Arc::clone(self.epoch_pub.as_ref().expect("just set")))
+    }
+
+    /// Extract (if the label epoch advanced) and publish the current
+    /// epoch.  No-op unless [`Session::enable_epoch_reads`] was called.
+    fn publish_epoch(&mut self) {
+        let Some(cell) = self.epoch_pub.clone() else {
+            return;
+        };
+        let clustering = Arc::clone(self.fresh_clustering_cache());
+        cell.store(Arc::new(EpochSnapshot {
+            label_epoch: self.label_epoch,
+            updates_applied: self.inner.updates_applied(),
+            num_vertices: self.inner.num_vertices() as u64,
+            num_edges: self.inner.num_edges() as u64,
+            checkpoint_seq: self.last_checkpoint_seq(),
+            clustering,
+            stats: self.inner.elm_stats(),
+        }));
+    }
+
+    /// The clustering cache entry for the current label epoch,
+    /// recomputing (and counting the recompute) only when stale — the
+    /// one extraction path shared by [`Session::clustering`] and epoch
+    /// publication.
+    fn fresh_clustering_cache(&mut self) -> &Arc<StrCluResult> {
+        let epoch = self.label_epoch;
+        let stale = !matches!(&self.clustering_cache, Some((e, _)) if *e == epoch);
+        if stale {
+            self.clustering_recomputes += 1;
+            let result = Arc::new(self.inner.current_clustering());
+            self.clustering_cache = Some((epoch, result));
+        }
+        &self.clustering_cache.as_ref().expect("just filled").1
     }
 
     /// Absorb the in-flight background checkpoint's outcome, waiting for
@@ -1221,14 +1285,7 @@ impl Session {
     /// extraction.
     pub fn clustering(&mut self) -> &StrCluResult {
         self.flush();
-        let epoch = self.label_epoch;
-        let stale = !matches!(&self.clustering_cache, Some((e, _)) if *e == epoch);
-        if stale {
-            self.clustering_recomputes += 1;
-            let result = self.inner.current_clustering();
-            self.clustering_cache = Some((epoch, result));
-        }
-        &self.clustering_cache.as_ref().expect("just filled").1
+        self.fresh_clustering_cache().as_ref()
     }
 
     /// Cluster-group-by over `q` (Definition 3.2), in the canonical form

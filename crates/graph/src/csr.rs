@@ -103,30 +103,19 @@ impl CsrGraph {
         (0..self.num_vertices() as u32).map(VertexId)
     }
 
-    /// Exact size of `N\[u\] ∩ N\[v\]` (closed neighbourhoods) via a sorted
-    /// merge, in O(d\[u\] + d\[v\]).
+    /// Exact size of `N\[u\] ∩ N\[v\]` (closed neighbourhoods) over the
+    /// sorted slices: linear merge when the degrees are balanced,
+    /// galloping probes into the larger slice when they are skewed (see
+    /// [`crate::kernel::sorted_intersection_size`]); O(d\[u\] + d\[v\])
+    /// worst case either way, and the count is identical on every path.
     pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
-        let nu = self.neighbours(u);
-        let nv = self.neighbours(v);
-        let (mut i, mut j) = (0usize, 0usize);
-        let mut count = 0usize;
-        // Merge the open neighbourhoods.
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        // Account for u ∈ N[u]: is u ∈ N[v]?  (u == v impossible for edges,
-        // but handle it for completeness.)
         if u == v {
             return self.degree(u) + 1;
         }
+        let nu = self.neighbours(u);
+        let nv = self.neighbours(v);
+        let mut count = crate::kernel::sorted_intersection_size(nu, nv);
+        // Account for u ∈ N[u]: is u ∈ N[v]?  And symmetrically for v.
         if nv.binary_search(&u).is_ok() {
             count += 1;
         }
@@ -134,6 +123,11 @@ impl CsrGraph {
             count += 1;
         }
         count
+    }
+
+    /// `|N\[u\] ∪ N\[v\]| = |N\[u\]| + |N\[v\]| − |N\[u\] ∩ N\[v\]|`.
+    pub fn closed_union_size(&self, u: VertexId, v: VertexId) -> usize {
+        (self.degree(u) + 1) + (self.degree(v) + 1) - self.closed_intersection_size(u, v)
     }
 }
 

@@ -204,26 +204,12 @@ impl DynGraph {
     /// The exact size of the intersection of the closed neighbourhoods of
     /// `u` and `v`, i.e. `a = |N\[u\] ∩ N\[v\]|` in the paper's notation.
     ///
-    /// Runs in O(min(d\[u\], d\[v\])) by scanning the smaller neighbourhood and
-    /// probing the larger one.
+    /// Computed by the adaptive kernel ([`crate::kernel`]): hash probes
+    /// over the smaller neighbourhood in scalar mode, bit probes or
+    /// word-AND+popcount when hub summaries are available.  Every path is
+    /// exact, so the kernel mode never changes the result.
     pub fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
-        let (small, large) = if self.degree(u) <= self.degree(v) {
-            (u, v)
-        } else {
-            (v, u)
-        };
-        let mut count = 0usize;
-        // Members of N[small] that are also in N[large]:
-        for w in self.neighbours_iter(small) {
-            if self.in_closed_neighbourhood(w, large) {
-                count += 1;
-            }
-        }
-        // `small` itself is in N[small]; is it in N[large]?
-        if self.in_closed_neighbourhood(small, large) {
-            count += 1;
-        }
-        count
+        crate::kernel::closed_intersection_sets(u, v, self.neighbours(u), self.neighbours(v))
     }
 
     /// The exact size of the union of the closed neighbourhoods,

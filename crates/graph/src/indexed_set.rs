@@ -1,6 +1,7 @@
 //! A set with O(1) membership, insertion, removal and uniform sampling.
 
 use crate::footprint::{hashmap_bytes, vec_bytes, MemoryFootprint};
+use crate::kernel::{self, NeighbourSummary, SUMMARY_BUILD, SUMMARY_DROP, SUMMARY_MAX_ID};
 use crate::vertex::VertexId;
 use rand::Rng;
 use std::collections::HashMap;
@@ -16,10 +17,19 @@ use std::collections::HashMap;
 ///
 /// Removal uses the classic swap-remove trick, so iteration order is
 /// unspecified.
+///
+/// Hub sets (≥ [`SUMMARY_BUILD`] elements, with hysteresis) additionally
+/// maintain a chunked-`u64` [`NeighbourSummary`] for the adaptive
+/// intersection kernel ([`crate::kernel`]): membership probes against a
+/// hub become single bit tests and hub×hub intersections become
+/// word-AND+popcount loops.  The summary is exact and incrementally
+/// maintained, never serialised (restore rebuilds it), and only built
+/// while the adaptive kernel is enabled.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedSet {
     items: Vec<VertexId>,
     positions: HashMap<VertexId, usize>,
+    summary: Option<Box<NeighbourSummary>>,
 }
 
 impl IndexedSet {
@@ -33,6 +43,7 @@ impl IndexedSet {
         IndexedSet {
             items: Vec::with_capacity(cap),
             positions: HashMap::with_capacity(cap),
+            summary: None,
         }
     }
 
@@ -51,7 +62,36 @@ impl IndexedSet {
     /// Whether `v` is in the set.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        self.positions.contains_key(&v)
+        // A summary, when present, is exact — and a bit test is ~10×
+        // cheaper than a SipHash probe, so hubs answer from it.
+        match &self.summary {
+            Some(s) if kernel::adaptive() => s.contains(v),
+            _ => self.positions.contains_key(&v),
+        }
+    }
+
+    /// The hub bitmap, if this set currently maintains one (see the
+    /// [type docs](IndexedSet) and [`crate::kernel`]).
+    #[inline]
+    pub fn summary(&self) -> Option<&NeighbourSummary> {
+        self.summary.as_deref()
+    }
+
+    /// Re-evaluate whether this set should carry a summary, after a
+    /// mutation.  Build/drop thresholds carry hysteresis so churn around
+    /// the boundary cannot thrash, and ids ≥ [`SUMMARY_MAX_ID`] opt the
+    /// set out (the bitmap size is bounded by the largest member id).
+    fn maintain_summary(&mut self) {
+        match &self.summary {
+            Some(_) if self.items.len() < SUMMARY_DROP => self.summary = None,
+            None if self.items.len() >= SUMMARY_BUILD
+                && kernel::adaptive()
+                && self.items.iter().all(|v| v.raw() < SUMMARY_MAX_ID) =>
+            {
+                self.summary = Some(Box::new(NeighbourSummary::build(&self.items)));
+            }
+            _ => {}
+        }
     }
 
     /// Insert `v`.  Returns `true` if it was not already present.
@@ -61,6 +101,11 @@ impl IndexedSet {
         }
         self.positions.insert(v, self.items.len());
         self.items.push(v);
+        match &mut self.summary {
+            Some(s) if v.raw() < SUMMARY_MAX_ID => s.set(v),
+            Some(_) => self.summary = None,
+            None => self.maintain_summary(),
+        }
         true
     }
 
@@ -77,6 +122,10 @@ impl IndexedSet {
             self.items[pos] = last;
             self.positions.insert(last, pos);
         }
+        if let Some(s) = &mut self.summary {
+            s.clear(v);
+        }
+        self.maintain_summary();
         true
     }
 
@@ -111,12 +160,15 @@ impl IndexedSet {
     pub fn clear(&mut self) {
         self.items.clear();
         self.positions.clear();
+        self.summary = None;
     }
 }
 
 impl MemoryFootprint for IndexedSet {
     fn memory_bytes(&self) -> usize {
-        vec_bytes(&self.items) + hashmap_bytes(&self.positions)
+        vec_bytes(&self.items)
+            + hashmap_bytes(&self.positions)
+            + self.summary.as_ref().map_or(0, |s| s.memory_bytes())
     }
 }
 
@@ -227,6 +279,44 @@ mod tests {
     fn from_iterator_dedups() {
         let s: IndexedSet = [v(1), v(2), v(1), v(3)].into_iter().collect();
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn summary_lifecycle_follows_hysteresis() {
+        let mut s = IndexedSet::new();
+        for i in 0..SUMMARY_BUILD as u32 - 1 {
+            s.insert(v(i));
+        }
+        assert!(s.summary().is_none(), "below the build threshold");
+        s.insert(v(SUMMARY_BUILD as u32 - 1));
+        let summary = s.summary().expect("built at the threshold");
+        assert!(summary.contains(v(0)) && !summary.contains(v(5000)));
+        // Removals keep the summary exact down to the drop threshold…
+        let removed = (SUMMARY_BUILD - SUMMARY_DROP) as u32;
+        for i in 0..removed {
+            s.remove(v(i));
+            let sum = s.summary().expect("len ≥ {SUMMARY_DROP}: summary kept");
+            assert!(!sum.contains(v(i)));
+        }
+        // …and one more removal crosses it.
+        s.remove(v(removed));
+        assert!(
+            s.summary().is_none(),
+            "dropped once the set shrank below {SUMMARY_DROP}"
+        );
+        // Membership stays correct throughout.
+        for i in 0..SUMMARY_BUILD as u32 {
+            assert_eq!(s.contains(v(i)), i > removed);
+        }
+    }
+
+    #[test]
+    fn oversized_ids_opt_out_of_the_summary() {
+        let mut s: IndexedSet = (0..100u32).map(v).collect();
+        assert!(s.summary().is_some());
+        s.insert(v(SUMMARY_MAX_ID + 7));
+        assert!(s.summary().is_none(), "an uncapped id drops the bitmap");
+        assert!(s.contains(v(SUMMARY_MAX_ID + 7)) && s.contains(v(42)));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod edge;
 pub mod error;
 pub mod footprint;
 pub mod indexed_set;
+pub mod kernel;
 pub mod snapshot;
 pub mod update;
 pub mod vertex;
@@ -54,6 +55,7 @@ pub use edge::EdgeKey;
 pub use error::GraphError;
 pub use footprint::MemoryFootprint;
 pub use indexed_set::IndexedSet;
+pub use kernel::KernelMode;
 pub use snapshot::{
     DocumentMeta, SnapReader, SnapWriter, SnapshotError, SnapshotHeader, SnapshotKind,
 };

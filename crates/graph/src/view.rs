@@ -16,9 +16,11 @@
 //!   a direct read of the (pre-mutation) graph, keeping results
 //!   bit-identical to sequential execution.
 
+use crate::csr::CsrGraph;
 use crate::dynamic_graph::DynGraph;
 use crate::footprint::{hashmap_bytes, MemoryFootprint};
 use crate::indexed_set::IndexedSet;
+use crate::kernel;
 use crate::vertex::VertexId;
 use rand::Rng;
 use std::collections::HashMap;
@@ -70,6 +72,11 @@ pub trait NeighbourhoodView {
     /// `a = |N[u] ∩ N[v]|`, by scanning the smaller neighbourhood and
     /// probing the larger (ties break towards `u`, matching
     /// [`DynGraph::closed_intersection_size`]).
+    ///
+    /// This default is the scalar reference; implementations backed by
+    /// [`IndexedSet`]s or sorted slices override it with
+    /// [`crate::kernel`]'s adaptive paths, which return the same exact
+    /// count (pinned by the kernel's differential proptests).
     fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
         let (small, large) = if self.degree(u) <= self.degree(v) {
             (u, v)
@@ -109,6 +116,35 @@ impl NeighbourhoodView for DynGraph {
     #[inline]
     fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         DynGraph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
+        DynGraph::closed_intersection_size(self, u, v)
+    }
+}
+
+/// The CSR snapshot as a [`NeighbourhoodView`]: slot order is the sorted
+/// neighbour order, so the kernel's merge/gallop paths apply directly.
+impl NeighbourhoodView for CsrGraph {
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbour_at(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        self.neighbours(v).get(i).copied()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
+        CsrGraph::closed_intersection_size(self, u, v)
     }
 }
 
@@ -222,6 +258,16 @@ impl NeighbourhoodView for PairNeighbourhoods<'_> {
             self.adj(a).contains(b)
         }
     }
+
+    #[inline]
+    fn closed_intersection_size(&self, a: VertexId, b: VertexId) -> usize {
+        kernel::closed_intersection_sets(a, b, self.adj(a), self.adj(b))
+    }
+
+    #[inline]
+    fn closed_union_size(&self, a: VertexId, b: VertexId) -> usize {
+        kernel::closed_union_sets(a, b, self.adj(a), self.adj(b))
+    }
 }
 
 impl NeighbourhoodView for FrozenNeighbourhoods {
@@ -243,6 +289,16 @@ impl NeighbourhoodView for FrozenNeighbourhoods {
             return s.contains(u);
         }
         self.set(u).contains(v)
+    }
+
+    #[inline]
+    fn closed_intersection_size(&self, u: VertexId, v: VertexId) -> usize {
+        kernel::closed_intersection_sets(u, v, self.set(u), self.set(v))
+    }
+
+    #[inline]
+    fn closed_union_size(&self, u: VertexId, v: VertexId) -> usize {
+        kernel::closed_union_sets(u, v, self.set(u), self.set(v))
     }
 }
 

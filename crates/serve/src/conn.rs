@@ -310,6 +310,11 @@ fn process_loop(
     conn_queued: &AtomicU64,
 ) {
     let mut writer_dead = false;
+    // Read-your-writes floor: the highest apply epoch this connection
+    // has been (or is about to be) acknowledged at.  Epoch-snapshot
+    // reads must observe at least this epoch; anything older falls back
+    // to the engine lock.
+    let mut acked_floor = 0u64;
     while let Some(job) = rx.recv() {
         if writer_dead {
             // The client stopped reading: release reservations without
@@ -326,8 +331,13 @@ fn process_loop(
             writer_dead = true;
             continue;
         }
-        let body = execute(shared, job.body);
+        let body = execute(shared, job.body, acked_floor);
         release(shared, conn_queued, job.weight);
+        if let ResponseBody::Applied { epoch, .. } | ResponseBody::BatchApplied { epoch, .. } =
+            &body
+        {
+            acked_floor = acked_floor.max(*epoch);
+        }
         let response = Response { id: job.id, body };
         if send(writer, &response).is_err() {
             writer_dead = true;
@@ -348,6 +358,21 @@ fn process_loop(
 
 fn lock_engine(shared: &Shared) -> dynscan_core::sync::MutexGuard<'_, Session> {
     shared.engine.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The published epoch snapshot, if it satisfies read-your-writes for a
+/// connection acknowledged up to `acked_floor` (counts the lock-free
+/// read when it does).
+fn load_epoch(
+    shared: &Shared,
+    acked_floor: u64,
+) -> Option<dynscan_core::sync::Arc<dynscan_core::EpochSnapshot>> {
+    let snapshot = shared.epoch.load()?;
+    if snapshot.updates_applied < acked_floor {
+        return None;
+    }
+    shared.epoch_reads.fetch_add(1, Ordering::SeqCst);
+    Some(snapshot)
 }
 
 /// How often an idle replication stream polls its hub queue (and the
@@ -495,10 +520,20 @@ fn run_subscription(id: u64, from_seq: Option<u64>, writer: &Mutex<TcpStream>, s
     }
 }
 
-/// Perform one operation against the engine.  The returned epoch is the
-/// global applied-update count observed **under the lock**, which is
-/// what makes acknowledgements totally ordered.
-fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
+/// Perform one operation against the engine.  For writes, the returned
+/// epoch is the global applied-update count observed **under the lock**,
+/// which is what makes acknowledgements totally ordered.
+///
+/// Clustering queries (`GroupBy` / `ClusterOf`) take the lock-free path
+/// instead: they answer from the published [`EpochSnapshot`] whenever
+/// `snapshot.updates_applied >= acked_floor` — i.e. the snapshot already
+/// covers every write this connection has been acknowledged for, so
+/// read-your-writes holds.  The floor check cannot fail in practice
+/// (publication happens under the engine lock *before* the write
+/// returns, hence before its acknowledgement, hence before any later
+/// query on the same connection), but the engine-lock fallback is kept
+/// so the invariant is enforced rather than assumed.
+fn execute(shared: &Shared, body: RequestBody, acked_floor: u64) -> ResponseBody {
     match body {
         RequestBody::Apply(update) => {
             let mut engine = lock_engine(shared);
@@ -523,6 +558,13 @@ fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
             }
         }
         RequestBody::GroupBy(vertices) => {
+            if let Some(snapshot) = load_epoch(shared, acked_floor) {
+                return ResponseBody::Groups {
+                    epoch: snapshot.updates_applied,
+                    checkpoint_seq: snapshot.checkpoint_seq,
+                    groups: snapshot.group_by(&vertices),
+                };
+            }
             let mut engine = lock_engine(shared);
             let groups = engine.cluster_group_by(&vertices);
             ResponseBody::Groups {
@@ -532,6 +574,13 @@ fn execute(shared: &Shared, body: RequestBody) -> ResponseBody {
             }
         }
         RequestBody::ClusterOf(v) => {
+            if let Some(snapshot) = load_epoch(shared, acked_floor) {
+                return ResponseBody::Groups {
+                    epoch: snapshot.updates_applied,
+                    checkpoint_seq: snapshot.checkpoint_seq,
+                    groups: snapshot.clusters_of(v),
+                };
+            }
             let mut engine = lock_engine(shared);
             let clustering = engine.clustering();
             let groups = clustering

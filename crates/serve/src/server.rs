@@ -1,12 +1,19 @@
 //! The server: lifecycle (start → accept → drain → final checkpoint →
 //! exit) and the state shared by every connection.
 //!
-//! One engine, many connections: all requests funnel onto a single
+//! One engine, many connections: all *writes* funnel onto a single
 //! [`Session`] behind a mutex, which gives the service its consistency
 //! model — a single global apply order, with every acknowledged update
 //! applied *before* its acknowledgement is written (see the crate docs
 //! for the full contract).  The engine lock is never held across a
 //! socket write, so one stuck client can only stall its own connection.
+//!
+//! Clustering *queries* (`GroupBy` / `ClusterOf`) are answered from the
+//! session's published [`EpochSnapshot`](dynscan_core::EpochSnapshot)
+//! whenever it already covers the connection's acknowledged writes, so
+//! readers never contend on the engine lock while a batch applies — see
+//! `dynscan_core::epoch` for the epoch-atomic, bounded-stale model and
+//! [`conn::execute`](crate::conn) for the read-your-writes floor check.
 //!
 //! Crash safety: on start the server resumes from the checkpoint
 //! directory's chain if one exists ([`DirCheckpointStore::read_chain`] →
@@ -18,9 +25,11 @@
 use crate::conn;
 use crate::drain::{install_sigterm_handler, DrainFlag};
 use crate::publish::{PublishHub, PublishingStore};
-use dynscan_core::sync::atomic::AtomicU64;
+use dynscan_core::sync::atomic::{AtomicU64, Ordering};
 use dynscan_core::sync::{Arc, Mutex};
-use dynscan_core::{Backend, DirCheckpointStore, Params, Session, SessionError, SnapshotInfo};
+use dynscan_core::{
+    Backend, DirCheckpointStore, EpochReadHandle, Params, Session, SessionError, SnapshotInfo,
+};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::thread;
@@ -141,6 +150,14 @@ pub struct DrainReport {
 pub(crate) struct Shared {
     /// The one engine; never lock across a socket write.
     pub(crate) engine: Mutex<Session>,
+    /// Lock-free read handle onto the engine's published label epochs
+    /// (obtained from `Session::enable_epoch_reads` before the engine
+    /// went behind the mutex).  Queries served from it never touch
+    /// [`Shared::engine`].
+    pub(crate) epoch: EpochReadHandle,
+    /// Queries answered from the epoch snapshot instead of the engine
+    /// lock (observability for tests and operators).
+    pub(crate) epoch_reads: AtomicU64,
     /// Updates admitted but not yet applied, across all connections.
     pub(crate) queued: AtomicU64,
     /// Live connections.
@@ -180,12 +197,18 @@ impl Server {
         dynscan_baseline::install();
         install_sigterm_handler();
         let hub = Arc::new(PublishHub::new());
-        let session = build_session(&cfg, &hub)?;
+        let mut session = build_session(&cfg, &hub)?;
+        // Publication must be live before the first connection: every
+        // later mutation republishes under the engine lock, so the
+        // handle's readers are never more than one batch behind.
+        let epoch = session.enable_epoch_reads();
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             engine: Mutex::new(session),
+            epoch,
+            epoch_reads: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             drain: DrainFlag::new(),
@@ -213,6 +236,15 @@ impl Server {
     /// in-band `Drain` request or SIGTERM.
     pub fn drain_flag(&self) -> DrainFlag {
         self.shared.drain.clone()
+    }
+
+    /// Queries answered from the published epoch snapshot (no engine
+    /// lock) since start.  `GroupBy` / `ClusterOf` fall back to the lock
+    /// only when the snapshot does not yet cover the connection's own
+    /// acknowledged writes, so in steady state this counts every
+    /// clustering query.
+    pub fn epoch_reads_served(&self) -> u64 {
+        self.shared.epoch_reads.load(Ordering::SeqCst)
     }
 
     /// Block until the server has drained (flag tripped, connections

@@ -241,6 +241,47 @@ fn drain_takes_final_checkpoint_and_restart_resumes_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn clustering_queries_take_the_lock_free_epoch_path() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.params = two_cliques_params().with_exact_labels().with_seed(11);
+    let server = Server::start(cfg).expect("server starts");
+    let mut client = Client::connect_with(server.local_addr(), quick_policy(8)).expect("connect");
+    for update in fixture_inserts() {
+        client.apply(update).expect("apply");
+    }
+    assert_eq!(server.epoch_reads_served(), 0, "writes never count");
+    // Interleave queries with further writes: every clustering query is
+    // answered from the published epoch snapshot (the engine-lock
+    // fallback would leave the counter behind), and each reply's epoch
+    // still satisfies the client's read-your-writes floor — the client
+    // errors out internally if it does not.
+    let mut queries = 0u64;
+    for i in 0..10u32 {
+        let groups = client
+            .group_by(&[VertexId(0), VertexId(6)])
+            .expect("group-by observes acked writes");
+        assert_eq!(groups.len(), 2, "the two cliques stay distinct clusters");
+        queries += 1;
+        let of = client.cluster_of(VertexId(3)).expect("cluster-of");
+        assert!(
+            of.groups.iter().flatten().any(|&v| v == VertexId(3)),
+            "cluster-of(3) contains 3"
+        );
+        queries += 1;
+        client
+            .apply(GraphUpdate::Insert(VertexId(100 + i), VertexId(101 + i)))
+            .expect("interleaved write");
+    }
+    assert_eq!(
+        server.epoch_reads_served(),
+        queries,
+        "every clustering query was served without the engine lock"
+    );
+    server.drain_flag().trip();
+    server.wait();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -56,22 +56,26 @@ pub fn intersection_fraction_estimate<G: NeighbourhoodView, R: Rng + ?Sized>(
     assert!(samples > 0, "at least one sample is required");
     let nu = graph.closed_degree(u);
     let nv = graph.closed_degree(v);
+    // Branchless positional-sample loop: the side pick indexes an endpoint
+    // table instead of branching, and the indicator accumulates as an
+    // integer — the only data-dependent branch left per sample is inside
+    // the RNG.  The draw sequence is unchanged from the branching form
+    // (one `gen_range(0..nu + nv)` side pick, then one positional
+    // closed-neighbourhood draw), so bit-streams — and therefore every
+    // label the strategy derives — stay byte-identical.
+    let endpoints = [(u, v), (v, u)];
     let mut hits = 0usize;
     for _ in 0..samples {
         // Pick the side with an integer draw over |N[u]| + |N[v]| slots:
         // exact probability |N[u]| / (|N[u]| + |N[v]|) with no float
         // rounding, and one fewer unit-interval conversion per sample.
-        let (from, other) = if rng.gen_range(0..nu + nv) < nu {
-            (u, v)
-        } else {
-            (v, u)
-        };
+        let pick = usize::from(rng.gen_range(0..nu + nv) >= nu);
+        let (from, other) = endpoints[pick];
         // `w ∈ N[from]` holds by construction, so only the other side's
-        // closed neighbourhood needs to be probed.
+        // closed neighbourhood needs to be probed — a single bit test
+        // when the other side is a hub under the adaptive kernel.
         let w = graph.sample_closed_neighbourhood(from, rng);
-        if graph.in_closed_neighbourhood(w, other) {
-            hits += 1;
-        }
+        hits += usize::from(graph.in_closed_neighbourhood(w, other));
     }
     hits as f64 / samples as f64
 }

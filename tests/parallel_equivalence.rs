@@ -194,6 +194,124 @@ fn forced_sharding_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The adaptive intersection kernel is as semantically inert as the
+/// thread count: the same batch sequence replayed under
+/// `KernelMode::Scalar` and `KernelMode::Adaptive` produces identical
+/// flip sets, identical checkpoint bytes, and identical group-by
+/// answers at every thread count — for all backends, exact and sampled
+/// (the sampled run pins the kernel's bit-stream discipline, not just
+/// its counts).  The kernel mode is process-global, so both runs live
+/// in this one test fn; interference the other way is impossible
+/// because the mode never changes any observable (which is exactly
+/// what this test proves).
+#[test]
+fn kernel_modes_are_byte_identical_end_to_end() {
+    use dynscan_graph::kernel::{self, KernelMode};
+
+    // A hub-heavy stream so the adaptive run actually crosses the
+    // summary build threshold (hub degree well past it) and exercises
+    // the popcount / bit-probe / gallop paths, not just merge.
+    let mut batches: Vec<Vec<GraphUpdate>> = Vec::new();
+    let mut batch = Vec::new();
+    for h in 0..3u32 {
+        for t in 0..120u32 {
+            if h != t && (t + h) % 4 != 0 {
+                batch.push(GraphUpdate::Insert(v(h), v(t)));
+                if batch.len() == 50 {
+                    batches.push(std::mem::take(&mut batch));
+                }
+            }
+        }
+    }
+    for i in 0..120u32 {
+        let a = (i * 13 + 1) % 120;
+        if i != a {
+            batch.push(GraphUpdate::Insert(v(i), v(a)));
+        }
+        if i % 5 == 0 && i > 0 {
+            batch.push(GraphUpdate::Delete(v(0), v(i)));
+        }
+        if batch.len() >= 50 {
+            batches.push(std::mem::take(&mut batch));
+        }
+    }
+    batches.push(batch);
+    let query: Vec<VertexId> = (0..120).map(v).collect();
+
+    let before = kernel::mode();
+    let mut runs = Vec::new();
+    for mode in [KernelMode::Scalar, KernelMode::Adaptive] {
+        kernel::set_mode(mode);
+        for backend in Backend::all() {
+            for params in [exact_params(), sampled_params()] {
+                for threads in THREAD_COUNTS {
+                    let mut engine = build(backend, params);
+                    engine.set_threads(threads);
+                    let flips = engine.apply_batches(&batches);
+                    runs.push((
+                        backend,
+                        params.rho.to_bits(),
+                        threads,
+                        flips,
+                        engine.checkpoint_bytes(),
+                        engine.cluster_group_by(&query),
+                    ));
+                }
+            }
+        }
+    }
+    kernel::set_mode(before);
+    let (scalar, adaptive) = runs.split_at(runs.len() / 2);
+    assert_eq!(
+        scalar, adaptive,
+        "kernel mode changed an observable (flips, checkpoint bytes, or group-by)"
+    );
+}
+
+/// Snapshot-epoch reads are observationally identical to locked
+/// queries: after every batch, at every thread count, the published
+/// [`EpochSnapshot`](dynscan_core::EpochSnapshot) answers group-by
+/// exactly like `Session::cluster_group_by` under the engine lock, and
+/// its counters match the session's own.
+#[test]
+fn epoch_reads_match_locked_queries_at_all_thread_counts() {
+    dynscan_baseline::install();
+    let updates: Vec<GraphUpdate> = (0..90u32)
+        .flat_map(|i| {
+            let a = i % 18;
+            let b = (i * 7 + 3) % 18;
+            (a != b).then_some(GraphUpdate::Insert(v(a), v(b)))
+        })
+        .chain((0..12u32).map(|i| GraphUpdate::Delete(v(i % 18), v((i * 7 + 3) % 18))))
+        .collect();
+    let query: Vec<VertexId> = (0..18).map(v).collect();
+    for backend in Backend::all() {
+        for threads in THREAD_COUNTS {
+            let mut session = Session::builder()
+                .backend(backend)
+                .params(sampled_params())
+                .threads(threads)
+                .build()
+                .unwrap();
+            let handle = session.enable_epoch_reads();
+            for chunk in updates.chunks(17) {
+                session.apply_batch(chunk);
+                let locked = session.cluster_group_by(&query);
+                let snapshot = handle.load().expect("published on every mutation");
+                assert_eq!(
+                    locked,
+                    snapshot.group_by(&query),
+                    "{backend} at {threads} threads: epoch group-by diverged"
+                );
+                assert_eq!(snapshot.updates_applied, session.updates_applied());
+                assert_eq!(snapshot.label_epoch, session.label_epoch());
+                assert_eq!(snapshot.num_vertices, session.num_vertices() as u64);
+                assert_eq!(snapshot.num_edges, session.num_edges() as u64);
+            }
+        }
+    }
+}
+
 /// Streaming through a threaded session (auto-batched pushes) matches
 /// the unthreaded session for every buffer size — the `threads(n)`
 /// builder knob composes with the existing read-your-writes semantics.
