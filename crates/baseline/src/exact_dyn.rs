@@ -364,6 +364,10 @@ impl Clusterer for ExactDynScan {
         <ExactDynScan as Snapshot>::ALGO_TAG
     }
 
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.graph.set_memory_budget(bytes);
+    }
+
     /// Group-by from the always-exact maintained counts: extract the
     /// clustering (O(n + m)) and group `q` by membership.
     fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
@@ -372,6 +376,10 @@ impl Clusterer for ExactDynScan {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        Snapshot::checkpoint_v2_bytes(self)
     }
 
     fn capture_checkpoint(

@@ -232,6 +232,10 @@ impl Clusterer for IndexedDynScan {
         <IndexedDynScan as Snapshot>::ALGO_TAG
     }
 
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.inner.graph.set_memory_budget(bytes);
+    }
+
     /// Group-by at the default (ε, μ) from the exact similarity index.
     fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
         group_by_from_clustering(&self.current_clustering(), q)
@@ -239,6 +243,10 @@ impl Clusterer for IndexedDynScan {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        Snapshot::checkpoint_v2_bytes(self)
     }
 
     fn capture_checkpoint(

@@ -16,7 +16,10 @@ use dynscan_core::snapshot::{
     check_delta_applicable, finish_delta_capture, finish_full_capture, CheckpointCapture,
 };
 use dynscan_core::Snapshot;
-use dynscan_graph::snapshot::{read_document_meta, split_document, write_document, SnapshotKind};
+use dynscan_graph::snapshot::{
+    read_document_meta, split_document, write_document, write_document_meta_v2, write_document_v2,
+    DocumentMeta, SnapshotKind,
+};
 use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError, VertexId};
 use dynscan_sim::{EdgeLabel, SimilarityMeasure};
 use std::collections::{BTreeSet, HashMap};
@@ -53,10 +56,23 @@ fn write_exact_payload(algo: &ExactDynScan, w: &mut SnapWriter) {
             .collect();
         edges.sort_unstable_by_key(|&(k, _, _)| k);
         s.len_prefix(edges.len());
-        for (key, a, label) in edges {
-            s.edge(key);
-            s.u32(a);
-            s.bool(label.is_similar());
+        let mut prev: Option<EdgeKey> = None;
+        if s.compact() {
+            // v3 layout: delta-encoded sorted keys with varint counts,
+            // then the similarity flags bit-packed at the end — the
+            // per-edge label costs ~1 bit instead of a byte.
+            for &(key, a, _) in &edges {
+                s.edge_key_seq(&mut prev, key);
+                s.u32(a);
+            }
+            s.packed_bools(edges.iter().map(|&(_, _, l)| l.is_similar()));
+        } else {
+            // v2 layout: interleaved (edge, count, bool) triples.
+            for (key, a, label) in edges {
+                s.edge_key_seq(&mut prev, key);
+                s.u32(a);
+                s.bool(label.is_similar());
+            }
         }
     });
 }
@@ -82,12 +98,28 @@ fn read_exact_payload(r: &mut SnapReader<'_>) -> Result<ExactDynScan, SnapshotEr
 
     let mut s = r.section(section::EDGES)?;
     let count = s.len_prefix()?;
+    let mut entries: Vec<(EdgeKey, u32, bool)> = Vec::with_capacity(count);
+    let mut prev: Option<EdgeKey> = None;
+    if s.compact() {
+        let mut keyed: Vec<(EdgeKey, u32)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = s.edge_key_seq(&mut prev)?;
+            let a = s.u32()?;
+            keyed.push((key, a));
+        }
+        let flags = s.packed_bools(count)?;
+        entries.extend(keyed.into_iter().zip(flags).map(|((k, a), f)| (k, a, f)));
+    } else {
+        for _ in 0..count {
+            let key = s.edge_key_seq(&mut prev)?;
+            let a = s.u32()?;
+            entries.push((key, a, s.bool()?));
+        }
+    }
     let mut intersections: HashMap<EdgeKey, u32> = HashMap::with_capacity(count);
     let mut labels: HashMap<EdgeKey, EdgeLabel> = HashMap::with_capacity(count);
-    for _ in 0..count {
-        let key = s.edge()?;
-        let a = s.u32()?;
-        let label = if s.bool()? {
+    for (key, a, similar) in entries {
+        let label = if similar {
             EdgeLabel::Similar
         } else {
             EdgeLabel::Dissimilar
@@ -176,8 +208,9 @@ fn write_exact_delta_payload(
     });
     w.section(section::DELTA_EDGES, |s| {
         s.len_prefix(edges.len());
+        let mut prev: Option<EdgeKey> = None;
         for &key in edges {
-            s.edge(key);
+            s.edge_key_seq(&mut prev, key);
             let present = algo.intersections.contains_key(&key);
             s.bool(present);
             if present {
@@ -190,8 +223,12 @@ fn write_exact_delta_payload(
 
 /// Apply a verified delta payload to `algo`, then re-run the full
 /// decode's cross-checks on the merged state.
-fn apply_exact_delta_payload(algo: &mut ExactDynScan, payload: &[u8]) -> Result<(), SnapshotError> {
-    let mut r = SnapReader::new(payload);
+fn apply_exact_delta_payload(
+    algo: &mut ExactDynScan,
+    format_version: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    let mut r = SnapReader::for_version(format_version, payload);
     let mut s = r.section(section::DELTA_STATS)?;
     let updates = s.u64()?;
     let probes = s.u64()?;
@@ -202,9 +239,10 @@ fn apply_exact_delta_payload(algo: &mut ExactDynScan, payload: &[u8]) -> Result<
 
     let mut s = r.section(section::DELTA_EDGES)?;
     let count = s.len_prefix()?;
+    let mut prev: Option<EdgeKey> = None;
     let mut last: Option<EdgeKey> = None;
     for _ in 0..count {
-        let key = s.edge()?;
+        let key = s.edge_key_seq(&mut prev)?;
         if last.is_some_and(|p| p >= key) {
             return Err(SnapshotError::Corrupt("dirty edges not sorted"));
         }
@@ -250,6 +288,39 @@ fn apply_exact_delta_payload(algo: &mut ExactDynScan, payload: &[u8]) -> Result<
 }
 
 impl ExactDynScan {
+    /// The pending delta as a legacy v2 document — **non-consuming**
+    /// (dirty marks and chain position untouched), so the codec bench
+    /// can size the same churn under both formats before the real v3
+    /// `capture` consumes it.  `None` when no delta is capturable.
+    pub fn delta_v2_bytes(&self, wall_time_millis: u64) -> Option<Vec<u8>> {
+        self.delta_v2_bytes_as(<ExactDynScan as Snapshot>::ALGO_TAG, wall_time_millis)
+    }
+
+    pub(crate) fn delta_v2_bytes_as(
+        &self,
+        algo_tag: u32,
+        wall_time_millis: u64,
+    ) -> Option<Vec<u8>> {
+        if !self.dirty.can_delta() {
+            return None;
+        }
+        let chain = self.dirty.chain().expect("can_delta implies a chain");
+        let vertices = self.dirty.vertices_sorted();
+        let edges = self.dirty.edges_sorted();
+        let mut w = SnapWriter::fixed();
+        write_exact_delta_payload(self, &vertices, &edges, &mut w);
+        let meta = DocumentMeta {
+            kind: SnapshotKind::Delta,
+            sequence: chain.sequence + 1,
+            base_checksum: chain.checksum,
+            wall_time_millis,
+        };
+        let mut buf = Vec::new();
+        write_document_meta_v2(&mut buf, algo_tag, &meta, &w.into_bytes())
+            .expect("writing to a Vec cannot fail");
+        Some(buf)
+    }
+
     /// Try to capture a delta under the given algorithm tag (the indexed
     /// baseline reuses the inner delta encoding under its own tag);
     /// `None` when no chain base exists yet.
@@ -280,7 +351,7 @@ impl ExactDynScan {
     ) -> Result<(), SnapshotError> {
         let (header, payload) = split_document(bytes, algo_tag)?;
         check_delta_applicable(&self.dirty, &header)?;
-        if let Err(e) = apply_exact_delta_payload(self, payload) {
+        if let Err(e) = apply_exact_delta_payload(self, header.format_version, payload) {
             self.dirty.mark_all();
             return Err(e);
         }
@@ -298,12 +369,21 @@ impl Snapshot for ExactDynScan {
         write_document(w, Self::ALGO_TAG, &payload.into_bytes())
     }
 
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        let mut payload = SnapWriter::fixed();
+        write_exact_payload(self, &mut payload);
+        let mut buf = Vec::new();
+        write_document_v2(&mut buf, Self::ALGO_TAG, &payload.into_bytes())
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
         let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
         if header.kind != SnapshotKind::Full {
             return Err(SnapshotError::UnexpectedDelta);
         }
-        let mut reader = SnapReader::new(&payload);
+        let mut reader = SnapReader::for_version(header.format_version, &payload);
         let mut algo = read_exact_payload(&mut reader)?;
         reader.finish()?;
         algo.dirty.note_restored(header.checksum, header.sequence);
@@ -367,12 +447,25 @@ impl Snapshot for IndexedDynScan {
         write_document(w, Self::ALGO_TAG, &payload.into_bytes())
     }
 
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        let mut payload = SnapWriter::fixed();
+        write_exact_payload(&self.inner, &mut payload);
+        payload.section(section::INDEX, |s| {
+            s.f64(self.default_eps);
+            s.u64(self.default_mu as u64);
+        });
+        let mut buf = Vec::new();
+        write_document_v2(&mut buf, Self::ALGO_TAG, &payload.into_bytes())
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
         let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
         if header.kind != SnapshotKind::Full {
             return Err(SnapshotError::UnexpectedDelta);
         }
-        let mut reader = SnapReader::new(&payload);
+        let mut reader = SnapReader::for_version(header.format_version, &payload);
         let mut inner = read_exact_payload(&mut reader)?;
         let mut s = reader.section(section::INDEX)?;
         let default_eps = s.f64()?;

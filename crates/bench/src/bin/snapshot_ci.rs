@@ -285,9 +285,21 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
             );
             Ok(())
         }
-        "check" => {
+        // `check` gates the current-format fixture; `check-v3` is the
+        // explicit spelling CI uses (they are the same gate while the
+        // current format is v3).
+        "check" | "check-v3" => {
             let committed =
                 std::fs::read(path).map_err(|e| format!("read fixture {}: {e}", path.display()))?;
+            let header = dynscan_graph::snapshot::peek_header(&committed)
+                .map_err(|e| format!("peek v3 fixture: {e}"))?;
+            if header.format_version != dynscan_graph::snapshot::FORMAT_VERSION {
+                return Err(format!(
+                    "expected a format-v{} fixture, found version {}",
+                    dynscan_graph::snapshot::FORMAT_VERSION,
+                    header.format_version
+                ));
+            }
             let restored = restore_any(&committed[..])
                 .map_err(|e| format!("committed fixture no longer restores: {e}"))?;
             if restored.checkpoint_bytes() != committed {
@@ -309,6 +321,44 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
                 "snapshot_ci: golden fixture matches ({} bytes, restored as {})",
                 bytes.len(),
                 restored.algorithm_name()
+            );
+            Ok(())
+        }
+        "check-v2" => {
+            // Backward compatibility for the previous format: the v2
+            // fixture (never regenerated — `golden write` emits v3 now)
+            // must keep restoring, to exactly the canonical state (its
+            // v3 re-encode equals `golden write`'s output byte for
+            // byte), and it must remain a fixed point of the legacy
+            // writer: checkpoint_v2_bytes ∘ restore is the identity on
+            // it, so the compat writer cannot drift either.
+            let committed =
+                std::fs::read(path).map_err(|e| format!("read fixture {}: {e}", path.display()))?;
+            let header = dynscan_graph::snapshot::peek_header(&committed)
+                .map_err(|e| format!("peek v2 fixture: {e}"))?;
+            if header.format_version != dynscan_graph::snapshot::FORMAT_VERSION_V2 {
+                return Err(format!(
+                    "expected a format-v2 fixture, found version {}",
+                    header.format_version
+                ));
+            }
+            let restored = restore_any(&committed[..])
+                .map_err(|e| format!("legacy v2 fixture no longer restores: {e}"))?;
+            if restored.checkpoint_bytes() != bytes {
+                return Err(
+                    "v2 fixture re-encodes to different bytes than the canonical v3                      instance"
+                        .into(),
+                );
+            }
+            if restored.checkpoint_v2_bytes() != committed {
+                return Err(
+                    "v2 fixture is not a fixed point of checkpoint_v2_bytes∘restore".into(),
+                );
+            }
+            eprintln!(
+                "snapshot_ci: legacy v2 fixture ({} bytes) still restores to the canonical                  state under format v{}",
+                committed.len(),
+                dynscan_graph::snapshot::FORMAT_VERSION
             );
             Ok(())
         }
@@ -343,7 +393,7 @@ fn golden(action: &str, path: &Path) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown golden action `{other}` (use write|check|check-v1)"
+            "unknown golden action `{other}` (use write|check|check-v3|check-v2|check-v1)"
         )),
     }
 }
@@ -355,7 +405,7 @@ fn main() -> ExitCode {
         [cmd, dir] if cmd == "resume" => phase_resume(Path::new(dir)),
         [cmd, action, path] if cmd == "golden" => golden(action, Path::new(path)),
         _ => Err("usage: snapshot_ci checkpoint <dir> | resume <dir> | \
-             golden write|check|check-v1 <path>"
+             golden write|check|check-v3|check-v2|check-v1 <path>"
             .into()),
     };
     match result {

@@ -10,8 +10,8 @@
 //! pure function of the epoch and byte identity is checkable at any
 //! prefix.
 
-use dynscan_core::{Backend, GraphUpdate, Params, Session, VertexId};
-use dynscan_graph::snapshot::fnv1a;
+use dynscan_core::{Backend, DirCheckpointStore, GraphUpdate, Params, Session, VertexId};
+use dynscan_graph::snapshot::{fnv1a, peek_header, FORMAT_VERSION};
 use dynscan_replica::{ReplicaConfig, ReplicaServer, ReplicaSource, RoutedClient};
 use dynscan_serve::{Client, RetryPolicy, ServeConfig, Server};
 use std::fmt::Write as _;
@@ -88,6 +88,19 @@ pub struct ReplicaBenchRow {
     /// Milliseconds for a SIGKILLed replica to catch back up
     /// (`None` when no binary path was configured or `replicas == 0`).
     pub catchup_ms: Option<u64>,
+    /// Checkpoint documents the primary shipped (the tailed chain).
+    pub shipped_docs: u64,
+    /// Total bytes of those documents — exactly what each tailing
+    /// replica ingests over the row's lifetime.
+    pub shipped_bytes: u64,
+}
+
+impl ReplicaBenchRow {
+    /// Average shipped document size — the per-checkpoint replication
+    /// cost the v3 codec shrinks.
+    pub fn shipped_bytes_per_checkpoint(&self) -> f64 {
+        self.shipped_bytes as f64 / (self.shipped_docs as f64).max(1.0)
+    }
 }
 
 fn params() -> Params {
@@ -313,6 +326,25 @@ fn run_cell(config: &ReplicaBenchConfig, replicas: usize) -> ReplicaBenchRow {
         gate_byte_identity(addr, primary_seq, &format!("replica {i} post-burst"));
     }
 
+    // Shipped-volume accounting: a tailing replica ingests exactly the
+    // primary's on-disk chain, so the directory *is* the wire.  Every
+    // document must be a current-format (v3) snapshot, shipped
+    // unchanged — replication never re-encodes.
+    let store = DirCheckpointStore::new(&dir);
+    let mut shipped_docs = 0u64;
+    let mut shipped_bytes = 0u64;
+    for (seq, _, path) in store.list().expect("list the shipped chain") {
+        let bytes = std::fs::read(&path).expect("read shipped document");
+        let header = peek_header(&bytes).expect("shipped document parses");
+        assert_eq!(
+            header.format_version, FORMAT_VERSION,
+            "shipped checkpoint {seq} is not a v3 document"
+        );
+        shipped_docs += 1;
+        shipped_bytes += bytes.len() as u64;
+    }
+    assert!(shipped_docs > 0, "the cadence must have shipped documents");
+
     let catchup_ms = match (&config.replicad_bin, replicas) {
         (Some(bin), n) if n > 0 => Some(measure_catchup(
             bin,
@@ -341,6 +373,8 @@ fn run_cell(config: &ReplicaBenchConfig, replicas: usize) -> ReplicaBenchRow {
         replica_reads,
         max_lag_checkpoints,
         catchup_ms,
+        shipped_docs,
+        shipped_bytes,
     }
 }
 
@@ -378,7 +412,9 @@ pub fn replica_rows_to_json(config: &ReplicaBenchConfig, rows: &[ReplicaBenchRow
             out,
             "    {{\"replicas\": {}, \"reads\": {}, \"secs\": {:.6}, \
              \"reads_per_sec\": {:.1}, \"replica_reads\": {}, \
-             \"max_lag_checkpoints\": {}, \"catchup_ms\": {}}}",
+             \"max_lag_checkpoints\": {}, \"catchup_ms\": {}, \
+             \"shipped_docs\": {}, \"shipped_bytes\": {}, \
+             \"shipped_bytes_per_checkpoint\": {:.1}}}",
             row.replicas,
             row.reads,
             row.secs,
@@ -386,6 +422,9 @@ pub fn replica_rows_to_json(config: &ReplicaBenchConfig, rows: &[ReplicaBenchRow
             row.replica_reads,
             row.max_lag_checkpoints,
             catchup,
+            row.shipped_docs,
+            row.shipped_bytes,
+            row.shipped_bytes_per_checkpoint(),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -398,19 +437,28 @@ pub fn replica_rows_to_table(rows: &[ReplicaBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8} {:>8} {:>12} {:>14} {:>10} {:>11}",
-        "replicas", "reads", "reads/s", "replica_reads", "lag(ckpt)", "catchup_ms"
+        "{:>8} {:>8} {:>12} {:>14} {:>10} {:>11} {:>9} {:>11}",
+        "replicas",
+        "reads",
+        "reads/s",
+        "replica_reads",
+        "lag(ckpt)",
+        "catchup_ms",
+        "ship_docs",
+        "ship_B/ckpt"
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{:>8} {:>8} {:>12.0} {:>14} {:>10} {:>11}",
+            "{:>8} {:>8} {:>12.0} {:>14} {:>10} {:>11} {:>9} {:>11.0}",
             row.replicas,
             row.reads,
             row.reads_per_sec,
             row.replica_reads,
             row.max_lag_checkpoints,
             row.catchup_ms.map_or("-".to_string(), |ms| ms.to_string()),
+            row.shipped_docs,
+            row.shipped_bytes_per_checkpoint(),
         );
     }
     out
@@ -433,10 +481,16 @@ mod tests {
                 assert_eq!(row.replica_reads, 0, "no replicas, no replica reads");
             }
             assert!(row.catchup_ms.is_none(), "no binary path configured");
+            assert!(
+                row.shipped_docs > 0 && row.shipped_bytes > 0,
+                "shipped-volume accounting must see the chain"
+            );
+            assert!(row.shipped_bytes_per_checkpoint() > 0.0);
         }
         let json = replica_rows_to_json(&config, &rows);
         assert!(json.contains("\"benchmark\": \"replica_scaling\""));
         assert!(json.contains("\"catchup_ms\": null"));
+        assert!(json.contains("\"shipped_bytes_per_checkpoint\""));
         assert!(json.trim_end().ends_with('}'));
         assert!(replica_rows_to_table(&rows).contains("replicas"));
     }

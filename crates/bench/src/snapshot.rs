@@ -20,7 +20,7 @@
 //! asserts the ≥ 5× restore-vs-rebuild bar for the DynStrClu rows.
 
 use dynscan_baseline::ExactDynScan;
-use dynscan_core::{BatchUpdate, DynElm, DynStrClu, Params, Snapshot};
+use dynscan_core::{BatchUpdate, Clusterer, DynElm, DynStrClu, Params, Snapshot};
 use dynscan_graph::{GraphUpdate, VertexId};
 use dynscan_workload::{chung_lu_power_law, BurstyStream, BurstyStreamConfig};
 use std::fmt::Write as _;
@@ -437,12 +437,333 @@ pub fn run_checkpoint_vs_rebuild(config: &CheckpointBenchConfig) -> Vec<Checkpoi
     ]
 }
 
+/// One v2-vs-v3 codec comparison row: the identical state sized and
+/// timed under both wire formats, full and delta.
+#[derive(Clone, Debug)]
+pub struct CodecBenchRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Labelling mode.
+    pub mode: &'static str,
+    /// Edges in the graph at the measurement point.
+    pub edges: usize,
+    /// Full document size under the legacy v2 writer.
+    pub v2_full_bytes: usize,
+    /// Full document size under the current v3 writer.
+    pub v3_full_bytes: usize,
+    /// `v2_full_bytes / v3_full_bytes` — the compression the codec
+    /// migration bought (gated ≥ 3× on the headline row).
+    pub full_size_ratio: f64,
+    /// Wall-clock seconds to encode the full v2 document.
+    pub v2_encode_secs: f64,
+    /// Wall-clock seconds to encode the full v3 document.
+    pub v3_encode_secs: f64,
+    /// Wall-clock seconds to decode (restore from) the v2 document.
+    pub v2_decode_secs: f64,
+    /// Wall-clock seconds to decode (restore from) the v3 document.
+    pub v3_decode_secs: f64,
+    /// Delta document size under the legacy v2 writer (same churn).
+    pub v2_delta_bytes: usize,
+    /// Delta document size under the current v3 writer.
+    pub v3_delta_bytes: usize,
+    /// `v2_delta_bytes / v3_delta_bytes`.
+    pub delta_size_ratio: f64,
+    /// Whether the v2 document restores and re-encodes to exactly the
+    /// v3 document (cross-version semantic identity), and the v3
+    /// document is a fixed point of checkpoint∘restore.
+    pub reencode_identical: bool,
+}
+
+/// Measure the v2-vs-v3 codec comparison for one algorithm: build to
+/// the warmup boundary, size/time the identical state under both full
+/// writers, verify cross-version identity, then one bursty batch of
+/// churn sized under both delta writers.
+fn compare_codec<A, F, D>(
+    config: &CheckpointBenchConfig,
+    algorithm: &'static str,
+    mode: &'static str,
+    make: F,
+    delta_v2: D,
+) -> CodecBenchRow
+where
+    A: BatchUpdate + Snapshot,
+    F: Fn() -> A,
+    D: Fn(&A, u64) -> Option<Vec<u8>>,
+{
+    let (initial, warmup, continuation) = make_workload(config);
+    let mut live = make();
+    for chunk in initial
+        .iter()
+        .map(|&(u, v)| GraphUpdate::Insert(u, v))
+        .collect::<Vec<_>>()
+        .chunks(1024)
+    {
+        live.apply_batch(chunk);
+    }
+    for batch in &warmup {
+        live.apply_batch(batch);
+    }
+    let edges = live.num_edges();
+
+    // Full documents of the identical state, both writers, timed.
+    let mut v3_encode_runs = Vec::new();
+    let mut v3_doc = Vec::new();
+    for _ in 0..3 {
+        let (secs, b) = time(|| Snapshot::checkpoint_bytes(&live));
+        v3_encode_runs.push(secs);
+        v3_doc = b;
+    }
+    let mut v2_encode_runs = Vec::new();
+    let mut v2_doc = Vec::new();
+    for _ in 0..3 {
+        let (secs, b) = time(|| live.checkpoint_v2_bytes());
+        v2_encode_runs.push(secs);
+        v2_doc = b;
+    }
+    let mut v3_decode_runs = Vec::new();
+    let mut v2_decode_runs = Vec::new();
+    let mut reencode_identical = true;
+    for _ in 0..3 {
+        let (secs, restored) = time(|| A::restore(&v3_doc[..]).expect("v3 document restores"));
+        v3_decode_runs.push(secs);
+        reencode_identical &= Snapshot::checkpoint_bytes(&restored) == v3_doc;
+        let (secs, restored) = time(|| A::restore(&v2_doc[..]).expect("v2 document restores"));
+        v2_decode_runs.push(secs);
+        reencode_identical &= Snapshot::checkpoint_bytes(&restored) == v3_doc;
+    }
+
+    // Delta documents of the identical churn, both writers.  The base
+    // capture starts the chain; `delta_v2` is non-consuming, so the v3
+    // capture afterwards describes the same dirty set.
+    live.capture(false, 0);
+    live.apply_batch(&continuation[0]);
+    let v2_delta = delta_v2(&live, 0).expect("churn produces a capturable delta");
+    let v3_delta_capture = live.capture(true, 0);
+    assert_eq!(
+        v3_delta_capture.kind(),
+        dynscan_graph::SnapshotKind::Delta,
+        "{algorithm} ({mode}): churn capture must be differential"
+    );
+    let v3_delta = v3_delta_capture.to_bytes();
+
+    CodecBenchRow {
+        algorithm,
+        mode,
+        edges,
+        v2_full_bytes: v2_doc.len(),
+        v3_full_bytes: v3_doc.len(),
+        full_size_ratio: v2_doc.len() as f64 / v3_doc.len().max(1) as f64,
+        v2_encode_secs: median_secs(v2_encode_runs),
+        v3_encode_secs: median_secs(v3_encode_runs),
+        v2_decode_secs: median_secs(v2_decode_runs),
+        v3_decode_secs: median_secs(v3_decode_runs),
+        v2_delta_bytes: v2_delta.len(),
+        v3_delta_bytes: v3_delta.len(),
+        delta_size_ratio: v2_delta.len() as f64 / v3_delta.len().max(1) as f64,
+        reencode_identical,
+    }
+}
+
+/// Run the v2-vs-v3 codec comparison for all four backends.
+pub fn run_codec_comparison(config: &CheckpointBenchConfig) -> Vec<CodecBenchRow> {
+    vec![
+        // Headline: DynStrClu in sampled mode — the ≥ 3× full and delta
+        // compression gates apply to this row.
+        compare_codec(
+            config,
+            "DynStrClu",
+            "sampled",
+            || DynStrClu::new(sampled_params(config.seed)),
+            |a, t| a.delta_v2_bytes(t),
+        ),
+        compare_codec(
+            config,
+            "DynStrClu",
+            "exact-rho0",
+            || DynStrClu::new(exact_params(config.seed)),
+            |a, t| a.delta_v2_bytes(t),
+        ),
+        compare_codec(
+            config,
+            "DynELM",
+            "sampled",
+            || DynElm::new(sampled_params(config.seed)),
+            |a, t| a.delta_v2_bytes(t),
+        ),
+        compare_codec(
+            config,
+            "pSCAN-like",
+            "exact",
+            || ExactDynScan::jaccard(0.3, 4),
+            |a, t| a.delta_v2_bytes(t),
+        ),
+    ]
+}
+
+/// Human-readable table of the codec rows.
+pub fn codec_rows_to_table(rows: &[CodecBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:<10} {:>7} {:>9} {:>9} {:>6} {:>9} {:>9} {:>6} {:>8} {:>8} {:>9}",
+        "algorithm",
+        "mode",
+        "edges",
+        "v2 KiB",
+        "v3 KiB",
+        "size x",
+        "v2enc ms",
+        "v3enc ms",
+        "dec x",
+        "v2d B",
+        "v3d B",
+        "identical"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:<10} {:>7} {:>9.1} {:>9.1} {:>5.1}x {:>9.2} {:>9.2} {:>5.1}x {:>8} {:>8} {:>9}",
+            row.algorithm,
+            row.mode,
+            row.edges,
+            row.v2_full_bytes as f64 / 1024.0,
+            row.v3_full_bytes as f64 / 1024.0,
+            row.full_size_ratio,
+            row.v2_encode_secs * 1e3,
+            row.v3_encode_secs * 1e3,
+            row.v2_decode_secs / row.v3_decode_secs.max(f64::EPSILON),
+            row.v2_delta_bytes,
+            row.v3_delta_bytes,
+            row.reencode_identical,
+        );
+    }
+    out
+}
+
+/// One tiered-memory measurement: the same workload replayed at one
+/// hot-tier budget setting.
+#[derive(Clone, Debug)]
+pub struct TieredMemoryRow {
+    /// The budget label: `"none"`, `"ample"` or `"tiny"`.
+    pub label: &'static str,
+    /// The configured hot-tier budget in bytes (0 = unbudgeted).
+    pub budget_bytes: usize,
+    /// Wall-clock seconds to replay the full workload.
+    pub replay_secs: f64,
+    /// Hot-tier resident bytes at the end of the replay.
+    pub resident_hot_bytes: usize,
+    /// Cold-arena bytes at the end of the replay.
+    pub cold_bytes: usize,
+    /// Kernel bitset-summary bytes (reported separately per the
+    /// memory-footprint fix).
+    pub summary_bytes: usize,
+    /// Tier promotions over the replay.
+    pub promotions: u64,
+    /// Tier demotions over the replay.
+    pub demotions: u64,
+    /// Whether this run's final checkpoint equals the unbudgeted run's.
+    pub bytes_identical: bool,
+}
+
+/// Replay the bench workload on DynStrClu (sampled) at three budget
+/// settings — unbudgeted, ample (never demotes) and tiny (heavily
+/// cold) — and report residency, tier traffic and byte-identity.  The
+/// bench binary gates: tiny stays under its budget with real cold
+/// state, ample never demotes and stays within noise of unbudgeted
+/// (the hot-path regression gate), and all three end byte-identical.
+pub fn run_tiered_memory(config: &CheckpointBenchConfig) -> Vec<TieredMemoryRow> {
+    const TINY_BUDGET: usize = 64 * 1024;
+    let (initial, warmup, _) = make_workload(config);
+    let initial_inserts: Vec<GraphUpdate> = initial
+        .iter()
+        .map(|&(u, v)| GraphUpdate::Insert(u, v))
+        .collect();
+    let settings: [(&'static str, Option<usize>); 3] = [
+        ("none", None),
+        ("ample", Some(usize::MAX / 2)),
+        ("tiny", Some(TINY_BUDGET)),
+    ];
+    let mut reference_bytes: Option<Vec<u8>> = None;
+    let mut rows = Vec::new();
+    for (label, budget) in settings {
+        let mut live = DynStrClu::new(sampled_params(config.seed));
+        Clusterer::set_memory_budget(&mut live, budget);
+        let (replay_secs, ()) = time(|| {
+            for chunk in initial_inserts.chunks(1024) {
+                live.apply_batch(chunk);
+            }
+            for batch in &warmup {
+                live.apply_batch(batch);
+            }
+        });
+        let bytes = Snapshot::checkpoint_bytes(&live);
+        let bytes_identical = match &reference_bytes {
+            None => {
+                reference_bytes = Some(bytes);
+                true
+            }
+            Some(reference) => *reference == bytes,
+        };
+        let graph = live.graph();
+        let breakdown = graph.memory_breakdown();
+        let (promotions, demotions) = graph.tier_counters();
+        rows.push(TieredMemoryRow {
+            label,
+            budget_bytes: budget.unwrap_or(0),
+            replay_secs,
+            resident_hot_bytes: graph.resident_hot_bytes(),
+            cold_bytes: breakdown.cold_bytes,
+            summary_bytes: breakdown.summary_bytes,
+            promotions,
+            demotions,
+            bytes_identical,
+        });
+    }
+    rows
+}
+
+/// Human-readable table of the tiered-memory rows.
+pub fn tiered_rows_to_table(rows: &[TieredMemoryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:>12} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8} {:>9}",
+        "budget",
+        "bytes",
+        "replay s",
+        "hot KiB",
+        "cold KiB",
+        "summ KiB",
+        "promote",
+        "demote",
+        "identical"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<7} {:>12} {:>10.3} {:>10.1} {:>10.1} {:>9.1} {:>8} {:>8} {:>9}",
+            row.label,
+            row.budget_bytes,
+            row.replay_secs,
+            row.resident_hot_bytes as f64 / 1024.0,
+            row.cold_bytes as f64 / 1024.0,
+            row.summary_bytes as f64 / 1024.0,
+            row.promotions,
+            row.demotions,
+            row.bytes_identical,
+        );
+    }
+    out
+}
+
 /// Render rows as the `BENCH_checkpoint.json` document (hand-rolled JSON —
 /// the vendored serde is a marker stub).
 pub fn checkpoint_rows_to_json(
     config: &CheckpointBenchConfig,
     rows: &[CheckpointBenchRow],
     delta_rows: &[DeltaBenchRow],
+    codec_rows: &[CodecBenchRow],
+    tiered_rows: &[TieredMemoryRow],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -502,6 +823,62 @@ pub fn checkpoint_rows_to_json(
             row.chain_identical,
         );
         out.push_str(if i + 1 < delta_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"codec_rows\": [\n");
+    for (i, row) in codec_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"edges\": {}, \
+             \"v2_full_bytes\": {}, \"v3_full_bytes\": {}, \"full_size_ratio\": {:.2}, \
+             \"v2_encode_secs\": {:.6}, \"v3_encode_secs\": {:.6}, \
+             \"v2_decode_secs\": {:.6}, \"v3_decode_secs\": {:.6}, \
+             \"v2_delta_bytes\": {}, \"v3_delta_bytes\": {}, \"delta_size_ratio\": {:.2}, \
+             \"reencode_identical\": {}}}",
+            row.algorithm,
+            row.mode,
+            row.edges,
+            row.v2_full_bytes,
+            row.v3_full_bytes,
+            row.full_size_ratio,
+            row.v2_encode_secs,
+            row.v3_encode_secs,
+            row.v2_decode_secs,
+            row.v3_decode_secs,
+            row.v2_delta_bytes,
+            row.v3_delta_bytes,
+            row.delta_size_ratio,
+            row.reencode_identical,
+        );
+        out.push_str(if i + 1 < codec_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"tiered_memory\": [\n");
+    for (i, row) in tiered_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"budget\": \"{}\", \"budget_bytes\": {}, \"replay_secs\": {:.6}, \
+             \"resident_hot_bytes\": {}, \"cold_bytes\": {}, \"summary_bytes\": {}, \
+             \"promotions\": {}, \"demotions\": {}, \"bytes_identical\": {}}}",
+            row.label,
+            row.budget_bytes,
+            row.replay_secs,
+            row.resident_hot_bytes,
+            row.cold_bytes,
+            row.summary_bytes,
+            row.promotions,
+            row.demotions,
+            row.bytes_identical,
+        );
+        out.push_str(if i + 1 < tiered_rows.len() {
             ",\n"
         } else {
             "\n"
@@ -590,16 +967,32 @@ mod tests {
         let delta_rows = vec![compare_delta(&config, "DynELM", "sampled", || {
             DynElm::new(sampled_params(config.seed))
         })];
-        let json = checkpoint_rows_to_json(&config, &rows, &delta_rows);
+        let codec_rows = vec![compare_codec(
+            &config,
+            "DynELM",
+            "sampled",
+            || DynElm::new(sampled_params(config.seed)),
+            |a, t| a.delta_v2_bytes(t),
+        )];
+        let tiered_rows = run_tiered_memory(&config);
+        let json = checkpoint_rows_to_json(&config, &rows, &delta_rows, &codec_rows, &tiered_rows);
         assert!(json.contains("\"benchmark\": \"checkpoint_vs_rebuild\""));
         assert!(json.contains("\"restore_speedup\""));
         assert!(json.contains("\"delta_rows\""));
         assert!(json.contains("\"chain_identical\": true"));
+        assert!(json.contains("\"codec_rows\""));
+        assert!(json.contains("\"reencode_identical\": true"));
+        assert!(json.contains("\"tiered_memory\""));
+        assert!(json.contains("\"bytes_identical\": true"));
         assert!(json.trim_end().ends_with('}'));
         let table = checkpoint_rows_to_table(&rows);
         assert!(table.contains("DynELM"));
         let delta_table = delta_rows_to_table(&delta_rows);
         assert!(delta_table.contains("delta KiB"));
+        let codec_table = codec_rows_to_table(&codec_rows);
+        assert!(codec_table.contains("v3 KiB"));
+        let tiered_table = tiered_rows_to_table(&tiered_rows);
+        assert!(tiered_table.contains("cold KiB"));
     }
 
     #[test]

@@ -12,20 +12,47 @@
 
 use dynscan_core::sync::atomic::{AtomicU64, Ordering};
 use dynscan_core::sync::{Arc, Mutex};
-use dynscan_core::{EpochCell, EpochSnapshot, StrCluResult};
+use dynscan_core::{ElmStats, EpochCell, EpochSnapshot, StrCluResult};
 
-/// A snapshot whose every counter equals `e` — any torn publication
-/// would surface as internally inconsistent fields.
+/// A snapshot whose every counter — including the checkpoint counter
+/// and the `ElmStats` work counters a `Stats` reply is assembled from —
+/// equals `e`: any torn publication would surface as internally
+/// inconsistent fields.
 fn snap(e: u64) -> Arc<EpochSnapshot> {
     Arc::new(EpochSnapshot {
         label_epoch: e,
         updates_applied: e,
+        algorithm: "model",
         num_vertices: e,
         num_edges: e,
-        checkpoint_seq: None,
+        checkpoint_seq: Some(e),
+        checkpoints_written: e,
         clustering: Arc::new(StrCluResult::default()),
-        stats: None,
+        stats: Some(ElmStats {
+            updates: e,
+            labellings: e,
+            dt_maturities: e,
+            label_flips: e,
+            samples_drawn: e,
+            batches: e,
+        }),
     })
+}
+
+/// Every epoch-scoped field of `s` describes the same epoch — the
+/// stats staleness contract ("epoch-atomic as of `updates_applied`")
+/// stated in [`dynscan_core::epoch`]'s module docs.
+fn assert_untorn(s: &EpochSnapshot) {
+    let e = s.updates_applied;
+    assert_eq!(s.label_epoch, e, "torn epoch");
+    assert_eq!(s.num_vertices, e, "torn epoch");
+    assert_eq!(s.num_edges, e, "torn epoch");
+    assert_eq!(s.checkpoint_seq, Some(e), "torn checkpoint counter");
+    assert_eq!(s.checkpoints_written, e, "torn checkpoint counter");
+    let stats = s.stats.as_ref().expect("published with stats");
+    assert_eq!(stats.updates, e, "torn work counters");
+    assert_eq!(stats.labellings, e, "torn work counters");
+    assert_eq!(stats.batches, e, "torn work counters");
 }
 
 /// The serve layer's read-your-writes argument, as a model: the writer
@@ -75,8 +102,7 @@ fn readers_never_see_a_torn_or_regressing_epoch() {
         let mut last = 0u64;
         for _ in 0..2 {
             if let Some(s) = cell.load() {
-                assert_eq!(s.label_epoch, s.updates_applied, "torn epoch");
-                assert_eq!(s.num_vertices, s.label_epoch, "torn epoch");
+                assert_untorn(&s);
                 assert!(
                     s.updates_applied >= last,
                     "epochs regressed: {} after {last}",
@@ -121,5 +147,35 @@ fn readers_complete_while_the_writer_holds_the_engine_lock() {
         );
         writer.join().unwrap();
         assert_eq!(*engine.lock().unwrap(), 2);
+    });
+}
+
+/// The serve layer's lock-free `Stats` path, as a model: a stats reply
+/// is assembled entirely from one loaded snapshot while the writer
+/// publishes the next epoch *and* bumps its checkpoint counter.  The
+/// reply's fields must all describe the same epoch — the torn read this
+/// guards against is a reply mixing epoch-`e` counts with
+/// epoch-`e+1` work counters, which field-by-field reads off the live
+/// engine would permit.
+#[test]
+fn stats_replies_are_epoch_atomic_as_of_updates_applied() {
+    interleave::model(|| {
+        let cell = Arc::new(EpochCell::new());
+        cell.store(snap(1));
+        let writer_cell = Arc::clone(&cell);
+        let writer = interleave::thread::spawn(move || {
+            // A mutation plus an auto-checkpoint: counters, counts and
+            // stats all advance, then publish as one snapshot.
+            writer_cell.store(snap(2));
+        });
+        // The reader assembles its whole reply from one load, exactly
+        // as `RequestBody::Stats` does without a checksum.
+        let s = cell.load().expect("an epoch is always published");
+        assert_untorn(&s);
+        assert!(
+            s.updates_applied == 1 || s.updates_applied == 2,
+            "readers see only fully-published epochs"
+        );
+        writer.join().unwrap();
     });
 }

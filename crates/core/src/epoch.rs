@@ -21,6 +21,12 @@
 //!   batch.  A reader that observed an acknowledgement for update epoch
 //!   `e` will find `snapshot.updates_applied >= e` on its next load —
 //!   publication happens-before the acknowledgement.
+//! * **Stats staleness contract:** every scalar in a snapshot —
+//!   counts, checkpoint counters, [`ElmStats`] work counters — is
+//!   **epoch-atomic as of `updates_applied`**: all fields were read
+//!   from the engine under the same publication and describe the same
+//!   epoch, so a stats reply assembled from one snapshot can never mix
+//!   two epochs, no matter how the reader interleaves with the writer.
 //! * **Readers never block the writer:** readers take the cell mutex
 //!   only for the Arc clone; they never touch the engine lock.  Both
 //!   properties are model-checked under `vendor/interleave`
@@ -35,6 +41,7 @@
 
 use crate::cluster::{group_by_from_clustering, StrCluResult};
 use crate::elm::ElmStats;
+
 use crate::sync::{Arc, Mutex};
 use dynscan_graph::VertexId;
 
@@ -46,9 +53,14 @@ pub struct EpochSnapshot {
     /// only on effective change: net flips or vertex growth).
     pub label_epoch: u64,
     /// Updates applied when the snapshot was published — the
-    /// acknowledgement epoch the serve layer hands to clients, and the
-    /// floor for read-your-writes checks.
+    /// acknowledgement epoch the serve layer hands to clients, the
+    /// floor for read-your-writes checks, and the **as-of point of the
+    /// staleness contract**: every other field in this struct describes
+    /// the engine exactly as of this epoch (never a mix of two).
     pub updates_applied: u64,
+    /// The backend's algorithm name (static per session; carried so a
+    /// `Stats` reply can be assembled entirely from one snapshot).
+    pub algorithm: &'static str,
     /// Vertex count at publication.
     pub num_vertices: u64,
     /// Edge count at publication.
@@ -56,6 +68,8 @@ pub struct EpochSnapshot {
     /// Store sequence of the last completed checkpoint, if any (may lag
     /// an in-flight background checkpoint by design).
     pub checkpoint_seq: Option<u64>,
+    /// Checkpoints the session had completed at publication.
+    pub checkpoints_written: u64,
     /// The full clustering extraction this epoch serves queries from.
     pub clustering: Arc<StrCluResult>,
     /// Labelling work counters, if the backend keeps them.
@@ -142,9 +156,11 @@ mod tests {
         Arc::new(EpochSnapshot {
             label_epoch: epoch,
             updates_applied: epoch,
+            algorithm: "test",
             num_vertices: 0,
             num_edges: 0,
             checkpoint_seq: None,
+            checkpoints_written: 0,
             clustering: Arc::new(StrCluResult::default()),
             stats: None,
         })

@@ -543,6 +543,7 @@ pub struct SessionBuilder {
     params: Params,
     policy: AutoBatchPolicy,
     threads: Option<usize>,
+    memory_budget: Option<Option<usize>>,
     clock: Option<Box<dyn Clock>>,
     checkpoint_every: Option<u64>,
     checkpoint_store: Option<Box<dyn CheckpointStore>>,
@@ -580,6 +581,19 @@ impl SessionBuilder {
     /// [`crate::ExecPool::with_threads`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Bound the bytes the backend's graph keeps in its hot (mutable
+    /// indexed) adjacency tier; least-recently-touched neighbourhoods
+    /// beyond the budget are demoted to a compact cold arena and decoded
+    /// on access ([`Clusterer::set_memory_budget`]).  `None` keeps
+    /// everything hot.  When this builder knob is not called, the
+    /// process-wide `DYNSCAN_MEMORY_BUDGET` default applies.  Purely a
+    /// residency knob — clustering results are byte-identical at any
+    /// budget.
+    pub fn memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -687,6 +701,9 @@ impl SessionBuilder {
         if let Some(threads) = self.threads {
             inner.set_threads(threads);
         }
+        if let Some(budget) = self.memory_budget {
+            inner.set_memory_budget(budget);
+        }
         Ok(self.wire_session(inner))
     }
 
@@ -739,6 +756,9 @@ impl SessionBuilder {
         let mut inner = restore_any_chain(docs).map_err(SessionError::RestoreFailed)?;
         if let Some(threads) = self.threads {
             inner.set_threads(threads);
+        }
+        if let Some(budget) = self.memory_budget {
+            inner.set_memory_budget(budget);
         }
         Ok(self.wire_session(inner))
     }
@@ -858,6 +878,7 @@ impl Session {
             params: Params::default(),
             policy: AutoBatchPolicy::Manual,
             threads: None,
+            memory_budget: None,
             clock: None,
             checkpoint_every: None,
             checkpoint_store: None,
@@ -1077,9 +1098,11 @@ impl Session {
         cell.store(Arc::new(EpochSnapshot {
             label_epoch: self.label_epoch,
             updates_applied: self.inner.updates_applied(),
+            algorithm: self.inner.algorithm_name(),
             num_vertices: self.inner.num_vertices() as u64,
             num_edges: self.inner.num_edges() as u64,
             checkpoint_seq: self.last_checkpoint_seq(),
+            checkpoints_written: self.checkpoints_written,
             clustering,
             stats: self.inner.elm_stats(),
         }));
@@ -1313,6 +1336,15 @@ impl Session {
     pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
         self.flush();
         self.inner.checkpoint_bytes()
+    }
+
+    /// Like [`Session::checkpoint_bytes`], but under the legacy
+    /// format-v2 writer — same state, v2 wire bytes.  Exists for the
+    /// compat gates and the v2-vs-v3 size/speed comparison; everything
+    /// else checkpoints in the current format.
+    pub fn checkpoint_v2_bytes(&mut self) -> Vec<u8> {
+        self.flush();
+        self.inner.checkpoint_v2_bytes()
     }
 
     /// Like [`Session::checkpoint_bytes`], but streaming into `w`.

@@ -44,8 +44,8 @@ use crate::traits::Snapshot;
 use dynscan_conn::HdtConnectivity;
 use dynscan_dt::{CoordinatorState, DtRegistry, ParticipantEntry};
 use dynscan_graph::snapshot::{
-    fnv1a, read_document_meta, split_document, write_document, write_document_prechecked,
-    DocumentMeta, SnapshotHeader, SnapshotKind,
+    fnv1a, read_document_meta, split_document, write_document, write_document_meta_v2,
+    write_document_prechecked, write_document_v2, DocumentMeta, SnapshotHeader, SnapshotKind,
 };
 use dynscan_graph::{DynGraph, EdgeKey, SnapReader, SnapWriter, SnapshotError, VertexId};
 use dynscan_sim::{EdgeLabel, LabellingStrategy, SimilarityMeasure};
@@ -463,9 +463,20 @@ fn write_elm_payload(elm: &DynElm, w: &mut SnapWriter) {
         let mut labels: Vec<(EdgeKey, EdgeLabel)> = elm.labels().collect();
         labels.sort_unstable_by_key(|&(k, _)| k);
         s.len_prefix(labels.len());
-        for (key, label) in labels {
-            s.edge(key);
-            s.bool(label.is_similar());
+        if s.compact() {
+            // v3 layout: delta-encoded sorted keys, then the similarity
+            // flags bit-packed — ~1 bit instead of 9 bytes per label.
+            let mut prev: Option<EdgeKey> = None;
+            for &(key, _) in &labels {
+                s.edge_key_seq(&mut prev, key);
+            }
+            s.packed_bools(labels.iter().map(|&(_, l)| l.is_similar()));
+        } else {
+            // v2 layout: interleaved (edge, bool) pairs.
+            for &(key, label) in &labels {
+                s.edge(key);
+                s.bool(label.is_similar());
+            }
         }
     });
     w.section(section::RELABELS, |s| {
@@ -473,8 +484,9 @@ fn write_elm_payload(elm: &DynElm, w: &mut SnapWriter) {
             elm.relabel_counts.iter().map(|(&k, &c)| (k, c)).collect();
         counts.sort_unstable_by_key(|&(k, _)| k);
         s.len_prefix(counts.len());
+        let mut prev: Option<EdgeKey> = None;
         for (key, count) in counts {
-            s.edge(key);
+            s.edge_key_seq(&mut prev, key);
             s.u64(count);
         }
     });
@@ -491,10 +503,25 @@ fn read_elm_payload(r: &mut SnapReader<'_>) -> Result<DynElm, SnapshotError> {
 
     let mut s = r.section(section::LABELS)?;
     let label_count = s.len_prefix()?;
+    let mut entries: Vec<(EdgeKey, bool)> = Vec::with_capacity(label_count);
+    if s.compact() {
+        let mut prev: Option<EdgeKey> = None;
+        let mut keys: Vec<EdgeKey> = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            keys.push(s.edge_key_seq(&mut prev)?);
+        }
+        let flags = s.packed_bools(label_count)?;
+        entries.extend(keys.into_iter().zip(flags));
+    } else {
+        for _ in 0..label_count {
+            let key = s.edge()?;
+            let flag = s.bool()?;
+            entries.push((key, flag));
+        }
+    }
     let mut labels: HashMap<EdgeKey, EdgeLabel> = HashMap::with_capacity(label_count);
-    for _ in 0..label_count {
-        let key = s.edge()?;
-        let label = if s.bool()? {
+    for (key, similar) in entries {
+        let label = if similar {
             EdgeLabel::Similar
         } else {
             EdgeLabel::Dissimilar
@@ -514,8 +541,9 @@ fn read_elm_payload(r: &mut SnapReader<'_>) -> Result<DynElm, SnapshotError> {
     let mut s = r.section(section::RELABELS)?;
     let count = s.len_prefix()?;
     let mut relabel_counts: HashMap<EdgeKey, u64> = HashMap::with_capacity(count);
+    let mut prev: Option<EdgeKey> = None;
     for _ in 0..count {
-        let key = s.edge()?;
+        let key = s.edge_key_seq(&mut prev)?;
         let invocations = s.u64()?;
         if !graph.has_edge(key.lo(), key.hi()) {
             return Err(SnapshotError::Corrupt(
@@ -598,15 +626,17 @@ fn write_elm_delta_payload(
     w.section(section::DELTA_DT_VERTS, |s| {
         s.len_prefix(elm.dt.num_vertices());
         s.len_prefix(vertices.len());
+        let mut prev: Option<VertexId> = None;
         for &v in vertices {
-            s.vertex(v);
+            s.vertex_seq(&mut prev, v);
             s.u64(elm.dt.shared_counter(v));
         }
     });
     w.section(section::DELTA_EDGES, |s| {
         s.len_prefix(edges.len());
+        let mut prev: Option<EdgeKey> = None;
         for &key in edges {
-            s.edge(key);
+            s.edge_key_seq(&mut prev, key);
             let present = elm.graph.has_edge(key.lo(), key.hi());
             s.bool(present);
             if present {
@@ -640,8 +670,12 @@ fn write_elm_delta_payload(
 /// [`check_delta_applicable`] has confirmed sits exactly at the delta's
 /// base), then re-validate the merged state with the same cross-checks as
 /// a full decode.
-fn apply_elm_delta_payload(elm: &mut DynElm, payload: &[u8]) -> Result<(), SnapshotError> {
-    let mut r = SnapReader::new(payload);
+fn apply_elm_delta_payload(
+    elm: &mut DynElm,
+    format_version: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    let mut r = SnapReader::for_version(format_version, payload);
     let (stats, strategy_invocations, strategy_samples) = read_stats_section(&mut r)?;
 
     let mut s = r.section(section::DELTA_GRAPH)?;
@@ -653,9 +687,10 @@ fn apply_elm_delta_payload(elm: &mut DynElm, payload: &[u8]) -> Result<(), Snaps
     let dt_n = s.count_prefix()?;
     elm.dt.delta_grow_vertices(dt_n)?;
     let dirty_verts = s.len_prefix()?;
+    let mut prev: Option<VertexId> = None;
     let mut last_vertex: Option<VertexId> = None;
     for _ in 0..dirty_verts {
-        let v = s.vertex()?;
+        let v = s.vertex_seq(&mut prev)?;
         if v.index() >= dt_n {
             return Err(SnapshotError::Corrupt("dirty vertex outside DT space"));
         }
@@ -670,9 +705,10 @@ fn apply_elm_delta_payload(elm: &mut DynElm, payload: &[u8]) -> Result<(), Snaps
 
     let mut s = r.section(section::DELTA_EDGES)?;
     let dirty_edges = s.len_prefix()?;
+    let mut prev: Option<EdgeKey> = None;
     let mut last_edge: Option<EdgeKey> = None;
     for _ in 0..dirty_edges {
-        let key = s.edge()?;
+        let key = s.edge_key_seq(&mut prev)?;
         if last_edge.is_some_and(|p| p >= key) {
             return Err(SnapshotError::Corrupt("dirty edges not sorted"));
         }
@@ -781,7 +817,38 @@ fn try_capture_elm_delta(
     ))
 }
 
+/// The pending ELM-family delta under the legacy format-v2 writer —
+/// **non-consuming** (dirty marks and chain position untouched), so the
+/// codec bench can size the same churn under both formats before the
+/// real v3 `capture` consumes it.  `None` when no delta is capturable.
+fn elm_delta_v2_bytes(elm: &DynElm, algo_tag: u32, wall_time_millis: u64) -> Option<Vec<u8>> {
+    if !elm.dirty.can_delta() {
+        return None;
+    }
+    let chain = elm.dirty.chain().expect("can_delta implies a chain");
+    let vertices = elm.dirty.vertices_sorted();
+    let edges = elm.dirty.edges_sorted();
+    let mut w = SnapWriter::fixed();
+    write_elm_delta_payload(elm, &vertices, &edges, &mut w);
+    let meta = DocumentMeta {
+        kind: SnapshotKind::Delta,
+        sequence: chain.sequence + 1,
+        base_checksum: chain.checksum,
+        wall_time_millis,
+    };
+    let mut buf = Vec::new();
+    write_document_meta_v2(&mut buf, algo_tag, &meta, &w.into_bytes())
+        .expect("writing to a Vec cannot fail");
+    Some(buf)
+}
+
 impl DynElm {
+    /// The pending delta as a legacy v2 document (see
+    /// `elm_delta_v2_bytes` — non-consuming, bench/compat surface).
+    pub fn delta_v2_bytes(&self, wall_time_millis: u64) -> Option<Vec<u8>> {
+        elm_delta_v2_bytes(self, <DynElm as Snapshot>::ALGO_TAG, wall_time_millis)
+    }
+
     /// Capture a checkpoint: a delta against the last checkpoint when
     /// `prefer_delta` holds and a base exists, a full snapshot otherwise.
     /// Clears the dirty marks and advances the chain (see
@@ -812,7 +879,7 @@ impl DynElm {
     pub(crate) fn apply_delta_impl(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let (header, payload) = split_document(bytes, <DynElm as Snapshot>::ALGO_TAG)?;
         check_delta_applicable(&self.dirty, &header)?;
-        if let Err(e) = apply_elm_delta_payload(self, payload) {
+        if let Err(e) = apply_elm_delta_payload(self, header.format_version, payload) {
             // A failed apply may have merged part of the delta; the
             // instance is no longer a valid chain base (or a valid
             // instance at all) — poison the tracker and report.  Callers
@@ -834,12 +901,21 @@ impl Snapshot for DynElm {
         write_document(w, Self::ALGO_TAG, &payload.into_bytes())
     }
 
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        let mut payload = SnapWriter::fixed();
+        write_elm_payload(self, &mut payload);
+        let mut buf = Vec::new();
+        write_document_v2(&mut buf, Self::ALGO_TAG, &payload.into_bytes())
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
         let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
         if header.kind != SnapshotKind::Full {
             return Err(SnapshotError::UnexpectedDelta);
         }
-        let mut reader = SnapReader::new(&payload);
+        let mut reader = SnapReader::for_version(header.format_version, &payload);
         let mut elm = read_elm_payload(&mut reader)?;
         reader.finish()?;
         // The restored instance sits exactly at this document's chain
@@ -865,14 +941,16 @@ fn write_aux_payload(algo: &DynStrClu, w: &mut SnapWriter) {
             let mut sims: Vec<VertexId> = aux.similar_neighbours().collect();
             sims.sort_unstable();
             s.len_prefix(sims.len());
+            let mut prev: Option<VertexId> = None;
             for x in sims {
-                s.vertex(x);
+                s.vertex_seq(&mut prev, x);
             }
             let mut cores: Vec<VertexId> = aux.similar_core_neighbours().collect();
             cores.sort_unstable();
             s.len_prefix(cores.len());
+            let mut prev: Option<VertexId> = None;
             for x in cores {
-                s.vertex(x);
+                s.vertex_seq(&mut prev, x);
             }
         }
     });
@@ -898,8 +976,9 @@ fn read_aux_payload(
         let is_core = s.bool()?;
         let mut aux = VertexAux::default();
         let sim_count = s.len_prefix()?;
+        let mut prev: Option<VertexId> = None;
         for _ in 0..sim_count {
-            let x = s.vertex()?;
+            let x = s.vertex_seq(&mut prev)?;
             if x.index() >= n || x.index() == v {
                 return Err(SnapshotError::Corrupt("similar neighbour out of range"));
             }
@@ -921,8 +1000,9 @@ fn read_aux_payload(
             ));
         }
         let core_count = s.len_prefix()?;
+        let mut prev: Option<VertexId> = None;
         for _ in 0..core_count {
-            let x = s.vertex()?;
+            let x = s.vertex_seq(&mut prev)?;
             if !aux.is_similar_neighbour(x) {
                 return Err(SnapshotError::Corrupt(
                     "similar-core neighbour outside the similar set",
@@ -1013,6 +1093,16 @@ fn derive_aux(elm: &DynElm, mu: usize) -> Vec<VertexAux> {
 }
 
 impl DynStrClu {
+    /// The pending delta as a legacy v2 document (see
+    /// `elm_delta_v2_bytes` — non-consuming, bench/compat surface).
+    pub fn delta_v2_bytes(&self, wall_time_millis: u64) -> Option<Vec<u8>> {
+        elm_delta_v2_bytes(
+            &self.elm,
+            <DynStrClu as Snapshot>::ALGO_TAG,
+            wall_time_millis,
+        )
+    }
+
     pub(crate) fn capture_impl(
         &mut self,
         prefer_delta: bool,
@@ -1044,7 +1134,7 @@ impl DynStrClu {
     pub(crate) fn apply_delta_impl(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let (header, payload) = split_document(bytes, <DynStrClu as Snapshot>::ALGO_TAG)?;
         check_delta_applicable(&self.elm.dirty, &header)?;
-        if let Err(e) = apply_elm_delta_payload(&mut self.elm, payload) {
+        if let Err(e) = apply_elm_delta_payload(&mut self.elm, header.format_version, payload) {
             self.elm.dirty.mark_all();
             return Err(e);
         }
@@ -1068,7 +1158,7 @@ impl DynStrClu {
         for bytes in docs {
             let (header, payload) = split_document(bytes, <DynStrClu as Snapshot>::ALGO_TAG)?;
             check_delta_applicable(&self.elm.dirty, &header)?;
-            if let Err(e) = apply_elm_delta_payload(&mut self.elm, payload) {
+            if let Err(e) = apply_elm_delta_payload(&mut self.elm, header.format_version, payload) {
                 self.elm.dirty.mark_all();
                 return Err(e);
             }
@@ -1092,12 +1182,22 @@ impl Snapshot for DynStrClu {
         write_document(w, Self::ALGO_TAG, &payload.into_bytes())
     }
 
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        let mut payload = SnapWriter::fixed();
+        write_elm_payload(&self.elm, &mut payload);
+        write_aux_payload(self, &mut payload);
+        let mut buf = Vec::new();
+        write_document_v2(&mut buf, Self::ALGO_TAG, &payload.into_bytes())
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
     fn restore<R: std::io::Read>(r: R) -> Result<Self, SnapshotError> {
         let (header, payload) = read_document_meta(r, Self::ALGO_TAG)?;
         if header.kind != SnapshotKind::Full {
             return Err(SnapshotError::UnexpectedDelta);
         }
-        let mut reader = SnapReader::new(&payload);
+        let mut reader = SnapReader::for_version(header.format_version, &payload);
         let mut elm = read_elm_payload(&mut reader)?;
         let mu = elm.params().mu;
         let aux = read_aux_payload(&mut reader, &elm, mu)?;

@@ -212,6 +212,14 @@ pub trait Snapshot: Sized {
         buf
     }
 
+    /// Serialise the full live state as a legacy **format v2** document
+    /// (fixed-width payload encoding under a version-2 header).  The
+    /// compat gates and the v2-vs-v3 bench rows use this writer;
+    /// restoring the bytes yields exactly the same state as
+    /// [`Snapshot::checkpoint_bytes`], and re-encoding that state under
+    /// the current format reproduces the v3 bytes byte for byte.
+    fn checkpoint_v2_bytes(&self) -> Vec<u8>;
+
     /// Capture a checkpoint for the differential chain: a delta encoding
     /// only the state touched since the previous capture when
     /// `prefer_delta` holds and a base exists, a full snapshot otherwise
@@ -294,6 +302,17 @@ pub trait Clusterer: BatchUpdate + Send {
         let _ = threads;
     }
 
+    /// Bound the bytes the backend's graph keeps in its hot (mutable
+    /// indexed) adjacency tier; least-recently-touched neighbourhoods
+    /// beyond the budget live in a compact cold arena (`None` = keep
+    /// everything hot).  Purely a residency knob — promotion/demotion is
+    /// driven by a deterministic touch clock, so results are
+    /// byte-identical at any budget — and a no-op for backends without a
+    /// tiered graph.
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        let _ = bytes;
+    }
+
     /// Answer a cluster-group-by query (Definition 3.2): group the
     /// vertices of `q` by the clusters containing them.
     ///
@@ -315,6 +334,12 @@ pub trait Clusterer: BatchUpdate + Send {
             .expect("writing to a Vec cannot fail");
         buf
     }
+
+    /// Erased counterpart of [`Snapshot::checkpoint_v2_bytes`]: the same
+    /// live state under the legacy format-v2 writer (identical bytes).
+    /// Exists for the compat gates and the v2-vs-v3 bench rows; new code
+    /// wanting the current format uses [`Clusterer::checkpoint_bytes`].
+    fn checkpoint_v2_bytes(&self) -> Vec<u8>;
 
     /// Erased counterpart of [`Snapshot::capture`]: capture a full or
     /// differential checkpoint, encoded but not yet written.
@@ -450,6 +475,10 @@ impl Clusterer for DynElm {
         self.set_exec_pool(crate::pool::ExecPool::with_threads(threads));
     }
 
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.graph.set_memory_budget(bytes);
+    }
+
     /// DynELM keeps no connectivity structure, so group-by goes through
     /// the O(n + m) extraction of its maintained labelling.
     fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
@@ -458,6 +487,10 @@ impl Clusterer for DynElm {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        Snapshot::checkpoint_v2_bytes(self)
     }
 
     fn capture_checkpoint(
@@ -486,6 +519,10 @@ impl Clusterer for DynStrClu {
         self.set_exec_pool(crate::pool::ExecPool::with_threads(threads));
     }
 
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.elm.graph.set_memory_budget(bytes);
+    }
+
     /// The O(|Q| · log n) path of Theorem 7.1 over `CC-Str(G_core)`.
     fn cluster_group_by(&mut self, q: &[VertexId]) -> Vec<Vec<VertexId>> {
         DynStrClu::cluster_group_by(self, q)
@@ -493,6 +530,10 @@ impl Clusterer for DynStrClu {
 
     fn checkpoint_to(&self, w: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
         Snapshot::checkpoint(self, w)
+    }
+
+    fn checkpoint_v2_bytes(&self) -> Vec<u8> {
+        Snapshot::checkpoint_v2_bytes(self)
     }
 
     fn capture_checkpoint(

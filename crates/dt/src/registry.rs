@@ -408,8 +408,9 @@ impl DtRegistry {
             let mut entries: Vec<(VertexId, ParticipantEntry)> = heap.entries().collect();
             entries.sort_unstable_by_key(|&(n, _)| n);
             w.len_prefix(entries.len());
+            let mut prev: Option<VertexId> = None;
             for (n, entry) in entries {
-                w.vertex(n);
+                w.vertex_seq(&mut prev, n);
                 w.u64(entry.round_start);
                 w.u64(entry.checkpoint);
             }
@@ -421,8 +422,9 @@ impl DtRegistry {
             .collect();
         coordinators.sort_unstable_by_key(|&(k, _)| k);
         w.len_prefix(coordinators.len());
+        let mut prev: Option<EdgeKey> = None;
         for (key, state) in coordinators {
-            w.edge(key);
+            w.edge_key_seq(&mut prev, key);
             w.u64(state.remaining);
             w.u64(state.slack);
             w.bool(state.simple);
@@ -446,8 +448,9 @@ impl DtRegistry {
         for v in 0..n {
             let count = r.len_prefix()?;
             let mut heap = DtHeap::new();
+            let mut prev: Option<VertexId> = None;
             for _ in 0..count {
-                let neighbour = r.vertex()?;
+                let neighbour = r.vertex_seq(&mut prev)?;
                 if neighbour.index() >= n || neighbour.index() == v {
                     return Err(SnapshotError::Corrupt("heap entry neighbour out of range"));
                 }
@@ -465,8 +468,9 @@ impl DtRegistry {
         }
         let coordinator_count = r.len_prefix()?;
         let mut coordinators = HashMap::with_capacity(coordinator_count);
+        let mut prev: Option<EdgeKey> = None;
         for _ in 0..coordinator_count {
-            let key = r.edge()?;
+            let key = r.edge_key_seq(&mut prev)?;
             let state = CoordinatorState {
                 remaining: r.u64()?,
                 slack: r.u64()?,

@@ -8,6 +8,27 @@
 //! heap allocations.  The estimates are intentionally conservative (they use
 //! capacities, not lengths) because that is what drives real peak usage.
 
+/// Per-tier byte accounting for a [`crate::DynGraph`] adjacency store,
+/// fixing the historical under-reporting where kernel bitset summaries
+/// and (since format v3) the cold arena were folded into — or missing
+/// from — a single number.  Produced by `DynGraph::memory_breakdown`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphMemoryBreakdown {
+    /// Heap bytes of hot-tier adjacency sets, *excluding* summaries.
+    pub hot_bytes: usize,
+    /// Heap bytes of kernel bitset (hub) summaries on hot sets.
+    pub summary_bytes: usize,
+    /// Bytes of the cold-tier compact arena.
+    pub cold_bytes: usize,
+}
+
+impl GraphMemoryBreakdown {
+    /// Sum of all three line items.
+    pub fn total(&self) -> usize {
+        self.hot_bytes + self.summary_bytes + self.cold_bytes
+    }
+}
+
 /// Structural estimate of heap + inline memory used by a value, in bytes.
 pub trait MemoryFootprint {
     /// Approximate number of bytes used by `self`, including owned heap

@@ -156,6 +156,13 @@ impl IndexedSet {
         &self.items
     }
 
+    /// Heap bytes attributable to the hub summary alone (0 when no
+    /// summary is maintained) — reported as its own line item in the
+    /// memory breakdown.
+    pub fn summary_bytes(&self) -> usize {
+        self.summary.as_ref().map_or(0, |s| s.memory_bytes())
+    }
+
     /// Remove all elements, keeping allocations.
     pub fn clear(&mut self) {
         self.items.clear();
@@ -166,9 +173,7 @@ impl IndexedSet {
 
 impl MemoryFootprint for IndexedSet {
     fn memory_bytes(&self) -> usize {
-        vec_bytes(&self.items)
-            + hashmap_bytes(&self.positions)
-            + self.summary.as_ref().map_or(0, |s| s.memory_bytes())
+        vec_bytes(&self.items) + hashmap_bytes(&self.positions) + self.summary_bytes()
     }
 }
 

@@ -443,11 +443,11 @@ mod tests {
                 g.neighbours_iter(v(x)).map(|y| y.raw()).chain([x]).collect()
             };
             let expected = closed(u).intersection(&closed(w)).count();
-            let got = closed_intersection_sets(v(u), v(w), g.neighbours(v(u)), g.neighbours(v(w)));
+            let got = closed_intersection_sets(v(u), v(w), &g.neighbours(v(u)), &g.neighbours(v(w)));
             prop_assert_eq!(got, expected);
             let union = closed(u).union(&closed(w)).count();
             prop_assert_eq!(
-                closed_union_sets(v(u), v(w), g.neighbours(v(u)), g.neighbours(v(w))),
+                closed_union_sets(v(u), v(w), &g.neighbours(v(u)), &g.neighbours(v(w))),
                 union
             );
         }

@@ -50,10 +50,10 @@ pub mod view;
 
 pub use batch::{touched_vertices, BatchApplication};
 pub use csr::CsrGraph;
-pub use dynamic_graph::DynGraph;
+pub use dynamic_graph::{default_memory_budget, DynGraph, NeighbourIter, NeighbourhoodRef};
 pub use edge::EdgeKey;
 pub use error::GraphError;
-pub use footprint::MemoryFootprint;
+pub use footprint::{GraphMemoryBreakdown, MemoryFootprint};
 pub use indexed_set::IndexedSet;
 pub use kernel::KernelMode;
 pub use snapshot::{

@@ -12,11 +12,11 @@
 //! order, so future sampled label decisions consume identical random bits.
 //!
 //! The format is deliberately simple and fully hand-rolled (the vendored
-//! `serde` is a marker stub).  A **version 2** document is:
+//! `serde` is a marker stub).  A **version 3** document is:
 //!
 //! ```text
 //! magic    : 8 bytes  b"DSCNSNAP"
-//! version  : u32 LE   (FORMAT_VERSION = 2)
+//! version  : u32 LE   (FORMAT_VERSION = 3)
 //! algo     : u32 LE   (which structure the payload describes)
 //! kind     : u32 LE   (0 = full snapshot, 1 = differential snapshot)
 //! sequence : u64 LE   (0 for a full snapshot; k ≥ 1 for the k-th delta
@@ -31,11 +31,40 @@
 //! payload  : `length` bytes of length-prefixed sections
 //! ```
 //!
+//! # Payload encodings by version
+//!
+//! The header layout is shared by v2 and v3; what changed in v3 is the
+//! **payload encoding** ([`Encoding`]).  Section framing (`tag: u32 LE,
+//! len: u64 LE, bytes`) is fixed-width in every version so writers can
+//! back-patch section lengths in place; everything *inside* a section is
+//! encoded per the document version:
+//!
+//! | primitive        | v1/v2 ([`Encoding::Fixed`])  | v3 ([`Encoding::Compact`])                        |
+//! |------------------|------------------------------|---------------------------------------------------|
+//! | `u8` / `bool`    | 1 byte                       | 1 byte                                            |
+//! | `u32` / `u64`    | 4 / 8 bytes LE               | LEB128 varint (1–5 / 1–10 bytes)                  |
+//! | length / count   | 8 bytes LE                   | varint                                            |
+//! | `f64`            | 8-byte bit pattern           | 8-byte bit pattern (unchanged)                    |
+//! | vertex id        | 4 bytes LE                   | varint                                            |
+//! | edge key         | `lo: u32, hi: u32`           | `varint(lo), varint(hi − lo − 1)`                 |
+//! | sorted vertex seq| plain vertex per entry       | first raw, then `varint(v − prev − 1)`            |
+//! | sorted edge seq  | plain edge per entry         | `varint(lo − prev_lo)`, then gap varint (see      |
+//! |                  |                              | [`SnapWriter::edge_key_seq`])                     |
+//! | slot-order list  | plain vertex per entry       | first raw, then zigzag varint of `v − prev`       |
+//! | bool array       | 1 byte per bool              | bit-packed LSB-first, zero padding                |
+//!
+//! Sorted sequences and slot-order (adjacency) lists are where the ≥ 3×
+//! size win comes from: dense sorted id sets collapse to ~1 byte per
+//! entry, and adjacency slots of well-clustered graphs sit close enough
+//! together that their zigzag deltas fit one or two bytes.
+//!
 //! The legacy **version 1** header (32 bytes: magic, version, algo,
 //! length, checksum — no kind/sequence/base/wallclock) is still *read*:
-//! every v1 document is a full snapshot, and the decoders accept both
-//! versions so committed v1 checkpoints keep restoring.  Only v2 is
-//! written.
+//! every v1 document is a full snapshot.  The decoders accept all three
+//! versions — [`SnapReader::for_version`] picks the payload encoding from
+//! the header — so committed v1/v2 checkpoints keep restoring.  Only v3
+//! is written by live code ([`write_document_v2`] and
+//! [`write_document_v1`] exist for the compat gates and benches).
 //!
 //! # Differential snapshots (v2)
 //!
@@ -91,16 +120,46 @@ pub const HEADER_LEN: usize = HEADER_LEN_V2;
 /// length + checksum).
 pub const HEADER_LEN_V1: usize = 8 + 4 + 4 + 8 + 8;
 
-/// Size of the version-2 header.
+/// Size of the version-2 header (shared by version 3 — only the payload
+/// encoding changed in v3).
 pub const HEADER_LEN_V2: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
 
 /// Current snapshot format version.  Bump on any incompatible layout
 /// change and regenerate `tests/fixtures/golden_snapshot_v*.bin`.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The previous format version (v2 header with fixed-width payload
+/// primitives).  Still decoded; [`write_document_v2`] can still produce
+/// it for the compat gates and the codec benches.
+pub const FORMAT_VERSION_V2: u32 = 2;
 
 /// The legacy format version the readers still accept (full snapshots
 /// only; see the [module docs](self)).
 pub const FORMAT_VERSION_V1: u32 = 1;
+
+/// How payload primitives are encoded inside a document's sections.
+///
+/// Section framing is identical in both modes; see the
+/// [module docs](self) for the per-primitive table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Encoding {
+    /// Fixed-width little-endian primitives — the v1/v2 payload encoding.
+    Fixed,
+    /// Varint/zigzag/delta primitives — the v3 payload encoding.
+    #[default]
+    Compact,
+}
+
+impl Encoding {
+    /// The payload encoding a given (already validated) format version
+    /// uses.
+    pub fn for_version(version: u32) -> Encoding {
+        match version {
+            FORMAT_VERSION_V1 | FORMAT_VERSION_V2 => Encoding::Fixed,
+            _ => Encoding::Compact,
+        }
+    }
+}
 
 /// Whether a document holds the complete state or a differential update
 /// against a base document.
@@ -299,16 +358,46 @@ fn le_u64_at(bytes: &[u8], offset: usize) -> Result<u64, SnapshotError> {
     Ok(u64::from_le_bytes(buf))
 }
 
-/// Append-only payload writer with fixed-width little-endian primitives.
+/// Zigzag-map a signed delta into an unsigned varint payload
+/// (small-magnitude values of either sign stay short).
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Append-only payload writer; primitives are fixed-width little-endian
+/// or varint-compressed depending on the writer's [`Encoding`].
 #[derive(Debug, Default)]
 pub struct SnapWriter {
     buf: Vec<u8>,
+    encoding: Encoding,
 }
 
 impl SnapWriter {
-    /// An empty writer.
+    /// An empty writer in the current format's encoding
+    /// ([`Encoding::Compact`], i.e. v3 payload bytes).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty writer producing legacy fixed-width (v1/v2) payload
+    /// bytes — the compat-gate and codec-bench path.
+    pub fn fixed() -> Self {
+        SnapWriter {
+            buf: Vec::new(),
+            encoding: Encoding::Fixed,
+        }
+    }
+
+    /// Whether this writer emits the compact (v3) encoding.  Payload
+    /// writers branch on this where v3 changed a section's *structure*
+    /// (bit-packed label arrays) rather than just its primitives.
+    pub fn compact(&self) -> bool {
+        self.encoding == Encoding::Compact
     }
 
     /// The accumulated payload bytes.
@@ -336,14 +425,32 @@ impl SnapWriter {
         self.u8(u8::from(x));
     }
 
-    /// Write a `u32` little-endian.
-    pub fn u32(&mut self, x: u32) {
-        self.buf.extend_from_slice(&x.to_le_bytes());
+    fn varint(&mut self, mut x: u64) {
+        loop {
+            let byte = (x & 0x7f) as u8;
+            x >>= 7;
+            if x == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
     }
 
-    /// Write a `u64` little-endian.
+    /// Write a `u32` (little-endian in fixed mode, varint in compact).
+    pub fn u32(&mut self, x: u32) {
+        match self.encoding {
+            Encoding::Fixed => self.buf.extend_from_slice(&x.to_le_bytes()),
+            Encoding::Compact => self.varint(u64::from(x)),
+        }
+    }
+
+    /// Write a `u64` (little-endian in fixed mode, varint in compact).
     pub fn u64(&mut self, x: u64) {
-        self.buf.extend_from_slice(&x.to_le_bytes());
+        match self.encoding {
+            Encoding::Fixed => self.buf.extend_from_slice(&x.to_le_bytes()),
+            Encoding::Compact => self.varint(x),
+        }
     }
 
     /// Write a `usize` as `u64`.
@@ -351,9 +458,10 @@ impl SnapWriter {
         self.u64(x as u64);
     }
 
-    /// Write an `f64` as its exact bit pattern.
+    /// Write an `f64` as its exact bit pattern (raw 8 bytes in both
+    /// encodings — float bit patterns do not varint-compress).
     pub fn f64(&mut self, x: f64) {
-        self.u64(x.to_bits());
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
     }
 
     /// Write a vertex id.
@@ -361,21 +469,108 @@ impl SnapWriter {
         self.u32(v.raw());
     }
 
-    /// Write an edge key as its `(lo, hi)` endpoints.
+    /// Write an edge key as its `(lo, hi)` endpoints (compact mode stores
+    /// `hi` as its gap above `lo`, which is ≥ 1 by canonicality).
     pub fn edge(&mut self, e: EdgeKey) {
-        self.vertex(e.lo());
-        self.vertex(e.hi());
+        match self.encoding {
+            Encoding::Fixed => {
+                self.vertex(e.lo());
+                self.vertex(e.hi());
+            }
+            Encoding::Compact => {
+                self.varint(u64::from(e.lo().raw()));
+                self.varint(u64::from(e.hi().raw() - e.lo().raw() - 1));
+            }
+        }
+    }
+
+    /// Write the next element of a **strictly ascending** vertex
+    /// sequence.  `prev` threads the sequence state; start each sequence
+    /// from `None`.  Compact mode stores the first id raw and every
+    /// successor as `v − prev − 1`; fixed mode is a plain [`Self::vertex`]
+    /// (byte-identical to the v2 encoding).
+    pub fn vertex_seq(&mut self, prev: &mut Option<VertexId>, v: VertexId) {
+        match (self.encoding, *prev) {
+            (Encoding::Fixed, _) => self.vertex(v),
+            (Encoding::Compact, None) => self.varint(u64::from(v.raw())),
+            (Encoding::Compact, Some(p)) => {
+                self.varint(u64::from(v.raw()) - u64::from(p.raw()) - 1);
+            }
+        }
+        *prev = Some(v);
+    }
+
+    /// Write the next element of a **strictly ascending** edge-key
+    /// sequence (sorted by `(lo, hi)`).  Compact mode stores
+    /// `varint(lo − prev_lo)`, then — if `lo` repeats — the gap
+    /// `hi − prev_hi − 1`, otherwise the fresh gap `hi − lo − 1`; the
+    /// first key is a plain compact [`Self::edge`].  Fixed mode is a plain
+    /// [`Self::edge`].
+    pub fn edge_key_seq(&mut self, prev: &mut Option<EdgeKey>, e: EdgeKey) {
+        match (self.encoding, *prev) {
+            (Encoding::Fixed, _) | (Encoding::Compact, None) => self.edge(e),
+            (Encoding::Compact, Some(p)) => {
+                let (lo, hi) = (u64::from(e.lo().raw()), u64::from(e.hi().raw()));
+                let prev_lo = u64::from(p.lo().raw());
+                self.varint(lo - prev_lo);
+                if lo == prev_lo {
+                    self.varint(hi - u64::from(p.hi().raw()) - 1);
+                } else {
+                    self.varint(hi - lo - 1);
+                }
+            }
+        }
+        *prev = Some(e);
+    }
+
+    /// Write the next element of a **slot-order** (unsorted,
+    /// order-significant) vertex list, e.g. an adjacency list.  Compact
+    /// mode stores the first id raw and every successor as the zigzag
+    /// varint of `v − prev`, so clustered neighbourhoods compress even
+    /// though swap-remove leaves them unsorted.  Fixed mode is a plain
+    /// [`Self::vertex`].
+    pub fn slot_vertex(&mut self, prev: &mut Option<VertexId>, v: VertexId) {
+        match (self.encoding, *prev) {
+            (Encoding::Fixed, _) => self.vertex(v),
+            (Encoding::Compact, None) => self.varint(u64::from(v.raw())),
+            (Encoding::Compact, Some(p)) => {
+                self.varint(zigzag(i64::from(v.raw()) - i64::from(p.raw())));
+            }
+        }
+        *prev = Some(v);
+    }
+
+    /// Write a bool array bit-packed LSB-first (zero padding in the last
+    /// byte).  Compact-mode sections use this for label arrays; the
+    /// element count travels separately.
+    pub fn packed_bools(&mut self, bits: impl ExactSizeIterator<Item = bool>) {
+        let mut acc = 0u8;
+        let mut filled = 0u8;
+        for bit in bits {
+            acc |= u8::from(bit) << filled;
+            filled += 1;
+            if filled == 8 {
+                self.buf.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            self.buf.push(acc);
+        }
     }
 
     /// Write a length-prefixed section: `tag`, byte length, then the bytes
     /// `fill` appends.  The length slot is reserved up front and
     /// back-patched afterwards, so multi-megabyte sections (graph
     /// adjacency, DT state) are serialised in place instead of through a
-    /// temporary buffer and a second copy.
+    /// temporary buffer and a second copy.  Framing is fixed-width (raw
+    /// `u32` tag + raw `u64` length) in **both** encodings — back-patching
+    /// needs a stable slot width.
     pub fn section(&mut self, tag: u32, fill: impl FnOnce(&mut SnapWriter)) {
-        self.u32(tag);
+        self.buf.extend_from_slice(&tag.to_le_bytes());
         let length_slot = self.buf.len();
-        self.u64(0);
+        self.buf.extend_from_slice(&0u64.to_le_bytes());
         let body_start = self.buf.len();
         fill(self);
         let body_len = (self.buf.len() - body_start) as u64;
@@ -388,12 +583,35 @@ impl SnapWriter {
 pub struct SnapReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    encoding: Encoding,
 }
 
 impl<'a> SnapReader<'a> {
-    /// Read from a payload slice.
+    /// Read from a payload slice in the current format's encoding
+    /// ([`Encoding::Compact`], i.e. v3 payload bytes).
     pub fn new(buf: &'a [u8]) -> Self {
-        SnapReader { buf, pos: 0 }
+        SnapReader {
+            buf,
+            pos: 0,
+            encoding: Encoding::Compact,
+        }
+    }
+
+    /// Read a payload written by a document of the given (already
+    /// validated) format version — v1/v2 payloads decode fixed-width,
+    /// v3 compact.
+    pub fn for_version(version: u32, buf: &'a [u8]) -> Self {
+        SnapReader {
+            buf,
+            pos: 0,
+            encoding: Encoding::for_version(version),
+        }
+    }
+
+    /// Whether this reader decodes the compact (v3) encoding; mirrors
+    /// [`SnapWriter::compact`].
+    pub fn compact(&self) -> bool {
+        self.encoding == Encoding::Compact
     }
 
     /// Bytes not yet consumed.
@@ -428,20 +646,54 @@ impl<'a> SnapReader<'a> {
         }
     }
 
-    /// Read a little-endian `u32` (length-checked).
-    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+    fn raw_u32(&mut self) -> Result<u32, SnapshotError> {
         let slice = self.take(4)?;
         let mut buf = [0u8; 4];
         buf.copy_from_slice(slice);
         Ok(u32::from_le_bytes(buf))
     }
 
-    /// Read a little-endian `u64` (length-checked).
-    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+    fn raw_u64(&mut self) -> Result<u64, SnapshotError> {
         let slice = self.take(8)?;
         let mut buf = [0u8; 8];
         buf.copy_from_slice(slice);
         Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Decode one LEB128 varint (at most 10 bytes; bits beyond the 64th
+    /// are corrupt, short input is truncated).
+    fn varint(&mut self) -> Result<u64, SnapshotError> {
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let byte = self.u8()?;
+            let low = u64::from(byte & 0x7f);
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(SnapshotError::Corrupt("varint exceeds 64 bits"));
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a `u32` (little-endian in fixed mode, varint in compact).
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        match self.encoding {
+            Encoding::Fixed => self.raw_u32(),
+            Encoding::Compact => u32::try_from(self.varint()?)
+                .map_err(|_| SnapshotError::Corrupt("varint exceeds 32 bits")),
+        }
+    }
+
+    /// Read a `u64` (little-endian in fixed mode, varint in compact).
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        match self.encoding {
+            Encoding::Fixed => self.raw_u64(),
+            Encoding::Compact => self.varint(),
+        }
     }
 
     /// Read a length written by [`SnapWriter::len_prefix`].  Lengths that
@@ -477,9 +729,9 @@ impl<'a> SnapReader<'a> {
             .map_err(|_| SnapshotError::Corrupt("count exceeds the platform's address space"))
     }
 
-    /// Read an `f64` bit pattern.
+    /// Read an `f64` bit pattern (raw 8 bytes in both encodings).
     pub fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_bits(self.u64()?))
+        Ok(f64::from_bits(self.raw_u64()?))
     }
 
     /// Read a vertex id.
@@ -487,31 +739,146 @@ impl<'a> SnapReader<'a> {
         Ok(VertexId(self.u32()?))
     }
 
+    fn vertex_from(&mut self, base: u64) -> Result<VertexId, SnapshotError> {
+        let raw = base
+            .checked_add(self.varint()?)
+            .ok_or(SnapshotError::Corrupt("vertex id overflows the id space"))?;
+        u32::try_from(raw)
+            .map(VertexId)
+            .map_err(|_| SnapshotError::Corrupt("vertex id overflows the id space"))
+    }
+
     /// Read an edge key; the endpoints must be stored canonically
     /// (`lo < hi`).
     pub fn edge(&mut self) -> Result<EdgeKey, SnapshotError> {
-        let lo = self.vertex()?;
-        let hi = self.vertex()?;
-        if lo >= hi {
-            return Err(SnapshotError::Corrupt(
-                "edge key endpoints not in canonical order",
-            ));
+        match self.encoding {
+            Encoding::Fixed => {
+                let lo = self.vertex()?;
+                let hi = self.vertex()?;
+                if lo >= hi {
+                    return Err(SnapshotError::Corrupt(
+                        "edge key endpoints not in canonical order",
+                    ));
+                }
+                Ok(EdgeKey::new(lo, hi))
+            }
+            Encoding::Compact => {
+                let lo = self.vertex()?;
+                let hi = self.vertex_from(u64::from(lo.raw()) + 1)?;
+                Ok(EdgeKey::new(lo, hi))
+            }
         }
-        Ok(EdgeKey::new(lo, hi))
     }
 
-    /// Open the next section, which must carry `tag`; returns a reader over
-    /// exactly that section's bytes.
+    /// Read the next element of a strictly ascending vertex sequence
+    /// (mirrors [`SnapWriter::vertex_seq`]).  Compact mode enforces
+    /// ascension structurally; fixed mode decodes a plain vertex and
+    /// leaves ordering checks to the caller (the v2 decode contract).
+    pub fn vertex_seq(&mut self, prev: &mut Option<VertexId>) -> Result<VertexId, SnapshotError> {
+        let v = match (self.encoding, *prev) {
+            (Encoding::Fixed, _) => self.vertex()?,
+            (Encoding::Compact, None) => self.vertex()?,
+            (Encoding::Compact, Some(p)) => self.vertex_from(u64::from(p.raw()) + 1)?,
+        };
+        *prev = Some(v);
+        Ok(v)
+    }
+
+    /// Read the next element of a strictly ascending edge-key sequence
+    /// (mirrors [`SnapWriter::edge_key_seq`]).
+    pub fn edge_key_seq(&mut self, prev: &mut Option<EdgeKey>) -> Result<EdgeKey, SnapshotError> {
+        let e = match (self.encoding, *prev) {
+            (Encoding::Fixed, _) | (Encoding::Compact, None) => self.edge()?,
+            (Encoding::Compact, Some(p)) => {
+                let dlo = self.varint()?;
+                let lo = u64::from(p.lo().raw())
+                    .checked_add(dlo)
+                    .and_then(|x| u32::try_from(x).ok())
+                    .map(VertexId)
+                    .ok_or(SnapshotError::Corrupt(
+                        "edge endpoint overflows the id space",
+                    ))?;
+                let hi_base = if dlo == 0 {
+                    u64::from(p.hi().raw()) + 1
+                } else {
+                    u64::from(lo.raw()) + 1
+                };
+                let hi = self.vertex_from(hi_base)?;
+                EdgeKey::new(lo, hi)
+            }
+        };
+        *prev = Some(e);
+        Ok(e)
+    }
+
+    /// Read the next element of a slot-order vertex list (mirrors
+    /// [`SnapWriter::slot_vertex`]).  Range, self-loop and duplicate
+    /// validation stay with the caller, as with plain vertices.
+    pub fn slot_vertex(&mut self, prev: &mut Option<VertexId>) -> Result<VertexId, SnapshotError> {
+        let v = match (self.encoding, *prev) {
+            (Encoding::Fixed, _) => self.vertex()?,
+            (Encoding::Compact, None) => self.vertex()?,
+            (Encoding::Compact, Some(p)) => {
+                let delta = unzigzag(self.varint()?);
+                i64::from(p.raw())
+                    .checked_add(delta)
+                    .and_then(|x| u32::try_from(x).ok())
+                    .map(VertexId)
+                    .ok_or(SnapshotError::Corrupt("vertex id outside the id space"))?
+            }
+        };
+        *prev = Some(v);
+        Ok(v)
+    }
+
+    /// Read `n` bools written by [`SnapWriter::packed_bools`].  Nonzero
+    /// padding bits are corrupt — the encoding stays canonical.
+    pub fn packed_bools(&mut self, n: usize) -> Result<Vec<bool>, SnapshotError> {
+        let byte_len = n.div_ceil(8);
+        let bytes = self.take(byte_len)?;
+        let mut out = Vec::new();
+        out.try_reserve_exact(n)
+            .map_err(|_| SnapshotError::Corrupt("bool array exceeds available memory"))?;
+        for i in 0..n {
+            let byte = bytes.get(i / 8).copied().ok_or(SnapshotError::Truncated)?;
+            out.push((byte >> (i % 8)) & 1 == 1);
+        }
+        if !n.is_multiple_of(8) {
+            let last = bytes.last().copied().ok_or(SnapshotError::Truncated)?;
+            if last >> (n % 8) != 0 {
+                return Err(SnapshotError::Corrupt("nonzero padding in packed bools"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Open the next section, which must carry `tag`; returns a reader
+    /// over exactly that section's bytes, in this reader's encoding.
+    /// Framing is fixed-width in both encodings (see
+    /// [`SnapWriter::section`]).
     pub fn section(&mut self, tag: u32) -> Result<SnapReader<'a>, SnapshotError> {
-        let found = self.u32()?;
+        let found = self.raw_u32()?;
         if found != tag {
             return Err(SnapshotError::UnexpectedSection {
                 expected: tag,
                 found,
             });
         }
-        let len = self.len_prefix()?;
-        Ok(SnapReader::new(self.take(len)?))
+        let len = self.raw_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(SnapshotError::Corrupt(
+                "length prefix exceeds remaining bytes",
+            ));
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            SnapshotError::Corrupt("length prefix exceeds the platform's address space")
+        })?;
+        let body = self.take(len)?;
+        Ok(SnapReader {
+            buf: body,
+            pos: 0,
+            encoding: self.encoding,
+        })
     }
 
     /// Assert every byte was consumed (call at the end of a section).
@@ -576,9 +943,49 @@ pub fn write_document_prechecked(
     Ok(())
 }
 
+/// Write a legacy **version 2** full-snapshot document: v2 header (same
+/// layout as v3, version field 2) over a payload the caller encoded with
+/// [`SnapWriter::fixed`].  Kept so the backward-compat gates, the
+/// corruption tests and the codec benches can produce v2 bytes on
+/// demand; live code always writes v3.
+pub fn write_document_v2(
+    w: impl std::io::Write,
+    algo_tag: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    write_document_meta_v2(w, algo_tag, &DocumentMeta::default(), payload)?;
+    Ok(())
+}
+
+/// [`write_document_meta`]'s legacy counterpart: a version-2 header with
+/// explicit [`DocumentMeta`] (so delta documents can be framed too) over
+/// a payload the caller encoded with [`SnapWriter::fixed`].  Kept so the
+/// codec benches can produce v2-equivalent delta documents on demand;
+/// live code always writes v3.
+pub fn write_document_meta_v2(
+    mut w: impl std::io::Write,
+    algo_tag: u32,
+    meta: &DocumentMeta,
+    payload: &[u8],
+) -> Result<u64, SnapshotError> {
+    let checksum = fnv1a(payload);
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION_V2.to_le_bytes())?;
+    w.write_all(&algo_tag.to_le_bytes())?;
+    w.write_all(&meta.kind.tag().to_le_bytes())?;
+    w.write_all(&meta.sequence.to_le_bytes())?;
+    w.write_all(&meta.base_checksum.to_le_bytes())?;
+    w.write_all(&meta.wall_time_millis.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&checksum.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(checksum)
+}
+
 /// Write a legacy **version 1** document.  Kept so the backward-compat
-/// gate and the corruption tests can produce v1 bytes on demand; live code
-/// always writes v2.
+/// gate and the corruption tests can produce v1 bytes on demand (over a
+/// [`SnapWriter::fixed`] payload); live code always writes v3.
 pub fn write_document_v1(
     mut w: impl std::io::Write,
     algo_tag: u32,
@@ -660,7 +1067,7 @@ pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
                 checksum: le_u64_at(bytes, 24)?,
             })
         }
-        FORMAT_VERSION => {
+        FORMAT_VERSION_V2 | FORMAT_VERSION => {
             if bytes.len() < HEADER_LEN_V2 {
                 return Err(SnapshotError::Truncated);
             }
@@ -746,7 +1153,7 @@ pub fn read_document_meta(
     let version = le_u32_at(&prefix, 8)?;
     let header_len = match version {
         FORMAT_VERSION_V1 => HEADER_LEN_V1,
-        FORMAT_VERSION => HEADER_LEN_V2,
+        FORMAT_VERSION_V2 | FORMAT_VERSION => HEADER_LEN_V2,
         found => return Err(SnapshotError::UnsupportedVersion { found }),
     };
     let rest = prefix
@@ -787,26 +1194,39 @@ fn read_exact_or_truncated(mut r: impl std::io::Read, buf: &mut [u8]) -> Result<
 /// Validate a decoded adjacency structure (range, self-loops, duplicates
 /// already rejected during decode): symmetry and half-edge parity.
 /// Returns the edge count.  Shared by the full decode and the delta-apply
-/// path.
-fn validate_adjacency(adjacency: &[IndexedSet]) -> Result<usize, SnapshotError> {
-    let mut half_edges: usize = 0;
-    for adj in adjacency {
-        half_edges += adj.len();
-    }
-    if !half_edges.is_multiple_of(2) {
-        return Err(SnapshotError::Corrupt("odd half-edge count"));
-    }
-    for (v, adj) in adjacency.iter().enumerate() {
-        for x in adj.iter() {
-            let Some(back) = adjacency.get(x.index()) else {
+/// path.  Works over both tiers by collecting half-edges and checking the
+/// sorted multiset for pairing — O(m log m), no per-probe hash lookups.
+fn validate_adjacency(graph: &DynGraph) -> Result<usize, SnapshotError> {
+    let n = graph.num_vertices();
+    let mut half_edges: Vec<(u32, u32)> = Vec::new();
+    for v in graph.vertices() {
+        for x in graph.neighbours_iter(v) {
+            if x.index() >= n {
                 return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
-            };
-            if !back.contains(VertexId(v as u32)) {
-                return Err(SnapshotError::Corrupt("asymmetric adjacency"));
             }
+            half_edges
+                .try_reserve(1)
+                .map_err(|_| SnapshotError::Corrupt("adjacency exceeds available memory"))?;
+            half_edges.push((v.raw(), x.raw()));
         }
     }
-    Ok(half_edges / 2)
+    if !half_edges.len().is_multiple_of(2) {
+        return Err(SnapshotError::Corrupt("odd half-edge count"));
+    }
+    half_edges.sort_unstable();
+    if half_edges
+        .iter()
+        .zip(half_edges.iter().skip(1))
+        .any(|(a, b)| a == b)
+    {
+        return Err(SnapshotError::Corrupt("duplicate neighbour in adjacency"));
+    }
+    for &(v, x) in &half_edges {
+        if half_edges.binary_search(&(x, v)).is_err() {
+            return Err(SnapshotError::Corrupt("asymmetric adjacency"));
+        }
+    }
+    Ok(half_edges.len() / 2)
 }
 
 /// Decode one vertex's adjacency list (length + slots, in slot order) into
@@ -819,8 +1239,9 @@ fn read_adjacency_list(
 ) -> Result<IndexedSet, SnapshotError> {
     let d = r.len_prefix()?;
     let mut set = IndexedSet::with_capacity(d);
+    let mut prev: Option<VertexId> = None;
     for _ in 0..d {
-        let x = r.vertex()?;
+        let x = r.slot_vertex(&mut prev)?;
         if x.index() >= n {
             return Err(SnapshotError::Corrupt("neighbour id outside vertex space"));
         }
@@ -835,8 +1256,19 @@ fn read_adjacency_list(
 }
 
 impl DynGraph {
+    fn write_adjacency_list(&self, w: &mut SnapWriter, v: VertexId) {
+        let adj = self.neighbours(v);
+        let slots = adj.as_slice();
+        w.len_prefix(slots.len());
+        let mut prev: Option<VertexId> = None;
+        for &x in slots {
+            w.slot_vertex(&mut prev, x);
+        }
+    }
+
     /// Serialise the graph topology, preserving the *internal slot order*
-    /// of every adjacency set.
+    /// of every adjacency set.  Cold-tier vertices are decoded on the fly
+    /// — the wire bytes are independent of the tier split.
     ///
     /// The order matters for bit-identical resume: uniform neighbourhood
     /// sampling indexes the dense adjacency vector positionally, so two
@@ -845,17 +1277,15 @@ impl DynGraph {
     pub fn write_snapshot(&self, w: &mut SnapWriter) {
         w.len_prefix(self.num_vertices());
         for v in self.vertices() {
-            let adj = self.neighbours(v).as_slice();
-            w.len_prefix(adj.len());
-            for &x in adj {
-                w.vertex(x);
-            }
+            self.write_adjacency_list(w, v);
         }
     }
 
     /// Rebuild a graph from [`DynGraph::write_snapshot`] bytes, restoring
     /// each adjacency set in its recorded slot order and validating that
-    /// the adjacency lists are symmetric and self-loop free.
+    /// the adjacency lists are symmetric and self-loop free.  The restored
+    /// graph starts fully hot, then demotes down to the process-default
+    /// memory budget if one is set.
     pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
         let n = r.len_prefix()?;
         let mut adjacency: Vec<IndexedSet> = Vec::with_capacity(n);
@@ -863,8 +1293,11 @@ impl DynGraph {
             adjacency.push(read_adjacency_list(r, v, n)?);
         }
         r.finish()?;
-        let edges = validate_adjacency(&adjacency)?;
-        Ok(DynGraph::from_parts(adjacency, edges))
+        let mut graph = DynGraph::from_parts(adjacency, 0);
+        let edges = validate_adjacency(&graph)?;
+        graph.set_num_edges(edges);
+        graph.rebalance();
+        Ok(graph)
     }
 
     /// Serialise only the adjacency of `dirty` vertices (which must be
@@ -873,13 +1306,10 @@ impl DynGraph {
     pub fn write_snapshot_delta(&self, w: &mut SnapWriter, dirty: &[VertexId]) {
         w.len_prefix(self.num_vertices());
         w.len_prefix(dirty.len());
+        let mut prev: Option<VertexId> = None;
         for &v in dirty {
-            w.vertex(v);
-            let adj = self.neighbours(v).as_slice();
-            w.len_prefix(adj.len());
-            for &x in adj {
-                w.vertex(x);
-            }
+            w.vertex_seq(&mut prev, v);
+            self.write_adjacency_list(w, v);
         }
     }
 
@@ -900,30 +1330,29 @@ impl DynGraph {
         if n < self.num_vertices() {
             return Err(SnapshotError::Corrupt("delta shrinks the vertex space"));
         }
-        let (adjacency, num_edges) = self.parts_mut();
-        adjacency
-            .try_reserve_exact(n - adjacency.len())
-            .map_err(|_| SnapshotError::Corrupt("vertex space exceeds available memory"))?;
-        adjacency.resize_with(n, IndexedSet::default);
+        if !self.try_grow(n) {
+            return Err(SnapshotError::Corrupt(
+                "vertex space exceeds available memory",
+            ));
+        }
         let dirty_count = r.len_prefix()?;
-        let mut last: Option<VertexId> = None;
+        let mut prev: Option<VertexId> = None;
         for _ in 0..dirty_count {
-            let v = r.vertex()?;
+            let before = prev;
+            let v = r.vertex_seq(&mut prev)?;
             if v.index() >= n {
                 return Err(SnapshotError::Corrupt("dirty vertex outside vertex space"));
             }
-            if last.is_some_and(|p| p >= v) {
+            if before.is_some_and(|p| p >= v) {
                 return Err(SnapshotError::Corrupt("dirty vertices not sorted"));
             }
-            last = Some(v);
             let list = read_adjacency_list(r, v.index(), n)?;
-            let slot = adjacency
-                .get_mut(v.index())
-                .ok_or(SnapshotError::Corrupt("dirty vertex outside vertex space"))?;
-            *slot = list;
+            self.set_adjacency(v, list);
         }
         r.finish()?;
-        *num_edges = validate_adjacency(adjacency)?;
+        let edges = validate_adjacency(self)?;
+        self.set_num_edges(edges);
+        self.rebalance();
         Ok(())
     }
 }

@@ -110,7 +110,7 @@ impl NeighbourhoodView for DynGraph {
 
     #[inline]
     fn neighbour_at(&self, v: VertexId, i: usize) -> Option<VertexId> {
-        self.neighbours(v).get(i)
+        DynGraph::neighbour_at(self, v, i)
     }
 
     #[inline]
@@ -172,7 +172,8 @@ impl FrozenNeighbourhoods {
     {
         let mut sets = HashMap::new();
         for v in vertices {
-            sets.entry(v).or_insert_with(|| graph.neighbours(v).clone());
+            sets.entry(v)
+                .or_insert_with(|| graph.neighbours(v).to_set());
         }
         FrozenNeighbourhoods { sets }
     }

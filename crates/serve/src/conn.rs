@@ -597,6 +597,32 @@ fn execute(shared: &Shared, body: RequestBody, acked_floor: u64) -> ResponseBody
         RequestBody::Stats {
             include_state_checksum,
         } => {
+            // Staleness contract (see `dynscan_core::epoch`): without a
+            // state checksum the reply is assembled from one published
+            // snapshot, so every engine-derived field — epoch, counts,
+            // checkpoint counters — is epoch-atomic as of `epoch`
+            // (= `updates_applied` at publication), never a torn mix of
+            // two epochs, and the answer takes no engine lock.  The
+            // queue/connection gauges and the drain flag are
+            // instantaneous server-side readings, not part of the
+            // epoch.  A checksum needs the live engine state, so that
+            // variant keeps the locking path.
+            if !include_state_checksum {
+                if let Some(snapshot) = load_epoch(shared, acked_floor) {
+                    return ResponseBody::Stats(StatsReply {
+                        algorithm: snapshot.algorithm.to_string(),
+                        epoch: snapshot.updates_applied,
+                        num_vertices: snapshot.num_vertices,
+                        num_edges: snapshot.num_edges,
+                        queued_updates: shared.queued.load(Ordering::SeqCst),
+                        connections: shared.connections.load(Ordering::SeqCst),
+                        checkpoints_written: snapshot.checkpoints_written,
+                        draining: shared.drain.is_tripped(),
+                        state_checksum: None,
+                        last_checkpoint_seq: snapshot.checkpoint_seq,
+                    });
+                }
+            }
             let mut engine = lock_engine(shared);
             let state_checksum = include_state_checksum.then(|| fnv1a(&engine.checkpoint_bytes()));
             ResponseBody::Stats(StatsReply {

@@ -269,6 +269,12 @@ fn clustering_queries_take_the_lock_free_epoch_path() {
             "cluster-of(3) contains 3"
         );
         queries += 1;
+        // Checksum-free stats ride the same lock-free path, with every
+        // engine-derived field epoch-atomic as of `stats.epoch`.
+        let stats = client.stats(false).expect("stats");
+        assert!(stats.state_checksum.is_none());
+        assert!(stats.num_edges >= 10, "fixture edges visible in stats");
+        queries += 1;
         client
             .apply(GraphUpdate::Insert(VertexId(100 + i), VertexId(101 + i)))
             .expect("interleaved write");

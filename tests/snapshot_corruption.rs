@@ -1,6 +1,7 @@
 //! Decoder robustness: arbitrary truncations and single-byte corruptions
-//! of valid snapshot documents — v1 and v2, full and delta — must always
-//! yield an `Err`, never a panic and never a silently-wrong restore.
+//! of valid snapshot documents — v1, v2 and v3, full and delta — must
+//! always yield an `Err`, never a panic and never a silently-wrong
+//! restore.
 //!
 //! "Silently wrong" is defined tightly: if a corrupted document *does*
 //! restore (possible only when the flipped byte sits in a header field
@@ -20,10 +21,12 @@ fn v(i: u32) -> VertexId {
     VertexId(i)
 }
 
-/// The pristine documents every case corrupts: a v2 full snapshot, a v2
-/// delta on top of it, a legacy v1 document of the same state, and the
-/// canonical re-encodes of the base and the post-delta state.
+/// The pristine documents every case corrupts: a v3 (current-format)
+/// full snapshot, a v3 delta on top of it, legacy v2 and v1 documents
+/// of the same state, and the canonical re-encodes of the base and the
+/// post-delta state.
 struct Fixture {
+    base_v3: Vec<u8>,
     base_v2: Vec<u8>,
     base_v1: Vec<u8>,
     delta: Vec<u8>,
@@ -51,9 +54,13 @@ fn fixture() -> &'static Fixture {
             GraphUpdate::Insert(v(0), v(9)),
         ]);
         let base_capture = live.capture(false, 0);
-        let base_v2 = base_capture.to_bytes();
-        // Same state as a legacy v1 document: v1 header + the identical
-        // payload (the payload encoding did not change between versions).
+        let base_v3 = base_capture.to_bytes();
+        // The same state under the legacy v2 writer (fixed-width
+        // payload encoding)…
+        let base_v2 = live.checkpoint_v2_bytes();
+        // …and as a v1 document: v1 header + the v2 payload (the
+        // fixed-width payload encoding did not change between v1 and
+        // v2; v3's compact payload would *not* rewrap this way).
         let header = peek_header(&base_v2).unwrap();
         let payload = &base_v2[header.header_len()..];
         let mut base_v1 = Vec::new();
@@ -68,6 +75,7 @@ fn fixture() -> &'static Fixture {
         let delta = live.capture(true, 0).to_bytes();
         let delta_state = Snapshot::checkpoint_bytes(&live);
         Fixture {
+            base_v3,
             base_v2,
             base_v1,
             delta,
@@ -99,7 +107,7 @@ fn check_full_document(doc: &[u8], pristine_state: &[u8]) {
 /// A (possibly corrupted) delta applied to a pristine base must error or
 /// produce exactly the true post-delta state.
 fn check_delta_document(delta: &[u8], fx: &Fixture) {
-    let mut base = DynStrClu::restore(&fx.base_v2[..]).expect("pristine base restores");
+    let mut base = DynStrClu::restore(&fx.base_v3[..]).expect("pristine base restores");
     if base.apply_delta(delta).is_ok() {
         assert_eq!(
             Snapshot::checkpoint_bytes(&base),
@@ -117,14 +125,26 @@ proptest! {
     #[test]
     fn truncations_never_panic_and_never_restore(scale in 0u32..10_000) {
         let fx = fixture();
-        for doc in [&fx.base_v2, &fx.base_v1] {
+        for doc in [&fx.base_v3, &fx.base_v2, &fx.base_v1] {
             let cut = doc.len() * scale as usize / 10_000;
             prop_assert!(DynStrClu::restore(&doc[..cut]).is_err());
             prop_assert!(restore_any(&doc[..cut]).is_err());
         }
         let cut = fx.delta.len() * scale as usize / 10_000;
-        let mut base = DynStrClu::restore(&fx.base_v2[..]).unwrap();
+        let mut base = DynStrClu::restore(&fx.base_v3[..]).unwrap();
         prop_assert!(base.apply_delta(&fx.delta[..cut]).is_err());
+    }
+
+    /// Single-byte corruption at every offset of the v3 full document
+    /// — the compact codec's varint/delta/bit-packed decoders must
+    /// reject every flip the checksum lets through to them.
+    #[test]
+    fn v3_full_bit_flips_are_caught(index in 0usize..8192, flip in 1u8..=255) {
+        let fx = fixture();
+        let mut bad = fx.base_v3.clone();
+        let index = index % bad.len();
+        bad[index] ^= flip;
+        check_full_document(&bad, &fx.base_state);
     }
 
     /// Single-byte corruption at every offset of the v2 full document.
@@ -147,9 +167,10 @@ proptest! {
         check_full_document(&bad, &fx.base_state);
     }
 
-    /// Single-byte corruption of a delta document, applied to a pristine
-    /// base: errors (base mismatch, checksum, kind, sequence, payload
-    /// validation) or restores faithfully (header stamp bytes only).
+    /// Single-byte corruption of a v3 delta document, applied to a
+    /// pristine base: errors (base mismatch, checksum, kind, sequence,
+    /// payload validation) or restores faithfully (header stamp bytes
+    /// only).
     #[test]
     fn delta_bit_flips_are_caught(index in 0usize..8192, flip in 1u8..=255) {
         let fx = fixture();
@@ -167,20 +188,23 @@ proptest! {
         doc.extend_from_slice(&bytes);
         prop_assert!(DynStrClu::restore(&doc[..]).is_err());
         prop_assert!(restore_any(&doc).is_err());
-        let mut base = DynStrClu::restore(&fixture().base_v2[..]).unwrap();
+        let mut base = DynStrClu::restore(&fixture().base_v3[..]).unwrap();
         prop_assert!(base.apply_delta(&doc).is_err());
     }
 }
 
-/// Deterministic sweep of every header byte of the v2 documents (the
-/// proptest above samples; this nails the fixed-size header completely).
+/// Deterministic sweep of every header byte of the v3 and v2 documents
+/// (the proptests above sample; this nails the fixed-size header — the
+/// same 60-byte layout in both versions — completely).
 #[test]
 fn every_header_byte_flip_is_handled() {
     let fx = fixture();
     for index in 0..HEADER_LEN_V2 {
-        let mut bad = fx.base_v2.clone();
-        bad[index] ^= 0xff;
-        check_full_document(&bad, &fx.base_state);
+        for doc in [&fx.base_v3, &fx.base_v2] {
+            let mut bad = doc.clone();
+            bad[index] ^= 0xff;
+            check_full_document(&bad, &fx.base_state);
+        }
         let mut bad = fx.delta.clone();
         bad[index] ^= 0xff;
         check_delta_document(&bad, fx);

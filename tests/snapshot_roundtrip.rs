@@ -201,27 +201,41 @@ fn group_by_partitions_agree_after_restore() {
 
 /// The committed golden fixtures pin the format story across versions:
 ///
-/// * `golden_snapshot_v2.bin` (current format) restores to a fixed point
+/// * `golden_snapshot_v3.bin` (current format) restores to a fixed point
 ///   of checkpoint∘restore — any accidental change to the encoding *or*
 ///   to the serialised algorithm state breaks this; intentional changes
 ///   regenerate it (`snapshot_ci golden write
-///   tests/fixtures/golden_snapshot_v2.bin`) and bump `FORMAT_VERSION`
+///   tests/fixtures/golden_snapshot_v3.bin`) and bump `FORMAT_VERSION`
 ///   if the wire layout itself changed.
-/// * `golden_snapshot_v1.bin` (legacy format) is the backward-compat
-///   gate: it must keep restoring, and re-encoding it under the current
-///   format must reproduce the v2 fixture byte for byte — proof that the
-///   two fixtures hold the same semantic state.
+/// * `golden_snapshot_v2.bin` and `golden_snapshot_v1.bin` (legacy
+///   formats, never regenerated) are the backward-compat gates: both
+///   must keep restoring, and re-encoding either under the current
+///   format must reproduce the v3 fixture byte for byte — proof that
+///   all three fixtures hold the same semantic state.  The v2 fixture
+///   additionally stays a fixed point of the compat writer
+///   (`checkpoint_v2_bytes`), so the legacy encoder cannot drift while
+///   it still has callers.
+/// * The v3 document must be **at least 3× smaller** than the v2
+///   document of the identical state — the compression floor the codec
+///   migration promised (also gated at larger scale in
+///   `BENCH_checkpoint.json`).
 #[test]
 fn golden_snapshot_fixtures_are_stable() {
     let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let committed_v2 = std::fs::read(fixtures.join("golden_snapshot_v2.bin"))
-        .expect("v2 golden fixture is committed");
-    let restored = DynStrClu::restore(&committed_v2[..])
-        .expect("committed v2 fixture must restore under the current format");
+    let committed_v3 = std::fs::read(fixtures.join("golden_snapshot_v3.bin"))
+        .expect("v3 golden fixture is committed");
+    assert_eq!(
+        dynscan_graph::snapshot::peek_header(&committed_v3)
+            .expect("v3 header peeks")
+            .format_version,
+        dynscan_graph::snapshot::FORMAT_VERSION
+    );
+    let restored = DynStrClu::restore(&committed_v3[..])
+        .expect("committed v3 fixture must restore under the current format");
     assert_eq!(
         restored.checkpoint_bytes(),
-        committed_v2,
-        "v2 fixture must be a fixed point of checkpoint∘restore"
+        committed_v3,
+        "v3 fixture must be a fixed point of checkpoint∘restore"
     );
     // Pin a few semantic facts so the fixture is more than opaque bytes.
     assert_eq!(restored.graph().num_vertices(), 11);
@@ -229,8 +243,35 @@ fn golden_snapshot_fixtures_are_stable() {
     assert_eq!(restored.clustering().num_clusters(), 1);
     assert!(restored.is_core(v(0)) && restored.is_core(v(5)));
 
-    // Backward compatibility: the legacy v1 document still decodes and
-    // holds exactly the same state.
+    // Backward compatibility: both legacy documents still decode and
+    // hold exactly the same state as the v3 fixture.
+    let committed_v2 = std::fs::read(fixtures.join("golden_snapshot_v2.bin"))
+        .expect("v2 golden fixture is committed");
+    assert_eq!(
+        dynscan_graph::snapshot::peek_header(&committed_v2)
+            .expect("v2 header peeks")
+            .format_version,
+        dynscan_graph::snapshot::FORMAT_VERSION_V2
+    );
+    let from_v2 =
+        DynStrClu::restore(&committed_v2[..]).expect("legacy v2 fixture must keep restoring");
+    assert_eq!(
+        from_v2.checkpoint_bytes(),
+        committed_v3,
+        "re-encoding the v2 fixture must reproduce the v3 fixture"
+    );
+    assert_eq!(
+        from_v2.checkpoint_v2_bytes(),
+        committed_v2,
+        "v2 fixture must stay a fixed point of the compat writer"
+    );
+    assert!(
+        committed_v3.len() * 3 <= committed_v2.len(),
+        "v3 document ({} B) must be at least 3x smaller than v2 ({} B)",
+        committed_v3.len(),
+        committed_v2.len()
+    );
+
     let committed_v1 = std::fs::read(fixtures.join("golden_snapshot_v1.bin"))
         .expect("v1 golden fixture is committed");
     assert_eq!(
@@ -243,8 +284,8 @@ fn golden_snapshot_fixtures_are_stable() {
         DynStrClu::restore(&committed_v1[..]).expect("legacy v1 fixture must keep restoring");
     assert_eq!(
         from_v1.checkpoint_bytes(),
-        committed_v2,
-        "re-encoding the v1 fixture must reproduce the v2 fixture"
+        committed_v3,
+        "re-encoding the v1 fixture must reproduce the v3 fixture"
     );
 }
 
